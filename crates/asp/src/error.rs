@@ -1,0 +1,82 @@
+//! Error types for pipeline construction and execution.
+
+use std::fmt;
+
+/// An error raised by an operator during processing. The runtime treats any
+/// operator error as fatal for the whole pipeline (mirroring the execution
+/// failures the paper observes for FlinkCEP under memory exhaustion,
+/// Section 5.2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// The operator's state exceeded its configured memory budget.
+    MemoryExhausted {
+        operator: String,
+        state_bytes: usize,
+        limit_bytes: usize,
+    },
+    /// Any other operator-defined failure.
+    Failed { operator: String, reason: String },
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::MemoryExhausted { operator, state_bytes, limit_bytes } => write!(
+                f,
+                "operator `{operator}` exhausted memory: state {state_bytes}B > limit {limit_bytes}B"
+            ),
+            OpError::Failed { operator, reason } => {
+                write!(f, "operator `{operator}` failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// Errors surfaced by [`crate::runtime::Executor::run`].
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Malformed graph (dangling edge, missing sink, invalid parallelism…).
+    InvalidGraph(String),
+    /// An operator aborted the run.
+    Operator(OpError),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
+            PipelineError::Operator(e) => write!(f, "pipeline aborted: {e}"),
+            PipelineError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<OpError> for PipelineError {
+    fn from(e: OpError) -> Self {
+        PipelineError::Operator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OpError::MemoryExhausted {
+            operator: "nfa".into(),
+            state_bytes: 2048,
+            limit_bytes: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("nfa") && s.contains("2048") && s.contains("1024"));
+        let p: PipelineError = e.into();
+        assert!(p.to_string().contains("aborted"));
+    }
+}

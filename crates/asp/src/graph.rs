@@ -1,0 +1,340 @@
+//! Dataflow graph construction (the processing model of Section 2,
+//! model 3): sources, operators, and sinks connected by directed edges with
+//! an exchange strategy per edge.
+//!
+//! A [`GraphBuilder`] assembles the logical graph; [`crate::runtime::Executor`]
+//! turns every node into `parallelism` independently-threaded instances
+//! ("task slots") and every edge into per-instance-pair channels.
+
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::operator::Operator;
+
+/// How tuples travel across an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exchange {
+    /// Direct 1:1 wiring; requires equal parallelism on both ends.
+    Forward,
+    /// Partition by `tuple.key` — the shuffling step that re-partitions
+    /// sub-operation outputs (and the vehicle of the O3 optimization).
+    Hash,
+    /// Round-robin redistribution for stateless load balancing.
+    Rebalance,
+}
+
+/// Identifies a node in the graph under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifies a sink; used to retrieve collected output from a
+/// [`crate::runtime::RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SinkId(pub(crate) usize);
+
+/// What a sink retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinkMode {
+    /// Keep every tuple (tests, examples).
+    #[default]
+    Collect,
+    /// Keep only counts + sampled latencies (benchmarks producing millions
+    /// of matches).
+    CountOnly,
+}
+
+/// Creates one operator instance per task slot. The argument is the
+/// instance index `0..parallelism`.
+pub type OperatorFactory = Box<dyn Fn(usize) -> Box<dyn Operator> + Send>;
+
+/// Source behaviour knobs.
+#[derive(Clone)]
+pub struct SourceConfig {
+    /// Pre-generated events in *arrival* order. With parallelism > 1 the
+    /// events are dealt round-robin. Arrival order may deviate from
+    /// timestamp order by at most [`SourceConfig::watermark_lag`].
+    pub events: Arc<Vec<Event>>,
+    /// Emit a watermark every `watermark_every` events (punctuated
+    /// watermarking).
+    pub watermark_every: usize,
+    /// Optional pacing in events/second *per instance*; `None` = as fast
+    /// as backpressure allows (how sustainable throughput is probed).
+    pub rate: Option<f64>,
+    /// Bounded out-of-orderness: watermarks assert `max seen ts − lag`,
+    /// tolerating arrivals up to `lag` behind the newest event (Flink's
+    /// bounded-out-of-orderness strategy). Zero for in-order producers.
+    pub watermark_lag: crate::time::Duration,
+}
+
+impl SourceConfig {
+    pub fn new(events: Vec<Event>) -> Self {
+        SourceConfig {
+            events: Arc::new(events),
+            watermark_every: 256,
+            rate: None,
+            watermark_lag: crate::time::Duration::ZERO,
+        }
+    }
+
+    pub fn with_rate(mut self, events_per_sec: f64) -> Self {
+        self.rate = Some(events_per_sec);
+        self
+    }
+
+    pub fn with_watermark_every(mut self, n: usize) -> Self {
+        self.watermark_every = n.max(1);
+        self
+    }
+
+    /// Tolerate arrivals up to `lag` behind the newest seen timestamp.
+    pub fn with_watermark_lag(mut self, lag: crate::time::Duration) -> Self {
+        assert!(lag.millis() >= 0, "lag must be non-negative");
+        self.watermark_lag = lag;
+        self
+    }
+}
+
+pub(crate) enum NodeKind {
+    Source {
+        cfg: SourceConfig,
+        /// Operators fused into the source task by chaining.
+        chain: Vec<OperatorFactory>,
+    },
+    Operator(OperatorFactory),
+    Sink(SinkId),
+}
+
+pub(crate) struct Node {
+    pub name: String,
+    pub parallelism: usize,
+    pub kind: NodeKind,
+}
+
+pub(crate) struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Logical input port on `dst` (0 = left/only, 1 = right, …).
+    pub port: usize,
+    pub exchange: Exchange,
+}
+
+/// Builder for dataflow graphs.
+#[derive(Default)]
+pub struct GraphBuilder {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) sink_count: usize,
+    pub(crate) sink_modes: Vec<SinkMode>,
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a source over a pre-generated, ts-sorted event vector.
+    pub fn source(&mut self, name: impl Into<String>, events: Vec<Event>, parallelism: usize) -> NodeId {
+        self.source_with(name, SourceConfig::new(events), parallelism)
+    }
+
+    /// Add a source with explicit configuration.
+    pub fn source_with(
+        &mut self,
+        name: impl Into<String>,
+        cfg: SourceConfig,
+        parallelism: usize,
+    ) -> NodeId {
+        assert!(parallelism > 0);
+        self.push(Node {
+            name: name.into(),
+            parallelism,
+            kind: NodeKind::Source { cfg, chain: Vec::new() },
+        })
+    }
+
+    /// Add a single-input operator.
+    pub fn unary(
+        &mut self,
+        input: NodeId,
+        exchange: Exchange,
+        parallelism: usize,
+        factory: OperatorFactory,
+    ) -> NodeId {
+        self.nary(&[(input, exchange)], parallelism, factory)
+    }
+
+    /// Add a two-input operator (port 0 = left, port 1 = right).
+    pub fn binary(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        exchange: Exchange,
+        parallelism: usize,
+        factory: OperatorFactory,
+    ) -> NodeId {
+        self.nary(&[(left, exchange), (right, exchange)], parallelism, factory)
+    }
+
+    /// Add an operator with any number of inputs; the i-th entry feeds
+    /// logical port i.
+    pub fn nary(
+        &mut self,
+        inputs: &[(NodeId, Exchange)],
+        parallelism: usize,
+        factory: OperatorFactory,
+    ) -> NodeId {
+        assert!(parallelism > 0);
+        assert!(!inputs.is_empty(), "operator needs at least one input");
+        let name = format!("op{}", self.nodes.len());
+        let id = self.push(Node {
+            name,
+            parallelism,
+            kind: NodeKind::Operator(factory),
+        });
+        for (port, (src, exchange)) in inputs.iter().enumerate() {
+            assert!(src.0 < id.0, "inputs must already exist (acyclic graph)");
+            self.edges.push(Edge { src: *src, dst: id, port, exchange: *exchange });
+        }
+        id
+    }
+
+    /// Add a collecting sink (always parallelism 1 so output order metrics
+    /// and latency sampling live in one place).
+    pub fn sink(&mut self, input: NodeId, exchange: Exchange) -> SinkId {
+        self.sink_with_mode(input, exchange, SinkMode::Collect)
+    }
+
+    /// Add a count-only sink for benchmark runs with huge match volumes.
+    pub fn counting_sink(&mut self, input: NodeId, exchange: Exchange) -> SinkId {
+        self.sink_with_mode(input, exchange, SinkMode::CountOnly)
+    }
+
+    /// Add a sink with an explicit retention mode.
+    pub fn sink_with_mode(&mut self, input: NodeId, exchange: Exchange, mode: SinkMode) -> SinkId {
+        let sid = SinkId(self.sink_count);
+        self.sink_count += 1;
+        self.sink_modes.push(mode);
+        let id = self.push(Node {
+            name: format!("sink{}", sid.0),
+            parallelism: 1,
+            kind: NodeKind::Sink(sid),
+        });
+        self.edges.push(Edge { src: input, dst: id, port: 0, exchange });
+        sid
+    }
+
+    /// Name the most recently added node (for plans and metrics).
+    pub fn name_last(&mut self, name: impl Into<String>) {
+        if let Some(n) = self.nodes.last_mut() {
+            n.name = name.into();
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Append another graph's nodes and edges to this one (multi-job
+    /// composition with shared executor slots). Returns the re-mapped
+    /// [`SinkId`]s of `other`'s sinks, in their original order.
+    pub fn splice(&mut self, other: GraphBuilder) -> Vec<SinkId> {
+        let node_offset = self.nodes.len();
+        let sink_offset = self.sink_count;
+        let mut mapped = vec![SinkId(usize::MAX); other.sink_count];
+        for mut node in other.nodes {
+            if let NodeKind::Sink(sid) = &mut node.kind {
+                let new = SinkId(sink_offset + sid.0);
+                mapped[sid.0] = new;
+                *sid = new;
+            }
+            self.nodes.push(node);
+        }
+        for e in other.edges {
+            self.edges.push(Edge {
+                src: NodeId(e.src.0 + node_offset),
+                dst: NodeId(e.dst.0 + node_offset),
+                port: e.port,
+                exchange: e.exchange,
+            });
+        }
+        self.sink_count += other.sink_count;
+        self.sink_modes.extend(other.sink_modes);
+        debug_assert!(mapped.iter().all(|s| s.0 != usize::MAX));
+        mapped
+    }
+
+    /// Per-port upstream parallelism of a node, in port order.
+    pub(crate) fn input_channels(&self, node: NodeId) -> Vec<(usize, usize)> {
+        let mut ports: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|e| e.dst == node)
+            .map(|e| (e.port, self.nodes[e.src.0].parallelism))
+            .collect();
+        ports.sort_unstable();
+        ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventType;
+    use crate::operator::FilterOp;
+    use crate::time::Timestamp;
+
+    fn some_events(n: i64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(EventType(0), 0, Timestamp::from_minutes(i), i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids_and_ports() {
+        let mut g = GraphBuilder::new();
+        let a = g.source("a", some_events(3), 1);
+        let b = g.source("b", some_events(3), 2);
+        let j = g.binary(
+            a,
+            b,
+            Exchange::Hash,
+            2,
+            Box::new(|_| Box::new(FilterOp::new("f", crate::operator::always_true()))),
+        );
+        let _s = g.sink(j, Exchange::Forward);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.input_channels(j), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn forward_references_are_rejected() {
+        let mut g = GraphBuilder::new();
+        let a = g.source("a", some_events(1), 1);
+        // Fabricate a dangling id beyond the current node count.
+        let bogus = NodeId(5);
+        let _ = g.binary(
+            a,
+            bogus,
+            Exchange::Forward,
+            1,
+            Box::new(|_| Box::new(FilterOp::new("f", crate::operator::always_true()))),
+        );
+    }
+
+    #[test]
+    fn source_config_defaults() {
+        let cfg = SourceConfig::new(some_events(2));
+        assert_eq!(cfg.watermark_every, 256);
+        assert!(cfg.rate.is_none());
+        let cfg = cfg.with_rate(1000.0).with_watermark_every(0);
+        assert_eq!(cfg.rate, Some(1000.0));
+        assert_eq!(cfg.watermark_every, 1, "clamped to at least 1");
+    }
+}

@@ -1,0 +1,308 @@
+//! Windowed aggregation — optimization O2 (paper Section 4.3.2).
+//!
+//! The iteration operator `ITER_m` (and its Kleene+ extension) can be
+//! approximated by a per-window count: if the number `n` of relevant events
+//! in the window satisfies `n ≥ m`, the pattern holds under
+//! skip-till-any-match. The aggregate emits *one tuple per non-empty
+//! window* (windows without events never trigger — hence no Kleene*
+//! support), carrying the aggregate in [`crate::tuple::Tuple::agg`] and a
+//! representative event so the output keeps the input schema.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::OpError;
+use crate::operator::{Collector, Operator};
+use crate::time::{Duration, Timestamp};
+use crate::tuple::{Key, Tuple};
+use crate::window::{SlidingWindows, WindowId};
+
+/// Built-in aggregate functions over the first constituent's `value`
+/// attribute (plus `Count`, which ignores values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFn {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Avg => "avg",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+        }
+    }
+}
+
+/// Incremental accumulator — aggregation state is O(1) per (window, key),
+/// which is why O2 is the lightest-weight ITER mapping.
+#[derive(Debug, Clone)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: Tuple,
+}
+
+impl Acc {
+    fn new(first: &Tuple) -> Self {
+        let v = first.events[0].value;
+        Acc { count: 1, sum: v, min: v, max: v, last: first.clone() }
+    }
+
+    fn add(&mut self, t: &Tuple) {
+        let v = t.events[0].value;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if t.ts >= self.last.ts {
+            self.last = t.clone();
+        } else {
+            self.last.wall = self.last.wall.max(t.wall);
+        }
+    }
+
+    fn result(&self, f: AggFn) -> f64 {
+        match f {
+            AggFn::Count => self.count as f64,
+            AggFn::Sum => self.sum,
+            AggFn::Avg => self.sum / self.count as f64,
+            AggFn::Min => self.min,
+            AggFn::Max => self.max,
+        }
+    }
+}
+
+/// Sliding/tumbling window aggregate with an optional post-filter on the
+/// aggregate value (e.g. `count ≥ m` for the ITER mapping).
+pub struct WindowAggregateOp {
+    name: String,
+    windows: SlidingWindows,
+    f: AggFn,
+    /// Emit only windows whose aggregate passes this threshold check.
+    emit_if: Option<fn(f64, f64) -> bool>,
+    threshold: f64,
+    panes: BTreeMap<WindowId, HashMap<Key, Acc>>,
+    state_bytes: usize,
+    emitted: u64,
+}
+
+impl WindowAggregateOp {
+    pub fn new(name: impl Into<String>, windows: SlidingWindows, f: AggFn) -> Self {
+        WindowAggregateOp {
+            name: name.into(),
+            windows,
+            f,
+            emit_if: None,
+            threshold: 0.0,
+            panes: BTreeMap::new(),
+            state_bytes: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The ITER_m / Kleene+ mapping: emit a window iff `count ≥ m`.
+    pub fn count_at_least(name: impl Into<String>, windows: SlidingWindows, m: u64) -> Self {
+        let mut op = WindowAggregateOp::new(name, windows, AggFn::Count);
+        op.emit_if = Some(|agg, thr| agg >= thr);
+        op.threshold = m as f64;
+        op
+    }
+
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    const ACC_COST: usize = std::mem::size_of::<Acc>() + std::mem::size_of::<Tuple>();
+
+    fn fire(&mut self, upto: Timestamp, out: &mut dyn Collector) {
+        while let Some((&wid, _)) = self.panes.first_key_value() {
+            if wid.end > upto {
+                break;
+            }
+            let pane = self.panes.remove(&wid).expect("pane exists");
+            self.state_bytes = self
+                .state_bytes
+                .saturating_sub(pane.len() * Self::ACC_COST);
+            for (key, acc) in pane {
+                let agg = acc.result(self.f);
+                if let Some(pred) = self.emit_if {
+                    if !pred(agg, self.threshold) {
+                        continue;
+                    }
+                }
+                let mut t = acc.last.clone();
+                t.key = key;
+                // Flink convention: window result timestamp = window max ts.
+                t.ts = wid.end - Duration(1);
+                t.agg = Some(agg);
+                self.emitted += 1;
+                out.emit(t);
+            }
+        }
+    }
+}
+
+impl Operator for WindowAggregateOp {
+    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        for wid in self.windows.assign(tuple.ts) {
+            let pane = self.panes.entry(wid).or_default();
+            match pane.get_mut(&tuple.key) {
+                Some(acc) => acc.add(&tuple),
+                None => {
+                    pane.insert(tuple.key, Acc::new(&tuple));
+                    self.state_bytes += Self::ACC_COST;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
+        -> Result<Timestamp, OpError> {
+        self.fire(wm, out);
+        Ok(wm)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testutil::tup;
+    use crate::operator::VecCollector;
+
+    fn run(op: &mut WindowAggregateOp, feed: Vec<Tuple>) -> Vec<Tuple> {
+        let mut col = VecCollector::default();
+        for t in feed {
+            let wm = t.ts;
+            op.process(0, t, &mut col).unwrap();
+            op.on_watermark(wm, &mut col).unwrap();
+        }
+        op.on_finish(&mut col).unwrap();
+        col.out
+    }
+
+    #[test]
+    fn count_per_tumbling_window() {
+        let mut op = WindowAggregateOp::new(
+            "γcount",
+            SlidingWindows::tumbling(Duration::from_minutes(5)),
+            AggFn::Count,
+        );
+        let out = run(
+            &mut op,
+            vec![tup(0, 0, 1, 1.0), tup(0, 0, 2, 1.0), tup(0, 0, 7, 1.0)],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].agg, Some(2.0));
+        assert_eq!(out[1].agg, Some(1.0));
+    }
+
+    #[test]
+    fn empty_windows_never_trigger() {
+        // Kleene* is unsupported because an empty window emits nothing.
+        let mut op = WindowAggregateOp::new(
+            "γcount",
+            SlidingWindows::tumbling(Duration::from_minutes(5)),
+            AggFn::Count,
+        );
+        let out = run(&mut op, vec![tup(0, 0, 1, 1.0), tup(0, 0, 22, 1.0)]);
+        // Windows [5,10), [10,15), [15,20) are empty → only 2 outputs.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn count_at_least_models_iter_m() {
+        let mut op = WindowAggregateOp::count_at_least(
+            "γcount≥3",
+            SlidingWindows::tumbling(Duration::from_minutes(10)),
+            3,
+        );
+        let out = run(
+            &mut op,
+            vec![
+                tup(0, 0, 1, 1.0),
+                tup(0, 0, 2, 1.0),
+                tup(0, 0, 3, 1.0), // window [0,10): 3 events → emit
+                tup(0, 0, 11, 1.0),
+                tup(0, 0, 12, 1.0), // window [10,20): 2 events → suppressed
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].agg, Some(3.0));
+        assert_eq!(out[0].ts, Timestamp::from_minutes(10) - Duration(1));
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        for (f, want) in [
+            (AggFn::Sum, 9.0),
+            (AggFn::Avg, 3.0),
+            (AggFn::Min, 2.0),
+            (AggFn::Max, 4.0),
+        ] {
+            let mut op = WindowAggregateOp::new(
+                f.name(),
+                SlidingWindows::tumbling(Duration::from_minutes(10)),
+                f,
+            );
+            let out = run(
+                &mut op,
+                vec![tup(0, 0, 1, 2.0), tup(0, 0, 2, 3.0), tup(0, 0, 3, 4.0)],
+            );
+            assert_eq!(out.len(), 1, "{}", f.name());
+            assert_eq!(out[0].agg, Some(want), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn keyed_aggregation_is_per_key() {
+        let mut op = WindowAggregateOp::new(
+            "γcount",
+            SlidingWindows::tumbling(Duration::from_minutes(10)),
+            AggFn::Count,
+        );
+        let out = run(
+            &mut op,
+            vec![tup(0, 1, 1, 1.0), tup(0, 2, 2, 1.0), tup(0, 1, 3, 1.0)],
+        );
+        assert_eq!(out.len(), 2);
+        let mut by_key: Vec<_> = out.iter().map(|t| (t.key, t.agg.unwrap())).collect();
+        by_key.sort_by_key(|(k, _)| *k);
+        assert_eq!(by_key, vec![(1, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn state_is_constant_per_window_key() {
+        // O(1) accumulator: 1000 events in one window cost the same state
+        // as 1 event.
+        let mut op = WindowAggregateOp::new(
+            "γcount",
+            SlidingWindows::tumbling(Duration::from_minutes(1000)),
+            AggFn::Count,
+        );
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 0, 1, 1.0), &mut col).unwrap();
+        let one = op.state_bytes();
+        for m in 2..100 {
+            op.process(0, tup(0, 0, m, 1.0), &mut col).unwrap();
+        }
+        assert_eq!(op.state_bytes(), one);
+    }
+}

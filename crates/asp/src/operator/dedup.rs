@@ -1,0 +1,153 @@
+//! Event-time bounded duplicate elimination.
+//!
+//! Overlapping sliding windows emit each join result once per shared pane
+//! (W/s copies). For *intermediate* joins of a decomposed pattern those
+//! copies are pure re-computation: all carry identical constituents and an
+//! identical working timestamp, so downstream operators treat them
+//! identically. This operator drops them, keeping the per-stage duplicate
+//! factor from compounding multiplicatively across a join chain.
+//!
+//! Duplicates are identified by [`crate::tuple::Tuple::match_key`] (the
+//! ordered constituent list) and forgotten once the watermark passes their
+//! working timestamp by the horizon (they can no longer recur, since a
+//! sliding join only duplicates within the window overlap).
+
+use std::collections::HashMap;
+
+use crate::error::OpError;
+use crate::operator::{Collector, Operator};
+use crate::time::{Duration, Timestamp};
+use crate::tuple::{MatchKey, Tuple};
+
+/// Emits each distinct tuple (by match key) once per horizon.
+pub struct DedupOp {
+    name: String,
+    horizon: Duration,
+    seen: HashMap<MatchKey, Timestamp>,
+    state_bytes: usize,
+    dropped: u64,
+}
+
+impl DedupOp {
+    pub fn new(name: impl Into<String>, horizon: Duration) -> Self {
+        assert!(horizon.millis() >= 0, "horizon must be non-negative");
+        DedupOp {
+            name: name.into(),
+            horizon,
+            seen: HashMap::new(),
+            state_bytes: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn entry_cost(key: &MatchKey) -> usize {
+        std::mem::size_of::<(MatchKey, Timestamp)>()
+            + key.0.capacity() * std::mem::size_of::<crate::event::Event>()
+    }
+}
+
+impl Operator for DedupOp {
+    fn process(&mut self, _input: usize, tuple: Tuple, out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        let key = tuple.match_key();
+        match self.seen.get_mut(&key) {
+            Some(last) => {
+                *last = (*last).max(tuple.ts);
+                self.dropped += 1;
+            }
+            None => {
+                self.state_bytes += Self::entry_cost(&key);
+                self.seen.insert(key, tuple.ts);
+                out.emit(tuple);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
+        -> Result<Timestamp, OpError> {
+        let _ = out;
+        let horizon = self.horizon;
+        let cutoff = wm.saturating_sub(horizon);
+        let mut freed = 0;
+        self.seen.retain(|k, ts| {
+            let keep = *ts > cutoff;
+            if !keep {
+                freed += Self::entry_cost(k);
+            }
+            keep
+        });
+        self.state_bytes = self.state_bytes.saturating_sub(freed);
+        Ok(wm)
+    }
+
+    fn on_finish(&mut self, _out: &mut dyn Collector) -> Result<(), OpError> {
+        self.seen.clear();
+        self.state_bytes = 0;
+        Ok(())
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testutil::tup;
+    use crate::operator::VecCollector;
+
+    #[test]
+    fn drops_duplicates_within_horizon() {
+        let mut op = DedupOp::new("δ", Duration::from_minutes(15));
+        let mut col = VecCollector::default();
+        let t = tup(0, 1, 5, 1.0);
+        op.process(0, t.clone(), &mut col).unwrap();
+        op.process(0, t.clone(), &mut col).unwrap();
+        op.process(0, t, &mut col).unwrap();
+        assert_eq!(col.out.len(), 1);
+        assert_eq!(op.dropped(), 2);
+    }
+
+    #[test]
+    fn distinct_tuples_pass() {
+        let mut op = DedupOp::new("δ", Duration::from_minutes(15));
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 1, 5, 1.0), &mut col).unwrap();
+        op.process(0, tup(0, 1, 5, 2.0), &mut col).unwrap();
+        op.process(0, tup(0, 2, 5, 1.0), &mut col).unwrap();
+        assert_eq!(col.out.len(), 3);
+    }
+
+    #[test]
+    fn watermark_expires_memory() {
+        let mut op = DedupOp::new("δ", Duration::from_minutes(2));
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 1, 5, 1.0), &mut col).unwrap();
+        assert!(op.state_bytes() > 0);
+        op.on_watermark(Timestamp::from_minutes(8), &mut col).unwrap();
+        assert_eq!(op.state_bytes(), 0);
+        // After expiry the same tuple passes again (horizon semantics).
+        op.process(0, tup(0, 1, 5, 1.0), &mut col).unwrap();
+        assert_eq!(col.out.len(), 2);
+    }
+
+    #[test]
+    fn finish_clears_state() {
+        let mut op = DedupOp::new("δ", Duration::from_minutes(2));
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 1, 5, 1.0), &mut col).unwrap();
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(op.state_bytes(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Selection σ_θ (paper Section 2, operator 1): forward a tuple iff the
+//! user-defined predicate set holds; stateless.
+
+use crate::error::OpError;
+use crate::operator::{Collector, Operator, UnaryPredicate};
+use crate::tuple::Tuple;
+
+/// The ASP `filter` operator.
+pub struct FilterOp {
+    name: String,
+    predicate: UnaryPredicate,
+    passed: u64,
+    dropped: u64,
+}
+
+impl FilterOp {
+    pub fn new(name: impl Into<String>, predicate: UnaryPredicate) -> Self {
+        FilterOp {
+            name: name.into(),
+            predicate,
+            passed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// `(passed, dropped)` counters, useful for selectivity calibration.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.passed, self.dropped)
+    }
+}
+
+impl Operator for FilterOp {
+    fn process(&mut self, _input: usize, tuple: Tuple, out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        if (self.predicate)(&tuple) {
+            self.passed += 1;
+            out.emit(tuple);
+        } else {
+            self.dropped += 1;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testutil::{drive, tup};
+    use std::sync::Arc;
+
+    #[test]
+    fn forwards_only_matching_tuples() {
+        let mut op = FilterOp::new(
+            "σ(value>10)",
+            Arc::new(|t: &Tuple| t.events[0].value > 10.0),
+        );
+        let out = drive(
+            &mut op,
+            vec![(0, tup(0, 1, 0, 5.0)), (0, tup(0, 1, 1, 15.0)), (0, tup(0, 1, 2, 10.0))],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].events[0].value, 15.0);
+        assert_eq!(op.counts(), (1, 2));
+    }
+
+    #[test]
+    fn is_stateless() {
+        let op = FilterOp::new("σ", crate::operator::always_true());
+        assert_eq!(op.state_bytes(), 0);
+    }
+}

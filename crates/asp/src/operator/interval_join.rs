@@ -1,0 +1,356 @@
+//! Interval join — optimization O1 (paper Section 4.3.1).
+//!
+//! Instead of apriori sliding windows, each left event `e1` defines a
+//! content-based window `(e1.ts + lower, e1.ts + upper)` and joins with
+//! every right event whose timestamp falls inside it (bounds are
+//! *exclusive*, matching the paper's `e2.ts ∈ (e1.ts+lb, e1.ts+ub)`:
+//! the sequence uses `(0, W)` so that `e1.ts < e2.ts < e1.ts + W`; the
+//! conjunction uses `(-W, +W)`). Every qualifying pair is produced exactly
+//! once — at the arrival of its later element — so the interval join is
+//! duplicate-free, needs no slide-size parameter, and creates windows only
+//! where `T1` events actually occur.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::OpError;
+use crate::operator::{Collector, JoinPredicate, Operator};
+use crate::time::{Duration, Timestamp};
+use crate::tuple::{Key, TsRule, Tuple};
+
+/// The relative time window a left event opens over the right stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalBounds {
+    /// Lower bound, exclusive: `e2.ts > e1.ts + lower`.
+    pub lower: Duration,
+    /// Upper bound, exclusive: `e2.ts < e1.ts + upper`.
+    pub upper: Duration,
+}
+
+impl IntervalBounds {
+    /// The widest distance between a newly arrived event and the buffered
+    /// partner it can pair with — how far behind the input watermark an
+    /// emitted composite's min-timestamp can lie.
+    pub fn span(&self) -> Duration {
+        Duration(self.upper.millis().max(-self.lower.millis()).max(0))
+    }
+
+    /// Sequence / iteration / negated-sequence bounds `(0, W)`.
+    pub fn seq(w: Duration) -> Self {
+        IntervalBounds { lower: Duration::ZERO, upper: w }
+    }
+
+    /// Conjunction bounds `(-W, +W)`.
+    pub fn conjunction(w: Duration) -> Self {
+        IntervalBounds { lower: w.neg(), upper: w }
+    }
+
+    #[inline]
+    fn contains(&self, left_ts: Timestamp, right_ts: Timestamp) -> bool {
+        // Saturating: timestamps near the i64 extremes must not overflow.
+        right_ts > left_ts.saturating_add(self.lower)
+            && right_ts < left_ts.saturating_add(self.upper)
+    }
+}
+
+/// Buffered side: per key, tuples ordered by `(ts, arrival)` so range scans
+/// are logarithmic + output-linear.
+#[derive(Default)]
+struct Side {
+    by_key: HashMap<Key, BTreeMap<(Timestamp, u64), Tuple>>,
+    bytes: usize,
+}
+
+impl Side {
+    fn insert(&mut self, seq: u64, t: Tuple) {
+        self.bytes += t.mem_bytes();
+        self.by_key.entry(t.key).or_default().insert((t.ts, seq), t);
+    }
+
+    /// Evict everything with `ts < cutoff`.
+    fn evict_before(&mut self, cutoff: Timestamp) {
+        for buf in self.by_key.values_mut() {
+            while let Some((&(ts, seq), _)) = buf.first_key_value() {
+                if ts >= cutoff {
+                    break;
+                }
+                let removed = buf.remove(&(ts, seq)).expect("entry exists");
+                self.bytes = self.bytes.saturating_sub(removed.mem_bytes());
+            }
+        }
+        self.by_key.retain(|_, buf| !buf.is_empty());
+    }
+}
+
+/// The two-input interval join operator.
+pub struct IntervalJoinOp {
+    name: String,
+    bounds: IntervalBounds,
+    theta: JoinPredicate,
+    ts_rule: TsRule,
+    left: Side,
+    right: Side,
+    seq: u64,
+    memory_limit: Option<usize>,
+    emitted: u64,
+}
+
+impl IntervalJoinOp {
+    pub fn new(
+        name: impl Into<String>,
+        bounds: IntervalBounds,
+        theta: JoinPredicate,
+        ts_rule: TsRule,
+    ) -> Self {
+        IntervalJoinOp {
+            name: name.into(),
+            bounds,
+            theta,
+            ts_rule,
+            left: Side::default(),
+            right: Side::default(),
+            seq: 0,
+            memory_limit: None,
+            emitted: 0,
+        }
+    }
+
+    /// Install a state budget (bytes).
+    pub fn with_memory_limit(mut self, bytes: usize) -> Self {
+        self.memory_limit = Some(bytes);
+        self
+    }
+
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn check_limit(&self) -> Result<(), OpError> {
+        if let Some(limit) = self.memory_limit {
+            let used = self.left.bytes + self.right.bytes;
+            if used > limit {
+                return Err(OpError::MemoryExhausted {
+                    operator: self.name.clone(),
+                    state_bytes: used,
+                    limit_bytes: limit,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for IntervalJoinOp {
+    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        self.seq += 1;
+        if input == 0 {
+            // New left e1: probe buffered rights with ts ∈ (e1.ts+lb, e1.ts+ub).
+            if let Some(buf) = self.right.by_key.get(&tuple.key) {
+                let lo = (tuple.ts + self.bounds.lower, u64::MAX);
+                for ((rts, _), r) in buf.range(lo..) {
+                    if *rts >= tuple.ts + self.bounds.upper {
+                        break;
+                    }
+                    if self.bounds.contains(tuple.ts, *rts) && (self.theta)(&tuple, r) {
+                        self.emitted += 1;
+                        out.emit(tuple.join(r, self.ts_rule));
+                    }
+                }
+            }
+            self.left.insert(self.seq, tuple);
+        } else {
+            // New right e2: probe buffered lefts with e2.ts ∈ (l.ts+lb, l.ts+ub),
+            // i.e. l.ts ∈ (e2.ts - ub, e2.ts - lb).
+            if let Some(buf) = self.left.by_key.get(&tuple.key) {
+                let lo = (tuple.ts - self.bounds.upper, u64::MAX);
+                for ((lts, _), l) in buf.range(lo..) {
+                    if *lts >= tuple.ts - self.bounds.lower {
+                        break;
+                    }
+                    if self.bounds.contains(*lts, tuple.ts) && (self.theta)(l, &tuple) {
+                        self.emitted += 1;
+                        out.emit(l.join(&tuple, self.ts_rule));
+                    }
+                }
+            }
+            self.right.insert(self.seq, tuple);
+        }
+        self.check_limit()
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
+        -> Result<Timestamp, OpError> {
+        let _ = out;
+        // A left l is dead once no future right (ts ≥ wm) can satisfy
+        // r.ts < l.ts + upper  ⇔  l.ts ≤ wm - upper.
+        self.left
+            .evict_before(wm.saturating_sub(self.bounds.upper).saturating_add(Duration(1)));
+        // A right r is dead once no future left (ts ≥ wm) can satisfy
+        // r.ts > l.ts + lower  ⇔  r.ts ≤ wm + lower.
+        self.right
+            .evict_before(wm.saturating_add(self.bounds.lower).saturating_add(Duration(1)));
+        // Watermark contract: a future arrival at ts ≥ wm may pair with a
+        // buffered partner up to `span` older, and the composite can carry
+        // that older timestamp — hold the forwarded watermark back.
+        Ok(wm.saturating_sub(self.bounds.span()).saturating_add(Duration(1)))
+    }
+
+    fn on_finish(&mut self, _out: &mut dyn Collector) -> Result<(), OpError> {
+        // Emission is eager; nothing pends at end of stream.
+        self.left.evict_before(Timestamp::MAX);
+        self.right.evict_before(Timestamp::MAX);
+        Ok(())
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.left.bytes + self.right.bytes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testutil::tup;
+    use crate::operator::{cross_join, VecCollector};
+
+    fn run(op: &mut IntervalJoinOp, feed: Vec<(usize, Tuple)>) -> Vec<Tuple> {
+        let mut col = VecCollector::default();
+        let mut wm = Timestamp::MIN;
+        for (port, t) in feed {
+            wm = wm.max(t.ts);
+            op.process(port, t, &mut col).unwrap();
+            op.on_watermark(wm, &mut col).unwrap();
+        }
+        op.on_finish(&mut col).unwrap();
+        col.out
+    }
+
+    #[test]
+    fn seq_bounds_are_strict() {
+        let w = Duration::from_minutes(4);
+        let b = IntervalBounds::seq(w);
+        let t0 = Timestamp::from_minutes(10);
+        assert!(!b.contains(t0, t0), "equal ts excluded (strict order)");
+        assert!(b.contains(t0, t0 + Duration(1)));
+        assert!(b.contains(t0, t0 + Duration(4 * 60_000 - 1)));
+        assert!(!b.contains(t0, t0 + w), "exactly W apart excluded");
+    }
+
+    #[test]
+    fn conjunction_bounds_are_symmetric() {
+        let b = IntervalBounds::conjunction(Duration::from_minutes(4));
+        let t0 = Timestamp::from_minutes(10);
+        assert!(b.contains(t0, t0), "|diff|=0 < W included");
+        assert!(b.contains(t0, t0 - Duration::from_minutes(3)));
+        assert!(b.contains(t0, t0 + Duration::from_minutes(3)));
+        assert!(!b.contains(t0, t0 - Duration::from_minutes(4)));
+        assert!(!b.contains(t0, t0 + Duration::from_minutes(4)));
+    }
+
+    #[test]
+    fn emits_each_pair_exactly_once() {
+        // Unlike the sliding-window join, no duplicates regardless of W/s.
+        let mut op = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::seq(Duration::from_minutes(15)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let out = run(
+            &mut op,
+            vec![(0, tup(0, 0, 1, 1.0)), (1, tup(1, 0, 2, 2.0)), (1, tup(1, 0, 3, 3.0))],
+        );
+        assert_eq!(out.len(), 2);
+        let mut keys: Vec<_> = out.iter().map(|t| t.match_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 2, "all matches distinct");
+    }
+
+    #[test]
+    fn out_of_order_across_ports_still_joins() {
+        // Right arrives before left: the pair is found on left arrival.
+        let mut op = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::conjunction(Duration::from_minutes(10)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let mut col = VecCollector::default();
+        op.process(1, tup(1, 0, 5, 2.0), &mut col).unwrap();
+        op.process(0, tup(0, 0, 3, 1.0), &mut col).unwrap();
+        assert_eq!(col.out.len(), 1);
+    }
+
+    #[test]
+    fn keyed_join_respects_partitions() {
+        let mut op = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::seq(Duration::from_minutes(15)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let out = run(
+            &mut op,
+            vec![(0, tup(0, 1, 1, 1.0)), (0, tup(0, 2, 1, 1.5)), (1, tup(1, 1, 2, 2.0))],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].events[0].id, 1);
+    }
+
+    #[test]
+    fn watermark_evicts_expired_state() {
+        let w = Duration::from_minutes(4);
+        let mut op = IntervalJoinOp::new("i⋈", IntervalBounds::seq(w), cross_join(), TsRule::Max);
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 0, 1, 1.0), &mut col).unwrap();
+        op.process(1, tup(1, 0, 2, 2.0), &mut col).unwrap();
+        assert!(op.state_bytes() > 0);
+        // wm = 10min: left@1 dead (1+4 ≤ 10); right@2 dead (2 ≤ 10+0).
+        op.on_watermark(Timestamp::from_minutes(10), &mut col).unwrap();
+        assert_eq!(op.state_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_never_loses_matches() {
+        // Feed in ts order with per-tuple watermarks; every in-range pair
+        // must still be found despite aggressive eviction.
+        let w = Duration::from_minutes(3);
+        let mut op = IntervalJoinOp::new("i⋈", IntervalBounds::seq(w), cross_join(), TsRule::Max);
+        let mut feed = Vec::new();
+        for m in 0..20 {
+            feed.push((0usize, tup(0, 0, m, m as f64)));
+            feed.push((1usize, tup(1, 0, m, m as f64)));
+        }
+        let out = run(&mut op, feed);
+        // Expected pairs: (l@i, r@j) with i < j < i+3 → j ∈ {i+1, i+2}.
+        let expected: usize = (0..20)
+            .map(|i| ((i + 1)..20.min(i + 3)).count())
+            .sum();
+        assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn memory_limit_enforced() {
+        let mut op = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::seq(Duration::from_minutes(100)),
+            cross_join(),
+            TsRule::Max,
+        )
+        .with_memory_limit(256);
+        let mut col = VecCollector::default();
+        let mut failed = false;
+        for m in 0..50 {
+            if op.process(0, tup(0, 0, m, 1.0), &mut col).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+    }
+}

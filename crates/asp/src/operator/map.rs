@@ -1,0 +1,123 @@
+//! Projection Π_m (paper Section 2, operator 2): transform schema and
+//! attribute values per a mapping expression; stateless.
+//!
+//! The mapping uses `map` in three roles: schema transformation for union
+//! compatibility (disjunction), key assignment for the Cartesian-product
+//! workaround and for O3 equi-join partitioning (Section 4.2.1), and
+//! timestamp redefinition after each window join of a nested pattern
+//! (Section 4.2.2).
+
+use std::sync::Arc;
+
+use crate::error::OpError;
+use crate::operator::{Collector, MapFn, Operator};
+use crate::tuple::{Key, Tuple};
+
+/// The ASP `map` operator.
+pub struct MapOp {
+    name: String,
+    f: MapFn,
+}
+
+impl MapOp {
+    pub fn new(name: impl Into<String>, f: MapFn) -> Self {
+        MapOp { name: name.into(), f }
+    }
+
+    /// A map that assigns the same key to every tuple — the paper's
+    /// workaround for missing Cartesian-product support: a uniform key
+    /// forces all tuples into one partition (no parallelization potential,
+    /// Section 4.3.3).
+    pub fn uniform_key(name: impl Into<String>, key: Key) -> Self {
+        MapOp::new(
+            name,
+            Arc::new(move |mut t: Tuple| {
+                t.key = key;
+                t
+            }),
+        )
+    }
+
+    /// A map that keys each tuple by its first constituent's sensor id —
+    /// the O3 equi-join partitioning.
+    pub fn key_by_id(name: impl Into<String>) -> Self {
+        MapOp::new(
+            name,
+            Arc::new(|mut t: Tuple| {
+                t.key = t.events[0].id as Key;
+                t
+            }),
+        )
+    }
+
+    /// A map that redefines the working timestamp to the max constituent
+    /// timestamp (complete-match rule of Section 4.2.2).
+    pub fn ts_to_max(name: impl Into<String>) -> Self {
+        MapOp::new(
+            name,
+            Arc::new(|mut t: Tuple| {
+                t.ts = t.ts_end();
+                t
+            }),
+        )
+    }
+
+    /// A map that redefines the working timestamp to the min constituent
+    /// timestamp (partial-match rule of Section 4.2.2).
+    pub fn ts_to_min(name: impl Into<String>) -> Self {
+        MapOp::new(
+            name,
+            Arc::new(|mut t: Tuple| {
+                t.ts = t.ts_begin();
+                t
+            }),
+        )
+    }
+}
+
+impl Operator for MapOp {
+    fn process(&mut self, _input: usize, tuple: Tuple, out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        out.emit((self.f)(tuple));
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testutil::{drive, tup};
+    use crate::time::Timestamp;
+    use crate::tuple::TsRule;
+
+    #[test]
+    fn uniform_key_overrides_partitioning() {
+        let mut op = MapOp::uniform_key("key0", 0);
+        let out = drive(&mut op, vec![(0, tup(0, 7, 1, 1.0)), (0, tup(0, 9, 2, 2.0))]);
+        assert!(out.iter().all(|t| t.key == 0));
+    }
+
+    #[test]
+    fn key_by_id_restores_sensor_partitioning() {
+        let mut op = MapOp::key_by_id("keyById");
+        let mut t = tup(0, 42, 1, 1.0);
+        t.key = 999;
+        let out = drive(&mut op, vec![(0, t)]);
+        assert_eq!(out[0].key, 42);
+    }
+
+    #[test]
+    fn ts_redefinition_rules() {
+        let a = tup(0, 1, 2, 1.0);
+        let b = tup(1, 1, 8, 2.0);
+        let joined = a.join(&b, TsRule::Left); // ts = 2min
+        let out = drive(&mut MapOp::ts_to_max("max"), vec![(0, joined.clone())]);
+        assert_eq!(out[0].ts, Timestamp::from_minutes(8));
+        let out = drive(&mut MapOp::ts_to_min("min"), vec![(0, joined)]);
+        assert_eq!(out[0].ts, Timestamp::from_minutes(2));
+    }
+}

@@ -1,0 +1,150 @@
+//! The dataflow operator abstraction and the built-in operator library.
+//!
+//! Operators are single-threaded state machines driven by the runtime
+//! harness: tuples arrive via [`Operator::process`], event time advances via
+//! [`Operator::on_watermark`] (the harness has already merged watermarks
+//! across input channels, so operators see one monotone clock), and
+//! [`Operator::on_finish`] flushes remaining state at end of stream.
+//!
+//! Stateful operators report their buffered footprint through
+//! [`Operator::state_bytes`]; the runtime samples it for the resource-usage
+//! experiments (paper Figure 5) and enforces optional per-operator memory
+//! budgets (the FlinkCEP failure mode of Section 5.2.3).
+
+mod aggregate;
+mod dedup;
+mod filter;
+mod interval_join;
+mod map;
+mod next_occurrence;
+mod union;
+mod window_join;
+mod window_udf;
+
+pub use aggregate::{AggFn, WindowAggregateOp};
+pub use dedup::DedupOp;
+pub use filter::FilterOp;
+pub use interval_join::{IntervalBounds, IntervalJoinOp};
+pub use map::MapOp;
+pub use next_occurrence::NextOccurrenceOp;
+pub use union::UnionOp;
+pub use window_join::WindowJoinOp;
+pub use window_udf::WindowUdfOp;
+
+use std::sync::Arc;
+
+use crate::error::OpError;
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+
+/// Receives an operator's output tuples; the runtime implementation routes
+/// them to downstream channels.
+pub trait Collector {
+    fn emit(&mut self, tuple: Tuple);
+}
+
+/// A `Collector` backed by a plain vector, for unit tests and direct
+/// (single-threaded) plan evaluation.
+#[derive(Debug, Default)]
+pub struct VecCollector {
+    pub out: Vec<Tuple>,
+}
+
+impl Collector for VecCollector {
+    fn emit(&mut self, tuple: Tuple) {
+        self.out.push(tuple);
+    }
+}
+
+/// A dataflow operator instance.
+///
+/// `input` identifies the logical input port (0 for unary operators; binary
+/// joins use 0 = left / 1 = right). Implementations must be `Send` so the
+/// runtime can move each instance onto its worker thread.
+pub trait Operator: Send {
+    /// Process one tuple from input port `input`.
+    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
+        -> Result<(), OpError>;
+
+    /// Event time advanced to `wm`: fire windows, evict state, emit results.
+    /// All tuples with `ts < wm` on every port have been delivered.
+    ///
+    /// Returns the watermark to forward downstream. Operators that retain
+    /// tuples past the watermark (e.g. the NSEQ next-occurrence rewrite,
+    /// which holds each trigger event for up to `W`) must hold the forwarded
+    /// watermark back accordingly so their late emissions are not late for
+    /// downstream windows; everything else returns `wm` unchanged.
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
+        -> Result<Timestamp, OpError> {
+        let _ = out;
+        Ok(wm)
+    }
+
+    /// All inputs are exhausted; flush any remaining state.
+    fn on_finish(&mut self, out: &mut dyn Collector) -> Result<(), OpError> {
+        // Default: a final watermark at +inf fires everything.
+        self.on_watermark(Timestamp::MAX, out).map(|_| ())
+    }
+
+    /// Current buffered state footprint in bytes (0 for stateless ops).
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Human-readable operator name for plans, metrics, and errors.
+    fn name(&self) -> &str;
+}
+
+/// Shared, clonable predicate over a single tuple (σ in the paper).
+pub type UnaryPredicate = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
+
+/// Shared, clonable predicate over a candidate join pair (θ in the paper).
+pub type JoinPredicate = Arc<dyn Fn(&Tuple, &Tuple) -> bool + Send + Sync>;
+
+/// Shared, clonable tuple transformation (Π / map in the paper).
+pub type MapFn = Arc<dyn Fn(Tuple) -> Tuple + Send + Sync>;
+
+/// Shared window UDF: receives the full (ts-sorted) window content and may
+/// emit any number of output tuples.
+pub type WindowFn = Arc<dyn Fn(&crate::window::WindowId, &mut Vec<Tuple>, &mut dyn Collector)
+        + Send
+        + Sync>;
+
+/// Convenience: a predicate that accepts everything.
+pub fn always_true() -> UnaryPredicate {
+    Arc::new(|_| true)
+}
+
+/// Convenience: a join predicate that accepts every pair (cross join).
+pub fn cross_join() -> JoinPredicate {
+    Arc::new(|_, _| true)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::event::{Event, EventType};
+
+    /// Build a primitive tuple: type `t`, sensor `id`, minute `m`, value `v`.
+    pub fn tup(t: u16, id: u32, m: i64, v: f64) -> Tuple {
+        Tuple::from_event(Event::new(
+            EventType(t),
+            id,
+            Timestamp::from_minutes(m),
+            v,
+        ))
+    }
+
+    /// Drive an operator over a ts-ordered single-input stream and return
+    /// everything it emits (watermark after every tuple + final flush).
+    pub fn drive(op: &mut dyn Operator, inputs: Vec<(usize, Tuple)>) -> Vec<Tuple> {
+        let mut col = VecCollector::default();
+        for (port, t) in inputs {
+            let wm = t.ts;
+            op.process(port, t, &mut col).expect("process");
+            op.on_watermark(wm, &mut col).expect("watermark");
+        }
+        op.on_finish(&mut col).expect("finish");
+        col.out
+    }
+}

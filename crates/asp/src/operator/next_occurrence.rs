@@ -1,0 +1,258 @@
+//! The NSEQ rewrite's UDF (paper Section 4.1, negated-sequence discussion).
+//!
+//! Input is the union of the trigger stream `T1` and the negated stream
+//! `T2`. For each trigger event `e1 ∈ T1` the operator finds the *next*
+//! occurrence of an `e2 ∈ T2` strictly after `e1` within the pattern window
+//! `W` and annotates `e1` with `ats = e2.ts`; if no such `e2` exists,
+//! `ats = e1.ts + W` ("no negation until the window closes"). Downstream,
+//! `SEQ(T1', T3)` adds the selection `σ_{ats ≥ e3.ts}`, which guarantees no
+//! `e2 ∈ T2` occurred in the *open* interval `(e1.ts, e3.ts)` of
+//! Equation 14. (The paper writes `σ_{ats > e3.ts}`; `≥` is the exact
+//! rewrite of the open interval when `e2.ts = e3.ts` ties are possible.)
+//!
+//! Unlike the retrospective NFA evaluation, nothing is re-examined after
+//! emission: each trigger is held exactly `W`, annotated once, and
+//! released. Because events are retained past the watermark, the operator
+//! holds the forwarded watermark back by `W`.
+
+use std::collections::BTreeMap;
+
+use crate::error::OpError;
+use crate::operator::{Collector, Operator, UnaryPredicate};
+use crate::time::{Duration, Timestamp};
+use crate::tuple::Tuple;
+
+/// Annotates trigger tuples with the timestamp of the next marker tuple.
+pub struct NextOccurrenceOp {
+    name: String,
+    /// Selects trigger (`T1`) tuples from the unioned input.
+    is_trigger: UnaryPredicate,
+    /// Selects marker (`T2`, negated) tuples from the unioned input.
+    is_marker: UnaryPredicate,
+    w: Duration,
+    /// Pending triggers keyed by `(ts, arrival seq)`.
+    pending: BTreeMap<(Timestamp, u64), Tuple>,
+    /// Marker timestamps, ordered; arrival seq disambiguates duplicates.
+    markers: BTreeMap<(Timestamp, u64), ()>,
+    seq: u64,
+    state_bytes: usize,
+}
+
+impl NextOccurrenceOp {
+    pub fn new(
+        name: impl Into<String>,
+        is_trigger: UnaryPredicate,
+        is_marker: UnaryPredicate,
+        w: Duration,
+    ) -> Self {
+        assert!(w.millis() > 0, "window must be positive");
+        NextOccurrenceOp {
+            name: name.into(),
+            is_trigger,
+            is_marker,
+            w,
+            pending: BTreeMap::new(),
+            markers: BTreeMap::new(),
+            seq: 0,
+            state_bytes: 0,
+        }
+    }
+
+    /// Release every trigger whose annotation is final, i.e. all markers up
+    /// to `e1.ts + W` are known: `wm ≥ e1.ts + W`.
+    fn release(&mut self, wm: Timestamp, out: &mut dyn Collector) {
+        while let Some((&(ts, seq), _)) = self.pending.first_key_value() {
+            if wm < ts.saturating_add(self.w) {
+                break;
+            }
+            let mut trigger = self.pending.remove(&(ts, seq)).expect("entry exists");
+            self.state_bytes = self.state_bytes.saturating_sub(trigger.mem_bytes());
+            // Next marker strictly after ts, within (ts, ts + W).
+            let next = self
+                .markers
+                .range((ts, u64::MAX)..)
+                .map(|(&(mts, _), _)| mts)
+                .next();
+            trigger.ats = Some(match next {
+                Some(mts) if mts < ts.saturating_add(self.w) => mts,
+                _ => ts.saturating_add(self.w),
+            });
+            out.emit(trigger);
+        }
+        // A marker at mts serves triggers with ts < mts and ts + W > mts;
+        // pending & future triggers have ts > wm - W, so markers with
+        // mts ≤ wm - W are dead.
+        let cutoff = wm.saturating_sub(self.w);
+        while let Some((&(mts, mseq), _)) = self.markers.first_key_value() {
+            if mts > cutoff {
+                break;
+            }
+            self.markers.remove(&(mts, mseq));
+            self.state_bytes = self.state_bytes.saturating_sub(MARKER_COST);
+        }
+    }
+}
+
+const MARKER_COST: usize = std::mem::size_of::<(Timestamp, u64)>() + 16;
+
+impl Operator for NextOccurrenceOp {
+    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        self.seq += 1;
+        if (self.is_marker)(&tuple) {
+            self.markers.insert((tuple.ts, self.seq), ());
+            self.state_bytes += MARKER_COST;
+        }
+        if (self.is_trigger)(&tuple) {
+            self.state_bytes += tuple.mem_bytes();
+            self.pending.insert((tuple.ts, self.seq), tuple);
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
+        -> Result<Timestamp, OpError> {
+        self.release(wm, out);
+        // Held-back watermark: emitted triggers have ts ≤ wm - W.
+        Ok(wm.saturating_sub(self.w))
+    }
+
+    fn on_finish(&mut self, out: &mut dyn Collector) -> Result<(), OpError> {
+        self.release(Timestamp::MAX, out);
+        Ok(())
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventType;
+    use crate::operator::testutil::tup;
+    use crate::operator::VecCollector;
+    use std::sync::Arc;
+
+    fn is_type(t: u16) -> UnaryPredicate {
+        Arc::new(move |tp: &Tuple| tp.events[0].etype == EventType(t))
+    }
+
+    fn run(feed: Vec<Tuple>, w_min: i64) -> Vec<Tuple> {
+        let mut op = NextOccurrenceOp::new(
+            "nextOcc",
+            is_type(0),
+            is_type(1),
+            Duration::from_minutes(w_min),
+        );
+        let mut col = VecCollector::default();
+        for t in feed {
+            let wm = t.ts;
+            op.process(0, t, &mut col).unwrap();
+            op.on_watermark(wm, &mut col).unwrap();
+        }
+        op.on_finish(&mut col).unwrap();
+        col.out
+    }
+
+    #[test]
+    fn annotates_with_next_marker_ts() {
+        let out = run(
+            vec![tup(0, 0, 1, 1.0), tup(1, 0, 3, 2.0), tup(0, 0, 4, 3.0)],
+            10,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ats, Some(Timestamp::from_minutes(3)), "marker@3 follows trigger@1");
+        assert_eq!(
+            out[1].ats,
+            Some(Timestamp::from_minutes(14)),
+            "no marker after trigger@4 → ats = ts + W"
+        );
+    }
+
+    #[test]
+    fn marker_at_same_ts_does_not_count() {
+        // Strictly-after semantics: e2.ts must exceed e1.ts.
+        let out = run(vec![tup(1, 0, 5, 9.0), tup(0, 0, 5, 1.0)], 10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ats, Some(Timestamp::from_minutes(15)));
+    }
+
+    #[test]
+    fn marker_outside_window_is_ignored() {
+        let out = run(vec![tup(0, 0, 1, 1.0), tup(1, 0, 20, 2.0)], 10);
+        assert_eq!(out[0].ats, Some(Timestamp::from_minutes(11)));
+    }
+
+    #[test]
+    fn triggers_release_in_ts_order() {
+        let out = run(
+            vec![tup(0, 0, 1, 1.0), tup(0, 0, 2, 2.0), tup(0, 0, 3, 3.0)],
+            5,
+        );
+        let ts: Vec<_> = out.iter().map(|t| t.ts.millis() / 60_000).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn watermark_is_held_back_by_w() {
+        let mut op = NextOccurrenceOp::new(
+            "nextOcc",
+            is_type(0),
+            is_type(1),
+            Duration::from_minutes(10),
+        );
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 0, 1, 1.0), &mut col).unwrap();
+        let fwd = op.on_watermark(Timestamp::from_minutes(30), &mut col).unwrap();
+        assert_eq!(fwd, Timestamp::from_minutes(20));
+        // The emitted trigger (ts=1min) is not late w.r.t. any previously
+        // forwarded watermark (none exceeded 1min before its emission).
+        assert_eq!(col.out.len(), 1);
+    }
+
+    #[test]
+    fn state_is_bounded_by_window() {
+        let mut op = NextOccurrenceOp::new(
+            "nextOcc",
+            is_type(0),
+            is_type(1),
+            Duration::from_minutes(5),
+        );
+        let mut col = VecCollector::default();
+        for m in 0..100 {
+            op.process(0, tup(0, 0, m, 1.0), &mut col).unwrap();
+            op.process(0, tup(1, 0, m, 1.0), &mut col).unwrap();
+            op.on_watermark(Timestamp::from_minutes(m), &mut col).unwrap();
+        }
+        // At most W+1 minutes of triggers + markers retained.
+        let peak = op.state_bytes();
+        let per_minute = MARKER_COST + tup(0, 0, 0, 1.0).mem_bytes();
+        assert!(
+            peak <= 7 * per_minute,
+            "state {peak}B exceeds ~6 minutes of retention ({})",
+            7 * per_minute
+        );
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(col.out.len(), 100, "every trigger released exactly once");
+        assert_eq!(op.state_bytes(), 0);
+    }
+
+    #[test]
+    fn picks_first_of_multiple_markers() {
+        let out = run(
+            vec![
+                tup(0, 0, 1, 1.0),
+                tup(1, 0, 4, 2.0),
+                tup(1, 0, 6, 3.0),
+            ],
+            10,
+        );
+        assert_eq!(out[0].ats, Some(Timestamp::from_minutes(4)));
+    }
+}

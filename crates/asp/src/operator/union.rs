@@ -1,0 +1,73 @@
+//! Set union ∪ (the disjunction mapping, paper Section 4.1): merge any
+//! number of input ports into one output stream. Requires union-compatible
+//! schemas, which our common `(id, lat, lon, ts, value)` schema guarantees
+//! by construction; heterogeneous sources go through a preceding `map`.
+//!
+//! Watermark alignment across ports is handled by the runtime harness (the
+//! operator sees the merged minimum), so the operator itself is a stateless
+//! pass-through — which is exactly why `OR` is the cheapest SEA operator
+//! under the mapping.
+
+use crate::error::OpError;
+use crate::operator::{Collector, Operator};
+use crate::tuple::Tuple;
+
+/// N-ary stream union.
+pub struct UnionOp {
+    name: String,
+    per_port: Vec<u64>,
+}
+
+impl UnionOp {
+    pub fn new(name: impl Into<String>, ports: usize) -> Self {
+        UnionOp {
+            name: name.into(),
+            per_port: vec![0; ports.max(1)],
+        }
+    }
+
+    /// Tuples seen per input port.
+    pub fn port_counts(&self) -> &[u64] {
+        &self.per_port
+    }
+}
+
+impl Operator for UnionOp {
+    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        if let Some(c) = self.per_port.get_mut(input) {
+            *c += 1;
+        }
+        out.emit(tuple);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testutil::{drive, tup};
+
+    #[test]
+    fn merges_all_ports() {
+        let mut op = UnionOp::new("∪", 3);
+        let out = drive(
+            &mut op,
+            vec![(0, tup(0, 1, 0, 1.0)), (1, tup(1, 1, 1, 2.0)), (2, tup(2, 1, 2, 3.0)), (0, tup(0, 1, 3, 4.0))],
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(op.port_counts(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn preserves_tuples_verbatim() {
+        let mut op = UnionOp::new("∪", 2);
+        let t = tup(5, 9, 7, 3.25);
+        let out = drive(&mut op, vec![(1, t.clone())]);
+        assert_eq!(out, vec![t]);
+    }
+}

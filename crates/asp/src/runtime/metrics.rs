@@ -1,0 +1,151 @@
+//! Run statistics: node counters, resource sampling, latency summaries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Aggregated counters for one graph node across its instances.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    pub name: String,
+    pub parallelism: usize,
+    pub records_in: u64,
+    pub records_out: u64,
+    /// Tuples dropped for arriving behind the watermark (late data).
+    pub late_dropped: u64,
+    /// Sum of per-instance peak state footprints.
+    pub peak_state_bytes: usize,
+}
+
+/// One resource observation (the Figure 5 time series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceSample {
+    /// Milliseconds since run start.
+    pub elapsed_ms: u64,
+    /// Total buffered operator state across all instances.
+    pub state_bytes: usize,
+    /// Process CPU utilization in percent of one core-second per second,
+    /// normalized by available cores (0–100).
+    pub cpu_pct: f64,
+}
+
+/// Detection latency summary at a sink.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    pub samples: usize,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarize raw nanosecond observations.
+    pub fn from_ns(obs: &[u64]) -> Self {
+        if obs.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted: Vec<u64> = obs.to_vec();
+        sorted.sort_unstable();
+        let ns_to_ms = 1e-6;
+        let pct = |p: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx] as f64 * ns_to_ms
+        };
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        LatencyStats {
+            samples: sorted.len(),
+            mean_ms: (sum as f64 / sorted.len() as f64) * ns_to_ms,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_ms: *sorted.last().unwrap() as f64 * ns_to_ms,
+        }
+    }
+}
+
+/// Read `(utime + stime)` of this process in clock ticks from
+/// `/proc/self/stat`; returns `None` off Linux or on parse failure.
+fn process_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; skip past the closing paren.
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // After the paren: field 3 is state, so utime = index 11, stime = 12.
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Background sampling loop run by the executor.
+pub(crate) fn sample_loop(
+    interval: StdDuration,
+    stats: Vec<Arc<super::InstanceStats>>,
+    done: Arc<AtomicBool>,
+) -> Vec<ResourceSample> {
+    let start = Instant::now();
+    let ticks_per_sec = 100.0; // Linux default (USER_HZ)
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as f64;
+    let mut samples = Vec::new();
+    let mut last_ticks = process_cpu_ticks();
+    let mut last_t = Instant::now();
+    while !done.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        let state_bytes: usize = stats
+            .iter()
+            .map(|s| s.state_bytes.load(Ordering::Relaxed))
+            .sum();
+        let now = Instant::now();
+        let cpu_pct = match (process_cpu_ticks(), last_ticks) {
+            (Some(cur), Some(prev)) => {
+                let dt = now.duration_since(last_t).as_secs_f64().max(1e-9);
+                let used = (cur.saturating_sub(prev)) as f64 / ticks_per_sec;
+                last_ticks = Some(cur);
+                (used / dt / ncpu * 100.0).min(100.0)
+            }
+            (cur, _) => {
+                last_ticks = cur;
+                0.0
+            }
+        };
+        last_t = now;
+        samples.push(ResourceSample {
+            elapsed_ms: start.elapsed().as_millis() as u64,
+            state_bytes,
+            cpu_pct,
+        });
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_from_empty_is_zero() {
+        let s = LatencyStats::from_ns(&[]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let obs: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect(); // 1..1000 ms
+        let s = LatencyStats::from_ns(&obs);
+        assert_eq!(s.samples, 1000);
+        assert!((s.p50_ms - 500.0).abs() < 2.0, "p50 ≈ 500ms, got {}", s.p50_ms);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+        assert!((s.max_ms - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_ticks_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(process_cpu_ticks().is_some());
+        }
+    }
+}

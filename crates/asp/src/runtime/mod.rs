@@ -1,0 +1,885 @@
+//! The threaded dataflow runtime.
+//!
+//! Every graph node becomes `parallelism` *instances* ("task slots"), each
+//! running on its own OS thread; every edge becomes one bounded channel per
+//! destination instance. Bounded channels give genuine backpressure: when a
+//! stateful operator cannot keep up, its senders block, the stall cascades
+//! to the sources, and measured throughput is the *maximum sustainable
+//! throughput* in the sense of Karimov et al. — the paper's primary metric.
+//!
+//! ## Watermark protocol
+//!
+//! Sources emit punctuated watermarks (their streams are in ts order).
+//! Each instance harness tracks the last watermark per (input port,
+//! upstream channel) and advances its operator's event-time clock to the
+//! minimum across all channels — so operators downstream of a union or a
+//! join see one monotone clock regardless of thread interleaving, which is
+//! what makes results run-to-run deterministic (modulo output order).
+//! Operator emissions triggered by a watermark are sent *before* the
+//! watermark itself is forwarded, preserving the "no late data" invariant
+//! down the pipeline.
+
+mod chain;
+mod metrics;
+
+pub use chain::{chain_factories, ChainedOperator};
+pub use metrics::{LatencyStats, NodeStats, ResourceSample};
+pub use crate::graph::SinkMode;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::error::{OpError, PipelineError};
+use crate::graph::{Exchange, GraphBuilder, NodeId, NodeKind, SinkId, SourceConfig};
+use crate::operator::{Collector, Operator};
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Per-inbox channel capacity (backpressure buffer).
+    pub channel_capacity: usize,
+    /// If set, sample aggregate operator state + process CPU at this
+    /// interval (drives the Figure 5 resource series).
+    pub sample_interval: Option<StdDuration>,
+    /// Keep only every `latency_stride`-th latency observation.
+    pub latency_stride: usize,
+    /// Fuse linear non-repartitioning stretches of the graph into single
+    /// tasks (Flink-style operator chaining). On by default; disable to
+    /// measure the unfused pipeline.
+    pub operator_chaining: bool,
+    /// Drop tuples that arrive behind the merged watermark (late data).
+    /// With correctly configured source watermark lag nothing is ever
+    /// late; this is the Flink-style safety net that keeps event-time
+    /// operators from observing time regressions. Dropped tuples are
+    /// counted in [`NodeStats::late_dropped`].
+    pub drop_late: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            channel_capacity: 1024,
+            sample_interval: None,
+            latency_stride: 16,
+            operator_chaining: true,
+            drop_late: true,
+        }
+    }
+}
+
+enum Message {
+    Tuple(Tuple),
+    Watermark(Timestamp),
+    End,
+}
+
+struct Envelope {
+    port: u16,
+    chan: u16,
+    msg: Message,
+}
+
+/// Deterministic key → instance mapping shared by every hash exchange
+/// (co-partitioning guarantee).
+#[inline]
+pub fn key_partition(key: u64, parallelism: usize) -> usize {
+    if parallelism <= 1 {
+        return 0;
+    }
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 17) % parallelism as u64) as usize
+}
+
+/// One outgoing edge of one instance.
+struct Route {
+    exchange: Exchange,
+    port: u16,
+    chan: u16,
+    senders: Vec<Sender<Envelope>>,
+    rr: usize,
+}
+
+impl Route {
+    fn send(
+        &self,
+        idx: usize,
+        msg: Message,
+        abort: &AtomicBool,
+    ) -> Result<(), ()> {
+        let mut env = Envelope { port: self.port, chan: self.chan, msg };
+        loop {
+            match self.senders[idx].send_timeout(env, StdDuration::from_millis(20)) {
+                Ok(()) => return Ok(()),
+                Err(crossbeam::channel::SendTimeoutError::Timeout(e)) => {
+                    if abort.load(Ordering::Relaxed) {
+                        return Err(());
+                    }
+                    env = e;
+                }
+                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return Err(()),
+            }
+        }
+    }
+
+    fn send_tuple(&mut self, self_instance: usize, t: Tuple, abort: &AtomicBool) -> Result<(), ()> {
+        let idx = match self.exchange {
+            Exchange::Forward => self_instance % self.senders.len(),
+            Exchange::Hash => key_partition(t.key, self.senders.len()),
+            Exchange::Rebalance => {
+                self.rr = (self.rr + 1) % self.senders.len();
+                self.rr
+            }
+        };
+        self.send(idx, Message::Tuple(t), abort)
+    }
+
+    fn broadcast(&self, msg_of: impl Fn() -> Message, abort: &AtomicBool) -> Result<(), ()> {
+        for idx in 0..self.senders.len() {
+            self.send(idx, msg_of(), abort)?;
+        }
+        Ok(())
+    }
+}
+
+/// Routes an operator's emissions to all outgoing edges.
+struct ChannelCollector {
+    routes: Vec<Route>,
+    self_instance: usize,
+    abort: Arc<AtomicBool>,
+    out_count: u64,
+    failed: bool,
+}
+
+impl ChannelCollector {
+    fn broadcast_watermark(&mut self, wm: Timestamp) {
+        for r in &self.routes {
+            if r.broadcast(|| Message::Watermark(wm), &self.abort).is_err() {
+                self.failed = true;
+            }
+        }
+    }
+
+    fn broadcast_end(&mut self) {
+        for r in &self.routes {
+            if r.broadcast(|| Message::End, &self.abort).is_err() {
+                self.failed = true;
+            }
+        }
+    }
+}
+
+impl Collector for ChannelCollector {
+    fn emit(&mut self, tuple: Tuple) {
+        self.out_count += 1;
+        let n = self.routes.len();
+        if n == 0 {
+            return;
+        }
+        // Clone for all but the last route.
+        for i in 0..n - 1 {
+            let t = tuple.clone();
+            let (inst, abort) = (self.self_instance, self.abort.clone());
+            if self.routes[i].send_tuple(inst, t, &abort).is_err() {
+                self.failed = true;
+            }
+        }
+        let (inst, abort) = (self.self_instance, self.abort.clone());
+        if self.routes[n - 1].send_tuple(inst, tuple, &abort).is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+/// Per-instance shared counters the report aggregates.
+struct InstanceStats {
+    records_in: AtomicU64,
+    records_out: AtomicU64,
+    late_dropped: AtomicU64,
+    state_bytes: AtomicUsize,
+    peak_state: AtomicUsize,
+}
+
+impl InstanceStats {
+    fn new() -> Arc<Self> {
+        Arc::new(InstanceStats {
+            records_in: AtomicU64::new(0),
+            records_out: AtomicU64::new(0),
+            late_dropped: AtomicU64::new(0),
+            state_bytes: AtomicUsize::new(0),
+            peak_state: AtomicUsize::new(0),
+        })
+    }
+
+    fn set_state(&self, bytes: usize) {
+        self.state_bytes.store(bytes, Ordering::Relaxed);
+        self.peak_state.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+struct SinkShared {
+    mode: SinkMode,
+    tuples: Mutex<Vec<Tuple>>,
+    count: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+    stride: usize,
+}
+
+/// Collected results of one pipeline run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock duration of the whole run.
+    pub duration: StdDuration,
+    /// Total events emitted by all sources.
+    pub source_events: u64,
+    /// Per-node statistics in graph order.
+    pub nodes: Vec<NodeStats>,
+    /// Resource samples (if sampling was enabled).
+    pub samples: Vec<ResourceSample>,
+    sinks: Vec<SinkResult>,
+}
+
+#[derive(Debug)]
+struct SinkResult {
+    tuples: Vec<Tuple>,
+    count: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl RunReport {
+    /// Tuples collected by a sink (empty in [`SinkMode::CountOnly`]).
+    pub fn sink(&self, id: SinkId) -> &[Tuple] {
+        &self.sinks[id.0].tuples
+    }
+
+    /// Move a sink's tuples out of the report.
+    pub fn take_sink(&mut self, id: SinkId) -> Vec<Tuple> {
+        std::mem::take(&mut self.sinks[id.0].tuples)
+    }
+
+    /// Number of tuples that reached the sink (works in both modes).
+    pub fn sink_count(&self, id: SinkId) -> u64 {
+        self.sinks[id.0].count
+    }
+
+    /// Source-side throughput in events/second — the sustainable-throughput
+    /// metric (sources are backpressured by the pipeline).
+    pub fn throughput(&self) -> f64 {
+        self.source_events as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// Detection latency statistics at a sink.
+    pub fn latency(&self, id: SinkId) -> LatencyStats {
+        LatencyStats::from_ns(&self.sinks[id.0].latencies_ns)
+    }
+
+    /// Peak total operator state across the run (max over samples, or max
+    /// of per-node peaks when sampling is off).
+    pub fn peak_state_bytes(&self) -> usize {
+        let from_samples = self.samples.iter().map(|s| s.state_bytes).max().unwrap_or(0);
+        let from_nodes: usize = self.nodes.iter().map(|n| n.peak_state_bytes).sum();
+        from_samples.max(from_nodes)
+    }
+}
+
+/// Executes a [`GraphBuilder`] graph to completion.
+pub struct Executor {
+    cfg: ExecutorConfig,
+}
+
+impl Executor {
+    pub fn new(cfg: ExecutorConfig) -> Self {
+        Executor { cfg }
+    }
+
+    /// Run the graph to end-of-stream and aggregate a [`RunReport`].
+    pub fn run(&self, graph: GraphBuilder) -> Result<RunReport, PipelineError> {
+        self.validate(&graph)?;
+        let graph = if self.cfg.operator_chaining {
+            chain::fuse_chains(graph)
+        } else {
+            graph
+        };
+        let n_nodes = graph.nodes.len();
+        let abort = Arc::new(AtomicBool::new(false));
+        let first_error: Arc<Mutex<Option<PipelineError>>> = Arc::new(Mutex::new(None));
+        let epoch = Instant::now();
+
+        // Inboxes: one bounded channel per instance.
+        let mut inbox_tx: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(n_nodes);
+        let mut inbox_rx: Vec<Vec<Option<Receiver<Envelope>>>> = Vec::with_capacity(n_nodes);
+        for node in &graph.nodes {
+            let mut txs = Vec::with_capacity(node.parallelism);
+            let mut rxs = Vec::with_capacity(node.parallelism);
+            for _ in 0..node.parallelism {
+                let (tx, rx) = bounded(self.cfg.channel_capacity);
+                txs.push(tx);
+                rxs.push(Some(rx));
+            }
+            inbox_tx.push(txs);
+            inbox_rx.push(rxs);
+        }
+
+        // Routes: per node, the template of its outgoing edges.
+        // route_templates[n] = Vec<(dst, port, exchange)>.
+        let mut route_templates: Vec<Vec<(NodeId, usize, Exchange)>> = vec![Vec::new(); n_nodes];
+        for e in &graph.edges {
+            route_templates[e.src.0].push((e.dst, e.port, e.exchange));
+        }
+
+        // Input channel layout per node: (port, upstream parallelism).
+        let input_layout: Vec<Vec<(usize, usize)>> =
+            (0..n_nodes).map(|i| graph.input_channels(NodeId(i))).collect();
+
+        // Shared stats + sinks.
+        let stats: Vec<Vec<Arc<InstanceStats>>> = graph
+            .nodes
+            .iter()
+            .map(|n| (0..n.parallelism).map(|_| InstanceStats::new()).collect())
+            .collect();
+        let mut sink_shared: Vec<Arc<SinkShared>> = Vec::new();
+        for node in &graph.nodes {
+            if let NodeKind::Sink(sid) = node.kind {
+                sink_shared.push(Arc::new(SinkShared {
+                    mode: graph.sink_modes[sid.0],
+                    tuples: Mutex::new(Vec::new()),
+                    count: AtomicU64::new(0),
+                    latencies_ns: Mutex::new(Vec::new()),
+                    stride: self.cfg.latency_stride.max(1),
+                }));
+            }
+        }
+
+        let source_events = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+
+        // Sampler thread.
+        let sampler_handle = self.cfg.sample_interval.map(|interval| {
+            let flat_stats: Vec<Arc<InstanceStats>> =
+                stats.iter().flatten().cloned().collect();
+            let done = done.clone();
+            std::thread::spawn(move || metrics::sample_loop(interval, flat_stats, done))
+        });
+
+        let mut handles = Vec::new();
+        let mut graph = graph;
+        for (nid, node) in graph.nodes.iter_mut().enumerate() {
+            let parallelism = node.parallelism;
+            for instance in 0..parallelism {
+                // Build this instance's routes.
+                let routes: Vec<Route> = route_templates[nid]
+                    .iter()
+                    .map(|(dst, port, exchange)| Route {
+                        exchange: *exchange,
+                        port: *port as u16,
+                        chan: instance as u16,
+                        senders: inbox_tx[dst.0].clone(),
+                        rr: instance,
+                    })
+                    .collect();
+                let collector = ChannelCollector {
+                    routes,
+                    self_instance: instance,
+                    abort: abort.clone(),
+                    out_count: 0,
+                    failed: false,
+                };
+                let istats = stats[nid][instance].clone();
+                let abort = abort.clone();
+                let first_error = first_error.clone();
+                let name = node.name.clone();
+
+                let handle = match &mut node.kind {
+                    NodeKind::Source { cfg, chain } => {
+                        let cfg = cfg.clone();
+                        let chained: Option<Box<dyn Operator>> = if chain.is_empty() {
+                            None
+                        } else {
+                            Some(Box::new(chain::ChainedOperator::new(
+                                chain.iter().map(|f| f(instance)).collect(),
+                            )))
+                        };
+                        let counter = source_events.clone();
+                        let first_error = first_error.clone();
+                        std::thread::Builder::new()
+                            .name(format!("{name}#{instance}"))
+                            .spawn(move || {
+                                run_source(
+                                    cfg, chained, instance, parallelism, collector, counter,
+                                    istats, abort, first_error, epoch,
+                                )
+                            })
+                            .expect("spawn source")
+                    }
+                    NodeKind::Operator(factory) => {
+                        let op = factory(instance);
+                        let rx = inbox_rx[nid][instance].take().expect("rx unused");
+                        let layout = input_layout[nid].clone();
+                        let drop_late = self.cfg.drop_late;
+                        std::thread::Builder::new()
+                            .name(format!("{name}#{instance}"))
+                            .spawn(move || {
+                                run_operator(
+                                    op, rx, layout, collector, istats, abort, first_error,
+                                    drop_late,
+                                )
+                            })
+                            .expect("spawn operator")
+                    }
+                    NodeKind::Sink(sid) => {
+                        let shared = sink_shared[sid.0].clone();
+                        let rx = inbox_rx[nid][instance].take().expect("rx unused");
+                        let layout = input_layout[nid].clone();
+                        std::thread::Builder::new()
+                            .name(format!("{name}#{instance}"))
+                            .spawn(move || run_sink(shared, rx, layout, istats, abort, epoch))
+                            .expect("spawn sink")
+                    }
+                };
+                handles.push(handle);
+            }
+        }
+
+        // Drop our copies of the senders so disconnects propagate.
+        drop(inbox_tx);
+
+        let mut panic_msg = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                abort.store(true, Ordering::Relaxed);
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                panic_msg.get_or_insert(msg);
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+        let samples = sampler_handle
+            .map(|h| h.join().unwrap_or_default())
+            .unwrap_or_default();
+        let duration = epoch.elapsed();
+
+        if let Some(err) = first_error.lock().take() {
+            return Err(err);
+        }
+        if let Some(msg) = panic_msg {
+            return Err(PipelineError::WorkerPanic(msg));
+        }
+
+        // Aggregate per-node stats.
+        let nodes = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(nid, node)| NodeStats {
+                name: node.name.clone(),
+                parallelism: node.parallelism,
+                records_in: stats[nid]
+                    .iter()
+                    .map(|s| s.records_in.load(Ordering::Relaxed))
+                    .sum(),
+                records_out: stats[nid]
+                    .iter()
+                    .map(|s| s.records_out.load(Ordering::Relaxed))
+                    .sum(),
+                late_dropped: stats[nid]
+                    .iter()
+                    .map(|s| s.late_dropped.load(Ordering::Relaxed))
+                    .sum(),
+                peak_state_bytes: stats[nid]
+                    .iter()
+                    .map(|s| s.peak_state.load(Ordering::Relaxed))
+                    .sum(),
+            })
+            .collect();
+
+        let sinks = sink_shared
+            .into_iter()
+            .map(|s| {
+                let count = s.count.load(Ordering::Relaxed);
+                let s = Arc::try_unwrap(s).unwrap_or_else(|_| panic!("sink still shared"));
+                SinkResult {
+                    tuples: s.tuples.into_inner(),
+                    count,
+                    latencies_ns: s.latencies_ns.into_inner(),
+                }
+            })
+            .collect();
+
+        Ok(RunReport {
+            duration,
+            source_events: source_events.load(Ordering::Relaxed),
+            nodes,
+            samples,
+            sinks,
+        })
+    }
+
+    fn validate(&self, graph: &GraphBuilder) -> Result<(), PipelineError> {
+        if graph.nodes.is_empty() {
+            return Err(PipelineError::InvalidGraph("empty graph".into()));
+        }
+        if graph.sink_count == 0 {
+            return Err(PipelineError::InvalidGraph("graph has no sink".into()));
+        }
+        for e in &graph.edges {
+            if e.exchange == Exchange::Forward
+                && graph.nodes[e.src.0].parallelism != graph.nodes[e.dst.0].parallelism
+            {
+                return Err(PipelineError::InvalidGraph(format!(
+                    "Forward edge {} → {} with unequal parallelism {} vs {}",
+                    graph.nodes[e.src.0].name,
+                    graph.nodes[e.dst.0].name,
+                    graph.nodes[e.src.0].parallelism,
+                    graph.nodes[e.dst.0].parallelism
+                )));
+            }
+        }
+        // Every non-source node must have contiguous input ports 0..k.
+        for (i, node) in graph.nodes.iter().enumerate() {
+            let ports = graph.input_channels(NodeId(i));
+            match node.kind {
+                NodeKind::Source { .. } => {
+                    if !ports.is_empty() {
+                        return Err(PipelineError::InvalidGraph(format!(
+                            "source {} has inputs",
+                            node.name
+                        )));
+                    }
+                }
+                _ => {
+                    if ports.is_empty() {
+                        return Err(PipelineError::InvalidGraph(format!(
+                            "node {} has no inputs",
+                            node.name
+                        )));
+                    }
+                    for (want, (port, _)) in ports.iter().enumerate() {
+                        if *port != want {
+                            return Err(PipelineError::InvalidGraph(format!(
+                                "node {} input ports are not contiguous",
+                                node.name
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_source(
+    cfg: SourceConfig,
+    mut chained: Option<Box<dyn Operator>>,
+    instance: usize,
+    parallelism: usize,
+    mut collector: ChannelCollector,
+    counter: Arc<AtomicU64>,
+    istats: Arc<InstanceStats>,
+    abort: Arc<AtomicBool>,
+    first_error: Arc<Mutex<Option<PipelineError>>>,
+    epoch: Instant,
+) {
+    let mut last_ts = Timestamp::MIN;
+    let mut forwarded_wm = Timestamp::MIN;
+    let mut emitted: u64 = 0;
+    let lag = cfg.watermark_lag;
+    let pace = cfg.rate.map(|r| StdDuration::from_secs_f64(1.0 / r.max(1e-9)));
+    let start = Instant::now();
+    'ingest: for (i, ev) in cfg.events.iter().enumerate() {
+        if parallelism > 1 && i % parallelism != instance {
+            continue;
+        }
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(p) = pace {
+            let target = start + p.mul_f64(emitted as f64);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+        let wall = epoch.elapsed().as_nanos() as u64;
+        let t = Tuple::from_event_wall(*ev, wall);
+        last_ts = last_ts.max(t.ts);
+        match &mut chained {
+            // Chained operators run inline on the source task.
+            Some(op) => {
+                if let Err(e) = op.process(0, t, &mut collector) {
+                    record_op_error(op.name(), e, &abort, &first_error);
+                    break 'ingest;
+                }
+            }
+            None => collector.emit(t),
+        }
+        emitted += 1;
+        if emitted as usize % cfg.watermark_every == 0 {
+            let wm = last_ts.saturating_sub(lag);
+            match &mut chained {
+                Some(op) => match op.on_watermark(wm, &mut collector) {
+                    Ok(fwd) => {
+                        let fwd = fwd.min(wm);
+                        if fwd > forwarded_wm {
+                            forwarded_wm = fwd;
+                            collector.broadcast_watermark(fwd);
+                        }
+                    }
+                    Err(e) => {
+                        record_op_error(op.name(), e, &abort, &first_error);
+                        break 'ingest;
+                    }
+                },
+                None => {
+                    if wm > forwarded_wm {
+                        forwarded_wm = wm;
+                        collector.broadcast_watermark(wm);
+                    }
+                }
+            }
+            istats.set_state(chained.as_ref().map_or(0, |op| op.state_bytes()));
+        }
+        if collector.failed {
+            break;
+        }
+    }
+    match &mut chained {
+        Some(op) => {
+            if last_ts > Timestamp::MIN {
+                if let Ok(fwd) = op.on_watermark(last_ts, &mut collector) {
+                    let fwd = fwd.min(last_ts);
+                    if fwd > forwarded_wm {
+                        collector.broadcast_watermark(fwd);
+                    }
+                }
+            }
+            if let Err(e) = op.on_finish(&mut collector) {
+                record_op_error(op.name(), e, &abort, &first_error);
+            }
+            istats.set_state(op.state_bytes());
+        }
+        None => {
+            if last_ts > Timestamp::MIN {
+                collector.broadcast_watermark(last_ts);
+            }
+        }
+    }
+    collector.broadcast_end();
+    counter.fetch_add(emitted, Ordering::Relaxed);
+    istats.records_out.fetch_add(emitted, Ordering::Relaxed);
+}
+
+/// Per-(port, channel) watermark table used to merge watermarks.
+struct WatermarkTable {
+    /// wm[port][chan]
+    wm: Vec<Vec<Timestamp>>,
+    ended: Vec<Vec<bool>>,
+    live: usize,
+}
+
+impl WatermarkTable {
+    fn new(layout: &[(usize, usize)]) -> Self {
+        let mut wm = Vec::new();
+        let mut ended = Vec::new();
+        let mut live = 0;
+        for (_port, chans) in layout {
+            wm.push(vec![Timestamp::MIN; *chans]);
+            ended.push(vec![false; *chans]);
+            live += *chans;
+        }
+        WatermarkTable { wm, ended, live }
+    }
+
+    fn update(&mut self, port: usize, chan: usize, ts: Timestamp) {
+        let cell = &mut self.wm[port][chan];
+        if ts > *cell {
+            *cell = ts;
+        }
+    }
+
+    fn end(&mut self, port: usize, chan: usize) {
+        if !self.ended[port][chan] {
+            self.ended[port][chan] = true;
+            self.wm[port][chan] = Timestamp::MAX;
+            self.live -= 1;
+        }
+    }
+
+    fn all_ended(&self) -> bool {
+        self.live == 0
+    }
+
+    fn min(&self) -> Timestamp {
+        self.wm
+            .iter()
+            .flat_map(|v| v.iter())
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::MAX)
+    }
+}
+
+fn record_op_error(
+    name: &str,
+    e: OpError,
+    abort: &AtomicBool,
+    first_error: &Mutex<Option<PipelineError>>,
+) {
+    let _ = name;
+    abort.store(true, Ordering::Relaxed);
+    first_error.lock().get_or_insert(PipelineError::Operator(e));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_operator(
+    mut op: Box<dyn Operator>,
+    rx: Receiver<Envelope>,
+    layout: Vec<(usize, usize)>,
+    mut collector: ChannelCollector,
+    istats: Arc<InstanceStats>,
+    abort: Arc<AtomicBool>,
+    first_error: Arc<Mutex<Option<PipelineError>>>,
+    drop_late: bool,
+) {
+    let mut table = WatermarkTable::new(&layout);
+    let mut current_wm = Timestamp::MIN;
+    let mut forwarded = Timestamp::MIN;
+    let mut records_in: u64 = 0;
+    let mut late: u64 = 0;
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let env = match rx.recv_timeout(StdDuration::from_millis(20)) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match env.msg {
+            Message::Tuple(t) => {
+                records_in += 1;
+                if drop_late && t.ts < current_wm {
+                    late += 1;
+                    continue;
+                }
+                if let Err(e) = op.process(env.port as usize, t, &mut collector) {
+                    record_op_error(op.name(), e, &abort, &first_error);
+                    break;
+                }
+                if records_in % 64 == 0 {
+                    istats.set_state(op.state_bytes());
+                }
+            }
+            Message::Watermark(ts) => {
+                table.update(env.port as usize, env.chan as usize, ts);
+                let m = table.min();
+                if m > current_wm {
+                    current_wm = m;
+                    match op.on_watermark(m, &mut collector) {
+                        Ok(f) => {
+                            let f = f.min(m);
+                            if f > forwarded {
+                                forwarded = f;
+                                collector.broadcast_watermark(f);
+                            }
+                        }
+                        Err(e) => {
+                            record_op_error(op.name(), e, &abort, &first_error);
+                            break;
+                        }
+                    }
+                    istats.set_state(op.state_bytes());
+                }
+            }
+            Message::End => {
+                table.end(env.port as usize, env.chan as usize);
+                // An ended channel no longer holds the clock back.
+                let m = table.min();
+                if !table.all_ended() && m > current_wm && m < Timestamp::MAX {
+                    current_wm = m;
+                    match op.on_watermark(m, &mut collector) {
+                        Ok(f) => {
+                            let f = f.min(m);
+                            if f > forwarded {
+                                forwarded = f;
+                                collector.broadcast_watermark(f);
+                            }
+                        }
+                        Err(e) => {
+                            record_op_error(op.name(), e, &abort, &first_error);
+                            break;
+                        }
+                    }
+                }
+                if table.all_ended() {
+                    if let Err(e) = op.on_finish(&mut collector) {
+                        record_op_error(op.name(), e, &abort, &first_error);
+                    }
+                    break;
+                }
+            }
+        }
+        if collector.failed {
+            break;
+        }
+    }
+    collector.broadcast_end();
+    istats.records_in.fetch_add(records_in, Ordering::Relaxed);
+    istats.late_dropped.fetch_add(late, Ordering::Relaxed);
+    istats
+        .records_out
+        .fetch_add(collector.out_count, Ordering::Relaxed);
+    istats.set_state(op.state_bytes());
+}
+
+fn run_sink(
+    shared: Arc<SinkShared>,
+    rx: Receiver<Envelope>,
+    layout: Vec<(usize, usize)>,
+    istats: Arc<InstanceStats>,
+    abort: Arc<AtomicBool>,
+    epoch: Instant,
+) {
+    let mut table = WatermarkTable::new(&layout);
+    let mut n: u64 = 0;
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let env = match rx.recv_timeout(StdDuration::from_millis(20)) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match env.msg {
+            Message::Tuple(t) => {
+                n += 1;
+                shared.count.fetch_add(1, Ordering::Relaxed);
+                if t.wall > 0 && n % shared.stride as u64 == 0 {
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    shared.latencies_ns.lock().push(now.saturating_sub(t.wall));
+                }
+                if shared.mode == SinkMode::Collect {
+                    shared.tuples.lock().push(t);
+                }
+            }
+            Message::Watermark(_) => {}
+            Message::End => {
+                table.end(env.port as usize, env.chan as usize);
+                if table.all_ended() {
+                    break;
+                }
+            }
+        }
+    }
+    istats.records_in.fetch_add(n, Ordering::Relaxed);
+}

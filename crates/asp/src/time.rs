@@ -1,0 +1,221 @@
+//! Event-time primitives.
+//!
+//! The paper's data model (Section 2, model 4) is *event time*: every event
+//! carries a creation timestamp assigned by its producer, and all temporal
+//! operators (windows, sequences, interval joins) reason about that
+//! timestamp, never about the system clock. This module provides the two
+//! newtypes the whole workspace shares: [`Timestamp`] (a point on the event
+//! time axis) and [`Duration`] (a distance on it), both in milliseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds in one minute; the paper specifies window sizes in minutes.
+pub const MINUTE_MS: i64 = 60_000;
+
+/// A point in event time, in milliseconds.
+///
+/// `Timestamp` is totally ordered and supports arithmetic with [`Duration`].
+/// The sentinel values [`Timestamp::MIN`] and [`Timestamp::MAX`] are used by
+/// the runtime for "no watermark yet" and "end of stream".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The smallest representable timestamp ("before everything").
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable timestamp ("after everything"); emitted as
+    /// the final watermark so all windows fire at end of stream.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Construct a timestamp from whole minutes (the unit the paper uses).
+    #[inline]
+    pub const fn from_minutes(m: i64) -> Self {
+        Timestamp(m * MINUTE_MS)
+    }
+
+    /// Raw milliseconds.
+    #[inline]
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration (no overflow panic near `MAX`).
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Timestamp::MAX {
+            write!(f, "+inf")
+        } else if *self == Timestamp::MIN {
+            write!(f, "-inf")
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+/// A distance on the event-time axis, in milliseconds. May be negative
+/// (interval-join lower bounds are negative for the conjunction mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct a duration from whole minutes.
+    #[inline]
+    pub const fn from_minutes(m: i64) -> Self {
+        Duration(m * MINUTE_MS)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        Duration(ms)
+    }
+
+    /// Raw milliseconds.
+    #[inline]
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Negation, used to derive the conjunction's interval-join lower bound
+    /// `(e1.ts - W, e1.ts + W)`.
+    #[inline]
+    pub const fn neg(self) -> Self {
+        Duration(-self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % MINUTE_MS == 0 {
+            write!(f, "{}min", self.0 / MINUTE_MS)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<Duration> for Timestamp {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minute_conversion_round_trips() {
+        assert_eq!(Timestamp::from_minutes(15).millis(), 15 * MINUTE_MS);
+        assert_eq!(Duration::from_minutes(4).millis(), 4 * MINUTE_MS);
+    }
+
+    #[test]
+    fn timestamp_duration_arithmetic() {
+        let t = Timestamp::from_minutes(10);
+        let w = Duration::from_minutes(4);
+        assert_eq!(t + w, Timestamp::from_minutes(14));
+        assert_eq!(t - w, Timestamp::from_minutes(6));
+        assert_eq!((t + w) - t, w);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_minutes(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(
+            Timestamp::MIN.saturating_sub(Duration::from_minutes(1)),
+            Timestamp::MIN
+        );
+    }
+
+    #[test]
+    fn negative_duration_for_conjunction_bounds() {
+        let w = Duration::from_minutes(15);
+        let t = Timestamp::from_minutes(100);
+        // Conjunction interval-join window: (e1.ts - W, e1.ts + W).
+        assert_eq!(t + w.neg(), Timestamp::from_minutes(85));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(Timestamp::MIN < Timestamp(0));
+        assert!(Timestamp(0) < Timestamp::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp(1500).to_string(), "1500ms");
+        assert_eq!(Timestamp::MAX.to_string(), "+inf");
+        assert_eq!(Duration::from_minutes(3).to_string(), "3min");
+        assert_eq!(Duration(1500).to_string(), "1500ms");
+    }
+}

@@ -1,0 +1,255 @@
+//! Explicit windowing (paper Section 3.1.2).
+//!
+//! ASP systems discretize unbounded streams into finite substreams
+//! `T_k = [T]^{ts_e}_{ts_b}` of length `W`. The *intra-window* semantic
+//! assigns each event with `ts ∈ [ts_b, ts_e)` to the substream; the
+//! *inter-window* semantic creates subsequent windows every slide `s`.
+//! Theorem 2 requires `s` no larger than the minimum inter-arrival of the
+//! fastest stream for no match to be lost; the paper uses slide-by-one-minute
+//! for minute-granularity sensors.
+
+use std::fmt;
+
+use crate::time::{Duration, Timestamp};
+
+/// A window instance `[start, end)` on the event-time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowId {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A sliding (or, when `slide == size`, tumbling) event-time window
+/// assigner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlidingWindows {
+    /// Window length `W`.
+    pub size: Duration,
+    /// Slide `s`; windows start at integer multiples of `s`.
+    pub slide: Duration,
+}
+
+impl SlidingWindows {
+    /// Create an assigner; panics if sizes are non-positive or the slide
+    /// exceeds the size (which would drop events between windows).
+    pub fn new(size: Duration, slide: Duration) -> Self {
+        assert!(size.millis() > 0, "window size must be positive");
+        assert!(slide.millis() > 0, "slide must be positive");
+        assert!(
+            slide <= size,
+            "slide {slide} larger than window size {size} would lose events"
+        );
+        SlidingWindows { size, slide }
+    }
+
+    /// A tumbling window: slide equals size, no overlap, no duplicates.
+    pub fn tumbling(size: Duration) -> Self {
+        SlidingWindows::new(size, size)
+    }
+
+    /// Number of windows each event belongs to: `ceil(W / s)`.
+    pub fn windows_per_event(&self) -> usize {
+        let w = self.size.millis();
+        let s = self.slide.millis();
+        ((w + s - 1) / s) as usize
+    }
+
+    /// Intra-window semantic: all windows `[k·s, k·s + W)` containing `ts`.
+    /// Windows are aligned to the epoch (start ≡ 0 mod slide), matching
+    /// Flink's default alignment. Starts are clamped at 0: the workloads
+    /// place all events at non-negative timestamps.
+    pub fn assign(&self, ts: Timestamp) -> impl Iterator<Item = WindowId> {
+        let w = self.size.millis();
+        let s = self.slide.millis();
+        let t = ts.millis();
+        // Last window start ≤ t, aligned to slide.
+        let last_start = t - t.rem_euclid(s);
+        // First window start: smallest aligned start with start + W > t,
+        // i.e. ceil((t - W + 1) / s) · s, clamped at the epoch.
+        fn ceil_div(a: i64, b: i64) -> i64 {
+            -((-a).div_euclid(b))
+        }
+        let first_start = (ceil_div(t - w + 1, s) * s).max(0).min(last_start);
+        (0..)
+            .map(move |i| first_start + i as i64 * s)
+            .take_while(move |start| *start <= last_start)
+            .map(move |start| WindowId {
+                start: Timestamp(start),
+                end: Timestamp(start + w),
+            })
+    }
+
+    /// The earliest aligned window start whose window contains `ts`
+    /// (clamped at the epoch): `max(0, ceil((ts − W + 1) / s) · s)`.
+    pub fn first_window_start(&self, ts: Timestamp) -> Timestamp {
+        let w = self.size.millis();
+        let s = self.slide.millis();
+        let t = ts.millis();
+        let start = -((-(t - w + 1)).div_euclid(s)) * s;
+        Timestamp(start.max(0))
+    }
+
+    /// The single window that *ends last* among those containing `ts`
+    /// (useful for computing maximum retention).
+    pub fn last_window_end(&self, ts: Timestamp) -> Timestamp {
+        let s = self.slide.millis();
+        let t = ts.millis();
+        let last_start = t - t.rem_euclid(s);
+        Timestamp(last_start + self.size.millis())
+    }
+}
+
+impl fmt::Display for SlidingWindows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.size == self.slide {
+            write!(f, "TUMBLING({})", self.size)
+        } else {
+            write!(f, "SLIDING({}, {})", self.size, self.slide)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MINUTE_MS;
+
+    fn min(m: i64) -> Timestamp {
+        Timestamp::from_minutes(m)
+    }
+
+    #[test]
+    fn tumbling_assigns_exactly_one_window() {
+        let w = SlidingWindows::tumbling(Duration::from_minutes(5));
+        let ids: Vec<_> = w.assign(min(7)).collect();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0].start, min(5));
+        assert_eq!(ids[0].end, min(10));
+    }
+
+    #[test]
+    fn sliding_assigns_w_over_s_windows() {
+        let w = SlidingWindows::new(Duration::from_minutes(4), Duration::from_minutes(1));
+        assert_eq!(w.windows_per_event(), 4);
+        let ids: Vec<_> = w.assign(min(10)).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0].start, min(7));
+        assert_eq!(ids[3].start, min(10));
+        for id in &ids {
+            assert!(id.start <= min(10) && min(10) < id.end, "{id} must contain ts");
+        }
+    }
+
+    #[test]
+    fn boundary_event_belongs_to_window_starting_at_its_ts() {
+        // Intra-window semantic: ts ∈ [ts_b, ts_e), so an event at a window
+        // start belongs to that window but NOT to the one ending at its ts.
+        let w = SlidingWindows::new(Duration::from_minutes(3), Duration::from_minutes(3));
+        let ids: Vec<_> = w.assign(min(3)).collect();
+        assert_eq!(ids, vec![WindowId { start: min(3), end: min(6) }]);
+    }
+
+    #[test]
+    fn early_events_are_clamped_at_zero() {
+        let w = SlidingWindows::new(Duration::from_minutes(10), Duration::from_minutes(1));
+        let ids: Vec<_> = w.assign(min(2)).collect();
+        assert!(!ids.is_empty());
+        assert!(ids.iter().all(|id| id.start.millis() >= 0));
+        assert!(ids.iter().all(|id| id.start <= min(2) && min(2) < id.end));
+    }
+
+    #[test]
+    fn theorem2_worst_case_pair_shares_a_window() {
+        // Two events W-1 time units apart must co-occur in ≥1 substream when
+        // sliding by one unit (proof of Theorem 2).
+        let w_ms = 4 * MINUTE_MS;
+        let assigner = SlidingWindows::new(Duration(w_ms), Duration(1));
+        let e1 = Timestamp(100_000);
+        let e2 = Timestamp(100_000 + w_ms - 1);
+        let a: std::collections::HashSet<_> = assigner.assign(e1).collect();
+        let b: std::collections::HashSet<_> = assigner.assign(e2).collect();
+        assert!(
+            a.intersection(&b).next().is_some(),
+            "worst-case pair must share a window"
+        );
+    }
+
+    #[test]
+    fn pair_w_apart_shares_no_window() {
+        // Events exactly W apart can never match WITHIN W.
+        let w_ms = 4 * MINUTE_MS;
+        let assigner = SlidingWindows::new(Duration(w_ms), Duration(1));
+        let a: std::collections::HashSet<_> = assigner.assign(Timestamp(50_000)).collect();
+        let b: std::collections::HashSet<_> = assigner.assign(Timestamp(50_000 + w_ms)).collect();
+        assert!(a.intersection(&b).next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "slide")]
+    fn slide_larger_than_size_panics() {
+        SlidingWindows::new(Duration::from_minutes(1), Duration::from_minutes(2));
+    }
+
+    #[test]
+    fn non_divisible_slide_assignment_is_exact() {
+        // W=4, s=3 (units): event at t=9 belongs to [6,10) and [9,13).
+        let w = SlidingWindows::new(Duration(4), Duration(3));
+        let ids: Vec<_> = w.assign(Timestamp(9)).collect();
+        assert_eq!(
+            ids,
+            vec![
+                WindowId { start: Timestamp(6), end: Timestamp(10) },
+                WindowId { start: Timestamp(9), end: Timestamp(13) },
+            ]
+        );
+        // t=10 belongs only to [9,13).
+        let ids: Vec<_> = w.assign(Timestamp(10)).collect();
+        assert_eq!(ids, vec![WindowId { start: Timestamp(9), end: Timestamp(13) }]);
+    }
+
+    #[test]
+    fn assignment_matches_brute_force() {
+        // Cross-check the closed form against a brute-force scan of all
+        // aligned windows for a grid of (W, s, t) combinations.
+        for (w, s) in [(4, 1), (4, 3), (5, 2), (6, 6), (7, 5), (10, 1)] {
+            let assigner = SlidingWindows::new(Duration(w), Duration(s));
+            for t in 0..60 {
+                let got: Vec<_> = assigner.assign(Timestamp(t)).collect();
+                let want: Vec<_> = (0..)
+                    .map(|k| k * s)
+                    .take_while(|start| *start <= t)
+                    .filter(|start| start + w > t)
+                    .map(|start| WindowId { start: Timestamp(start), end: Timestamp(start + w) })
+                    .collect();
+                assert_eq!(got, want, "W={w} s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn last_window_end_bounds_retention() {
+        let w = SlidingWindows::new(Duration::from_minutes(4), Duration::from_minutes(1));
+        let ts = min(10);
+        let last_end = w.last_window_end(ts);
+        assert_eq!(last_end, min(14));
+        assert!(w.assign(ts).all(|id| id.end <= last_end));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            SlidingWindows::tumbling(Duration::from_minutes(2)).to_string(),
+            "TUMBLING(2min)"
+        );
+        assert_eq!(
+            SlidingWindows::new(Duration::from_minutes(4), Duration::from_minutes(1)).to_string(),
+            "SLIDING(4min, 1min)"
+        );
+    }
+}

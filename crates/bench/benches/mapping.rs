@@ -1,0 +1,100 @@
+//! Criterion end-to-end benchmarks: one complete pipeline run per
+//! elementary SEA operator, FCEP vs FASP vs FASP-O1 — the microbenchmark
+//! companion to the `repro fig3a` experiment.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asp::event::{Event, EventType};
+use asp::runtime::{Executor, ExecutorConfig};
+use bench::patterns;
+use cep::BaselineConfig;
+use cep2asp::{MapperOptions, PhysicalConfig};
+use sea::pattern::Pattern;
+use workloads::{generate_aq, generate_qnv, AqConfig, QnvConfig, ValueModel};
+
+fn workload(minutes: i64) -> (HashMap<EventType, Vec<Event>>, usize) {
+    let mut w = generate_qnv(&QnvConfig {
+        sensors: 4,
+        minutes,
+        seed: 77,
+        value_model: ValueModel::Uniform,
+    });
+    w.merge(generate_aq(&AqConfig {
+        sensors: 4,
+        minutes,
+        seed: 77,
+        value_model: ValueModel::Uniform,
+        id_offset: 0,
+    }));
+    let total = w.total_events();
+    let map = w.streams.clone();
+    (map, total)
+}
+
+fn run_fcep(pattern: &Pattern, sources: &HashMap<EventType, Vec<Event>>) -> u64 {
+    let cfg = BaselineConfig { collect_output: false, ..Default::default() };
+    let (g, sink) = cep::build_baseline(pattern, sources, &cfg).unwrap();
+    let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+    report.sink_count(sink)
+}
+
+fn run_fasp(pattern: &Pattern, opts: &MapperOptions, sources: &HashMap<EventType, Vec<Event>>) -> u64 {
+    let phys = PhysicalConfig { collect_output: false, ..Default::default() };
+    let run = cep2asp::run_pattern(pattern, opts, sources, &phys, &ExecutorConfig::default())
+        .unwrap();
+    run.raw_count()
+}
+
+fn bench_elementary(c: &mut Criterion) {
+    let (sources, total) = workload(1500);
+    let mut g = c.benchmark_group("elementary");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+
+    let cases: Vec<(&str, Pattern, bool)> = vec![
+        ("SEQ1", patterns::seq1(0.05, 15), true),
+        ("ITER3", patterns::iter_threshold(3, 0.08, 15), true),
+        ("NSEQ1", patterns::nseq1(0.2, 0.05, 15), true),
+        ("AND2", {
+            use sea::pattern::{builders, WindowSpec};
+            use sea::predicate::{CmpOp, Predicate};
+            builders::and(
+                &[(EventType(0), "Q"), (EventType(1), "V")],
+                WindowSpec::minutes(15),
+                vec![
+                    Predicate::threshold(0, asp::event::Attr::Value, CmpOp::Le, 5.0),
+                    Predicate::threshold(1, asp::event::Attr::Value, CmpOp::Le, 5.0),
+                ],
+            )
+        }, false),
+    ];
+    for (name, pattern, fcep_supported) in &cases {
+        if *fcep_supported {
+            g.bench_with_input(BenchmarkId::new("FCEP", name), pattern, |b, p| {
+                b.iter(|| run_fcep(p, &sources))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("FASP", name), pattern, |b, p| {
+            b.iter(|| run_fasp(p, &MapperOptions::plain(), &sources))
+        });
+        g.bench_with_input(BenchmarkId::new("FASP-O1", name), pattern, |b, p| {
+            b.iter(|| run_fasp(p, &MapperOptions::o1(), &sources))
+        });
+    }
+    g.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    // Plan construction itself should be trivially cheap.
+    let mut g = c.benchmark_group("translate");
+    let pattern = patterns::seq_n(6, 0.3, 15);
+    g.bench_function("seq6_plan", |b| {
+        b.iter(|| cep2asp::translate(&pattern, &MapperOptions::o1().and_o3()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_elementary, bench_translation);
+criterion_main!(benches);

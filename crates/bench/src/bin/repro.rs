@@ -1,0 +1,137 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! Usage: repro [--full] [--out DIR] <experiment>...
+//!
+//! Experiments:
+//!   table1 table2
+//!   fig3a fig3b fig3c fig3d fig3e fig3f
+//!   fig4 fig4fail fig5 fig6
+//!   ablations          (frequency-ratio, join-order, watermark)
+//!   all                (everything above)
+//!
+//! Options:
+//!   --full     paper-scale workloads (~10M tuples; slow — and the keyed
+//!              experiments fig4/fig5/fig6 generate volume proportional to
+//!              the key count, so expect multi-GB allocations at 128 keys)
+//!   --out DIR  results directory (default: results)
+//! ```
+//!
+//! Each experiment prints a summary table and writes
+//! `<out>/<experiment>.jsonl` with one JSON record per measured point.
+//! Run with `--release`; debug builds distort throughput by 10–50×.
+
+use bench::experiments::{self, Scale};
+use bench::report::ResultSink;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out_dir = "results".to_string();
+    let mut experiments_requested: Vec<String> = Vec::new();
+
+    let i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => {
+                scale = Scale::full();
+                args.remove(i);
+            }
+            "--out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+                out_dir = args.remove(i + 1);
+                args.remove(i);
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            _ => {
+                experiments_requested.push(args.remove(i));
+            }
+        }
+    }
+    if experiments_requested.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if experiments_requested.iter().any(|e| e == "all") {
+        experiments_requested = [
+            "table1", "table2", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4",
+            "fig4fail", "fig5", "fig6", "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    #[cfg(debug_assertions)]
+    eprintln!("WARNING: debug build — throughput numbers will be meaningless; use --release");
+
+    for exp in &experiments_requested {
+        let mut sink = ResultSink::new(&out_dir);
+        let started = std::time::Instant::now();
+        eprintln!("\n### {exp} (scale: ~{} events)", scale.events);
+        match exp.as_str() {
+            "table1" => {
+                experiments::table1();
+                continue;
+            }
+            "table2" => {
+                experiments::table2();
+                continue;
+            }
+            "fig3a" => experiments::fig3a(&mut sink, &scale),
+            "fig3b" => experiments::fig3b(&mut sink, &scale),
+            "fig3c" => experiments::fig3c(&mut sink, &scale),
+            "fig3d" => experiments::fig3d(&mut sink, &scale),
+            "fig3e" => experiments::fig3ef(&mut sink, &scale, true),
+            "fig3f" => experiments::fig3ef(&mut sink, &scale, false),
+            "fig4" => experiments::fig4(&mut sink, &scale),
+            "fig4fail" => experiments::fig4_failure(&mut sink, &scale),
+            "fig5" => experiments::fig5(&mut sink, &scale),
+            "fig6" => experiments::fig6(&mut sink, &scale),
+            "ablations" => {
+                experiments::ablation_frequency(&mut sink, &scale);
+                experiments::ablation_join_order(&mut sink, &scale);
+                experiments::ablation_watermark(&mut sink, &scale);
+            }
+            other => {
+                eprintln!("unknown experiment `{other}` — see --help");
+                std::process::exit(2);
+            }
+        }
+        sink.print_table(exp);
+        let group_params: &[&str] = match exp.as_str() {
+            "fig3a" => &["pattern"],
+            "fig3b" => &["target_sel_pct"],
+            "fig3c" => &["window_min"],
+            "fig3d" => &["n"],
+            "fig3e" | "fig3f" => &["m"],
+            "fig4" => &["pattern", "keys"],
+            "fig4fail" => &[],
+            "fig5" => &["pattern", "keys"],
+            "fig6" => &["pattern", "workers"],
+            "ablations" => &["freq_ratio", "order", "wm_every"],
+            _ => &[],
+        };
+        sink.print_charts(exp, group_params);
+        if let Err(e) = sink.flush() {
+            eprintln!("failed to write results: {e}");
+        }
+        eprintln!("### {exp} done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "Usage: repro [--full] [--out DIR] <experiment>...\n\
+         Experiments: table1 table2 fig3a fig3b fig3c fig3d fig3e fig3f\n\
+         \x20            fig4 fig4fail fig5 fig6 ablations all\n\
+         Options: --full (paper-scale ~10M tuples; keyed figs need multi-GB RAM),\n\
+         \x20        --out DIR (default: results)"
+    );
+}

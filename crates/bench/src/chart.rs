@@ -1,0 +1,229 @@
+//! Terminal rendering of the figures: grouped horizontal bar charts from
+//! [`ResultRow`]s, so `repro` output visually mirrors the paper's plots.
+//!
+//! ```text
+//! fig3b — throughput (tpl/s), grouped by target_sel_pct
+//! target_sel_pct=0.003
+//!   FCEP       │███▌                                    │   1.78M
+//!   FASP       │█████████████████▋                      │   8.78M
+//!   FASP-O1    │███████████████████▎                    │   9.59M
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::report::{human_tps, ResultRow};
+
+const BAR_WIDTH: usize = 40;
+const BLOCKS: [char; 8] = ['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+
+/// Render one bar of `value` against `max`, `BAR_WIDTH` cells wide.
+fn bar(value: f64, max: f64) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let cells = (value / max) * BAR_WIDTH as f64;
+    let full = cells.floor() as usize;
+    let frac = cells - full as f64;
+    let mut s = "█".repeat(full.min(BAR_WIDTH));
+    if full < BAR_WIDTH && frac > 1.0 / 16.0 {
+        let idx = ((frac * 8.0).round() as usize).clamp(1, 8) - 1;
+        s.push(BLOCKS[idx]);
+    }
+    s
+}
+
+/// Which measurement a chart plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    Throughput,
+    LatencyMeanMs,
+    PeakStateMib,
+}
+
+impl Metric {
+    fn value(&self, r: &ResultRow) -> Option<f64> {
+        match self {
+            Metric::Throughput => Some(r.throughput_tps),
+            Metric::LatencyMeanMs => r.latency_mean_ms,
+            Metric::PeakStateMib => Some(r.peak_state_mib),
+        }
+    }
+
+    fn format(&self, v: f64) -> String {
+        match self {
+            Metric::Throughput => human_tps(v),
+            Metric::LatencyMeanMs => format!("{v:.1}ms"),
+            Metric::PeakStateMib => format!("{v:.1}MiB"),
+        }
+    }
+
+    pub fn title(&self) -> &'static str {
+        match self {
+            Metric::Throughput => "throughput (tpl/s)",
+            Metric::LatencyMeanMs => "mean detection latency",
+            Metric::PeakStateMib => "peak operator state",
+        }
+    }
+}
+
+/// Render rows as grouped bar charts: one group per distinct combination
+/// of `group_params` values (in row order), one bar per system.
+pub fn render(rows: &[ResultRow], metric: Metric, group_params: &[&str]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    // Group key preserving first-seen order.
+    let mut groups: Vec<(String, Vec<&ResultRow>)> = Vec::new();
+    for r in rows {
+        let key = group_params
+            .iter()
+            .filter_map(|p| r.params.get(*p).map(|v| format!("{p}={v}")))
+            .collect::<Vec<_>>()
+            .join(" ");
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(r),
+            None => groups.push((key, vec![r])),
+        }
+    }
+    let max = rows
+        .iter()
+        .filter_map(|r| metric.value(r))
+        .fold(0.0f64, f64::max);
+    let name_w = rows.iter().map(|r| r.system.len()).max().unwrap_or(8).max(8);
+    for (key, members) in groups {
+        if !key.is_empty() {
+            let _ = writeln!(out, "{key}");
+        }
+        for r in members {
+            if let Some(why) = &r.failed {
+                let _ = writeln!(
+                    out,
+                    "  {:<name_w$} │{:<BAR_WIDTH$}│ ✗ {}",
+                    r.system,
+                    "",
+                    truncate(why, 40)
+                );
+                continue;
+            }
+            match metric.value(r) {
+                Some(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<name_w$} │{:<BAR_WIDTH$}│ {:>9}",
+                        r.system,
+                        bar(v, max),
+                        metric.format(v)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {:<name_w$} │{:<BAR_WIDTH$}│         -", r.system, "");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render the Figure 5 state time series of one row as a sparkline.
+pub fn sparkline(samples: &[(u64, usize, f64)], width: usize) -> String {
+    if samples.is_empty() {
+        return String::new();
+    }
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = samples.iter().map(|s| s.1).max().unwrap_or(1).max(1);
+    let stride = (samples.len() as f64 / width as f64).max(1.0);
+    let mut s = String::new();
+    let mut i = 0.0;
+    while (i as usize) < samples.len() && s.chars().count() < width {
+        let v = samples[i as usize].1;
+        let idx = ((v as f64 / max as f64) * 7.0).round() as usize;
+        s.push(TICKS[idx.min(7)]);
+        i += stride;
+    }
+    s
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn row(system: &str, param: (&str, &str), tps: f64) -> ResultRow {
+        ResultRow {
+            experiment: "x".into(),
+            system: system.into(),
+            params: Map::from([(param.0.to_string(), param.1.to_string())]),
+            events: 100,
+            matches: 1,
+            selectivity_pct: 1.0,
+            throughput_tps: tps,
+            latency_mean_ms: Some(tps / 1000.0),
+            latency_p99_ms: None,
+            peak_state_mib: 1.0,
+            duration_s: 0.1,
+            failed: None,
+            samples: vec![],
+        }
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        assert_eq!(bar(0.0, 10.0), "");
+        assert_eq!(bar(10.0, 10.0).chars().count(), BAR_WIDTH);
+        let half = bar(5.0, 10.0);
+        assert!(half.chars().count() >= BAR_WIDTH / 2);
+        assert!(half.chars().count() <= BAR_WIDTH / 2 + 1);
+    }
+
+    #[test]
+    fn render_groups_by_parameter() {
+        let rows = vec![
+            row("FCEP", ("w", "30"), 1_000_000.0),
+            row("FASP", ("w", "30"), 4_000_000.0),
+            row("FCEP", ("w", "90"), 900_000.0),
+            row("FASP", ("w", "90"), 4_100_000.0),
+        ];
+        let text = render(&rows, Metric::Throughput, &["w"]);
+        assert!(text.contains("w=30"), "{text}");
+        assert!(text.contains("w=90"), "{text}");
+        assert!(text.contains("4.10M"), "{text}");
+        // The max bar is full width.
+        assert!(text.lines().any(|l| l.matches('█').count() == BAR_WIDTH), "{text}");
+    }
+
+    #[test]
+    fn failed_rows_render_a_cross() {
+        let mut r = row("FCEP", ("k", "32"), 0.0);
+        r.failed = Some("exhausted memory".into());
+        let text = render(&[r], Metric::Throughput, &["k"]);
+        assert!(text.contains('✗'), "{text}");
+        assert!(text.contains("exhausted"), "{text}");
+    }
+
+    #[test]
+    fn sparkline_is_bounded_and_monotone_capable() {
+        let samples: Vec<(u64, usize, f64)> =
+            (0..100).map(|i| (i as u64, i * 1024, 0.0)).collect();
+        let s = sparkline(&samples, 20);
+        assert!(s.chars().count() <= 20);
+        assert!(s.ends_with('█'), "{s}");
+        assert!(s.starts_with('▁'), "{s}");
+        assert_eq!(sparkline(&[], 10), "");
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(Metric::Throughput.format(2_000_000.0), "2.00M");
+        assert_eq!(Metric::LatencyMeanMs.format(4.25), "4.2ms");
+        assert_eq!(Metric::PeakStateMib.format(7.0), "7.0MiB");
+    }
+
+    #[allow(dead_code)]
+    fn unused(_: BTreeMap<u8, u8>) {}
+}

@@ -1,0 +1,26 @@
+//! # bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 5) by running the same pattern workloads through the NFA
+//! baseline ("FCEP") and the operator mapping ("FASP", plus the O1/O2/O3
+//! variants) on the threaded dataflow runtime, measuring
+//!
+//! * maximum sustainable throughput (events/s at full-speed,
+//!   backpressured sources),
+//! * detection latency (sink wall time − newest contributing event's
+//!   creation time),
+//! * peak operator state and the state/CPU time series (Figure 5).
+//!
+//! Absolute numbers differ from the paper (its testbed is a 5-node Flink
+//! cluster; ours is a single process with thread-level "task slots"), but
+//! the harness reports the same series so the *shape* — who wins, by what
+//! factor, where crossovers fall — can be compared. See EXPERIMENTS.md.
+
+pub mod chart;
+pub mod experiments;
+pub mod patterns;
+pub mod report;
+pub mod runner;
+
+pub use report::{ResultRow, ResultSink};
+pub use runner::{measure_fasp, measure_fcep, MeasureConfig};

@@ -1,0 +1,153 @@
+//! The evaluation patterns of Section 5 and their workload calibration.
+//!
+//! Pattern names follow the paper: `SEQ1(2)`, `ITER³₁(1)`, `NSEQ1(3)`
+//! (Section 5.2.1), the nested `SEQ(n)` family (5.2.2), `ITER^m₂/₃`
+//! (5.2.2), and the keyed `SEQ7(3)` / `ITER⁴₄(1)` of 5.2.3–5.2.5.
+//!
+//! Output selectivity σₒ = #matches/#events is controlled through the
+//! filter pass rate `p` on uniformly distributed values: for a binary
+//! sequence over streams with `s` sensors and window `W` minutes,
+//! `matches ≈ n_q · p² · s · W`, so `p = sqrt(2 σₒ / (s W))`. The harness
+//! always reports the *measured* σₒ alongside.
+
+use asp::event::Attr;
+use sea::pattern::{builders, Leaf, Pattern, WindowSpec};
+use sea::predicate::{CmpOp, Predicate};
+use workloads::{threshold_for_pass_rate, HUM, PM10, PM25, Q, TEMP, V};
+
+/// Filter pass rate that yields roughly the target output selectivity for
+/// a binary sequence (both sides filtered at the same rate).
+pub fn pass_rate_for_selectivity(target_pct: f64, sensors: u32, w_minutes: i64) -> f64 {
+    let sigma = target_pct / 100.0;
+    (2.0 * sigma / (sensors as f64 * w_minutes as f64)).sqrt().clamp(1e-4, 1.0)
+}
+
+/// `SEQ1(2) = SEQ(Q, V)` with value filters at the given pass rate.
+pub fn seq1(pass_rate: f64, w_minutes: i64) -> Pattern {
+    let t = threshold_for_pass_rate(pass_rate);
+    builders::seq(
+        &[(Q, "Q"), (V, "V")],
+        WindowSpec::minutes(w_minutes),
+        vec![
+            Predicate::threshold(0, Attr::Value, CmpOp::Le, t),
+            Predicate::threshold(1, Attr::Value, CmpOp::Le, t),
+        ],
+    )
+}
+
+/// `ITER³₁(1) = ITER(V, m)` with a per-event threshold filter.
+pub fn iter_threshold(m: usize, pass_rate: f64, w_minutes: i64) -> Pattern {
+    let t = threshold_for_pass_rate(pass_rate);
+    let preds = (0..m)
+        .map(|i| Predicate::threshold(i, Attr::Value, CmpOp::Le, t))
+        .collect();
+    builders::iter(V, "V", m, WindowSpec::minutes(w_minutes), preds)
+}
+
+/// `ITER^m₂`: pairwise constraint `v_n.value < v_{n+1}.value`
+/// (Section 5.2.2, Figure 3e).
+pub fn iter_pairwise(m: usize, w_minutes: i64) -> Pattern {
+    let preds = (0..m.saturating_sub(1))
+        .map(|i| Predicate::cross(i, Attr::Value, CmpOp::Lt, i + 1, Attr::Value))
+        .collect();
+    builders::iter(V, "V", m, WindowSpec::minutes(w_minutes), preds)
+}
+
+/// `NSEQ1(3) = SEQ(Q, ¬PM10, V)`: traffic pattern negated by an
+/// air-quality event (QnV + AQ sources, Section 5.2.1).
+pub fn nseq1(pass_rate: f64, absent_pass: f64, w_minutes: i64) -> Pattern {
+    let t = threshold_for_pass_rate(pass_rate);
+    let ta = threshold_for_pass_rate(absent_pass);
+    builders::nseq(
+        (Q, "Q"),
+        Leaf::new(PM10, "PM10", "n").with_filter(Attr::Value, CmpOp::Le, ta),
+        (V, "V"),
+        WindowSpec::minutes(w_minutes),
+        vec![
+            Predicate::threshold(0, Attr::Value, CmpOp::Le, t),
+            Predicate::threshold(1, Attr::Value, CmpOp::Le, t),
+        ],
+    )
+}
+
+/// The nested `SEQ(n)` family of Figure 3d over QnV + AQ event types
+/// (n ∈ 2..=6): Q, V, PM10, PM25, Temp, Hum in order.
+pub fn seq_n(n: usize, pass_rate: f64, w_minutes: i64) -> Pattern {
+    let all = [
+        (Q, "Q"),
+        (V, "V"),
+        (PM10, "PM10"),
+        (PM25, "PM25"),
+        (TEMP, "Temp"),
+        (HUM, "Hum"),
+    ];
+    let n = n.clamp(2, all.len());
+    let t = threshold_for_pass_rate(pass_rate);
+    let preds = (0..n)
+        .map(|i| Predicate::threshold(i, Attr::Value, CmpOp::Le, t))
+        .collect();
+    builders::seq(&all[..n], WindowSpec::minutes(w_minutes), preds)
+}
+
+/// `SEQ7(3) = SEQ(Q, V, PM10)` with sensor-id equi-keys between all pairs
+/// (the keyed workload of Sections 5.2.3–5.2.5).
+pub fn seq7(pass_rate: f64, w_minutes: i64) -> Pattern {
+    let t = threshold_for_pass_rate(pass_rate);
+    builders::seq(
+        &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
+        WindowSpec::minutes(w_minutes),
+        vec![
+            Predicate::same_id(0, 1),
+            Predicate::same_id(1, 2),
+            Predicate::threshold(0, Attr::Value, CmpOp::Le, t),
+            Predicate::threshold(1, Attr::Value, CmpOp::Le, t),
+            Predicate::threshold(2, Attr::Value, CmpOp::Le, t),
+        ],
+    )
+}
+
+/// `ITER⁴₄(1) = ITER(V, 4)` keyed by sensor id, window 90
+/// (Sections 5.2.3–5.2.5).
+pub fn iter4(pass_rate: f64, w_minutes: i64) -> Pattern {
+    let t = threshold_for_pass_rate(pass_rate);
+    let mut preds: Vec<Predicate> = (0..3).map(|i| Predicate::same_id(i, i + 1)).collect();
+    preds.extend((0..4).map(|i| Predicate::threshold(i, Attr::Value, CmpOp::Le, t)));
+    builders::iter(V, "V", 4, WindowSpec::minutes(w_minutes), preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_rate_calibration_is_monotone() {
+        let lo = pass_rate_for_selectivity(0.003, 4, 15);
+        let hi = pass_rate_for_selectivity(30.0, 4, 15);
+        assert!(lo < hi);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn seq_n_clamps_and_grows() {
+        for n in 2..=6 {
+            let p = seq_n(n, 0.5, 15);
+            assert_eq!(p.positions(), n);
+        }
+        assert_eq!(seq_n(99, 0.5, 15).positions(), 6, "clamped to available types");
+    }
+
+    #[test]
+    fn keyed_patterns_expose_equi_keys() {
+        assert_eq!(seq7(0.5, 15).equi_keys().len(), 2);
+        assert_eq!(iter4(0.5, 90).equi_keys().len(), 3);
+        assert!(seq1(0.5, 15).equi_keys().is_empty());
+    }
+
+    #[test]
+    fn patterns_build_without_panicking() {
+        seq1(0.1, 15);
+        iter_threshold(3, 0.1, 15);
+        iter_pairwise(9, 15);
+        nseq1(0.2, 0.1, 15);
+    }
+}

@@ -1,0 +1,259 @@
+//! Result records: one row per (experiment, system, parameter point),
+//! printed as aligned console tables and persisted as JSON lines under
+//! `results/` so EXPERIMENTS.md can reference stable artifacts.
+
+use std::collections::BTreeMap;
+use std::fs::{create_dir_all, File};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// One measured data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Experiment id, e.g. "fig3b".
+    pub experiment: String,
+    /// System label, e.g. "FCEP", "FASP-O1+O3".
+    pub system: String,
+    /// Sweep parameters, e.g. {"selectivity_pct": "1.0"}.
+    pub params: BTreeMap<String, String>,
+    /// Total source events ingested.
+    pub events: u64,
+    /// Matches emitted (including duplicates for sliding windows).
+    pub matches: u64,
+    /// Measured output selectivity σₒ = matches / events, in percent.
+    pub selectivity_pct: f64,
+    /// Sustainable throughput in events/second.
+    pub throughput_tps: f64,
+    /// Mean detection latency in ms (None if no matches reached the sink).
+    pub latency_mean_ms: Option<f64>,
+    /// p99 detection latency in ms.
+    pub latency_p99_ms: Option<f64>,
+    /// Peak total operator state in MiB.
+    pub peak_state_mib: f64,
+    /// Wall-clock run duration in seconds.
+    pub duration_s: f64,
+    /// Populated instead of measurements when the run failed (e.g. the
+    /// paper's FCEP memory-exhaustion failure).
+    pub failed: Option<String>,
+    /// Resource time series for Figure 5: (elapsed_ms, state_bytes, cpu%).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub samples: Vec<(u64, usize, f64)>,
+}
+
+impl ResultRow {
+    /// A row for a failed run.
+    pub fn failure(experiment: &str, system: &str, params: BTreeMap<String, String>, why: String) -> Self {
+        ResultRow {
+            experiment: experiment.into(),
+            system: system.into(),
+            params,
+            events: 0,
+            matches: 0,
+            selectivity_pct: 0.0,
+            throughput_tps: 0.0,
+            latency_mean_ms: None,
+            latency_p99_ms: None,
+            peak_state_mib: 0.0,
+            duration_s: 0.0,
+            failed: Some(why),
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// Collects rows, prints them, and writes `results/<experiment>.jsonl`.
+pub struct ResultSink {
+    out_dir: PathBuf,
+    rows: Vec<ResultRow>,
+}
+
+impl ResultSink {
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        ResultSink { out_dir: out_dir.into(), rows: Vec::new() }
+    }
+
+    pub fn push(&mut self, row: ResultRow) {
+        print_row(&row);
+        self.rows.push(row);
+    }
+
+    pub fn rows(&self) -> &[ResultRow] {
+        &self.rows
+    }
+
+    /// Write all rows of an experiment to `results/<experiment>.jsonl`.
+    pub fn flush(&self) -> std::io::Result<()> {
+        create_dir_all(&self.out_dir)?;
+        let mut by_exp: BTreeMap<&str, Vec<&ResultRow>> = BTreeMap::new();
+        for r in &self.rows {
+            by_exp.entry(&r.experiment).or_default().push(r);
+        }
+        for (exp, rows) in by_exp {
+            let path = self.out_dir.join(format!("{exp}.jsonl"));
+            let mut w = BufWriter::new(File::create(path)?);
+            for r in rows {
+                serde_json::to_writer(&mut w, r)?;
+                writeln!(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Print grouped bar charts of the collected rows (throughput always;
+    /// latency and state when present).
+    pub fn print_charts(&self, title: &str, group_params: &[&str]) {
+        use crate::chart::{render, Metric};
+        if self.rows.is_empty() {
+            return;
+        }
+        println!("\n── {title}: {} ──", Metric::Throughput.title());
+        print!("{}", render(&self.rows, Metric::Throughput, group_params));
+        if self.rows.iter().any(|r| r.latency_mean_ms.is_some()) {
+            println!("── {title}: {} ──", Metric::LatencyMeanMs.title());
+            print!("{}", render(&self.rows, Metric::LatencyMeanMs, group_params));
+        }
+        if self.rows.iter().any(|r| r.peak_state_mib > 0.05) {
+            println!("── {title}: {} ──", Metric::PeakStateMib.title());
+            print!("{}", render(&self.rows, Metric::PeakStateMib, group_params));
+        }
+        // Figure-5-style state sparklines where time series were sampled.
+        if self.rows.iter().any(|r| !r.samples.is_empty()) {
+            println!("── {title}: state over time ──");
+            for r in &self.rows {
+                if r.samples.is_empty() {
+                    continue;
+                }
+                let params: Vec<String> =
+                    r.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                println!(
+                    "  {:<14} {:<24} {}",
+                    r.system,
+                    params.join(" "),
+                    crate::chart::sparkline(&r.samples, 48)
+                );
+            }
+        }
+    }
+
+    /// Print a summary table of the collected rows.
+    pub fn print_table(&self, title: &str) {
+        println!("\n== {title} ==");
+        println!(
+            "{:<14} {:<26} {:>12} {:>10} {:>12} {:>10} {:>10}",
+            "system", "params", "throughput", "σₒ %", "latency ms", "state MiB", "matches"
+        );
+        for r in &self.rows {
+            let params: Vec<String> = r.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            if let Some(why) = &r.failed {
+                println!(
+                    "{:<14} {:<26} {:>12}   -- FAILED: {}",
+                    r.system,
+                    params.join(" "),
+                    "-",
+                    why
+                );
+            } else {
+                println!(
+                    "{:<14} {:<26} {:>12} {:>10.4} {:>12} {:>10.1} {:>10}",
+                    r.system,
+                    params.join(" "),
+                    human_tps(r.throughput_tps),
+                    r.selectivity_pct,
+                    r.latency_mean_ms
+                        .map(|l| format!("{l:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.peak_state_mib,
+                    r.matches,
+                );
+            }
+        }
+    }
+}
+
+fn print_row(r: &ResultRow) {
+    let params: Vec<String> = r.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    match &r.failed {
+        Some(why) => eprintln!(
+            "  [{:<7}] {:<14} {:<24} FAILED: {why}",
+            r.experiment,
+            r.system,
+            params.join(" ")
+        ),
+        None => eprintln!(
+            "  [{:<7}] {:<14} {:<24} {:>10} tpl/s  σₒ={:.4}%  {} matches",
+            r.experiment,
+            r.system,
+            params.join(" "),
+            human_tps(r.throughput_tps),
+            r.selectivity_pct,
+            r.matches,
+        ),
+    }
+}
+
+/// Format throughput like the paper's axes (k tpl/s, M tpl/s).
+pub fn human_tps(tps: f64) -> String {
+    if tps >= 1e6 {
+        format!("{:.2}M", tps / 1e6)
+    } else if tps >= 1e3 {
+        format!("{:.0}k", tps / 1e3)
+    } else {
+        format!("{tps:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(exp: &str, sys: &str, tps: f64) -> ResultRow {
+        ResultRow {
+            experiment: exp.into(),
+            system: sys.into(),
+            params: BTreeMap::new(),
+            events: 100,
+            matches: 5,
+            selectivity_pct: 5.0,
+            throughput_tps: tps,
+            latency_mean_ms: Some(1.0),
+            latency_p99_ms: Some(2.0),
+            peak_state_mib: 0.5,
+            duration_s: 0.1,
+            failed: None,
+            samples: vec![],
+        }
+    }
+
+    #[test]
+    fn human_tps_formats_like_paper_axes() {
+        assert_eq!(human_tps(500.0), "500");
+        assert_eq!(human_tps(145_000.0), "145k");
+        assert_eq!(human_tps(6_800_000.0), "6.80M");
+    }
+
+    #[test]
+    fn sink_round_trips_jsonl() {
+        let dir = std::env::temp_dir().join("cep2asp_results_test");
+        let mut sink = ResultSink::new(&dir);
+        sink.push(row("figX", "FASP", 1000.0));
+        sink.push(row("figX", "FCEP", 100.0));
+        sink.flush().unwrap();
+        let content = std::fs::read_to_string(dir.join("figX.jsonl")).unwrap();
+        let rows: Vec<ResultRow> = content
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].system, "FASP");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn failure_rows_serialize() {
+        let r = ResultRow::failure("fig4", "FCEP", BTreeMap::new(), "memory".into());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("memory"));
+    }
+}

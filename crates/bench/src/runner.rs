@@ -1,0 +1,360 @@
+//! Measurement runners: execute one (system, pattern, workload) cell and
+//! produce a [`ResultRow`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use asp::event::{Event, EventType};
+use asp::runtime::{Executor, ExecutorConfig};
+use cep::{BaselineConfig, SelectionPolicy};
+use cep2asp::{MapperOptions, PhysicalConfig};
+use sea::pattern::Pattern;
+
+use crate::report::ResultRow;
+
+/// Shared measurement knobs for one experiment cell.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Task slots for keyed stateful operators (paper: 16 per worker).
+    pub parallelism: usize,
+    /// Per-stateful-operator state budget; `None` = unlimited. Both
+    /// systems get the same budget — the paper's FCEP fails here first.
+    pub memory_limit: Option<usize>,
+    /// Sample state/CPU for the Figure 5 series.
+    pub sample_resources: bool,
+    /// Punctuated watermark interval in events.
+    pub watermark_every: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            parallelism: 1,
+            memory_limit: None,
+            sample_resources: false,
+            watermark_every: 256,
+        }
+    }
+}
+
+fn exec_config(cfg: &MeasureConfig) -> ExecutorConfig {
+    ExecutorConfig {
+        channel_capacity: 1024,
+        sample_interval: cfg
+            .sample_resources
+            .then(|| std::time::Duration::from_millis(50)),
+        latency_stride: 64,
+        operator_chaining: true,
+        drop_late: true,
+    }
+}
+
+fn fill_row(
+    experiment: &str,
+    system: &str,
+    params: BTreeMap<String, String>,
+    report: &asp::runtime::RunReport,
+    dataset_events: u64,
+    matches: u64,
+    latency: asp::runtime::LatencyStats,
+) -> ResultRow {
+    // Throughput is measured against the *dataset* size (sum of distinct
+    // input streams), not raw source emissions: a self-join plan reads the
+    // same stream several times, which must not inflate its number.
+    let events = dataset_events;
+    ResultRow {
+        experiment: experiment.into(),
+        system: system.into(),
+        params,
+        events,
+        matches,
+        selectivity_pct: if events > 0 {
+            matches as f64 / events as f64 * 100.0
+        } else {
+            0.0
+        },
+        throughput_tps: events as f64 / report.duration.as_secs_f64().max(1e-9),
+        latency_mean_ms: (latency.samples > 0).then_some(latency.mean_ms),
+        latency_p99_ms: (latency.samples > 0).then_some(latency.p99_ms),
+        peak_state_mib: report.peak_state_bytes() as f64 / (1024.0 * 1024.0),
+        duration_s: report.duration.as_secs_f64(),
+        failed: None,
+        samples: report
+            .samples
+            .iter()
+            .map(|s| (s.elapsed_ms, s.state_bytes, s.cpu_pct))
+            .collect(),
+    }
+}
+
+/// Total distinct input events a pattern consumes from `sources`.
+fn dataset_events(pattern: &Pattern, sources: &HashMap<EventType, Vec<Event>>) -> u64 {
+    let mut seen: Vec<EventType> = Vec::new();
+    for t in pattern.expr.input_types() {
+        if !seen.contains(&t) {
+            seen.push(t);
+        }
+    }
+    seen.iter()
+        .map(|t| sources.get(t).map_or(0, |v| v.len() as u64))
+        .sum()
+}
+
+/// Run the NFA baseline on a workload cell.
+pub fn measure_fcep(
+    experiment: &str,
+    pattern: &Pattern,
+    sources: &HashMap<EventType, Vec<Event>>,
+    keyed: bool,
+    cfg: &MeasureConfig,
+    params: BTreeMap<String, String>,
+) -> ResultRow {
+    let bl = BaselineConfig {
+        parallelism: cfg.parallelism,
+        keyed,
+        policy: SelectionPolicy::SkipTillAnyMatch,
+        after_match: cep::AfterMatchSkip::NoSkip,
+        memory_limit: cfg.memory_limit,
+        source_rate: None,
+        watermark_every: cfg.watermark_every,
+        watermark_lag: asp::time::Duration::ZERO,
+        collect_output: false,
+    };
+    let (g, sink) = match cep::build_baseline(pattern, sources, &bl) {
+        Ok(x) => x,
+        Err(e) => return ResultRow::failure(experiment, "FCEP", params, e.to_string()),
+    };
+    let dataset = dataset_events(pattern, sources);
+    match Executor::new(exec_config(cfg)).run(g) {
+        Ok(report) => {
+            let matches = report.sink_count(sink);
+            let latency = report.latency(sink);
+            fill_row(experiment, "FCEP", params, &report, dataset, matches, latency)
+        }
+        Err(e) => ResultRow::failure(experiment, "FCEP", params, e.to_string()),
+    }
+}
+
+/// Run the mapping under the given optimization set on a workload cell.
+pub fn measure_fasp(
+    experiment: &str,
+    system: &str,
+    pattern: &Pattern,
+    opts: &MapperOptions,
+    sources: &HashMap<EventType, Vec<Event>>,
+    cfg: &MeasureConfig,
+    params: BTreeMap<String, String>,
+) -> ResultRow {
+    let phys = PhysicalConfig {
+        parallelism: cfg.parallelism,
+        memory_limit: cfg.memory_limit,
+        source_rate: None,
+        watermark_every: cfg.watermark_every,
+        watermark_lag: asp::time::Duration::ZERO,
+        collect_output: false,
+        dedup_output: false,
+    };
+    let dataset = dataset_events(pattern, sources);
+    match cep2asp::run_pattern(pattern, opts, sources, &phys, &exec_config(cfg)) {
+        Ok(run) => {
+            let matches = run.raw_count();
+            let latency = run.report.latency(run.sink);
+            fill_row(experiment, system, params, &run.report, dataset, matches, latency)
+        }
+        Err(e) => ResultRow::failure(experiment, system, params, e.to_string()),
+    }
+}
+
+/// Helper: build the params map from key-value string pairs.
+pub fn params(pairs: &[(&str, String)]) -> BTreeMap<String, String> {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::seq1;
+    use cep2asp::split_by_type;
+    use workloads::{generate_qnv, QnvConfig, ValueModel};
+
+    #[test]
+    fn both_runners_produce_comparable_rows() {
+        let w = generate_qnv(&QnvConfig {
+            sensors: 2,
+            minutes: 60,
+            seed: 3,
+            value_model: ValueModel::Uniform,
+        });
+        let sources = split_by_type(&w.merged());
+        let pattern = seq1(0.5, 4);
+        let cfg = MeasureConfig::default();
+        let fcep = measure_fcep("t", &pattern, &sources, false, &cfg, BTreeMap::new());
+        let fasp = measure_fasp(
+            "t",
+            "FASP",
+            &pattern,
+            &MapperOptions::plain(),
+            &sources,
+            &cfg,
+            BTreeMap::new(),
+        );
+        assert!(fcep.failed.is_none(), "{:?}", fcep.failed);
+        assert!(fasp.failed.is_none(), "{:?}", fasp.failed);
+        assert_eq!(fcep.events, fasp.events);
+        assert!(fcep.matches > 0);
+        // Sliding windows duplicate matches; deduped sets are equal (see
+        // tests/equivalence.rs), so FASP raw ≥ FCEP.
+        assert!(fasp.matches >= fcep.matches);
+        assert!(fcep.throughput_tps > 0.0 && fasp.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn memory_budget_failure_is_reported_as_row() {
+        let w = generate_qnv(&QnvConfig {
+            sensors: 4,
+            minutes: 300,
+            seed: 5,
+            value_model: ValueModel::Uniform,
+        });
+        let sources = split_by_type(&w.merged());
+        let pattern = seq1(1.0, 100); // no filtering, huge window
+        let cfg = MeasureConfig { memory_limit: Some(64 * 1024), ..Default::default() };
+        let row = measure_fcep("t", &pattern, &sources, false, &cfg, BTreeMap::new());
+        assert!(row.failed.is_some(), "tiny budget must fail");
+        assert!(row.failed.unwrap().contains("memory"));
+    }
+}
+
+/// Simulated scale-out for keyed workloads on constrained hardware.
+///
+/// The evaluation host may expose a single CPU, so thread-level "task
+/// slots" cannot show genuine parallel speedup. Keyed CEP/ASP workloads
+/// are embarrassingly parallel across hash partitions (that is the entire
+/// point of keyBy / O3), so we *simulate* an N-slot cluster: partition
+/// every source stream with the runtime's hash function, run each slot's
+/// single-threaded sub-pipeline in isolation, and report
+/// `total events / max(slot wall time)` — the throughput a cluster whose
+/// slowest slot is the critical path would sustain. Matches and peak state
+/// are summed across slots. See DESIGN.md ("substitutions").
+pub mod scaleout {
+    use super::*;
+    use asp::runtime::key_partition;
+
+    fn partition_sources(
+        sources: &HashMap<EventType, Vec<Event>>,
+        slots: usize,
+        slot: usize,
+    ) -> HashMap<EventType, Vec<Event>> {
+        sources
+            .iter()
+            .map(|(t, evs)| {
+                let subset: Vec<Event> = evs
+                    .iter()
+                    .filter(|e| key_partition(e.id as u64, slots) == slot)
+                    .copied()
+                    .collect();
+                (*t, subset)
+            })
+            .collect()
+    }
+
+    fn combine(
+        experiment: &str,
+        system: &str,
+        params: BTreeMap<String, String>,
+        slots: usize,
+        rows: Vec<ResultRow>,
+    ) -> ResultRow {
+        if let Some(fail) = rows.iter().find(|r| r.failed.is_some()) {
+            let mut params = params;
+            params.insert("slots".into(), slots.to_string());
+            return ResultRow::failure(
+                experiment,
+                system,
+                params,
+                fail.failed.clone().unwrap_or_default(),
+            );
+        }
+        let events: u64 = rows.iter().map(|r| r.events).sum();
+        let matches: u64 = rows.iter().map(|r| r.matches).sum();
+        let critical = rows.iter().map(|r| r.duration_s).fold(0.0, f64::max);
+        let mut params = params;
+        params.insert("slots".into(), slots.to_string());
+        ResultRow {
+            experiment: experiment.into(),
+            system: system.into(),
+            params,
+            events,
+            matches,
+            selectivity_pct: if events > 0 {
+                matches as f64 / events as f64 * 100.0
+            } else {
+                0.0
+            },
+            throughput_tps: events as f64 / critical.max(1e-9),
+            latency_mean_ms: rows.iter().filter_map(|r| r.latency_mean_ms).fold(None, |a, l| {
+                Some(a.map_or(l, |x: f64| x.max(l)))
+            }),
+            latency_p99_ms: rows.iter().filter_map(|r| r.latency_p99_ms).fold(None, |a, l| {
+                Some(a.map_or(l, |x: f64| x.max(l)))
+            }),
+            peak_state_mib: rows.iter().map(|r| r.peak_state_mib).sum(),
+            duration_s: critical,
+            failed: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// FCEP with keyBy(id) over `slots` simulated task slots.
+    pub fn measure_fcep(
+        experiment: &str,
+        pattern: &Pattern,
+        sources: &HashMap<EventType, Vec<Event>>,
+        slots: usize,
+        cfg: &MeasureConfig,
+        params: BTreeMap<String, String>,
+    ) -> ResultRow {
+        let mut rows = Vec::with_capacity(slots);
+        let slot_cfg = MeasureConfig { parallelism: 1, ..cfg.clone() };
+        for slot in 0..slots {
+            let part = partition_sources(sources, slots, slot);
+            rows.push(super::measure_fcep(
+                experiment,
+                pattern,
+                &part,
+                true,
+                &slot_cfg,
+                BTreeMap::new(),
+            ));
+        }
+        combine(experiment, "FCEP", params, slots, rows)
+    }
+
+    /// A FASP variant over `slots` simulated task slots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_fasp(
+        experiment: &str,
+        system: &str,
+        pattern: &Pattern,
+        opts: &MapperOptions,
+        sources: &HashMap<EventType, Vec<Event>>,
+        slots: usize,
+        cfg: &MeasureConfig,
+        params: BTreeMap<String, String>,
+    ) -> ResultRow {
+        let mut rows = Vec::with_capacity(slots);
+        let slot_cfg = MeasureConfig { parallelism: 1, ..cfg.clone() };
+        for slot in 0..slots {
+            let part = partition_sources(sources, slots, slot);
+            rows.push(super::measure_fasp(
+                experiment,
+                system,
+                pattern,
+                opts,
+                &part,
+                &slot_cfg,
+                BTreeMap::new(),
+            ));
+        }
+        combine(experiment, system, params, slots, rows)
+    }
+}

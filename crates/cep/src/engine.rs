@@ -1,0 +1,608 @@
+//! The NFA runtime: partial-match state, selection policies, retrospective
+//! negation, and the stateful-model memory profile the paper attributes to
+//! FlinkCEP.
+//!
+//! Events must be fed in timestamp order (the unary CEP operator sorts its
+//! unioned input by watermark first — see [`crate::operator::CepOp`]).
+//! Every partial match ("run") stores its bound events; under
+//! skip-till-any-match runs are *cloned* on every acceptance, which is the
+//! combinatorial state growth that causes FlinkCEP's throughput collapse
+//! and memory exhaustion in the paper's Sections 5.2.2–5.2.4.
+
+use asp::event::Event;
+use asp::time::Timestamp;
+
+use crate::nfa::{AfterMatchSkip, Nfa, SelectionPolicy};
+
+/// A partial match: the events bound to the first `events.len()` stages.
+#[derive(Debug, Clone)]
+struct Run {
+    events: Vec<Event>,
+    first_ts: Timestamp,
+}
+
+impl Run {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Run>() + self.events.capacity() * std::mem::size_of::<Event>()
+    }
+}
+
+/// A completed match in stage order.
+pub type NfaMatch = Vec<Event>;
+
+/// Single-partition NFA state machine.
+pub struct NfaEngine {
+    nfa: Nfa,
+    policy: SelectionPolicy,
+    after_match: AfterMatchSkip,
+    runs: Vec<Run>,
+    /// Timestamps of accepted forbidden (negated) events, in ts order.
+    forbidden_ts: Vec<Timestamp>,
+    state_bytes: usize,
+    matches_emitted: u64,
+    events_processed: u64,
+    last_ts: Timestamp,
+}
+
+impl NfaEngine {
+    pub fn new(nfa: Nfa, policy: SelectionPolicy) -> Self {
+        NfaEngine {
+            nfa,
+            policy,
+            after_match: AfterMatchSkip::NoSkip,
+            runs: Vec::new(),
+            forbidden_ts: Vec::new(),
+            state_bytes: 0,
+            matches_emitted: 0,
+            events_processed: 0,
+            last_ts: Timestamp::MIN,
+        }
+    }
+
+    /// Select the after-match skip strategy (default: no skip).
+    pub fn with_after_match(mut self, s: AfterMatchSkip) -> Self {
+        self.after_match = s;
+        self
+    }
+
+    /// Discard partial matches according to the after-match strategy,
+    /// given the matches just emitted for one event.
+    fn apply_after_match(&mut self, emitted: &[NfaMatch]) {
+        if emitted.is_empty() || self.after_match == AfterMatchSkip::NoSkip {
+            return;
+        }
+        let mut freed = 0usize;
+        match self.after_match {
+            AfterMatchSkip::NoSkip => {}
+            AfterMatchSkip::SkipToNext => {
+                self.runs.retain(|r| {
+                    let dead = emitted.iter().any(|m| m.first() == r.events.first());
+                    if dead {
+                        freed += r.mem_bytes();
+                    }
+                    !dead
+                });
+            }
+            AfterMatchSkip::SkipPastLastEvent => {
+                let last = emitted
+                    .iter()
+                    .filter_map(|m| m.last().map(|e| e.ts))
+                    .max();
+                if let Some(last) = last {
+                    self.runs.retain(|r| {
+                        let dead = r.first_ts <= last;
+                        if dead {
+                            freed += r.mem_bytes();
+                        }
+                        !dead
+                    });
+                }
+            }
+        }
+        self.state_bytes = self.state_bytes.saturating_sub(freed);
+    }
+
+    /// Current buffered footprint (runs + negation buffer).
+    pub fn state_bytes(&self) -> usize {
+        self.state_bytes + self.forbidden_ts.len() * std::mem::size_of::<Timestamp>()
+    }
+
+    /// Number of live partial matches.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    pub fn matches_emitted(&self) -> u64 {
+        self.matches_emitted
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Feed one event (must be ≥ all previously fed timestamps) and append
+    /// completed matches to `out`.
+    pub fn process(&mut self, e: &Event, out: &mut Vec<NfaMatch>) {
+        debug_assert!(e.ts >= self.last_ts, "events must arrive in ts order");
+        self.last_ts = e.ts;
+        self.events_processed += 1;
+
+        // Track forbidden events for retrospective negation.
+        if let Some((_, leaf)) = &self.nfa.forbidden {
+            if leaf.accepts(e) {
+                self.forbidden_ts.push(e.ts);
+            }
+        }
+
+        let before = out.len();
+        match self.policy {
+            SelectionPolicy::SkipTillAnyMatch => self.process_stam(e, out),
+            SelectionPolicy::SkipTillNextMatch => self.process_stnm(e, out),
+            SelectionPolicy::StrictContiguity => self.process_strict(e, out),
+        }
+        if out.len() > before {
+            let emitted = out[before..].to_vec();
+            self.apply_after_match(&emitted);
+        }
+    }
+
+    /// Evict runs that can no longer complete (window expired) and old
+    /// negation buffer entries. Called by the operator on watermark —
+    /// FlinkCEP's pruning is likewise tied to event-time progress, which is
+    /// exactly why its state grows between watermarks under load.
+    pub fn prune(&mut self, wm: Timestamp) {
+        let w = asp::time::Duration(self.nfa.window_ms);
+        let mut freed = 0;
+        self.runs.retain(|r| {
+            // A run can still complete iff a future event (ts ≥ wm) could
+            // land within the window of its first event.
+            let alive = r.first_ts.saturating_add(w) > wm;
+            if !alive {
+                freed += r.mem_bytes();
+            }
+            alive
+        });
+        self.state_bytes = self.state_bytes.saturating_sub(freed);
+        // A forbidden timestamp only matters while some run's gap can still
+        // straddle it; anything older than wm − W is dead.
+        let cutoff = wm.saturating_sub(w);
+        let keep_from = self.forbidden_ts.partition_point(|t| *t <= cutoff);
+        if keep_from > 0 {
+            self.forbidden_ts.drain(..keep_from);
+        }
+    }
+
+    /// Flush: drop all state (end of stream).
+    pub fn finish(&mut self) {
+        self.runs.clear();
+        self.forbidden_ts.clear();
+        self.state_bytes = 0;
+    }
+
+    fn stage_accepts(&self, stage_idx: usize, run_events: &[Event], e: &Event) -> bool {
+        let stage = &self.nfa.stages[stage_idx];
+        if !stage.leaf.accepts(e) {
+            return false;
+        }
+        // Strictly increasing timestamps along the run (Eq. 10/12).
+        if let Some(last) = run_events.last() {
+            if e.ts <= last.ts {
+                return false;
+            }
+            // Window: all events within < W of the first.
+            if (e.ts - run_events[0].ts).millis() >= self.nfa.window_ms {
+                return false;
+            }
+        }
+        // Incremental predicate check: build the candidate binding.
+        if stage.preds.is_empty() {
+            return true;
+        }
+        let mut binding: Vec<Event> = Vec::with_capacity(run_events.len() + 1);
+        binding.extend_from_slice(run_events);
+        binding.push(*e);
+        stage.preds.iter().all(|p| p.eval_partial(&binding))
+    }
+
+    fn complete(&mut self, events: Vec<Event>, out: &mut Vec<NfaMatch>) {
+        // Retrospective negation (the FlinkCEP evaluation order the paper
+        // describes for NSEQ): check the forbidden buffer against the gap.
+        if let Some((gap, _)) = &self.nfa.forbidden {
+            let lo = events[*gap].ts;
+            let hi = events[*gap + 1].ts;
+            // Any forbidden ts strictly inside (lo, hi)?
+            let i = self.forbidden_ts.partition_point(|t| *t <= lo);
+            if i < self.forbidden_ts.len() && self.forbidden_ts[i] < hi {
+                return;
+            }
+        }
+        self.matches_emitted += 1;
+        out.push(events);
+    }
+
+    fn process_stam(&mut self, e: &Event, out: &mut Vec<NfaMatch>) {
+        let n = self.nfa.len();
+        let mut spawned: Vec<Run> = Vec::new();
+        let mut completed: Vec<Vec<Event>> = Vec::new();
+        for run in &self.runs {
+            let k = run.events.len();
+            if k < n && self.stage_accepts(k, &run.events, e) {
+                let mut events = Vec::with_capacity(k + 1);
+                events.extend_from_slice(&run.events);
+                events.push(*e);
+                if k + 1 == n {
+                    completed.push(events);
+                } else {
+                    spawned.push(Run { events, first_ts: run.first_ts });
+                }
+            }
+        }
+        // A fresh run may start at this event.
+        if self.stage_accepts(0, &[], e) {
+            let run = Run { events: vec![*e], first_ts: e.ts };
+            if n == 1 {
+                completed.push(run.events);
+            } else {
+                spawned.push(run);
+            }
+        }
+        for r in spawned {
+            self.state_bytes += r.mem_bytes();
+            self.runs.push(r);
+        }
+        for c in completed {
+            self.complete(c, out);
+        }
+    }
+
+    fn process_stnm(&mut self, e: &Event, out: &mut Vec<NfaMatch>) {
+        let n = self.nfa.len();
+        let mut completed: Vec<Vec<Event>> = Vec::new();
+        let mut freed = 0usize;
+        let mut added = 0usize;
+        // Advance in place: each run extends with the next relevant event.
+        let mut i = 0;
+        while i < self.runs.len() {
+            let k = self.runs[i].events.len();
+            if k < n && self.stage_accepts(k, &self.runs[i].events, e) {
+                freed += self.runs[i].mem_bytes();
+                if k + 1 == n {
+                    let run = self.runs.swap_remove(i);
+                    let mut events = run.events;
+                    events.push(*e);
+                    completed.push(events);
+                    continue; // don't advance i (swap_remove)
+                } else {
+                    self.runs[i].events.push(*e);
+                    added += self.runs[i].mem_bytes();
+                }
+            }
+            i += 1;
+        }
+        self.state_bytes = self.state_bytes.saturating_sub(freed) + added;
+        if self.stage_accepts(0, &[], e) {
+            let run = Run { events: vec![*e], first_ts: e.ts };
+            if n == 1 {
+                completed.push(run.events);
+            } else {
+                self.state_bytes += run.mem_bytes();
+                self.runs.push(run);
+            }
+        }
+        for c in completed {
+            self.complete(c, out);
+        }
+    }
+
+    fn process_strict(&mut self, e: &Event, out: &mut Vec<NfaMatch>) {
+        let n = self.nfa.len();
+        let mut completed: Vec<Vec<Event>> = Vec::new();
+        let mut freed = 0usize;
+        let mut added = 0usize;
+        // Every run must accept this event or die (no gaps allowed).
+        let mut survivors: Vec<Run> = Vec::with_capacity(self.runs.len());
+        for mut run in std::mem::take(&mut self.runs) {
+            let k = run.events.len();
+            if k < n && self.stage_accepts(k, &run.events, e) {
+                freed += run.mem_bytes();
+                run.events.push(*e);
+                if k + 1 == n {
+                    completed.push(run.events);
+                } else {
+                    added += run.mem_bytes();
+                    survivors.push(run);
+                }
+            } else {
+                freed += run.mem_bytes();
+            }
+        }
+        self.runs = survivors;
+        self.state_bytes = self.state_bytes.saturating_sub(freed) + added;
+        if self.stage_accepts(0, &[], e) {
+            let run = Run { events: vec![*e], first_ts: e.ts };
+            if n == 1 {
+                completed.push(run.events);
+            } else {
+                self.state_bytes += run.mem_bytes();
+                self.runs.push(run);
+            }
+        }
+        for c in completed {
+            self.complete(c, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::{Attr, EventType};
+    use sea::pattern::{builders, Leaf, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+    const PM: EventType = EventType(2);
+
+    fn ev(t: EventType, min: i64, v: f64) -> Event {
+        Event::new(t, 1, Timestamp::from_minutes(min), v)
+    }
+
+    fn run_engine(pattern: &sea::Pattern, policy: SelectionPolicy, stream: &[Event]) -> Vec<NfaMatch> {
+        let nfa = Nfa::compile(pattern).unwrap();
+        let mut engine = NfaEngine::new(nfa, policy);
+        let mut out = Vec::new();
+        for e in stream {
+            engine.process(e, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn stam_finds_all_combinations() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(10), vec![]);
+        let stream = [ev(Q, 0, 1.0), ev(Q, 1, 2.0), ev(V, 2, 3.0), ev(V, 3, 4.0)];
+        let out = run_engine(&p, SelectionPolicy::SkipTillAnyMatch, &stream);
+        assert_eq!(out.len(), 4, "2 Q × 2 V combinations");
+    }
+
+    #[test]
+    fn stnm_extends_with_next_relevant_only() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(10), vec![]);
+        let stream = [ev(Q, 0, 1.0), ev(V, 2, 3.0), ev(V, 3, 4.0)];
+        let out = run_engine(&p, SelectionPolicy::SkipTillNextMatch, &stream);
+        // The Q run completes with the first V and is consumed.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][1].ts, Timestamp::from_minutes(2));
+    }
+
+    #[test]
+    fn strict_contiguity_dies_on_gaps() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(10), vec![]);
+        // Q, then an intervening Q, then V: the first run dies at event 2.
+        let stream = [ev(Q, 0, 1.0), ev(Q, 1, 2.0), ev(V, 2, 3.0)];
+        let out = run_engine(&p, SelectionPolicy::StrictContiguity, &stream);
+        assert_eq!(out.len(), 1, "only the adjacent (Q@1, V@2) matches");
+        assert_eq!(out[0][0].ts, Timestamp::from_minutes(1));
+    }
+
+    #[test]
+    fn stam_is_superset_of_other_policies() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(10), vec![]);
+        let stream = [
+            ev(Q, 0, 1.0),
+            ev(V, 1, 2.0),
+            ev(Q, 2, 3.0),
+            ev(V, 3, 4.0),
+            ev(Q, 4, 5.0),
+            ev(V, 5, 6.0),
+        ];
+        let stam = run_engine(&p, SelectionPolicy::SkipTillAnyMatch, &stream);
+        for policy in [SelectionPolicy::SkipTillNextMatch, SelectionPolicy::StrictContiguity] {
+            let other = run_engine(&p, policy, &stream);
+            for m in &other {
+                assert!(stam.contains(m), "{policy}: match {m:?} missing from stam");
+            }
+        }
+    }
+
+    #[test]
+    fn window_constraint_is_strict() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        // Exactly W apart → no match; W-1 → match.
+        let out = run_engine(
+            &p,
+            SelectionPolicy::SkipTillAnyMatch,
+            &[ev(Q, 0, 1.0), ev(V, 4, 2.0)],
+        );
+        assert!(out.is_empty());
+        let out = run_engine(
+            &p,
+            SelectionPolicy::SkipTillAnyMatch,
+            &[ev(Q, 0, 1.0), ev(V, 3, 2.0)],
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn predicates_checked_incrementally() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(10),
+            vec![Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value)],
+        );
+        let stream = [ev(Q, 0, 5.0), ev(V, 1, 3.0), ev(V, 2, 7.0)];
+        let out = run_engine(&p, SelectionPolicy::SkipTillAnyMatch, &stream);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][1].value, 7.0);
+    }
+
+    #[test]
+    fn nseq_retrospective_negation() {
+        let p = builders::nseq(
+            (Q, "Q"),
+            Leaf::new(V, "V", "n"),
+            (PM, "PM"),
+            WindowSpec::minutes(10),
+            vec![],
+        );
+        // V strictly between blocks.
+        let out = run_engine(
+            &p,
+            SelectionPolicy::SkipTillAnyMatch,
+            &[ev(Q, 0, 1.0), ev(V, 1, 2.0), ev(PM, 2, 3.0)],
+        );
+        assert!(out.is_empty());
+        // V at PM's ts does not block (open interval).
+        let out = run_engine(
+            &p,
+            SelectionPolicy::SkipTillAnyMatch,
+            &[ev(Q, 0, 1.0), ev(V, 2, 2.0), ev(PM, 2, 3.0)],
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn iter_nfa_matches_combinations() {
+        let p = builders::iter(
+            V,
+            "V",
+            3,
+            WindowSpec::minutes(15),
+            vec![
+                Predicate::cross(0, Attr::Value, CmpOp::Lt, 1, Attr::Value),
+                Predicate::cross(1, Attr::Value, CmpOp::Lt, 2, Attr::Value),
+            ],
+        );
+        let stream = [ev(V, 0, 1.0), ev(V, 1, 2.0), ev(V, 2, 3.0), ev(V, 3, 2.5)];
+        let out = run_engine(&p, SelectionPolicy::SkipTillAnyMatch, &stream);
+        // Increasing-value triples: (1,2,3), (1,2,2.5).
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn state_grows_combinatorially_under_stam() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V"), (PM, "PM")], WindowSpec::minutes(100), vec![]);
+        let nfa = Nfa::compile(&p).unwrap();
+        let mut engine = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch);
+        let mut out = Vec::new();
+        for m in 0..20 {
+            engine.process(&ev(Q, 2 * m, 1.0), &mut out);
+            engine.process(&ev(V, 2 * m + 1, 2.0), &mut out);
+        }
+        // 20 Q runs + 20×(growing) QV runs → hundreds of partial matches.
+        assert!(engine.run_count() > 200, "runs: {}", engine.run_count());
+        assert!(engine.state_bytes() > 10_000);
+    }
+
+    #[test]
+    fn prune_reclaims_expired_runs() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5), vec![]);
+        let nfa = Nfa::compile(&p).unwrap();
+        let mut engine = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch);
+        let mut out = Vec::new();
+        for m in 0..50 {
+            engine.process(&ev(Q, m, 1.0), &mut out);
+        }
+        assert_eq!(engine.run_count(), 50);
+        engine.prune(Timestamp::from_minutes(49));
+        // Runs started before minute 45 are expired (45 + 5 ≤ 49... strictly:
+        // first_ts + W > wm keeps them); runs from 45..50 survive.
+        assert_eq!(engine.run_count(), 5, "runs: {}", engine.run_count());
+        engine.finish();
+        assert_eq!(engine.state_bytes(), 0);
+    }
+
+    #[test]
+    fn equal_timestamps_do_not_chain() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5), vec![]);
+        let out = run_engine(
+            &p,
+            SelectionPolicy::SkipTillAnyMatch,
+            &[ev(Q, 1, 1.0), ev(V, 1, 2.0)],
+        );
+        assert!(out.is_empty(), "strict e1.ts < e2.ts");
+    }
+}
+
+#[cfg(test)]
+mod after_match_tests {
+    use super::*;
+    use crate::nfa::AfterMatchSkip;
+    use asp::event::EventType;
+    use sea::pattern::{builders, WindowSpec};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+
+    fn ev(t: EventType, min: i64, v: f64) -> Event {
+        Event::new(t, 1, Timestamp::from_minutes(min), v)
+    }
+
+    fn run_with(skip: AfterMatchSkip, stream: &[Event]) -> Vec<NfaMatch> {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(10), vec![]);
+        let nfa = crate::nfa::Nfa::compile(&p).unwrap();
+        let mut engine = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch)
+            .with_after_match(skip);
+        let mut out = Vec::new();
+        for e in stream {
+            engine.process(e, &mut out);
+        }
+        out
+    }
+
+    // Two Q, two V: no-skip finds all 4 combinations.
+    fn stream() -> Vec<Event> {
+        vec![ev(Q, 0, 1.0), ev(Q, 1, 2.0), ev(V, 2, 3.0), ev(V, 3, 4.0)]
+    }
+
+    #[test]
+    fn no_skip_keeps_all_combinations() {
+        assert_eq!(run_with(AfterMatchSkip::NoSkip, &stream()).len(), 4);
+    }
+
+    #[test]
+    fn skip_past_last_event_discards_started_runs() {
+        // At V@2, both (Q@0,V@2) and (Q@1,V@2) are emitted, then every run
+        // started at ts ≤ 2 dies → V@3 finds nothing.
+        let got = run_with(AfterMatchSkip::SkipPastLastEvent, &stream());
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|m| m[1].ts == Timestamp::from_minutes(2)));
+    }
+
+    #[test]
+    fn skip_to_next_discards_same_start_runs() {
+        // Runs starting at Q@0/Q@1 both complete at V@2 and are discarded;
+        // V@3 finds no live runs → 2 matches.
+        let got = run_with(AfterMatchSkip::SkipToNext, &stream());
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn skip_strategies_yield_subsets_of_no_skip() {
+        let all: Vec<NfaMatch> = run_with(AfterMatchSkip::NoSkip, &stream());
+        for skip in [AfterMatchSkip::SkipToNext, AfterMatchSkip::SkipPastLastEvent] {
+            for m in run_with(skip, &stream()) {
+                assert!(all.contains(&m), "{skip}: {m:?} not in no-skip output");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_reduces_state() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(100), vec![]);
+        let nfa = crate::nfa::Nfa::compile(&p).unwrap();
+        let mut noskip = NfaEngine::new(nfa.clone(), SelectionPolicy::SkipTillAnyMatch);
+        let mut skipper = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch)
+            .with_after_match(AfterMatchSkip::SkipPastLastEvent);
+        let mut out = Vec::new();
+        for m in 0..50 {
+            let t = if m % 2 == 0 { Q } else { V };
+            let e = ev(t, m, 1.0);
+            noskip.process(&e, &mut out);
+            skipper.process(&e, &mut out);
+        }
+        assert!(skipper.run_count() < noskip.run_count());
+        assert!(skipper.state_bytes() < noskip.state_bytes());
+    }
+}

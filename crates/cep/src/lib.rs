@@ -1,0 +1,27 @@
+//! # cep — an NFA-based complex event processing engine
+//!
+//! The baseline of the reproduction: a FlinkCEP-style order-based CEP
+//! engine (*Bridging the Gap*, Ziehn et al., EDBT 2024 — Sections 2, 5.1.2)
+//! implemented as
+//!
+//! * [`nfa`] — compilation of SEA patterns into linear NFAs (stages =
+//!   pattern prefixes) with the FlinkCEP operator subset: `SEQ`, `ITER_m`,
+//!   `NSEQ`; `AND`/`OR`/Kleene+ are rejected exactly as Table 2 records;
+//! * [`engine`] — the partial-match runtime with all three selection
+//!   policies (skip-till-any-match, skip-till-next-match, strict
+//!   contiguity), incremental predicate evaluation, retrospective negation,
+//!   and event-time pruning;
+//! * [`operator`] — the unary hybrid-system operator: union-everything,
+//!   buffer-and-sort by watermark, run the NFA — including the memory
+//!   budget that reproduces the paper's FlinkCEP failure under high
+//!   ingestion rates.
+
+pub mod engine;
+pub mod nfa;
+pub mod operator;
+pub mod pipeline;
+
+pub use engine::{NfaEngine, NfaMatch};
+pub use nfa::{AfterMatchSkip, Nfa, SelectionPolicy, Stage, UnsupportedPattern};
+pub use operator::CepOp;
+pub use pipeline::{build_baseline, BaselineConfig};

@@ -1,0 +1,276 @@
+//! NFA compilation (paper Section 2, processing model of CEP systems).
+//!
+//! Order-based CEP engines compile a pattern into a nondeterministic finite
+//! automaton whose states are pattern *prefixes*; FlinkCEP is the
+//! representative the paper benchmarks. Like FlinkCEP, this baseline only
+//! supports the order-based SEA subset — `SEQ`, `ITER_m`, and `NSEQ`
+//! (Table 2) — and rejects `AND`, `OR`, and Kleene+ patterns.
+
+use std::fmt;
+
+use sea::pattern::{Leaf, Pattern, PatternExpr};
+use sea::predicate::{Predicate, VarId};
+
+/// Selection policies (Section 3.1.4). FlinkCEP exposes all three for its
+/// sequence operator: `.followedByAny()` (stam), `.followedBy()` (stnm),
+/// `.next()` (strict contiguity). The ASP mapping supports only
+/// skip-till-any-match, whose match set is a superset of the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Skip-till-any-match: any combination of relevant events, regardless
+    /// of irrelevant events in between (worst-case exponential state).
+    #[default]
+    SkipTillAnyMatch,
+    /// Skip-till-next-match: each partial match extends with the *next*
+    /// relevant event only.
+    SkipTillNextMatch,
+    /// Strict contiguity: participating events must be adjacent in the
+    /// (unioned, ts-ordered) stream.
+    StrictContiguity,
+}
+
+impl fmt::Display for SelectionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SelectionPolicy::SkipTillAnyMatch => "skip-till-any-match",
+            SelectionPolicy::SkipTillNextMatch => "skip-till-next-match",
+            SelectionPolicy::StrictContiguity => "strict-contiguity",
+        })
+    }
+}
+
+/// After-match skip strategies (FlinkCEP's `AfterMatchSkipStrategy`):
+/// what happens to the partial-match state once a match is emitted.
+/// Orthogonal to the selection policy, which governs how runs *extend*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AfterMatchSkip {
+    /// Keep everything (the default; what the paper's comparison uses).
+    #[default]
+    NoSkip,
+    /// Discard every partial match that begins with the same first event
+    /// as an emitted match.
+    SkipToNext,
+    /// Discard every partial match that started before an emitted match's
+    /// last event.
+    SkipPastLastEvent,
+}
+
+impl fmt::Display for AfterMatchSkip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AfterMatchSkip::NoSkip => "no-skip",
+            AfterMatchSkip::SkipToNext => "skip-to-next",
+            AfterMatchSkip::SkipPastLastEvent => "skip-past-last-event",
+        })
+    }
+}
+
+/// Why a pattern cannot run on the NFA baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsupportedPattern {
+    /// Conjunction has no NFA representation in FlinkCEP (Table 2).
+    Conjunction,
+    /// Disjunction has no NFA representation in FlinkCEP (Table 2).
+    Disjunction,
+    /// Kleene+ with combination semantics is not exposed for `≥ m`.
+    KleenePlus,
+    /// Negation somewhere other than the ternary NSEQ position.
+    NonTernaryNegation,
+}
+
+impl fmt::Display for UnsupportedPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsupportedPattern::Conjunction => write!(f, "AND is not supported by the NFA baseline"),
+            UnsupportedPattern::Disjunction => write!(f, "OR is not supported by the NFA baseline"),
+            UnsupportedPattern::KleenePlus => write!(f, "Kleene+ (ITER m+) is not supported by the NFA baseline"),
+            UnsupportedPattern::NonTernaryNegation => {
+                write!(f, "negation must be the middle element of a ternary SEQ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedPattern {}
+
+/// One NFA state transition: the event type + filters to accept and the
+/// predicates that become fully checkable once this stage binds.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    pub leaf: Leaf,
+    /// Output position this stage binds.
+    pub var: VarId,
+    /// `WHERE` predicates whose highest variable is `var` — checked at
+    /// bind time (incremental predicate evaluation).
+    pub preds: Vec<Predicate>,
+}
+
+/// A compiled linear NFA: `stages[0] … stages[n-1]` with an optional
+/// forbidden (negated) leaf between two adjacent stages.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    pub stages: Vec<Stage>,
+    /// `(gap_index, leaf)`: no accepted `leaf` event may occur strictly
+    /// between the events bound by `stages[gap_index]` and
+    /// `stages[gap_index + 1]` (the NSEQ constraint, Eq. 14).
+    pub forbidden: Option<(usize, Leaf)>,
+    /// Window size in ms: all bound events within `< W` of the first.
+    pub window_ms: i64,
+}
+
+impl Nfa {
+    /// Compile a pattern; fails for the SEA operators FlinkCEP lacks.
+    pub fn compile(pattern: &Pattern) -> Result<Nfa, UnsupportedPattern> {
+        let mut stages = Vec::new();
+        let mut forbidden = None;
+        collect(&pattern.expr, &mut stages, &mut forbidden)?;
+        // Attach each WHERE predicate at the first stage where it is fully
+        // bound (its max variable).
+        let mut nfa_stages: Vec<Stage> = stages
+            .into_iter()
+            .map(|(leaf, var)| Stage { leaf, var, preds: Vec::new() })
+            .collect();
+        for p in &pattern.predicates {
+            let Some(mv) = p.max_var() else { continue };
+            if let Some(stage) = nfa_stages.iter_mut().find(|s| s.var == mv) {
+                stage.preds.push(*p);
+            }
+        }
+        Ok(Nfa {
+            stages: nfa_stages,
+            forbidden,
+            window_ms: pattern.window.size.millis(),
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+type RawStage = (Leaf, VarId);
+
+fn collect(
+    expr: &PatternExpr,
+    stages: &mut Vec<RawStage>,
+    forbidden: &mut Option<(usize, Leaf)>,
+) -> Result<(), UnsupportedPattern> {
+    match expr {
+        PatternExpr::Leaf(l) => {
+            stages.push((l.clone(), l.var));
+            Ok(())
+        }
+        PatternExpr::Seq(parts) => {
+            for p in parts {
+                collect(p, stages, forbidden)?;
+            }
+            Ok(())
+        }
+        PatternExpr::And(_) => Err(UnsupportedPattern::Conjunction),
+        PatternExpr::Or(_) => Err(UnsupportedPattern::Disjunction),
+        PatternExpr::Iter { leaf, m, at_least } => {
+            if *at_least {
+                return Err(UnsupportedPattern::KleenePlus);
+            }
+            for i in 0..*m {
+                stages.push((leaf.clone(), leaf.var + i));
+            }
+            Ok(())
+        }
+        PatternExpr::NegSeq { first, absent, last } => {
+            if forbidden.is_some() {
+                return Err(UnsupportedPattern::NonTernaryNegation);
+            }
+            stages.push((first.clone(), first.var));
+            *forbidden = Some((stages.len() - 1, absent.clone()));
+            stages.push((last.clone(), last.var));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::{Attr, EventType};
+    use sea::pattern::{builders, WindowSpec};
+    use sea::predicate::CmpOp;
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+    const PM: EventType = EventType(2);
+
+    #[test]
+    fn seq_compiles_to_linear_stages() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(15),
+            vec![Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value)],
+        );
+        let nfa = Nfa::compile(&p).unwrap();
+        assert_eq!(nfa.len(), 3);
+        assert!(nfa.forbidden.is_none());
+        assert!(nfa.stages[0].preds.is_empty());
+        assert_eq!(nfa.stages[1].preds.len(), 1, "a–b predicate binds at stage 1");
+        assert_eq!(nfa.window_ms, 15 * asp::time::MINUTE_MS);
+    }
+
+    #[test]
+    fn iter_expands_to_m_stages_with_pairwise_preds() {
+        let preds = vec![
+            Predicate::cross(0, Attr::Value, CmpOp::Lt, 1, Attr::Value),
+            Predicate::cross(1, Attr::Value, CmpOp::Lt, 2, Attr::Value),
+        ];
+        let p = builders::iter(V, "V", 3, WindowSpec::minutes(15), preds);
+        let nfa = Nfa::compile(&p).unwrap();
+        assert_eq!(nfa.len(), 3);
+        assert!(nfa.stages.iter().all(|s| s.leaf.etype == V));
+        assert_eq!(nfa.stages[1].preds.len(), 1);
+        assert_eq!(nfa.stages[2].preds.len(), 1);
+    }
+
+    #[test]
+    fn nseq_records_forbidden_gap() {
+        let p = builders::nseq(
+            (Q, "Q"),
+            Leaf::new(V, "V", "n"),
+            (PM, "PM"),
+            WindowSpec::minutes(15),
+            vec![],
+        );
+        let nfa = Nfa::compile(&p).unwrap();
+        assert_eq!(nfa.len(), 2);
+        let (gap, leaf) = nfa.forbidden.as_ref().unwrap();
+        assert_eq!(*gap, 0);
+        assert_eq!(leaf.etype, V);
+    }
+
+    #[test]
+    fn unsupported_operators_are_rejected() {
+        let and = builders::and(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5), vec![]);
+        assert_eq!(Nfa::compile(&and).unwrap_err(), UnsupportedPattern::Conjunction);
+        let or = builders::or(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5));
+        assert_eq!(Nfa::compile(&or).unwrap_err(), UnsupportedPattern::Disjunction);
+        let kp = builders::kleene_plus(V, "V", 3, WindowSpec::minutes(5));
+        assert_eq!(Nfa::compile(&kp).unwrap_err(), UnsupportedPattern::KleenePlus);
+    }
+
+    #[test]
+    fn seq_of_iter_flattens() {
+        use sea::pattern::{Pattern, PatternExpr};
+        let expr = PatternExpr::Seq(vec![
+            PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+            PatternExpr::Iter { leaf: Leaf::new(V, "V", "v"), m: 2, at_least: false },
+        ]);
+        let p = Pattern::new("sx", expr, WindowSpec::minutes(15), vec![]).unwrap();
+        let nfa = Nfa::compile(&p).unwrap();
+        assert_eq!(nfa.len(), 3);
+        assert_eq!(nfa.stages[0].leaf.etype, Q);
+        assert_eq!(nfa.stages[1].var, 1);
+        assert_eq!(nfa.stages[2].var, 2);
+    }
+}

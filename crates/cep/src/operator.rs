@@ -1,0 +1,308 @@
+//! The unary CEP operator — the hybrid-system integration style of
+//! FlinkCEP (paper Sections 1 and 5.1.2).
+//!
+//! The whole pattern workload is composed into *one* stateful dataflow
+//! operator: all input streams must be unioned in front of it, events are
+//! buffered and sorted by event time (watermark-driven), and the NFA with
+//! its partial-match state runs inside. This is precisely the design whose
+//! limitations the paper's mapping removes: no pipeline parallelism, a
+//! union ahead of the operator, and implicit (predicate-based) windowing
+//! whose partial-match maintenance exhausts memory under load.
+//!
+//! Parallelization mirrors FlinkCEP: with a keyed pattern the operator can
+//! be hash-partitioned (one NFA per key); otherwise it runs single-slot.
+
+use std::collections::{BTreeMap, HashMap};
+
+use asp::error::OpError;
+use asp::operator::{Collector, Operator};
+use asp::time::Timestamp;
+use asp::tuple::{Key, Tuple};
+
+use sea::pattern::Pattern;
+
+use crate::engine::NfaEngine;
+use crate::nfa::{AfterMatchSkip, Nfa, SelectionPolicy, UnsupportedPattern};
+
+/// The unary NFA pattern operator.
+pub struct CepOp {
+    name: String,
+    nfa: Nfa,
+    policy: SelectionPolicy,
+    after_match: AfterMatchSkip,
+    /// One NFA per key when the pattern is keyed; a single global NFA
+    /// (key 0) otherwise.
+    keyed: bool,
+    engines: HashMap<Key, NfaEngine>,
+    /// Event-time sort buffer: events wait here until the watermark proves
+    /// no earlier event can arrive.
+    buffer: BTreeMap<(Timestamp, u64), Tuple>,
+    buffer_bytes: usize,
+    seq: u64,
+    memory_limit: Option<usize>,
+    emitted: u64,
+}
+
+impl CepOp {
+    /// Build the operator for a pattern; fails for SEA operators the NFA
+    /// baseline does not support (Table 2).
+    pub fn new(
+        name: impl Into<String>,
+        pattern: &Pattern,
+        policy: SelectionPolicy,
+        keyed: bool,
+    ) -> Result<Self, UnsupportedPattern> {
+        Ok(CepOp {
+            name: name.into(),
+            nfa: Nfa::compile(pattern)?,
+            policy,
+            after_match: AfterMatchSkip::NoSkip,
+            keyed,
+            engines: HashMap::new(),
+            buffer: BTreeMap::new(),
+            buffer_bytes: 0,
+            seq: 0,
+            memory_limit: None,
+            emitted: 0,
+        })
+    }
+
+    /// Install a state budget in bytes; exceeding it fails the run (the
+    /// paper's observed FlinkCEP failure mode at high ingestion rates).
+    pub fn with_memory_limit(mut self, bytes: usize) -> Self {
+        self.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Select the after-match skip strategy for all NFA partitions.
+    pub fn with_after_match(mut self, s: AfterMatchSkip) -> Self {
+        self.after_match = s;
+        self
+    }
+
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn engine_for(&mut self, key: Key) -> &mut NfaEngine {
+        let k = if self.keyed { key } else { 0 };
+        let (nfa, policy, am) = (&self.nfa, self.policy, self.after_match);
+        self.engines
+            .entry(k)
+            .or_insert_with(|| NfaEngine::new(nfa.clone(), policy).with_after_match(am))
+    }
+
+    /// Drain buffered events with `ts < upto` into the NFA in ts order.
+    fn advance(&mut self, upto: Timestamp, out: &mut dyn Collector) {
+        let mut matches = Vec::new();
+        while let Some((&(ts, seq), _)) = self.buffer.first_key_value() {
+            if ts >= upto {
+                break;
+            }
+            let tuple = self.buffer.remove(&(ts, seq)).expect("entry exists");
+            self.buffer_bytes = self.buffer_bytes.saturating_sub(tuple.mem_bytes());
+            let event = tuple.events[0];
+            let key = tuple.key;
+            let wall = tuple.wall;
+            matches.clear();
+            self.engine_for(key).process(&event, &mut matches);
+            for m in matches.drain(..) {
+                let ts = m.iter().map(|e| e.ts).max().unwrap_or(event.ts);
+                self.emitted += 1;
+                out.emit(Tuple {
+                    key,
+                    ts,
+                    // The match completes when its last event is processed.
+                    wall,
+                    events: std::sync::Arc::new(m),
+                    ats: None,
+                    agg: None,
+                });
+            }
+        }
+        // Event-time pruning of expired partial matches.
+        if upto > Timestamp::MIN {
+            for engine in self.engines.values_mut() {
+                engine.prune(upto);
+            }
+        }
+    }
+
+    fn total_state(&self) -> usize {
+        self.buffer_bytes + self.engines.values().map(NfaEngine::state_bytes).sum::<usize>()
+    }
+}
+
+impl Operator for CepOp {
+    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
+        -> Result<(), OpError> {
+        self.seq += 1;
+        self.buffer_bytes += tuple.mem_bytes();
+        self.buffer.insert((tuple.ts, self.seq), tuple);
+        if let Some(limit) = self.memory_limit {
+            let used = self.total_state();
+            if used > limit {
+                return Err(OpError::MemoryExhausted {
+                    operator: self.name.clone(),
+                    state_bytes: used,
+                    limit_bytes: limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
+        -> Result<Timestamp, OpError> {
+        self.advance(wm, out);
+        if let Some(limit) = self.memory_limit {
+            let used = self.total_state();
+            if used > limit {
+                return Err(OpError::MemoryExhausted {
+                    operator: self.name.clone(),
+                    state_bytes: used,
+                    limit_bytes: limit,
+                });
+            }
+        }
+        Ok(wm)
+    }
+
+    fn on_finish(&mut self, out: &mut dyn Collector) -> Result<(), OpError> {
+        self.advance(Timestamp::MAX, out);
+        for engine in self.engines.values_mut() {
+            engine.finish();
+        }
+        Ok(())
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.total_state()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::{Event, EventType};
+    use asp::operator::VecCollector;
+    use sea::pattern::{builders, WindowSpec};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+
+    fn tup(t: EventType, id: u32, min: i64, v: f64) -> Tuple {
+        Tuple::from_event(Event::new(t, id, Timestamp::from_minutes(min), v))
+    }
+
+    fn seq_qv(w: i64) -> Pattern {
+        builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(w), vec![])
+    }
+
+    use sea::pattern::Pattern;
+
+    #[test]
+    fn sorts_out_of_order_union_input() {
+        // The unioned stream interleaves types out of ts order across
+        // sources; the watermark-driven sort must restore order.
+        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
+            .unwrap();
+        let mut col = VecCollector::default();
+        op.process(0, tup(V, 1, 5, 2.0), &mut col).unwrap();
+        op.process(0, tup(Q, 1, 3, 1.0), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(6), &mut col).unwrap();
+        assert_eq!(col.out.len(), 1, "Q@3 → V@5 found despite arrival order");
+        assert_eq!(col.out[0].ts, Timestamp::from_minutes(5), "match ts = max");
+    }
+
+    #[test]
+    fn buffer_holds_events_until_watermark() {
+        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
+            .unwrap();
+        let mut col = VecCollector::default();
+        op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
+        op.process(0, tup(V, 1, 2, 2.0), &mut col).unwrap();
+        assert!(col.out.is_empty(), "nothing emitted before watermark");
+        assert!(op.state_bytes() > 0);
+        op.on_watermark(Timestamp::from_minutes(3), &mut col).unwrap();
+        assert_eq!(col.out.len(), 1);
+    }
+
+    #[test]
+    fn keyed_mode_separates_partitions() {
+        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, true)
+            .unwrap();
+        let mut col = VecCollector::default();
+        // Q from sensor 1, V from sensor 2: different keys → no match.
+        op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
+        op.process(0, tup(V, 2, 2, 2.0), &mut col).unwrap();
+        op.on_finish(&mut col).unwrap();
+        assert!(col.out.is_empty());
+
+        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
+            .unwrap();
+        let mut col = VecCollector::default();
+        op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
+        op.process(0, tup(V, 2, 2, 2.0), &mut col).unwrap();
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(col.out.len(), 1, "global mode matches across sensors");
+    }
+
+    #[test]
+    fn memory_limit_reproduces_fcep_failure() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (EventType(2), "PM")],
+            WindowSpec::minutes(1000),
+            vec![],
+        );
+        let mut op = CepOp::new("fcep", &p, SelectionPolicy::SkipTillAnyMatch, false)
+            .unwrap()
+            .with_memory_limit(32 * 1024);
+        let mut col = VecCollector::default();
+        let mut failed = false;
+        for m in 0..2000 {
+            let t = if m % 2 == 0 { Q } else { V };
+            if op.process(0, tup(t, 1, m, 1.0), &mut col).is_err()
+                || op
+                    .on_watermark(Timestamp::from_minutes(m), &mut col)
+                    .is_err()
+            {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "partial-match state must blow the budget");
+    }
+
+    #[test]
+    fn finish_flushes_remaining_buffer() {
+        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
+            .unwrap();
+        let mut col = VecCollector::default();
+        op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
+        op.process(0, tup(V, 1, 2, 2.0), &mut col).unwrap();
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(col.out.len(), 1);
+        assert_eq!(op.state_bytes(), 0);
+        assert_eq!(op.emitted(), 1);
+    }
+
+    #[test]
+    fn wall_stamp_comes_from_completing_event() {
+        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
+            .unwrap();
+        let mut col = VecCollector::default();
+        let mut a = tup(Q, 1, 1, 1.0);
+        a.wall = 100;
+        let mut b = tup(V, 1, 2, 2.0);
+        b.wall = 250;
+        op.process(0, a, &mut col).unwrap();
+        op.process(0, b, &mut col).unwrap();
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(col.out[0].wall, 250);
+    }
+}

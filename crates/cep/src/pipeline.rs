@@ -1,0 +1,184 @@
+//! Assembles the FlinkCEP-style execution pipeline: union all input
+//! streams in front of one unary CEP operator (paper Section 5.1.2).
+//!
+//! This is the hybrid-system baseline the mapping is evaluated against:
+//! every source stream is merged into a single stream (the union the paper
+//! identifies as a structural overhead of the approach), the NFA operator
+//! runs either globally on one slot or hash-partitioned by sensor id, and
+//! a sink collects or counts the matches.
+
+use std::collections::HashMap;
+
+use asp::event::{Event, EventType};
+use asp::graph::{Exchange, GraphBuilder, SinkId, SinkMode, SourceConfig};
+use asp::operator::UnionOp;
+
+use sea::pattern::Pattern;
+
+use crate::nfa::{AfterMatchSkip, SelectionPolicy, UnsupportedPattern};
+use crate::operator::CepOp;
+
+/// Baseline execution knobs (mirrors `cep2asp::PhysicalConfig`).
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Task slots for the CEP operator when `keyed` (FlinkCEP keyBy);
+    /// a pattern without a key constraint runs on one slot.
+    pub parallelism: usize,
+    /// Partition the NFA by sensor id (requires the pattern to constrain
+    /// all events to the same id, or matches would be lost).
+    pub keyed: bool,
+    /// Selection policy for the NFA (the mapping comparison uses
+    /// skip-till-any-match).
+    pub policy: SelectionPolicy,
+    /// After-match skip strategy (default: no skip, as in the paper).
+    pub after_match: AfterMatchSkip,
+    /// State budget in bytes for the CEP operator.
+    pub memory_limit: Option<usize>,
+    /// Source pacing (events/second per source instance).
+    pub source_rate: Option<f64>,
+    /// Punctuated watermark interval (events).
+    pub watermark_every: usize,
+    /// Bounded out-of-orderness tolerated in the source streams.
+    pub watermark_lag: asp::time::Duration,
+    /// Collect matches or count only.
+    pub collect_output: bool,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            parallelism: 1,
+            keyed: false,
+            policy: SelectionPolicy::SkipTillAnyMatch,
+            after_match: AfterMatchSkip::NoSkip,
+            memory_limit: None,
+            source_rate: None,
+            watermark_every: 256,
+            watermark_lag: asp::time::Duration::ZERO,
+            collect_output: true,
+        }
+    }
+}
+
+/// Build the union → CEP-operator → sink pipeline for a pattern.
+///
+/// `sources` maps each of the pattern's input event types to its stream;
+/// types appearing more than once in the pattern still contribute one
+/// source (the NFA consumes the same stream at every stage).
+pub fn build_baseline(
+    pattern: &Pattern,
+    sources: &HashMap<EventType, Vec<Event>>,
+    cfg: &BaselineConfig,
+) -> Result<(GraphBuilder, SinkId), UnsupportedPattern> {
+    // Verify the pattern compiles before constructing the graph.
+    CepOp::new("probe", pattern, cfg.policy, cfg.keyed)?;
+
+    let mut g = GraphBuilder::new();
+    // One source per distinct input type, in first-appearance order.
+    let mut seen: Vec<EventType> = Vec::new();
+    for t in pattern.expr.input_types() {
+        if !seen.contains(&t) {
+            seen.push(t);
+        }
+    }
+    let mut src_nodes = Vec::with_capacity(seen.len());
+    for t in &seen {
+        let events = sources.get(t).cloned().unwrap_or_default();
+        let mut sc = SourceConfig::new(events)
+            .with_watermark_every(cfg.watermark_every)
+            .with_watermark_lag(cfg.watermark_lag);
+        if let Some(rate) = cfg.source_rate {
+            sc = sc.with_rate(rate);
+        }
+        src_nodes.push(g.source_with(format!("src:{t}"), sc, 1));
+    }
+
+    // The structural union in front of the unary operator.
+    let unioned = if src_nodes.len() == 1 {
+        src_nodes[0]
+    } else {
+        let ports = src_nodes.len();
+        let edges: Vec<_> = src_nodes.iter().map(|n| (*n, Exchange::Forward)).collect();
+        let u = g.nary(&edges, 1, Box::new(move |_| Box::new(UnionOp::new("∪", ports))));
+        g.name_last("union");
+        u
+    };
+
+    // The single stateful CEP operator.
+    let par = if cfg.keyed { cfg.parallelism } else { 1 };
+    let exchange = if cfg.keyed { Exchange::Hash } else { Exchange::Rebalance };
+    let pattern = pattern.clone();
+    let (policy, keyed, limit, am) = (cfg.policy, cfg.keyed, cfg.memory_limit, cfg.after_match);
+    let cep = g.unary(
+        unioned,
+        exchange,
+        par,
+        Box::new(move |_| {
+            let mut op = CepOp::new("FCEP", &pattern, policy, keyed)
+                .expect("pattern validated above")
+                .with_after_match(am);
+            if let Some(l) = limit {
+                op = op.with_memory_limit(l);
+            }
+            Box::new(op)
+        }),
+    );
+    g.name_last("FCEP");
+
+    let mode = if cfg.collect_output { SinkMode::Collect } else { SinkMode::CountOnly };
+    let sink = g.sink_with_mode(cep, Exchange::Rebalance, mode);
+    Ok((g, sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::runtime::{Executor, ExecutorConfig};
+    use asp::time::Timestamp;
+    use sea::pattern::{builders, WindowSpec};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+
+    fn ev(t: EventType, id: u32, min: i64, v: f64) -> Event {
+        Event::new(t, id, Timestamp::from_minutes(min), v)
+    }
+
+    #[test]
+    fn baseline_pipeline_end_to_end() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let sources = HashMap::from([
+            (Q, vec![ev(Q, 1, 0, 1.0), ev(Q, 1, 10, 2.0)]),
+            (V, vec![ev(V, 2, 2, 3.0), ev(V, 2, 20, 4.0)]),
+        ]);
+        let (g, sink) = build_baseline(&p, &sources, &BaselineConfig::default()).unwrap();
+        let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+        assert_eq!(report.sink_count(sink), 1, "only (Q@0, V@2) within 4 min");
+        let m = &report.sink(sink)[0];
+        assert_eq!(m.events.len(), 2);
+        assert_eq!(m.ts, Timestamp::from_minutes(2));
+    }
+
+    #[test]
+    fn unsupported_pattern_is_rejected_at_build() {
+        let p = builders::and(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        assert!(build_baseline(&p, &HashMap::new(), &BaselineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn keyed_baseline_partitions_by_sensor() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(4),
+            vec![sea::predicate::Predicate::same_id(0, 1)],
+        );
+        let sources = HashMap::from([
+            (Q, vec![ev(Q, 1, 0, 1.0), ev(Q, 2, 0, 1.5)]),
+            (V, vec![ev(V, 1, 2, 3.0), ev(V, 3, 2, 3.5)]),
+        ]);
+        let cfg = BaselineConfig { keyed: true, parallelism: 4, ..Default::default() };
+        let (g, sink) = build_baseline(&p, &sources, &cfg).unwrap();
+        let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+        assert_eq!(report.sink_count(sink), 1, "only sensor 1 has both events");
+    }
+}

@@ -1,0 +1,158 @@
+//! One-call convenience layer: pattern in, matches out.
+//!
+//! Wraps translate → physical build → threaded execution and offers the
+//! canonical deduplicated match view used for semantic-equivalence checks
+//! (Section 4's equivalence is modulo the duplicates that overlapping
+//! sliding windows produce).
+
+use std::collections::HashMap;
+
+use asp::event::{Event, EventType};
+use asp::graph::SinkId;
+use asp::runtime::{Executor, ExecutorConfig, RunReport};
+use asp::tuple::{MatchKey, Tuple};
+
+use sea::pattern::Pattern;
+
+use crate::physical::{build_pipeline, BuildError, PhysicalConfig};
+use crate::plan::LogicalPlan;
+use crate::translate::{translate, MapperOptions, TranslateError};
+
+/// Everything that can go wrong between a pattern and its results.
+#[derive(Debug)]
+pub enum ExecError {
+    Translate(TranslateError),
+    Build(BuildError),
+    Pipeline(asp::PipelineError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Translate(e) => write!(f, "{e}"),
+            ExecError::Build(e) => write!(f, "{e}"),
+            ExecError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<TranslateError> for ExecError {
+    fn from(e: TranslateError) -> Self {
+        ExecError::Translate(e)
+    }
+}
+
+impl From<BuildError> for ExecError {
+    fn from(e: BuildError) -> Self {
+        ExecError::Build(e)
+    }
+}
+
+impl From<asp::PipelineError> for ExecError {
+    fn from(e: asp::PipelineError) -> Self {
+        ExecError::Pipeline(e)
+    }
+}
+
+/// The result of running a mapped pattern.
+pub struct MappedRun {
+    /// The logical plan that was executed (for `explain`).
+    pub plan: LogicalPlan,
+    /// Full runtime report (throughput, latency, state, per-node stats).
+    pub report: RunReport,
+    /// The sink holding the matches.
+    pub sink: SinkId,
+}
+
+impl MappedRun {
+    /// Raw emitted matches (may contain duplicates under sliding windows).
+    pub fn raw_matches(&self) -> &[Tuple] {
+        self.report.sink(self.sink)
+    }
+
+    /// Number of emitted matches including duplicates.
+    pub fn raw_count(&self) -> u64 {
+        self.report.sink_count(self.sink)
+    }
+
+    /// Canonical deduplicated, sorted match keys — the semantic-equivalence
+    /// view to compare against the oracle or another engine.
+    pub fn dedup_matches(&self) -> Vec<MatchKey> {
+        dedup_sorted(self.raw_matches())
+    }
+}
+
+/// Deduplicate and sort tuples into canonical match keys.
+pub fn dedup_sorted(tuples: &[Tuple]) -> Vec<MatchKey> {
+    let mut keys: Vec<MatchKey> = tuples.iter().map(Tuple::match_key).collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Translate, build, and run a pattern over the given per-type streams.
+///
+/// A pattern input type with no registered stream is treated as an empty
+/// stream (it simply produces no matches), mirroring the baseline's
+/// behaviour.
+pub fn run_pattern(
+    pattern: &Pattern,
+    opts: &MapperOptions,
+    sources: &HashMap<EventType, Vec<Event>>,
+    phys: &PhysicalConfig,
+    exec: &ExecutorConfig,
+) -> Result<MappedRun, ExecError> {
+    let plan = translate(pattern, opts)?;
+    // Default missing input types to empty streams without copying the
+    // (potentially multi-GB) event vectors when nothing is missing.
+    let missing: Vec<EventType> = pattern
+        .expr
+        .input_types()
+        .into_iter()
+        .filter(|t| !sources.contains_key(t))
+        .collect();
+    let augmented;
+    let sources = if missing.is_empty() {
+        sources
+    } else {
+        let mut m = sources.clone();
+        for t in missing {
+            m.entry(t).or_default();
+        }
+        augmented = m;
+        &augmented
+    };
+    let (graph, sink) = build_pipeline(&plan, sources, phys)?;
+    let report = Executor::new(exec.clone()).run(graph)?;
+    Ok(MappedRun { plan, report, sink })
+}
+
+/// Shortcut with default physical/executor configuration.
+pub fn run_pattern_simple(
+    pattern: &Pattern,
+    opts: &MapperOptions,
+    sources: &HashMap<EventType, Vec<Event>>,
+) -> Result<MappedRun, ExecError> {
+    run_pattern(
+        pattern,
+        opts,
+        sources,
+        &PhysicalConfig::default(),
+        &ExecutorConfig::default(),
+    )
+}
+
+/// Group a flat event vector into per-type source streams (each sorted by
+/// ts, as the engine's sources require).
+pub fn split_by_type(events: &[Event]) -> HashMap<EventType, Vec<Event>> {
+    let mut map: HashMap<EventType, Vec<Event>> = HashMap::new();
+    for e in events {
+        map.entry(e.etype).or_default().push(*e);
+    }
+    for v in map.values_mut() {
+        v.sort_by_key(|e| e.ts);
+    }
+    map
+}

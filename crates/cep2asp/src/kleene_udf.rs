@@ -1,0 +1,216 @@
+//! Full-functionality Kleene+ via a UDF window function — the extension
+//! the paper sketches for O2 (Section 4.3.2): "some ASPSs allow users to
+//! implement UDF aggregation functions, which can return multiple output
+//! tuples per window and sort the window content to support conditions
+//! between the contributing events, such as `e_i.a_n < e_{i+1}.a_n`".
+//!
+//! The plain O2 count-aggregation ignores constraints *between*
+//! contributing events. This module's UDF sorts each window's relevant
+//! events by timestamp and searches for a chain of ≥ m events whose
+//! consecutive members satisfy a user-provided pairwise condition (the
+//! longest such chain, computed LIS-style in O(k²) per window). One tuple
+//! per qualifying window is emitted, carrying the chain events as its
+//! constituents and the chain length in `agg` — a summary like O2's, but
+//! constraint-aware.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use asp::event::{Event, EventType};
+use asp::graph::{Exchange, GraphBuilder, SinkId, SinkMode, SourceConfig};
+use asp::operator::{FilterOp, MapOp, UnaryPredicate, WindowFn, WindowUdfOp};
+use asp::tuple::Tuple;
+use asp::window::SlidingWindows;
+
+use sea::pattern::WindowSpec;
+
+/// A pairwise condition between consecutive chain members.
+pub type PairwiseFn = Arc<dyn Fn(&Event, &Event) -> bool + Send + Sync>;
+
+/// Configuration of the constraint-aware Kleene+ window UDF.
+pub struct KleeneUdf {
+    /// The iterated event type.
+    pub etype: EventType,
+    /// Per-event filter (relevance).
+    pub filter: UnaryPredicate,
+    /// Condition between consecutive chain members (e.g. strictly rising
+    /// values). `None` falls back to plain count semantics.
+    pub pairwise: Option<PairwiseFn>,
+    /// Minimum chain length m (Kleene+: ≥ m occurrences).
+    pub m: usize,
+    /// The pattern window.
+    pub window: WindowSpec,
+}
+
+/// Longest chain (by the pairwise condition) through `events`, which must
+/// be in timestamp order; ties on ts cannot chain (strict sequence
+/// semantics). Returns the chain's member indices.
+pub fn longest_chain(events: &[Event], pairwise: Option<&PairwiseFn>) -> Vec<usize> {
+    let n = events.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // LIS-style DP: best[i] = longest chain ending at i.
+    let mut best = vec![1usize; n];
+    let mut prev = vec![usize::MAX; n];
+    for i in 0..n {
+        for j in 0..i {
+            if events[j].ts >= events[i].ts {
+                continue; // strict ts order along the chain
+            }
+            let ok = match pairwise {
+                Some(f) => f(&events[j], &events[i]),
+                None => true,
+            };
+            if ok && best[j] + 1 > best[i] {
+                best[i] = best[j] + 1;
+                prev[i] = j;
+            }
+        }
+    }
+    let (mut at, _) = best
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, l)| **l)
+        .expect("non-empty");
+    let mut chain = Vec::new();
+    while at != usize::MAX {
+        chain.push(at);
+        at = prev[at];
+    }
+    chain.reverse();
+    chain
+}
+
+/// Build a source → filter → window-UDF → sink pipeline for the UDF
+/// Kleene+ over one stream.
+pub fn build_pipeline(
+    cfg: &KleeneUdf,
+    sources: &HashMap<EventType, Vec<Event>>,
+) -> (GraphBuilder, SinkId) {
+    let mut g = GraphBuilder::new();
+    let events = sources.get(&cfg.etype).cloned().unwrap_or_default();
+    let src = g.source_with("src", SourceConfig::new(events), 1);
+    let filter = cfg.filter.clone();
+    let filt = g.unary(
+        src,
+        Exchange::Forward,
+        1,
+        Box::new(move |_| Box::new(FilterOp::new("σ:relevant", filter.clone()))),
+    );
+    // The UDF runs per window over a single global partition.
+    let keyed = g.unary(
+        filt,
+        Exchange::Rebalance,
+        1,
+        Box::new(|_| Box::new(MapOp::uniform_key("Π:key←0", 0))),
+    );
+    let windows = SlidingWindows::new(cfg.window.size, cfg.window.slide);
+    let m = cfg.m;
+    let pairwise = cfg.pairwise.clone();
+    let udf: WindowFn = Arc::new(move |_wid, content, out| {
+        // Content arrives ts-sorted (WindowUdfOp contract).
+        let events: Vec<Event> = content.iter().map(|t| t.events[0]).collect();
+        let chain = longest_chain(&events, pairwise.as_ref());
+        if chain.len() >= m {
+            let constituents: Vec<Event> = chain.iter().map(|&i| events[i]).collect();
+            let wall = chain.iter().map(|&i| content[i].wall).max().unwrap_or(0);
+            let mut t = Tuple::from_event(*constituents.last().expect("m ≥ 1"));
+            t.set_events(constituents);
+            t.ts = t.ts_end();
+            t.wall = wall;
+            t.agg = Some(chain.len() as f64);
+            out.emit(t);
+        }
+    });
+    let w = g.unary(
+        keyed,
+        Exchange::Hash,
+        1,
+        Box::new(move |_| Box::new(WindowUdfOp::new("udf:kleene+", windows, udf.clone()))),
+    );
+    let sink = g.sink_with_mode(w, Exchange::Forward, SinkMode::Collect);
+    (g, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::runtime::{Executor, ExecutorConfig};
+    use asp::time::Timestamp;
+
+    const V: EventType = EventType(1);
+
+    fn ev(min: i64, val: f64) -> Event {
+        Event::new(V, 1, Timestamp::from_minutes(min), val)
+    }
+
+    fn rising() -> PairwiseFn {
+        Arc::new(|a: &Event, b: &Event| a.value < b.value)
+    }
+
+    #[test]
+    fn longest_chain_finds_rising_subsequence() {
+        let events = vec![ev(0, 3.0), ev(1, 1.0), ev(2, 2.0), ev(3, 5.0), ev(4, 4.0)];
+        let p = rising();
+        let chain = longest_chain(&events, Some(&p));
+        // 1 → 2 → 5 or 1 → 2 → 4: length 3.
+        assert_eq!(chain.len(), 3);
+        let vals: Vec<f64> = chain.iter().map(|&i| events[i].value).collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn longest_chain_without_condition_counts_distinct_ts() {
+        let events = vec![ev(0, 9.0), ev(0, 8.0), ev(1, 7.0), ev(2, 6.0)];
+        let chain = longest_chain(&events, None);
+        assert_eq!(chain.len(), 3, "equal-ts events cannot chain");
+    }
+
+    #[test]
+    fn pipeline_emits_only_qualifying_windows() {
+        // Tumbling 5-minute windows; rising chains of length ≥ 3.
+        let events = vec![
+            // Window [0,5): 1 < 2 < 3 — qualifies.
+            ev(0, 1.0),
+            ev(1, 2.0),
+            ev(2, 3.0),
+            // Window [5,10): falling — no chain ≥ 3.
+            ev(5, 9.0),
+            ev(6, 5.0),
+            ev(7, 1.0),
+        ];
+        let cfg = KleeneUdf {
+            etype: V,
+            filter: asp::operator::always_true(),
+            pairwise: Some(rising()),
+            m: 3,
+            window: WindowSpec::minutes(5).with_slide(asp::time::Duration::from_minutes(5)),
+        };
+        let sources = HashMap::from([(V, events)]);
+        let (g, sink) = build_pipeline(&cfg, &sources);
+        let mut report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+        let out = report.take_sink(sink);
+        assert_eq!(out.len(), 1, "only the rising window qualifies");
+        assert_eq!(out[0].agg, Some(3.0));
+        assert_eq!(out[0].events.len(), 3);
+        let vals: Vec<f64> = out[0].events.iter().map(|e| e.value).collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn plain_count_mode_matches_o2_semantics() {
+        let events = vec![ev(0, 9.0), ev(1, 5.0), ev(2, 1.0)]; // falling
+        let cfg = KleeneUdf {
+            etype: V,
+            filter: asp::operator::always_true(),
+            pairwise: None, // count only, like O2
+            m: 3,
+            window: WindowSpec::minutes(5).with_slide(asp::time::Duration::from_minutes(5)),
+        };
+        let sources = HashMap::from([(V, events)]);
+        let (g, sink) = build_pipeline(&cfg, &sources);
+        let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+        assert_eq!(report.sink_count(sink), 1, "3 events suffice without pairwise");
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-pattern execution: several patterns in one dataflow job with
+//! shared sources.
+//!
+//! The paper's related-work section lists multi-query optimization among
+//! the capabilities serial CEP systems lack ("Other limitations are …
+//! multi-query optimization for serial processing models", Section 6) —
+//! and one advantage of mapping patterns onto an ASPS is that ordinary
+//! multi-query techniques apply. This module provides the first of them:
+//! *scan sharing*. All patterns of a batch run inside one executor job,
+//! each with its own plan and sink, reading the same source arrays
+//! (shared `Arc`s, one ingestion pass per scan); the runtime interleaves
+//! their pipelines on the shared slots.
+
+use std::collections::HashMap;
+
+use asp::event::{Event, EventType};
+use asp::graph::{GraphBuilder, SinkId};
+use asp::runtime::{Executor, ExecutorConfig, RunReport};
+use asp::tuple::MatchKey;
+
+use sea::pattern::Pattern;
+
+use crate::exec::{dedup_sorted, ExecError};
+use crate::physical::{build_pipeline, PhysicalConfig};
+use crate::plan::LogicalPlan;
+use crate::translate::{translate, MapperOptions};
+
+/// One pattern of a multi-pattern job.
+pub struct PatternJob {
+    pub name: String,
+    pub pattern: Pattern,
+    pub opts: MapperOptions,
+}
+
+impl PatternJob {
+    pub fn new(name: impl Into<String>, pattern: Pattern, opts: MapperOptions) -> Self {
+        PatternJob { name: name.into(), pattern, opts }
+    }
+}
+
+/// The result of a multi-pattern run: the shared report plus per-pattern
+/// plans and sinks.
+pub struct MultiRun {
+    pub report: RunReport,
+    per_pattern: Vec<(String, LogicalPlan, SinkId)>,
+}
+
+impl MultiRun {
+    /// Names in submission order.
+    pub fn names(&self) -> Vec<&str> {
+        self.per_pattern.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// The executed plan of a pattern.
+    pub fn plan(&self, name: &str) -> Option<&LogicalPlan> {
+        self.per_pattern.iter().find(|(n, _, _)| n == name).map(|(_, p, _)| p)
+    }
+
+    /// Raw match count of a pattern (including sliding-window duplicates).
+    pub fn raw_count(&self, name: &str) -> u64 {
+        self.per_pattern
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map_or(0, |(_, _, s)| self.report.sink_count(*s))
+    }
+
+    /// Canonical deduplicated matches of a pattern.
+    pub fn dedup_matches(&self, name: &str) -> Vec<MatchKey> {
+        self.per_pattern
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, s)| dedup_sorted(self.report.sink(*s)))
+            .unwrap_or_default()
+    }
+}
+
+/// Run several patterns over the same sources in one job.
+pub fn run_patterns(
+    jobs: &[PatternJob],
+    sources: &HashMap<EventType, Vec<Event>>,
+    phys: &PhysicalConfig,
+    exec: &ExecutorConfig,
+) -> Result<MultiRun, ExecError> {
+    assert!(!jobs.is_empty(), "at least one pattern required");
+    let mut sources = sources.clone();
+    for j in jobs {
+        for t in j.pattern.expr.input_types() {
+            sources.entry(t).or_default();
+        }
+    }
+
+    // Build each pattern's pipeline independently, then splice the
+    // self-contained sub-graphs into one job (a pure id renumbering —
+    // sources over the same stream share the underlying `Arc`ed arrays).
+    let mut combined = GraphBuilder::new();
+    let mut per_pattern = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let plan = translate(&job.pattern, &job.opts)?;
+        let (sub, sub_sink) = build_pipeline(&plan, &sources, phys)?;
+        let mapped = combined.splice(sub);
+        let sink = mapped[0];
+        debug_assert_eq!(mapped.len(), 1, "one sink per pattern pipeline");
+        let _ = sub_sink;
+        per_pattern.push((job.name.clone(), plan, sink));
+    }
+
+    let report = Executor::new(exec.clone()).run(combined)?;
+    Ok(MultiRun { report, per_pattern })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::Attr;
+    use asp::time::Timestamp;
+    use sea::pattern::{builders, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+
+    fn events() -> Vec<Event> {
+        let mut out = Vec::new();
+        for m in 0..60i64 {
+            for id in 0..2u32 {
+                out.push(Event::new(Q, id, Timestamp(m * 60_000), ((m * 7 + id as i64) % 100) as f64));
+                out.push(Event::new(V, id, Timestamp(m * 60_000), ((m * 13 + id as i64) % 100) as f64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn two_patterns_share_one_job_and_agree_with_solo_runs() {
+        let evs = events();
+        let sources = crate::exec::split_by_type(&evs);
+        let seq = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(4),
+            vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 50.0)],
+        );
+        let and = builders::and(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(3),
+            vec![Predicate::same_id(0, 1)],
+        );
+        let jobs = vec![
+            PatternJob::new("seq", seq.clone(), MapperOptions::o1()),
+            PatternJob::new("and", and.clone(), MapperOptions::o1().and_o3()),
+        ];
+        let multi = run_patterns(
+            &jobs,
+            &sources,
+            &PhysicalConfig::default(),
+            &ExecutorConfig::default(),
+        )
+        .expect("multi run");
+
+        for (name, pattern, opts) in [
+            ("seq", &seq, MapperOptions::o1()),
+            ("and", &and, MapperOptions::o1().and_o3()),
+        ] {
+            let solo = crate::exec::run_pattern_simple(pattern, &opts, &sources).unwrap();
+            assert_eq!(
+                multi.dedup_matches(name),
+                solo.dedup_matches(),
+                "{name}: multi-pattern result equals solo run"
+            );
+            assert!(!multi.dedup_matches(name).is_empty(), "{name} found matches");
+        }
+        assert_eq!(multi.names(), vec!["seq", "and"]);
+        assert!(multi.plan("seq").is_some());
+        assert!(multi.plan("nope").is_none());
+    }
+
+    #[test]
+    fn shared_sources_are_counted_once_per_scan() {
+        let evs = events();
+        let sources = crate::exec::split_by_type(&evs);
+        let p1 = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let jobs = vec![
+            PatternJob::new("a", p1.clone(), MapperOptions::o1()),
+            PatternJob::new("b", p1, MapperOptions::o1()),
+        ];
+        let multi = run_patterns(
+            &jobs,
+            &sources,
+            &PhysicalConfig::default(),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        // Both patterns scanned Q and V once each: 4 scans × 120 events.
+        assert_eq!(multi.report.source_events, 4 * 120);
+        assert_eq!(multi.raw_count("a"), multi.raw_count("b"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Automatic optimization selection from stream statistics — the paper's
+//! future-work item: "collecting information on data and pattern
+//! characteristics such as frequency and selectivity enables the automated
+//! application of the proposed optimization opportunities" (Section 7).
+//!
+//! [`StreamStats`] measures per-type arrival rates and samples per-leaf
+//! filter pass rates; [`auto_options`] then derives a [`MapperOptions`]:
+//!
+//! * **O3** whenever the pattern provides an equi-key (partitioned joins
+//!   strictly dominate a single global partition);
+//! * **O2** for Kleene+ iterations (the only mapping that supports them);
+//!   exact `ITER_m` keeps the join chain — O2 would change the output
+//!   shape (Section 4.3.2 calls it approximate);
+//! * **O1** per Section 4.3.1's frequency rule: interval joins win unless
+//!   the window-defining (left) stream is much more frequent than the
+//!   right stream;
+//! * **join order**: left-deep over the top-level operands sorted by
+//!   ascending effective rate (rare streams first), the manual reordering
+//!   of Section 4.2.2 made automatic.
+
+use std::collections::HashMap;
+
+use asp::event::{Event, EventType};
+
+use sea::pattern::{Pattern, PatternExpr};
+
+use crate::translate::{JoinOrder, MapperOptions};
+
+/// How many events per stream the selectivity sampler inspects.
+const SAMPLE_SIZE: usize = 4096;
+
+/// Per-type arrival statistics plus a sample for selectivity probing.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    per_type: HashMap<EventType, TypeStats>,
+}
+
+#[derive(Debug, Clone)]
+struct TypeStats {
+    count: u64,
+    /// Events per minute over the observed span.
+    rate_per_min: f64,
+    /// Evenly spaced sample for pass-rate estimation.
+    sample: Vec<Event>,
+}
+
+impl StreamStats {
+    /// Measure the registered source streams.
+    pub fn from_sources(sources: &HashMap<EventType, Vec<Event>>) -> Self {
+        let mut per_type = HashMap::new();
+        for (t, evs) in sources {
+            if evs.is_empty() {
+                per_type.insert(
+                    *t,
+                    TypeStats { count: 0, rate_per_min: 0.0, sample: Vec::new() },
+                );
+                continue;
+            }
+            let span_ms = (evs.last().unwrap().ts - evs.first().unwrap().ts)
+                .millis()
+                .max(1) as f64;
+            let rate = evs.len() as f64 / (span_ms / 60_000.0).max(1.0 / 60.0);
+            let stride = (evs.len() / SAMPLE_SIZE).max(1);
+            let sample: Vec<Event> = evs.iter().step_by(stride).copied().collect();
+            per_type.insert(*t, TypeStats { count: evs.len() as u64, rate_per_min: rate, sample });
+        }
+        StreamStats { per_type }
+    }
+
+    /// Raw arrival rate of a type, events/minute.
+    pub fn rate(&self, t: EventType) -> f64 {
+        self.per_type.get(&t).map_or(0.0, |s| s.rate_per_min)
+    }
+
+    /// Total observed events of a type.
+    pub fn count(&self, t: EventType) -> u64 {
+        self.per_type.get(&t).map_or(0, |s| s.count)
+    }
+
+    /// Sampled pass rate of a pattern leaf: its type's events surviving
+    /// the leaf filters and the pattern's single-variable predicates.
+    pub fn pass_rate(&self, pattern: &Pattern, leaf: &sea::pattern::Leaf) -> f64 {
+        let Some(stats) = self.per_type.get(&leaf.etype) else { return 0.0 };
+        if stats.sample.is_empty() {
+            return 0.0;
+        }
+        let single = if leaf.var != usize::MAX {
+            pattern.single_var_predicates(leaf.var)
+        } else {
+            Vec::new()
+        };
+        let mut pass = 0usize;
+        let mut binding: Vec<Option<Event>> = vec![None; pattern.positions().max(1)];
+        for e in &stats.sample {
+            if !leaf.accepts(e) {
+                continue;
+            }
+            let ok = if leaf.var == usize::MAX || single.is_empty() {
+                true
+            } else {
+                binding.iter_mut().for_each(|b| *b = None);
+                binding[leaf.var] = Some(*e);
+                single.iter().all(|p| p.eval_sparse(&binding))
+            };
+            if ok {
+                pass += 1;
+            }
+        }
+        pass as f64 / stats.sample.len() as f64
+    }
+
+    /// Effective (post-filter) rate of a sub-pattern: the sum of its
+    /// leaves' filtered rates — the cost driver for joins over it.
+    pub fn effective_rate(&self, pattern: &Pattern, expr: &PatternExpr) -> f64 {
+        expr.leaves()
+            .iter()
+            .filter(|l| l.var != usize::MAX)
+            .map(|l| self.rate(l.etype) * self.pass_rate(pattern, l))
+            .sum()
+    }
+}
+
+/// Section 4.3.1's crossover threshold: prefer sliding windows only when
+/// the leftmost (window-defining) stream is this many times more frequent
+/// than the rest combined.
+const INTERVAL_JOIN_FREQ_THRESHOLD: f64 = 8.0;
+
+/// Derive the optimization set for a pattern from measured statistics.
+pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
+    // O3: equi-keys always help (anything beats one global partition).
+    let partition_by_key = !pattern.equi_keys().is_empty();
+
+    // O2: required for Kleene+; exact ITER keeps the composing join chain.
+    let aggregate_iteration = matches!(
+        pattern.expr,
+        PatternExpr::Iter { at_least: true, .. }
+    );
+
+    // Join order: rare streams first (top-level SEQ/AND operands only).
+    let join_order = match &pattern.expr {
+        PatternExpr::Seq(parts) | PatternExpr::And(parts) if parts.len() > 2 => {
+            let mut idx: Vec<usize> = (0..parts.len()).collect();
+            let mut rates: Vec<f64> = parts
+                .iter()
+                .map(|p| stats.effective_rate(pattern, p))
+                .collect();
+            // Guard against degenerate all-zero stats.
+            if rates.iter().all(|r| *r == 0.0) {
+                rates = vec![1.0; parts.len()];
+            }
+            idx.sort_by(|a, b| rates[*a].partial_cmp(&rates[*b]).unwrap());
+            if idx.windows(2).all(|w| w[0] < w[1]) {
+                JoinOrder::Textual // already sorted
+            } else {
+                JoinOrder::Permutation(idx)
+            }
+        }
+        _ => JoinOrder::Textual,
+    };
+
+    // O1: interval joins unless the window-defining stream dwarfs the rest.
+    let interval_join = match &pattern.expr {
+        PatternExpr::Seq(parts) | PatternExpr::And(parts) => {
+            let first = match &join_order {
+                JoinOrder::Permutation(p) => &parts[p[0]],
+                JoinOrder::Textual => &parts[0],
+            };
+            let left = stats.effective_rate(pattern, first);
+            let rest: f64 = parts
+                .iter()
+                .map(|p| stats.effective_rate(pattern, p))
+                .sum::<f64>()
+                - left;
+            left <= INTERVAL_JOIN_FREQ_THRESHOLD * rest.max(1e-9)
+        }
+        _ => true,
+    };
+
+    MapperOptions { interval_join, aggregate_iteration, partition_by_key, join_order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::Attr;
+    use asp::time::Timestamp;
+    use sea::pattern::{builders, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+    const PM: EventType = EventType(2);
+
+    fn stream(t: EventType, n: usize, per_min: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    t,
+                    1,
+                    Timestamp((i as i64) * 60_000 / per_min.max(1) as i64),
+                    (i % 100) as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn sources(specs: &[(EventType, usize, usize)]) -> HashMap<EventType, Vec<Event>> {
+        specs.iter().map(|(t, n, r)| (*t, stream(*t, *n, *r))).collect()
+    }
+
+    #[test]
+    fn rates_are_measured_per_minute() {
+        let s = StreamStats::from_sources(&sources(&[(Q, 600, 1), (V, 1200, 4)]));
+        assert!((s.rate(Q) - 1.0).abs() < 0.1, "rate(Q)={}", s.rate(Q));
+        assert!((s.rate(V) - 4.0).abs() < 0.2, "rate(V)={}", s.rate(V));
+        assert_eq!(s.count(Q), 600);
+    }
+
+    #[test]
+    fn pass_rate_reflects_filters() {
+        let s = StreamStats::from_sources(&sources(&[(Q, 1000, 1)]));
+        // value cycles 0..99 uniformly → threshold ≤ 24 passes ~25 %.
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(5),
+            vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 24.0)],
+        );
+        let leaf = p.expr.leaves()[0].clone();
+        let rate = s.pass_rate(&p, &leaf);
+        assert!((rate - 0.25).abs() < 0.05, "pass rate {rate}");
+    }
+
+    #[test]
+    fn equi_key_enables_o3() {
+        let s = StreamStats::default();
+        let keyed = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(5),
+            vec![Predicate::same_id(0, 1)],
+        );
+        assert!(auto_options(&keyed, &s).partition_by_key);
+        let unkeyed = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5), vec![]);
+        assert!(!auto_options(&unkeyed, &s).partition_by_key);
+    }
+
+    #[test]
+    fn kleene_selects_o2_exact_iter_does_not() {
+        let s = StreamStats::default();
+        let kp = builders::kleene_plus(V, "V", 3, WindowSpec::minutes(5));
+        assert!(auto_options(&kp, &s).aggregate_iteration);
+        let exact = builders::iter(V, "V", 3, WindowSpec::minutes(5), vec![]);
+        assert!(!auto_options(&exact, &s).aggregate_iteration);
+    }
+
+    #[test]
+    fn rare_streams_are_ordered_first() {
+        // Q: 16/min, V: 4/min, PM: 0.5/min → order should be PM, V, Q.
+        let src = sources(&[(Q, 4800, 16), (V, 1200, 4), (PM, 150, 1)]);
+        let mut src = src;
+        // Halve PM's rate via timestamps: regenerate with 1 every 2 min.
+        src.insert(
+            PM,
+            (0..150)
+                .map(|i| Event::new(PM, 1, Timestamp(i * 120_000), (i % 100) as f64))
+                .collect(),
+        );
+        let s = StreamStats::from_sources(&src);
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(5),
+            vec![],
+        );
+        match auto_options(&p, &s).join_order {
+            JoinOrder::Permutation(order) => assert_eq!(order, vec![2, 1, 0]),
+            JoinOrder::Textual => panic!("expected reordering"),
+        }
+    }
+
+    #[test]
+    fn interval_join_follows_frequency_rule() {
+        // Balanced rates → interval join.
+        let s = StreamStats::from_sources(&sources(&[(Q, 1200, 4), (V, 1200, 4)]));
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5), vec![]);
+        assert!(auto_options(&p, &s).interval_join);
+        // Left stream 20× more frequent → sliding windows.
+        let s = StreamStats::from_sources(&sources(&[(Q, 24_000, 80), (V, 1200, 4)]));
+        assert!(!auto_options(&p, &s).interval_join);
+    }
+
+    #[test]
+    fn filters_shift_the_effective_order() {
+        // Equal raw rates, but V is filtered to 10 %: V becomes "rare" and
+        // moves to the front of the join order.
+        let src = sources(&[(Q, 2400, 4), (V, 2400, 4), (PM, 2400, 4)]);
+        let s = StreamStats::from_sources(&src);
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(5),
+            vec![Predicate::threshold(1, Attr::Value, CmpOp::Le, 9.0)],
+        );
+        match auto_options(&p, &s).join_order {
+            JoinOrder::Permutation(order) => assert_eq!(order[0], 1, "filtered V first"),
+            JoinOrder::Textual => panic!("expected reordering"),
+        }
+        // A filter on the already-first operand keeps the textual order.
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(5),
+            vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 9.0)],
+        );
+        assert_eq!(auto_options(&p, &s).join_order, JoinOrder::Textual);
+    }
+
+    #[test]
+    fn auto_options_produce_correct_plans() {
+        // End-to-end sanity: auto-chosen options yield oracle-equal results.
+        use crate::exec::{run_pattern_simple, split_by_type};
+        let mut events = Vec::new();
+        for m in 0..40i64 {
+            for id in 0..3u32 {
+                events.push(Event::new(Q, id, Timestamp(m * 60_000), ((m * 7 + id as i64) % 100) as f64));
+                events.push(Event::new(V, id, Timestamp(m * 60_000), ((m * 13 + id as i64) % 100) as f64));
+                if m % 3 == 0 {
+                    events.push(Event::new(PM, id, Timestamp(m * 60_000), ((m * 29 + id as i64) % 100) as f64));
+                }
+            }
+        }
+        let sources = split_by_type(&events);
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(5),
+            vec![Predicate::same_id(0, 1), Predicate::same_id(1, 2)],
+        );
+        let stats = StreamStats::from_sources(&sources);
+        let opts = auto_options(&p, &stats);
+        assert!(opts.partition_by_key);
+        let run = run_pattern_simple(&p, &opts, &sources).expect("auto run");
+        let oracle: Vec<_> = sea::oracle::evaluate(&p, &events)
+            .into_iter()
+            .map(asp::tuple::MatchKey)
+            .collect();
+        assert_eq!(run.dedup_matches(), oracle);
+    }
+}
+
+/// Annotate a plan with estimated per-node rates from measured statistics
+/// — the cost model behind [`auto_options`], made visible (an `EXPLAIN
+/// ANALYZE`-style view).
+///
+/// Scans show `rate × pass`; joins show the expected output rate
+/// `rate_l · rate_r · W` (candidate pairs per minute before θ).
+pub fn explain_with_stats(
+    plan: &crate::plan::LogicalPlan,
+    pattern: &Pattern,
+    stats: &StreamStats,
+) -> String {
+    let mut out = format!("-- mapping: {}\n", plan.mapping);
+    annotate(&plan.root, pattern, stats, 0, &mut out);
+    out
+}
+
+fn annotate(
+    node: &crate::plan::PlanNode,
+    pattern: &Pattern,
+    stats: &StreamStats,
+    depth: usize,
+    out: &mut String,
+) -> f64 {
+    use crate::plan::PlanNode;
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    match node {
+        PlanNode::Scan { type_name, leaf, var, .. } => {
+            let rate = stats.rate(leaf.etype);
+            let pass = stats.pass_rate(pattern, leaf);
+            let eff = rate * pass;
+            let _ = writeln!(
+                out,
+                "{pad}Scan {type_name} [e{}]  ~{rate:.2} ev/min × pass {:.1}% ⇒ {eff:.3} ev/min",
+                var + 1,
+                pass * 100.0
+            );
+            eff
+        }
+        PlanNode::Join { left, right, windowing, span_ms, .. } => {
+            // Reserve the line, fill after children are annotated.
+            let header_at = out.len();
+            let l = annotate(left, pattern, stats, depth + 1, out);
+            let r = annotate(right, pattern, stats, depth + 1, out);
+            let w_min = *span_ms as f64 / 60_000.0;
+            let est = l * r * w_min; // candidate pairs per minute
+            let header = format!("{pad}Join {windowing}  ~{est:.3} candidates/min\n");
+            out.insert_str(header_at, &header);
+            est
+        }
+        PlanNode::Union { inputs } => {
+            let header_at = out.len();
+            let sum: f64 = inputs
+                .iter()
+                .map(|i| annotate(i, pattern, stats, depth + 1, out))
+                .sum();
+            let header = format!("{pad}Union  ~{sum:.3} ev/min\n");
+            out.insert_str(header_at, &header);
+            sum
+        }
+        PlanNode::Aggregate { input, m, window, .. } => {
+            let header_at = out.len();
+            let inner = annotate(input, pattern, stats, depth + 1, out);
+            let per_window = inner * window.size.millis() as f64 / 60_000.0;
+            let header = format!(
+                "{pad}Aggregate count ≥ {m}  ~{per_window:.2} relevant/window\n"
+            );
+            out.insert_str(header_at, &header);
+            inner
+        }
+        PlanNode::NextOccurrence { trigger, marker, w } => {
+            let header_at = out.len();
+            let t = annotate(trigger, pattern, stats, depth + 1, out);
+            let m_rate = stats.rate(marker.etype) * stats.pass_rate(pattern, marker);
+            let header = format!(
+                "{pad}NextOccurrence(¬{} ~{m_rate:.3} ev/min, hold {w})\n",
+                marker.type_name
+            );
+            out.insert_str(header_at, &header);
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use asp::event::Attr;
+    use asp::time::Timestamp;
+    use sea::pattern::{builders, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    #[test]
+    fn explain_annotates_rates_and_estimates() {
+        let q = EventType(0);
+        let v = EventType(1);
+        let mk = |t: EventType, n: usize| -> Vec<Event> {
+            (0..n)
+                .map(|i| Event::new(t, 1, Timestamp(i as i64 * 60_000), (i % 100) as f64))
+                .collect()
+        };
+        let sources = HashMap::from([(q, mk(q, 600)), (v, mk(v, 600))]);
+        let stats = StreamStats::from_sources(&sources);
+        let p = builders::seq(
+            &[(q, "Q"), (v, "V")],
+            WindowSpec::minutes(10),
+            vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 49.0)],
+        );
+        let plan = crate::translate(&p, &crate::MapperOptions::o1()).unwrap();
+        let text = explain_with_stats(&plan, &p, &stats);
+        assert!(text.contains("Scan Q"), "{text}");
+        assert!(text.contains("pass 50.0%"), "{text}");
+        assert!(text.contains("candidates/min"), "{text}");
+        // Estimated candidates: 0.5 × 1.0 × 10 = 5/min.
+        assert!(text.contains("~5.0") || text.contains("~4.9"), "{text}");
+    }
+}

@@ -1,0 +1,618 @@
+//! Physical planning: logical plan → executable `asp` dataflow graph.
+//!
+//! Each plan node becomes one or more dataflow operators: scans share one
+//! source per event type and add their pushed-down filter; global joins
+//! get the uniform-key map of Section 4.2.1 (single partition); O3 joins
+//! hash-partition by sensor id across `parallelism` task slots. A final
+//! projection re-orders each match's constituents into pattern-position
+//! order and re-defines the event time to the match maximum (the
+//! complete-match rule of Section 4.2.2).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use asp::event::{Event, EventType};
+use asp::graph::{Exchange, GraphBuilder, NodeId, SinkId, SinkMode, SourceConfig};
+use asp::operator::{
+    DedupOp, FilterOp, IntervalBounds, IntervalJoinOp, JoinPredicate, MapOp, NextOccurrenceOp,
+    Operator, UnaryPredicate, UnionOp, WindowAggregateOp, WindowJoinOp,
+};
+use asp::time::Timestamp;
+use asp::tuple::{TsRule, Tuple};
+use asp::window::SlidingWindows;
+
+use sea::pattern::Leaf;
+use sea::predicate::{Predicate, VarId};
+
+use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
+
+/// Physical execution knobs.
+#[derive(Debug, Clone)]
+pub struct PhysicalConfig {
+    /// Task slots for keyed (O3) stateful operators.
+    pub parallelism: usize,
+    /// Per-stateful-operator state budget in bytes (None = unlimited).
+    pub memory_limit: Option<usize>,
+    /// Source pacing in events/second per source instance (None = as fast
+    /// as backpressure allows).
+    pub source_rate: Option<f64>,
+    /// Punctuated watermark interval (events).
+    pub watermark_every: usize,
+    /// Bounded out-of-orderness tolerated in the source streams:
+    /// watermarks assert `max seen ts − lag`. Zero for in-order inputs.
+    pub watermark_lag: asp::time::Duration,
+    /// Collect matched tuples at the sink (tests/examples) or count only
+    /// (benchmarks).
+    pub collect_output: bool,
+    /// Suppress the duplicate detections that overlapping sliding windows
+    /// produce (Section 3.1.4 notes duplicates are irrelevant for
+    /// idempotent actions but must otherwise be handled — this handles
+    /// them). Interval-join plans are duplicate-free already.
+    pub dedup_output: bool,
+}
+
+impl Default for PhysicalConfig {
+    fn default() -> Self {
+        PhysicalConfig {
+            parallelism: 1,
+            memory_limit: None,
+            source_rate: None,
+            watermark_every: 256,
+            watermark_lag: asp::time::Duration::ZERO,
+            collect_output: true,
+            dedup_output: false,
+        }
+    }
+}
+
+/// Physical planning errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The plan scans a type with no registered source stream.
+    MissingSource(EventType),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingSource(t) => write!(f, "no source stream registered for {t}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Build a runnable dataflow graph from a logical plan.
+///
+/// `sources` maps each scanned event type to its (ts-sorted) stream.
+pub fn build_pipeline(
+    plan: &LogicalPlan,
+    sources: &HashMap<EventType, Vec<Event>>,
+    cfg: &PhysicalConfig,
+) -> Result<(GraphBuilder, SinkId), BuildError> {
+    let mut b = Builder {
+        g: GraphBuilder::new(),
+        sources,
+        cfg,
+        positions: plan.positions,
+        source_cfgs: HashMap::new(),
+    };
+    let root = b.node(&plan.root)?;
+    let mut root = match &plan.root {
+        // Union children were already projected; everything else gets the
+        // final position-order projection here.
+        PlanNode::Union { .. } | PlanNode::Aggregate { .. } => root,
+        _ => b.project(root, plan.root.layout()),
+    };
+    if cfg.dedup_output {
+        let horizon = asp::time::Duration(2 * plan_window_ms(&plan.root));
+        let id = b.g.unary(
+            root.id,
+            Exchange::Rebalance,
+            1,
+            Box::new(move |_| Box::new(DedupOp::new("δ:output", horizon))),
+        );
+        root = Built { id, parallelism: 1 };
+    }
+    let sink_mode = if cfg.collect_output { SinkMode::Collect } else { SinkMode::CountOnly };
+    let sink = b.g.sink_with_mode(root.id, Exchange::Rebalance, sink_mode);
+    Ok((b.g, sink))
+}
+
+struct Built {
+    id: NodeId,
+    parallelism: usize,
+}
+
+struct Builder<'a> {
+    g: GraphBuilder,
+    sources: &'a HashMap<EventType, Vec<Event>>,
+    cfg: &'a PhysicalConfig,
+    positions: usize,
+    /// Shared per-type event arrays; each scan gets its *own* source node
+    /// over the shared array (like reading the same input as separate
+    /// DataStreams), so the scan's filter chains into the source task.
+    source_cfgs: HashMap<EventType, SourceConfig>,
+}
+
+impl<'a> Builder<'a> {
+    fn source(&mut self, etype: EventType) -> Result<NodeId, BuildError> {
+        let cfg = match self.source_cfgs.get(&etype) {
+            Some(cfg) => cfg.clone(),
+            None => {
+                let events = self
+                    .sources
+                    .get(&etype)
+                    .ok_or(BuildError::MissingSource(etype))?
+                    .clone();
+                let mut sc = SourceConfig::new(events)
+                    .with_watermark_every(self.cfg.watermark_every)
+                    .with_watermark_lag(self.cfg.watermark_lag);
+                if let Some(rate) = self.cfg.source_rate {
+                    sc = sc.with_rate(rate);
+                }
+                self.source_cfgs.insert(etype, sc.clone());
+                sc
+            }
+        };
+        Ok(self.g.source_with(format!("src:{etype}"), cfg, 1))
+    }
+
+    fn node(&mut self, n: &PlanNode) -> Result<Built, BuildError> {
+        match n {
+            PlanNode::Scan { etype, type_name, leaf, var, predicates } => {
+                let src = self.source(*etype)?;
+                let pred = scan_predicate(leaf, *var, predicates, self.positions);
+                let name = format!("σ:{type_name}[e{}]", var + 1);
+                let id = self.g.unary(
+                    src,
+                    Exchange::Forward,
+                    1,
+                    Box::new(move |_| Box::new(FilterOp::new(name.clone(), pred.clone()))),
+                );
+                Ok(Built { id, parallelism: 1 })
+            }
+
+            PlanNode::Join {
+                left,
+                right,
+                windowing,
+                partitioning,
+                order_pairs,
+                predicates,
+                span_ms,
+                ats_check,
+                key_pair,
+            } => {
+                let ll = left.layout();
+                let rl = right.layout();
+                let l = self.node(left)?;
+                let l = self.maybe_dedup(l, left);
+                let r = self.node(right)?;
+                let r = self.maybe_dedup(r, right);
+                let (l, r, par) = match partitioning {
+                    Partitioning::ByKey => {
+                        // Co-partitioning: re-key each side on its equi-
+                        // class variable's sensor id (an input produced by
+                        // a *global* sub-join carries the uniform key).
+                        let (kl, kr) = key_pair.expect("ByKey join has a key pair");
+                        let l = self.rekey(l, &ll, kl);
+                        let r = self.rekey(r, &rl, kr);
+                        (l, r, self.cfg.parallelism)
+                    }
+                    Partitioning::Global => {
+                        // Uniform key → single partition (Section 4.2.1).
+                        (self.uniform_key(l), self.uniform_key(r), 1)
+                    }
+                };
+                let theta = join_theta(JoinThetaSpec {
+                    left_layout: ll,
+                    right_layout: rl,
+                    order_pairs: order_pairs.clone(),
+                    predicates: predicates.clone(),
+                    span_ms: *span_ms,
+                    ats_check: *ats_check,
+                    positions: self.positions,
+                });
+                let windowing = *windowing;
+                let limit = self.cfg.memory_limit;
+                let name = format!("⋈{windowing}");
+                let factory: Box<dyn Fn(usize) -> Box<dyn Operator> + Send> =
+                    Box::new(move |_| match windowing {
+                        JoinWindowing::Sliding { size, slide } => {
+                            let mut op = WindowJoinOp::new(
+                                name.clone(),
+                                SlidingWindows::new(size, slide),
+                                theta.clone(),
+                                TsRule::Min,
+                            );
+                            if let Some(l) = limit {
+                                op = op.with_memory_limit(l);
+                            }
+                            Box::new(op)
+                        }
+                        JoinWindowing::Interval { lower, upper } => {
+                            let mut op = IntervalJoinOp::new(
+                                name.clone(),
+                                IntervalBounds { lower, upper },
+                                theta.clone(),
+                                TsRule::Min,
+                            );
+                            if let Some(l) = limit {
+                                op = op.with_memory_limit(l);
+                            }
+                            Box::new(op)
+                        }
+                    });
+                let id = self.g.nary(
+                    &[(l.id, Exchange::Hash), (r.id, Exchange::Hash)],
+                    par,
+                    factory,
+                );
+                Ok(Built { id, parallelism: par })
+            }
+
+            PlanNode::Union { inputs } => {
+                let mut built = Vec::with_capacity(inputs.len());
+                for i in inputs {
+                    let b = self.node(i)?;
+                    // Project each branch before the union so matches are in
+                    // canonical position order regardless of branch shape.
+                    let b = match i {
+                        PlanNode::Aggregate { .. } => b,
+                        _ => self.project(b, i.layout()),
+                    };
+                    built.push(b);
+                }
+                let ports = built.len();
+                let edges: Vec<(NodeId, Exchange)> =
+                    built.iter().map(|b| (b.id, Exchange::Rebalance)).collect();
+                let id = self.g.nary(
+                    &edges,
+                    1,
+                    Box::new(move |_| Box::new(UnionOp::new("∪", ports))),
+                );
+                Ok(Built { id, parallelism: 1 })
+            }
+
+            PlanNode::Aggregate { input, m, window, partitioning } => {
+                let inp = self.node(input)?;
+                let (inp, par) = match partitioning {
+                    Partitioning::ByKey => (inp, self.cfg.parallelism),
+                    Partitioning::Global => (self.uniform_key(inp), 1),
+                };
+                let m = *m;
+                let windows = SlidingWindows::new(window.size, window.slide);
+                let id = self.g.unary(
+                    inp.id,
+                    Exchange::Hash,
+                    par,
+                    Box::new(move |_| {
+                        Box::new(WindowAggregateOp::count_at_least(
+                            format!("γcount≥{m}"),
+                            windows,
+                            m,
+                        ))
+                    }),
+                );
+                Ok(Built { id, parallelism: par })
+            }
+
+            PlanNode::NextOccurrence { trigger, marker, w } => {
+                let t = self.node(trigger)?;
+                // Physical marker scan: source + the absent leaf's filters.
+                let src = self.source(marker.etype)?;
+                let mpred = leaf_predicate(marker);
+                let mname = format!("σ:¬{}", marker.type_name);
+                let mfil = self.g.unary(
+                    src,
+                    Exchange::Forward,
+                    1,
+                    Box::new(move |_| Box::new(FilterOp::new(mname.clone(), mpred.clone()))),
+                );
+                let trigger_type = trigger_type_of(trigger);
+                let marker_type = marker.etype;
+                let w = *w;
+                let is_trigger: UnaryPredicate =
+                    Arc::new(move |t: &Tuple| t.events[0].etype == trigger_type);
+                let is_marker: UnaryPredicate =
+                    Arc::new(move |t: &Tuple| t.events[0].etype == marker_type);
+                let id = self.g.nary(
+                    &[(t.id, Exchange::Rebalance), (mfil, Exchange::Rebalance)],
+                    1,
+                    Box::new(move |_| {
+                        Box::new(NextOccurrenceOp::new(
+                            "nextOcc",
+                            is_trigger.clone(),
+                            is_marker.clone(),
+                            w,
+                        ))
+                    }),
+                );
+                Ok(Built { id, parallelism: 1 })
+            }
+        }
+    }
+
+    /// Intermediate sliding joins re-emit each composite once per
+    /// overlapping pane; deduplicate before feeding the next join so the
+    /// duplicate factor does not compound multiplicatively down the chain
+    /// (duplicates are byte-identical, so this is semantics-preserving).
+    fn maybe_dedup(&mut self, input: Built, plan: &PlanNode) -> Built {
+        let PlanNode::Join { windowing: JoinWindowing::Sliding { size, .. }, .. } = plan else {
+            return input;
+        };
+        let horizon = *size;
+        let par = input.parallelism;
+        let id = self.g.unary(
+            input.id,
+            Exchange::Hash,
+            par,
+            Box::new(move |_| Box::new(DedupOp::new("δ:intermediate", horizon))),
+        );
+        Built { id, parallelism: par }
+    }
+
+    /// Set the partition key to the sensor id of the constituent bound at
+    /// pattern position `var`.
+    fn rekey(&mut self, input: Built, layout: &[VarId], var: VarId) -> Built {
+        let Some(idx) = layout.iter().position(|v| *v == var) else {
+            return input;
+        };
+        let id = self.g.unary(
+            input.id,
+            Exchange::Forward,
+            input.parallelism,
+            Box::new(move |_| {
+                Box::new(MapOp::new(
+                    format!("Π:key←e{}.id", var + 1),
+                    Arc::new(move |mut t: Tuple| {
+                        if let Some(e) = t.events.get(idx) {
+                            t.key = e.id as asp::tuple::Key;
+                        }
+                        t
+                    }),
+                ))
+            }),
+        );
+        Built { id, parallelism: input.parallelism }
+    }
+
+    fn uniform_key(&mut self, input: Built) -> Built {
+        let id = self.g.unary(
+            input.id,
+            Exchange::Rebalance,
+            1,
+            Box::new(|_| Box::new(MapOp::uniform_key("Π:key←0", 0))),
+        );
+        Built { id, parallelism: 1 }
+    }
+
+    /// Final projection: order constituents by pattern position and apply
+    /// the complete-match timestamp rule (max).
+    fn project(&mut self, input: Built, layout: Vec<VarId>) -> Built {
+        let id = self.g.unary(
+            input.id,
+            Exchange::Rebalance,
+            1,
+            Box::new(move |_| {
+                let layout = layout.clone();
+                Box::new(MapOp::new(
+                    "Π:order,ts←max",
+                    Arc::new(move |mut t: Tuple| {
+                        if t.events.len() == layout.len() {
+                            let mut order: Vec<usize> = (0..layout.len()).collect();
+                            order.sort_by_key(|&i| layout[i]);
+                            if order.windows(2).any(|w| w[0] > w[1]) {
+                                t.set_events(order.iter().map(|&i| t.events[i]).collect());
+                            }
+                        }
+                        t.ts = t.ts_end();
+                        t
+                    }),
+                ))
+            }),
+        );
+        Built { id, parallelism: 1 }
+    }
+}
+
+/// The largest window span in the plan (bounds how long a duplicate can
+/// recur).
+fn plan_window_ms(plan: &PlanNode) -> i64 {
+    match plan {
+        PlanNode::Scan { .. } => 0,
+        PlanNode::Join { left, right, span_ms, .. } => {
+            (*span_ms).max(plan_window_ms(left)).max(plan_window_ms(right))
+        }
+        PlanNode::Union { inputs } => inputs.iter().map(plan_window_ms).max().unwrap_or(0),
+        PlanNode::Aggregate { input, window, .. } => {
+            window.size.millis().max(plan_window_ms(input))
+        }
+        PlanNode::NextOccurrence { trigger, w, .. } => {
+            w.millis().max(plan_window_ms(trigger))
+        }
+    }
+}
+
+fn trigger_type_of(plan: &PlanNode) -> EventType {
+    match plan {
+        PlanNode::Scan { etype, .. } => *etype,
+        PlanNode::Join { left, .. } => trigger_type_of(left),
+        PlanNode::Union { inputs } => trigger_type_of(&inputs[0]),
+        PlanNode::Aggregate { input, .. } => trigger_type_of(input),
+        PlanNode::NextOccurrence { trigger, .. } => trigger_type_of(trigger),
+    }
+}
+
+/// Compile a scan's leaf filters + residual predicates into a tuple filter.
+fn scan_predicate(
+    leaf: &Leaf,
+    var: VarId,
+    predicates: &[Predicate],
+    positions: usize,
+) -> UnaryPredicate {
+    let leaf = leaf.clone();
+    let preds = predicates.to_vec();
+    let size = positions.max(var + 1);
+    Arc::new(move |t: &Tuple| {
+        let e = &t.events[0];
+        if !leaf.accepts(e) {
+            return false;
+        }
+        if preds.is_empty() {
+            return true;
+        }
+        let mut binding: Vec<Option<Event>> = vec![None; size];
+        binding[var] = Some(*e);
+        preds.iter().all(|p| p.eval_sparse(&binding))
+    })
+}
+
+/// A filter from a bare leaf (used for the NSEQ marker scan).
+fn leaf_predicate(leaf: &Leaf) -> UnaryPredicate {
+    let leaf = leaf.clone();
+    Arc::new(move |t: &Tuple| leaf.accepts(&t.events[0]))
+}
+
+struct JoinThetaSpec {
+    left_layout: Vec<VarId>,
+    right_layout: Vec<VarId>,
+    order_pairs: Vec<(VarId, VarId)>,
+    predicates: Vec<Predicate>,
+    span_ms: i64,
+    ats_check: Option<VarId>,
+    positions: usize,
+}
+
+/// Compile the join condition: window-span guard + newly-checkable order
+/// pairs + newly-bound predicates + the NSEQ `ats` selection.
+fn join_theta(spec: JoinThetaSpec) -> JoinPredicate {
+    let JoinThetaSpec {
+        left_layout,
+        right_layout,
+        order_pairs,
+        predicates,
+        span_ms,
+        ats_check,
+        positions,
+    } = spec;
+    let size = positions
+        .max(left_layout.iter().chain(&right_layout).map(|v| v + 1).max().unwrap_or(0));
+    Arc::new(move |l: &Tuple, r: &Tuple| {
+        // Window constraint over the full candidate match: the pairwise
+        // |ts_i − ts_j| < W requirement of the data model.
+        let begin = l.ts_begin().min(r.ts_begin());
+        let end = l.ts_end().max(r.ts_end());
+        if (end - begin).millis() >= span_ms {
+            return false;
+        }
+        // Sparse binding by pattern position.
+        let mut binding: Vec<Option<Event>> = vec![None; size];
+        for (i, v) in left_layout.iter().enumerate() {
+            if let Some(e) = l.events.get(i) {
+                binding[*v] = Some(*e);
+            }
+        }
+        for (i, v) in right_layout.iter().enumerate() {
+            if let Some(e) = r.events.get(i) {
+                binding[*v] = Some(*e);
+            }
+        }
+        for (a, b) in &order_pairs {
+            if let (Some(ea), Some(eb)) = (&binding[*a], &binding[*b]) {
+                if ea.ts >= eb.ts {
+                    return false;
+                }
+            }
+        }
+        if !predicates.iter().all(|p| p.eval_sparse(&binding)) {
+            return false;
+        }
+        if let Some(v) = ats_check {
+            let Some(ats) = l.ats.or(r.ats) else { return false };
+            let Some(last) = &binding[v] else { return false };
+            // σ_{ats ≥ e_v.ts}: no negated event in the open interval
+            // (e1.ts, e_v.ts) — see the NextOccurrence docs for why `≥`
+            // (not `>`) is the exact rewrite of Eq. 14.
+            if ats < last.ts {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// The timestamp at which a projected match is considered detected.
+pub fn detection_ts(t: &Tuple) -> Timestamp {
+    t.ts_end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{translate, MapperOptions};
+    use sea::pattern::{builders, WindowSpec};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+
+    fn ev(t: EventType, id: u32, min: i64, v: f64) -> Event {
+        Event::new(t, id, Timestamp::from_minutes(min), v)
+    }
+
+    #[test]
+    fn missing_source_is_reported() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let plan = translate(&p, &MapperOptions::plain()).unwrap();
+        let sources = HashMap::from([(Q, vec![ev(Q, 1, 0, 1.0)])]);
+        match build_pipeline(&plan, &sources, &PhysicalConfig::default()) {
+            Err(e) => assert_eq!(e, BuildError::MissingSource(V)),
+            Ok(_) => panic!("expected missing-source error"),
+        }
+    }
+
+    #[test]
+    fn theta_span_guard_rejects_wide_matches() {
+        let theta = join_theta(JoinThetaSpec {
+            left_layout: vec![0],
+            right_layout: vec![1],
+            order_pairs: vec![(0, 1)],
+            predicates: vec![],
+            span_ms: 4 * asp::time::MINUTE_MS,
+            ats_check: None,
+            positions: 2,
+        });
+        let a = Tuple::from_event(ev(Q, 1, 0, 1.0));
+        let near = Tuple::from_event(ev(V, 1, 3, 2.0));
+        let far = Tuple::from_event(ev(V, 1, 4, 2.0));
+        let before = Tuple::from_event(ev(V, 1, 0, 2.0));
+        assert!(theta(&a, &near));
+        assert!(!theta(&a, &far), "exactly W apart rejected");
+        assert!(!theta(&a, &before), "order pair enforced (equal ts)");
+    }
+
+    #[test]
+    fn theta_ats_check() {
+        let theta = join_theta(JoinThetaSpec {
+            left_layout: vec![0],
+            right_layout: vec![1],
+            order_pairs: vec![(0, 1)],
+            predicates: vec![],
+            span_ms: 10 * asp::time::MINUTE_MS,
+            ats_check: Some(1),
+            positions: 2,
+        });
+        let mut l = Tuple::from_event(ev(Q, 1, 0, 1.0));
+        let r = Tuple::from_event(ev(V, 1, 5, 2.0));
+        l.ats = Some(Timestamp::from_minutes(7));
+        assert!(theta(&l, &r), "marker after e3 → match survives");
+        l.ats = Some(Timestamp::from_minutes(5));
+        assert!(theta(&l, &r), "marker AT e3.ts → open interval, survives");
+        l.ats = Some(Timestamp::from_minutes(3));
+        assert!(!theta(&l, &r), "marker strictly inside → negated");
+        l.ats = None;
+        assert!(!theta(&l, &r), "missing annotation rejects");
+    }
+}

@@ -1,0 +1,322 @@
+//! The logical ASP query plan produced by the operator mapping
+//! (paper Section 4, Table 1).
+//!
+//! A plan is a tree of relational stream operators: typed scans (with
+//! pushed-down selections), window joins (sliding or interval — O1), set
+//! union, count aggregation (O2), and the NSEQ next-occurrence rewrite.
+//! Each node tracks its *layout* — which pattern positions its output
+//! tuples' constituent events occupy — so that predicates and ordering
+//! constraints stay checkable under arbitrary join orders (the manual
+//! join-reordering opportunity of Section 4.2.2).
+
+use std::fmt;
+
+use asp::event::EventType;
+use asp::time::Duration;
+
+use sea::pattern::{Leaf, WindowSpec};
+use sea::predicate::{Predicate, VarId};
+
+/// How a join discretizes time (Section 4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinWindowing {
+    /// Apriori sliding windows `(W, s)`; produces duplicates, needs a
+    /// stream-dependent slide.
+    Sliding { size: Duration, slide: Duration },
+    /// Content-based interval join with exclusive bounds
+    /// `(ts + lower, ts + upper)` — duplicate-free, slide-free (O1).
+    Interval { lower: Duration, upper: Duration },
+}
+
+impl fmt::Display for JoinWindowing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinWindowing::Sliding { size, slide } => write!(f, "SLIDING({size}, {slide})"),
+            JoinWindowing::Interval { lower, upper } => write!(f, "INTERVAL({lower}, {upper})"),
+        }
+    }
+}
+
+/// How a join's inputs are partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// A preceding map assigns one uniform key — single partition, no
+    /// parallelization potential (the Cartesian-product workaround of
+    /// Section 4.2.1).
+    Global,
+    /// Partition by the sensor-id equi-key (O3): the join parallelizes.
+    ByKey,
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitioning::Global => write!(f, "global"),
+            Partitioning::ByKey => write!(f, "by-key"),
+        }
+    }
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Typed scan `σ_filters(T)` with pushed-down per-event selections.
+    Scan {
+        etype: EventType,
+        type_name: String,
+        /// The leaf carries its local filters (type test + thresholds).
+        leaf: Leaf,
+        /// Pattern position this scan binds.
+        var: VarId,
+        /// Pushed-down single-variable predicates that are not simple
+        /// attribute-vs-constant thresholds (e.g. `e1.value < e1.ts`).
+        predicates: Vec<Predicate>,
+    },
+    /// Binary window join `left ⋈ right` under the given windowing.
+    Join {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        windowing: JoinWindowing,
+        partitioning: Partitioning,
+        /// Ordering constraints `a.ts < b.ts` newly checkable here.
+        order_pairs: Vec<(VarId, VarId)>,
+        /// Cross predicates that become fully bound at this join.
+        predicates: Vec<Predicate>,
+        /// Enforce `span(all bound events) < W` (always on for
+        /// correctness under composite inputs — see DESIGN.md).
+        span_ms: i64,
+        /// Check the NSEQ annotation `left.ats ≥ right-var ts` here.
+        ats_check: Option<VarId>,
+        /// For [`Partitioning::ByKey`]: the pattern variables (one per
+        /// side) whose sensor id is the partition key. The physical
+        /// planner re-keys each input on its variable so the sides are
+        /// co-partitioned even when an input comes from a global join.
+        key_pair: Option<(VarId, VarId)>,
+    },
+    /// Set union of schema-compatible branches (the OR mapping).
+    Union { inputs: Vec<PlanNode> },
+    /// Windowed count-aggregation `γ_{count ≥ m}` (the O2 ITER mapping).
+    Aggregate {
+        input: Box<PlanNode>,
+        m: u64,
+        window: WindowSpec,
+        partitioning: Partitioning,
+    },
+    /// The NSEQ rewrite UDF: annotate each trigger with the ts of the next
+    /// marker within `W` (`ats`).
+    NextOccurrence {
+        trigger: Box<PlanNode>,
+        marker: Leaf,
+        w: Duration,
+    },
+}
+
+impl PlanNode {
+    /// Pattern positions of this node's output constituents, in tuple
+    /// order (empty for summary outputs like aggregates and mixed unions).
+    pub fn layout(&self) -> Vec<VarId> {
+        match self {
+            PlanNode::Scan { var, .. } => vec![*var],
+            PlanNode::Join { left, right, .. } => {
+                let mut l = left.layout();
+                l.extend(right.layout());
+                l
+            }
+            PlanNode::Union { .. } => Vec::new(),
+            PlanNode::Aggregate { .. } => Vec::new(),
+            PlanNode::NextOccurrence { trigger, .. } => trigger.layout(),
+        }
+    }
+
+    /// Number of join operators in the plan — the decomposition degree the
+    /// paper contrasts with the single CEP operator.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 0,
+            PlanNode::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+            PlanNode::Union { inputs } => inputs.iter().map(PlanNode::join_count).sum(),
+            PlanNode::Aggregate { input, .. } => input.join_count(),
+            PlanNode::NextOccurrence { trigger, .. } => trigger.join_count(),
+        }
+    }
+
+    /// All scans in the plan, left to right.
+    pub fn scans(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::new();
+        self.collect_scans(&mut out);
+        out
+    }
+
+    fn collect_scans<'a>(&'a self, out: &mut Vec<&'a PlanNode>) {
+        match self {
+            PlanNode::Scan { .. } => out.push(self),
+            PlanNode::Join { left, right, .. } => {
+                left.collect_scans(out);
+                right.collect_scans(out);
+            }
+            PlanNode::Union { inputs } => inputs.iter().for_each(|i| i.collect_scans(out)),
+            PlanNode::Aggregate { input, .. } => input.collect_scans(out),
+            PlanNode::NextOccurrence { trigger, .. } => trigger.collect_scans(out),
+        }
+    }
+
+    /// Render an `EXPLAIN`-style indented tree.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::Scan { type_name, leaf, var, predicates, .. } => {
+                let mut filters: Vec<String> = leaf.filters.iter().map(|f| format!("{f}")).collect();
+                filters.extend(predicates.iter().map(|p| p.to_string()));
+                let _ = writeln!(
+                    out,
+                    "{pad}Scan {type_name} [e{}]{}",
+                    var + 1,
+                    if filters.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" σ({})", filters.join(" ∧ "))
+                    }
+                );
+            }
+            PlanNode::Join {
+                left,
+                right,
+                windowing,
+                partitioning,
+                order_pairs,
+                predicates,
+                ats_check,
+                ..
+            } => {
+                let mut conds: Vec<String> = order_pairs
+                    .iter()
+                    .map(|(a, b)| format!("e{}.ts < e{}.ts", a + 1, b + 1))
+                    .collect();
+                conds.extend(predicates.iter().map(|p| p.to_string()));
+                if let Some(v) = ats_check {
+                    conds.push(format!("ats ≥ e{}.ts", v + 1));
+                }
+                let _ = writeln!(
+                    out,
+                    "{pad}Join {windowing} [{partitioning}]{}",
+                    if conds.is_empty() {
+                        " (cross)".to_string()
+                    } else {
+                        format!(" on {}", conds.join(" ∧ "))
+                    }
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PlanNode::Union { inputs } => {
+                let _ = writeln!(out, "{pad}Union");
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            PlanNode::Aggregate { input, m, window, partitioning } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate count ≥ {m} over SLIDING({}, {}) [{partitioning}]",
+                    window.size, window.slide
+                );
+                input.explain_into(out, depth + 1);
+            }
+            PlanNode::NextOccurrence { trigger, marker, w } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}NextOccurrence(¬{} within {w}) → ats",
+                    marker.type_name
+                );
+                trigger.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// A complete logical plan: the root node plus pattern-level metadata.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    pub root: PlanNode,
+    /// Total bound positions of the pattern.
+    pub positions: usize,
+    /// Human-readable description of which mapping produced this plan.
+    pub mapping: String,
+}
+
+impl LogicalPlan {
+    pub fn explain(&self) -> String {
+        format!("-- mapping: {}\n{}", self.mapping, self.root.explain())
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::EventType;
+
+    fn scan(t: u16, var: VarId) -> PlanNode {
+        PlanNode::Scan {
+            etype: EventType(t),
+            type_name: format!("T{t}"),
+            leaf: Leaf::new(EventType(t), format!("T{t}"), format!("e{}", var + 1)),
+            var,
+            predicates: vec![],
+        }
+    }
+
+    #[test]
+    fn layout_concatenates_left_to_right() {
+        let j = PlanNode::Join {
+            left: Box::new(scan(0, 2)),
+            right: Box::new(scan(1, 0)),
+            windowing: JoinWindowing::Sliding {
+                size: Duration::from_minutes(4),
+                slide: Duration::from_minutes(1),
+            },
+            partitioning: Partitioning::Global,
+            order_pairs: vec![],
+            predicates: vec![],
+            span_ms: 4 * asp::time::MINUTE_MS,
+            ats_check: None,
+            key_pair: None,
+        };
+        assert_eq!(j.layout(), vec![2, 0]);
+        assert_eq!(j.join_count(), 1);
+        assert_eq!(j.scans().len(), 2);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let j = PlanNode::Join {
+            left: Box::new(scan(0, 0)),
+            right: Box::new(scan(1, 1)),
+            windowing: JoinWindowing::Interval {
+                lower: Duration::ZERO,
+                upper: Duration::from_minutes(4),
+            },
+            partitioning: Partitioning::ByKey,
+            order_pairs: vec![(0, 1)],
+            predicates: vec![],
+            span_ms: 4 * asp::time::MINUTE_MS,
+            ats_check: None,
+            key_pair: Some((0, 1)),
+        };
+        let text = j.explain();
+        assert!(text.contains("Join INTERVAL(0min, 4min) [by-key] on e1.ts < e2.ts"), "{text}");
+        assert!(text.contains("Scan T0 [e1]"), "{text}");
+    }
+}

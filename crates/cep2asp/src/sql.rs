@@ -1,0 +1,219 @@
+//! Render a mapped pattern as the SQL-like query text the paper uses to
+//! present its translations (Listings 4, 6, and 8).
+//!
+//! The rendering is presentational — execution goes through the logical
+//! plan — but it makes the pattern ↔ query correspondence inspectable and
+//! is exercised by `repro table1`.
+
+use std::fmt::Write;
+
+use sea::pattern::{Pattern, PatternExpr};
+use sea::predicate::Predicate;
+
+/// Render the ASP query for a pattern in the paper's `SELECT … FROM …
+/// WHERE … Window [Range W, s]` notation.
+pub fn to_query_text(pattern: &Pattern) -> String {
+    let mut from: Vec<String> = Vec::new();
+    let mut conds: Vec<String> = Vec::new();
+    let mut not_exists: Option<String> = None;
+    collect(&pattern.expr, &mut from, &mut conds, &mut not_exists);
+    for p in &pattern.predicates {
+        conds.push(render_pred(p, pattern));
+    }
+
+    let mut out = String::from("SELECT *\n");
+    let _ = writeln!(out, "FROM {}", from.join(", "));
+    if !conds.is_empty() || not_exists.is_some() {
+        let mut w = String::new();
+        if !conds.is_empty() {
+            w.push_str(&conds.join(" ∧ "));
+        }
+        if let Some(ne) = not_exists {
+            if !w.is_empty() {
+                w.push_str(" ∧ ");
+            }
+            w.push_str(&ne);
+        }
+        let _ = writeln!(out, "WHERE {w}");
+    }
+    let _ = write!(
+        out,
+        "Window [Range {}, {}]",
+        pattern.window.size, pattern.window.slide
+    );
+    out
+}
+
+fn var_name(pattern: &Pattern, var: usize) -> String {
+    pattern
+        .expr
+        .leaves()
+        .iter()
+        .find(|l| l.var == var)
+        .map(|l| l.var_name.clone())
+        .unwrap_or_else(|| format!("e{}", var + 1))
+}
+
+fn render_pred(p: &Predicate, pattern: &Pattern) -> String {
+    use sea::predicate::Expr;
+    let side = |e: &Expr| match e {
+        Expr::Var(v, a) => format!("{}.{}", var_name(pattern, *v), a),
+        Expr::Const(c) => format!("{c}"),
+    };
+    format!("{} {} {}", side(&p.lhs), p.op, side(&p.rhs))
+}
+
+fn collect(
+    expr: &PatternExpr,
+    from: &mut Vec<String>,
+    conds: &mut Vec<String>,
+    not_exists: &mut Option<String>,
+) {
+    match expr {
+        PatternExpr::Leaf(l) => {
+            from.push(format!("Stream {} {}", l.type_name, l.var_name));
+            for f in &l.filters {
+                conds.push(format!("{}{f}", l.var_name));
+            }
+        }
+        PatternExpr::And(parts) => parts
+            .iter()
+            .for_each(|p| collect(p, from, conds, not_exists)),
+        PatternExpr::Seq(parts) => {
+            for p in parts {
+                collect(p, from, conds, not_exists);
+            }
+            // Order conditions between consecutive parts' variables.
+            for w in parts.windows(2) {
+                if let (Some(a), Some(b)) = (last_leaf(&w[0]), first_leaf(&w[1])) {
+                    conds.push(format!("{}.ts < {}.ts", a, b));
+                }
+            }
+        }
+        PatternExpr::Or(parts) => {
+            // Render as a UNION of per-branch queries, abbreviated.
+            let branches: Vec<String> = parts
+                .iter()
+                .flat_map(|p| p.leaves())
+                .map(|l| format!("Stream {} {}", l.type_name, l.var_name))
+                .collect();
+            from.push(format!("({})", branches.join(" UNION ")));
+        }
+        PatternExpr::Iter { leaf, m, .. } => {
+            for i in 0..*m {
+                from.push(format!("Stream {} {}{}", leaf.type_name, leaf.var_name, i + 1));
+            }
+            for i in 0..m.saturating_sub(1) {
+                conds.push(format!(
+                    "{}{}.ts < {}{}.ts",
+                    leaf.var_name,
+                    i + 1,
+                    leaf.var_name,
+                    i + 2
+                ));
+            }
+        }
+        PatternExpr::NegSeq { first, absent, last } => {
+            from.push(format!("Stream {} {}", first.type_name, first.var_name));
+            from.push(format!("Stream {} {}", last.type_name, last.var_name));
+            conds.push(format!("{}.ts < {}.ts", first.var_name, last.var_name));
+            let mut inner_conds: Vec<String> = absent
+                .filters
+                .iter()
+                .map(|f| format!("{}{f}", absent.var_name))
+                .collect();
+            inner_conds.push(format!("{}.ts < {}.ts", first.var_name, absent.var_name));
+            inner_conds.push(format!("{}.ts < {}.ts", absent.var_name, last.var_name));
+            *not_exists = Some(format!(
+                "NOT EXISTS (SELECT * FROM Stream {} {} WHERE {})",
+                absent.type_name,
+                absent.var_name,
+                inner_conds.join(" ∧ ")
+            ));
+        }
+    }
+}
+
+fn first_leaf(expr: &PatternExpr) -> Option<String> {
+    expr.leaves().first().map(|l| l.var_name.clone())
+}
+
+fn last_leaf(expr: &PatternExpr) -> Option<String> {
+    expr.leaves().last().map(|l| l.var_name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::{Attr, EventType};
+    use sea::pattern::{builders, Leaf, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+    const PM: EventType = EventType(2);
+
+    #[test]
+    fn and_query_matches_listing_4() {
+        let p = builders::and(&[(Q, "T1"), (V, "T2")], WindowSpec::minutes(15), vec![]);
+        let q = to_query_text(&p);
+        assert!(q.starts_with("SELECT *"), "{q}");
+        assert!(q.contains("FROM Stream T1 e1, Stream T2 e2"), "{q}");
+        assert!(q.contains("Window [Range 15min, 1min]"), "{q}");
+    }
+
+    #[test]
+    fn seq_query_matches_listing_8() {
+        let p = builders::seq(
+            &[(Q, "T1"), (V, "T2"), (PM, "T3")],
+            WindowSpec::minutes(4),
+            vec![],
+        );
+        let q = to_query_text(&p);
+        assert!(q.contains("FROM Stream T1 e1, Stream T2 e2, Stream T3 e3"), "{q}");
+        assert!(q.contains("e1.ts < e2.ts"), "{q}");
+        assert!(q.contains("e2.ts < e3.ts"), "{q}");
+    }
+
+    #[test]
+    fn nseq_query_matches_listing_6() {
+        let p = builders::nseq(
+            (Q, "T1"),
+            Leaf::new(V, "T2", "n").with_filter(Attr::Value, CmpOp::Gt, 30.0),
+            (PM, "T3"),
+            WindowSpec::minutes(15),
+            vec![],
+        );
+        let q = to_query_text(&p);
+        assert!(q.contains("NOT EXISTS (SELECT * FROM Stream T2 n"), "{q}");
+        assert!(q.contains("e1.ts < n.ts"), "{q}");
+        assert!(q.contains("n.ts < e2.ts"), "{q}");
+        assert!(q.contains("n.value > 30"), "{q}");
+    }
+
+    #[test]
+    fn predicates_render_with_variable_names() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(4),
+            vec![Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value)],
+        );
+        let q = to_query_text(&p);
+        assert!(q.contains("e1.value <= e2.value"), "{q}");
+    }
+
+    #[test]
+    fn or_renders_union() {
+        let p = builders::or(&[(Q, "T1"), (V, "T2")], WindowSpec::minutes(4));
+        let q = to_query_text(&p);
+        assert!(q.contains("UNION"), "{q}");
+    }
+
+    #[test]
+    fn iter_renders_self_join() {
+        let p = builders::iter(V, "V", 3, WindowSpec::minutes(15), vec![]);
+        let q = to_query_text(&p);
+        assert!(q.contains("Stream V v1, Stream V v2, Stream V v3"), "{q}");
+        assert!(q.contains("v1.ts < v2.ts"), "{q}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # sea — Simple Event Algebra
+//!
+//! The formal layer of the CEP-to-ASP reproduction: the SEA operator set of
+//! *Bridging the Gap* (Ziehn et al., EDBT 2024), Section 3, with
+//!
+//! * [`pattern`] — the operator tree ([`Pattern`], [`PatternExpr`]):
+//!   sequence, conjunction, disjunction, iteration (incl. the Kleene+
+//!   extension), negated sequence, plus the mandatory `WITHIN (W, s)`
+//!   window and `WHERE` predicates over bound variables;
+//! * [`predicate`] — interpretable comparison predicates shared by every
+//!   engine so semantics cannot drift;
+//! * [`oracle`] — a literal, exhaustive implementation of the formal
+//!   semantics (Equations 3–14) used as ground truth in property tests;
+//! * [`parser`] — the SASE+-style declarative pattern language
+//!   (`PATTERN … WHERE … WITHIN … RETURN *`) the paper sketches as future
+//!   work.
+
+pub mod oracle;
+pub mod parser;
+pub mod pattern;
+pub mod predicate;
+
+pub use parser::{parse, ParseError};
+pub use pattern::{builders, Leaf, LocalFilter, Pattern, PatternError, PatternExpr, WindowSpec};
+pub use predicate::{CmpOp, Expr, Predicate, VarId};

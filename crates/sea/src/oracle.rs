@@ -1,0 +1,442 @@
+//! Reference (oracle) evaluator: a literal implementation of the formal
+//! operator semantics of Section 3.2 (Equations 3–14) over materialized
+//! substreams.
+//!
+//! The oracle makes no attempt to be fast — it enumerates matches by
+//! exhaustive search per window and is the *ground truth* that both the NFA
+//! engine (`cep`) and the mapped ASP plans (`cep2asp`) are property-tested
+//! against: `dedup(engine output) == oracle(stream)`.
+
+use std::collections::HashSet;
+
+use asp::event::Event;
+use asp::time::Timestamp;
+use asp::tuple::MatchKey;
+use asp::window::WindowId;
+
+use crate::pattern::{Pattern, PatternExpr};
+use crate::predicate::VarId;
+
+/// A match binding: `binding[var]` is the event bound at that position
+/// (`None` for positions of non-taken disjunction branches).
+pub type Binding = Vec<Option<Event>>;
+
+/// A completed match: the participating events in position order — the
+/// composite event `ce(e1, …, en)` of the paper's data model.
+pub type Match = Vec<Event>;
+
+/// Evaluate a pattern over a stream with the pattern's sliding windows and
+/// return the **deduplicated** set of matches (the semantic-equivalence
+/// baseline of Section 4: equivalence is modulo duplicates from
+/// overlapping windows).
+pub fn evaluate(pattern: &Pattern, events: &[Event]) -> Vec<Match> {
+    let mut seen: HashSet<MatchKey> = HashSet::new();
+    let mut out = Vec::new();
+    for (_wid, matches) in evaluate_per_window(pattern, events) {
+        for m in matches {
+            if seen.insert(MatchKey(m.clone())) {
+                out.push(m);
+            }
+        }
+    }
+    out.sort_by_key(|a| MatchKey(a.clone()));
+    out
+}
+
+/// Evaluate per substream, *keeping* duplicate detections across
+/// overlapping windows (what a sliding-window execution actually emits).
+pub fn evaluate_per_window(pattern: &Pattern, events: &[Event]) -> Vec<(WindowId, Vec<Match>)> {
+    let mut sorted: Vec<Event> = events.to_vec();
+    sorted.sort_by_key(|e| e.ts);
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let assigner = pattern.window.assigner();
+    let w = pattern.window.size.millis();
+    let s = pattern.window.slide.millis();
+    let min_ts = sorted.first().unwrap().ts.millis();
+    let max_ts = sorted.last().unwrap().ts.millis();
+    // All aligned windows [k·s, k·s + W) that intersect the event range.
+    let first_start = ((min_ts - w + 1).max(0) + s - 1).div_euclid(s) * s;
+    let mut out = Vec::new();
+    let mut start = first_start.max(0) - first_start.max(0).rem_euclid(s);
+    while start <= max_ts {
+        let wid = WindowId { start: Timestamp(start), end: Timestamp(start + w) };
+        let lo = sorted.partition_point(|e| e.ts < wid.start);
+        let hi = sorted.partition_point(|e| e.ts < wid.end);
+        let content = &sorted[lo..hi];
+        if !content.is_empty() {
+            let matches = evaluate_window(pattern, content);
+            if !matches.is_empty() {
+                out.push((wid, matches));
+            }
+        }
+        start += s;
+    }
+    // Sanity: the assigner and this enumeration agree on window shape.
+    debug_assert_eq!(assigner.windows_per_event(), ((w + s - 1) / s) as usize);
+    out
+}
+
+/// Evaluate the pattern inside one finite substream `S_k` (Theorem 1
+/// semantics: all matches whose events fall inside the window).
+pub fn evaluate_window(pattern: &Pattern, content: &[Event]) -> Vec<Match> {
+    let positions = pattern.positions();
+    let bindings = eval_expr(&pattern.expr, content, positions);
+    let mut out = Vec::new();
+    for b in bindings {
+        if pattern.predicates.iter().all(|p| p.eval_sparse(&b)) {
+            out.push(b.into_iter().flatten().collect());
+        }
+    }
+    out
+}
+
+fn bind_span(b: &Binding) -> Option<(Timestamp, Timestamp)> {
+    let mut min = None;
+    let mut max = None;
+    for e in b.iter().flatten() {
+        min = Some(min.map_or(e.ts, |m: Timestamp| m.min(e.ts)));
+        max = Some(max.map_or(e.ts, |m: Timestamp| m.max(e.ts)));
+    }
+    Some((min?, max?))
+}
+
+fn merge(a: &Binding, b: &Binding) -> Binding {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.or(*y))
+        .collect()
+}
+
+fn eval_expr(expr: &PatternExpr, content: &[Event], positions: usize) -> Vec<Binding> {
+    match expr {
+        PatternExpr::Leaf(leaf) => content
+            .iter()
+            .filter(|e| leaf.accepts(e))
+            .map(|e| {
+                let mut b: Binding = vec![None; positions];
+                b[leaf.var] = Some(*e);
+                b
+            })
+            .collect(),
+
+        // Eq. 9 generalized: joint occurrence, no order constraint.
+        PatternExpr::And(parts) => {
+            let mut acc: Vec<Binding> = vec![vec![None; positions]];
+            for p in parts {
+                let rights = eval_expr(p, content, positions);
+                let mut next = Vec::new();
+                for a in &acc {
+                    for r in &rights {
+                        next.push(merge(a, r));
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+
+        // Eq. 10 generalized: every event of the left part precedes every
+        // event of the right part (nested composites use span ordering).
+        PatternExpr::Seq(parts) => {
+            let mut acc: Vec<Binding> = vec![vec![None; positions]];
+            let mut first = true;
+            for p in parts {
+                let rights = eval_expr(p, content, positions);
+                let mut next = Vec::new();
+                for a in &acc {
+                    for r in &rights {
+                        if first {
+                            next.push(merge(a, r));
+                            continue;
+                        }
+                        let (Some((_, a_max)), Some((r_min, _))) = (bind_span(a), bind_span(r))
+                        else {
+                            continue;
+                        };
+                        if a_max < r_min {
+                            next.push(merge(a, r));
+                        }
+                    }
+                }
+                acc = next;
+                first = false;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+
+        // Eq. 11: either branch matches on its own.
+        PatternExpr::Or(parts) => parts
+            .iter()
+            .flat_map(|p| eval_expr(p, content, positions))
+            .collect(),
+
+        // Eq. 12: exactly m occurrences in strict ts order; Kleene+ (≥ m,
+        // the O2 extension) binds *all* accepted events of the window when
+        // at least m occurred (count-based skip-till-any-match semantics).
+        PatternExpr::Iter { leaf, m, at_least } => {
+            let accepted: Vec<&Event> = content.iter().filter(|e| leaf.accepts(e)).collect();
+            if *at_least {
+                if accepted.len() >= *m {
+                    // Kleene+ summary: all accepted events form the match.
+                    return vec![all_bound(leaf.var, &accepted, positions)];
+                }
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            let mut combo: Vec<&Event> = Vec::with_capacity(*m);
+            fn rec<'a>(
+                accepted: &[&'a Event],
+                from: usize,
+                m: usize,
+                var0: VarId,
+                positions: usize,
+                combo: &mut Vec<&'a Event>,
+                out: &mut Vec<Binding>,
+            ) {
+                if combo.len() == m {
+                    let mut b: Binding = vec![None; positions];
+                    for (i, e) in combo.iter().enumerate() {
+                        b[var0 + i] = Some(**e);
+                    }
+                    out.push(b);
+                    return;
+                }
+                for i in from..accepted.len() {
+                    // Strict ts order (Eq. 12): equal timestamps don't chain.
+                    if let Some(last) = combo.last() {
+                        if accepted[i].ts <= last.ts {
+                            continue;
+                        }
+                    }
+                    combo.push(accepted[i]);
+                    rec(accepted, i + 1, m, var0, positions, combo, out);
+                    combo.pop();
+                }
+            }
+            rec(&accepted, 0, *m, leaf.var, positions, &mut combo, &mut out);
+            out
+        }
+
+        // Eq. 14: (e1, e3) pairs with no accepted absent event strictly
+        // inside (e1.ts, e3.ts).
+        PatternExpr::NegSeq { first, absent, last } => {
+            let firsts: Vec<&Event> = content.iter().filter(|e| first.accepts(e)).collect();
+            let lasts: Vec<&Event> = content.iter().filter(|e| last.accepts(e)).collect();
+            let absents: Vec<&Event> = content.iter().filter(|e| absent.accepts(e)).collect();
+            let mut out = Vec::new();
+            for e1 in &firsts {
+                for e3 in &lasts {
+                    if e1.ts >= e3.ts {
+                        continue;
+                    }
+                    let negated = absents
+                        .iter()
+                        .any(|e2| e2.ts > e1.ts && e2.ts < e3.ts);
+                    if !negated {
+                        let mut b: Binding = vec![None; positions];
+                        b[first.var] = Some(**e1);
+                        b[last.var] = Some(**e3);
+                        out.push(b);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn all_bound(var0: VarId, accepted: &[&Event], positions: usize) -> Binding {
+    // Kleene+ summary binding: stash every accepted event by extending the
+    // binding beyond declared positions (the match payload is the full set).
+    let mut b: Binding = vec![None; positions.max(var0 + accepted.len())];
+    for (i, e) in accepted.iter().enumerate() {
+        if var0 + i < b.len() {
+            b[var0 + i] = Some(**e);
+        }
+    }
+    b
+}
+
+/// Count of qualifying windows for a Kleene+ pattern — the quantity the O2
+/// aggregation mapping reports (one output tuple per qualifying window).
+pub fn kleene_qualifying_windows(pattern: &Pattern, events: &[Event]) -> usize {
+    evaluate_per_window(pattern, events).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::builders;
+    use crate::pattern::{Leaf, WindowSpec};
+    use crate::predicate::{CmpOp, Predicate};
+    use asp::event::{Attr, EventType};
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+    const PM: EventType = EventType(2);
+
+    fn ev(t: EventType, min: i64, v: f64) -> Event {
+        Event::new(t, 1, Timestamp::from_minutes(min), v)
+    }
+
+    #[test]
+    fn seq_respects_order_and_window() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let stream = vec![ev(Q, 0, 1.0), ev(V, 2, 2.0), ev(V, 10, 3.0), ev(Q, 11, 4.0)];
+        let matches = evaluate(&p, &stream);
+        // (Q@0, V@2) within 4; (Q@0,V@10) outside; (Q@11, V@?) none after.
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0][0].ts, Timestamp::from_minutes(0));
+        assert_eq!(matches[0][1].ts, Timestamp::from_minutes(2));
+    }
+
+    #[test]
+    fn seq_equal_timestamps_do_not_match() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let stream = vec![ev(Q, 1, 1.0), ev(V, 1, 2.0)];
+        assert!(evaluate(&p, &stream).is_empty(), "strict e1.ts < e2.ts");
+    }
+
+    #[test]
+    fn and_is_order_free() {
+        let p = builders::and(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let stream = vec![ev(V, 0, 1.0), ev(Q, 2, 2.0)];
+        let matches = evaluate(&p, &stream);
+        assert_eq!(matches.len(), 1, "V before Q still matches AND");
+    }
+
+    #[test]
+    fn or_matches_single_events() {
+        let p = builders::or(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4));
+        let stream = vec![ev(Q, 0, 1.0), ev(V, 1, 2.0), ev(PM, 2, 3.0)];
+        let matches = evaluate(&p, &stream);
+        assert_eq!(matches.len(), 2);
+        assert!(matches.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn predicates_filter_matches() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(4),
+            vec![Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value)],
+        );
+        let stream = vec![ev(Q, 0, 5.0), ev(V, 1, 4.0), ev(V, 2, 6.0)];
+        let matches = evaluate(&p, &stream);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0][1].value, 6.0);
+    }
+
+    #[test]
+    fn iter_enumerates_increasing_combinations() {
+        let p = builders::iter(V, "V", 2, WindowSpec::minutes(10), vec![]);
+        let stream = vec![ev(V, 0, 1.0), ev(V, 1, 2.0), ev(V, 2, 3.0)];
+        // C(3,2) = 3 increasing pairs.
+        assert_eq!(evaluate(&p, &stream).len(), 3);
+    }
+
+    #[test]
+    fn iter_pairwise_constraint() {
+        let p = builders::iter(
+            V,
+            "V",
+            2,
+            WindowSpec::minutes(10),
+            vec![Predicate::cross(0, Attr::Value, CmpOp::Lt, 1, Attr::Value)],
+        );
+        let stream = vec![ev(V, 0, 3.0), ev(V, 1, 2.0), ev(V, 2, 5.0)];
+        // Increasing-value pairs among increasing-ts pairs: (3,5), (2,5).
+        assert_eq!(evaluate(&p, &stream).len(), 2);
+    }
+
+    #[test]
+    fn kleene_plus_counts_windows() {
+        let p = builders::kleene_plus(V, "V", 3, WindowSpec::minutes(5));
+        let stream = vec![ev(V, 0, 1.0), ev(V, 1, 1.0), ev(V, 2, 1.0)];
+        assert!(kleene_qualifying_windows(&p, &stream) >= 1);
+        let sparse = vec![ev(V, 0, 1.0), ev(V, 30, 1.0)];
+        assert_eq!(kleene_qualifying_windows(&p, &sparse), 0);
+    }
+
+    #[test]
+    fn nseq_detects_absence_with_open_interval() {
+        let absent = Leaf::new(V, "V", "n");
+        let p = builders::nseq((Q, "Q"), absent, (PM, "PM"), WindowSpec::minutes(10), vec![]);
+        // Case 1: V strictly between Q and PM → negated.
+        let blocked = vec![ev(Q, 0, 1.0), ev(V, 1, 2.0), ev(PM, 2, 3.0)];
+        assert!(evaluate(&p, &blocked).is_empty());
+        // Case 2: V at exactly PM's ts → open interval, NOT negated.
+        let boundary = vec![ev(Q, 0, 1.0), ev(V, 2, 2.0), ev(PM, 2, 3.0)];
+        assert_eq!(evaluate(&p, &boundary).len(), 1);
+        // Case 3: no V at all.
+        let clear = vec![ev(Q, 0, 1.0), ev(PM, 2, 3.0)];
+        assert_eq!(evaluate(&p, &clear).len(), 1);
+    }
+
+    #[test]
+    fn nseq_absent_filter_narrows_negation() {
+        let absent = Leaf::new(V, "V", "n").with_filter(Attr::Value, CmpOp::Gt, 10.0);
+        let p = builders::nseq((Q, "Q"), absent, (PM, "PM"), WindowSpec::minutes(10), vec![]);
+        // V with value 5 does not negate (filter requires > 10).
+        let stream = vec![ev(Q, 0, 1.0), ev(V, 1, 5.0), ev(PM, 2, 3.0)];
+        assert_eq!(evaluate(&p, &stream).len(), 1);
+        let stream = vec![ev(Q, 0, 1.0), ev(V, 1, 50.0), ev(PM, 2, 3.0)];
+        assert!(evaluate(&p, &stream).is_empty());
+    }
+
+    #[test]
+    fn duplicates_appear_per_window_but_dedup_once() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let stream = vec![ev(Q, 10, 1.0), ev(V, 11, 2.0)];
+        let per_window: usize = evaluate_per_window(&p, &stream)
+            .iter()
+            .map(|(_, m)| m.len())
+            .sum();
+        assert!(per_window > 1, "overlapping windows duplicate: {per_window}");
+        assert_eq!(evaluate(&p, &stream).len(), 1);
+    }
+
+    #[test]
+    fn theorem2_no_match_lost_with_slide_one() {
+        // Worst case: pair exactly W-1 apart must be found.
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let stream = vec![ev(Q, 7, 1.0), ev(V, 10, 2.0)]; // 3 min apart, W=4
+        assert_eq!(evaluate(&p, &stream).len(), 1);
+        let too_far = vec![ev(Q, 7, 1.0), ev(V, 11, 2.0)]; // exactly W apart
+        assert!(evaluate(&p, &too_far).is_empty());
+    }
+
+    #[test]
+    fn nested_seq_of_and_composes() {
+        use crate::pattern::{Pattern, PatternExpr};
+        let expr = PatternExpr::Seq(vec![
+            PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+            PatternExpr::And(vec![
+                PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+                PatternExpr::Leaf(Leaf::new(PM, "PM", "c")),
+            ]),
+        ]);
+        let p = Pattern::new("mix", expr, WindowSpec::minutes(10), vec![]).unwrap();
+        // Q@0 then {V@2, PM@1} — both after Q → match (AND is order-free).
+        let stream = vec![ev(Q, 0, 1.0), ev(PM, 1, 2.0), ev(V, 2, 3.0)];
+        assert_eq!(evaluate(&p, &stream).len(), 1);
+        // PM before Q breaks the SEQ span ordering.
+        let stream = vec![ev(PM, 0, 2.0), ev(Q, 1, 1.0), ev(V, 2, 3.0)];
+        assert!(evaluate(&p, &stream).is_empty());
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        assert!(evaluate(&p, &[]).is_empty());
+        assert!(evaluate_per_window(&p, &[]).is_empty());
+    }
+}

@@ -1,0 +1,701 @@
+//! The SEA pattern model (paper Section 3).
+//!
+//! A [`Pattern`] is a composition of the SEA operators — sequence,
+//! conjunction, disjunction, iteration, negated sequence — over typed event
+//! leaves, plus a mandatory window constraint (`WITHIN`) and a set of
+//! `WHERE` predicates. Each event-binding position in the flattened pattern
+//! receives a *variable id*; predicates reference positions, which is what
+//! lets the oracle, the NFA engine, and the ASP mapping evaluate identical
+//! semantics.
+
+use std::fmt;
+
+use asp::event::{Attr, EventType};
+use asp::time::Duration;
+use asp::window::SlidingWindows;
+
+use crate::predicate::{CmpOp, Predicate, VarId};
+
+/// A typed event leaf `T e` of the pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaf {
+    pub etype: EventType,
+    /// Human-readable type name ("Q", "PM10", …) for plans and printing.
+    pub type_name: String,
+    /// Variable name from the pattern text ("e1", "v", …).
+    pub var_name: String,
+    /// Position in the flattened pattern; assigned by [`Pattern::new`].
+    pub var: VarId,
+    /// Leaf-local threshold filters (used for the negated leaf, which has
+    /// no output position; for bound leaves the planner also pushes
+    /// single-variable `WHERE` terms down to the leaf).
+    pub filters: Vec<LocalFilter>,
+}
+
+impl Leaf {
+    pub fn new(etype: EventType, type_name: impl Into<String>, var_name: impl Into<String>) -> Self {
+        Leaf {
+            etype,
+            type_name: type_name.into(),
+            var_name: var_name.into(),
+            var: usize::MAX,
+            filters: Vec::new(),
+        }
+    }
+
+    pub fn with_filter(mut self, attr: Attr, op: CmpOp, value: f64) -> Self {
+        self.filters.push(LocalFilter { attr, op, value });
+        self
+    }
+
+    /// Does `event` satisfy the leaf's type and local filters?
+    pub fn accepts(&self, e: &asp::event::Event) -> bool {
+        e.etype == self.etype && self.filters.iter().all(|f| f.op.apply(e.attr(f.attr), f.value))
+    }
+}
+
+/// A per-event threshold attached directly to a leaf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalFilter {
+    pub attr: Attr,
+    pub op: CmpOp,
+    pub value: f64,
+}
+
+impl fmt::Display for LocalFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// The SEA operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternExpr {
+    /// A single typed event occurrence.
+    Leaf(Leaf),
+    /// `SEQ(p1, …, pn)`: temporally ordered occurrence (Eq. 10); nested
+    /// sequences are associative.
+    Seq(Vec<PatternExpr>),
+    /// `AND(p1, …, pn)`: joint occurrence within the window (Eq. 9);
+    /// associative and commutative.
+    And(Vec<PatternExpr>),
+    /// `OR(p1, …, pn)`: either occurrence (Eq. 11).
+    Or(Vec<PatternExpr>),
+    /// `ITER_m(T)`: exactly `m` occurrences in ts order (Eq. 12), or the
+    /// Kleene+ variant `≥ m` when `at_least` (the O2 extension of
+    /// Section 4.3.2, evaluated count-based under skip-till-any-match).
+    Iter { leaf: Leaf, m: usize, at_least: bool },
+    /// `SEQ(T1, ¬T2, T3)`: the negated sequence (Eq. 14). Only `first` and
+    /// `last` bind output positions; `absent` constrains the gap.
+    NegSeq { first: Leaf, absent: Leaf, last: Leaf },
+}
+
+impl PatternExpr {
+    /// Flatten directly nested same-operator nodes
+    /// (`SEQ(T1, SEQ(T2, T3)) → SEQ(T1, T2, T3)`, Section 3.2 syntax rules;
+    /// likewise for `AND` and `OR`).
+    pub fn simplify(self) -> PatternExpr {
+        fn flatten(parts: Vec<PatternExpr>, is_same: fn(&PatternExpr) -> Option<&Vec<PatternExpr>>) -> Vec<PatternExpr> {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                let p = p.simplify();
+                match is_same(&p) {
+                    Some(_) => {
+                        if let PatternExpr::Seq(inner) | PatternExpr::And(inner) | PatternExpr::Or(inner) = p {
+                            out.extend(inner);
+                        }
+                    }
+                    None => out.push(p),
+                }
+            }
+            out
+        }
+        match self {
+            PatternExpr::Seq(parts) => PatternExpr::Seq(flatten(parts, |p| match p {
+                PatternExpr::Seq(v) => Some(v),
+                _ => None,
+            })),
+            PatternExpr::And(parts) => PatternExpr::And(flatten(parts, |p| match p {
+                PatternExpr::And(v) => Some(v),
+                _ => None,
+            })),
+            PatternExpr::Or(parts) => PatternExpr::Or(flatten(parts, |p| match p {
+                PatternExpr::Or(v) => Some(v),
+                _ => None,
+            })),
+            other => other,
+        }
+    }
+
+    /// Number of output positions this sub-pattern binds.
+    pub fn positions(&self) -> usize {
+        match self {
+            PatternExpr::Leaf(_) => 1,
+            PatternExpr::Seq(parts) | PatternExpr::And(parts) => {
+                parts.iter().map(PatternExpr::positions).sum()
+            }
+            // A disjunction match binds one branch; positions are reserved
+            // for every branch so predicates can reference any of them.
+            PatternExpr::Or(parts) => parts.iter().map(PatternExpr::positions).sum(),
+            PatternExpr::Iter { m, .. } => *m,
+            PatternExpr::NegSeq { .. } => 2,
+        }
+    }
+
+    pub(crate) fn assign_vars(&mut self, next: &mut VarId) {
+        match self {
+            PatternExpr::Leaf(leaf) => {
+                leaf.var = *next;
+                *next += 1;
+            }
+            PatternExpr::Seq(parts) | PatternExpr::And(parts) | PatternExpr::Or(parts) => {
+                for p in parts {
+                    p.assign_vars(next);
+                }
+            }
+            PatternExpr::Iter { leaf, m, .. } => {
+                leaf.var = *next;
+                *next += *m;
+            }
+            PatternExpr::NegSeq { first, absent, last } => {
+                first.var = *next;
+                *next += 1;
+                last.var = *next;
+                *next += 1;
+                // The absent leaf binds no output position.
+                absent.var = usize::MAX;
+            }
+        }
+    }
+
+    /// All leaves in textual order (including negated/iterated ones).
+    pub fn leaves(&self) -> Vec<&Leaf> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Leaf>) {
+        match self {
+            PatternExpr::Leaf(l) => out.push(l),
+            PatternExpr::Seq(parts) | PatternExpr::And(parts) | PatternExpr::Or(parts) => {
+                for p in parts {
+                    p.collect_leaves(out);
+                }
+            }
+            PatternExpr::Iter { leaf, .. } => out.push(leaf),
+            PatternExpr::NegSeq { first, absent, last } => {
+                out.push(first);
+                out.push(absent);
+                out.push(last);
+            }
+        }
+    }
+
+    /// Event types consumed by this pattern (with duplicates).
+    pub fn input_types(&self) -> Vec<EventType> {
+        self.leaves().iter().map(|l| l.etype).collect()
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self {
+            PatternExpr::Leaf(_) => "LEAF",
+            PatternExpr::Seq(_) => "SEQ",
+            PatternExpr::And(_) => "AND",
+            PatternExpr::Or(_) => "OR",
+            PatternExpr::Iter { .. } => "ITER",
+            PatternExpr::NegSeq { .. } => "NSEQ",
+        }
+    }
+}
+
+impl fmt::Display for PatternExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternExpr::Leaf(l) => write!(f, "{} {}", l.type_name, l.var_name),
+            PatternExpr::Seq(parts) | PatternExpr::And(parts) | PatternExpr::Or(parts) => {
+                write!(f, "{}(", self.op_name())?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            PatternExpr::Iter { leaf, m, at_least } => write!(
+                f,
+                "ITER{}{}({} {})",
+                m,
+                if *at_least { "+" } else { "" },
+                leaf.type_name,
+                leaf.var_name
+            ),
+            PatternExpr::NegSeq { first, absent, last } => write!(
+                f,
+                "SEQ({} {}, ¬{} {}, {} {})",
+                first.type_name,
+                first.var_name,
+                absent.type_name,
+                absent.var_name,
+                last.type_name,
+                last.var_name
+            ),
+        }
+    }
+}
+
+/// The window constraint `WITHIN (W, s)` of Section 3.1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    pub size: Duration,
+    pub slide: Duration,
+}
+
+impl WindowSpec {
+    /// Window of `W` minutes with the paper's default slide of one minute
+    /// (slide ≤ the minimum inter-arrival of minute-granularity sensors,
+    /// per Theorem 2).
+    pub fn minutes(w: i64) -> Self {
+        WindowSpec {
+            size: Duration::from_minutes(w),
+            slide: Duration::from_minutes(1),
+        }
+    }
+
+    pub fn with_slide(mut self, slide: Duration) -> Self {
+        self.slide = slide;
+        self
+    }
+
+    pub fn assigner(&self) -> SlidingWindows {
+        SlidingWindows::new(self.size, self.slide)
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WITHIN ({}, {})", self.size, self.slide)
+    }
+}
+
+/// Errors raised by [`Pattern::new`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A predicate references a position the pattern does not bind.
+    UnknownVariable { var: VarId, positions: usize },
+    /// A predicate spans two branches of the same disjunction — no match
+    /// binds both, so it could never hold.
+    PredicateAcrossDisjunction(String),
+    /// `ITER` with m = 0.
+    EmptyIteration,
+    /// An operator with fewer than the required operands.
+    Arity { op: &'static str, got: usize, need: usize },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::UnknownVariable { var, positions } => {
+                write!(f, "predicate references e{} but pattern binds {positions} positions", var + 1)
+            }
+            PatternError::PredicateAcrossDisjunction(p) => {
+                write!(f, "predicate `{p}` spans disjunction branches")
+            }
+            PatternError::EmptyIteration => write!(f, "ITER requires m > 0"),
+            PatternError::Arity { op, got, need } => {
+                write!(f, "{op} needs at least {need} operands, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A complete, validated pattern: operator tree + window + predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    pub name: String,
+    pub expr: PatternExpr,
+    pub window: WindowSpec,
+    /// Positional predicates (`WHERE` clause).
+    pub predicates: Vec<Predicate>,
+    positions: usize,
+}
+
+impl Pattern {
+    /// Simplify, assign variable positions, and validate.
+    pub fn new(
+        name: impl Into<String>,
+        expr: PatternExpr,
+        window: WindowSpec,
+        predicates: Vec<Predicate>,
+    ) -> Result<Pattern, PatternError> {
+        let mut expr = expr.simplify();
+        Self::check_arity(&expr)?;
+        let mut next = 0;
+        expr.assign_vars(&mut next);
+        let positions = next;
+        for p in &predicates {
+            for v in p.vars() {
+                if v >= positions {
+                    return Err(PatternError::UnknownVariable { var: v, positions });
+                }
+            }
+        }
+        Self::check_disjunction_predicates(&expr, &predicates)?;
+        Ok(Pattern {
+            name: name.into(),
+            expr,
+            window,
+            predicates,
+            positions,
+        })
+    }
+
+    fn check_arity(expr: &PatternExpr) -> Result<(), PatternError> {
+        match expr {
+            PatternExpr::Leaf(_) => Ok(()),
+            PatternExpr::Seq(p) | PatternExpr::And(p) | PatternExpr::Or(p) => {
+                if p.len() < 2 {
+                    return Err(PatternError::Arity { op: expr.op_name(), got: p.len(), need: 2 });
+                }
+                p.iter().try_for_each(Self::check_arity)
+            }
+            PatternExpr::Iter { m, .. } => {
+                if *m == 0 {
+                    Err(PatternError::EmptyIteration)
+                } else {
+                    Ok(())
+                }
+            }
+            PatternExpr::NegSeq { .. } => Ok(()),
+        }
+    }
+
+    fn check_disjunction_predicates(
+        expr: &PatternExpr,
+        predicates: &[Predicate],
+    ) -> Result<(), PatternError> {
+        // Collect the position ranges of each disjunction branch; a
+        // predicate whose two variables land in different branches of the
+        // same OR can never be satisfied.
+        fn branches(expr: &PatternExpr, lo: VarId, out: &mut Vec<Vec<(VarId, VarId)>>) -> VarId {
+            match expr {
+                PatternExpr::Leaf(_) => lo + 1,
+                PatternExpr::Seq(parts) | PatternExpr::And(parts) => {
+                    let mut cur = lo;
+                    for p in parts {
+                        cur = branches(p, cur, out);
+                    }
+                    cur
+                }
+                PatternExpr::Or(parts) => {
+                    let mut ranges = Vec::new();
+                    let mut cur = lo;
+                    for p in parts {
+                        let start = cur;
+                        cur = branches(p, cur, out);
+                        ranges.push((start, cur));
+                    }
+                    out.push(ranges);
+                    cur
+                }
+                PatternExpr::Iter { m, .. } => lo + m,
+                PatternExpr::NegSeq { .. } => lo + 2,
+            }
+        }
+        let mut or_groups = Vec::new();
+        branches(expr, 0, &mut or_groups);
+        for p in predicates {
+            let vars = p.vars();
+            if vars.len() < 2 {
+                continue;
+            }
+            for group in &or_groups {
+                let branch_of = |v: VarId| group.iter().position(|(a, b)| v >= *a && v < *b);
+                let bs: Vec<_> = vars.iter().filter_map(|v| branch_of(*v)).collect();
+                if bs.len() >= 2 && bs.windows(2).any(|w| w[0] != w[1]) {
+                    return Err(PatternError::PredicateAcrossDisjunction(p.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of bound output positions.
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Predicates that reference only `var` (pushdown candidates).
+    pub fn single_var_predicates(&self, var: VarId) -> Vec<Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| p.vars() == vec![var])
+            .copied()
+            .collect()
+    }
+
+    /// Cross-variable predicates (≥ 2 distinct variables).
+    pub fn cross_predicates(&self) -> Vec<Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| p.vars().len() >= 2)
+            .copied()
+            .collect()
+    }
+
+    /// The equi-key predicate pairs (O3 opportunities).
+    pub fn equi_keys(&self) -> Vec<Predicate> {
+        self.predicates.iter().filter(|p| p.is_equi_key()).copied().collect()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PATTERN {}", self.expr)?;
+        if !self.predicates.is_empty() {
+            write!(f, "WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ∧ ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{}", self.window)
+    }
+}
+
+/// Convenience constructors used across tests, examples, and benches.
+pub mod builders {
+    use super::*;
+
+    /// `SEQ(T1 e1, …, Tn en)` over the given types.
+    pub fn seq(types: &[(EventType, &str)], window: WindowSpec, predicates: Vec<Predicate>) -> Pattern {
+        let parts: Vec<PatternExpr> = types
+            .iter()
+            .enumerate()
+            .map(|(i, (t, n))| PatternExpr::Leaf(Leaf::new(*t, *n, format!("e{}", i + 1))))
+            .collect();
+        Pattern::new("SEQ", PatternExpr::Seq(parts), window, predicates).expect("valid seq")
+    }
+
+    /// `AND(T1 e1, …, Tn en)`.
+    pub fn and(types: &[(EventType, &str)], window: WindowSpec, predicates: Vec<Predicate>) -> Pattern {
+        let parts: Vec<PatternExpr> = types
+            .iter()
+            .enumerate()
+            .map(|(i, (t, n))| PatternExpr::Leaf(Leaf::new(*t, *n, format!("e{}", i + 1))))
+            .collect();
+        Pattern::new("AND", PatternExpr::And(parts), window, predicates).expect("valid and")
+    }
+
+    /// `OR(T1 e1, …, Tn en)`.
+    pub fn or(types: &[(EventType, &str)], window: WindowSpec) -> Pattern {
+        let parts: Vec<PatternExpr> = types
+            .iter()
+            .enumerate()
+            .map(|(i, (t, n))| PatternExpr::Leaf(Leaf::new(*t, *n, format!("e{}", i + 1))))
+            .collect();
+        Pattern::new("OR", PatternExpr::Or(parts), window, Vec::new()).expect("valid or")
+    }
+
+    /// `ITER_m(T)` with optional predicates over positions `0..m`.
+    pub fn iter(
+        etype: EventType,
+        name: &str,
+        m: usize,
+        window: WindowSpec,
+        predicates: Vec<Predicate>,
+    ) -> Pattern {
+        Pattern::new(
+            format!("ITER{m}"),
+            PatternExpr::Iter { leaf: Leaf::new(etype, name, "v"), m, at_least: false },
+            window,
+            predicates,
+        )
+        .expect("valid iter")
+    }
+
+    /// Kleene+ `ITER_{≥m}(T)` (O2 extension).
+    pub fn kleene_plus(etype: EventType, name: &str, m: usize, window: WindowSpec) -> Pattern {
+        Pattern::new(
+            format!("ITER{m}+"),
+            PatternExpr::Iter { leaf: Leaf::new(etype, name, "v"), m, at_least: true },
+            window,
+            Vec::new(),
+        )
+        .expect("valid kleene")
+    }
+
+    /// `SEQ(T1 e1, ¬T2 n, T3 e2)` with optional filters on the absent leaf.
+    pub fn nseq(
+        first: (EventType, &str),
+        absent: Leaf,
+        last: (EventType, &str),
+        window: WindowSpec,
+        predicates: Vec<Predicate>,
+    ) -> Pattern {
+        Pattern::new(
+            "NSEQ",
+            PatternExpr::NegSeq {
+                first: Leaf::new(first.0, first.1, "e1"),
+                absent,
+                last: Leaf::new(last.0, last.1, "e2"),
+            },
+            window,
+            predicates,
+        )
+        .expect("valid nseq")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::builders::*;
+    use super::*;
+    use asp::event::Event;
+    use asp::time::Timestamp;
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+    const PM: EventType = EventType(2);
+
+    #[test]
+    fn nested_seq_simplifies() {
+        let inner = PatternExpr::Seq(vec![
+            PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+            PatternExpr::Leaf(Leaf::new(PM, "PM", "c")),
+        ]);
+        let outer = PatternExpr::Seq(vec![PatternExpr::Leaf(Leaf::new(Q, "Q", "a")), inner]);
+        let p = Pattern::new("n", outer, WindowSpec::minutes(15), vec![]).unwrap();
+        match &p.expr {
+            PatternExpr::Seq(parts) => assert_eq!(parts.len(), 3, "flattened"),
+            other => panic!("expected SEQ, got {other:?}"),
+        }
+        assert_eq!(p.positions(), 3);
+    }
+
+    #[test]
+    fn variable_assignment_is_textual_order() {
+        let p = seq(&[(Q, "Q"), (V, "V"), (PM, "PM")], WindowSpec::minutes(15), vec![]);
+        let vars: Vec<_> = p.expr.leaves().iter().map(|l| l.var).collect();
+        assert_eq!(vars, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn iter_reserves_m_positions() {
+        let p = iter(V, "V", 4, WindowSpec::minutes(15), vec![]);
+        assert_eq!(p.positions(), 4);
+        // A pairwise predicate on position 3 is valid; on 4 it is not.
+        let ok = Predicate::cross(2, Attr::Value, CmpOp::Lt, 3, Attr::Value);
+        assert!(Pattern::new("i", p.expr.clone(), p.window, vec![ok]).is_ok());
+        let bad = Predicate::threshold(4, Attr::Value, CmpOp::Lt, 1.0);
+        assert_eq!(
+            Pattern::new("i", p.expr, p.window, vec![bad]).unwrap_err(),
+            PatternError::UnknownVariable { var: 4, positions: 4 }
+        );
+    }
+
+    #[test]
+    fn nseq_binds_two_positions_absent_none() {
+        let p = nseq(
+            (Q, "Q"),
+            Leaf::new(V, "V", "n").with_filter(Attr::Value, CmpOp::Gt, 5.0),
+            (PM, "PM"),
+            WindowSpec::minutes(15),
+            vec![],
+        );
+        assert_eq!(p.positions(), 2);
+        let leaves = p.expr.leaves();
+        assert_eq!(leaves[0].var, 0);
+        assert_eq!(leaves[1].var, usize::MAX, "absent leaf unbound");
+        assert_eq!(leaves[2].var, 1);
+    }
+
+    #[test]
+    fn absent_leaf_filters_apply() {
+        let l = Leaf::new(V, "V", "n").with_filter(Attr::Value, CmpOp::Gt, 5.0);
+        let hit = Event::new(V, 1, Timestamp(0), 6.0);
+        let miss_val = Event::new(V, 1, Timestamp(0), 5.0);
+        let miss_type = Event::new(Q, 1, Timestamp(0), 9.0);
+        assert!(l.accepts(&hit));
+        assert!(!l.accepts(&miss_val));
+        assert!(!l.accepts(&miss_type));
+    }
+
+    #[test]
+    fn predicate_across_disjunction_is_rejected() {
+        let expr = PatternExpr::Or(vec![
+            PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+            PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+        ]);
+        let bad = Predicate::cross(0, Attr::Value, CmpOp::Lt, 1, Attr::Value);
+        assert!(matches!(
+            Pattern::new("o", expr, WindowSpec::minutes(5), vec![bad]),
+            Err(PatternError::PredicateAcrossDisjunction(_))
+        ));
+    }
+
+    #[test]
+    fn seq_containing_or_allows_cross_predicate_within_branch() {
+        // SEQ(Q a, OR(V b, PM c)): predicate a–b is fine (different OR
+        // groups don't conflict).
+        let expr = PatternExpr::Seq(vec![
+            PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+            PatternExpr::Or(vec![
+                PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+                PatternExpr::Leaf(Leaf::new(PM, "PM", "c")),
+            ]),
+        ]);
+        let ok = Predicate::cross(0, Attr::Value, CmpOp::Lt, 1, Attr::Value);
+        assert!(Pattern::new("m", expr.clone(), WindowSpec::minutes(5), vec![ok]).is_ok());
+        let bad = Predicate::cross(1, Attr::Value, CmpOp::Lt, 2, Attr::Value);
+        assert!(Pattern::new("m", expr, WindowSpec::minutes(5), vec![bad]).is_err());
+    }
+
+    #[test]
+    fn arity_validation() {
+        let one = PatternExpr::Seq(vec![PatternExpr::Leaf(Leaf::new(Q, "Q", "a"))]);
+        assert!(matches!(
+            Pattern::new("s", one, WindowSpec::minutes(5), vec![]),
+            Err(PatternError::Arity { .. })
+        ));
+        let zero_iter = PatternExpr::Iter { leaf: Leaf::new(Q, "Q", "a"), m: 0, at_least: false };
+        assert_eq!(
+            Pattern::new("i", zero_iter, WindowSpec::minutes(5), vec![]).unwrap_err(),
+            PatternError::EmptyIteration
+        );
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let p = seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(4),
+            vec![Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value)],
+        );
+        let s = p.to_string();
+        assert!(s.contains("PATTERN SEQ(Q e1, V e2)"), "{s}");
+        assert!(s.contains("WHERE e1.value <= e2.value"), "{s}");
+        assert!(s.contains("WITHIN (4min, 1min)"), "{s}");
+    }
+
+    #[test]
+    fn equi_key_extraction() {
+        let p = seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(15),
+            vec![
+                Predicate::same_id(0, 1),
+                Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value),
+            ],
+        );
+        assert_eq!(p.equi_keys().len(), 1);
+        assert_eq!(p.cross_predicates().len(), 2);
+        assert!(p.single_var_predicates(0).is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Predicate expressions over pattern variables.
+//!
+//! The `WHERE` clause of a pattern (paper Listing 1) constrains attribute
+//! values of the events bound to pattern variables — per-event predicates
+//! like `e3.value ≤ 10` and cross-event predicates like
+//! `e1.value ≤ e2.value` or the O3 equi-key condition `e1.id = e2.id`.
+//! Predicates are small interpretable trees so the oracle, the NFA engine,
+//! and the ASP mapping all evaluate identical semantics.
+
+use std::fmt;
+
+use asp::event::{Attr, Event};
+
+/// Index of a pattern variable (position in the flattened pattern).
+pub type VarId = usize;
+
+/// Comparison operators of the pattern language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    #[inline]
+    pub fn apply(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        match s {
+            "<" => Some(CmpOp::Lt),
+            "<=" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" => Some(CmpOp::Ge),
+            "==" | "=" => Some(CmpOp::Eq),
+            "!=" | "<>" => Some(CmpOp::Ne),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A scalar expression: an attribute of a bound variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expr {
+    Var(VarId, Attr),
+    Const(f64),
+}
+
+impl Expr {
+    /// Evaluate against the events bound so far; `None` if the referenced
+    /// variable is not bound yet (NFA partial matches defer such checks).
+    #[inline]
+    pub fn eval(&self, binding: &[Event]) -> Option<f64> {
+        match self {
+            Expr::Var(v, a) => binding.get(*v).map(|e| e.attr(*a)),
+            Expr::Const(c) => Some(*c),
+        }
+    }
+
+    /// The variable this expression references, if any.
+    pub fn var(&self) -> Option<VarId> {
+        match self {
+            Expr::Var(v, _) => Some(*v),
+            Expr::Const(_) => None,
+        }
+    }
+}
+
+/// A single comparison `lhs op rhs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    pub lhs: Expr,
+    pub op: CmpOp,
+    pub rhs: Expr,
+}
+
+impl Predicate {
+    pub fn new(lhs: Expr, op: CmpOp, rhs: Expr) -> Self {
+        Predicate { lhs, op, rhs }
+    }
+
+    /// Per-event threshold predicate `var.attr op const`.
+    pub fn threshold(var: VarId, attr: Attr, op: CmpOp, c: f64) -> Self {
+        Predicate::new(Expr::Var(var, attr), op, Expr::Const(c))
+    }
+
+    /// Cross-event predicate `a.attr op b.attr`.
+    pub fn cross(a: VarId, aa: Attr, op: CmpOp, b: VarId, ba: Attr) -> Self {
+        Predicate::new(Expr::Var(a, aa), op, Expr::Var(b, ba))
+    }
+
+    /// The O3 equi-key condition `a.id = b.id`.
+    pub fn same_id(a: VarId, b: VarId) -> Self {
+        Predicate::cross(a, Attr::Id, CmpOp::Eq, b, Attr::Id)
+    }
+
+    /// Evaluate against a full binding (all variables bound).
+    #[inline]
+    pub fn eval(&self, binding: &[Event]) -> bool {
+        match (self.lhs.eval(binding), self.rhs.eval(binding)) {
+            (Some(l), Some(r)) => self.op.apply(l, r),
+            _ => false,
+        }
+    }
+
+    /// Evaluate against a partial binding: `true` when a referenced
+    /// variable is still unbound (the check is deferred until it binds).
+    #[inline]
+    pub fn eval_partial(&self, binding: &[Event]) -> bool {
+        match (self.lhs.eval(binding), self.rhs.eval(binding)) {
+            (Some(l), Some(r)) => self.op.apply(l, r),
+            _ => true,
+        }
+    }
+
+    /// Evaluate against a sparse binding (positions may be unbound, e.g.
+    /// non-taken disjunction branches). A predicate referencing an unbound
+    /// variable is *vacuously true* — it constrains events that did not
+    /// participate in this match.
+    #[inline]
+    pub fn eval_sparse(&self, binding: &[Option<Event>]) -> bool {
+        let get = |e: &Expr| -> Result<f64, bool> {
+            match e {
+                Expr::Var(v, a) => match binding.get(*v) {
+                    Some(Some(ev)) => Ok(ev.attr(*a)),
+                    _ => Err(true), // unbound → vacuous
+                },
+                Expr::Const(c) => Ok(*c),
+            }
+        };
+        match (get(&self.lhs), get(&self.rhs)) {
+            (Ok(l), Ok(r)) => self.op.apply(l, r),
+            _ => true,
+        }
+    }
+
+    /// Variables referenced by this predicate (deduplicated, ≤ 2).
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut v: Vec<VarId> = [self.lhs.var(), self.rhs.var()].into_iter().flatten().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The highest referenced variable, if any — the point at which the
+    /// predicate becomes fully checkable in left-to-right binding order.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.vars().into_iter().max()
+    }
+
+    /// Is this an equality between the `id` attributes of two distinct
+    /// variables (the O3 partitioning opportunity)?
+    pub fn is_equi_key(&self) -> bool {
+        matches!(
+            (self.lhs, self.op, self.rhs),
+            (Expr::Var(a, Attr::Id), CmpOp::Eq, Expr::Var(b, Attr::Id)) if a != b
+        )
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = |e: &Expr, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            match e {
+                Expr::Var(v, a) => write!(f, "e{}.{}", v + 1, a),
+                Expr::Const(c) => write!(f, "{c}"),
+            }
+        };
+        w(&self.lhs, f)?;
+        write!(f, " {} ", self.op)?;
+        w(&self.rhs, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::EventType;
+    use asp::time::Timestamp;
+
+    fn ev(v: f64, id: u32) -> Event {
+        Event::new(EventType(0), id, Timestamp(0), v)
+    }
+
+    #[test]
+    fn cmp_ops_cover_all_orderings() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0) && !CmpOp::Lt.apply(2.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Gt.apply(3.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert!(CmpOp::Eq.apply(2.0, 2.0) && !CmpOp::Eq.apply(2.0, 3.0));
+        assert!(CmpOp::Ne.apply(2.0, 3.0));
+    }
+
+    #[test]
+    fn cmp_parse_round_trips() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(CmpOp::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(CmpOp::parse("="), Some(CmpOp::Eq));
+        assert_eq!(CmpOp::parse("<>"), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("~"), None);
+    }
+
+    #[test]
+    fn threshold_and_cross_predicates() {
+        let binding = [ev(5.0, 1), ev(8.0, 1)];
+        assert!(Predicate::threshold(0, Attr::Value, CmpOp::Le, 5.0).eval(&binding));
+        assert!(!Predicate::threshold(0, Attr::Value, CmpOp::Lt, 5.0).eval(&binding));
+        assert!(Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value).eval(&binding));
+        assert!(Predicate::same_id(0, 1).eval(&binding));
+        let other = [ev(5.0, 1), ev(8.0, 2)];
+        assert!(!Predicate::same_id(0, 1).eval(&other));
+    }
+
+    #[test]
+    fn partial_eval_defers_unbound_vars() {
+        let p = Predicate::cross(0, Attr::Value, CmpOp::Le, 2, Attr::Value);
+        let partial = [ev(5.0, 1)];
+        assert!(p.eval_partial(&partial), "var 2 unbound → deferred");
+        assert!(!p.eval(&partial), "strict eval fails on unbound");
+        let full = [ev(5.0, 1), ev(0.0, 1), ev(9.0, 1)];
+        assert!(p.eval_partial(&full) && p.eval(&full));
+    }
+
+    #[test]
+    fn equi_key_detection() {
+        assert!(Predicate::same_id(0, 1).is_equi_key());
+        assert!(!Predicate::cross(0, Attr::Value, CmpOp::Eq, 1, Attr::Value).is_equi_key());
+        assert!(!Predicate::cross(0, Attr::Id, CmpOp::Eq, 0, Attr::Id).is_equi_key());
+        assert!(!Predicate::threshold(0, Attr::Id, CmpOp::Eq, 5.0).is_equi_key());
+    }
+
+    #[test]
+    fn vars_and_max_var() {
+        let p = Predicate::cross(3, Attr::Value, CmpOp::Lt, 1, Attr::Value);
+        assert_eq!(p.vars(), vec![1, 3]);
+        assert_eq!(p.max_var(), Some(3));
+        let c = Predicate::new(Expr::Const(1.0), CmpOp::Lt, Expr::Const(2.0));
+        assert_eq!(c.max_var(), None);
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        let p = Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value);
+        assert_eq!(p.to_string(), "e1.value <= e2.value");
+        let t = Predicate::threshold(2, Attr::Value, CmpOp::Le, 10.0);
+        assert_eq!(t.to_string(), "e3.value <= 10");
+    }
+}

@@ -1,0 +1,407 @@
+//! Deterministic stream generators.
+//!
+//! Every sensor gets a stable pseudo-random phase inside its reporting
+//! interval (so timestamps across sensors interleave instead of piling on
+//! minute boundaries) and fixed coordinates inside a Hessen-like bounding
+//! box. Values come from either a uniform distribution (exactly
+//! calibratable filter selectivity) or a clamped random walk (realistic
+//! autocorrelated series for the examples).
+
+use std::collections::HashMap;
+
+use asp::event::{Event, EventType};
+use asp::time::{Timestamp, MINUTE_MS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::{HUM, PM10, PM25, Q, TEMP, V};
+
+/// How sensor values evolve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum ValueModel {
+    /// `Uniform[0, 100)` i.i.d. — filter pass rates are exact quantiles.
+    #[default]
+    Uniform,
+    /// Clamped random walk in `[0, 100]` with the given step bound —
+    /// autocorrelated like real traffic/air series.
+    RandomWalk { step: f64 },
+}
+
+
+/// A set of generated per-type streams, each sorted by timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub streams: HashMap<EventType, Vec<Event>>,
+}
+
+impl Workload {
+    /// Total events across all streams.
+    pub fn total_events(&self) -> usize {
+        self.streams.values().map(Vec::len).sum()
+    }
+
+    /// Merge another workload's streams into this one (re-sorting).
+    pub fn merge(&mut self, other: Workload) {
+        for (t, mut evs) in other.streams {
+            let entry = self.streams.entry(t).or_default();
+            entry.append(&mut evs);
+            entry.sort_by_key(|e| e.ts);
+        }
+    }
+
+    /// A single stream (empty slice if the type was not generated).
+    pub fn stream(&self, t: EventType) -> &[Event] {
+        self.streams.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All events of all streams merged into one ts-sorted vector.
+    pub fn merged(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.streams.values().flatten().copied().collect();
+        all.sort_by_key(|e| e.ts);
+        all
+    }
+
+    /// Perturb every stream's *arrival* order: each event is delayed by a
+    /// random amount up to `max_delay_ms` (timestamps are unchanged),
+    /// simulating network reordering. Consumers must configure a source
+    /// watermark lag ≥ `max_delay_ms` to avoid losing the stragglers.
+    pub fn with_disorder(mut self, max_delay_ms: i64, seed: u64) -> Workload {
+        assert!(max_delay_ms >= 0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15);
+        for stream in self.streams.values_mut() {
+            let mut keyed: Vec<(i64, Event)> = stream
+                .iter()
+                .map(|e| (e.ts.millis() + rng.gen_range(0..=max_delay_ms), *e))
+                .collect();
+            keyed.sort_by_key(|(arrival, e)| (*arrival, e.ts));
+            *stream = keyed.into_iter().map(|(_, e)| e).collect();
+        }
+        self
+    }
+}
+
+/// QnV traffic-data generator configuration.
+#[derive(Debug, Clone)]
+pub struct QnvConfig {
+    /// Number of road-segment sensors (= distinct keys).
+    pub sensors: u32,
+    /// Simulated duration in minutes; each sensor reports once per minute.
+    pub minutes: i64,
+    pub seed: u64,
+    pub value_model: ValueModel,
+}
+
+impl QnvConfig {
+    /// A configuration sized to produce ~`total` events (half Q, half V).
+    pub fn with_total_events(sensors: u32, total: usize, seed: u64) -> Self {
+        let per_sensor_readings = (total / 2).max(1) / sensors.max(1) as usize;
+        QnvConfig {
+            sensors,
+            minutes: per_sensor_readings.max(1) as i64,
+            seed,
+            value_model: ValueModel::Uniform,
+        }
+    }
+}
+
+/// Generate the QnV streams: per sensor, one (Q, V) reading pair per
+/// minute, both events stamped with the reading's timestamp.
+pub fn generate_qnv(cfg: &QnvConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut q = Vec::with_capacity((cfg.sensors as i64 * cfg.minutes) as usize);
+    let mut v = Vec::with_capacity(q.capacity());
+    let sensors: Vec<Sensor> = (0..cfg.sensors)
+        .map(|id| Sensor::new(id, MINUTE_MS, &mut rng))
+        .collect();
+    let mut walks_q: Vec<f64> = sensors.iter().map(|_| rng.gen_range(0.0..100.0)).collect();
+    let mut walks_v: Vec<f64> = sensors.iter().map(|_| rng.gen_range(0.0..100.0)).collect();
+    for minute in 0..cfg.minutes {
+        for (i, s) in sensors.iter().enumerate() {
+            let ts = Timestamp(minute * MINUTE_MS + s.phase_ms);
+            let qv = next_value(cfg.value_model, &mut walks_q[i], &mut rng);
+            let vv = next_value(cfg.value_model, &mut walks_v[i], &mut rng);
+            q.push(s.event(Q, ts, qv));
+            v.push(s.event(V, ts, vv));
+        }
+    }
+    q.sort_by_key(|e| e.ts);
+    v.sort_by_key(|e| e.ts);
+    Workload { streams: HashMap::from([(Q, q), (V, v)]) }
+}
+
+/// AirQuality-data generator configuration.
+#[derive(Debug, Clone)]
+pub struct AqConfig {
+    /// Number of SDS011 + DHT22 sensor sites.
+    pub sensors: u32,
+    /// Simulated duration in minutes; each sensor reports every 3–5 min.
+    pub minutes: i64,
+    pub seed: u64,
+    pub value_model: ValueModel,
+    /// Offset added to sensor ids so AQ sites don't collide with QnV
+    /// segments when both datasets are keyed together.
+    pub id_offset: u32,
+}
+
+impl Default for AqConfig {
+    fn default() -> Self {
+        AqConfig {
+            sensors: 8,
+            minutes: 60,
+            seed: 7,
+            value_model: ValueModel::Uniform,
+            id_offset: 0,
+        }
+    }
+}
+
+/// Generate the AQ streams: per site, an SDS011 reading (PM10 + PM2.5)
+/// and an independent DHT22 reading (Temp + Hum), each every 3–5 minutes.
+pub fn generate_aq(cfg: &AqConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA1);
+    let mut pm10 = Vec::new();
+    let mut pm25 = Vec::new();
+    let mut temp = Vec::new();
+    let mut hum = Vec::new();
+    let end = cfg.minutes * MINUTE_MS;
+    for idx in 0..cfg.sensors {
+        let s = Sensor::new(cfg.id_offset + idx, 5 * MINUTE_MS, &mut rng);
+        // SDS011 series.
+        let mut w1 = rng.gen_range(0.0..100.0);
+        let mut w2 = rng.gen_range(0.0..100.0);
+        let mut ts = s.phase_ms;
+        while ts < end {
+            let t = Timestamp(ts);
+            let a = next_value(cfg.value_model, &mut w1, &mut rng);
+            let b = next_value(cfg.value_model, &mut w2, &mut rng);
+            pm10.push(s.event(PM10, t, a));
+            pm25.push(s.event(PM25, t, b));
+            ts += rng.gen_range(3..=5) * MINUTE_MS;
+        }
+        // DHT22 series (independent cadence).
+        let mut w3 = rng.gen_range(0.0..100.0);
+        let mut w4 = rng.gen_range(0.0..100.0);
+        let mut ts = (s.phase_ms + MINUTE_MS) % (5 * MINUTE_MS);
+        while ts < end {
+            let t = Timestamp(ts);
+            let a = next_value(cfg.value_model, &mut w3, &mut rng);
+            let b = next_value(cfg.value_model, &mut w4, &mut rng);
+            temp.push(s.event(TEMP, t, a));
+            hum.push(s.event(HUM, t, b));
+            ts += rng.gen_range(3..=5) * MINUTE_MS;
+        }
+    }
+    for v in [&mut pm10, &mut pm25, &mut temp, &mut hum] {
+        v.sort_by_key(|e| e.ts);
+    }
+    Workload {
+        streams: HashMap::from([(PM10, pm10), (PM25, pm25), (TEMP, temp), (HUM, hum)]),
+    }
+}
+
+struct Sensor {
+    id: u32,
+    lat: f32,
+    lon: f32,
+    /// Stable offset inside the reporting interval, in ms.
+    phase_ms: i64,
+}
+
+impl Sensor {
+    fn new(id: u32, interval_ms: i64, rng: &mut StdRng) -> Sensor {
+        // Phases are quantized to whole minutes: the paper's sensors report
+        // on minute boundaries, and Theorem 2 requires the window slide
+        // (1 minute by default) to be no larger than the stream
+        // granularity — sub-minute timestamps with a 1-minute slide would
+        // lose matches.
+        let phase_minutes = interval_ms / MINUTE_MS;
+        Sensor {
+            id,
+            // Hessen-ish bounding box.
+            lat: rng.gen_range(49.4..51.7),
+            lon: rng.gen_range(7.8..10.2),
+            phase_ms: if phase_minutes > 1 {
+                rng.gen_range(0..phase_minutes) * MINUTE_MS
+            } else {
+                0
+            },
+        }
+    }
+
+    fn event(&self, etype: EventType, ts: Timestamp, value: f64) -> Event {
+        Event { etype, id: self.id, ts, value, lat: self.lat, lon: self.lon }
+    }
+}
+
+fn next_value(model: ValueModel, walk: &mut f64, rng: &mut StdRng) -> f64 {
+    match model {
+        ValueModel::Uniform => rng.gen_range(0.0..100.0),
+        ValueModel::RandomWalk { step } => {
+            *walk = (*walk + rng.gen_range(-step..step)).clamp(0.0, 100.0);
+            *walk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qnv(sensors: u32, minutes: i64, seed: u64) -> Workload {
+        generate_qnv(&QnvConfig { sensors, minutes, seed, value_model: ValueModel::Uniform })
+    }
+
+    #[test]
+    fn qnv_counts_and_order() {
+        let w = qnv(4, 100, 1);
+        assert_eq!(w.stream(Q).len(), 400);
+        assert_eq!(w.stream(V).len(), 400);
+        assert_eq!(w.total_events(), 800);
+        for s in w.streams.values() {
+            assert!(s.windows(2).all(|p| p[0].ts <= p[1].ts), "sorted by ts");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(qnv(3, 50, 42).stream(Q), qnv(3, 50, 42).stream(Q));
+        assert_ne!(qnv(3, 50, 42).stream(Q), qnv(3, 50, 43).stream(Q));
+    }
+
+    #[test]
+    fn sensor_ids_span_key_range() {
+        let w = qnv(16, 10, 1);
+        let ids: std::collections::HashSet<u32> =
+            w.stream(Q).iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 16);
+        assert!(ids.iter().all(|&i| i < 16));
+    }
+
+    #[test]
+    fn q_and_v_pair_up_per_reading() {
+        let w = qnv(2, 10, 9);
+        // Per sensor and minute, one Q and one V at the same ts.
+        for (qe, ve) in w.stream(Q).iter().zip(w.stream(V)) {
+            assert_eq!(qe.ts, ve.ts);
+            assert_eq!(qe.id, ve.id);
+        }
+    }
+
+    #[test]
+    fn uniform_values_hit_calibrated_pass_rate() {
+        let w = qnv(8, 500, 5);
+        let thr = crate::threshold_for_pass_rate(0.25);
+        let passed = w.stream(V).iter().filter(|e| e.value <= thr).count();
+        let rate = passed as f64 / w.stream(V).len() as f64;
+        assert!((rate - 0.25).abs() < 0.03, "measured pass rate {rate}");
+    }
+
+    #[test]
+    fn aq_cadence_is_three_to_five_minutes() {
+        let w = generate_aq(&AqConfig { sensors: 1, minutes: 200, ..Default::default() });
+        let pm = w.stream(PM10);
+        assert!(pm.len() > 30, "got {}", pm.len());
+        for p in pm.windows(2) {
+            let gap = (p[1].ts - p[0].ts).millis();
+            assert!((3 * MINUTE_MS..=5 * MINUTE_MS).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn aq_id_offset_separates_key_spaces() {
+        let w = generate_aq(&AqConfig { sensors: 4, id_offset: 100, ..Default::default() });
+        assert!(w.stream(PM10).iter().all(|e| (100..104).contains(&e.id)));
+    }
+
+    #[test]
+    fn with_total_events_sizes_accurately() {
+        let cfg = QnvConfig::with_total_events(10, 100_000, 1);
+        let w = generate_qnv(&cfg);
+        let total = w.total_events();
+        assert!(
+            (90_000..=110_000).contains(&total),
+            "requested ~100k, got {total}"
+        );
+    }
+
+    #[test]
+    fn random_walk_values_stay_bounded_and_correlated() {
+        let w = generate_qnv(&QnvConfig {
+            sensors: 1,
+            minutes: 500,
+            seed: 3,
+            value_model: ValueModel::RandomWalk { step: 2.0 },
+        });
+        let vs = w.stream(V);
+        assert!(vs.iter().all(|e| (0.0..=100.0).contains(&e.value)));
+        let max_jump = vs
+            .windows(2)
+            .map(|p| (p[1].value - p[0].value).abs())
+            .fold(0.0, f64::max);
+        assert!(max_jump <= 2.0 + 1e-9, "walk steps bounded: {max_jump}");
+    }
+
+    #[test]
+    fn merge_combines_and_resorts() {
+        let mut a = qnv(2, 10, 1);
+        let b = generate_aq(&AqConfig { sensors: 2, minutes: 40, ..Default::default() });
+        let before = a.total_events();
+        let b_total = b.total_events();
+        a.merge(b);
+        assert_eq!(a.total_events(), before + b_total);
+        assert!(a.streams.contains_key(&PM10));
+        let merged = a.merged();
+        assert!(merged.windows(2).all(|p| p[0].ts <= p[1].ts));
+    }
+}
+
+#[cfg(test)]
+mod disorder_tests {
+    use super::*;
+
+    #[test]
+    fn disorder_preserves_multiset_and_bounds_displacement() {
+        let w = generate_qnv(&QnvConfig {
+            sensors: 2,
+            minutes: 100,
+            seed: 3,
+            value_model: ValueModel::Uniform,
+        });
+        let max_delay = 5 * MINUTE_MS;
+        let d = w.clone().with_disorder(max_delay, 9);
+        for (t, original) in &w.streams {
+            let shuffled = d.stream(*t);
+            assert_eq!(shuffled.len(), original.len());
+            // Same events, different order.
+            let mut a = original.clone();
+            let mut b = shuffled.to_vec();
+            let key = |e: &Event| (e.ts, e.id, e.value.to_bits());
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "multiset preserved");
+            // Bounded disorder: no event arrives after one that is more
+            // than max_delay newer.
+            let mut max_seen = Timestamp::MIN;
+            for e in shuffled {
+                assert!(
+                    e.ts.millis() >= max_seen.millis().saturating_sub(max_delay),
+                    "event {e:?} displaced beyond the bound"
+                );
+                max_seen = max_seen.max(e.ts);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delay_is_identity_order() {
+        let w = generate_qnv(&QnvConfig {
+            sensors: 2,
+            minutes: 20,
+            seed: 3,
+            value_model: ValueModel::Uniform,
+        });
+        let d = w.clone().with_disorder(0, 1);
+        assert_eq!(w.stream(crate::types::Q), d.stream(crate::types::Q));
+    }
+}

@@ -1,0 +1,46 @@
+//! # workloads — synthetic sensor streams for the evaluation
+//!
+//! The paper evaluates on two real-world datasets that are no longer
+//! publicly available (the QnV traffic data's portal was shut down; see
+//! paper footnote 3). This crate generates statistically equivalent
+//! streams with the same schema `(id, lat, lon, ts, value)` and the same
+//! knobs the experiments vary:
+//!
+//! * **QnV-Data** ([`generate_qnv`]): road-segment sensors reporting
+//!   quantity (`Q`, cars/minute) and velocity (`V`, km/h) once per minute;
+//! * **AirQuality-Data** ([`generate_aq`]): `SDS011` particulate sensors
+//!   (`PM10`, `PM25`) and `DHT22` climate sensors (`Temp`, `Hum`)
+//!   reporting every 3–5 minutes;
+//! * sensor count = key cardinality (Figure 4), stream length = data
+//!   volume, and uniformly distributed values so filter pass rates — and
+//!   through them the output selectivity σₒ (Figure 3b) — are exactly
+//!   calibratable via [`threshold_for_pass_rate`].
+//!
+//! Streams are deterministic per seed; [`csv`] round-trips them to disk in
+//! the simple CSV format the paper's harness used.
+
+pub mod csv;
+pub mod generator;
+pub mod types;
+
+pub use generator::{generate_aq, generate_qnv, AqConfig, QnvConfig, ValueModel, Workload};
+pub use types::{registry, HUM, PM10, PM25, Q, TEMP, V};
+
+/// For `value ~ Uniform[0, 100)`: the threshold `t` such that
+/// `P(value ≤ t) = pass_rate`. Used to calibrate filter selectivities.
+pub fn threshold_for_pass_rate(pass_rate: f64) -> f64 {
+    (pass_rate.clamp(0.0, 1.0)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_calibration_is_linear() {
+        assert_eq!(threshold_for_pass_rate(0.0), 0.0);
+        assert_eq!(threshold_for_pass_rate(0.5), 50.0);
+        assert_eq!(threshold_for_pass_rate(1.0), 100.0);
+        assert_eq!(threshold_for_pass_rate(2.0), 100.0, "clamped");
+    }
+}

@@ -1,0 +1,45 @@
+//! The fixed event-type universe of the paper's workloads (Section 5.1.3):
+//! the POJO child classes `Q`, `V`, `Temp`, `Hum`, `PM10`, `PM2.5` over the
+//! common schema `(id, lat, lon, ts, value)`.
+
+use asp::event::{EventType, TypeRegistry};
+
+/// Traffic quantity — number of cars per minute on a road segment.
+pub const Q: EventType = EventType(0);
+/// Traffic velocity — average speed (km/h) on a road segment.
+pub const V: EventType = EventType(1);
+/// Particulate matter ≤ 10 µm (SDS011 sensor).
+pub const PM10: EventType = EventType(2);
+/// Particulate matter ≤ 2.5 µm (SDS011 sensor).
+pub const PM25: EventType = EventType(3);
+/// Temperature (DHT22 sensor).
+pub const TEMP: EventType = EventType(4);
+/// Humidity (DHT22 sensor).
+pub const HUM: EventType = EventType(5);
+
+/// A registry pre-populated with the six workload types in their canonical
+/// order, so ids here and in parsed patterns agree.
+pub fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    for name in ["Q", "V", "PM10", "PM25", "Temp", "Hum"] {
+        reg.intern(name);
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_agree_with_registry_order() {
+        let reg = registry();
+        assert_eq!(reg.get("Q"), Some(Q));
+        assert_eq!(reg.get("V"), Some(V));
+        assert_eq!(reg.get("PM10"), Some(PM10));
+        assert_eq!(reg.get("PM25"), Some(PM25));
+        assert_eq!(reg.get("Temp"), Some(TEMP));
+        assert_eq!(reg.get("Hum"), Some(HUM));
+        assert_eq!(reg.len(), 6);
+    }
+}

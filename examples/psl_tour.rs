@@ -1,0 +1,89 @@
+//! A tour of the declarative pattern specification language (PSL): write
+//! patterns as text, watch them become plans, and run one — the
+//! "declarative pattern → execution pipeline" parser the paper's future
+//! work calls for.
+//!
+//! ```sh
+//! cargo run --release --example psl_tour
+//! ```
+
+use cep2asp_suite::cep2asp::exec::{run_pattern_simple, split_by_type};
+use cep2asp_suite::cep2asp::{auto_options, translate, StreamStats};
+use cep2asp_suite::sea::parse;
+use cep2asp_suite::workloads::{self, generate_aq, generate_qnv, AqConfig, QnvConfig, ValueModel};
+
+fn main() {
+    // The registry carries type-name ↔ id mappings shared with the
+    // workload generators.
+    let mut types = workloads::registry();
+
+    let specs = [
+        // The paper's Listing 2.
+        "PATTERN SEQ(Q e1, V e2, PM10 e3)
+         WHERE e1.value <= e2.value AND e3.value <= 10
+         WITHIN 4 MINUTES",
+        // Conjunction with an equi-key (enables O3 partitioning).
+        "PATTERN AND(PM10 a, PM25 b)
+         WHERE a.id == b.id AND a.value >= 50 AND b.value >= 30
+         WITHIN 30 MINUTES",
+        // Disjunction.
+        "PATTERN OR(Temp t, Hum h) WITHIN 10 MINUTES",
+        // Bounded iteration with a custom slide.
+        "PATTERN ITER(V v, 4) WITHIN 15 MINUTES SLIDE 1 MINUTE",
+        // Kleene+ (≥ 3 occurrences).
+        "PATTERN ITER(V v, 3+) WITHIN 15 MINUTES",
+        // Negated sequence with a filter on the absent event.
+        "PATTERN SEQ(Q a, NOT PM10 n, V b)
+         WHERE a.value <= 40 AND n.value > 60
+         WITHIN 15 MINUTES
+         RETURN *",
+    ];
+
+    // Stream statistics drive the automatic optimizer (the paper's
+    // future-work item): rates and sampled selectivities pick O1/O2/O3
+    // and the join order without user hints.
+    let mut stats_w = generate_qnv(&QnvConfig {
+        sensors: 4,
+        minutes: 600,
+        seed: 1,
+        value_model: ValueModel::Uniform,
+    });
+    stats_w.merge(generate_aq(&AqConfig {
+        sensors: 4,
+        minutes: 600,
+        seed: 1,
+        value_model: ValueModel::Uniform,
+        id_offset: 0,
+    }));
+    let stat_sources = split_by_type(&stats_w.merged());
+    let stats = StreamStats::from_sources(&stat_sources);
+
+    for (i, spec) in specs.iter().enumerate() {
+        println!("─── pattern {} ───────────────────────────────", i + 1);
+        println!("{}\n", spec.trim());
+        let pattern = match parse(spec, &mut types) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("  {e}\n");
+                continue;
+            }
+        };
+        let opts = auto_options(&pattern, &stats);
+        match translate(&pattern, &opts) {
+            Ok(plan) => println!("{}", plan.explain()),
+            Err(e) => println!("  not mappable: {e}"),
+        }
+    }
+
+    // Run the last parsed pattern (the NSEQ) on generated data.
+    println!("─── executing the negated sequence ───────────");
+    let pattern = parse(specs[5], &mut types).expect("parses");
+    let opts = auto_options(&pattern, &stats);
+    let run = run_pattern_simple(&pattern, &opts, &stat_sources).unwrap();
+    println!(
+        "{} matches from {} events at {:.0} events/s",
+        run.dedup_matches().len(),
+        run.report.source_events,
+        run.report.throughput()
+    );
+}

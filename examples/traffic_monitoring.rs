@@ -1,0 +1,92 @@
+//! Traffic congestion monitoring — the paper's motivating IoT scenario —
+//! comparing the mapped ASP execution against the FlinkCEP-style NFA
+//! baseline on the same pattern and stream, end to end.
+//!
+//! Detects *stop-and-go* traffic: a velocity drop with no recovery in
+//! between, expressed as a negated sequence
+//! `SEQ(V slow, ¬V fast, V slow2)` — two slow readings on a road segment
+//! with no fast reading between them.
+//!
+//! ```sh
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use cep2asp_suite::asp::event::Attr;
+use cep2asp_suite::asp::runtime::{Executor, ExecutorConfig};
+use cep2asp_suite::cep::{build_baseline, BaselineConfig};
+use cep2asp_suite::cep2asp::exec::{dedup_sorted, run_pattern_simple, split_by_type};
+use cep2asp_suite::cep2asp::MapperOptions;
+use cep2asp_suite::sea::pattern::{builders, Leaf, WindowSpec};
+use cep2asp_suite::sea::predicate::{CmpOp, Predicate};
+use cep2asp_suite::workloads::{generate_qnv, QnvConfig, ValueModel, Q, V};
+
+fn main() {
+    let workload = generate_qnv(&QnvConfig {
+        sensors: 6,
+        minutes: 360,
+        seed: 7,
+        value_model: ValueModel::RandomWalk { step: 8.0 },
+    });
+
+    // Stop-and-go: slow (≤ 30 km/h), no recovery (> 50 km/h) in between,
+    // slow again — within 20 minutes. A quantity reading (Q) above 40
+    // confirms the congestion is load-induced.
+    let pattern = builders::nseq(
+        (V, "V"),
+        Leaf::new(V, "V", "fast"), // would clash: same type — see below
+        (V, "V"),
+        WindowSpec::minutes(20),
+        vec![],
+    );
+    // The negated leaf shares the trigger's event type, which the mapping
+    // rejects (the NSEQ rewrite cannot disambiguate trigger from marker
+    // after the union). Model recovery via the Q stream instead: free-flow
+    // implies low quantity, so "no low-quantity reading in between".
+    drop(pattern);
+    let pattern = builders::nseq(
+        (V, "V"),
+        Leaf::new(Q, "Q", "calm").with_filter(Attr::Value, CmpOp::Le, 20.0),
+        (V, "V"),
+        WindowSpec::minutes(20),
+        vec![
+            Predicate::threshold(0, Attr::Value, CmpOp::Le, 30.0),
+            Predicate::threshold(1, Attr::Value, CmpOp::Le, 30.0),
+        ],
+    );
+    println!("{pattern}\n");
+
+    let sources = split_by_type(&workload.merged());
+
+    // --- The mapping (FASP) ---
+    let fasp = run_pattern_simple(&pattern, &MapperOptions::o1(), &sources)
+        .expect("mapped pipeline");
+    let fasp_matches = fasp.dedup_matches();
+    println!(
+        "FASP  : {:>6} matches, {:>10.0} events/s  (plan: {})",
+        fasp_matches.len(),
+        fasp.report.throughput(),
+        fasp.plan.mapping
+    );
+
+    // --- The NFA baseline (FCEP) ---
+    let (graph, sink) = build_baseline(&pattern, &sources, &BaselineConfig::default())
+        .expect("NSEQ is FCEP-supported");
+    let mut report = Executor::new(ExecutorConfig::default()).run(graph).expect("baseline runs");
+    let fcep_matches = dedup_sorted(&report.take_sink(sink));
+    println!(
+        "FCEP  : {:>6} matches, {:>10.0} events/s  (single NFA operator)",
+        fcep_matches.len(),
+        report.throughput(),
+    );
+
+    // --- Same semantics, different execution ---
+    assert_eq!(fasp_matches, fcep_matches, "both engines agree");
+    println!("\nboth engines found identical match sets ✓");
+
+    for m in fasp_matches.iter().take(3) {
+        println!(
+            "  sensor {:>2}: {:.0} km/h at {} … {:.0} km/h at {} (no traffic lull between)",
+            m.0[0].id, m.0[0].value, m.0[0].ts, m.0[1].value, m.0[1].ts
+        );
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Summarize results/*.jsonl as compact per-experiment tables.
+
+Used to refresh EXPERIMENTS.md after a `repro all` run.
+"""
+import json
+import glob
+import sys
+
+out_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+for f in sorted(glob.glob(f"{out_dir}/*.jsonl")):
+    print(f"== {f}")
+    for line in open(f):
+        r = json.loads(line)
+        params = " ".join(f"{k}={v}" for k, v in r["params"].items())
+        if r.get("failed"):
+            print(f"  {r['system']:<14} {params:<40} FAILED: {r['failed'][:60]}")
+            continue
+        lat = f"{r['latency_mean_ms']:.1f}ms" if r["latency_mean_ms"] else "-"
+        print(
+            f"  {r['system']:<14} {params:<40} {r['throughput_tps']/1e6:7.2f}M tpl/s"
+            f"  sel={r['selectivity_pct']:9.4f}%  lat={lat:>9}  state={r['peak_state_mib']:7.1f}MiB"
+        )

@@ -1,0 +1,23 @@
+//! # cep2asp-suite — umbrella crate
+//!
+//! Re-exports the whole reproduction of *Bridging the Gap: Complex Event
+//! Processing on Stream Processing Systems* (Ziehn et al., EDBT 2024) so
+//! examples and cross-crate integration tests can depend on one crate:
+//!
+//! * [`asp`] — the analytical stream processing substrate (dataflow
+//!   engine: event time, windows, joins, keyed parallelism);
+//! * [`sea`] — the Simple Event Algebra: patterns, predicates, the formal
+//!   oracle, and the SASE+-style pattern language;
+//! * [`cep`] — the FlinkCEP-style NFA baseline (the single unary operator
+//!   the paper's mapping outperforms);
+//! * [`cep2asp`] — the operator mapping itself: pattern → decomposed ASP
+//!   plan, with the O1/O2/O3 optimizations;
+//! * [`workloads`] — deterministic QnV / AirQuality stream generators.
+//!
+//! See `examples/quickstart.rs` for the one-minute tour.
+
+pub use asp;
+pub use cep;
+pub use cep2asp;
+pub use sea;
+pub use workloads;

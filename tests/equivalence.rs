@@ -1,0 +1,333 @@
+//! Cross-engine semantic equivalence (the correctness claim of Section 4):
+//! for every SEA operator, the mapped ASP plan — under every optimization
+//! combination — produces the same deduplicated match set as the formal
+//! oracle, and as the NFA baseline where FlinkCEP supports the operator
+//! (Table 2).
+
+use std::collections::HashMap;
+
+use asp::event::{Attr, Event, EventType};
+use asp::runtime::{Executor, ExecutorConfig};
+use asp::tuple::MatchKey;
+use cep::{BaselineConfig, SelectionPolicy};
+use cep2asp::exec::{dedup_sorted, run_pattern, split_by_type};
+use cep2asp::{MapperOptions, PhysicalConfig};
+use sea::pattern::{builders, Leaf, Pattern, WindowSpec};
+use sea::predicate::{CmpOp, Predicate};
+use workloads::{generate_aq, generate_qnv, AqConfig, QnvConfig, ValueModel, HUM, PM10, Q, V};
+
+fn qnv(sensors: u32, minutes: i64, seed: u64) -> workloads::Workload {
+    generate_qnv(&QnvConfig { sensors, minutes, seed, value_model: ValueModel::Uniform })
+}
+
+fn oracle_matches(pattern: &Pattern, events: &[Event]) -> Vec<MatchKey> {
+    sea::oracle::evaluate(pattern, events)
+        .into_iter()
+        .map(MatchKey)
+        .collect()
+}
+
+fn fasp_matches(
+    pattern: &Pattern,
+    opts: &MapperOptions,
+    sources: &HashMap<EventType, Vec<Event>>,
+    parallelism: usize,
+) -> Vec<MatchKey> {
+    let phys = PhysicalConfig { parallelism, ..Default::default() };
+    let run = run_pattern(pattern, opts, sources, &phys, &ExecutorConfig::default())
+        .expect("mapped run");
+    run.dedup_matches()
+}
+
+fn fcep_matches(pattern: &Pattern, sources: &HashMap<EventType, Vec<Event>>) -> Vec<MatchKey> {
+    let (g, sink) = cep::build_baseline(pattern, sources, &BaselineConfig::default())
+        .expect("baseline build");
+    let mut report = Executor::new(ExecutorConfig::default()).run(g).expect("baseline run");
+    dedup_sorted(&report.take_sink(sink))
+}
+
+/// All mapping option sets exercised for each pattern.
+fn all_opts() -> Vec<(&'static str, MapperOptions)> {
+    vec![
+        ("FASP", MapperOptions::plain()),
+        ("FASP-O1", MapperOptions::o1()),
+        ("FASP-O3", MapperOptions::o3()),
+        ("FASP-O1+O3", MapperOptions::o1().and_o3()),
+    ]
+}
+
+fn check_all(pattern: &Pattern, workload: &workloads::Workload, expect_fcep: bool) {
+    let merged = workload.merged();
+    let sources = split_by_type(&merged);
+    let oracle = oracle_matches(pattern, &merged);
+    assert!(
+        !oracle.is_empty(),
+        "test workload must produce matches for {}",
+        pattern.name
+    );
+    for (name, opts) in all_opts() {
+        for par in [1usize, 4] {
+            let got = fasp_matches(pattern, &opts, &sources, par);
+            assert_eq!(
+                got, oracle,
+                "{name} (par={par}) disagrees with oracle for {}",
+                pattern.name
+            );
+        }
+    }
+    if expect_fcep {
+        let got = fcep_matches(pattern, &sources);
+        assert_eq!(got, oracle, "FCEP disagrees with oracle for {}", pattern.name);
+    }
+}
+
+#[test]
+fn seq2_equivalence() {
+    let p = builders::seq(
+        &[(Q, "Q"), (V, "V")],
+        WindowSpec::minutes(4),
+        vec![Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value)],
+    );
+    check_all(&p, &qnv(3, 40, 11), true);
+}
+
+#[test]
+fn seq3_multi_source_equivalence() {
+    let mut w = qnv(2, 40, 7);
+    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 40, seed: 7, id_offset: 50, ..Default::default() }));
+    let p = builders::seq(
+        &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
+        WindowSpec::minutes(6),
+        vec![Predicate::threshold(2, Attr::Value, CmpOp::Le, 60.0)],
+    );
+    check_all(&p, &w, true);
+}
+
+#[test]
+fn and_equivalence_oracle_only() {
+    // FCEP does not support AND (Table 2).
+    let p = builders::and(
+        &[(Q, "Q"), (V, "V")],
+        WindowSpec::minutes(3),
+        vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 40.0)],
+    );
+    check_all(&p, &qnv(2, 30, 13), false);
+}
+
+#[test]
+fn or_equivalence_oracle_only() {
+    let p = builders::or(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(3));
+    check_all(&p, &qnv(2, 20, 17), false);
+}
+
+#[test]
+fn iter_equivalence() {
+    let p = builders::iter(
+        V,
+        "V",
+        3,
+        WindowSpec::minutes(5),
+        vec![
+            Predicate::cross(0, Attr::Value, CmpOp::Lt, 1, Attr::Value),
+            Predicate::cross(1, Attr::Value, CmpOp::Lt, 2, Attr::Value),
+        ],
+    );
+    check_all(&p, &qnv(2, 30, 19), true);
+}
+
+#[test]
+fn nseq_equivalence() {
+    let mut w = qnv(2, 60, 23);
+    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 60, seed: 23, id_offset: 80, ..Default::default() }));
+    let p = builders::nseq(
+        (Q, "Q"),
+        Leaf::new(PM10, "PM10", "n").with_filter(Attr::Value, CmpOp::Gt, 50.0),
+        (V, "V"),
+        WindowSpec::minutes(5),
+        vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 70.0)],
+    );
+    check_all(&p, &w, true);
+}
+
+#[test]
+fn nested_seq_of_and_equivalence() {
+    use sea::pattern::PatternExpr;
+    let mut w = qnv(2, 40, 29);
+    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 40, seed: 29, id_offset: 60, ..Default::default() }));
+    let expr = PatternExpr::Seq(vec![
+        PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+        PatternExpr::And(vec![
+            PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+            PatternExpr::Leaf(Leaf::new(PM10, "PM10", "c")),
+        ]),
+    ]);
+    let p = Pattern::new("seq-of-and", expr, WindowSpec::minutes(5), vec![]).unwrap();
+    check_all(&p, &w, false);
+}
+
+#[test]
+fn seq_with_nested_or_distributes_correctly() {
+    use sea::pattern::PatternExpr;
+    let mut w = qnv(2, 40, 31);
+    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 40, seed: 31, id_offset: 70, ..Default::default() }));
+    let expr = PatternExpr::Seq(vec![
+        PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+        PatternExpr::Or(vec![
+            PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+            PatternExpr::Leaf(Leaf::new(HUM, "Hum", "c")),
+        ]),
+    ]);
+    let p = Pattern::new("seq-or", expr, WindowSpec::minutes(4), vec![]).unwrap();
+    check_all(&p, &w, false);
+}
+
+#[test]
+fn equi_key_pattern_matches_within_sensor_only() {
+    let p = builders::seq(
+        &[(Q, "Q"), (V, "V")],
+        WindowSpec::minutes(4),
+        vec![Predicate::same_id(0, 1)],
+    );
+    let w = qnv(4, 30, 37);
+    check_all(&p, &w, false);
+    // Every match pairs events of one sensor.
+    let merged = w.merged();
+    for m in sea::oracle::evaluate(&p, &merged) {
+        assert_eq!(m[0].id, m[1].id);
+    }
+}
+
+#[test]
+fn keyed_fcep_equals_keyed_fasp_for_equi_pattern() {
+    let p = builders::seq(
+        &[(Q, "Q"), (V, "V")],
+        WindowSpec::minutes(4),
+        vec![Predicate::same_id(0, 1)],
+    );
+    let w = qnv(6, 30, 41);
+    let sources = split_by_type(&w.merged());
+    let oracle = oracle_matches(&p, &w.merged());
+
+    // FCEP with keyBy(id) parallelism.
+    let cfg = BaselineConfig { keyed: true, parallelism: 4, ..Default::default() };
+    let (g, sink) = cep::build_baseline(&p, &sources, &cfg).unwrap();
+    let mut report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+    let fcep = dedup_sorted(&report.take_sink(sink));
+    assert_eq!(fcep, oracle, "keyed FCEP vs oracle");
+
+    // FASP-O3 with 4 slots.
+    let fasp = fasp_matches(&p, &MapperOptions::o3(), &sources, 4);
+    assert_eq!(fasp, oracle, "keyed FASP-O3 vs oracle");
+}
+
+/// Regression: a keyed join fed by a *global* sub-join must re-key its
+/// inputs (the global join's output carries the uniform key). Pattern:
+/// only e2–e3 share an id, so join1 (e1 ⋈ e2) is global and join2 is
+/// keyed.
+#[test]
+fn mixed_global_then_keyed_join_is_co_partitioned() {
+    let mut w = qnv(4, 40, 59);
+    w.merge(generate_aq(&AqConfig { sensors: 4, minutes: 40, seed: 59, id_offset: 0, ..Default::default() }));
+    let p = builders::seq(
+        &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
+        WindowSpec::minutes(6),
+        vec![Predicate::same_id(1, 2)],
+    );
+    check_all(&p, &w, false);
+}
+
+/// Regression: transitive equi-keys (`id0=id1 ∧ id1=id2`) key every join
+/// of the chain, including reordered ones; results must not change.
+#[test]
+fn reordered_keyed_join_chain_matches_oracle() {
+    let mut w = qnv(4, 40, 61);
+    w.merge(generate_aq(&AqConfig { sensors: 4, minutes: 40, seed: 61, id_offset: 0, ..Default::default() }));
+    let p = builders::seq(
+        &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
+        WindowSpec::minutes(8),
+        vec![Predicate::same_id(0, 1), Predicate::same_id(1, 2)],
+    );
+    let merged = w.merged();
+    let sources = split_by_type(&merged);
+    let oracle = oracle_matches(&p, &merged);
+    assert!(!oracle.is_empty());
+    for perm in [vec![0, 1, 2], vec![2, 0, 1], vec![1, 2, 0]] {
+        for interval in [false, true] {
+            let opts = MapperOptions {
+                interval_join: interval,
+                partition_by_key: true,
+                join_order: cep2asp::JoinOrder::Permutation(perm.clone()),
+                ..Default::default()
+            };
+            let got = fasp_matches(&p, &opts, &sources, 4);
+            assert_eq!(got, oracle, "perm {perm:?} interval={interval}");
+        }
+    }
+}
+
+#[test]
+fn kleene_plus_o2_window_counts_match_oracle() {
+    let p = builders::kleene_plus(V, "V", 4, WindowSpec::minutes(5));
+    let w = qnv(1, 60, 43);
+    let merged = w.merged();
+    let sources = split_by_type(&merged);
+    let expected = sea::oracle::kleene_qualifying_windows(&p, &merged);
+    assert!(expected > 0);
+    let phys = PhysicalConfig::default();
+    let run = run_pattern(&p, &MapperOptions::o2(), &sources, &phys, &ExecutorConfig::default())
+        .unwrap();
+    assert_eq!(run.raw_count() as usize, expected, "qualifying windows");
+    // Each emitted window tuple carries the count, which must be ≥ m.
+    for t in run.raw_matches() {
+        assert!(t.agg.unwrap() >= 4.0);
+    }
+}
+
+#[test]
+fn exact_iter_o2_is_superset_of_exact_semantics() {
+    // O2 approximates ITER_m by count ≥ m: every window with an exact-m
+    // oracle match must be flagged by the aggregation.
+    let p = builders::iter(V, "V", 3, WindowSpec::minutes(5), vec![]);
+    let w = qnv(1, 40, 47);
+    let merged = w.merged();
+    let sources = split_by_type(&merged);
+    let exact_windows = sea::oracle::evaluate_per_window(&p, &merged).len();
+    let run = run_pattern(
+        &p,
+        &MapperOptions::o2(),
+        &sources,
+        &PhysicalConfig::default(),
+        &ExecutorConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        run.raw_count() as usize >= exact_windows,
+        "O2 windows {} < exact windows {exact_windows}",
+        run.raw_count()
+    );
+}
+
+#[test]
+fn stam_policy_is_superset_of_stnm_and_strict_in_pipeline() {
+    let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+    let w = qnv(2, 30, 53);
+    let sources = split_by_type(&w.merged());
+    let run = |policy| {
+        let cfg = BaselineConfig { policy, ..Default::default() };
+        let (g, sink) = cep::build_baseline(&p, &sources, &cfg).unwrap();
+        let mut report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+        dedup_sorted(&report.take_sink(sink))
+    };
+    let stam = run(SelectionPolicy::SkipTillAnyMatch);
+    let stnm = run(SelectionPolicy::SkipTillNextMatch);
+    let strict = run(SelectionPolicy::StrictContiguity);
+    assert!(!stam.is_empty());
+    for m in &stnm {
+        assert!(stam.contains(m), "stnm ⊄ stam");
+    }
+    for m in &strict {
+        assert!(stam.contains(m), "strict ⊄ stam");
+    }
+    assert!(stnm.len() <= stam.len());
+    assert!(strict.len() <= stnm.len() || strict.len() <= stam.len());
+}

@@ -1,0 +1,124 @@
+//! End-to-end through the declarative layer: PSL text → parser → mapping
+//! → execution, compared against the oracle and the NFA baseline — the
+//! full "declarative pattern to execution pipeline" path of the paper's
+//! future-work vision.
+
+use asp::runtime::{Executor, ExecutorConfig};
+use asp::tuple::MatchKey;
+use cep::BaselineConfig;
+use cep2asp::exec::{dedup_sorted, run_pattern_simple, split_by_type};
+use cep2asp::{auto_options, StreamStats};
+use workloads::{generate_aq, generate_qnv, AqConfig, QnvConfig, ValueModel, Workload};
+
+fn workload(seed: u64) -> Workload {
+    let mut w = generate_qnv(&QnvConfig {
+        sensors: 3,
+        minutes: 120,
+        seed,
+        value_model: ValueModel::Uniform,
+    });
+    w.merge(generate_aq(&AqConfig {
+        sensors: 3,
+        minutes: 120,
+        seed,
+        value_model: ValueModel::Uniform,
+        id_offset: 0,
+    }));
+    w
+}
+
+fn check_psl(spec: &str, seed: u64, fcep_supported: bool) -> usize {
+    let mut types = workloads::registry();
+    let pattern = sea::parse(spec, &mut types).unwrap_or_else(|e| panic!("{e}\n{spec}"));
+    let w = workload(seed);
+    let merged = w.merged();
+    let sources = split_by_type(&merged);
+
+    let oracle: Vec<MatchKey> = sea::oracle::evaluate(&pattern, &merged)
+        .into_iter()
+        .map(MatchKey)
+        .collect();
+
+    let stats = StreamStats::from_sources(&sources);
+    let opts = auto_options(&pattern, &stats);
+    let run = run_pattern_simple(&pattern, &opts, &sources).expect("mapped run");
+    assert_eq!(run.dedup_matches(), oracle, "FASP(auto) vs oracle for:\n{spec}");
+
+    if fcep_supported {
+        let (g, sink) = cep::build_baseline(&pattern, &sources, &BaselineConfig::default())
+            .expect("baseline");
+        let mut report = Executor::new(ExecutorConfig::default()).run(g).expect("run");
+        assert_eq!(
+            dedup_sorted(&report.take_sink(sink)),
+            oracle,
+            "FCEP vs oracle for:\n{spec}"
+        );
+    }
+    oracle.len()
+}
+
+#[test]
+fn listing2_style_sequence() {
+    let n = check_psl(
+        "PATTERN SEQ(Q e1, V e2)
+         WHERE e1.value <= e2.value AND e2.value <= 60
+         WITHIN 4 MINUTES",
+        31,
+        true,
+    );
+    assert!(n > 0);
+}
+
+#[test]
+fn keyed_conjunction() {
+    let n = check_psl(
+        "PATTERN AND(PM10 a, PM25 b)
+         WHERE a.id == b.id AND a.value >= 20
+         WITHIN 10 MINUTES",
+        37,
+        false,
+    );
+    assert!(n > 0);
+}
+
+#[test]
+fn disjunction() {
+    let n = check_psl(
+        "PATTERN OR(Temp t, Hum h) WITHIN 5 MINUTES",
+        41,
+        false,
+    );
+    assert!(n > 0);
+}
+
+#[test]
+fn bounded_iteration_with_slide() {
+    let n = check_psl(
+        "PATTERN ITER(V v, 2) WITHIN 3 MINUTES SLIDE 1 MINUTE",
+        43,
+        true,
+    );
+    assert!(n > 0);
+}
+
+#[test]
+fn negated_sequence_with_absent_filter() {
+    check_psl(
+        "PATTERN SEQ(Q a, NOT PM10 n, V b)
+         WHERE a.value <= 50 AND n.value > 20
+         WITHIN 5 MINUTES
+         RETURN *",
+        47,
+        true,
+    );
+}
+
+#[test]
+fn nested_structure() {
+    let n = check_psl(
+        "PATTERN SEQ(Q a, AND(V b, PM10 c)) WHERE a.value <= 30 WITHIN 6 MINUTES",
+        53,
+        false,
+    );
+    assert!(n > 0);
+}
