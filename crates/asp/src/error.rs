@@ -10,12 +10,20 @@ use std::fmt;
 pub enum OpError {
     /// The operator's state exceeded its configured memory budget.
     MemoryExhausted {
+        /// Name of the operator whose state grew past the budget.
         operator: String,
+        /// Observed state size when the budget check fired.
         state_bytes: usize,
+        /// The configured per-operator budget.
         limit_bytes: usize,
     },
     /// Any other operator-defined failure.
-    Failed { operator: String, reason: String },
+    Failed {
+        /// Name of the failing operator.
+        operator: String,
+        /// Operator-supplied description of what went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OpError {
@@ -37,8 +45,9 @@ impl std::error::Error for OpError {}
 /// Errors surfaced by [`crate::runtime::Executor::run`].
 #[derive(Debug)]
 pub enum PipelineError {
-    /// Malformed graph (dangling edge, missing sink, invalid parallelism…).
-    InvalidGraph(String),
+    /// Static validation refused the graph; every structural defect found
+    /// is listed (see [`crate::validate`] for the code catalogue).
+    Validation(Vec<crate::validate::Diagnostic>),
     /// An operator aborted the run.
     Operator(OpError),
     /// A worker thread panicked.
@@ -48,7 +57,17 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
+            PipelineError::Validation(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == crate::validate::Severity::Error)
+                    .count();
+                write!(f, "invalid graph ({errors} error(s)):")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             PipelineError::Operator(e) => write!(f, "pipeline aborted: {e}"),
             PipelineError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
         }

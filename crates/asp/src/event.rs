@@ -35,6 +35,7 @@ pub struct TypeRegistry {
 }
 
 impl TypeRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }
@@ -44,7 +45,10 @@ impl TypeRegistry {
         if let Some(idx) = self.names.iter().position(|n| n == name) {
             return EventType(idx as u16);
         }
-        assert!(self.names.len() < u16::MAX as usize, "type universe exhausted");
+        assert!(
+            self.names.len() < u16::MAX as usize,
+            "type universe exhausted"
+        );
         self.names.push(name.to_string());
         EventType((self.names.len() - 1) as u16)
     }
@@ -67,6 +71,7 @@ impl TypeRegistry {
         self.names.len()
     }
 
+    /// Whether no types have been registered yet.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
@@ -144,10 +149,15 @@ impl std::hash::Hash for Event {
 /// pattern language (`e1.value`, `e2.id`, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Attr {
+    /// The measurement payload (`value`).
     Value,
+    /// The event timestamp (`ts`).
     Ts,
+    /// The sensor/entity id (`id`).
     Id,
+    /// Latitude (`lat`), for spatial workloads.
     Lat,
+    /// Longitude (`lon`), for spatial workloads.
     Lon,
 }
 
@@ -164,6 +174,7 @@ impl Attr {
         }
     }
 
+    /// The attribute's name as written in the pattern language.
     pub fn name(self) -> &'static str {
         match self {
             Attr::Value => "value",

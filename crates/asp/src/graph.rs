@@ -64,32 +64,48 @@ pub struct SourceConfig {
     /// tolerating arrivals up to `lag` behind the newest event (Flink's
     /// bounded-out-of-orderness strategy). Zero for in-order producers.
     pub watermark_lag: crate::time::Duration,
+    /// Set when a negative lag was clamped to zero; surfaced by
+    /// [`crate::validate::check`] as a `G014` warning.
+    pub(crate) lag_clamped: bool,
 }
 
 impl SourceConfig {
+    /// A source replaying `events` as fast as possible, with a watermark
+    /// every 256 events and no out-of-orderness allowance.
     pub fn new(events: Vec<Event>) -> Self {
         SourceConfig {
             events: Arc::new(events),
             watermark_every: 256,
             rate: None,
             watermark_lag: crate::time::Duration::ZERO,
+            lag_clamped: false,
         }
     }
 
+    /// Pace the replay at `events_per_sec` (wall-clock throttling).
     pub fn with_rate(mut self, events_per_sec: f64) -> Self {
         self.rate = Some(events_per_sec);
         self
     }
 
+    /// Emit a watermark after every `n` events (clamped to ≥ 1).
     pub fn with_watermark_every(mut self, n: usize) -> Self {
         self.watermark_every = n.max(1);
         self
     }
 
     /// Tolerate arrivals up to `lag` behind the newest seen timestamp.
+    ///
+    /// A negative lag is meaningless (it would assert watermarks *ahead* of
+    /// observed time); it is clamped to zero and reported as a `G014`
+    /// warning by [`crate::validate::check`].
     pub fn with_watermark_lag(mut self, lag: crate::time::Duration) -> Self {
-        assert!(lag.millis() >= 0, "lag must be non-negative");
-        self.watermark_lag = lag;
+        if lag.millis() < 0 {
+            self.watermark_lag = crate::time::Duration::ZERO;
+            self.lag_clamped = true;
+        } else {
+            self.watermark_lag = lag;
+        }
         self
     }
 }
@@ -119,15 +135,23 @@ pub(crate) struct Edge {
 }
 
 /// Builder for dataflow graphs.
+///
+/// The builder itself accepts anything — structural problems (dangling
+/// inputs, zero parallelism, missing sinks…) are reported as typed
+/// [`crate::validate::Diagnostic`]s by [`crate::validate::validate`], which
+/// [`crate::runtime::Executor::run`] invokes before spawning any thread.
 #[derive(Default)]
 pub struct GraphBuilder {
     pub(crate) nodes: Vec<Node>,
     pub(crate) edges: Vec<Edge>,
     pub(crate) sink_count: usize,
     pub(crate) sink_modes: Vec<SinkMode>,
+    /// Builder-misuse warnings, surfaced by [`crate::validate::check`].
+    pub(crate) warnings: Vec<crate::validate::Diagnostic>,
 }
 
 impl GraphBuilder {
+    /// An empty graph.
     pub fn new() -> Self {
         Self::default()
     }
@@ -138,7 +162,12 @@ impl GraphBuilder {
     }
 
     /// Add a source over a pre-generated, ts-sorted event vector.
-    pub fn source(&mut self, name: impl Into<String>, events: Vec<Event>, parallelism: usize) -> NodeId {
+    pub fn source(
+        &mut self,
+        name: impl Into<String>,
+        events: Vec<Event>,
+        parallelism: usize,
+    ) -> NodeId {
         self.source_with(name, SourceConfig::new(events), parallelism)
     }
 
@@ -149,11 +178,14 @@ impl GraphBuilder {
         cfg: SourceConfig,
         parallelism: usize,
     ) -> NodeId {
-        assert!(parallelism > 0);
+        // Parallelism 0 is reported as G007 by `validate`, not a panic here.
         self.push(Node {
             name: name.into(),
             parallelism,
-            kind: NodeKind::Source { cfg, chain: Vec::new() },
+            kind: NodeKind::Source {
+                cfg,
+                chain: Vec::new(),
+            },
         })
     }
 
@@ -188,8 +220,9 @@ impl GraphBuilder {
         parallelism: usize,
         factory: OperatorFactory,
     ) -> NodeId {
-        assert!(parallelism > 0);
-        assert!(!inputs.is_empty(), "operator needs at least one input");
+        // Zero parallelism (G007), empty inputs (G011), and forward
+        // references (G001/G006) are all reported by `validate` instead of
+        // panicking during construction.
         let name = format!("op{}", self.nodes.len());
         let id = self.push(Node {
             name,
@@ -197,8 +230,12 @@ impl GraphBuilder {
             kind: NodeKind::Operator(factory),
         });
         for (port, (src, exchange)) in inputs.iter().enumerate() {
-            assert!(src.0 < id.0, "inputs must already exist (acyclic graph)");
-            self.edges.push(Edge { src: *src, dst: id, port, exchange: *exchange });
+            self.edges.push(Edge {
+                src: *src,
+                dst: id,
+                port,
+                exchange: *exchange,
+            });
         }
         id
     }
@@ -224,14 +261,30 @@ impl GraphBuilder {
             parallelism: 1,
             kind: NodeKind::Sink(sid),
         });
-        self.edges.push(Edge { src: input, dst: id, port: 0, exchange });
+        self.edges.push(Edge {
+            src: input,
+            dst: id,
+            port: 0,
+            exchange,
+        });
         sid
     }
 
     /// Name the most recently added node (for plans and metrics).
+    ///
+    /// Calling this on an empty builder used to be a silent no-op; it is now
+    /// recorded as a `G013` warning so the lost name is visible in
+    /// [`crate::validate::check`] output.
     pub fn name_last(&mut self, name: impl Into<String>) {
+        let name = name.into();
         if let Some(n) = self.nodes.last_mut() {
-            n.name = name.into();
+            n.name = name;
+        } else {
+            self.warnings.push(crate::validate::Diagnostic::warning(
+                crate::validate::Code::BuilderMisuse,
+                None,
+                format!("name_last(\"{name}\") called on an empty builder; the name is dropped"),
+            ));
         }
     }
 
@@ -246,6 +299,16 @@ impl GraphBuilder {
     pub fn splice(&mut self, other: GraphBuilder) -> Vec<SinkId> {
         let node_offset = self.nodes.len();
         let sink_offset = self.sink_count;
+        // Out-of-range edges in `other` would be silently remapped into
+        // nonsense ids; catch them in debug builds. In release they survive
+        // the remap and are reported as G001 by `validate`.
+        debug_assert!(
+            other
+                .edges
+                .iter()
+                .all(|e| e.src.0 < other.nodes.len() && e.dst.0 < other.nodes.len()),
+            "splice: `other` contains edges referencing nodes outside itself"
+        );
         let mut mapped = vec![SinkId(usize::MAX); other.sink_count];
         for mut node in other.nodes {
             if let NodeKind::Sink(sid) = &mut node.kind {
@@ -265,8 +328,49 @@ impl GraphBuilder {
         }
         self.sink_count += other.sink_count;
         self.sink_modes.extend(other.sink_modes);
+        self.warnings.extend(other.warnings);
         debug_assert!(mapped.iter().all(|s| s.0 != usize::MAX));
         mapped
+    }
+
+    /// Test support: number of edges added so far (edges are stored in
+    /// construction order).
+    #[doc(hidden)]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Test support: remove the edge at `index` (construction order),
+    /// simulating a builder that forgot to wire an input. The damage is
+    /// reported by [`crate::validate::check`], not here.
+    #[doc(hidden)]
+    pub fn drop_edge(&mut self, index: usize) {
+        self.edges.remove(index);
+    }
+
+    /// Test support: duplicate the edge at `index` verbatim, producing a
+    /// duplicated destination port (`G004`).
+    #[doc(hidden)]
+    pub fn duplicate_edge(&mut self, index: usize) {
+        let Edge {
+            src,
+            dst,
+            port,
+            exchange,
+        } = self.edges[index];
+        self.edges.push(Edge {
+            src,
+            dst,
+            port,
+            exchange,
+        });
+    }
+
+    /// Test support: overwrite a node's parallelism after construction,
+    /// e.g. to break a `Forward` exchange (`G005`) or zero it out (`G007`).
+    #[doc(hidden)]
+    pub fn set_parallelism(&mut self, node: NodeId, parallelism: usize) {
+        self.nodes[node.0].parallelism = parallelism;
     }
 
     /// Per-port upstream parallelism of a node, in port order.
@@ -313,19 +417,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "acyclic")]
     fn forward_references_are_rejected() {
         let mut g = GraphBuilder::new();
         let a = g.source("a", some_events(1), 1);
-        // Fabricate a dangling id beyond the current node count.
+        // Fabricate a dangling id beyond the current node count. The builder
+        // accepts it; validation flags the edge as G001.
         let bogus = NodeId(5);
-        let _ = g.binary(
+        let f = g.binary(
             a,
             bogus,
             Exchange::Forward,
             1,
             Box::new(|_| Box::new(FilterOp::new("f", crate::operator::always_true()))),
         );
+        let _ = g.sink(f, Exchange::Forward);
+        let errs = crate::validate::validate(&g).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|d| d.code == crate::validate::Code::DanglingEdge),
+            "expected G001, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn negative_watermark_lag_is_clamped() {
+        use crate::time::Duration;
+        let cfg = SourceConfig::new(some_events(1)).with_watermark_lag(Duration::from_millis(-250));
+        assert_eq!(cfg.watermark_lag, Duration::ZERO);
+        assert!(cfg.lag_clamped);
+        // Non-negative lags pass through untouched.
+        let cfg = SourceConfig::new(some_events(1)).with_watermark_lag(Duration::from_millis(250));
+        assert_eq!(cfg.watermark_lag, Duration::from_millis(250));
+        assert!(!cfg.lag_clamped);
     }
 
     #[test]

@@ -52,6 +52,9 @@
 //! assert_eq!(report.sink(sink).len(), 4);
 //! ```
 
+// Unit tests may unwrap freely; production code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod error;
 pub mod event;
 pub mod graph;
@@ -59,9 +62,11 @@ pub mod operator;
 pub mod runtime;
 pub mod time;
 pub mod tuple;
+pub mod validate;
 pub mod window;
 
 pub use error::{OpError, PipelineError};
 pub use event::{Attr, Event, EventType, TypeRegistry};
 pub use time::{Duration, Timestamp, MINUTE_MS};
 pub use tuple::{Key, MatchKey, TsRule, Tuple};
+pub use validate::{Diagnostic, Severity};

@@ -20,14 +20,20 @@ use crate::window::{SlidingWindows, WindowId};
 /// attribute (plus `Count`, which ignores values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFn {
+    /// Number of constituents in the pane.
     Count,
+    /// Sum of `value`.
     Sum,
+    /// Arithmetic mean of `value`.
     Avg,
+    /// Minimum `value`.
     Min,
+    /// Maximum `value`.
     Max,
 }
 
 impl AggFn {
+    /// Lower-case name for plan printing (`count`, `sum`, …).
     pub fn name(self) -> &'static str {
         match self {
             AggFn::Count => "count",
@@ -53,7 +59,13 @@ struct Acc {
 impl Acc {
     fn new(first: &Tuple) -> Self {
         let v = first.events[0].value;
-        Acc { count: 1, sum: v, min: v, max: v, last: first.clone() }
+        Acc {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+            last: first.clone(),
+        }
     }
 
     fn add(&mut self, t: &Tuple) {
@@ -95,6 +107,8 @@ pub struct WindowAggregateOp {
 }
 
 impl WindowAggregateOp {
+    /// An aggregation of `f` over `windows`, emitting one tuple per
+    /// (window, key) pane when the watermark closes it.
     pub fn new(name: impl Into<String>, windows: SlidingWindows, f: AggFn) -> Self {
         WindowAggregateOp {
             name: name.into(),
@@ -116,6 +130,7 @@ impl WindowAggregateOp {
         op
     }
 
+    /// Number of pane results emitted so far (for tests and metrics).
     pub fn emitted(&self) -> u64 {
         self.emitted
     }
@@ -128,9 +143,7 @@ impl WindowAggregateOp {
                 break;
             }
             let pane = self.panes.remove(&wid).expect("pane exists");
-            self.state_bytes = self
-                .state_bytes
-                .saturating_sub(pane.len() * Self::ACC_COST);
+            self.state_bytes = self.state_bytes.saturating_sub(pane.len() * Self::ACC_COST);
             for (key, acc) in pane {
                 let agg = acc.result(self.f);
                 if let Some(pred) = self.emit_if {
@@ -151,8 +164,12 @@ impl WindowAggregateOp {
 }
 
 impl Operator for WindowAggregateOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         for wid in self.windows.assign(tuple.ts) {
             let pane = self.panes.entry(wid).or_default();
             match pane.get_mut(&tuple.key) {
@@ -166,8 +183,11 @@ impl Operator for WindowAggregateOp {
         Ok(())
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         self.fire(wm, out);
         Ok(wm)
     }

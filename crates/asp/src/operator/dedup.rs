@@ -29,6 +29,8 @@ pub struct DedupOp {
 }
 
 impl DedupOp {
+    /// Deduplicate by [`MatchKey`], forgetting keys older than `horizon`
+    /// behind the watermark.
     pub fn new(name: impl Into<String>, horizon: Duration) -> Self {
         assert!(horizon.millis() >= 0, "horizon must be non-negative");
         DedupOp {
@@ -52,8 +54,12 @@ impl DedupOp {
 }
 
 impl Operator for DedupOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         let key = tuple.match_key();
         match self.seen.get_mut(&key) {
             Some(last) => {
@@ -69,8 +75,11 @@ impl Operator for DedupOp {
         Ok(())
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         let _ = out;
         let horizon = self.horizon;
         let cutoff = wm.saturating_sub(horizon);
@@ -135,7 +144,8 @@ mod tests {
         let mut col = VecCollector::default();
         op.process(0, tup(0, 1, 5, 1.0), &mut col).unwrap();
         assert!(op.state_bytes() > 0);
-        op.on_watermark(Timestamp::from_minutes(8), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(8), &mut col)
+            .unwrap();
         assert_eq!(op.state_bytes(), 0);
         // After expiry the same tuple passes again (horizon semantics).
         op.process(0, tup(0, 1, 5, 1.0), &mut col).unwrap();

@@ -14,6 +14,7 @@ pub struct FilterOp {
 }
 
 impl FilterOp {
+    /// Pass through only tuples satisfying `predicate` (σ).
     pub fn new(name: impl Into<String>, predicate: UnaryPredicate) -> Self {
         FilterOp {
             name: name.into(),
@@ -30,8 +31,12 @@ impl FilterOp {
 }
 
 impl Operator for FilterOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         if (self.predicate)(&tuple) {
             self.passed += 1;
             out.emit(tuple);
@@ -60,7 +65,11 @@ mod tests {
         );
         let out = drive(
             &mut op,
-            vec![(0, tup(0, 1, 0, 5.0)), (0, tup(0, 1, 1, 15.0)), (0, tup(0, 1, 2, 10.0))],
+            vec![
+                (0, tup(0, 1, 0, 5.0)),
+                (0, tup(0, 1, 1, 15.0)),
+                (0, tup(0, 1, 2, 10.0)),
+            ],
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].events[0].value, 15.0);

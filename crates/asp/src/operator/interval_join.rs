@@ -36,12 +36,18 @@ impl IntervalBounds {
 
     /// Sequence / iteration / negated-sequence bounds `(0, W)`.
     pub fn seq(w: Duration) -> Self {
-        IntervalBounds { lower: Duration::ZERO, upper: w }
+        IntervalBounds {
+            lower: Duration::ZERO,
+            upper: w,
+        }
     }
 
     /// Conjunction bounds `(-W, +W)`.
     pub fn conjunction(w: Duration) -> Self {
-        IntervalBounds { lower: w.neg(), upper: w }
+        IntervalBounds {
+            lower: w.neg(),
+            upper: w,
+        }
     }
 
     #[inline]
@@ -95,6 +101,8 @@ pub struct IntervalJoinOp {
 }
 
 impl IntervalJoinOp {
+    /// An interval join emitting pairs with `r.ts − l.ts` inside `bounds`
+    /// and satisfying `theta`; output timestamps follow `ts_rule`.
     pub fn new(
         name: impl Into<String>,
         bounds: IntervalBounds,
@@ -120,6 +128,7 @@ impl IntervalJoinOp {
         self
     }
 
+    /// Number of joined tuples emitted so far (for tests and metrics).
     pub fn emitted(&self) -> u64 {
         self.emitted
     }
@@ -140,8 +149,12 @@ impl IntervalJoinOp {
 }
 
 impl Operator for IntervalJoinOp {
-    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         self.seq += 1;
         if input == 0 {
             // New left e1: probe buffered rights with ts ∈ (e1.ts+lb, e1.ts+ub).
@@ -178,21 +191,30 @@ impl Operator for IntervalJoinOp {
         self.check_limit()
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         let _ = out;
         // A left l is dead once no future right (ts ≥ wm) can satisfy
         // r.ts < l.ts + upper  ⇔  l.ts ≤ wm - upper.
-        self.left
-            .evict_before(wm.saturating_sub(self.bounds.upper).saturating_add(Duration(1)));
+        self.left.evict_before(
+            wm.saturating_sub(self.bounds.upper)
+                .saturating_add(Duration(1)),
+        );
         // A right r is dead once no future left (ts ≥ wm) can satisfy
         // r.ts > l.ts + lower  ⇔  r.ts ≤ wm + lower.
-        self.right
-            .evict_before(wm.saturating_add(self.bounds.lower).saturating_add(Duration(1)));
+        self.right.evict_before(
+            wm.saturating_add(self.bounds.lower)
+                .saturating_add(Duration(1)),
+        );
         // Watermark contract: a future arrival at ts ≥ wm may pair with a
         // buffered partner up to `span` older, and the composite can carry
         // that older timestamp — hold the forwarded watermark back.
-        Ok(wm.saturating_sub(self.bounds.span()).saturating_add(Duration(1)))
+        Ok(wm
+            .saturating_sub(self.bounds.span())
+            .saturating_add(Duration(1)))
     }
 
     fn on_finish(&mut self, _out: &mut dyn Collector) -> Result<(), OpError> {
@@ -262,7 +284,11 @@ mod tests {
         );
         let out = run(
             &mut op,
-            vec![(0, tup(0, 0, 1, 1.0)), (1, tup(1, 0, 2, 2.0)), (1, tup(1, 0, 3, 3.0))],
+            vec![
+                (0, tup(0, 0, 1, 1.0)),
+                (1, tup(1, 0, 2, 2.0)),
+                (1, tup(1, 0, 3, 3.0)),
+            ],
         );
         assert_eq!(out.len(), 2);
         let mut keys: Vec<_> = out.iter().map(|t| t.match_key()).collect();
@@ -296,7 +322,11 @@ mod tests {
         );
         let out = run(
             &mut op,
-            vec![(0, tup(0, 1, 1, 1.0)), (0, tup(0, 2, 1, 1.5)), (1, tup(1, 1, 2, 2.0))],
+            vec![
+                (0, tup(0, 1, 1, 1.0)),
+                (0, tup(0, 2, 1, 1.5)),
+                (1, tup(1, 1, 2, 2.0)),
+            ],
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].events[0].id, 1);
@@ -311,7 +341,8 @@ mod tests {
         op.process(1, tup(1, 0, 2, 2.0), &mut col).unwrap();
         assert!(op.state_bytes() > 0);
         // wm = 10min: left@1 dead (1+4 ≤ 10); right@2 dead (2 ≤ 10+0).
-        op.on_watermark(Timestamp::from_minutes(10), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(10), &mut col)
+            .unwrap();
         assert_eq!(op.state_bytes(), 0);
     }
 
@@ -328,9 +359,7 @@ mod tests {
         }
         let out = run(&mut op, feed);
         // Expected pairs: (l@i, r@j) with i < j < i+3 → j ∈ {i+1, i+2}.
-        let expected: usize = (0..20)
-            .map(|i| ((i + 1)..20.min(i + 3)).count())
-            .sum();
+        let expected: usize = (0..20).map(|i| ((i + 1)..20.min(i + 3)).count()).sum();
         assert_eq!(out.len(), expected);
     }
 

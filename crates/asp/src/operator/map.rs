@@ -20,8 +20,12 @@ pub struct MapOp {
 }
 
 impl MapOp {
+    /// Apply `f` to every tuple (Π).
     pub fn new(name: impl Into<String>, f: MapFn) -> Self {
-        MapOp { name: name.into(), f }
+        MapOp {
+            name: name.into(),
+            f,
+        }
     }
 
     /// A map that assigns the same key to every tuple — the paper's
@@ -76,8 +80,12 @@ impl MapOp {
 }
 
 impl Operator for MapOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         out.emit((self.f)(tuple));
         Ok(())
     }
@@ -97,7 +105,10 @@ mod tests {
     #[test]
     fn uniform_key_overrides_partitioning() {
         let mut op = MapOp::uniform_key("key0", 0);
-        let out = drive(&mut op, vec![(0, tup(0, 7, 1, 1.0)), (0, tup(0, 9, 2, 2.0))]);
+        let out = drive(
+            &mut op,
+            vec![(0, tup(0, 7, 1, 1.0)), (0, tup(0, 9, 2, 2.0))],
+        );
         assert!(out.iter().all(|t| t.key == 0));
     }
 

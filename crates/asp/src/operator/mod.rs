@@ -40,6 +40,7 @@ use crate::tuple::Tuple;
 /// Receives an operator's output tuples; the runtime implementation routes
 /// them to downstream channels.
 pub trait Collector {
+    /// Hand one output tuple downstream.
     fn emit(&mut self, tuple: Tuple);
 }
 
@@ -47,6 +48,7 @@ pub trait Collector {
 /// (single-threaded) plan evaluation.
 #[derive(Debug, Default)]
 pub struct VecCollector {
+    /// Everything emitted so far, in emission order.
     pub out: Vec<Tuple>,
 }
 
@@ -63,8 +65,12 @@ impl Collector for VecCollector {
 /// runtime can move each instance onto its worker thread.
 pub trait Operator: Send {
     /// Process one tuple from input port `input`.
-    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError>;
+    fn process(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError>;
 
     /// Event time advanced to `wm`: fire windows, evict state, emit results.
     /// All tuples with `ts < wm` on every port have been delivered.
@@ -74,8 +80,11 @@ pub trait Operator: Send {
     /// which holds each trigger event for up to `W`) must hold the forwarded
     /// watermark back accordingly so their late emissions are not late for
     /// downstream windows; everything else returns `wm` unchanged.
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         let _ = out;
         Ok(wm)
     }
@@ -106,9 +115,8 @@ pub type MapFn = Arc<dyn Fn(Tuple) -> Tuple + Send + Sync>;
 
 /// Shared window UDF: receives the full (ts-sorted) window content and may
 /// emit any number of output tuples.
-pub type WindowFn = Arc<dyn Fn(&crate::window::WindowId, &mut Vec<Tuple>, &mut dyn Collector)
-        + Send
-        + Sync>;
+pub type WindowFn =
+    Arc<dyn Fn(&crate::window::WindowId, &mut Vec<Tuple>, &mut dyn Collector) + Send + Sync>;
 
 /// Convenience: a predicate that accepts everything.
 pub fn always_true() -> UnaryPredicate {
@@ -127,12 +135,7 @@ pub(crate) mod testutil {
 
     /// Build a primitive tuple: type `t`, sensor `id`, minute `m`, value `v`.
     pub fn tup(t: u16, id: u32, m: i64, v: f64) -> Tuple {
-        Tuple::from_event(Event::new(
-            EventType(t),
-            id,
-            Timestamp::from_minutes(m),
-            v,
-        ))
+        Tuple::from_event(Event::new(EventType(t), id, Timestamp::from_minutes(m), v))
     }
 
     /// Drive an operator over a ts-ordered single-input stream and return

@@ -39,6 +39,8 @@ pub struct NextOccurrenceOp {
 }
 
 impl NextOccurrenceOp {
+    /// The NSEQ rewrite: emit a trigger tuple iff no marker occurs within
+    /// `w` after it (`is_trigger`/`is_marker` classify the unioned input).
     pub fn new(
         name: impl Into<String>,
         is_trigger: UnaryPredicate,
@@ -96,8 +98,12 @@ impl NextOccurrenceOp {
 const MARKER_COST: usize = std::mem::size_of::<(Timestamp, u64)>() + 16;
 
 impl Operator for NextOccurrenceOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         self.seq += 1;
         if (self.is_marker)(&tuple) {
             self.markers.insert((tuple.ts, self.seq), ());
@@ -110,8 +116,11 @@ impl Operator for NextOccurrenceOp {
         Ok(())
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         self.release(wm, out);
         // Held-back watermark: emitted triggers have ts ≤ wm - W.
         Ok(wm.saturating_sub(self.w))
@@ -167,7 +176,11 @@ mod tests {
             10,
         );
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0].ats, Some(Timestamp::from_minutes(3)), "marker@3 follows trigger@1");
+        assert_eq!(
+            out[0].ats,
+            Some(Timestamp::from_minutes(3)),
+            "marker@3 follows trigger@1"
+        );
         assert_eq!(
             out[1].ats,
             Some(Timestamp::from_minutes(14)),
@@ -209,7 +222,9 @@ mod tests {
         );
         let mut col = VecCollector::default();
         op.process(0, tup(0, 0, 1, 1.0), &mut col).unwrap();
-        let fwd = op.on_watermark(Timestamp::from_minutes(30), &mut col).unwrap();
+        let fwd = op
+            .on_watermark(Timestamp::from_minutes(30), &mut col)
+            .unwrap();
         assert_eq!(fwd, Timestamp::from_minutes(20));
         // The emitted trigger (ts=1min) is not late w.r.t. any previously
         // forwarded watermark (none exceeded 1min before its emission).
@@ -218,17 +233,14 @@ mod tests {
 
     #[test]
     fn state_is_bounded_by_window() {
-        let mut op = NextOccurrenceOp::new(
-            "nextOcc",
-            is_type(0),
-            is_type(1),
-            Duration::from_minutes(5),
-        );
+        let mut op =
+            NextOccurrenceOp::new("nextOcc", is_type(0), is_type(1), Duration::from_minutes(5));
         let mut col = VecCollector::default();
         for m in 0..100 {
             op.process(0, tup(0, 0, m, 1.0), &mut col).unwrap();
             op.process(0, tup(1, 0, m, 1.0), &mut col).unwrap();
-            op.on_watermark(Timestamp::from_minutes(m), &mut col).unwrap();
+            op.on_watermark(Timestamp::from_minutes(m), &mut col)
+                .unwrap();
         }
         // At most W+1 minutes of triggers + markers retained.
         let peak = op.state_bytes();
@@ -246,11 +258,7 @@ mod tests {
     #[test]
     fn picks_first_of_multiple_markers() {
         let out = run(
-            vec![
-                tup(0, 0, 1, 1.0),
-                tup(1, 0, 4, 2.0),
-                tup(1, 0, 6, 3.0),
-            ],
+            vec![tup(0, 0, 1, 1.0), tup(1, 0, 4, 2.0), tup(1, 0, 6, 3.0)],
             10,
         );
         assert_eq!(out[0].ats, Some(Timestamp::from_minutes(4)));

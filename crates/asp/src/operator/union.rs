@@ -19,6 +19,7 @@ pub struct UnionOp {
 }
 
 impl UnionOp {
+    /// Merge `ports` inputs into one stream (∪), counting per-port arrivals.
     pub fn new(name: impl Into<String>, ports: usize) -> Self {
         UnionOp {
             name: name.into(),
@@ -33,8 +34,12 @@ impl UnionOp {
 }
 
 impl Operator for UnionOp {
-    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         if let Some(c) = self.per_port.get_mut(input) {
             *c += 1;
         }
@@ -57,7 +62,12 @@ mod tests {
         let mut op = UnionOp::new("∪", 3);
         let out = drive(
             &mut op,
-            vec![(0, tup(0, 1, 0, 1.0)), (1, tup(1, 1, 1, 2.0)), (2, tup(2, 1, 2, 3.0)), (0, tup(0, 1, 3, 4.0))],
+            vec![
+                (0, tup(0, 1, 0, 1.0)),
+                (1, tup(1, 1, 1, 2.0)),
+                (2, tup(2, 1, 2, 3.0)),
+                (0, tup(0, 1, 3, 4.0)),
+            ],
         );
         assert_eq!(out.len(), 4);
         assert_eq!(op.port_counts(), &[2, 1, 1]);

@@ -74,6 +74,8 @@ pub struct WindowJoinOp {
 }
 
 impl WindowJoinOp {
+    /// A sliding-window join over `windows`: per window, emit all pairs
+    /// satisfying `theta`; output timestamps follow `ts_rule`.
     pub fn new(
         name: impl Into<String>,
         windows: SlidingWindows,
@@ -166,8 +168,12 @@ impl WindowJoinOp {
 }
 
 impl Operator for WindowJoinOp {
-    fn process(&mut self, input: usize, tuple: Tuple, _out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        _out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         debug_assert!(input < 2, "window join has two ports");
         self.seq += 1;
         if input == 0 {
@@ -178,14 +184,19 @@ impl Operator for WindowJoinOp {
         self.check_limit()
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         self.fire(wm, out);
         // Watermark contract: all *future* emissions carry ts ≥ the
         // forwarded watermark. A window firing at some later wm' > wm has
         // start > wm − W, and emitted composites carry ts ≥ start under
         // every TsRule, so hold the forwarded watermark back by W.
-        Ok(wm.saturating_sub(Duration(self.windows.size.millis())).saturating_add(Duration(1)))
+        Ok(wm
+            .saturating_sub(Duration(self.windows.size.millis()))
+            .saturating_add(Duration(1)))
     }
 
     fn state_bytes(&self) -> usize {
@@ -274,7 +285,10 @@ mod tests {
             cross_join(),
             TsRule::Max,
         );
-        let out = run(&mut op, vec![(0, tup(0, 0, 4, 1.0)), (1, tup(1, 0, 5, 2.0))]);
+        let out = run(
+            &mut op,
+            vec![(0, tup(0, 0, 4, 1.0)), (1, tup(1, 0, 5, 2.0))],
+        );
         assert_eq!(out.len(), 2, "overlapping windows duplicate the match");
         assert_eq!(out[0].match_key(), out[1].match_key());
     }
@@ -311,7 +325,8 @@ mod tests {
         op.process(0, tup(0, 0, 1, 1.0), &mut col).unwrap();
         op.process(1, tup(1, 0, 2, 2.0), &mut col).unwrap();
         assert!(op.state_bytes() > 0);
-        op.on_watermark(Timestamp::from_minutes(5), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(5), &mut col)
+            .unwrap();
         assert_eq!(op.state_bytes(), 0, "fired windows are evicted");
         assert_eq!(col.out.len(), 1);
     }
@@ -368,7 +383,8 @@ mod tests {
         for m in [0i64, 10_000, 20_000] {
             op.process(0, tup(0, 0, m, 1.0), &mut col).unwrap();
             op.process(1, tup(1, 0, m, 2.0), &mut col).unwrap();
-            op.on_watermark(Timestamp::from_minutes(m), &mut col).unwrap();
+            op.on_watermark(Timestamp::from_minutes(m), &mut col)
+                .unwrap();
         }
         op.on_finish(&mut col).unwrap();
         // The pairs at minutes 10 000 and 20 000 appear in 5 overlapping

@@ -24,6 +24,7 @@ pub struct WindowUdfOp {
 }
 
 impl WindowUdfOp {
+    /// Run `f` over each closed (window, key) pane's buffered tuples.
     pub fn new(name: impl Into<String>, windows: SlidingWindows, f: WindowFn) -> Self {
         WindowUdfOp {
             name: name.into(),
@@ -52,8 +53,12 @@ impl WindowUdfOp {
 }
 
 impl Operator for WindowUdfOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         let cost = tuple.mem_bytes();
         for wid in self.windows.assign(tuple.ts) {
             self.panes
@@ -67,8 +72,11 @@ impl Operator for WindowUdfOp {
         Ok(())
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         self.fire(wm, out);
         // The UDF may emit tuples anywhere inside a fired window, so the
         // forwarded watermark is held back by the window size (see the
@@ -149,7 +157,8 @@ mod tests {
         let mut col = VecCollector::default();
         op.process(0, tup(0, 0, 1, 1.0), &mut col).unwrap();
         assert!(op.state_bytes() > 0);
-        op.on_watermark(Timestamp::from_minutes(10), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(10), &mut col)
+            .unwrap();
         assert_eq!(op.state_bytes(), 0);
     }
 }

@@ -31,6 +31,8 @@ pub struct ChainedOperator {
 }
 
 impl ChainedOperator {
+    /// Fuse `ops` into one operator that runs them back to back on the
+    /// same task (no channels in between). Must not be empty.
     pub fn new(ops: Vec<Box<dyn Operator>>) -> Self {
         assert!(!ops.is_empty());
         let name = ops
@@ -38,7 +40,12 @@ impl ChainedOperator {
             .map(|o| o.name().to_string())
             .collect::<Vec<_>>()
             .join(" → ");
-        ChainedOperator { name, ops, scratch_a: Vec::new(), scratch_b: Vec::new() }
+        ChainedOperator {
+            name,
+            ops,
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
+        }
     }
 
     /// Push tuples resting in `scratch_a` through stages `from..`, leaving
@@ -49,7 +56,9 @@ impl ChainedOperator {
             if self.scratch_a.is_empty() {
                 return Ok(());
             }
-            let mut next = VecCollector { out: std::mem::take(&mut self.scratch_b) };
+            let mut next = VecCollector {
+                out: std::mem::take(&mut self.scratch_b),
+            };
             for t in self.scratch_a.drain(..) {
                 self.ops[i].process(stage_port, t, &mut next)?;
             }
@@ -65,15 +74,22 @@ impl ChainedOperator {
 }
 
 impl Operator for ChainedOperator {
-    fn process(&mut self, input: usize, tuple: Tuple, out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         self.scratch_a.clear();
         self.scratch_a.push(tuple);
         self.flow(0, input, out)
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         // Cascade: stage i's watermark emissions must reach stage i+1
         // before stage i+1 observes the (possibly held-back) watermark.
         let mut carry: Vec<Tuple> = Vec::new();
@@ -214,7 +230,11 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
                         ))
                     }))
                 };
-                out.nodes.push(crate::graph::Node { name, parallelism, kind });
+                out.nodes.push(crate::graph::Node {
+                    name,
+                    parallelism,
+                    kind,
+                });
                 NodeId(out.nodes.len() - 1)
             }
             NodeKind::Sink(sid) => {
@@ -240,14 +260,23 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
         }
         let src = new_of_old[s].expect("mapped");
         let dst = new_of_old[d].expect("mapped");
-        out.edges.push(Edge { src, dst, port: e.port, exchange: e.exchange });
+        out.edges.push(Edge {
+            src,
+            dst,
+            port: e.port,
+            exchange: e.exchange,
+        });
     }
     out
 }
 
 /// A factory helper used by tests: wrap existing factories into a chain.
 pub fn chain_factories(factories: Vec<OperatorFactory>) -> OperatorFactory {
-    Box::new(move |i| Box::new(ChainedOperator::new(factories.iter().map(|f| f(i)).collect())))
+    Box::new(move |i| {
+        Box::new(ChainedOperator::new(
+            factories.iter().map(|f| f(i)).collect(),
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +293,10 @@ mod tests {
     #[test]
     fn chained_stages_compose_like_sequential_ops() {
         let mut chain = ChainedOperator::new(vec![
-            Box::new(FilterOp::new("σ", Arc::new(|t: &Tuple| t.events[0].value > 2.0))),
+            Box::new(FilterOp::new(
+                "σ",
+                Arc::new(|t: &Tuple| t.events[0].value > 2.0),
+            )),
             Box::new(MapOp::new(
                 "Π",
                 Arc::new(|mut t: Tuple| {
@@ -361,7 +393,10 @@ mod tests {
         assert_eq!(fused.edges.len(), 1);
         match &fused.nodes[0].kind {
             NodeKind::Source { chain, .. } => assert_eq!(chain.len(), 2),
-            other => panic!("expected fused source, got {:?}", std::mem::discriminant(other)),
+            other => panic!(
+                "expected fused source, got {:?}",
+                std::mem::discriminant(other)
+            ),
         }
     }
 

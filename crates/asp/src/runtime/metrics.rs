@@ -7,9 +7,13 @@ use std::time::{Duration as StdDuration, Instant};
 /// Aggregated counters for one graph node across its instances.
 #[derive(Debug, Clone)]
 pub struct NodeStats {
+    /// Node name as set in the graph builder.
     pub name: String,
+    /// Number of instances the node ran with.
     pub parallelism: usize,
+    /// Tuples received, summed over instances.
     pub records_in: u64,
+    /// Tuples emitted, summed over instances.
     pub records_out: u64,
     /// Tuples dropped for arriving behind the watermark (late data).
     pub late_dropped: u64,
@@ -32,11 +36,17 @@ pub struct ResourceSample {
 /// Detection latency summary at a sink.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencyStats {
+    /// Number of sampled observations.
     pub samples: usize,
+    /// Arithmetic mean, milliseconds.
     pub mean_ms: f64,
+    /// Median, milliseconds.
     pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
     pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
     pub p99_ms: f64,
+    /// Largest observation, milliseconds.
     pub max_ms: f64,
 }
 
@@ -60,7 +70,7 @@ impl LatencyStats {
             p50_ms: pct(0.50),
             p95_ms: pct(0.95),
             p99_ms: pct(0.99),
-            max_ms: *sorted.last().unwrap() as f64 * ns_to_ms,
+            max_ms: sorted.last().copied().unwrap_or_default() as f64 * ns_to_ms,
         }
     }
 }
@@ -137,7 +147,11 @@ mod tests {
         let obs: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect(); // 1..1000 ms
         let s = LatencyStats::from_ns(&obs);
         assert_eq!(s.samples, 1000);
-        assert!((s.p50_ms - 500.0).abs() < 2.0, "p50 ≈ 500ms, got {}", s.p50_ms);
+        assert!(
+            (s.p50_ms - 500.0).abs() < 2.0,
+            "p50 ≈ 500ms, got {}",
+            s.p50_ms
+        );
         assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
         assert!((s.max_ms - 1000.0).abs() < 1e-9);
     }

@@ -22,9 +22,9 @@
 mod chain;
 mod metrics;
 
+pub use crate::graph::SinkMode;
 pub use chain::{chain_factories, ChainedOperator};
 pub use metrics::{LatencyStats, NodeStats, ResourceSample};
-pub use crate::graph::SinkMode;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -106,13 +106,12 @@ struct Route {
 }
 
 impl Route {
-    fn send(
-        &self,
-        idx: usize,
-        msg: Message,
-        abort: &AtomicBool,
-    ) -> Result<(), ()> {
-        let mut env = Envelope { port: self.port, chan: self.chan, msg };
+    fn send(&self, idx: usize, msg: Message, abort: &AtomicBool) -> Result<(), ()> {
+        let mut env = Envelope {
+            port: self.port,
+            chan: self.chan,
+            msg,
+        };
         loop {
             match self.senders[idx].send_timeout(env, StdDuration::from_millis(20)) {
                 Ok(()) => return Ok(()),
@@ -154,10 +153,28 @@ struct ChannelCollector {
     abort: Arc<AtomicBool>,
     out_count: u64,
     failed: bool,
+    /// The watermark contract floor: the highest watermark this task has
+    /// broadcast downstream. Every later emission must carry `ts ≥ floor`.
+    #[cfg(feature = "invariant-checks")]
+    wm_floor: Timestamp,
+    /// Sources are exempt from the emission-floor check: with an
+    /// under-estimated `watermark_lag` they legitimately emit late tuples,
+    /// and downstream `drop_late` is the documented degradation path.
+    #[cfg(feature = "invariant-checks")]
+    enforce_emit_floor: bool,
 }
 
 impl ChannelCollector {
     fn broadcast_watermark(&mut self, wm: Timestamp) {
+        #[cfg(feature = "invariant-checks")]
+        {
+            assert!(
+                wm >= self.wm_floor,
+                "invariant violation: task broadcast watermark {wm:?} behind its own previous watermark {:?}",
+                self.wm_floor
+            );
+            self.wm_floor = wm;
+        }
         for r in &self.routes {
             if r.broadcast(|| Message::Watermark(wm), &self.abort).is_err() {
                 self.failed = true;
@@ -176,6 +193,16 @@ impl ChannelCollector {
 
 impl Collector for ChannelCollector {
     fn emit(&mut self, tuple: Tuple) {
+        // Watermark contract: once a task has told downstream "no tuples
+        // below W", it must never emit one (operators hold watermarks back
+        // by their window size to guarantee this — see WindowJoinOp).
+        #[cfg(feature = "invariant-checks")]
+        assert!(
+            !self.enforce_emit_floor || tuple.ts >= self.wm_floor,
+            "invariant violation: task emitted tuple at {:?} behind its own broadcast watermark {:?}",
+            tuple.ts,
+            self.wm_floor
+        );
         self.out_count += 1;
         let n = self.routes.len();
         if n == 0 {
@@ -281,7 +308,12 @@ impl RunReport {
     /// Peak total operator state across the run (max over samples, or max
     /// of per-node peaks when sampling is off).
     pub fn peak_state_bytes(&self) -> usize {
-        let from_samples = self.samples.iter().map(|s| s.state_bytes).max().unwrap_or(0);
+        let from_samples = self
+            .samples
+            .iter()
+            .map(|s| s.state_bytes)
+            .max()
+            .unwrap_or(0);
         let from_nodes: usize = self.nodes.iter().map(|n| n.peak_state_bytes).sum();
         from_samples.max(from_nodes)
     }
@@ -293,13 +325,18 @@ pub struct Executor {
 }
 
 impl Executor {
+    /// An executor with the given runtime knobs.
     pub fn new(cfg: ExecutorConfig) -> Self {
         Executor { cfg }
     }
 
     /// Run the graph to end-of-stream and aggregate a [`RunReport`].
+    ///
+    /// The graph is statically validated first ([`crate::validate`]); a
+    /// malformed graph is refused with [`PipelineError::Validation`] listing
+    /// every defect before any thread is spawned.
     pub fn run(&self, graph: GraphBuilder) -> Result<RunReport, PipelineError> {
-        self.validate(&graph)?;
+        crate::validate::validate(&graph).map_err(PipelineError::Validation)?;
         let graph = if self.cfg.operator_chaining {
             chain::fuse_chains(graph)
         } else {
@@ -333,8 +370,9 @@ impl Executor {
         }
 
         // Input channel layout per node: (port, upstream parallelism).
-        let input_layout: Vec<Vec<(usize, usize)>> =
-            (0..n_nodes).map(|i| graph.input_channels(NodeId(i))).collect();
+        let input_layout: Vec<Vec<(usize, usize)>> = (0..n_nodes)
+            .map(|i| graph.input_channels(NodeId(i)))
+            .collect();
 
         // Shared stats + sinks.
         let stats: Vec<Vec<Arc<InstanceStats>>> = graph
@@ -360,8 +398,7 @@ impl Executor {
 
         // Sampler thread.
         let sampler_handle = self.cfg.sample_interval.map(|interval| {
-            let flat_stats: Vec<Arc<InstanceStats>> =
-                stats.iter().flatten().cloned().collect();
+            let flat_stats: Vec<Arc<InstanceStats>> = stats.iter().flatten().cloned().collect();
             let done = done.clone();
             std::thread::spawn(move || metrics::sample_loop(interval, flat_stats, done))
         });
@@ -388,6 +425,10 @@ impl Executor {
                     abort: abort.clone(),
                     out_count: 0,
                     failed: false,
+                    #[cfg(feature = "invariant-checks")]
+                    wm_floor: Timestamp::MIN,
+                    #[cfg(feature = "invariant-checks")]
+                    enforce_emit_floor: !matches!(node.kind, NodeKind::Source { .. }),
                 };
                 let istats = stats[nid][instance].clone();
                 let abort = abort.clone();
@@ -410,8 +451,16 @@ impl Executor {
                             .name(format!("{name}#{instance}"))
                             .spawn(move || {
                                 run_source(
-                                    cfg, chained, instance, parallelism, collector, counter,
-                                    istats, abort, first_error, epoch,
+                                    cfg,
+                                    chained,
+                                    instance,
+                                    parallelism,
+                                    collector,
+                                    counter,
+                                    istats,
+                                    abort,
+                                    first_error,
+                                    epoch,
                                 )
                             })
                             .expect("spawn source")
@@ -425,7 +474,13 @@ impl Executor {
                             .name(format!("{name}#{instance}"))
                             .spawn(move || {
                                 run_operator(
-                                    op, rx, layout, collector, istats, abort, first_error,
+                                    op,
+                                    rx,
+                                    layout,
+                                    collector,
+                                    istats,
+                                    abort,
+                                    first_error,
                                     drop_late,
                                 )
                             })
@@ -521,59 +576,6 @@ impl Executor {
             sinks,
         })
     }
-
-    fn validate(&self, graph: &GraphBuilder) -> Result<(), PipelineError> {
-        if graph.nodes.is_empty() {
-            return Err(PipelineError::InvalidGraph("empty graph".into()));
-        }
-        if graph.sink_count == 0 {
-            return Err(PipelineError::InvalidGraph("graph has no sink".into()));
-        }
-        for e in &graph.edges {
-            if e.exchange == Exchange::Forward
-                && graph.nodes[e.src.0].parallelism != graph.nodes[e.dst.0].parallelism
-            {
-                return Err(PipelineError::InvalidGraph(format!(
-                    "Forward edge {} → {} with unequal parallelism {} vs {}",
-                    graph.nodes[e.src.0].name,
-                    graph.nodes[e.dst.0].name,
-                    graph.nodes[e.src.0].parallelism,
-                    graph.nodes[e.dst.0].parallelism
-                )));
-            }
-        }
-        // Every non-source node must have contiguous input ports 0..k.
-        for (i, node) in graph.nodes.iter().enumerate() {
-            let ports = graph.input_channels(NodeId(i));
-            match node.kind {
-                NodeKind::Source { .. } => {
-                    if !ports.is_empty() {
-                        return Err(PipelineError::InvalidGraph(format!(
-                            "source {} has inputs",
-                            node.name
-                        )));
-                    }
-                }
-                _ => {
-                    if ports.is_empty() {
-                        return Err(PipelineError::InvalidGraph(format!(
-                            "node {} has no inputs",
-                            node.name
-                        )));
-                    }
-                    for (want, (port, _)) in ports.iter().enumerate() {
-                        if *port != want {
-                            return Err(PipelineError::InvalidGraph(format!(
-                                "node {} input ports are not contiguous",
-                                node.name
-                            )));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -593,7 +595,9 @@ fn run_source(
     let mut forwarded_wm = Timestamp::MIN;
     let mut emitted: u64 = 0;
     let lag = cfg.watermark_lag;
-    let pace = cfg.rate.map(|r| StdDuration::from_secs_f64(1.0 / r.max(1e-9)));
+    let pace = cfg
+        .rate
+        .map(|r| StdDuration::from_secs_f64(1.0 / r.max(1e-9)));
     let start = Instant::now();
     'ingest: for (i, ev) in cfg.events.iter().enumerate() {
         if parallelism > 1 && i % parallelism != instance {
@@ -700,6 +704,21 @@ impl WatermarkTable {
     }
 
     fn update(&mut self, port: usize, chan: usize, ts: Timestamp) {
+        // Punctuated watermarks are strictly increasing per sender, and
+        // each (port, chan) cell has exactly one sender instance — so a
+        // regression or a post-End watermark means a runtime bug upstream.
+        #[cfg(feature = "invariant-checks")]
+        {
+            assert!(
+                !self.ended[port][chan],
+                "invariant violation: watermark {ts:?} on (port {port}, chan {chan}) after End"
+            );
+            assert!(
+                ts >= self.wm[port][chan],
+                "invariant violation: watermark regressed on (port {port}, chan {chan}): {ts:?} < {:?}",
+                self.wm[port][chan]
+            );
+        }
         let cell = &mut self.wm[port][chan];
         if ts > *cell {
             *cell = ts;
@@ -850,6 +869,8 @@ fn run_sink(
     epoch: Instant,
 ) {
     let mut table = WatermarkTable::new(&layout);
+    #[cfg(feature = "invariant-checks")]
+    let mut sink_wm = Timestamp::MIN;
     let mut n: u64 = 0;
     loop {
         if abort.load(Ordering::Relaxed) {
@@ -863,6 +884,15 @@ fn run_sink(
         match env.msg {
             Message::Tuple(t) => {
                 n += 1;
+                // Sink-side event-time monotonicity: a tuple behind the
+                // merged watermark means some upstream task emitted late
+                // data the watermark protocol had already sealed off.
+                #[cfg(feature = "invariant-checks")]
+                assert!(
+                    t.ts >= sink_wm,
+                    "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
+                    t.ts
+                );
                 shared.count.fetch_add(1, Ordering::Relaxed);
                 if t.wall > 0 && n % shared.stride as u64 == 0 {
                     let now = epoch.elapsed().as_nanos() as u64;
@@ -872,6 +902,15 @@ fn run_sink(
                     shared.tuples.lock().push(t);
                 }
             }
+            #[cfg(feature = "invariant-checks")]
+            Message::Watermark(ts) => {
+                table.update(env.port as usize, env.chan as usize, ts);
+                let m = table.min();
+                if m > sink_wm {
+                    sink_wm = m;
+                }
+            }
+            #[cfg(not(feature = "invariant-checks"))]
             Message::Watermark(_) => {}
             Message::End => {
                 table.end(env.port as usize, env.chan as usize);

@@ -20,7 +20,9 @@ pub const MINUTE_MS: i64 = 60_000;
 /// `Timestamp` is totally ordered and supports arithmetic with [`Duration`].
 /// The sentinel values [`Timestamp::MIN`] and [`Timestamp::MAX`] are used by
 /// the runtime for "no watermark yet" and "end of stream".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub i64);
 
 impl Timestamp {
@@ -69,10 +71,13 @@ impl fmt::Display for Timestamp {
 
 /// A distance on the event-time axis, in milliseconds. May be negative
 /// (interval-join lower bounds are negative for the conjunction mapping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(pub i64);
 
 impl Duration {
+    /// The zero-length duration.
     pub const ZERO: Duration = Duration(0);
 
     /// Construct a duration from whole minutes.

@@ -124,9 +124,13 @@ impl Tuple {
 /// matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TsRule {
+    /// Earliest constituent timestamp (partial matches).
     Min,
+    /// Latest constituent timestamp (complete matches).
     Max,
+    /// The left input's timestamp, unchanged.
     Left,
+    /// The right input's timestamp, unchanged.
     Right,
 }
 
@@ -151,8 +155,14 @@ impl PartialOrd for MatchKey {
 
 impl Ord for MatchKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = self.0.iter().map(|e| (e.ts, e.etype, e.id, e.value.to_bits()));
-        let b = other.0.iter().map(|e| (e.ts, e.etype, e.id, e.value.to_bits()));
+        let a = self
+            .0
+            .iter()
+            .map(|e| (e.ts, e.etype, e.id, e.value.to_bits()));
+        let b = other
+            .0
+            .iter()
+            .map(|e| (e.ts, e.etype, e.id, e.value.to_bits()));
         a.cmp(b)
     }
 }
@@ -215,8 +225,14 @@ mod tests {
         let mut a = Tuple::from_event(ev(0, 1, 2, 1.0));
         a.ats = Some(Timestamp::from_minutes(10));
         let b = Tuple::from_event(ev(1, 1, 3, 2.0));
-        assert_eq!(a.join(&b, TsRule::Max).ats, Some(Timestamp::from_minutes(10)));
-        assert_eq!(b.join(&a, TsRule::Max).ats, Some(Timestamp::from_minutes(10)));
+        assert_eq!(
+            a.join(&b, TsRule::Max).ats,
+            Some(Timestamp::from_minutes(10))
+        );
+        assert_eq!(
+            b.join(&a, TsRule::Max).ats,
+            Some(Timestamp::from_minutes(10))
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::time::{Duration, Timestamp};
 /// A window instance `[start, end)` on the event-time axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WindowId {
+    /// Inclusive window start.
     pub start: Timestamp,
+    /// Exclusive window end.
     pub end: Timestamp,
 }
 
@@ -142,7 +144,10 @@ mod tests {
         assert_eq!(ids[0].start, min(7));
         assert_eq!(ids[3].start, min(10));
         for id in &ids {
-            assert!(id.start <= min(10) && min(10) < id.end, "{id} must contain ts");
+            assert!(
+                id.start <= min(10) && min(10) < id.end,
+                "{id} must contain ts"
+            );
         }
     }
 
@@ -152,7 +157,13 @@ mod tests {
         // start belongs to that window but NOT to the one ending at its ts.
         let w = SlidingWindows::new(Duration::from_minutes(3), Duration::from_minutes(3));
         let ids: Vec<_> = w.assign(min(3)).collect();
-        assert_eq!(ids, vec![WindowId { start: min(3), end: min(6) }]);
+        assert_eq!(
+            ids,
+            vec![WindowId {
+                start: min(3),
+                end: min(6)
+            }]
+        );
     }
 
     #[test]
@@ -204,13 +215,25 @@ mod tests {
         assert_eq!(
             ids,
             vec![
-                WindowId { start: Timestamp(6), end: Timestamp(10) },
-                WindowId { start: Timestamp(9), end: Timestamp(13) },
+                WindowId {
+                    start: Timestamp(6),
+                    end: Timestamp(10)
+                },
+                WindowId {
+                    start: Timestamp(9),
+                    end: Timestamp(13)
+                },
             ]
         );
         // t=10 belongs only to [9,13).
         let ids: Vec<_> = w.assign(Timestamp(10)).collect();
-        assert_eq!(ids, vec![WindowId { start: Timestamp(9), end: Timestamp(13) }]);
+        assert_eq!(
+            ids,
+            vec![WindowId {
+                start: Timestamp(9),
+                end: Timestamp(13)
+            }]
+        );
     }
 
     #[test]
@@ -225,7 +248,10 @@ mod tests {
                     .map(|k| k * s)
                     .take_while(|start| *start <= t)
                     .filter(|start| start + w > t)
-                    .map(|start| WindowId { start: Timestamp(start), end: Timestamp(start + w) })
+                    .map(|start| WindowId {
+                        start: Timestamp(start),
+                        end: Timestamp(start + w),
+                    })
                     .collect();
                 assert_eq!(got, want, "W={w} s={s} t={t}");
             }

@@ -1,0 +1,79 @@
+//! Tests of the `invariant-checks` feature: a task that breaks the
+//! watermark contract must abort the pipeline with a diagnosable panic
+//! instead of silently producing wrong (late) results downstream.
+
+#![cfg(feature = "invariant-checks")]
+#![allow(clippy::unwrap_used)] // test code
+
+use std::sync::Arc;
+
+use asp::event::{Event, EventType};
+use asp::graph::{Exchange, GraphBuilder};
+use asp::operator::{Collector, MapOp, Operator};
+use asp::runtime::{Executor, ExecutorConfig};
+use asp::time::Timestamp;
+use asp::tuple::Tuple;
+use asp::OpError;
+
+fn events(n: i64) -> Vec<Event> {
+    (0..n)
+        .map(|m| Event::new(EventType(0), 1, Timestamp::from_minutes(m), m as f64))
+        .collect()
+}
+
+/// A well-behaved pipeline runs to completion with the checks enabled.
+#[test]
+fn clean_pipeline_passes_invariant_checks() {
+    let mut g = GraphBuilder::new();
+    let src = g.source("s", events(500), 1);
+    let m = g.unary(
+        src,
+        Exchange::Rebalance,
+        2,
+        Box::new(|_| Box::new(MapOp::new("id", Arc::new(|t| t)))),
+    );
+    let sink = g.sink(m, Exchange::Rebalance);
+    let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
+    assert_eq!(report.sink_count(sink), 500);
+}
+
+/// An operator that forwards watermarks honestly but pins every emitted
+/// tuple to t=0 — emitting behind its own broadcast watermark.
+struct TimeTraveler;
+
+impl Operator for TimeTraveler {
+    fn process(
+        &mut self,
+        _input: usize,
+        mut tuple: Tuple,
+        out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
+        tuple.ts = Timestamp(0);
+        out.emit(tuple);
+        Ok(())
+    }
+    fn name(&self) -> &str {
+        "time-traveler"
+    }
+}
+
+#[test]
+fn emission_behind_watermark_aborts_the_run() {
+    let mut g = GraphBuilder::new();
+    // Frequent watermarks so the contract floor rises during the run.
+    use asp::graph::SourceConfig;
+    let cfg = SourceConfig::new(events(2000)).with_watermark_every(8);
+    let src = g.source_with("s", cfg, 1);
+    // Rebalance prevents chaining, so the rogue operator runs in its own
+    // task with its own collector floor.
+    let bad = g.unary(
+        src,
+        Exchange::Rebalance,
+        1,
+        Box::new(|_| Box::new(TimeTraveler)),
+    );
+    let _sink = g.counting_sink(bad, Exchange::Rebalance);
+    let err = Executor::new(ExecutorConfig::default()).run(g).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("invariant violation"), "got: {msg}");
+}

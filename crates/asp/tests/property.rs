@@ -1,12 +1,14 @@
 //! Property-based tests of the individual operators against brute-force
 //! reference semantics.
 
+#![allow(clippy::unwrap_used)] // test code
+
 use std::sync::Arc;
 
 use asp::event::{Event, EventType};
 use asp::operator::{
-    cross_join, DedupOp, IntervalBounds, IntervalJoinOp, Operator, VecCollector,
-    WindowAggregateOp, WindowJoinOp,
+    cross_join, DedupOp, IntervalBounds, IntervalJoinOp, Operator, VecCollector, WindowAggregateOp,
+    WindowJoinOp,
 };
 use asp::time::{Duration, Timestamp, MINUTE_MS};
 use asp::tuple::{MatchKey, TsRule, Tuple};
@@ -14,7 +16,12 @@ use asp::window::SlidingWindows;
 use proptest::prelude::*;
 
 fn ev(side: u16, id: u32, minute: i64, v: u32) -> Event {
-    Event::new(EventType(side), id, Timestamp::from_minutes(minute), v as f64)
+    Event::new(
+        EventType(side),
+        id,
+        Timestamp::from_minutes(minute),
+        v as f64,
+    )
 }
 
 fn arb_side_events(side: u16) -> impl Strategy<Value = Vec<Event>> {
@@ -228,5 +235,122 @@ proptest! {
         }
         prop_assert_eq!(got.out.len(), want.out.len());
         prop_assert!(got.out.iter().all(|t| t.key == 9));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph-validator properties: random well-formed graphs pass validation, and
+// single structural mutations are flagged with the expected `G` code.
+// ---------------------------------------------------------------------------
+
+mod validator {
+    use super::*;
+    use asp::graph::{Exchange, GraphBuilder, NodeId};
+    use asp::validate::{validate, Code};
+
+    /// A pure-data description of a linear pipeline (proptest strategies
+    /// need `Clone + Debug`, which `GraphBuilder` itself cannot be).
+    #[derive(Debug, Clone)]
+    struct ChainSpec {
+        src_parallelism: usize,
+        /// Per operator stage: (parallelism, prefer `Forward` exchange).
+        /// `Forward` is only used when legal (equal parallelism upstream).
+        stages: Vec<(usize, bool)>,
+    }
+
+    fn arb_chain() -> impl Strategy<Value = ChainSpec> {
+        (
+            1usize..4,
+            proptest::collection::vec((1usize..4, any::<bool>()), 1..5),
+        )
+            .prop_map(|(src_parallelism, stages)| ChainSpec {
+                src_parallelism,
+                stages,
+            })
+    }
+
+    /// Build the described graph. Returns the builder and the operator
+    /// `NodeId`s in stage order (the source is node 0; edge `i` connects
+    /// stage `i-1` to stage `i`; the last edge feeds the sink).
+    fn build(spec: &ChainSpec) -> (GraphBuilder, Vec<NodeId>) {
+        let mut g = GraphBuilder::new();
+        let events = vec![Event::new(EventType(0), 1, Timestamp::from_minutes(0), 1.0)];
+        let mut prev = g.source("src", events, spec.src_parallelism);
+        let mut prev_par = spec.src_parallelism;
+        let mut ops = Vec::new();
+        for &(par, forward) in &spec.stages {
+            let exchange = if forward && par == prev_par {
+                Exchange::Forward
+            } else {
+                Exchange::Rebalance
+            };
+            prev = g.unary(
+                prev,
+                exchange,
+                par,
+                Box::new(|_| Box::new(asp::operator::MapOp::new("id", Arc::new(|t| t)))),
+            );
+            ops.push(prev);
+            prev_par = par;
+        }
+        g.sink(prev, Exchange::Rebalance);
+        (g, ops)
+    }
+
+    fn codes(g: &GraphBuilder) -> Vec<Code> {
+        match validate(g) {
+            Ok(()) => Vec::new(),
+            Err(diags) => diags.iter().map(|d| d.code).collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Every graph the generator can produce is well formed.
+        #[test]
+        fn random_chain_graphs_pass_validation(spec in arb_chain()) {
+            let (g, _) = build(&spec);
+            prop_assert!(validate(&g).is_ok());
+        }
+
+        /// Dropping any edge leaves its destination without an input: G011.
+        #[test]
+        fn dropped_edge_is_flagged(spec in arb_chain(), pick in 0usize..64) {
+            let (mut g, _) = build(&spec);
+            let idx = pick % g.edge_count();
+            g.drop_edge(idx);
+            prop_assert!(codes(&g).contains(&Code::NoInputs));
+        }
+
+        /// Zeroing any node's parallelism: G007.
+        #[test]
+        fn zero_parallelism_is_flagged(spec in arb_chain(), pick in 0usize..64) {
+            let (mut g, ops) = build(&spec);
+            let node = ops[pick % ops.len()];
+            g.set_parallelism(node, 0);
+            prop_assert!(codes(&g).contains(&Code::ZeroParallelism));
+        }
+
+        /// Bumping the parallelism of a `Forward`-fed stage: G005.
+        #[test]
+        fn forward_mismatch_is_flagged(spec in arb_chain(), pick in 0usize..64) {
+            // Force at least one legal Forward edge into the chain.
+            let mut spec = spec;
+            spec.stages.insert(0, (spec.src_parallelism, true));
+            let (mut g, ops) = build(&spec);
+            let _ = pick;
+            g.set_parallelism(ops[0], spec.src_parallelism + 1);
+            prop_assert!(codes(&g).contains(&Code::ForwardParallelismMismatch));
+        }
+
+        /// Duplicating any edge duplicates a destination port: G004.
+        #[test]
+        fn duplicated_port_is_flagged(spec in arb_chain(), pick in 0usize..64) {
+            let (mut g, _) = build(&spec);
+            let idx = pick % g.edge_count();
+            g.duplicate_edge(idx);
+            prop_assert!(codes(&g).contains(&Code::PortGapOrDuplicate));
+        }
     }
 }

@@ -1,6 +1,8 @@
 //! End-to-end tests of the threaded dataflow runtime: watermark merging,
 //! keyed parallelism, backpressure, failure propagation, and metrics.
 
+#![allow(clippy::unwrap_used)] // test code
+
 use std::sync::Arc;
 
 use asp::event::{Event, EventType};
@@ -206,7 +208,10 @@ fn latency_is_measured_at_sink() {
     let mut g = GraphBuilder::new();
     let src = g.source("s", events(0, &[1], 0..500), 1);
     let sink = g.sink(src, Exchange::Forward);
-    let cfg = ExecutorConfig { latency_stride: 1, ..Default::default() };
+    let cfg = ExecutorConfig {
+        latency_stride: 1,
+        ..Default::default()
+    };
     let report = Executor::new(cfg).run(g).unwrap();
     let lat = report.latency(sink);
     assert!(lat.samples > 0);
@@ -335,7 +340,10 @@ fn chaining_does_not_change_results() {
     };
     let run = |chaining: bool| {
         let (g, sink) = build();
-        let cfg = ExecutorConfig { operator_chaining: chaining, ..Default::default() };
+        let cfg = ExecutorConfig {
+            operator_chaining: chaining,
+            ..Default::default()
+        };
         let mut report = Executor::new(cfg).run(g).unwrap();
         sorted_keys(&report.take_sink(sink))
     };

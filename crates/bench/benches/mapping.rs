@@ -34,16 +34,26 @@ fn workload(minutes: i64) -> (HashMap<EventType, Vec<Event>>, usize) {
 }
 
 fn run_fcep(pattern: &Pattern, sources: &HashMap<EventType, Vec<Event>>) -> u64 {
-    let cfg = BaselineConfig { collect_output: false, ..Default::default() };
+    let cfg = BaselineConfig {
+        collect_output: false,
+        ..Default::default()
+    };
     let (g, sink) = cep::build_baseline(pattern, sources, &cfg).unwrap();
     let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
     report.sink_count(sink)
 }
 
-fn run_fasp(pattern: &Pattern, opts: &MapperOptions, sources: &HashMap<EventType, Vec<Event>>) -> u64 {
-    let phys = PhysicalConfig { collect_output: false, ..Default::default() };
-    let run = cep2asp::run_pattern(pattern, opts, sources, &phys, &ExecutorConfig::default())
-        .unwrap();
+fn run_fasp(
+    pattern: &Pattern,
+    opts: &MapperOptions,
+    sources: &HashMap<EventType, Vec<Event>>,
+) -> u64 {
+    let phys = PhysicalConfig {
+        collect_output: false,
+        ..Default::default()
+    };
+    let run =
+        cep2asp::run_pattern(pattern, opts, sources, &phys, &ExecutorConfig::default()).unwrap();
     run.raw_count()
 }
 
@@ -57,18 +67,22 @@ fn bench_elementary(c: &mut Criterion) {
         ("SEQ1", patterns::seq1(0.05, 15), true),
         ("ITER3", patterns::iter_threshold(3, 0.08, 15), true),
         ("NSEQ1", patterns::nseq1(0.2, 0.05, 15), true),
-        ("AND2", {
-            use sea::pattern::{builders, WindowSpec};
-            use sea::predicate::{CmpOp, Predicate};
-            builders::and(
-                &[(EventType(0), "Q"), (EventType(1), "V")],
-                WindowSpec::minutes(15),
-                vec![
-                    Predicate::threshold(0, asp::event::Attr::Value, CmpOp::Le, 5.0),
-                    Predicate::threshold(1, asp::event::Attr::Value, CmpOp::Le, 5.0),
-                ],
-            )
-        }, false),
+        (
+            "AND2",
+            {
+                use sea::pattern::{builders, WindowSpec};
+                use sea::predicate::{CmpOp, Predicate};
+                builders::and(
+                    &[(EventType(0), "Q"), (EventType(1), "V")],
+                    WindowSpec::minutes(15),
+                    vec![
+                        Predicate::threshold(0, asp::event::Attr::Value, CmpOp::Le, 5.0),
+                        Predicate::threshold(1, asp::event::Attr::Value, CmpOp::Le, 5.0),
+                    ],
+                )
+            },
+            false,
+        ),
     ];
     for (name, pattern, fcep_supported) in &cases {
         if *fcep_supported {

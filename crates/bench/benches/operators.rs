@@ -4,7 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use asp::event::{Event, EventType};
-use asp::operator::{cross_join, Collector, IntervalBounds, IntervalJoinOp, Operator, WindowAggregateOp, WindowJoinOp};
+use asp::operator::{
+    cross_join, Collector, IntervalBounds, IntervalJoinOp, Operator, WindowAggregateOp,
+    WindowJoinOp,
+};
 use asp::time::{Duration, Timestamp};
 use asp::tuple::{TsRule, Tuple};
 use asp::window::SlidingWindows;
@@ -28,7 +31,9 @@ fn stream(n: usize, sensors: u32, seed: u64) -> Vec<Event> {
     let mut out = Vec::with_capacity(n);
     let mut x = seed | 1;
     for i in 0..n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let minute = (i as u32 / sensors) as i64;
         out.push(Event::new(
             if i % 2 == 0 { Q } else { V },

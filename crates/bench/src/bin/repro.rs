@@ -60,8 +60,19 @@ fn main() {
     }
     if experiments_requested.iter().any(|e| e == "all") {
         experiments_requested = [
-            "table1", "table2", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4",
-            "fig4fail", "fig5", "fig6", "ablations",
+            "table1",
+            "table2",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig3d",
+            "fig3e",
+            "fig3f",
+            "fig4",
+            "fig4fail",
+            "fig5",
+            "fig6",
+            "ablations",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -70,6 +81,12 @@ fn main() {
 
     #[cfg(debug_assertions)]
     eprintln!("WARNING: debug build — throughput numbers will be meaningless; use --release");
+
+    // Fail fast on malformed plans/graphs before generating any workload.
+    if let Err(report) = bench::preflight::check() {
+        eprintln!("pre-flight validation failed:\n{report}");
+        std::process::exit(1);
+    }
 
     for exp in &experiments_requested {
         let mut sink = ResultSink::new(&out_dir);

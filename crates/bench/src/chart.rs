@@ -9,8 +9,6 @@
 //!   FASP-O1    │███████████████████▎                    │   9.59M
 //! ```
 
-use std::collections::BTreeMap;
-
 use crate::report::{human_tps, ResultRow};
 
 const BAR_WIDTH: usize = 40;
@@ -88,7 +86,12 @@ pub fn render(rows: &[ResultRow], metric: Metric, group_params: &[&str]) -> Stri
         .iter()
         .filter_map(|r| metric.value(r))
         .fold(0.0f64, f64::max);
-    let name_w = rows.iter().map(|r| r.system.len()).max().unwrap_or(8).max(8);
+    let name_w = rows
+        .iter()
+        .map(|r| r.system.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
     for (key, members) in groups {
         if !key.is_empty() {
             let _ = writeln!(out, "{key}");
@@ -115,7 +118,11 @@ pub fn render(rows: &[ResultRow], metric: Metric, group_params: &[&str]) -> Stri
                     );
                 }
                 None => {
-                    let _ = writeln!(out, "  {:<name_w$} │{:<BAR_WIDTH$}│         -", r.system, "");
+                    let _ = writeln!(
+                        out,
+                        "  {:<name_w$} │{:<BAR_WIDTH$}│         -",
+                        r.system, ""
+                    );
                 }
             }
         }
@@ -194,7 +201,10 @@ mod tests {
         assert!(text.contains("w=90"), "{text}");
         assert!(text.contains("4.10M"), "{text}");
         // The max bar is full width.
-        assert!(text.lines().any(|l| l.matches('█').count() == BAR_WIDTH), "{text}");
+        assert!(
+            text.lines().any(|l| l.matches('█').count() == BAR_WIDTH),
+            "{text}"
+        );
     }
 
     #[test]
@@ -208,8 +218,7 @@ mod tests {
 
     #[test]
     fn sparkline_is_bounded_and_monotone_capable() {
-        let samples: Vec<(u64, usize, f64)> =
-            (0..100).map(|i| (i as u64, i * 1024, 0.0)).collect();
+        let samples: Vec<(u64, usize, f64)> = (0..100).map(|i| (i as u64, i * 1024, 0.0)).collect();
         let s = sparkline(&samples, 20);
         assert!(s.chars().count() <= 20);
         assert!(s.ends_with('█'), "{s}");
@@ -223,7 +232,4 @@ mod tests {
         assert_eq!(Metric::LatencyMeanMs.format(4.25), "4.2ms");
         assert_eq!(Metric::PeakStateMib.format(7.0), "7.0MiB");
     }
-
-    #[allow(dead_code)]
-    fn unused(_: BTreeMap<u8, u8>) {}
 }

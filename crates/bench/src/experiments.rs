@@ -27,11 +27,17 @@ pub struct Scale {
 
 impl Scale {
     pub fn quick() -> Self {
-        Scale { events: 1_000_000, sensors: 4 }
+        Scale {
+            events: 1_000_000,
+            sensors: 4,
+        }
     }
 
     pub fn full() -> Self {
-        Scale { events: 10_000_000, sensors: 4 }
+        Scale {
+            events: 10_000_000,
+            sensors: 4,
+        }
     }
 
     /// Minutes of QnV data so that Q+V ≈ `events`.
@@ -90,26 +96,71 @@ pub fn fig3a(sink: &mut ResultSink, scale: &Scale) {
     let seq = patterns::seq1(p_rate, w15);
     let srcs = sources_for(&seq, &w);
     let cfg = MeasureConfig::default();
-    sink.push(measure_fcep("fig3a", &seq, &srcs, false, &cfg, params(&[("pattern", "SEQ1".into())])));
+    sink.push(measure_fcep(
+        "fig3a",
+        &seq,
+        &srcs,
+        false,
+        &cfg,
+        params(&[("pattern", "SEQ1".into())]),
+    ));
     for (name, opts) in unkeyed_fasp_variants(false) {
-        sink.push(measure_fasp("fig3a", name, &seq, &opts, &srcs, &cfg, params(&[("pattern", "SEQ1".into())])));
+        sink.push(measure_fasp(
+            "fig3a",
+            name,
+            &seq,
+            &opts,
+            &srcs,
+            &cfg,
+            params(&[("pattern", "SEQ1".into())]),
+        ));
     }
     // ITER³₁: threshold-filtered so ~1.5 relevant events fall into each
     // window — the paper's σₒ = 0.00005 % regime where matches are rare.
     let iter_rate = (1.5 / (scale.sensors as f64 * w15 as f64)).min(1.0);
     let iter = patterns::iter_threshold(3, iter_rate, w15);
     let srcs = sources_for(&iter, &w);
-    sink.push(measure_fcep("fig3a", &iter, &srcs, false, &cfg, params(&[("pattern", "ITER3".into())])));
+    sink.push(measure_fcep(
+        "fig3a",
+        &iter,
+        &srcs,
+        false,
+        &cfg,
+        params(&[("pattern", "ITER3".into())]),
+    ));
     for (name, opts) in unkeyed_fasp_variants(true) {
-        sink.push(measure_fasp("fig3a", name, &iter, &opts, &srcs, &cfg, params(&[("pattern", "ITER3".into())])));
+        sink.push(measure_fasp(
+            "fig3a",
+            name,
+            &iter,
+            &opts,
+            &srcs,
+            &cfg,
+            params(&[("pattern", "ITER3".into())]),
+        ));
     }
     // NSEQ1 over QnV + AQ.
     let w2 = with_aq(qnv(scale, scale.sensors, 103), scale, scale.sensors, 103);
     let nseq = patterns::nseq1(p_rate * 4.0, 0.05, w15);
     let srcs = sources_for(&nseq, &w2);
-    sink.push(measure_fcep("fig3a", &nseq, &srcs, false, &cfg, params(&[("pattern", "NSEQ1".into())])));
+    sink.push(measure_fcep(
+        "fig3a",
+        &nseq,
+        &srcs,
+        false,
+        &cfg,
+        params(&[("pattern", "NSEQ1".into())]),
+    ));
     for (name, opts) in unkeyed_fasp_variants(false) {
-        sink.push(measure_fasp("fig3a", name, &nseq, &opts, &srcs, &cfg, params(&[("pattern", "NSEQ1".into())])));
+        sink.push(measure_fasp(
+            "fig3a",
+            name,
+            &nseq,
+            &opts,
+            &srcs,
+            &cfg,
+            params(&[("pattern", "NSEQ1".into())]),
+        ));
     }
 }
 
@@ -126,7 +177,15 @@ pub fn fig3b(sink: &mut ResultSink, scale: &Scale) {
         let prm = || params(&[("target_sel_pct", format!("{target}"))]);
         sink.push(measure_fcep("fig3b", &pattern, &srcs, false, &cfg, prm()));
         for (name, opts) in unkeyed_fasp_variants(false) {
-            sink.push(measure_fasp("fig3b", name, &pattern, &opts, &srcs, &cfg, prm()));
+            sink.push(measure_fasp(
+                "fig3b",
+                name,
+                &pattern,
+                &opts,
+                &srcs,
+                &cfg,
+                prm(),
+            ));
         }
     }
 }
@@ -144,7 +203,15 @@ pub fn fig3c(sink: &mut ResultSink, scale: &Scale) {
         let prm = || params(&[("window_min", format!("{w_min}"))]);
         sink.push(measure_fcep("fig3c", &pattern, &srcs, false, &cfg, prm()));
         for (name, opts) in unkeyed_fasp_variants(false) {
-            sink.push(measure_fasp("fig3c", name, &pattern, &opts, &srcs, &cfg, prm()));
+            sink.push(measure_fasp(
+                "fig3c",
+                name,
+                &pattern,
+                &opts,
+                &srcs,
+                &cfg,
+                prm(),
+            ));
         }
     }
 }
@@ -167,7 +234,15 @@ pub fn fig3d(sink: &mut ResultSink, scale: &Scale) {
         let prm = || params(&[("n", format!("{n}"))]);
         sink.push(measure_fcep("fig3d", &pattern, &srcs, false, &cfg, prm()));
         for (name, opts) in unkeyed_fasp_variants(false) {
-            sink.push(measure_fasp("fig3d", name, &pattern, &opts, &srcs, &cfg, prm()));
+            sink.push(measure_fasp(
+                "fig3d",
+                name,
+                &pattern,
+                &opts,
+                &srcs,
+                &cfg,
+                prm(),
+            ));
         }
     }
 }
@@ -197,17 +272,15 @@ pub fn fig3ef(sink: &mut ResultSink, scale: &Scale, pairwise: bool) {
             // Pairwise value ordering plus the σₒ-maintaining filter.
             let mut p = patterns::iter_threshold(m, keep, w15);
             let mut preds = p.predicates.clone();
-            preds.extend(
-                (0..m - 1).map(|i| {
-                    sea::predicate::Predicate::cross(
-                        i,
-                        asp::event::Attr::Value,
-                        sea::predicate::CmpOp::Lt,
-                        i + 1,
-                        asp::event::Attr::Value,
-                    )
-                }),
-            );
+            preds.extend((0..m - 1).map(|i| {
+                sea::predicate::Predicate::cross(
+                    i,
+                    asp::event::Attr::Value,
+                    sea::predicate::CmpOp::Lt,
+                    i + 1,
+                    asp::event::Attr::Value,
+                )
+            }));
             p = Pattern::new(p.name.clone(), p.expr.clone(), p.window, preds).unwrap();
             p
         } else {
@@ -270,16 +343,48 @@ pub fn fig4(sink: &mut ResultSink, scale: &Scale) {
         let seq7 = patterns::seq7(0.1, 15);
         let srcs = sources_for(&seq7, &w);
         let prm = |p: &str| params(&[("pattern", p.to_string()), ("keys", format!("{keys}"))]);
-        sink.push(crate::runner::scaleout::measure_fcep("fig4", &seq7, &srcs, slots, &cfg, prm("SEQ7")));
+        sink.push(crate::runner::scaleout::measure_fcep(
+            "fig4",
+            &seq7,
+            &srcs,
+            slots,
+            &cfg,
+            prm("SEQ7"),
+        ));
         for (name, opts) in keyed_fasp_variants(false) {
-            sink.push(crate::runner::scaleout::measure_fasp("fig4", name, &seq7, &opts, &srcs, slots, &cfg, prm("SEQ7")));
+            sink.push(crate::runner::scaleout::measure_fasp(
+                "fig4",
+                name,
+                &seq7,
+                &opts,
+                &srcs,
+                slots,
+                &cfg,
+                prm("SEQ7"),
+            ));
         }
         // ITER⁴₄(1), W = 90.
         let iter4 = patterns::iter4(0.008, 90);
         let srcs = sources_for(&iter4, &w);
-        sink.push(crate::runner::scaleout::measure_fcep("fig4", &iter4, &srcs, slots, &cfg, prm("ITER4")));
+        sink.push(crate::runner::scaleout::measure_fcep(
+            "fig4",
+            &iter4,
+            &srcs,
+            slots,
+            &cfg,
+            prm("ITER4"),
+        ));
         for (name, opts) in keyed_fasp_variants(true) {
-            sink.push(crate::runner::scaleout::measure_fasp("fig4", name, &iter4, &opts, &srcs, slots, &cfg, prm("ITER4")));
+            sink.push(crate::runner::scaleout::measure_fasp(
+                "fig4",
+                name,
+                &iter4,
+                &opts,
+                &srcs,
+                slots,
+                &cfg,
+                prm("ITER4"),
+            ));
         }
     }
 }
@@ -337,7 +442,15 @@ pub fn fig4_failure(sink: &mut ResultSink, scale: &Scale) {
         join_order: JoinOrder::Permutation(vec![2, 0, 1]),
         ..Default::default()
     };
-    sink.push(measure_fasp("fig4fail", "FASP-O1+O3", &pattern, &opts, &srcs, &cfg, prm()));
+    sink.push(measure_fasp(
+        "fig4fail",
+        "FASP-O1+O3",
+        &pattern,
+        &opts,
+        &srcs,
+        &cfg,
+        prm(),
+    ));
 }
 
 /// Figure 5 — resource usage over time (state bytes as the memory proxy +
@@ -361,7 +474,15 @@ pub fn fig5(sink: &mut ResultSink, scale: &Scale) {
             let prm = || params(&[("pattern", pname.to_string()), ("keys", format!("{keys}"))]);
             sink.push(measure_fcep("fig5", &pattern, &srcs, true, &cfg, prm()));
             for (name, opts) in keyed_fasp_variants(iter_pattern) {
-                sink.push(measure_fasp("fig5", name, &pattern, &opts, &srcs, &cfg, prm()));
+                sink.push(measure_fasp(
+                    "fig5",
+                    name,
+                    &pattern,
+                    &opts,
+                    &srcs,
+                    &cfg,
+                    prm(),
+                ));
             }
         }
     }
@@ -386,9 +507,25 @@ pub fn fig6(sink: &mut ResultSink, scale: &Scale) {
                     ("workers", format!("{workers}")),
                 ])
             };
-            sink.push(crate::runner::scaleout::measure_fcep("fig6", &pattern, &srcs, slots, &cfg, prm()));
+            sink.push(crate::runner::scaleout::measure_fcep(
+                "fig6",
+                &pattern,
+                &srcs,
+                slots,
+                &cfg,
+                prm(),
+            ));
             for (name, opts) in keyed_fasp_variants(iter_pattern) {
-                sink.push(crate::runner::scaleout::measure_fasp("fig6", name, &pattern, &opts, &srcs, slots, &cfg, prm()));
+                sink.push(crate::runner::scaleout::measure_fasp(
+                    "fig6",
+                    name,
+                    &pattern,
+                    &opts,
+                    &srcs,
+                    slots,
+                    &cfg,
+                    prm(),
+                ));
             }
         }
     }
@@ -405,12 +542,18 @@ pub fn table1() {
         (
             "Conjunction (T1 ∧ T2) — AND",
             builders::and(&[(Q, "Q"), (V, "V")], w, vec![]),
-            vec![("T1 × T2 (sliding)", MapperOptions::plain()), ("O1 interval", MapperOptions::o1())],
+            vec![
+                ("T1 × T2 (sliding)", MapperOptions::plain()),
+                ("O1 interval", MapperOptions::o1()),
+            ],
         ),
         (
             "Sequence (T1; T2) — SEQ",
             builders::seq(&[(Q, "Q"), (V, "V")], w, vec![]),
-            vec![("T1 ⋈θ T2 (sliding)", MapperOptions::plain()), ("O1 interval", MapperOptions::o1())],
+            vec![
+                ("T1 ⋈θ T2 (sliding)", MapperOptions::plain()),
+                ("O1 interval", MapperOptions::o1()),
+            ],
         ),
         (
             "Sequence with equi-key — SEQ + O3",
@@ -443,7 +586,10 @@ pub fn table1() {
     for (title, pattern, mappings) in cases {
         println!("--- {title}");
         println!("{pattern}");
-        println!("\n  as ASP query:\n{}", indent(&cep2asp::to_query_text(&pattern), 2));
+        println!(
+            "\n  as ASP query:\n{}",
+            indent(&cep2asp::to_query_text(&pattern), 2)
+        );
         for (label, opts) in mappings {
             match translate(&pattern, &opts) {
                 Ok(plan) => println!("\n  mapping: {label}\n{}", indent(&plan.explain(), 2)),
@@ -516,13 +662,26 @@ pub fn ablation_frequency(sink: &mut ResultSink, scale: &Scale) {
             value_model: ValueModel::Uniform,
         });
         let pattern = patterns::seq1(0.03, w15);
-        let sources = HashMap::from([
-            (Q, wq.stream(Q).to_vec()),
-            (V, wv.stream(V).to_vec()),
-        ]);
+        let sources = HashMap::from([(Q, wq.stream(Q).to_vec()), (V, wv.stream(V).to_vec())]);
         let prm = || params(&[("freq_ratio", label.to_string())]);
-        sink.push(measure_fasp("ablationA", "FASP", &pattern, &MapperOptions::plain(), &sources, &cfg, prm()));
-        sink.push(measure_fasp("ablationA", "FASP-O1", &pattern, &MapperOptions::o1(), &sources, &cfg, prm()));
+        sink.push(measure_fasp(
+            "ablationA",
+            "FASP",
+            &pattern,
+            &MapperOptions::plain(),
+            &sources,
+            &cfg,
+            prm(),
+        ));
+        sink.push(measure_fasp(
+            "ablationA",
+            "FASP-O1",
+            &pattern,
+            &MapperOptions::o1(),
+            &sources,
+            &cfg,
+            prm(),
+        ));
     }
 }
 
@@ -537,7 +696,11 @@ pub fn ablation_join_order(sink: &mut ResultSink, scale: &Scale) {
         ("textual", JoinOrder::Textual),
         ("rare-first", JoinOrder::Permutation(vec![2, 0, 1])),
     ] {
-        let opts = MapperOptions { interval_join: true, join_order: order, ..Default::default() };
+        let opts = MapperOptions {
+            interval_join: true,
+            join_order: order,
+            ..Default::default()
+        };
         sink.push(measure_fasp(
             "ablationB",
             &format!("FASP-O1/{label}"),
@@ -557,10 +720,28 @@ pub fn ablation_watermark(sink: &mut ResultSink, scale: &Scale) {
     let pattern = patterns::seq1(0.02, 15);
     let srcs = sources_for(&pattern, &w);
     for every in [64usize, 1024, 8192] {
-        let cfg = MeasureConfig { watermark_every: every, ..Default::default() };
+        let cfg = MeasureConfig {
+            watermark_every: every,
+            ..Default::default()
+        };
         let prm = || params(&[("wm_every", format!("{every}"))]);
-        sink.push(measure_fcep("ablationC", &pattern, &srcs, false, &cfg, prm()));
-        sink.push(measure_fasp("ablationC", "FASP", &pattern, &MapperOptions::plain(), &srcs, &cfg, prm()));
+        sink.push(measure_fcep(
+            "ablationC",
+            &pattern,
+            &srcs,
+            false,
+            &cfg,
+            prm(),
+        ));
+        sink.push(measure_fasp(
+            "ablationC",
+            "FASP",
+            &pattern,
+            &MapperOptions::plain(),
+            &srcs,
+            &cfg,
+            prm(),
+        ));
     }
 }
 

@@ -19,6 +19,7 @@
 pub mod chart;
 pub mod experiments;
 pub mod patterns;
+pub mod preflight;
 pub mod report;
 pub mod runner;
 

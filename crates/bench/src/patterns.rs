@@ -19,7 +19,9 @@ use workloads::{threshold_for_pass_rate, HUM, PM10, PM25, Q, TEMP, V};
 /// a binary sequence (both sides filtered at the same rate).
 pub fn pass_rate_for_selectivity(target_pct: f64, sensors: u32, w_minutes: i64) -> f64 {
     let sigma = target_pct / 100.0;
-    (2.0 * sigma / (sensors as f64 * w_minutes as f64)).sqrt().clamp(1e-4, 1.0)
+    (2.0 * sigma / (sensors as f64 * w_minutes as f64))
+        .sqrt()
+        .clamp(1e-4, 1.0)
 }
 
 /// `SEQ1(2) = SEQ(Q, V)` with value filters at the given pass rate.
@@ -133,7 +135,11 @@ mod tests {
             let p = seq_n(n, 0.5, 15);
             assert_eq!(p.positions(), n);
         }
-        assert_eq!(seq_n(99, 0.5, 15).positions(), 6, "clamped to available types");
+        assert_eq!(
+            seq_n(99, 0.5, 15).positions(),
+            6,
+            "clamped to available types"
+        );
     }
 
     #[test]

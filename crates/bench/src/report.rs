@@ -44,7 +44,12 @@ pub struct ResultRow {
 
 impl ResultRow {
     /// A row for a failed run.
-    pub fn failure(experiment: &str, system: &str, params: BTreeMap<String, String>, why: String) -> Self {
+    pub fn failure(
+        experiment: &str,
+        system: &str,
+        params: BTreeMap<String, String>,
+        why: String,
+    ) -> Self {
         ResultRow {
             experiment: experiment.into(),
             system: system.into(),
@@ -71,7 +76,10 @@ pub struct ResultSink {
 
 impl ResultSink {
     pub fn new(out_dir: impl Into<PathBuf>) -> Self {
-        ResultSink { out_dir: out_dir.into(), rows: Vec::new() }
+        ResultSink {
+            out_dir: out_dir.into(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, row: ResultRow) {
@@ -112,7 +120,10 @@ impl ResultSink {
         print!("{}", render(&self.rows, Metric::Throughput, group_params));
         if self.rows.iter().any(|r| r.latency_mean_ms.is_some()) {
             println!("── {title}: {} ──", Metric::LatencyMeanMs.title());
-            print!("{}", render(&self.rows, Metric::LatencyMeanMs, group_params));
+            print!(
+                "{}",
+                render(&self.rows, Metric::LatencyMeanMs, group_params)
+            );
         }
         if self.rows.iter().any(|r| r.peak_state_mib > 0.05) {
             println!("── {title}: {} ──", Metric::PeakStateMib.title());

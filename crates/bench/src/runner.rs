@@ -128,7 +128,9 @@ pub fn measure_fcep(
         Ok(report) => {
             let matches = report.sink_count(sink);
             let latency = report.latency(sink);
-            fill_row(experiment, "FCEP", params, &report, dataset, matches, latency)
+            fill_row(
+                experiment, "FCEP", params, &report, dataset, matches, latency,
+            )
         }
         Err(e) => ResultRow::failure(experiment, "FCEP", params, e.to_string()),
     }
@@ -158,7 +160,15 @@ pub fn measure_fasp(
         Ok(run) => {
             let matches = run.raw_count();
             let latency = run.report.latency(run.sink);
-            fill_row(experiment, system, params, &run.report, dataset, matches, latency)
+            fill_row(
+                experiment,
+                system,
+                params,
+                &run.report,
+                dataset,
+                matches,
+                latency,
+            )
         }
         Err(e) => ResultRow::failure(experiment, system, params, e.to_string()),
     }
@@ -166,7 +176,10 @@ pub fn measure_fasp(
 
 /// Helper: build the params map from key-value string pairs.
 pub fn params(pairs: &[(&str, String)]) -> BTreeMap<String, String> {
-    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -217,7 +230,10 @@ mod tests {
         });
         let sources = split_by_type(&w.merged());
         let pattern = seq1(1.0, 100); // no filtering, huge window
-        let cfg = MeasureConfig { memory_limit: Some(64 * 1024), ..Default::default() };
+        let cfg = MeasureConfig {
+            memory_limit: Some(64 * 1024),
+            ..Default::default()
+        };
         let row = measure_fcep("t", &pattern, &sources, false, &cfg, BTreeMap::new());
         assert!(row.failed.is_some(), "tiny budget must fail");
         assert!(row.failed.unwrap().contains("memory"));
@@ -291,12 +307,14 @@ pub mod scaleout {
                 0.0
             },
             throughput_tps: events as f64 / critical.max(1e-9),
-            latency_mean_ms: rows.iter().filter_map(|r| r.latency_mean_ms).fold(None, |a, l| {
-                Some(a.map_or(l, |x: f64| x.max(l)))
-            }),
-            latency_p99_ms: rows.iter().filter_map(|r| r.latency_p99_ms).fold(None, |a, l| {
-                Some(a.map_or(l, |x: f64| x.max(l)))
-            }),
+            latency_mean_ms: rows
+                .iter()
+                .filter_map(|r| r.latency_mean_ms)
+                .fold(None, |a, l| Some(a.map_or(l, |x: f64| x.max(l)))),
+            latency_p99_ms: rows
+                .iter()
+                .filter_map(|r| r.latency_p99_ms)
+                .fold(None, |a, l| Some(a.map_or(l, |x: f64| x.max(l)))),
             peak_state_mib: rows.iter().map(|r| r.peak_state_mib).sum(),
             duration_s: critical,
             failed: None,
@@ -314,7 +332,10 @@ pub mod scaleout {
         params: BTreeMap<String, String>,
     ) -> ResultRow {
         let mut rows = Vec::with_capacity(slots);
-        let slot_cfg = MeasureConfig { parallelism: 1, ..cfg.clone() };
+        let slot_cfg = MeasureConfig {
+            parallelism: 1,
+            ..cfg.clone()
+        };
         for slot in 0..slots {
             let part = partition_sources(sources, slots, slot);
             rows.push(super::measure_fcep(
@@ -342,7 +363,10 @@ pub mod scaleout {
         params: BTreeMap<String, String>,
     ) -> ResultRow {
         let mut rows = Vec::with_capacity(slots);
-        let slot_cfg = MeasureConfig { parallelism: 1, ..cfg.clone() };
+        let slot_cfg = MeasureConfig {
+            parallelism: 1,
+            ..cfg.clone()
+        };
         for slot in 0..slots {
             let part = partition_sources(sources, slots, slot);
             rows.push(super::measure_fasp(

@@ -84,10 +84,7 @@ impl NfaEngine {
                 });
             }
             AfterMatchSkip::SkipPastLastEvent => {
-                let last = emitted
-                    .iter()
-                    .filter_map(|m| m.last().map(|e| e.ts))
-                    .max();
+                let last = emitted.iter().filter_map(|m| m.last().map(|e| e.ts)).max();
                 if let Some(last) = last {
                     self.runs.retain(|r| {
                         let dead = r.first_ts <= last;
@@ -233,13 +230,19 @@ impl NfaEngine {
                 if k + 1 == n {
                     completed.push(events);
                 } else {
-                    spawned.push(Run { events, first_ts: run.first_ts });
+                    spawned.push(Run {
+                        events,
+                        first_ts: run.first_ts,
+                    });
                 }
             }
         }
         // A fresh run may start at this event.
         if self.stage_accepts(0, &[], e) {
-            let run = Run { events: vec![*e], first_ts: e.ts };
+            let run = Run {
+                events: vec![*e],
+                first_ts: e.ts,
+            };
             if n == 1 {
                 completed.push(run.events);
             } else {
@@ -281,7 +284,10 @@ impl NfaEngine {
         }
         self.state_bytes = self.state_bytes.saturating_sub(freed) + added;
         if self.stage_accepts(0, &[], e) {
-            let run = Run { events: vec![*e], first_ts: e.ts };
+            let run = Run {
+                events: vec![*e],
+                first_ts: e.ts,
+            };
             if n == 1 {
                 completed.push(run.events);
             } else {
@@ -319,7 +325,10 @@ impl NfaEngine {
         self.runs = survivors;
         self.state_bytes = self.state_bytes.saturating_sub(freed) + added;
         if self.stage_accepts(0, &[], e) {
-            let run = Run { events: vec![*e], first_ts: e.ts };
+            let run = Run {
+                events: vec![*e],
+                first_ts: e.ts,
+            };
             if n == 1 {
                 completed.push(run.events);
             } else {
@@ -348,7 +357,11 @@ mod tests {
         Event::new(t, 1, Timestamp::from_minutes(min), v)
     }
 
-    fn run_engine(pattern: &sea::Pattern, policy: SelectionPolicy, stream: &[Event]) -> Vec<NfaMatch> {
+    fn run_engine(
+        pattern: &sea::Pattern,
+        policy: SelectionPolicy,
+        stream: &[Event],
+    ) -> Vec<NfaMatch> {
         let nfa = Nfa::compile(pattern).unwrap();
         let mut engine = NfaEngine::new(nfa, policy);
         let mut out = Vec::new();
@@ -398,7 +411,10 @@ mod tests {
             ev(V, 5, 6.0),
         ];
         let stam = run_engine(&p, SelectionPolicy::SkipTillAnyMatch, &stream);
-        for policy in [SelectionPolicy::SkipTillNextMatch, SelectionPolicy::StrictContiguity] {
+        for policy in [
+            SelectionPolicy::SkipTillNextMatch,
+            SelectionPolicy::StrictContiguity,
+        ] {
             let other = run_engine(&p, policy, &stream);
             for m in &other {
                 assert!(stam.contains(m), "{policy}: match {m:?} missing from stam");
@@ -482,7 +498,11 @@ mod tests {
 
     #[test]
     fn state_grows_combinatorially_under_stam() {
-        let p = builders::seq(&[(Q, "Q"), (V, "V"), (PM, "PM")], WindowSpec::minutes(100), vec![]);
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(100),
+            vec![],
+        );
         let nfa = Nfa::compile(&p).unwrap();
         let mut engine = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch);
         let mut out = Vec::new();
@@ -542,8 +562,8 @@ mod after_match_tests {
     fn run_with(skip: AfterMatchSkip, stream: &[Event]) -> Vec<NfaMatch> {
         let p = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(10), vec![]);
         let nfa = crate::nfa::Nfa::compile(&p).unwrap();
-        let mut engine = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch)
-            .with_after_match(skip);
+        let mut engine =
+            NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch).with_after_match(skip);
         let mut out = Vec::new();
         for e in stream {
             engine.process(e, &mut out);
@@ -581,7 +601,10 @@ mod after_match_tests {
     #[test]
     fn skip_strategies_yield_subsets_of_no_skip() {
         let all: Vec<NfaMatch> = run_with(AfterMatchSkip::NoSkip, &stream());
-        for skip in [AfterMatchSkip::SkipToNext, AfterMatchSkip::SkipPastLastEvent] {
+        for skip in [
+            AfterMatchSkip::SkipToNext,
+            AfterMatchSkip::SkipPastLastEvent,
+        ] {
             for m in run_with(skip, &stream()) {
                 assert!(all.contains(&m), "{skip}: {m:?} not in no-skip output");
             }

@@ -81,9 +81,13 @@ pub enum UnsupportedPattern {
 impl fmt::Display for UnsupportedPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            UnsupportedPattern::Conjunction => write!(f, "AND is not supported by the NFA baseline"),
+            UnsupportedPattern::Conjunction => {
+                write!(f, "AND is not supported by the NFA baseline")
+            }
             UnsupportedPattern::Disjunction => write!(f, "OR is not supported by the NFA baseline"),
-            UnsupportedPattern::KleenePlus => write!(f, "Kleene+ (ITER m+) is not supported by the NFA baseline"),
+            UnsupportedPattern::KleenePlus => {
+                write!(f, "Kleene+ (ITER m+) is not supported by the NFA baseline")
+            }
             UnsupportedPattern::NonTernaryNegation => {
                 write!(f, "negation must be the middle element of a ternary SEQ")
             }
@@ -128,7 +132,11 @@ impl Nfa {
         // bound (its max variable).
         let mut nfa_stages: Vec<Stage> = stages
             .into_iter()
-            .map(|(leaf, var)| Stage { leaf, var, preds: Vec::new() })
+            .map(|(leaf, var)| Stage {
+                leaf,
+                var,
+                preds: Vec::new(),
+            })
             .collect();
         for p in &pattern.predicates {
             let Some(mv) = p.max_var() else { continue };
@@ -181,7 +189,11 @@ fn collect(
             }
             Ok(())
         }
-        PatternExpr::NegSeq { first, absent, last } => {
+        PatternExpr::NegSeq {
+            first,
+            absent,
+            last,
+        } => {
             if forbidden.is_some() {
                 return Err(UnsupportedPattern::NonTernaryNegation);
             }
@@ -215,7 +227,11 @@ mod tests {
         assert_eq!(nfa.len(), 3);
         assert!(nfa.forbidden.is_none());
         assert!(nfa.stages[0].preds.is_empty());
-        assert_eq!(nfa.stages[1].preds.len(), 1, "a–b predicate binds at stage 1");
+        assert_eq!(
+            nfa.stages[1].preds.len(),
+            1,
+            "a–b predicate binds at stage 1"
+        );
         assert_eq!(nfa.window_ms, 15 * asp::time::MINUTE_MS);
     }
 
@@ -252,11 +268,20 @@ mod tests {
     #[test]
     fn unsupported_operators_are_rejected() {
         let and = builders::and(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5), vec![]);
-        assert_eq!(Nfa::compile(&and).unwrap_err(), UnsupportedPattern::Conjunction);
+        assert_eq!(
+            Nfa::compile(&and).unwrap_err(),
+            UnsupportedPattern::Conjunction
+        );
         let or = builders::or(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(5));
-        assert_eq!(Nfa::compile(&or).unwrap_err(), UnsupportedPattern::Disjunction);
+        assert_eq!(
+            Nfa::compile(&or).unwrap_err(),
+            UnsupportedPattern::Disjunction
+        );
         let kp = builders::kleene_plus(V, "V", 3, WindowSpec::minutes(5));
-        assert_eq!(Nfa::compile(&kp).unwrap_err(), UnsupportedPattern::KleenePlus);
+        assert_eq!(
+            Nfa::compile(&kp).unwrap_err(),
+            UnsupportedPattern::KleenePlus
+        );
     }
 
     #[test]
@@ -264,7 +289,11 @@ mod tests {
         use sea::pattern::{Pattern, PatternExpr};
         let expr = PatternExpr::Seq(vec![
             PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
-            PatternExpr::Iter { leaf: Leaf::new(V, "V", "v"), m: 2, at_least: false },
+            PatternExpr::Iter {
+                leaf: Leaf::new(V, "V", "v"),
+                m: 2,
+                at_least: false,
+            },
         ]);
         let p = Pattern::new("sx", expr, WindowSpec::minutes(15), vec![]).unwrap();
         let nfa = Nfa::compile(&p).unwrap();

@@ -129,13 +129,22 @@ impl CepOp {
     }
 
     fn total_state(&self) -> usize {
-        self.buffer_bytes + self.engines.values().map(NfaEngine::state_bytes).sum::<usize>()
+        self.buffer_bytes
+            + self
+                .engines
+                .values()
+                .map(NfaEngine::state_bytes)
+                .sum::<usize>()
     }
 }
 
 impl Operator for CepOp {
-    fn process(&mut self, _input: usize, tuple: Tuple, _out: &mut dyn Collector)
-        -> Result<(), OpError> {
+    fn process(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _out: &mut dyn Collector,
+    ) -> Result<(), OpError> {
         self.seq += 1;
         self.buffer_bytes += tuple.mem_bytes();
         self.buffer.insert((tuple.ts, self.seq), tuple);
@@ -152,8 +161,11 @@ impl Operator for CepOp {
         Ok(())
     }
 
-    fn on_watermark(&mut self, wm: Timestamp, out: &mut dyn Collector)
-        -> Result<Timestamp, OpError> {
+    fn on_watermark(
+        &mut self,
+        wm: Timestamp,
+        out: &mut dyn Collector,
+    ) -> Result<Timestamp, OpError> {
         self.advance(wm, out);
         if let Some(limit) = self.memory_limit {
             let used = self.total_state();
@@ -209,33 +221,45 @@ mod tests {
     fn sorts_out_of_order_union_input() {
         // The unioned stream interleaves types out of ts order across
         // sources; the watermark-driven sort must restore order.
-        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
-            .unwrap();
+        let mut op = CepOp::new(
+            "fcep",
+            &seq_qv(10),
+            SelectionPolicy::SkipTillAnyMatch,
+            false,
+        )
+        .unwrap();
         let mut col = VecCollector::default();
         op.process(0, tup(V, 1, 5, 2.0), &mut col).unwrap();
         op.process(0, tup(Q, 1, 3, 1.0), &mut col).unwrap();
-        op.on_watermark(Timestamp::from_minutes(6), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(6), &mut col)
+            .unwrap();
         assert_eq!(col.out.len(), 1, "Q@3 → V@5 found despite arrival order");
         assert_eq!(col.out[0].ts, Timestamp::from_minutes(5), "match ts = max");
     }
 
     #[test]
     fn buffer_holds_events_until_watermark() {
-        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
-            .unwrap();
+        let mut op = CepOp::new(
+            "fcep",
+            &seq_qv(10),
+            SelectionPolicy::SkipTillAnyMatch,
+            false,
+        )
+        .unwrap();
         let mut col = VecCollector::default();
         op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
         op.process(0, tup(V, 1, 2, 2.0), &mut col).unwrap();
         assert!(col.out.is_empty(), "nothing emitted before watermark");
         assert!(op.state_bytes() > 0);
-        op.on_watermark(Timestamp::from_minutes(3), &mut col).unwrap();
+        op.on_watermark(Timestamp::from_minutes(3), &mut col)
+            .unwrap();
         assert_eq!(col.out.len(), 1);
     }
 
     #[test]
     fn keyed_mode_separates_partitions() {
-        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, true)
-            .unwrap();
+        let mut op =
+            CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, true).unwrap();
         let mut col = VecCollector::default();
         // Q from sensor 1, V from sensor 2: different keys → no match.
         op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
@@ -243,8 +267,13 @@ mod tests {
         op.on_finish(&mut col).unwrap();
         assert!(col.out.is_empty());
 
-        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
-            .unwrap();
+        let mut op = CepOp::new(
+            "fcep",
+            &seq_qv(10),
+            SelectionPolicy::SkipTillAnyMatch,
+            false,
+        )
+        .unwrap();
         let mut col = VecCollector::default();
         op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
         op.process(0, tup(V, 2, 2, 2.0), &mut col).unwrap();
@@ -280,8 +309,13 @@ mod tests {
 
     #[test]
     fn finish_flushes_remaining_buffer() {
-        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
-            .unwrap();
+        let mut op = CepOp::new(
+            "fcep",
+            &seq_qv(10),
+            SelectionPolicy::SkipTillAnyMatch,
+            false,
+        )
+        .unwrap();
         let mut col = VecCollector::default();
         op.process(0, tup(Q, 1, 1, 1.0), &mut col).unwrap();
         op.process(0, tup(V, 1, 2, 2.0), &mut col).unwrap();
@@ -293,8 +327,13 @@ mod tests {
 
     #[test]
     fn wall_stamp_comes_from_completing_event() {
-        let mut op = CepOp::new("fcep", &seq_qv(10), SelectionPolicy::SkipTillAnyMatch, false)
-            .unwrap();
+        let mut op = CepOp::new(
+            "fcep",
+            &seq_qv(10),
+            SelectionPolicy::SkipTillAnyMatch,
+            false,
+        )
+        .unwrap();
         let mut col = VecCollector::default();
         let mut a = tup(Q, 1, 1, 1.0);
         a.wall = 100;

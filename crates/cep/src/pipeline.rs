@@ -99,14 +99,22 @@ pub fn build_baseline(
     } else {
         let ports = src_nodes.len();
         let edges: Vec<_> = src_nodes.iter().map(|n| (*n, Exchange::Forward)).collect();
-        let u = g.nary(&edges, 1, Box::new(move |_| Box::new(UnionOp::new("∪", ports))));
+        let u = g.nary(
+            &edges,
+            1,
+            Box::new(move |_| Box::new(UnionOp::new("∪", ports))),
+        );
         g.name_last("union");
         u
     };
 
     // The single stateful CEP operator.
     let par = if cfg.keyed { cfg.parallelism } else { 1 };
-    let exchange = if cfg.keyed { Exchange::Hash } else { Exchange::Rebalance };
+    let exchange = if cfg.keyed {
+        Exchange::Hash
+    } else {
+        Exchange::Rebalance
+    };
     let pattern = pattern.clone();
     let (policy, keyed, limit, am) = (cfg.policy, cfg.keyed, cfg.memory_limit, cfg.after_match);
     let cep = g.unary(
@@ -125,7 +133,11 @@ pub fn build_baseline(
     );
     g.name_last("FCEP");
 
-    let mode = if cfg.collect_output { SinkMode::Collect } else { SinkMode::CountOnly };
+    let mode = if cfg.collect_output {
+        SinkMode::Collect
+    } else {
+        SinkMode::CountOnly
+    };
     let sink = g.sink_with_mode(cep, Exchange::Rebalance, mode);
     Ok((g, sink))
 }
@@ -176,7 +188,11 @@ mod tests {
             (Q, vec![ev(Q, 1, 0, 1.0), ev(Q, 2, 0, 1.5)]),
             (V, vec![ev(V, 1, 2, 3.0), ev(V, 3, 2, 3.5)]),
         ]);
-        let cfg = BaselineConfig { keyed: true, parallelism: 4, ..Default::default() };
+        let cfg = BaselineConfig {
+            keyed: true,
+            parallelism: 4,
+            ..Default::default()
+        };
         let (g, sink) = build_baseline(&p, &sources, &cfg).unwrap();
         let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
         assert_eq!(report.sink_count(sink), 1, "only sensor 1 has both events");

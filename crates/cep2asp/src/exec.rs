@@ -21,8 +21,11 @@ use crate::translate::{translate, MapperOptions, TranslateError};
 /// Everything that can go wrong between a pattern and its results.
 #[derive(Debug)]
 pub enum ExecError {
+    /// The pattern could not be mapped to a logical plan.
     Translate(TranslateError),
+    /// The logical plan could not be lowered to a dataflow graph.
     Build(BuildError),
+    /// The dataflow run itself failed (validation or execution).
     Pipeline(asp::PipelineError),
 }
 

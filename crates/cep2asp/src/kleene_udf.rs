@@ -211,6 +211,10 @@ mod tests {
         let sources = HashMap::from([(V, events)]);
         let (g, sink) = build_pipeline(&cfg, &sources);
         let report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
-        assert_eq!(report.sink_count(sink), 1, "3 events suffice without pairwise");
+        assert_eq!(
+            report.sink_count(sink),
+            1,
+            "3 events suffice without pairwise"
+        );
     }
 }

@@ -35,8 +35,12 @@
 //! assert_eq!(run.dedup_matches().len(), 1);
 //! ```
 
+// Unit tests may unwrap freely; production code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod exec;
 pub mod kleene_udf;
+pub mod lint;
 pub mod multi;
 pub mod optimizer;
 pub mod physical;
@@ -44,10 +48,13 @@ pub mod plan;
 pub mod sql;
 pub mod translate;
 
-pub use exec::{dedup_sorted, run_pattern, run_pattern_simple, split_by_type, ExecError, MappedRun};
-pub use physical::{build_pipeline, BuildError, PhysicalConfig};
-pub use plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
+pub use exec::{
+    dedup_sorted, run_pattern, run_pattern_simple, split_by_type, ExecError, MappedRun,
+};
+pub use lint::{lint_plan, LintCode, LintDiagnostic};
 pub use multi::{run_patterns, MultiRun, PatternJob};
 pub use optimizer::{auto_options, explain_with_stats, StreamStats};
+pub use physical::{build_pipeline, BuildError, PhysicalConfig};
+pub use plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
 pub use sql::to_query_text;
 pub use translate::{translate, JoinOrder, MapperOptions, TranslateError};

@@ -1,0 +1,636 @@
+//! Static linting of logical plans.
+//!
+//! [`lint_plan`] walks a [`LogicalPlan`] and reports every violated
+//! invariant as a typed [`LintDiagnostic`] with a stable `P`-code —
+//! the plan-level counterpart of `asp::validate` for dataflow graphs.
+//!
+//! [`crate::translate::translate`] asserts a lint-clean plan as a
+//! debug-mode post-condition, and [`crate::optimizer::explain_with_stats`]
+//! lints the plan it annotates, so a mapping or rewrite bug surfaces as a
+//! coded diagnostic at the layer that introduced it instead of a wrong
+//! answer (or a hang) at execution time.
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | P001 | sliding windows: `0 < slide ≤ size` |
+//! | P002 | interval joins: `lower < upper` |
+//! | P003 | interval bounds within the pattern window `[-W, W]` |
+//! | P004 | every predicate variable bound by the node's layout |
+//! | P005 | no duplicate scan variable within a union branch |
+//! | P006 | `ByKey` ⇔ a key pair drawn from the join's two sides |
+//! | P007 | order-pair variables bound by the join's layout |
+//! | P008 | `ats_check` variable bound by the join's right side |
+//! | P009 | window/hold durations positive and within the pattern window |
+//! | P010 | unions have at least two inputs |
+//! | P011 | aggregates count to at least one |
+//! | P012 | join span guard equals the pattern window |
+
+use std::fmt;
+
+use asp::validate::Severity;
+
+use sea::predicate::VarId;
+
+use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
+
+/// Stable identifier of a plan invariant checked by [`lint_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// P001: a sliding window's slide is zero, negative, or larger than
+    /// its size.
+    SlidingSlideExceedsSize,
+    /// P002: an interval join's lower bound is not strictly below its
+    /// upper bound.
+    IntervalBoundsInverted,
+    /// P003: an interval join's bounds exceed the pattern window `[-W, W]`.
+    IntervalExceedsWindow,
+    /// P004: a predicate references a variable the node's layout does not
+    /// bind.
+    UnboundPredicateVar,
+    /// P005: two scans in the same union branch bind the same variable.
+    DuplicateScanVar,
+    /// P006: partitioning and key pair disagree (`ByKey` without a key
+    /// pair, `Global` with one, or a key drawn from the wrong side).
+    PartitioningKeyMismatch,
+    /// P007: an ordering constraint references an unbound variable.
+    UnboundOrderPair,
+    /// P008: an `ats` check references a variable the right side does not
+    /// bind.
+    UnboundAtsCheck,
+    /// P009: a window or hold duration is non-positive or exceeds the
+    /// pattern window.
+    WindowOutOfRange,
+    /// P010: a union with fewer than two inputs.
+    EmptyUnion,
+    /// P011: an aggregate requiring a count of zero (always true).
+    AggregateCountZero,
+    /// P012: a join's span guard differs from the pattern window.
+    SpanMismatch,
+}
+
+impl LintCode {
+    /// The stable `Pxxx` string for this code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintCode::SlidingSlideExceedsSize => "P001",
+            LintCode::IntervalBoundsInverted => "P002",
+            LintCode::IntervalExceedsWindow => "P003",
+            LintCode::UnboundPredicateVar => "P004",
+            LintCode::DuplicateScanVar => "P005",
+            LintCode::PartitioningKeyMismatch => "P006",
+            LintCode::UnboundOrderPair => "P007",
+            LintCode::UnboundAtsCheck => "P008",
+            LintCode::WindowOutOfRange => "P009",
+            LintCode::EmptyUnion => "P010",
+            LintCode::AggregateCountZero => "P011",
+            LintCode::SpanMismatch => "P012",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One violated plan invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// Stable invariant identifier.
+    pub code: LintCode,
+    /// All lint findings are errors today; the field keeps parity with
+    /// `asp::validate::Diagnostic` for uniform rendering.
+    pub severity: Severity,
+    /// The plan node kind the finding is anchored at (`Join`, `Scan`, …).
+    pub node: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl LintDiagnostic {
+    fn new(code: LintCode, node: &str, message: impl Into<String>) -> Self {
+        LintDiagnostic {
+            code,
+            severity: Severity::Error,
+            node: node.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}: {}",
+            self.code, self.severity, self.node, self.message
+        )
+    }
+}
+
+/// Lint a logical plan; an empty result means every invariant holds.
+pub fn lint_plan(plan: &LogicalPlan) -> Vec<LintDiagnostic> {
+    let mut out = Vec::new();
+    let w = plan.window.size.millis();
+    if w <= 0 {
+        out.push(LintDiagnostic::new(
+            LintCode::WindowOutOfRange,
+            "Plan",
+            format!("pattern window size must be positive, got {w}ms"),
+        ));
+    }
+    if plan.window.slide.millis() <= 0 || plan.window.slide.millis() > w.max(1) {
+        out.push(LintDiagnostic::new(
+            LintCode::SlidingSlideExceedsSize,
+            "Plan",
+            format!(
+                "pattern window slide {}ms outside (0, {}ms]",
+                plan.window.slide.millis(),
+                w
+            ),
+        ));
+    }
+    walk(&plan.root, plan, &mut out);
+    // Duplicate-scan check per union branch (each branch is its own match
+    // scope; across branches the same position legitimately rebinds).
+    let mut vars = Vec::new();
+    scope_vars(&plan.root, &mut vars, &mut out);
+    check_dup(&vars, &mut out);
+    out
+}
+
+fn check_dup(vars: &[VarId], out: &mut Vec<LintDiagnostic>) {
+    let mut sorted = vars.to_vec();
+    sorted.sort_unstable();
+    if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        out.push(LintDiagnostic::new(
+            LintCode::DuplicateScanVar,
+            "Scan",
+            format!(
+                "variable e{} is bound by more than one scan in the same branch",
+                dup[0] + 1
+            ),
+        ));
+    }
+}
+
+/// Collect the scan variables of one union-free scope; each union input is
+/// checked as its own scope and contributes nothing to the parent.
+fn scope_vars(node: &PlanNode, vars: &mut Vec<VarId>, out: &mut Vec<LintDiagnostic>) {
+    match node {
+        PlanNode::Scan { var, .. } => vars.push(*var),
+        PlanNode::Join { left, right, .. } => {
+            scope_vars(left, vars, out);
+            scope_vars(right, vars, out);
+        }
+        PlanNode::Union { inputs } => {
+            for i in inputs {
+                let mut branch = Vec::new();
+                scope_vars(i, &mut branch, out);
+                check_dup(&branch, out);
+            }
+        }
+        PlanNode::Aggregate { input, .. } => scope_vars(input, vars, out),
+        PlanNode::NextOccurrence { trigger, .. } => scope_vars(trigger, vars, out),
+    }
+}
+
+fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagnostic>) {
+    match windowing {
+        JoinWindowing::Sliding { size, slide } => {
+            if slide.millis() <= 0 || slide.millis() > size.millis() {
+                out.push(LintDiagnostic::new(
+                    LintCode::SlidingSlideExceedsSize,
+                    "Join",
+                    format!(
+                        "sliding windowing requires 0 < slide ≤ size, got slide {}ms, size {}ms",
+                        slide.millis(),
+                        size.millis()
+                    ),
+                ));
+            }
+        }
+        JoinWindowing::Interval { lower, upper } => {
+            if lower.millis() >= upper.millis() {
+                out.push(LintDiagnostic::new(
+                    LintCode::IntervalBoundsInverted,
+                    "Join",
+                    format!(
+                        "interval join requires lower < upper, got [{}ms, {}ms]",
+                        lower.millis(),
+                        upper.millis()
+                    ),
+                ));
+            }
+            if lower.millis() < -w_ms || upper.millis() > w_ms {
+                out.push(LintDiagnostic::new(
+                    LintCode::IntervalExceedsWindow,
+                    "Join",
+                    format!(
+                        "interval bounds [{}ms, {}ms] exceed the pattern window ±{}ms",
+                        lower.millis(),
+                        upper.millis(),
+                        w_ms
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
+    let w_ms = plan.window.size.millis();
+    match node {
+        PlanNode::Scan {
+            var, predicates, ..
+        } => {
+            for p in predicates {
+                if !p.vars().iter().all(|v| v == var) {
+                    out.push(LintDiagnostic::new(
+                        LintCode::UnboundPredicateVar,
+                        "Scan",
+                        format!(
+                            "scan of e{} carries predicate `{p}` referencing other variables",
+                            var + 1
+                        ),
+                    ));
+                }
+            }
+        }
+        PlanNode::Join {
+            left,
+            right,
+            windowing,
+            partitioning,
+            order_pairs,
+            predicates,
+            span_ms,
+            ats_check,
+            key_pair,
+        } => {
+            let ll = left.layout();
+            let rl = right.layout();
+            let mut merged = ll.clone();
+            merged.extend(&rl);
+
+            lint_windowing(windowing, w_ms, out);
+
+            for p in predicates {
+                for v in p.vars() {
+                    if !merged.contains(&v) {
+                        out.push(LintDiagnostic::new(
+                            LintCode::UnboundPredicateVar,
+                            "Join",
+                            format!(
+                                "predicate `{p}` references e{}, not bound by {merged:?}",
+                                v + 1
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (a, b) in order_pairs {
+                if !merged.contains(a) || !merged.contains(b) {
+                    out.push(LintDiagnostic::new(
+                        LintCode::UnboundOrderPair,
+                        "Join",
+                        format!(
+                            "ordering e{}.ts < e{}.ts references variables not bound by {merged:?}",
+                            a + 1,
+                            b + 1
+                        ),
+                    ));
+                }
+            }
+            if let Some(v) = ats_check {
+                if !rl.contains(v) {
+                    out.push(LintDiagnostic::new(
+                        LintCode::UnboundAtsCheck,
+                        "Join",
+                        format!("ats ≥ e{}.ts but the right side binds {rl:?}", v + 1),
+                    ));
+                }
+            }
+            match (partitioning, key_pair) {
+                (Partitioning::ByKey, None) => out.push(LintDiagnostic::new(
+                    LintCode::PartitioningKeyMismatch,
+                    "Join",
+                    "ByKey partitioning without a key pair",
+                )),
+                (Partitioning::Global, Some(_)) => out.push(LintDiagnostic::new(
+                    LintCode::PartitioningKeyMismatch,
+                    "Join",
+                    "Global partitioning with a key pair (the key would never be used)",
+                )),
+                (Partitioning::ByKey, Some((kl, kr))) => {
+                    if !ll.contains(kl) || !rl.contains(kr) {
+                        out.push(LintDiagnostic::new(
+                            LintCode::PartitioningKeyMismatch,
+                            "Join",
+                            format!(
+                                "key pair (e{}, e{}) not drawn from left {ll:?} / right {rl:?}",
+                                kl + 1,
+                                kr + 1
+                            ),
+                        ));
+                    }
+                }
+                (Partitioning::Global, None) => {}
+            }
+            if *span_ms != w_ms {
+                out.push(LintDiagnostic::new(
+                    LintCode::SpanMismatch,
+                    "Join",
+                    format!("span guard {span_ms}ms differs from the pattern window {w_ms}ms"),
+                ));
+            }
+            walk(left, plan, out);
+            walk(right, plan, out);
+        }
+        PlanNode::Union { inputs } => {
+            if inputs.len() < 2 {
+                out.push(LintDiagnostic::new(
+                    LintCode::EmptyUnion,
+                    "Union",
+                    format!("union has {} input(s); it needs at least two", inputs.len()),
+                ));
+            }
+            for i in inputs {
+                walk(i, plan, out);
+            }
+        }
+        PlanNode::Aggregate {
+            input, m, window, ..
+        } => {
+            if *m == 0 {
+                out.push(LintDiagnostic::new(
+                    LintCode::AggregateCountZero,
+                    "Aggregate",
+                    "count ≥ 0 holds vacuously; m must be at least 1",
+                ));
+            }
+            if window.slide.millis() <= 0 || window.slide.millis() > window.size.millis() {
+                out.push(LintDiagnostic::new(
+                    LintCode::SlidingSlideExceedsSize,
+                    "Aggregate",
+                    format!(
+                        "aggregation window requires 0 < slide ≤ size, got slide {}ms, size {}ms",
+                        window.slide.millis(),
+                        window.size.millis()
+                    ),
+                ));
+            }
+            walk(input, plan, out);
+        }
+        PlanNode::NextOccurrence { trigger, w, .. } => {
+            if w.millis() <= 0 || w.millis() > w_ms {
+                out.push(LintDiagnostic::new(
+                    LintCode::WindowOutOfRange,
+                    "NextOccurrence",
+                    format!("hold duration {}ms outside (0, {}ms]", w.millis(), w_ms),
+                ));
+            }
+            walk(trigger, plan, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::{Attr, EventType};
+    use asp::time::Duration;
+    use sea::pattern::{Leaf, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    fn scan(t: u16, var: VarId) -> PlanNode {
+        PlanNode::Scan {
+            etype: EventType(t),
+            type_name: format!("T{t}"),
+            leaf: Leaf::new(EventType(t), format!("T{t}"), format!("e{}", var + 1)),
+            var,
+            predicates: vec![],
+        }
+    }
+
+    fn join(left: PlanNode, right: PlanNode) -> PlanNode {
+        PlanNode::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            windowing: JoinWindowing::Sliding {
+                size: Duration::from_minutes(4),
+                slide: Duration::from_minutes(1),
+            },
+            partitioning: Partitioning::Global,
+            order_pairs: vec![],
+            predicates: vec![],
+            span_ms: 4 * asp::time::MINUTE_MS,
+            ats_check: None,
+            key_pair: None,
+        }
+    }
+
+    fn plan(root: PlanNode) -> LogicalPlan {
+        LogicalPlan {
+            root,
+            positions: 2,
+            mapping: "test".into(),
+            window: WindowSpec::minutes(4),
+        }
+    }
+
+    fn codes(p: &LogicalPlan) -> Vec<LintCode> {
+        lint_plan(p).into_iter().map(|d| d.code).collect()
+    }
+
+    /// Mutate the root join in place.
+    fn with_join(f: impl FnOnce(&mut PlanNode)) -> LogicalPlan {
+        let mut root = join(scan(0, 0), scan(1, 1));
+        f(&mut root);
+        plan(root)
+    }
+
+    #[test]
+    fn clean_plan_lints_empty() {
+        assert!(lint_plan(&plan(join(scan(0, 0), scan(1, 1)))).is_empty());
+    }
+
+    #[test]
+    fn p001_sliding_slide_exceeds_size() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Sliding {
+                    size: Duration::from_minutes(2),
+                    slide: Duration::from_minutes(5),
+                };
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::SlidingSlideExceedsSize));
+    }
+
+    #[test]
+    fn p002_interval_bounds_inverted() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Interval {
+                    lower: Duration::from_minutes(4),
+                    upper: Duration::ZERO,
+                };
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::IntervalBoundsInverted));
+    }
+
+    #[test]
+    fn p003_interval_exceeds_window() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Interval {
+                    lower: Duration::ZERO,
+                    upper: Duration::from_minutes(99),
+                };
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::IntervalExceedsWindow));
+    }
+
+    #[test]
+    fn p004_unbound_predicate_var() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { predicates, .. } = j {
+                predicates.push(Predicate::cross(0, Attr::Value, CmpOp::Le, 7, Attr::Value));
+            }
+        });
+        let ds = lint_plan(&p);
+        let d = ds
+            .iter()
+            .find(|d| d.code == LintCode::UnboundPredicateVar)
+            .expect("P004");
+        assert!(d.message.contains("e8"), "{}", d.message);
+    }
+
+    #[test]
+    fn p004_scan_predicate_referencing_other_var() {
+        let mut s = scan(0, 0);
+        if let PlanNode::Scan { predicates, .. } = &mut s {
+            predicates.push(Predicate::cross(0, Attr::Value, CmpOp::Le, 1, Attr::Value));
+        }
+        let p = plan(join(s, scan(1, 1)));
+        assert!(codes(&p).contains(&LintCode::UnboundPredicateVar));
+    }
+
+    #[test]
+    fn p005_duplicate_scan_var() {
+        let p = plan(join(scan(0, 0), scan(1, 0)));
+        assert!(codes(&p).contains(&LintCode::DuplicateScanVar));
+    }
+
+    #[test]
+    fn p005_rebinding_across_union_branches_is_allowed() {
+        let u = PlanNode::Union {
+            inputs: vec![join(scan(0, 0), scan(1, 1)), join(scan(0, 0), scan(2, 1))],
+        };
+        assert!(lint_plan(&plan(u)).is_empty());
+    }
+
+    #[test]
+    fn p006_partitioning_key_mismatch() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { partitioning, .. } = j {
+                *partitioning = Partitioning::ByKey; // no key_pair
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::PartitioningKeyMismatch));
+        let p = with_join(|j| {
+            if let PlanNode::Join { key_pair, .. } = j {
+                *key_pair = Some((0, 1)); // Global with a key pair
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::PartitioningKeyMismatch));
+        let p = with_join(|j| {
+            if let PlanNode::Join {
+                partitioning,
+                key_pair,
+                ..
+            } = j
+            {
+                *partitioning = Partitioning::ByKey;
+                *key_pair = Some((1, 0)); // sides swapped
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::PartitioningKeyMismatch));
+    }
+
+    #[test]
+    fn p007_unbound_order_pair() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { order_pairs, .. } = j {
+                order_pairs.push((0, 9));
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::UnboundOrderPair));
+    }
+
+    #[test]
+    fn p008_unbound_ats_check() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { ats_check, .. } = j {
+                *ats_check = Some(0); // bound by the LEFT side, not the right
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::UnboundAtsCheck));
+    }
+
+    #[test]
+    fn p009_window_out_of_range() {
+        // NextOccurrence holding longer than the pattern window.
+        let n = PlanNode::NextOccurrence {
+            trigger: Box::new(scan(0, 0)),
+            marker: Leaf::new(EventType(5), "M", "m"),
+            w: Duration::from_minutes(99),
+        };
+        let p = plan(join(n, scan(1, 1)));
+        assert!(codes(&p).contains(&LintCode::WindowOutOfRange));
+        // Non-positive pattern window.
+        let mut p = plan(join(scan(0, 0), scan(1, 1)));
+        p.window.size = Duration::ZERO;
+        assert!(codes(&p).contains(&LintCode::WindowOutOfRange));
+    }
+
+    #[test]
+    fn p010_empty_union() {
+        let p = plan(PlanNode::Union {
+            inputs: vec![scan(0, 0)],
+        });
+        assert!(codes(&p).contains(&LintCode::EmptyUnion));
+    }
+
+    #[test]
+    fn p011_aggregate_count_zero() {
+        let a = PlanNode::Aggregate {
+            input: Box::new(scan(0, 0)),
+            m: 0,
+            window: WindowSpec::minutes(4),
+            partitioning: Partitioning::Global,
+        };
+        let p = plan(a);
+        assert!(codes(&p).contains(&LintCode::AggregateCountZero));
+    }
+
+    #[test]
+    fn p012_span_mismatch() {
+        let p = with_join(|j| {
+            if let PlanNode::Join { span_ms, .. } = j {
+                *span_ms = 123;
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::SpanMismatch));
+    }
+
+    #[test]
+    fn diagnostics_render_with_code_and_node() {
+        let d = LintDiagnostic::new(LintCode::SpanMismatch, "Join", "span guard differs");
+        assert_eq!(d.to_string(), "P012 error at Join: span guard differs");
+    }
+}

@@ -27,20 +27,29 @@ use crate::translate::{translate, MapperOptions};
 
 /// One pattern of a multi-pattern job.
 pub struct PatternJob {
+    /// Label used in reports and sink naming.
     pub name: String,
+    /// The pattern to evaluate.
     pub pattern: Pattern,
+    /// Mapping options for this pattern (may differ per job).
     pub opts: MapperOptions,
 }
 
 impl PatternJob {
+    /// Bundle a named pattern with its mapping options.
     pub fn new(name: impl Into<String>, pattern: Pattern, opts: MapperOptions) -> Self {
-        PatternJob { name: name.into(), pattern, opts }
+        PatternJob {
+            name: name.into(),
+            pattern,
+            opts,
+        }
     }
 }
 
 /// The result of a multi-pattern run: the shared report plus per-pattern
 /// plans and sinks.
 pub struct MultiRun {
+    /// The shared executor report covering every pattern's nodes.
     pub report: RunReport,
     per_pattern: Vec<(String, LogicalPlan, SinkId)>,
 }
@@ -48,12 +57,18 @@ pub struct MultiRun {
 impl MultiRun {
     /// Names in submission order.
     pub fn names(&self) -> Vec<&str> {
-        self.per_pattern.iter().map(|(n, _, _)| n.as_str()).collect()
+        self.per_pattern
+            .iter()
+            .map(|(n, _, _)| n.as_str())
+            .collect()
     }
 
     /// The executed plan of a pattern.
     pub fn plan(&self, name: &str) -> Option<&LogicalPlan> {
-        self.per_pattern.iter().find(|(n, _, _)| n == name).map(|(_, p, _)| p)
+        self.per_pattern
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, p, _)| p)
     }
 
     /// Raw match count of a pattern (including sliding-window duplicates).
@@ -105,7 +120,10 @@ pub fn run_patterns(
     }
 
     let report = Executor::new(exec.clone()).run(combined)?;
-    Ok(MultiRun { report, per_pattern })
+    Ok(MultiRun {
+        report,
+        per_pattern,
+    })
 }
 
 #[cfg(test)]
@@ -123,8 +141,18 @@ mod tests {
         let mut out = Vec::new();
         for m in 0..60i64 {
             for id in 0..2u32 {
-                out.push(Event::new(Q, id, Timestamp(m * 60_000), ((m * 7 + id as i64) % 100) as f64));
-                out.push(Event::new(V, id, Timestamp(m * 60_000), ((m * 13 + id as i64) % 100) as f64));
+                out.push(Event::new(
+                    Q,
+                    id,
+                    Timestamp(m * 60_000),
+                    ((m * 7 + id as i64) % 100) as f64,
+                ));
+                out.push(Event::new(
+                    V,
+                    id,
+                    Timestamp(m * 60_000),
+                    ((m * 13 + id as i64) % 100) as f64,
+                ));
             }
         }
         out
@@ -166,7 +194,10 @@ mod tests {
                 solo.dedup_matches(),
                 "{name}: multi-pattern result equals solo run"
             );
-            assert!(!multi.dedup_matches(name).is_empty(), "{name} found matches");
+            assert!(
+                !multi.dedup_matches(name).is_empty(),
+                "{name} found matches"
+            );
         }
         assert_eq!(multi.names(), vec!["seq", "and"]);
         assert!(multi.plan("seq").is_some());

@@ -52,17 +52,26 @@ impl StreamStats {
             if evs.is_empty() {
                 per_type.insert(
                     *t,
-                    TypeStats { count: 0, rate_per_min: 0.0, sample: Vec::new() },
+                    TypeStats {
+                        count: 0,
+                        rate_per_min: 0.0,
+                        sample: Vec::new(),
+                    },
                 );
                 continue;
             }
-            let span_ms = (evs.last().unwrap().ts - evs.first().unwrap().ts)
-                .millis()
-                .max(1) as f64;
+            let span_ms = (evs[evs.len() - 1].ts - evs[0].ts).millis().max(1) as f64;
             let rate = evs.len() as f64 / (span_ms / 60_000.0).max(1.0 / 60.0);
             let stride = (evs.len() / SAMPLE_SIZE).max(1);
             let sample: Vec<Event> = evs.iter().step_by(stride).copied().collect();
-            per_type.insert(*t, TypeStats { count: evs.len() as u64, rate_per_min: rate, sample });
+            per_type.insert(
+                *t,
+                TypeStats {
+                    count: evs.len() as u64,
+                    rate_per_min: rate,
+                    sample,
+                },
+            );
         }
         StreamStats { per_type }
     }
@@ -80,7 +89,9 @@ impl StreamStats {
     /// Sampled pass rate of a pattern leaf: its type's events surviving
     /// the leaf filters and the pattern's single-variable predicates.
     pub fn pass_rate(&self, pattern: &Pattern, leaf: &sea::pattern::Leaf) -> f64 {
-        let Some(stats) = self.per_type.get(&leaf.etype) else { return 0.0 };
+        let Some(stats) = self.per_type.get(&leaf.etype) else {
+            return 0.0;
+        };
         if stats.sample.is_empty() {
             return 0.0;
         }
@@ -131,10 +142,7 @@ pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
     let partition_by_key = !pattern.equi_keys().is_empty();
 
     // O2: required for Kleene+; exact ITER keeps the composing join chain.
-    let aggregate_iteration = matches!(
-        pattern.expr,
-        PatternExpr::Iter { at_least: true, .. }
-    );
+    let aggregate_iteration = matches!(pattern.expr, PatternExpr::Iter { at_least: true, .. });
 
     // Join order: rare streams first (top-level SEQ/AND operands only).
     let join_order = match &pattern.expr {
@@ -148,7 +156,7 @@ pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
             if rates.iter().all(|r| *r == 0.0) {
                 rates = vec![1.0; parts.len()];
             }
-            idx.sort_by(|a, b| rates[*a].partial_cmp(&rates[*b]).unwrap());
+            idx.sort_by(|a, b| rates[*a].total_cmp(&rates[*b]));
             if idx.windows(2).all(|w| w[0] < w[1]) {
                 JoinOrder::Textual // already sorted
             } else {
@@ -176,7 +184,12 @@ pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
         _ => true,
     };
 
-    MapperOptions { interval_join, aggregate_iteration, partition_by_key, join_order }
+    MapperOptions {
+        interval_join,
+        aggregate_iteration,
+        partition_by_key,
+        join_order,
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +218,10 @@ mod tests {
     }
 
     fn sources(specs: &[(EventType, usize, usize)]) -> HashMap<EventType, Vec<Event>> {
-        specs.iter().map(|(t, n, r)| (*t, stream(*t, *n, *r))).collect()
+        specs
+            .iter()
+            .map(|(t, n, r)| (*t, stream(*t, *n, *r)))
+            .collect()
     }
 
     #[test]
@@ -318,10 +334,25 @@ mod tests {
         let mut events = Vec::new();
         for m in 0..40i64 {
             for id in 0..3u32 {
-                events.push(Event::new(Q, id, Timestamp(m * 60_000), ((m * 7 + id as i64) % 100) as f64));
-                events.push(Event::new(V, id, Timestamp(m * 60_000), ((m * 13 + id as i64) % 100) as f64));
+                events.push(Event::new(
+                    Q,
+                    id,
+                    Timestamp(m * 60_000),
+                    ((m * 7 + id as i64) % 100) as f64,
+                ));
+                events.push(Event::new(
+                    V,
+                    id,
+                    Timestamp(m * 60_000),
+                    ((m * 13 + id as i64) % 100) as f64,
+                ));
                 if m % 3 == 0 {
-                    events.push(Event::new(PM, id, Timestamp(m * 60_000), ((m * 29 + id as i64) % 100) as f64));
+                    events.push(Event::new(
+                        PM,
+                        id,
+                        Timestamp(m * 60_000),
+                        ((m * 29 + id as i64) % 100) as f64,
+                    ));
                 }
             }
         }
@@ -354,6 +385,18 @@ pub fn explain_with_stats(
     pattern: &Pattern,
     stats: &StreamStats,
 ) -> String {
+    // A plan handed to the cost annotator after option selection (or any
+    // future rewrite) must still satisfy every plan invariant.
+    let lints = crate::lint::lint_plan(plan);
+    debug_assert!(
+        lints.is_empty(),
+        "plan fails lint before cost annotation:\n{}",
+        lints
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     let mut out = format!("-- mapping: {}\n", plan.mapping);
     annotate(&plan.root, pattern, stats, 0, &mut out);
     out
@@ -370,7 +413,12 @@ fn annotate(
     use std::fmt::Write;
     let pad = "  ".repeat(depth);
     match node {
-        PlanNode::Scan { type_name, leaf, var, .. } => {
+        PlanNode::Scan {
+            type_name,
+            leaf,
+            var,
+            ..
+        } => {
             let rate = stats.rate(leaf.etype);
             let pass = stats.pass_rate(pattern, leaf);
             let eff = rate * pass;
@@ -382,7 +430,13 @@ fn annotate(
             );
             eff
         }
-        PlanNode::Join { left, right, windowing, span_ms, .. } => {
+        PlanNode::Join {
+            left,
+            right,
+            windowing,
+            span_ms,
+            ..
+        } => {
             // Reserve the line, fill after children are annotated.
             let header_at = out.len();
             let l = annotate(left, pattern, stats, depth + 1, out);
@@ -403,13 +457,13 @@ fn annotate(
             out.insert_str(header_at, &header);
             sum
         }
-        PlanNode::Aggregate { input, m, window, .. } => {
+        PlanNode::Aggregate {
+            input, m, window, ..
+        } => {
             let header_at = out.len();
             let inner = annotate(input, pattern, stats, depth + 1, out);
             let per_window = inner * window.size.millis() as f64 / 60_000.0;
-            let header = format!(
-                "{pad}Aggregate count ≥ {m}  ~{per_window:.2} relevant/window\n"
-            );
+            let header = format!("{pad}Aggregate count ≥ {m}  ~{per_window:.2} relevant/window\n");
             out.insert_str(header_at, &header);
             inner
         }

@@ -115,7 +115,11 @@ pub fn build_pipeline(
         );
         root = Built { id, parallelism: 1 };
     }
-    let sink_mode = if cfg.collect_output { SinkMode::Collect } else { SinkMode::CountOnly };
+    let sink_mode = if cfg.collect_output {
+        SinkMode::Collect
+    } else {
+        SinkMode::CountOnly
+    };
     let sink = b.g.sink_with_mode(root.id, Exchange::Rebalance, sink_mode);
     Ok((b.g, sink))
 }
@@ -161,7 +165,13 @@ impl<'a> Builder<'a> {
 
     fn node(&mut self, n: &PlanNode) -> Result<Built, BuildError> {
         match n {
-            PlanNode::Scan { etype, type_name, leaf, var, predicates } => {
+            PlanNode::Scan {
+                etype,
+                type_name,
+                leaf,
+                var,
+                predicates,
+            } => {
                 let src = self.source(*etype)?;
                 let pred = scan_predicate(leaf, *var, predicates, self.positions);
                 let name = format!("σ:{type_name}[e{}]", var + 1);
@@ -250,7 +260,10 @@ impl<'a> Builder<'a> {
                     par,
                     factory,
                 );
-                Ok(Built { id, parallelism: par })
+                Ok(Built {
+                    id,
+                    parallelism: par,
+                })
             }
 
             PlanNode::Union { inputs } => {
@@ -276,7 +289,12 @@ impl<'a> Builder<'a> {
                 Ok(Built { id, parallelism: 1 })
             }
 
-            PlanNode::Aggregate { input, m, window, partitioning } => {
+            PlanNode::Aggregate {
+                input,
+                m,
+                window,
+                partitioning,
+            } => {
                 let inp = self.node(input)?;
                 let (inp, par) = match partitioning {
                     Partitioning::ByKey => (inp, self.cfg.parallelism),
@@ -296,7 +314,10 @@ impl<'a> Builder<'a> {
                         ))
                     }),
                 );
-                Ok(Built { id, parallelism: par })
+                Ok(Built {
+                    id,
+                    parallelism: par,
+                })
             }
 
             PlanNode::NextOccurrence { trigger, marker, w } => {
@@ -340,7 +361,11 @@ impl<'a> Builder<'a> {
     /// duplicate factor does not compound multiplicatively down the chain
     /// (duplicates are byte-identical, so this is semantics-preserving).
     fn maybe_dedup(&mut self, input: Built, plan: &PlanNode) -> Built {
-        let PlanNode::Join { windowing: JoinWindowing::Sliding { size, .. }, .. } = plan else {
+        let PlanNode::Join {
+            windowing: JoinWindowing::Sliding { size, .. },
+            ..
+        } = plan
+        else {
             return input;
         };
         let horizon = *size;
@@ -351,7 +376,10 @@ impl<'a> Builder<'a> {
             par,
             Box::new(move |_| Box::new(DedupOp::new("δ:intermediate", horizon))),
         );
-        Built { id, parallelism: par }
+        Built {
+            id,
+            parallelism: par,
+        }
     }
 
     /// Set the partition key to the sensor id of the constituent bound at
@@ -376,7 +404,10 @@ impl<'a> Builder<'a> {
                 ))
             }),
         );
-        Built { id, parallelism: input.parallelism }
+        Built {
+            id,
+            parallelism: input.parallelism,
+        }
     }
 
     fn uniform_key(&mut self, input: Built) -> Built {
@@ -423,16 +454,19 @@ impl<'a> Builder<'a> {
 fn plan_window_ms(plan: &PlanNode) -> i64 {
     match plan {
         PlanNode::Scan { .. } => 0,
-        PlanNode::Join { left, right, span_ms, .. } => {
-            (*span_ms).max(plan_window_ms(left)).max(plan_window_ms(right))
-        }
+        PlanNode::Join {
+            left,
+            right,
+            span_ms,
+            ..
+        } => (*span_ms)
+            .max(plan_window_ms(left))
+            .max(plan_window_ms(right)),
         PlanNode::Union { inputs } => inputs.iter().map(plan_window_ms).max().unwrap_or(0),
         PlanNode::Aggregate { input, window, .. } => {
             window.size.millis().max(plan_window_ms(input))
         }
-        PlanNode::NextOccurrence { trigger, w, .. } => {
-            w.millis().max(plan_window_ms(trigger))
-        }
+        PlanNode::NextOccurrence { trigger, w, .. } => w.millis().max(plan_window_ms(trigger)),
     }
 }
 
@@ -498,8 +532,14 @@ fn join_theta(spec: JoinThetaSpec) -> JoinPredicate {
         ats_check,
         positions,
     } = spec;
-    let size = positions
-        .max(left_layout.iter().chain(&right_layout).map(|v| v + 1).max().unwrap_or(0));
+    let size = positions.max(
+        left_layout
+            .iter()
+            .chain(&right_layout)
+            .map(|v| v + 1)
+            .max()
+            .unwrap_or(0),
+    );
     Arc::new(move |l: &Tuple, r: &Tuple| {
         // Window constraint over the full candidate match: the pairwise
         // |ts_i − ts_j| < W requirement of the data model.
@@ -531,8 +571,12 @@ fn join_theta(spec: JoinThetaSpec) -> JoinPredicate {
             return false;
         }
         if let Some(v) = ats_check {
-            let Some(ats) = l.ats.or(r.ats) else { return false };
-            let Some(last) = &binding[v] else { return false };
+            let Some(ats) = l.ats.or(r.ats) else {
+                return false;
+            };
+            let Some(last) = &binding[v] else {
+                return false;
+            };
             // σ_{ats ≥ e_v.ts}: no negated event in the open interval
             // (e1.ts, e_v.ts) — see the NextOccurrence docs for why `≥`
             // (not `>`) is the exact rewrite of Eq. 14.

@@ -22,10 +22,20 @@ use sea::predicate::{Predicate, VarId};
 pub enum JoinWindowing {
     /// Apriori sliding windows `(W, s)`; produces duplicates, needs a
     /// stream-dependent slide.
-    Sliding { size: Duration, slide: Duration },
+    Sliding {
+        /// Window size `W`.
+        size: Duration,
+        /// Window slide `s` (0 < s ≤ W).
+        slide: Duration,
+    },
     /// Content-based interval join with exclusive bounds
     /// `(ts + lower, ts + upper)` — duplicate-free, slide-free (O1).
-    Interval { lower: Duration, upper: Duration },
+    Interval {
+        /// Exclusive lower bound on `r.ts − l.ts` (negative for AND).
+        lower: Duration,
+        /// Exclusive upper bound on `r.ts − l.ts`.
+        upper: Duration,
+    },
 }
 
 impl fmt::Display for JoinWindowing {
@@ -62,7 +72,9 @@ impl fmt::Display for Partitioning {
 pub enum PlanNode {
     /// Typed scan `σ_filters(T)` with pushed-down per-event selections.
     Scan {
+        /// The scanned event type.
         etype: EventType,
+        /// Human-readable name of the type (plan printing).
         type_name: String,
         /// The leaf carries its local filters (type test + thresholds).
         leaf: Leaf,
@@ -74,9 +86,13 @@ pub enum PlanNode {
     },
     /// Binary window join `left ⋈ right` under the given windowing.
     Join {
+        /// Left (build) input.
         left: Box<PlanNode>,
+        /// Right (probe) input.
         right: Box<PlanNode>,
+        /// Time discretization: sliding windows or interval bounds.
         windowing: JoinWindowing,
+        /// Global or key-partitioned execution.
         partitioning: Partitioning,
         /// Ordering constraints `a.ts < b.ts` newly checkable here.
         order_pairs: Vec<(VarId, VarId)>,
@@ -94,19 +110,29 @@ pub enum PlanNode {
         key_pair: Option<(VarId, VarId)>,
     },
     /// Set union of schema-compatible branches (the OR mapping).
-    Union { inputs: Vec<PlanNode> },
+    Union {
+        /// The unioned branches (≥ 2).
+        inputs: Vec<PlanNode>,
+    },
     /// Windowed count-aggregation `γ_{count ≥ m}` (the O2 ITER mapping).
     Aggregate {
+        /// The aggregated input.
         input: Box<PlanNode>,
+        /// Emit a window iff it holds at least `m` constituents.
         m: u64,
+        /// The window/slide the aggregation is computed over.
         window: WindowSpec,
+        /// Global or key-partitioned execution.
         partitioning: Partitioning,
     },
     /// The NSEQ rewrite UDF: annotate each trigger with the ts of the next
     /// marker within `W` (`ats`).
     NextOccurrence {
+        /// Producer of candidate (trigger) tuples.
         trigger: Box<PlanNode>,
+        /// The negated leaf whose next occurrence is sought.
         marker: Leaf,
+        /// How far ahead to look for the marker.
         w: Duration,
     },
 }
@@ -171,8 +197,15 @@ impl PlanNode {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
         match self {
-            PlanNode::Scan { type_name, leaf, var, predicates, .. } => {
-                let mut filters: Vec<String> = leaf.filters.iter().map(|f| format!("{f}")).collect();
+            PlanNode::Scan {
+                type_name,
+                leaf,
+                var,
+                predicates,
+                ..
+            } => {
+                let mut filters: Vec<String> =
+                    leaf.filters.iter().map(|f| format!("{f}")).collect();
                 filters.extend(predicates.iter().map(|p| p.to_string()));
                 let _ = writeln!(
                     out,
@@ -221,7 +254,12 @@ impl PlanNode {
                     i.explain_into(out, depth + 1);
                 }
             }
-            PlanNode::Aggregate { input, m, window, partitioning } => {
+            PlanNode::Aggregate {
+                input,
+                m,
+                window,
+                partitioning,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}Aggregate count ≥ {m} over SLIDING({}, {}) [{partitioning}]",
@@ -244,14 +282,19 @@ impl PlanNode {
 /// A complete logical plan: the root node plus pattern-level metadata.
 #[derive(Debug, Clone)]
 pub struct LogicalPlan {
+    /// The plan's root operator.
     pub root: PlanNode,
     /// Total bound positions of the pattern.
     pub positions: usize,
     /// Human-readable description of which mapping produced this plan.
     pub mapping: String,
+    /// The pattern's window, kept so [`crate::lint`] can bound-check join
+    /// windowing and UDF hold durations against the enclosing window.
+    pub window: WindowSpec,
 }
 
 impl LogicalPlan {
+    /// Render an `EXPLAIN`-style tree with the mapping header line.
     pub fn explain(&self) -> String {
         format!("-- mapping: {}\n{}", self.mapping, self.root.explain())
     }
@@ -316,7 +359,10 @@ mod tests {
             key_pair: Some((0, 1)),
         };
         let text = j.explain();
-        assert!(text.contains("Join INTERVAL(0min, 4min) [by-key] on e1.ts < e2.ts"), "{text}");
+        assert!(
+            text.contains("Join INTERVAL(0min, 4min) [by-key] on e1.ts < e2.ts"),
+            "{text}"
+        );
         assert!(text.contains("Scan T0 [e1]"), "{text}");
     }
 }

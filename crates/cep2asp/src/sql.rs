@@ -101,7 +101,12 @@ fn collect(
         }
         PatternExpr::Iter { leaf, m, .. } => {
             for i in 0..*m {
-                from.push(format!("Stream {} {}{}", leaf.type_name, leaf.var_name, i + 1));
+                from.push(format!(
+                    "Stream {} {}{}",
+                    leaf.type_name,
+                    leaf.var_name,
+                    i + 1
+                ));
             }
             for i in 0..m.saturating_sub(1) {
                 conds.push(format!(
@@ -113,7 +118,11 @@ fn collect(
                 ));
             }
         }
-        PatternExpr::NegSeq { first, absent, last } => {
+        PatternExpr::NegSeq {
+            first,
+            absent,
+            last,
+        } => {
             from.push(format!("Stream {} {}", first.type_name, first.var_name));
             from.push(format!("Stream {} {}", last.type_name, last.var_name));
             conds.push(format!("{}.ts < {}.ts", first.var_name, last.var_name));
@@ -170,7 +179,10 @@ mod tests {
             vec![],
         );
         let q = to_query_text(&p);
-        assert!(q.contains("FROM Stream T1 e1, Stream T2 e2, Stream T3 e3"), "{q}");
+        assert!(
+            q.contains("FROM Stream T1 e1, Stream T2 e2, Stream T3 e3"),
+            "{q}"
+        );
         assert!(q.contains("e1.ts < e2.ts"), "{q}");
         assert!(q.contains("e2.ts < e3.ts"), "{q}");
     }

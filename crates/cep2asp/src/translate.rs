@@ -63,17 +63,26 @@ impl MapperOptions {
 
     /// FASP-O1.
     pub fn o1() -> Self {
-        MapperOptions { interval_join: true, ..Default::default() }
+        MapperOptions {
+            interval_join: true,
+            ..Default::default()
+        }
     }
 
     /// FASP-O2.
     pub fn o2() -> Self {
-        MapperOptions { aggregate_iteration: true, ..Default::default() }
+        MapperOptions {
+            aggregate_iteration: true,
+            ..Default::default()
+        }
     }
 
     /// FASP-O3.
     pub fn o3() -> Self {
-        MapperOptions { partition_by_key: true, ..Default::default() }
+        MapperOptions {
+            partition_by_key: true,
+            ..Default::default()
+        }
     }
 
     /// Combine with O3 (e.g. `MapperOptions::o1().and_o3()`).
@@ -89,7 +98,12 @@ pub enum TranslateError {
     /// Kleene+ (`ITER m+`) requires the O2 aggregation mapping.
     KleenePlusNeedsAggregation,
     /// Too many disjunction variants after distribution.
-    DisjunctionExplosion { variants: usize, limit: usize },
+    DisjunctionExplosion {
+        /// How many variants distribution produced.
+        variants: usize,
+        /// The configured cap.
+        limit: usize,
+    },
     /// NSEQ with identical first/absent types can't be disambiguated after
     /// the union in front of the next-occurrence UDF.
     NseqTypeClash,
@@ -101,13 +115,22 @@ impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::KleenePlusNeedsAggregation => {
-                write!(f, "ITER m+ (Kleene+) requires MapperOptions::aggregate_iteration (O2)")
+                write!(
+                    f,
+                    "ITER m+ (Kleene+) requires MapperOptions::aggregate_iteration (O2)"
+                )
             }
             TranslateError::DisjunctionExplosion { variants, limit } => {
-                write!(f, "disjunction distribution produced {variants} variants (limit {limit})")
+                write!(
+                    f,
+                    "disjunction distribution produced {variants} variants (limit {limit})"
+                )
             }
             TranslateError::NseqTypeClash => {
-                write!(f, "NSEQ trigger and negated leaf must have distinct event types")
+                write!(
+                    f,
+                    "NSEQ trigger and negated leaf must have distinct event types"
+                )
             }
             TranslateError::UnattachablePredicate(p) => {
                 write!(f, "predicate `{p}` could not be attached to any join")
@@ -161,7 +184,24 @@ pub fn translate(pattern: &Pattern, opts: &MapperOptions) -> Result<LogicalPlan,
     if opts.partition_by_key && pattern.equi_keys().is_empty() {
         mapping.push_str(" (O3 requested but no equi-key predicate: global)");
     }
-    Ok(LogicalPlan { root, positions: pattern.positions(), mapping })
+    let plan = LogicalPlan {
+        root,
+        positions: pattern.positions(),
+        mapping,
+        window: pattern.window,
+    };
+    // Post-condition (debug builds): the mapping must emit lint-clean plans.
+    // Released binaries skip the walk; callers can still lint explicitly.
+    debug_assert!(
+        crate::lint::lint_plan(&plan).is_empty(),
+        "translate produced a plan that fails its own lint:\n{}",
+        crate::lint::lint_plan(&plan)
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    Ok(plan)
 }
 
 struct Ctx<'a> {
@@ -257,7 +297,13 @@ fn expand_disjunctions(expr: &PatternExpr) -> Vec<PatternExpr> {
             }
             combos
                 .into_iter()
-                .map(|c| if is_seq { PatternExpr::Seq(c) } else { PatternExpr::And(c) })
+                .map(|c| {
+                    if is_seq {
+                        PatternExpr::Seq(c)
+                    } else {
+                        PatternExpr::And(c)
+                    }
+                })
                 .collect()
         }
     }
@@ -271,7 +317,10 @@ fn expand_disjunctions(expr: &PatternExpr) -> Vec<PatternExpr> {
 fn windowing(ctx: &Ctx<'_>, order: &[(VarId, VarId)], ll: &[VarId], rl: &[VarId]) -> JoinWindowing {
     let w = ctx.pattern.window.size;
     if !ctx.opts.interval_join {
-        return JoinWindowing::Sliding { size: w, slide: ctx.pattern.window.slide };
+        return JoinWindowing::Sliding {
+            size: w,
+            slide: ctx.pattern.window.slide,
+        };
     }
     // The interval is anchored at the left tuple's working timestamp, the
     // minimum of its constituents. A right event provably *after* some
@@ -280,13 +329,23 @@ fn windowing(ctx: &Ctx<'_>, order: &[(VarId, VarId)], ll: &[VarId], rl: &[VarId]
     // before the anchor, so the upper bound tightens to 0. Anything else
     // keeps the symmetric conjunction bounds.
     let right_after_some_left = !rl.is_empty()
-        && rl.iter().all(|r| order.iter().any(|(a, b)| b == r && ll.contains(a)));
+        && rl
+            .iter()
+            .all(|r| order.iter().any(|(a, b)| b == r && ll.contains(a)));
     let right_before_every_left = !rl.is_empty()
         && rl
             .iter()
             .all(|r| ll.iter().all(|l| order.contains(&(*r, *l))));
-    let lower = if right_after_some_left { Duration::ZERO } else { w.neg() };
-    let upper = if right_before_every_left { Duration::ZERO } else { w };
+    let lower = if right_after_some_left {
+        Duration::ZERO
+    } else {
+        w.neg()
+    };
+    let upper = if right_before_every_left {
+        Duration::ZERO
+    } else {
+        w
+    };
     JoinWindowing::Interval { lower, upper }
 }
 
@@ -342,10 +401,13 @@ fn make_scan(ctx: &Ctx<'_>, leaf: &sea::pattern::Leaf, var: VarId) -> PlanNode {
     leaf.var = var;
     let mut residual = Vec::new();
     for p in ctx.pattern.single_var_predicates(var) {
-        if let (sea::predicate::Expr::Var(_, attr), sea::predicate::Expr::Const(c)) =
-            (p.lhs, p.rhs)
+        if let (sea::predicate::Expr::Var(_, attr), sea::predicate::Expr::Const(c)) = (p.lhs, p.rhs)
         {
-            leaf.filters.push(sea::pattern::LocalFilter { attr, op: p.op, value: c });
+            leaf.filters.push(sea::pattern::LocalFilter {
+                attr,
+                op: p.op,
+                value: c,
+            });
         } else if let (sea::predicate::Expr::Const(c), sea::predicate::Expr::Var(_, attr)) =
             (p.lhs, p.rhs)
         {
@@ -356,7 +418,11 @@ fn make_scan(ctx: &Ctx<'_>, leaf: &sea::pattern::Leaf, var: VarId) -> PlanNode {
                 sea::predicate::CmpOp::Ge => sea::predicate::CmpOp::Le,
                 other => other,
             };
-            leaf.filters.push(sea::pattern::LocalFilter { attr, op: flipped, value: c });
+            leaf.filters.push(sea::pattern::LocalFilter {
+                attr,
+                op: flipped,
+                value: c,
+            });
         } else {
             // Same-variable var-var predicate (e.g. e1.value < e1.ts):
             // evaluated at the scan against the single bound event.
@@ -380,9 +446,7 @@ fn make_join(ctx: &mut Ctx<'_>, left: PlanNode, right: PlanNode) -> PlanNode {
     let order: Vec<(VarId, VarId)> = ctx
         .pairs
         .iter()
-        .filter(|(a, b)| {
-            (ll.contains(a) && rl.contains(b)) || (ll.contains(b) && rl.contains(a))
-        })
+        .filter(|(a, b)| (ll.contains(a) && rl.contains(b)) || (ll.contains(b) && rl.contains(a)))
         .copied()
         .collect();
     let mut merged: Vec<VarId> = ll.clone();
@@ -404,7 +468,11 @@ fn make_join(ctx: &mut Ctx<'_>, left: PlanNode, right: PlanNode) -> PlanNode {
         left: Box::new(left),
         right: Box::new(right),
         windowing: windowing(ctx, &order, &ll, &rl),
-        partitioning: if key_pair.is_some() { Partitioning::ByKey } else { Partitioning::Global },
+        partitioning: if key_pair.is_some() {
+            Partitioning::ByKey
+        } else {
+            Partitioning::Global
+        },
         order_pairs: order,
         predicates: attached,
         span_ms: ctx.pattern.window.size.millis(),
@@ -453,15 +521,15 @@ fn build(expr: &PatternExpr, ctx: &mut Ctx<'_>) -> Result<PlanNode, TranslateErr
                 // events are dropped (approximate, Section 4.3.2) — remove
                 // them from pending so they don't trip the attachment check.
                 let iter_vars: Vec<VarId> = (leaf.var..leaf.var + m).collect();
-                ctx.pending.retain(|p| !p.vars().iter().all(|v| iter_vars.contains(v)));
+                ctx.pending
+                    .retain(|p| !p.vars().iter().all(|v| iter_vars.contains(v)));
                 let scan = make_scan(ctx, leaf, leaf.var);
-                let partitioning = if ctx.opts.partition_by_key
-                    && !ctx.pattern.equi_keys().is_empty()
-                {
-                    Partitioning::ByKey
-                } else {
-                    Partitioning::Global
-                };
+                let partitioning =
+                    if ctx.opts.partition_by_key && !ctx.pattern.equi_keys().is_empty() {
+                        Partitioning::ByKey
+                    } else {
+                        Partitioning::Global
+                    };
                 // Equi-keys between iteration positions are implicit in the
                 // per-key aggregation.
                 if partitioning == Partitioning::ByKey {
@@ -483,7 +551,11 @@ fn build(expr: &PatternExpr, ctx: &mut Ctx<'_>) -> Result<PlanNode, TranslateErr
             Ok(acc)
         }
 
-        PatternExpr::NegSeq { first, absent, last } => {
+        PatternExpr::NegSeq {
+            first,
+            absent,
+            last,
+        } => {
             if first.etype == absent.etype {
                 return Err(TranslateError::NseqTypeClash);
             }
@@ -510,7 +582,9 @@ fn describe(expr: &PatternExpr, opts: &MapperOptions) -> String {
         PatternExpr::Seq(_) => "SEQ → ⋈θ (order join)",
         PatternExpr::And(_) => "AND → × (window cross join)",
         PatternExpr::Or(_) => "OR → ∪ (union)",
-        PatternExpr::Iter { at_least: false, .. } => "ITER → ⋈θ self-join chain",
+        PatternExpr::Iter {
+            at_least: false, ..
+        } => "ITER → ⋈θ self-join chain",
         PatternExpr::Iter { at_least: true, .. } => "ITER+ → γ_count (Kleene+)",
         PatternExpr::NegSeq { .. } => "NSEQ → UDF(∪) ⋈θ σ_ats",
     };
@@ -570,7 +644,10 @@ mod tests {
         match &plan.root {
             PlanNode::Join { windowing, .. } => assert_eq!(
                 *windowing,
-                JoinWindowing::Interval { lower: Duration::ZERO, upper: w }
+                JoinWindowing::Interval {
+                    lower: Duration::ZERO,
+                    upper: w
+                }
             ),
             _ => panic!(),
         }
@@ -579,7 +656,10 @@ mod tests {
         match &plan.root {
             PlanNode::Join { windowing, .. } => assert_eq!(
                 *windowing,
-                JoinWindowing::Interval { lower: w.neg(), upper: w }
+                JoinWindowing::Interval {
+                    lower: w.neg(),
+                    upper: w
+                }
             ),
             _ => panic!(),
         }
@@ -637,7 +717,12 @@ mod tests {
         );
         let plan = translate(&p, &MapperOptions::plain()).unwrap();
         match &plan.root {
-            PlanNode::Join { left, ats_check, order_pairs, .. } => {
+            PlanNode::Join {
+                left,
+                ats_check,
+                order_pairs,
+                ..
+            } => {
                 assert_eq!(*ats_check, Some(1));
                 assert_eq!(order_pairs, &vec![(0, 1)]);
                 assert!(matches!(**left, PlanNode::NextOccurrence { .. }));
@@ -735,6 +820,9 @@ mod tests {
         // pairwise ts predicates.
         assert_eq!(plan.root.layout(), vec![2, 0, 1]);
         let text = plan.explain();
-        assert!(text.contains("e1.ts < e2.ts") || text.contains("e2.ts < e3.ts"), "{text}");
+        assert!(
+            text.contains("e1.ts < e2.ts") || text.contains("e2.ts < e3.ts"),
+            "{text}"
+        );
     }
 }

@@ -61,7 +61,10 @@ pub fn evaluate_per_window(pattern: &Pattern, events: &[Event]) -> Vec<(WindowId
     let mut out = Vec::new();
     let mut start = first_start.max(0) - first_start.max(0).rem_euclid(s);
     while start <= max_ts {
-        let wid = WindowId { start: Timestamp(start), end: Timestamp(start + w) };
+        let wid = WindowId {
+            start: Timestamp(start),
+            end: Timestamp(start + w),
+        };
         let lo = sorted.partition_point(|e| e.ts < wid.start);
         let hi = sorted.partition_point(|e| e.ts < wid.end);
         let content = &sorted[lo..hi];
@@ -103,10 +106,7 @@ fn bind_span(b: &Binding) -> Option<(Timestamp, Timestamp)> {
 }
 
 fn merge(a: &Binding, b: &Binding) -> Binding {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| x.or(*y))
-        .collect()
+    a.iter().zip(b.iter()).map(|(x, y)| x.or(*y)).collect()
 }
 
 fn eval_expr(expr: &PatternExpr, content: &[Event], positions: usize) -> Vec<Binding> {
@@ -227,7 +227,11 @@ fn eval_expr(expr: &PatternExpr, content: &[Event], positions: usize) -> Vec<Bin
 
         // Eq. 14: (e1, e3) pairs with no accepted absent event strictly
         // inside (e1.ts, e3.ts).
-        PatternExpr::NegSeq { first, absent, last } => {
+        PatternExpr::NegSeq {
+            first,
+            absent,
+            last,
+        } => {
             let firsts: Vec<&Event> = content.iter().filter(|e| first.accepts(e)).collect();
             let lasts: Vec<&Event> = content.iter().filter(|e| last.accepts(e)).collect();
             let absents: Vec<&Event> = content.iter().filter(|e| absent.accepts(e)).collect();
@@ -237,9 +241,7 @@ fn eval_expr(expr: &PatternExpr, content: &[Event], positions: usize) -> Vec<Bin
                     if e1.ts >= e3.ts {
                         continue;
                     }
-                    let negated = absents
-                        .iter()
-                        .any(|e2| e2.ts > e1.ts && e2.ts < e3.ts);
+                    let negated = absents.iter().any(|e2| e2.ts > e1.ts && e2.ts < e3.ts);
                     if !negated {
                         let mut b: Binding = vec![None; positions];
                         b[first.var] = Some(**e1);
@@ -369,7 +371,13 @@ mod tests {
     #[test]
     fn nseq_detects_absence_with_open_interval() {
         let absent = Leaf::new(V, "V", "n");
-        let p = builders::nseq((Q, "Q"), absent, (PM, "PM"), WindowSpec::minutes(10), vec![]);
+        let p = builders::nseq(
+            (Q, "Q"),
+            absent,
+            (PM, "PM"),
+            WindowSpec::minutes(10),
+            vec![],
+        );
         // Case 1: V strictly between Q and PM → negated.
         let blocked = vec![ev(Q, 0, 1.0), ev(V, 1, 2.0), ev(PM, 2, 3.0)];
         assert!(evaluate(&p, &blocked).is_empty());
@@ -384,7 +392,13 @@ mod tests {
     #[test]
     fn nseq_absent_filter_narrows_negation() {
         let absent = Leaf::new(V, "V", "n").with_filter(Attr::Value, CmpOp::Gt, 10.0);
-        let p = builders::nseq((Q, "Q"), absent, (PM, "PM"), WindowSpec::minutes(10), vec![]);
+        let p = builders::nseq(
+            (Q, "Q"),
+            absent,
+            (PM, "PM"),
+            WindowSpec::minutes(10),
+            vec![],
+        );
         // V with value 5 does not negate (filter requires > 10).
         let stream = vec![ev(Q, 0, 1.0), ev(V, 1, 5.0), ev(PM, 2, 3.0)];
         assert_eq!(evaluate(&p, &stream).len(), 1);
@@ -400,7 +414,10 @@ mod tests {
             .iter()
             .map(|(_, m)| m.len())
             .sum();
-        assert!(per_window > 1, "overlapping windows duplicate: {per_window}");
+        assert!(
+            per_window > 1,
+            "overlapping windows duplicate: {per_window}"
+        );
         assert_eq!(evaluate(&p, &stream).len(), 1);
     }
 

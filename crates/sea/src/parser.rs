@@ -122,9 +122,7 @@ fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 toks.push(Tok::Ident(input[start..i].to_string()));
@@ -155,7 +153,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &str, types: &'a mut TypeRegistry) -> Result<Parser<'a>, ParseError> {
-        Ok(Parser { toks: lex(input)?, pos: 0, types })
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            types,
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -417,7 +419,11 @@ impl<'a> Parser<'a> {
                 ))
             }
         };
-        Ok(PatternExpr::NegSeq { first, absent, last })
+        Ok(PatternExpr::NegSeq {
+            first,
+            absent,
+            last,
+        })
     }
 
     fn leaf(&mut self) -> Result<Leaf, ParseError> {
@@ -477,7 +483,9 @@ impl<'a> Parser<'a> {
 fn attach_absent_filter(expr: &mut PatternExpr, name: &str, attr: Attr, op: CmpOp, c: f64) {
     match expr {
         PatternExpr::NegSeq { absent, .. } if absent.var_name == name => {
-            absent.filters.push(crate::pattern::LocalFilter { attr, op, value: c });
+            absent
+                .filters
+                .push(crate::pattern::LocalFilter { attr, op, value: c });
         }
         PatternExpr::Seq(parts) | PatternExpr::And(parts) | PatternExpr::Or(parts) => {
             for p in parts {
@@ -520,10 +528,24 @@ mod tests {
         let p = parse_ok("PATTERN OR(Q a, V b) WITHIN 15 MINUTES");
         assert!(matches!(&p.expr, PatternExpr::Or(_)));
         let p = parse_ok("PATTERN ITER(V v, 5) WITHIN 15 MINUTES");
-        assert!(matches!(&p.expr, PatternExpr::Iter { m: 5, at_least: false, .. }));
+        assert!(matches!(
+            &p.expr,
+            PatternExpr::Iter {
+                m: 5,
+                at_least: false,
+                ..
+            }
+        ));
         assert_eq!(p.positions(), 5);
         let p = parse_ok("PATTERN ITER(V v, 3+) WITHIN 15 MINUTES");
-        assert!(matches!(&p.expr, PatternExpr::Iter { m: 3, at_least: true, .. }));
+        assert!(matches!(
+            &p.expr,
+            PatternExpr::Iter {
+                m: 3,
+                at_least: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -540,7 +562,11 @@ mod tests {
             }
             other => panic!("expected NSEQ, got {other:?}"),
         }
-        assert_eq!(p.predicates.len(), 1, "only the a–b predicate is positional");
+        assert_eq!(
+            p.predicates.len(),
+            1,
+            "only the a–b predicate is positional"
+        );
     }
 
     #[test]
@@ -584,17 +610,13 @@ mod tests {
 
     #[test]
     fn equality_predicate_enables_o3() {
-        let p = parse_ok(
-            "PATTERN SEQ(Q a, V b) WHERE a.id == b.id WITHIN 15 MINUTES",
-        );
+        let p = parse_ok("PATTERN SEQ(Q a, V b) WHERE a.id == b.id WITHIN 15 MINUTES");
         assert_eq!(p.equi_keys().len(), 1);
     }
 
     #[test]
     fn constant_on_left_flips_for_absent_filter() {
-        let p = parse_ok(
-            "PATTERN SEQ(Q a, NOT V n, PM10 b) WHERE 30 < n.value WITHIN 15 MINUTES",
-        );
+        let p = parse_ok("PATTERN SEQ(Q a, NOT V n, PM10 b) WHERE 30 < n.value WITHIN 15 MINUTES");
         match &p.expr {
             PatternExpr::NegSeq { absent, .. } => {
                 assert_eq!(absent.filters[0].op, CmpOp::Gt);
@@ -610,11 +632,26 @@ mod tests {
         let cases = [
             ("SEQ(Q a, V b) WITHIN 4 MINUTES", "PATTERN"),
             ("PATTERN SEQ(Q a, V b)", "unexpected end of input"),
-            ("PATTERN SEQ(Q a, V b) WITHIN 4 FORTNIGHTS", "unknown time unit"),
-            ("PATTERN SEQ(Q a, V a) WITHIN 4 MINUTES", "duplicate variable"),
-            ("PATTERN SEQ(Q a, V b) WHERE c.value < 1 WITHIN 4 MINUTES", "unknown variable"),
-            ("PATTERN SEQ(Q a, NOT V n, PM10 b, T4 c) WITHIN 4 MINUTES", "ternary"),
-            ("PATTERN SEQ(Q a, V b) WHERE a.speed < 1 WITHIN 4 MINUTES", "unknown attribute"),
+            (
+                "PATTERN SEQ(Q a, V b) WITHIN 4 FORTNIGHTS",
+                "unknown time unit",
+            ),
+            (
+                "PATTERN SEQ(Q a, V a) WITHIN 4 MINUTES",
+                "duplicate variable",
+            ),
+            (
+                "PATTERN SEQ(Q a, V b) WHERE c.value < 1 WITHIN 4 MINUTES",
+                "unknown variable",
+            ),
+            (
+                "PATTERN SEQ(Q a, NOT V n, PM10 b, T4 c) WITHIN 4 MINUTES",
+                "ternary",
+            ),
+            (
+                "PATTERN SEQ(Q a, V b) WHERE a.speed < 1 WITHIN 4 MINUTES",
+                "unknown attribute",
+            ),
             (
                 "PATTERN SEQ(Q a, NOT V n, PM10 b) WHERE n.value < a.value WITHIN 4 MINUTES",
                 "negated variable",
@@ -642,7 +679,11 @@ pub fn to_psl(pattern: &Pattern) -> String {
     use std::fmt::Write;
     let mut out = String::from("PATTERN ");
     render_expr(&pattern.expr, &mut out);
-    let mut terms: Vec<String> = pattern.predicates.iter().map(|p| render_pred(p, pattern)).collect();
+    let mut terms: Vec<String> = pattern
+        .predicates
+        .iter()
+        .map(|p| render_pred(p, pattern))
+        .collect();
     for leaf in pattern.expr.leaves() {
         for f in &leaf.filters {
             terms.push(format!("{}.{} {} {}", leaf.var_name, f.attr, f.op, f.value));
@@ -687,7 +728,11 @@ fn render_expr(expr: &PatternExpr, out: &mut String) {
                 if *at_least { "+" } else { "" }
             );
         }
-        PatternExpr::NegSeq { first, absent, last } => {
+        PatternExpr::NegSeq {
+            first,
+            absent,
+            last,
+        } => {
             let _ = write!(
                 out,
                 "SEQ({} {}, NOT {} {}, {} {})",
@@ -780,7 +825,11 @@ mod roundtrip_tests {
 
     #[test]
     fn and_or_round_trip() {
-        assert_round_trips(&builders::and(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(3), vec![]));
+        assert_round_trips(&builders::and(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(3),
+            vec![],
+        ));
         assert_round_trips(&builders::or(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(3)));
     }
 

@@ -33,7 +33,11 @@ pub struct Leaf {
 }
 
 impl Leaf {
-    pub fn new(etype: EventType, type_name: impl Into<String>, var_name: impl Into<String>) -> Self {
+    pub fn new(
+        etype: EventType,
+        type_name: impl Into<String>,
+        var_name: impl Into<String>,
+    ) -> Self {
         Leaf {
             etype,
             type_name: type_name.into(),
@@ -50,7 +54,11 @@ impl Leaf {
 
     /// Does `event` satisfy the leaf's type and local filters?
     pub fn accepts(&self, e: &asp::event::Event) -> bool {
-        e.etype == self.etype && self.filters.iter().all(|f| f.op.apply(e.attr(f.attr), f.value))
+        e.etype == self.etype
+            && self
+                .filters
+                .iter()
+                .all(|f| f.op.apply(e.attr(f.attr), f.value))
     }
 }
 
@@ -84,10 +92,18 @@ pub enum PatternExpr {
     /// `ITER_m(T)`: exactly `m` occurrences in ts order (Eq. 12), or the
     /// Kleene+ variant `≥ m` when `at_least` (the O2 extension of
     /// Section 4.3.2, evaluated count-based under skip-till-any-match).
-    Iter { leaf: Leaf, m: usize, at_least: bool },
+    Iter {
+        leaf: Leaf,
+        m: usize,
+        at_least: bool,
+    },
     /// `SEQ(T1, ¬T2, T3)`: the negated sequence (Eq. 14). Only `first` and
     /// `last` bind output positions; `absent` constrains the gap.
-    NegSeq { first: Leaf, absent: Leaf, last: Leaf },
+    NegSeq {
+        first: Leaf,
+        absent: Leaf,
+        last: Leaf,
+    },
 }
 
 impl PatternExpr {
@@ -95,13 +111,19 @@ impl PatternExpr {
     /// (`SEQ(T1, SEQ(T2, T3)) → SEQ(T1, T2, T3)`, Section 3.2 syntax rules;
     /// likewise for `AND` and `OR`).
     pub fn simplify(self) -> PatternExpr {
-        fn flatten(parts: Vec<PatternExpr>, is_same: fn(&PatternExpr) -> Option<&Vec<PatternExpr>>) -> Vec<PatternExpr> {
+        fn flatten(
+            parts: Vec<PatternExpr>,
+            is_same: fn(&PatternExpr) -> Option<&Vec<PatternExpr>>,
+        ) -> Vec<PatternExpr> {
             let mut out = Vec::with_capacity(parts.len());
             for p in parts {
                 let p = p.simplify();
                 match is_same(&p) {
                     Some(_) => {
-                        if let PatternExpr::Seq(inner) | PatternExpr::And(inner) | PatternExpr::Or(inner) = p {
+                        if let PatternExpr::Seq(inner)
+                        | PatternExpr::And(inner)
+                        | PatternExpr::Or(inner) = p
+                        {
                             out.extend(inner);
                         }
                     }
@@ -157,7 +179,11 @@ impl PatternExpr {
                 leaf.var = *next;
                 *next += *m;
             }
-            PatternExpr::NegSeq { first, absent, last } => {
+            PatternExpr::NegSeq {
+                first,
+                absent,
+                last,
+            } => {
                 first.var = *next;
                 *next += 1;
                 last.var = *next;
@@ -184,7 +210,11 @@ impl PatternExpr {
                 }
             }
             PatternExpr::Iter { leaf, .. } => out.push(leaf),
-            PatternExpr::NegSeq { first, absent, last } => {
+            PatternExpr::NegSeq {
+                first,
+                absent,
+                last,
+            } => {
                 out.push(first);
                 out.push(absent);
                 out.push(last);
@@ -231,7 +261,11 @@ impl fmt::Display for PatternExpr {
                 leaf.type_name,
                 leaf.var_name
             ),
-            PatternExpr::NegSeq { first, absent, last } => write!(
+            PatternExpr::NegSeq {
+                first,
+                absent,
+                last,
+            } => write!(
                 f,
                 "SEQ({} {}, ¬{} {}, {} {})",
                 first.type_name,
@@ -290,14 +324,22 @@ pub enum PatternError {
     /// `ITER` with m = 0.
     EmptyIteration,
     /// An operator with fewer than the required operands.
-    Arity { op: &'static str, got: usize, need: usize },
+    Arity {
+        op: &'static str,
+        got: usize,
+        need: usize,
+    },
 }
 
 impl fmt::Display for PatternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PatternError::UnknownVariable { var, positions } => {
-                write!(f, "predicate references e{} but pattern binds {positions} positions", var + 1)
+                write!(
+                    f,
+                    "predicate references e{} but pattern binds {positions} positions",
+                    var + 1
+                )
             }
             PatternError::PredicateAcrossDisjunction(p) => {
                 write!(f, "predicate `{p}` spans disjunction branches")
@@ -358,7 +400,11 @@ impl Pattern {
             PatternExpr::Leaf(_) => Ok(()),
             PatternExpr::Seq(p) | PatternExpr::And(p) | PatternExpr::Or(p) => {
                 if p.len() < 2 {
-                    return Err(PatternError::Arity { op: expr.op_name(), got: p.len(), need: 2 });
+                    return Err(PatternError::Arity {
+                        op: expr.op_name(),
+                        got: p.len(),
+                        need: 2,
+                    });
                 }
                 p.iter().try_for_each(Self::check_arity)
             }
@@ -448,7 +494,11 @@ impl Pattern {
 
     /// The equi-key predicate pairs (O3 opportunities).
     pub fn equi_keys(&self) -> Vec<Predicate> {
-        self.predicates.iter().filter(|p| p.is_equi_key()).copied().collect()
+        self.predicates
+            .iter()
+            .filter(|p| p.is_equi_key())
+            .copied()
+            .collect()
     }
 }
 
@@ -474,7 +524,11 @@ pub mod builders {
     use super::*;
 
     /// `SEQ(T1 e1, …, Tn en)` over the given types.
-    pub fn seq(types: &[(EventType, &str)], window: WindowSpec, predicates: Vec<Predicate>) -> Pattern {
+    pub fn seq(
+        types: &[(EventType, &str)],
+        window: WindowSpec,
+        predicates: Vec<Predicate>,
+    ) -> Pattern {
         let parts: Vec<PatternExpr> = types
             .iter()
             .enumerate()
@@ -484,7 +538,11 @@ pub mod builders {
     }
 
     /// `AND(T1 e1, …, Tn en)`.
-    pub fn and(types: &[(EventType, &str)], window: WindowSpec, predicates: Vec<Predicate>) -> Pattern {
+    pub fn and(
+        types: &[(EventType, &str)],
+        window: WindowSpec,
+        predicates: Vec<Predicate>,
+    ) -> Pattern {
         let parts: Vec<PatternExpr> = types
             .iter()
             .enumerate()
@@ -513,7 +571,11 @@ pub mod builders {
     ) -> Pattern {
         Pattern::new(
             format!("ITER{m}"),
-            PatternExpr::Iter { leaf: Leaf::new(etype, name, "v"), m, at_least: false },
+            PatternExpr::Iter {
+                leaf: Leaf::new(etype, name, "v"),
+                m,
+                at_least: false,
+            },
             window,
             predicates,
         )
@@ -524,7 +586,11 @@ pub mod builders {
     pub fn kleene_plus(etype: EventType, name: &str, m: usize, window: WindowSpec) -> Pattern {
         Pattern::new(
             format!("ITER{m}+"),
-            PatternExpr::Iter { leaf: Leaf::new(etype, name, "v"), m, at_least: true },
+            PatternExpr::Iter {
+                leaf: Leaf::new(etype, name, "v"),
+                m,
+                at_least: true,
+            },
             window,
             Vec::new(),
         )
@@ -581,7 +647,11 @@ mod tests {
 
     #[test]
     fn variable_assignment_is_textual_order() {
-        let p = seq(&[(Q, "Q"), (V, "V"), (PM, "PM")], WindowSpec::minutes(15), vec![]);
+        let p = seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(15),
+            vec![],
+        );
         let vars: Vec<_> = p.expr.leaves().iter().map(|l| l.var).collect();
         assert_eq!(vars, vec![0, 1, 2]);
     }
@@ -596,7 +666,10 @@ mod tests {
         let bad = Predicate::threshold(4, Attr::Value, CmpOp::Lt, 1.0);
         assert_eq!(
             Pattern::new("i", p.expr, p.window, vec![bad]).unwrap_err(),
-            PatternError::UnknownVariable { var: 4, positions: 4 }
+            PatternError::UnknownVariable {
+                var: 4,
+                positions: 4
+            }
         );
     }
 
@@ -664,7 +737,11 @@ mod tests {
             Pattern::new("s", one, WindowSpec::minutes(5), vec![]),
             Err(PatternError::Arity { .. })
         ));
-        let zero_iter = PatternExpr::Iter { leaf: Leaf::new(Q, "Q", "a"), m: 0, at_least: false };
+        let zero_iter = PatternExpr::Iter {
+            leaf: Leaf::new(Q, "Q", "a"),
+            m: 0,
+            at_least: false,
+        };
         assert_eq!(
             Pattern::new("i", zero_iter, WindowSpec::minutes(5), vec![]).unwrap_err(),
             PatternError::EmptyIteration

@@ -165,7 +165,10 @@ impl Predicate {
 
     /// Variables referenced by this predicate (deduplicated, ≤ 2).
     pub fn vars(&self) -> Vec<VarId> {
-        let mut v: Vec<VarId> = [self.lhs.var(), self.rhs.var()].into_iter().flatten().collect();
+        let mut v: Vec<VarId> = [self.lhs.var(), self.rhs.var()]
+            .into_iter()
+            .flatten()
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -223,7 +226,14 @@ mod tests {
 
     #[test]
     fn cmp_parse_round_trips() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(CmpOp::parse(op.symbol()), Some(op));
         }
         assert_eq!(CmpOp::parse("="), Some(CmpOp::Eq));

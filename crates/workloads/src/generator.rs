@@ -17,8 +17,7 @@ use rand::{Rng, SeedableRng};
 use crate::types::{HUM, PM10, PM25, Q, TEMP, V};
 
 /// How sensor values evolve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ValueModel {
     /// `Uniform[0, 100)` i.i.d. — filter pass rates are exact quantiles.
     #[default]
@@ -27,7 +26,6 @@ pub enum ValueModel {
     /// autocorrelated like real traffic/air series.
     RandomWalk { step: f64 },
 }
-
 
 /// A set of generated per-type streams, each sorted by timestamp.
 #[derive(Debug, Clone, Default)]
@@ -127,7 +125,9 @@ pub fn generate_qnv(cfg: &QnvConfig) -> Workload {
     }
     q.sort_by_key(|e| e.ts);
     v.sort_by_key(|e| e.ts);
-    Workload { streams: HashMap::from([(Q, q), (V, v)]) }
+    Workload {
+        streams: HashMap::from([(Q, q), (V, v)]),
+    }
 }
 
 /// AirQuality-data generator configuration.
@@ -230,7 +230,14 @@ impl Sensor {
     }
 
     fn event(&self, etype: EventType, ts: Timestamp, value: f64) -> Event {
-        Event { etype, id: self.id, ts, value, lat: self.lat, lon: self.lon }
+        Event {
+            etype,
+            id: self.id,
+            ts,
+            value,
+            lat: self.lat,
+            lon: self.lon,
+        }
     }
 }
 
@@ -249,7 +256,12 @@ mod tests {
     use super::*;
 
     fn qnv(sensors: u32, minutes: i64, seed: u64) -> Workload {
-        generate_qnv(&QnvConfig { sensors, minutes, seed, value_model: ValueModel::Uniform })
+        generate_qnv(&QnvConfig {
+            sensors,
+            minutes,
+            seed,
+            value_model: ValueModel::Uniform,
+        })
     }
 
     #[test]
@@ -272,8 +284,7 @@ mod tests {
     #[test]
     fn sensor_ids_span_key_range() {
         let w = qnv(16, 10, 1);
-        let ids: std::collections::HashSet<u32> =
-            w.stream(Q).iter().map(|e| e.id).collect();
+        let ids: std::collections::HashSet<u32> = w.stream(Q).iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), 16);
         assert!(ids.iter().all(|&i| i < 16));
     }
@@ -299,7 +310,11 @@ mod tests {
 
     #[test]
     fn aq_cadence_is_three_to_five_minutes() {
-        let w = generate_aq(&AqConfig { sensors: 1, minutes: 200, ..Default::default() });
+        let w = generate_aq(&AqConfig {
+            sensors: 1,
+            minutes: 200,
+            ..Default::default()
+        });
         let pm = w.stream(PM10);
         assert!(pm.len() > 30, "got {}", pm.len());
         for p in pm.windows(2) {
@@ -310,7 +325,11 @@ mod tests {
 
     #[test]
     fn aq_id_offset_separates_key_spaces() {
-        let w = generate_aq(&AqConfig { sensors: 4, id_offset: 100, ..Default::default() });
+        let w = generate_aq(&AqConfig {
+            sensors: 4,
+            id_offset: 100,
+            ..Default::default()
+        });
         assert!(w.stream(PM10).iter().all(|e| (100..104).contains(&e.id)));
     }
 
@@ -345,7 +364,11 @@ mod tests {
     #[test]
     fn merge_combines_and_resorts() {
         let mut a = qnv(2, 10, 1);
-        let b = generate_aq(&AqConfig { sensors: 2, minutes: 40, ..Default::default() });
+        let b = generate_aq(&AqConfig {
+            sensors: 2,
+            minutes: 40,
+            ..Default::default()
+        });
         let before = a.total_events();
         let b_total = b.total_events();
         a.merge(b);

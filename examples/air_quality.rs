@@ -22,7 +22,10 @@ fn main() {
         id_offset: 0,
     });
     let sources = split_by_type(&workload.merged());
-    println!("{} air-quality events from 10 sites\n", workload.total_events());
+    println!(
+        "{} air-quality events from 10 sites\n",
+        workload.total_events()
+    );
 
     // 1. Smog episode: high PM10 AND high PM2.5 together within 30 min at
     //    the same site — a conjunction with an equi-key (FlinkCEP: ✗).
@@ -68,8 +71,11 @@ fn main() {
     let sustained = cep2asp_suite::sea::pattern::Pattern::new(
         "sustained",
         cep2asp_suite::sea::pattern::PatternExpr::Iter {
-            leaf: cep2asp_suite::sea::pattern::Leaf::new(PM10, "PM10", "p")
-                .with_filter(Attr::Value, CmpOp::Ge, 70.0),
+            leaf: cep2asp_suite::sea::pattern::Leaf::new(PM10, "PM10", "p").with_filter(
+                Attr::Value,
+                CmpOp::Ge,
+                70.0,
+            ),
             m: 5,
             at_least: true,
         },

@@ -36,7 +36,11 @@ fn main() {
     }));
     let sources = split_by_type(&w.merged());
     let stats = StreamStats::from_sources(&sources);
-    println!("monitoring {} events across {} streams\n", w.total_events(), sources.len());
+    println!(
+        "monitoring {} events across {} streams\n",
+        w.total_events(),
+        sources.len()
+    );
 
     // Four patterns, four SEA operators, one job.
     let congestion = builders::seq(

@@ -58,8 +58,8 @@ fn main() {
     let sources = split_by_type(&workload.merged());
 
     // --- The mapping (FASP) ---
-    let fasp = run_pattern_simple(&pattern, &MapperOptions::o1(), &sources)
-        .expect("mapped pipeline");
+    let fasp =
+        run_pattern_simple(&pattern, &MapperOptions::o1(), &sources).expect("mapped pipeline");
     let fasp_matches = fasp.dedup_matches();
     println!(
         "FASP  : {:>6} matches, {:>10.0} events/s  (plan: {})",
@@ -71,7 +71,9 @@ fn main() {
     // --- The NFA baseline (FCEP) ---
     let (graph, sink) = build_baseline(&pattern, &sources, &BaselineConfig::default())
         .expect("NSEQ is FCEP-supported");
-    let mut report = Executor::new(ExecutorConfig::default()).run(graph).expect("baseline runs");
+    let mut report = Executor::new(ExecutorConfig::default())
+        .run(graph)
+        .expect("baseline runs");
     let fcep_matches = dedup_sorted(&report.take_sink(sink));
     println!(
         "FCEP  : {:>6} matches, {:>10.0} events/s  (single NFA operator)",

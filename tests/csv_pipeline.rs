@@ -44,13 +44,9 @@ fn csv_round_trip_preserves_pipeline_results() {
     let from_csv = run_pattern_simple(&pattern, &MapperOptions::o1(), &sources)
         .unwrap()
         .dedup_matches();
-    let from_mem = run_pattern_simple(
-        &pattern,
-        &MapperOptions::o1(),
-        &split_by_type(&w.merged()),
-    )
-    .unwrap()
-    .dedup_matches();
+    let from_mem = run_pattern_simple(&pattern, &MapperOptions::o1(), &split_by_type(&w.merged()))
+        .unwrap()
+        .dedup_matches();
 
     assert!(!from_mem.is_empty());
     // CSV stores f32 coordinates and full-precision values; match identity

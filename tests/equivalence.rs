@@ -17,7 +17,12 @@ use sea::predicate::{CmpOp, Predicate};
 use workloads::{generate_aq, generate_qnv, AqConfig, QnvConfig, ValueModel, HUM, PM10, Q, V};
 
 fn qnv(sensors: u32, minutes: i64, seed: u64) -> workloads::Workload {
-    generate_qnv(&QnvConfig { sensors, minutes, seed, value_model: ValueModel::Uniform })
+    generate_qnv(&QnvConfig {
+        sensors,
+        minutes,
+        seed,
+        value_model: ValueModel::Uniform,
+    })
 }
 
 fn oracle_matches(pattern: &Pattern, events: &[Event]) -> Vec<MatchKey> {
@@ -33,16 +38,21 @@ fn fasp_matches(
     sources: &HashMap<EventType, Vec<Event>>,
     parallelism: usize,
 ) -> Vec<MatchKey> {
-    let phys = PhysicalConfig { parallelism, ..Default::default() };
-    let run = run_pattern(pattern, opts, sources, &phys, &ExecutorConfig::default())
-        .expect("mapped run");
+    let phys = PhysicalConfig {
+        parallelism,
+        ..Default::default()
+    };
+    let run =
+        run_pattern(pattern, opts, sources, &phys, &ExecutorConfig::default()).expect("mapped run");
     run.dedup_matches()
 }
 
 fn fcep_matches(pattern: &Pattern, sources: &HashMap<EventType, Vec<Event>>) -> Vec<MatchKey> {
-    let (g, sink) = cep::build_baseline(pattern, sources, &BaselineConfig::default())
-        .expect("baseline build");
-    let mut report = Executor::new(ExecutorConfig::default()).run(g).expect("baseline run");
+    let (g, sink) =
+        cep::build_baseline(pattern, sources, &BaselineConfig::default()).expect("baseline build");
+    let mut report = Executor::new(ExecutorConfig::default())
+        .run(g)
+        .expect("baseline run");
     dedup_sorted(&report.take_sink(sink))
 }
 
@@ -77,7 +87,11 @@ fn check_all(pattern: &Pattern, workload: &workloads::Workload, expect_fcep: boo
     }
     if expect_fcep {
         let got = fcep_matches(pattern, &sources);
-        assert_eq!(got, oracle, "FCEP disagrees with oracle for {}", pattern.name);
+        assert_eq!(
+            got, oracle,
+            "FCEP disagrees with oracle for {}",
+            pattern.name
+        );
     }
 }
 
@@ -94,7 +108,13 @@ fn seq2_equivalence() {
 #[test]
 fn seq3_multi_source_equivalence() {
     let mut w = qnv(2, 40, 7);
-    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 40, seed: 7, id_offset: 50, ..Default::default() }));
+    w.merge(generate_aq(&AqConfig {
+        sensors: 2,
+        minutes: 40,
+        seed: 7,
+        id_offset: 50,
+        ..Default::default()
+    }));
     let p = builders::seq(
         &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
         WindowSpec::minutes(6),
@@ -138,7 +158,13 @@ fn iter_equivalence() {
 #[test]
 fn nseq_equivalence() {
     let mut w = qnv(2, 60, 23);
-    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 60, seed: 23, id_offset: 80, ..Default::default() }));
+    w.merge(generate_aq(&AqConfig {
+        sensors: 2,
+        minutes: 60,
+        seed: 23,
+        id_offset: 80,
+        ..Default::default()
+    }));
     let p = builders::nseq(
         (Q, "Q"),
         Leaf::new(PM10, "PM10", "n").with_filter(Attr::Value, CmpOp::Gt, 50.0),
@@ -153,7 +179,13 @@ fn nseq_equivalence() {
 fn nested_seq_of_and_equivalence() {
     use sea::pattern::PatternExpr;
     let mut w = qnv(2, 40, 29);
-    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 40, seed: 29, id_offset: 60, ..Default::default() }));
+    w.merge(generate_aq(&AqConfig {
+        sensors: 2,
+        minutes: 40,
+        seed: 29,
+        id_offset: 60,
+        ..Default::default()
+    }));
     let expr = PatternExpr::Seq(vec![
         PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
         PatternExpr::And(vec![
@@ -169,7 +201,13 @@ fn nested_seq_of_and_equivalence() {
 fn seq_with_nested_or_distributes_correctly() {
     use sea::pattern::PatternExpr;
     let mut w = qnv(2, 40, 31);
-    w.merge(generate_aq(&AqConfig { sensors: 2, minutes: 40, seed: 31, id_offset: 70, ..Default::default() }));
+    w.merge(generate_aq(&AqConfig {
+        sensors: 2,
+        minutes: 40,
+        seed: 31,
+        id_offset: 70,
+        ..Default::default()
+    }));
     let expr = PatternExpr::Seq(vec![
         PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
         PatternExpr::Or(vec![
@@ -209,7 +247,11 @@ fn keyed_fcep_equals_keyed_fasp_for_equi_pattern() {
     let oracle = oracle_matches(&p, &w.merged());
 
     // FCEP with keyBy(id) parallelism.
-    let cfg = BaselineConfig { keyed: true, parallelism: 4, ..Default::default() };
+    let cfg = BaselineConfig {
+        keyed: true,
+        parallelism: 4,
+        ..Default::default()
+    };
     let (g, sink) = cep::build_baseline(&p, &sources, &cfg).unwrap();
     let mut report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
     let fcep = dedup_sorted(&report.take_sink(sink));
@@ -227,7 +269,13 @@ fn keyed_fcep_equals_keyed_fasp_for_equi_pattern() {
 #[test]
 fn mixed_global_then_keyed_join_is_co_partitioned() {
     let mut w = qnv(4, 40, 59);
-    w.merge(generate_aq(&AqConfig { sensors: 4, minutes: 40, seed: 59, id_offset: 0, ..Default::default() }));
+    w.merge(generate_aq(&AqConfig {
+        sensors: 4,
+        minutes: 40,
+        seed: 59,
+        id_offset: 0,
+        ..Default::default()
+    }));
     let p = builders::seq(
         &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
         WindowSpec::minutes(6),
@@ -241,7 +289,13 @@ fn mixed_global_then_keyed_join_is_co_partitioned() {
 #[test]
 fn reordered_keyed_join_chain_matches_oracle() {
     let mut w = qnv(4, 40, 61);
-    w.merge(generate_aq(&AqConfig { sensors: 4, minutes: 40, seed: 61, id_offset: 0, ..Default::default() }));
+    w.merge(generate_aq(&AqConfig {
+        sensors: 4,
+        minutes: 40,
+        seed: 61,
+        id_offset: 0,
+        ..Default::default()
+    }));
     let p = builders::seq(
         &[(Q, "Q"), (V, "V"), (PM10, "PM10")],
         WindowSpec::minutes(8),
@@ -274,8 +328,14 @@ fn kleene_plus_o2_window_counts_match_oracle() {
     let expected = sea::oracle::kleene_qualifying_windows(&p, &merged);
     assert!(expected > 0);
     let phys = PhysicalConfig::default();
-    let run = run_pattern(&p, &MapperOptions::o2(), &sources, &phys, &ExecutorConfig::default())
-        .unwrap();
+    let run = run_pattern(
+        &p,
+        &MapperOptions::o2(),
+        &sources,
+        &phys,
+        &ExecutorConfig::default(),
+    )
+    .unwrap();
     assert_eq!(run.raw_count() as usize, expected, "qualifying windows");
     // Each emitted window tuple carries the count, which must be ≥ m.
     for t in run.raw_matches() {
@@ -313,7 +373,10 @@ fn stam_policy_is_superset_of_stnm_and_strict_in_pipeline() {
     let w = qnv(2, 30, 53);
     let sources = split_by_type(&w.merged());
     let run = |policy| {
-        let cfg = BaselineConfig { policy, ..Default::default() };
+        let cfg = BaselineConfig {
+            policy,
+            ..Default::default()
+        };
         let (g, sink) = cep::build_baseline(&p, &sources, &cfg).unwrap();
         let mut report = Executor::new(ExecutorConfig::default()).run(g).unwrap();
         dedup_sorted(&report.take_sink(sink))

@@ -32,7 +32,9 @@ fn disordered(seed: u64) -> (Workload, Workload) {
         value_model: ValueModel::Uniform,
         id_offset: 0,
     }));
-    let shuffled = w.clone().with_disorder(DELAY_MIN * asp::time::MINUTE_MS, seed ^ 7);
+    let shuffled = w
+        .clone()
+        .with_disorder(DELAY_MIN * asp::time::MINUTE_MS, seed ^ 7);
     (w, shuffled)
 }
 
@@ -70,7 +72,9 @@ fn fcep_disordered(
         ..Default::default()
     };
     let (g, sink) = cep::build_baseline(p, sources, &cfg).expect("baseline");
-    let mut report = Executor::new(ExecutorConfig::default()).run(g).expect("run");
+    let mut report = Executor::new(ExecutorConfig::default())
+        .run(g)
+        .expect("run");
     dedup_sorted(&report.take_sink(sink))
 }
 
@@ -170,10 +174,15 @@ fn interval_join_without_drop_late_recovers_stragglers() {
     let (sorted, shuffled) = disordered(23);
     let p = builders::and(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(6), vec![]);
     let want = oracle(&p, &sorted);
-    let phys = PhysicalConfig { watermark_lag: Duration::ZERO, ..Default::default() };
-    let exec = ExecutorConfig { drop_late: false, ..Default::default() };
-    let run = run_pattern(&p, &MapperOptions::o1(), &shuffled.streams, &phys, &exec)
-        .expect("run");
+    let phys = PhysicalConfig {
+        watermark_lag: Duration::ZERO,
+        ..Default::default()
+    };
+    let exec = ExecutorConfig {
+        drop_late: false,
+        ..Default::default()
+    };
+    let run = run_pattern(&p, &MapperOptions::o1(), &shuffled.streams, &phys, &exec).expect("run");
     // The interval join buffers by bounds, not firing order, so stragglers
     // within the (un-asserted) disorder still pair up — as long as
     // eviction hasn't passed them. With disorder ≤ 5 min ≪ W = 6 min this

@@ -41,19 +41,34 @@ fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
 enum PatternShape {
     Seq(Vec<usize>),
     And(Vec<usize>),
-    Iter { t: usize, m: usize, pairwise: bool },
-    Nseq { first: usize, absent: usize, last: usize },
+    Iter {
+        t: usize,
+        m: usize,
+        pairwise: bool,
+    },
+    Nseq {
+        first: usize,
+        absent: usize,
+        last: usize,
+    },
 }
 
 fn arb_shape() -> impl Strategy<Value = PatternShape> {
     prop_oneof![
         proptest::collection::vec(0usize..3, 2..4).prop_map(PatternShape::Seq),
         proptest::collection::vec(0usize..3, 2..3).prop_map(PatternShape::And),
-        (0usize..3, 2usize..4, any::<bool>())
-            .prop_map(|(t, m, pairwise)| PatternShape::Iter { t, m, pairwise }),
+        (0usize..3, 2usize..4, any::<bool>()).prop_map(|(t, m, pairwise)| PatternShape::Iter {
+            t,
+            m,
+            pairwise
+        }),
         (0usize..3, 0usize..3, 0usize..3)
             .prop_filter("absent must differ from first", |(f, a, _)| f != a)
-            .prop_map(|(first, absent, last)| PatternShape::Nseq { first, absent, last }),
+            .prop_map(|(first, absent, last)| PatternShape::Nseq {
+                first,
+                absent,
+                last
+            }),
     ]
 }
 
@@ -80,10 +95,17 @@ fn make_pattern(shape: &PatternShape, w_minutes: i64, threshold: f64) -> Pattern
             };
             builders::iter(etype, name, *m, w, preds)
         }
-        PatternShape::Nseq { first, absent, last } => builders::nseq(
+        PatternShape::Nseq {
+            first,
+            absent,
+            last,
+        } => builders::nseq(
             TYPES[*first],
-            Leaf::new(TYPES[*absent].0, TYPES[*absent].1, "n")
-                .with_filter(Attr::Value, CmpOp::Gt, threshold),
+            Leaf::new(TYPES[*absent].0, TYPES[*absent].1, "n").with_filter(
+                Attr::Value,
+                CmpOp::Gt,
+                threshold,
+            ),
             TYPES[*last],
             w,
             vec![],
@@ -92,7 +114,10 @@ fn make_pattern(shape: &PatternShape, w_minutes: i64, threshold: f64) -> Pattern
 }
 
 fn oracle_matches(p: &Pattern, events: &[Event]) -> Vec<MatchKey> {
-    sea::oracle::evaluate(p, events).into_iter().map(MatchKey).collect()
+    sea::oracle::evaluate(p, events)
+        .into_iter()
+        .map(MatchKey)
+        .collect()
 }
 
 fn fasp_matches(
@@ -100,16 +125,21 @@ fn fasp_matches(
     opts: &MapperOptions,
     sources: &HashMap<EventType, Vec<Event>>,
 ) -> Vec<MatchKey> {
-    run_pattern(p, opts, sources, &PhysicalConfig::default(), &ExecutorConfig::default())
-        .expect("mapped run")
-        .dedup_matches()
+    run_pattern(
+        p,
+        opts,
+        sources,
+        &PhysicalConfig::default(),
+        &ExecutorConfig::default(),
+    )
+    .expect("mapped run")
+    .dedup_matches()
 }
 
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 200,
-        .. ProptestConfig::default()
     })]
 
     /// The mapped plan (plain, O1, O3, O1+O3) equals the formal oracle on
@@ -223,5 +253,42 @@ proptest! {
         direct.sort();
         direct.dedup();
         prop_assert_eq!(oracle, direct);
+    }
+
+    /// Mirror of the graph-validator property for the plan layer: every
+    /// plan `translate` produces — across plain, O1, O2, and O3 — is clean
+    /// under [`cep2asp::lint_plan`]. (The optimizations rewrite windowing,
+    /// partitioning, and aggregation; none may break a plan invariant.)
+    #[test]
+    fn translated_plans_are_lint_clean(
+        shape in arb_shape(),
+        w in 2i64..8,
+        threshold in 10.0f64..90.0,
+        add_key in any::<bool>(),
+    ) {
+        let mut pattern = make_pattern(&shape, w, threshold);
+        if add_key && pattern.positions() >= 2 {
+            let mut preds = pattern.predicates.clone();
+            preds.push(Predicate::same_id(pattern.positions() - 2, pattern.positions() - 1));
+            pattern = Pattern::new(
+                pattern.name.clone(), pattern.expr.clone(), pattern.window, preds,
+            ).expect("valid");
+        }
+        for (label, opts) in [
+            ("plain", MapperOptions::plain()),
+            ("O1", MapperOptions::o1()),
+            ("O2", MapperOptions::o2()),
+            ("O3", MapperOptions::o3()),
+            ("O1+O3", MapperOptions::o1().and_o3()),
+        ] {
+            let plan = cep2asp::translate(&pattern, &opts).expect("translates");
+            let lints = cep2asp::lint_plan(&plan);
+            prop_assert!(
+                lints.is_empty(),
+                "{} plan fails lint: {}",
+                label,
+                lints.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; "),
+            );
+        }
     }
 }

@@ -42,12 +42,18 @@ fn check_psl(spec: &str, seed: u64, fcep_supported: bool) -> usize {
     let stats = StreamStats::from_sources(&sources);
     let opts = auto_options(&pattern, &stats);
     let run = run_pattern_simple(&pattern, &opts, &sources).expect("mapped run");
-    assert_eq!(run.dedup_matches(), oracle, "FASP(auto) vs oracle for:\n{spec}");
+    assert_eq!(
+        run.dedup_matches(),
+        oracle,
+        "FASP(auto) vs oracle for:\n{spec}"
+    );
 
     if fcep_supported {
-        let (g, sink) = cep::build_baseline(&pattern, &sources, &BaselineConfig::default())
-            .expect("baseline");
-        let mut report = Executor::new(ExecutorConfig::default()).run(g).expect("run");
+        let (g, sink) =
+            cep::build_baseline(&pattern, &sources, &BaselineConfig::default()).expect("baseline");
+        let mut report = Executor::new(ExecutorConfig::default())
+            .run(g)
+            .expect("run");
         assert_eq!(
             dedup_sorted(&report.take_sink(sink)),
             oracle,
@@ -83,11 +89,7 @@ fn keyed_conjunction() {
 
 #[test]
 fn disjunction() {
-    let n = check_psl(
-        "PATTERN OR(Temp t, Hum h) WITHIN 5 MINUTES",
-        41,
-        false,
-    );
+    let n = check_psl("PATTERN OR(Temp t, Hum h) WITHIN 5 MINUTES", 41, false);
     assert!(n > 0);
 }
 

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides a minimal timing harness with the same surface the workspace's
+//! benches use: `criterion_group!` (both forms), `criterion_main!`,
+//! benchmark groups with throughput annotation, `bench_function` /
+//! `bench_with_input`, and `black_box`. It reports mean wall-clock time per
+//! iteration (and throughput where annotated) without criterion's
+//! statistical machinery.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Top-level benchmark driver, passed to each group function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small by default: this stand-in is for smoke-timing, not stats.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure directly, outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure under `<group>/<name>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Time a closure that borrows a fixed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&full, self.sample_size, self.throughput, &mut g);
+        self
+    }
+
+    /// End the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot loop.
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total_ns = start.elapsed().as_nanos();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples,
+        total_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let per_iter_ns = b.total_ns as f64 / b.iters as f64;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (per_iter_ns / 1e9);
+            format!("  ({:.2} Melem/s)", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (per_iter_ns / 1e9);
+            format!("  ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name}: {:.3} ms/iter{extra}", per_iter_ns / 1e6);
+}
+
+/// Define a benchmark group function. Supports both the positional form
+/// `criterion_group!(benches, a, b)` and the configured form with
+/// `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|x| x * k).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

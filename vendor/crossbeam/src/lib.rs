@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the API subset the workspace uses: a bounded MPMC
+//! channel with `send_timeout`/`recv_timeout` and disconnect semantics,
+//! built on `std::sync::{Mutex, Condvar}`. Semantics match the real
+//! `crossbeam-channel` for this subset: sends fail once every receiver is
+//! gone, receives fail once every sender is gone and the queue drained.
+
+pub mod channel;

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides a value-tree serialization model covering exactly what the
+//! workspace derives: named structs, newtype structs, and unit enums, with
+//! scalar / `Option` / `Vec` / tuple / `BTreeMap<String, _>` fields. The
+//! [`Serialize`] and [`Deserialize`] traits convert to and from [`Value`],
+//! and `serde_json` renders/parses that tree. Derive macros are re-exported
+//! from the companion `serde_derive` stand-in.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory serialization tree, the intermediate form between typed
+/// values and JSON text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (distinct so `u64::MAX` survives).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self`, reporting a shape mismatch as [`DeError`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+static NULL: Value = Value::Null;
+
+/// Look up a field of an object `Value`, treating a missing key as `null`
+/// (this is how `#[serde(default)]`-style fields deserialize).
+pub fn de_field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL),
+        _ => &NULL,
+    }
+}
+
+/// Extract the element at `idx` of an array `Value`.
+pub fn de_index(v: &Value, idx: usize) -> Result<&Value, DeError> {
+    match v {
+        Value::Array(items) => items
+            .get(idx)
+            .ok_or_else(|| DeError(format!("array too short: no index {idx}"))),
+        other => Err(DeError(format!("expected array, got {other:?}"))),
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self as i128 >= 0 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!(
+                        "expected integer for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    // JSON prints 5.0 as "5", which parses back as an integer.
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError(format!(
+                        "expected number for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            // A missing `#[serde(default)]` array field deserializes empty.
+            Value::Null => Ok(Vec::new()),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            Value::Null => Ok(BTreeMap::new()),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                Ok(($($name::from_value(de_index(v, $idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&Value::Int(5)), Ok(5.0));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_and_vec_treat_null_as_default() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Vec::<u64>::from_value(&Value::Null), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn missing_object_field_reads_as_null() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(de_field(&obj, "a"), &Value::Int(1));
+        assert_eq!(de_field(&obj, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u64, 2usize, 3.5f64);
+        assert_eq!(<(u64, usize, f64)>::from_value(&t.to_value()), Ok(t));
+    }
+}
