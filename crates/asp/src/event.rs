@@ -29,9 +29,14 @@ impl fmt::Display for EventType {
 /// Maps human-readable event-type names ("Q", "V", "PM10", …) to dense
 /// [`EventType`] indices and back. Shared by workload generators, the
 /// pattern language, and plan printers.
+///
+/// Lookups are O(1): a hash index backs [`intern`](Self::intern) and
+/// [`get`](Self::get), while the dense `names` vec keeps id → name
+/// resolution and registration-order iteration allocation-free.
 #[derive(Debug, Default, Clone)]
 pub struct TypeRegistry {
     names: Vec<String>,
+    index: std::collections::HashMap<String, EventType>,
 }
 
 impl TypeRegistry {
@@ -42,23 +47,22 @@ impl TypeRegistry {
 
     /// Register (or look up) a type by name, returning its id.
     pub fn intern(&mut self, name: &str) -> EventType {
-        if let Some(idx) = self.names.iter().position(|n| n == name) {
-            return EventType(idx as u16);
+        if let Some(t) = self.index.get(name) {
+            return *t;
         }
         assert!(
             self.names.len() < u16::MAX as usize,
             "type universe exhausted"
         );
+        let t = EventType(self.names.len() as u16);
         self.names.push(name.to_string());
-        EventType((self.names.len() - 1) as u16)
+        self.index.insert(name.to_string(), t);
+        t
     }
 
     /// Resolve a registered name without interning.
     pub fn get(&self, name: &str) -> Option<EventType> {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| EventType(i as u16))
+        self.index.get(name).copied()
     }
 
     /// Resolve a type id back to its name.

@@ -12,6 +12,12 @@ use crate::event::Event;
 use crate::operator::Operator;
 
 /// How tuples travel across an edge.
+///
+/// At runtime an edge carries micro-batched envelopes: the sender
+/// accumulates up to [`crate::runtime::ExecutorConfig::batch_size`] tuples
+/// per destination instance and ships them as one channel message, so the
+/// exchange pattern decides *where* a tuple goes while batching amortizes
+/// *how often* the channel is touched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Exchange {
     /// Direct 1:1 wiring; requires equal parallelism on both ends.
@@ -55,7 +61,9 @@ pub struct SourceConfig {
     /// timestamp order by at most [`SourceConfig::watermark_lag`].
     pub events: Arc<Vec<Event>>,
     /// Emit a watermark every `watermark_every` events (punctuated
-    /// watermarking).
+    /// watermarking). This is also the source's output-flush cadence:
+    /// pending micro-batches are released with each punctuation so the
+    /// watermark never overtakes the tuples it covers.
     pub watermark_every: usize,
     /// Optional pacing in events/second *per instance*; `None` = as fast
     /// as backpressure allows (how sustainable throughput is probed).

@@ -60,10 +60,24 @@ impl IntervalBounds {
 
 /// Buffered side: per key, tuples ordered by `(ts, arrival)` so range scans
 /// are logarithmic + output-linear.
-#[derive(Default)]
 struct Side {
     by_key: HashMap<Key, BTreeMap<(Timestamp, u64), Tuple>>,
     bytes: usize,
+    /// Cutoff of the last completed eviction sweep: everything below it is
+    /// already gone, so a watermark that doesn't advance the cutoff skips
+    /// the per-key scan entirely (watermarks arrive far more often than
+    /// they advance past buffered data).
+    low_water: Timestamp,
+}
+
+impl Default for Side {
+    fn default() -> Self {
+        Side {
+            by_key: HashMap::new(),
+            bytes: 0,
+            low_water: Timestamp::MIN,
+        }
+    }
 }
 
 impl Side {
@@ -74,6 +88,10 @@ impl Side {
 
     /// Evict everything with `ts < cutoff`.
     fn evict_before(&mut self, cutoff: Timestamp) {
+        if cutoff <= self.low_water {
+            return;
+        }
+        self.low_water = cutoff;
         for buf in self.by_key.values_mut() {
             while let Some((&(ts, seq), _)) = buf.first_key_value() {
                 if ts >= cutoff {

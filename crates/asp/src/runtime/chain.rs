@@ -62,7 +62,9 @@ impl ChainedOperator {
             for t in self.scratch_a.drain(..) {
                 self.ops[i].process(stage_port, t, &mut next)?;
             }
-            self.scratch_b = Vec::new();
+            // Recycle the drained input as the next stage's output buffer —
+            // the steady state allocates nothing per record.
+            self.scratch_b = std::mem::take(&mut self.scratch_a);
             self.scratch_a = next.out;
             stage_port = 0;
         }

@@ -15,10 +15,26 @@ pub struct NodeStats {
     pub records_in: u64,
     /// Tuples emitted, summed over instances.
     pub records_out: u64,
+    /// Tuple-carrying channel messages sent, summed over instances. A
+    /// micro-batch counts once, so `records_out / batches_out` is the mean
+    /// realized batch size on this node's outgoing edges.
+    pub batches_out: u64,
     /// Tuples dropped for arriving behind the watermark (late data).
     pub late_dropped: u64,
     /// Sum of per-instance peak state footprints.
     pub peak_state_bytes: usize,
+}
+
+impl NodeStats {
+    /// Mean number of tuples per sent channel message (0 when nothing was
+    /// sent) — how well micro-batching amortized channel synchronization.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches_out == 0 {
+            0.0
+        } else {
+            self.records_out as f64 / self.batches_out as f64
+        }
+    }
 }
 
 /// One resource observation (the Figure 5 time series).

@@ -59,6 +59,17 @@ pub struct ExecutorConfig {
     /// operators from observing time regressions. Dropped tuples are
     /// counted in [`NodeStats::late_dropped`].
     pub drop_late: bool,
+    /// Maximum tuples accumulated per (edge, destination instance) before
+    /// the pending micro-batch is sent as one channel message. `1` restores
+    /// per-tuple messaging; larger values amortize channel synchronization
+    /// over `batch_size` tuples on every hop. Must be ≥ 1 (0 is rejected as
+    /// diagnostic `G015` before any thread is spawned).
+    pub batch_size: usize,
+    /// Upper bound on how long a partially filled batch may sit in a task's
+    /// output buffer while the task is idle. Idle operators flush on this
+    /// cadence, and rate-limited sources flush at least this often, so
+    /// low-rate streams keep low latency regardless of `batch_size`.
+    pub idle_flush: StdDuration,
 }
 
 impl Default for ExecutorConfig {
@@ -69,15 +80,25 @@ impl Default for ExecutorConfig {
             latency_stride: 16,
             operator_chaining: true,
             drop_late: true,
+            batch_size: 64,
+            idle_flush: StdDuration::from_millis(5),
         }
     }
 }
 
 enum Message {
     Tuple(Tuple),
+    /// A micro-batch: consecutive tuples for one destination, sent as one
+    /// channel message. Order within the batch is emission order.
+    Batch(Vec<Tuple>),
     Watermark(Timestamp),
     End,
 }
+
+/// Envelopes drained from the inbox per blocking receive before the
+/// collector is flushed — bounds how long a coalesced watermark can be
+/// deferred under sustained load.
+const DRAIN_LIMIT: usize = 128;
 
 struct Envelope {
     port: u16,
@@ -96,16 +117,50 @@ pub fn key_partition(key: u64, parallelism: usize) -> usize {
     ((h >> 17) % parallelism as u64) as usize
 }
 
-/// One outgoing edge of one instance.
+/// One outgoing edge of one instance, with a pending micro-batch per
+/// destination instance.
 struct Route {
     exchange: Exchange,
     port: u16,
     chan: u16,
     senders: Vec<Sender<Envelope>>,
     rr: usize,
+    /// Pre-resolved destination for exchanges whose target never varies
+    /// (`Forward`, or any exchange with a single destination instance) —
+    /// the dispatch match is decided once at wiring time, not per tuple.
+    fixed: Option<usize>,
+    /// Pending tuples per destination instance, flushed at `batch_size`.
+    bufs: Vec<Vec<Tuple>>,
+    /// Channel messages sent (batches count once), for [`NodeStats`].
+    batches: u64,
 }
 
 impl Route {
+    fn new(
+        exchange: Exchange,
+        port: u16,
+        chan: u16,
+        instance: usize,
+        senders: Vec<Sender<Envelope>>,
+    ) -> Self {
+        let fixed = match exchange {
+            Exchange::Forward => Some(instance % senders.len()),
+            Exchange::Hash | Exchange::Rebalance if senders.len() == 1 => Some(0),
+            Exchange::Hash | Exchange::Rebalance => None,
+        };
+        let bufs = senders.iter().map(|_| Vec::new()).collect();
+        Route {
+            exchange,
+            port,
+            chan,
+            senders,
+            rr: instance,
+            fixed,
+            bufs,
+            batches: 0,
+        }
+    }
+
     fn send(&self, idx: usize, msg: Message, abort: &AtomicBool) -> Result<(), ()> {
         let mut env = Envelope {
             port: self.port,
@@ -126,16 +181,53 @@ impl Route {
         }
     }
 
-    fn send_tuple(&mut self, self_instance: usize, t: Tuple, abort: &AtomicBool) -> Result<(), ()> {
-        let idx = match self.exchange {
-            Exchange::Forward => self_instance % self.senders.len(),
-            Exchange::Hash => key_partition(t.key, self.senders.len()),
-            Exchange::Rebalance => {
-                self.rr = (self.rr + 1) % self.senders.len();
-                self.rr
-            }
+    /// Append `t` to the destination's pending batch, flushing it when it
+    /// reaches `batch_size`.
+    fn buffer_tuple(&mut self, t: Tuple, batch_size: usize, abort: &AtomicBool) -> Result<(), ()> {
+        let idx = match self.fixed {
+            Some(i) => i,
+            None => match self.exchange {
+                Exchange::Hash => key_partition(t.key, self.senders.len()),
+                Exchange::Rebalance => {
+                    self.rr = (self.rr + 1) % self.senders.len();
+                    self.rr
+                }
+                // Forward always resolves to `fixed`.
+                Exchange::Forward => unreachable!("forward routes are pre-resolved"),
+            },
         };
-        self.send(idx, Message::Tuple(t), abort)
+        let buf = &mut self.bufs[idx];
+        if buf.capacity() == 0 {
+            buf.reserve_exact(batch_size);
+        }
+        buf.push(t);
+        if buf.len() >= batch_size {
+            self.flush_buf(idx, batch_size, abort)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Send the destination's pending batch, if any, as one message.
+    fn flush_buf(&mut self, idx: usize, batch_size: usize, abort: &AtomicBool) -> Result<(), ()> {
+        let buf = &mut self.bufs[idx];
+        let msg = match buf.len() {
+            0 => return Ok(()),
+            1 => Message::Tuple(buf.pop().expect("len checked")),
+            _ => Message::Batch(std::mem::replace(buf, Vec::with_capacity(batch_size))),
+        };
+        self.batches += 1;
+        self.send(idx, msg, abort)
+    }
+
+    fn flush_all(&mut self, batch_size: usize, abort: &AtomicBool) -> Result<(), ()> {
+        let mut ok = Ok(());
+        for idx in 0..self.bufs.len() {
+            if self.flush_buf(idx, batch_size, abort).is_err() {
+                ok = Err(());
+            }
+        }
+        ok
     }
 
     fn broadcast(&self, msg_of: impl Fn() -> Message, abort: &AtomicBool) -> Result<(), ()> {
@@ -146,13 +238,21 @@ impl Route {
     }
 }
 
-/// Routes an operator's emissions to all outgoing edges.
+/// Routes an operator's emissions to all outgoing edges, micro-batching
+/// tuples per destination and coalescing watermarks between flushes.
 struct ChannelCollector {
     routes: Vec<Route>,
-    self_instance: usize,
+    batch_size: usize,
     abort: Arc<AtomicBool>,
     out_count: u64,
     failed: bool,
+    /// Highest watermark accepted for broadcast but not yet sent. Deferring
+    /// a watermark is always safe — it is a *lower bound* promise, and
+    /// delaying it only delays downstream firing — whereas sending it ahead
+    /// of buffered tuples would not be. [`ChannelCollector::flush`] sends
+    /// every pending batch first, then this coalesced watermark, so the
+    /// tuples a watermark covers always precede it on every channel.
+    pending_wm: Option<Timestamp>,
     /// The watermark contract floor: the highest watermark this task has
     /// broadcast downstream. Every later emission must carry `ts ≥ floor`.
     #[cfg(feature = "invariant-checks")]
@@ -165,6 +265,8 @@ struct ChannelCollector {
 }
 
 impl ChannelCollector {
+    /// Record `wm` for broadcast at the next [`flush`](Self::flush). Repeated
+    /// calls between flushes coalesce into one watermark message per channel.
     fn broadcast_watermark(&mut self, wm: Timestamp) {
         #[cfg(feature = "invariant-checks")]
         {
@@ -175,19 +277,47 @@ impl ChannelCollector {
             );
             self.wm_floor = wm;
         }
-        for r in &self.routes {
-            if r.broadcast(|| Message::Watermark(wm), &self.abort).is_err() {
-                self.failed = true;
+        self.pending_wm = Some(self.pending_wm.map_or(wm, |p| p.max(wm)));
+    }
+
+    /// Send every pending batch, then the coalesced pending watermark.
+    fn flush(&mut self) {
+        let Self {
+            routes,
+            batch_size,
+            abort,
+            failed,
+            pending_wm,
+            ..
+        } = self;
+        let abort: &AtomicBool = abort;
+        for r in routes.iter_mut() {
+            if r.flush_all(*batch_size, abort).is_err() {
+                *failed = true;
+            }
+        }
+        if let Some(wm) = pending_wm.take() {
+            for r in routes.iter() {
+                if r.broadcast(|| Message::Watermark(wm), abort).is_err() {
+                    *failed = true;
+                }
             }
         }
     }
 
+    /// Flush, then tell every downstream channel the stream is over.
     fn broadcast_end(&mut self) {
+        self.flush();
         for r in &self.routes {
             if r.broadcast(|| Message::End, &self.abort).is_err() {
                 self.failed = true;
             }
         }
+    }
+
+    /// Channel messages carrying tuples sent so far (a batch counts once).
+    fn messages_sent(&self) -> u64 {
+        self.routes.iter().map(|r| r.batches).sum()
     }
 }
 
@@ -204,21 +334,30 @@ impl Collector for ChannelCollector {
             self.wm_floor
         );
         self.out_count += 1;
-        let n = self.routes.len();
+        // Borrow-split so the per-tuple path touches no `Arc` refcount.
+        let Self {
+            routes,
+            batch_size,
+            abort,
+            failed,
+            ..
+        } = self;
+        let abort: &AtomicBool = abort;
+        let n = routes.len();
         if n == 0 {
             return;
         }
-        // Clone for all but the last route.
-        for i in 0..n - 1 {
-            let t = tuple.clone();
-            let (inst, abort) = (self.self_instance, self.abort.clone());
-            if self.routes[i].send_tuple(inst, t, &abort).is_err() {
-                self.failed = true;
+        // Clone for all but the last route; move into the last.
+        for r in routes.iter_mut().take(n - 1) {
+            if r.buffer_tuple(tuple.clone(), *batch_size, abort).is_err() {
+                *failed = true;
             }
         }
-        let (inst, abort) = (self.self_instance, self.abort.clone());
-        if self.routes[n - 1].send_tuple(inst, tuple, &abort).is_err() {
-            self.failed = true;
+        if routes[n - 1]
+            .buffer_tuple(tuple, *batch_size, abort)
+            .is_err()
+        {
+            *failed = true;
         }
     }
 }
@@ -227,6 +366,7 @@ impl Collector for ChannelCollector {
 struct InstanceStats {
     records_in: AtomicU64,
     records_out: AtomicU64,
+    batches_out: AtomicU64,
     late_dropped: AtomicU64,
     state_bytes: AtomicUsize,
     peak_state: AtomicUsize,
@@ -237,6 +377,7 @@ impl InstanceStats {
         Arc::new(InstanceStats {
             records_in: AtomicU64::new(0),
             records_out: AtomicU64::new(0),
+            batches_out: AtomicU64::new(0),
             late_dropped: AtomicU64::new(0),
             state_bytes: AtomicUsize::new(0),
             peak_state: AtomicUsize::new(0),
@@ -337,6 +478,15 @@ impl Executor {
     /// every defect before any thread is spawned.
     pub fn run(&self, graph: GraphBuilder) -> Result<RunReport, PipelineError> {
         crate::validate::validate(&graph).map_err(PipelineError::Validation)?;
+        if self.cfg.batch_size == 0 {
+            return Err(PipelineError::Validation(vec![
+                crate::validate::Diagnostic::error(
+                    crate::validate::Code::InvalidBatchSize,
+                    None,
+                    "ExecutorConfig::batch_size must be ≥ 1 (a zero-sized batch would never flush)",
+                ),
+            ]));
+        }
         let graph = if self.cfg.operator_chaining {
             chain::fuse_chains(graph)
         } else {
@@ -411,20 +561,23 @@ impl Executor {
                 // Build this instance's routes.
                 let routes: Vec<Route> = route_templates[nid]
                     .iter()
-                    .map(|(dst, port, exchange)| Route {
-                        exchange: *exchange,
-                        port: *port as u16,
-                        chan: instance as u16,
-                        senders: inbox_tx[dst.0].clone(),
-                        rr: instance,
+                    .map(|(dst, port, exchange)| {
+                        Route::new(
+                            *exchange,
+                            *port as u16,
+                            instance as u16,
+                            instance,
+                            inbox_tx[dst.0].clone(),
+                        )
                     })
                     .collect();
                 let collector = ChannelCollector {
                     routes,
-                    self_instance: instance,
+                    batch_size: self.cfg.batch_size,
                     abort: abort.clone(),
                     out_count: 0,
                     failed: false,
+                    pending_wm: None,
                     #[cfg(feature = "invariant-checks")]
                     wm_floor: Timestamp::MIN,
                     #[cfg(feature = "invariant-checks")]
@@ -447,6 +600,7 @@ impl Executor {
                         };
                         let counter = source_events.clone();
                         let first_error = first_error.clone();
+                        let idle_flush = self.cfg.idle_flush;
                         std::thread::Builder::new()
                             .name(format!("{name}#{instance}"))
                             .spawn(move || {
@@ -461,6 +615,7 @@ impl Executor {
                                     abort,
                                     first_error,
                                     epoch,
+                                    idle_flush,
                                 )
                             })
                             .expect("spawn source")
@@ -470,6 +625,7 @@ impl Executor {
                         let rx = inbox_rx[nid][instance].take().expect("rx unused");
                         let layout = input_layout[nid].clone();
                         let drop_late = self.cfg.drop_late;
+                        let idle_flush = self.cfg.idle_flush;
                         std::thread::Builder::new()
                             .name(format!("{name}#{instance}"))
                             .spawn(move || {
@@ -482,6 +638,7 @@ impl Executor {
                                     abort,
                                     first_error,
                                     drop_late,
+                                    idle_flush,
                                 )
                             })
                             .expect("spawn operator")
@@ -544,6 +701,10 @@ impl Executor {
                     .iter()
                     .map(|s| s.records_out.load(Ordering::Relaxed))
                     .sum(),
+                batches_out: stats[nid]
+                    .iter()
+                    .map(|s| s.batches_out.load(Ordering::Relaxed))
+                    .sum(),
                 late_dropped: stats[nid]
                     .iter()
                     .map(|s| s.late_dropped.load(Ordering::Relaxed))
@@ -590,6 +751,7 @@ fn run_source(
     abort: Arc<AtomicBool>,
     first_error: Arc<Mutex<Option<PipelineError>>>,
     epoch: Instant,
+    idle_flush: StdDuration,
 ) {
     let mut last_ts = Timestamp::MIN;
     let mut forwarded_wm = Timestamp::MIN;
@@ -599,6 +761,10 @@ fn run_source(
         .rate
         .map(|r| StdDuration::from_secs_f64(1.0 / r.max(1e-9)));
     let start = Instant::now();
+    // Rate-limited sources check the idle-flush deadline per event so a
+    // partial batch never outlives `idle_flush`; saturating sources fill
+    // batches in microseconds and flush at every punctuation instead.
+    let mut last_flush = start;
     'ingest: for (i, ev) in cfg.events.iter().enumerate() {
         if parallelism > 1 && i % parallelism != instance {
             continue;
@@ -650,7 +816,14 @@ fn run_source(
                     }
                 }
             }
+            // Punctuation cadence bounds watermark deferral: the batches
+            // covered by this watermark leave before it does.
+            collector.flush();
+            last_flush = Instant::now();
             istats.set_state(chained.as_ref().map_or(0, |op| op.state_bytes()));
+        } else if pace.is_some() && last_flush.elapsed() >= idle_flush {
+            collector.flush();
+            last_flush = Instant::now();
         }
         if collector.failed {
             break;
@@ -680,6 +853,9 @@ fn run_source(
     collector.broadcast_end();
     counter.fetch_add(emitted, Ordering::Relaxed);
     istats.records_out.fetch_add(emitted, Ordering::Relaxed);
+    istats
+        .batches_out
+        .fetch_add(collector.messages_sent(), Ordering::Relaxed);
 }
 
 /// Per-(port, channel) watermark table used to merge watermarks.
@@ -758,6 +934,16 @@ fn record_op_error(
     first_error.lock().get_or_insert(PipelineError::Operator(e));
 }
 
+/// Outcome of handling one envelope in an instance harness.
+enum Step {
+    /// Keep draining the inbox.
+    Continue,
+    /// Every input channel ended and `on_finish` ran — exit cleanly.
+    Finished,
+    /// The operator errored (already recorded) — abort the run.
+    Error,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_operator(
     mut op: Box<dyn Operator>,
@@ -768,34 +954,49 @@ fn run_operator(
     abort: Arc<AtomicBool>,
     first_error: Arc<Mutex<Option<PipelineError>>>,
     drop_late: bool,
+    idle_flush: StdDuration,
 ) {
     let mut table = WatermarkTable::new(&layout);
     let mut current_wm = Timestamp::MIN;
     let mut forwarded = Timestamp::MIN;
     let mut records_in: u64 = 0;
     let mut late: u64 = 0;
-    loop {
-        if abort.load(Ordering::Relaxed) {
-            break;
-        }
-        let env = match rx.recv_timeout(StdDuration::from_millis(20)) {
-            Ok(env) => env,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
+    // Handle one envelope; tuple batches are processed back-to-back
+    // without touching the channel again.
+    let mut handle = |env: Envelope, collector: &mut ChannelCollector| -> Step {
+        let port = env.port as usize;
+        let wm_now = current_wm;
+        let one_tuple = |t: Tuple,
+                         op: &mut dyn Operator,
+                         collector: &mut ChannelCollector,
+                         records_in: &mut u64,
+                         late: &mut u64|
+         -> Step {
+            *records_in += 1;
+            if drop_late && t.ts < wm_now {
+                *late += 1;
+                return Step::Continue;
+            }
+            if let Err(e) = op.process(port, t, collector) {
+                record_op_error(op.name(), e, &abort, &first_error);
+                return Step::Error;
+            }
+            if *records_in % 64 == 0 {
+                istats.set_state(op.state_bytes());
+            }
+            Step::Continue
         };
         match env.msg {
             Message::Tuple(t) => {
-                records_in += 1;
-                if drop_late && t.ts < current_wm {
-                    late += 1;
-                    continue;
-                }
-                if let Err(e) = op.process(env.port as usize, t, &mut collector) {
-                    record_op_error(op.name(), e, &abort, &first_error);
-                    break;
-                }
-                if records_in % 64 == 0 {
-                    istats.set_state(op.state_bytes());
+                return one_tuple(t, &mut *op, collector, &mut records_in, &mut late);
+            }
+            Message::Batch(ts) => {
+                for t in ts {
+                    if let Step::Error =
+                        one_tuple(t, &mut *op, collector, &mut records_in, &mut late)
+                    {
+                        return Step::Error;
+                    }
                 }
             }
             Message::Watermark(ts) => {
@@ -803,7 +1004,7 @@ fn run_operator(
                 let m = table.min();
                 if m > current_wm {
                     current_wm = m;
-                    match op.on_watermark(m, &mut collector) {
+                    match op.on_watermark(m, collector) {
                         Ok(f) => {
                             let f = f.min(m);
                             if f > forwarded {
@@ -813,7 +1014,7 @@ fn run_operator(
                         }
                         Err(e) => {
                             record_op_error(op.name(), e, &abort, &first_error);
-                            break;
+                            return Step::Error;
                         }
                     }
                     istats.set_state(op.state_bytes());
@@ -825,7 +1026,7 @@ fn run_operator(
                 let m = table.min();
                 if !table.all_ended() && m > current_wm && m < Timestamp::MAX {
                     current_wm = m;
-                    match op.on_watermark(m, &mut collector) {
+                    match op.on_watermark(m, collector) {
                         Ok(f) => {
                             let f = f.min(m);
                             if f > forwarded {
@@ -835,19 +1036,53 @@ fn run_operator(
                         }
                         Err(e) => {
                             record_op_error(op.name(), e, &abort, &first_error);
-                            break;
+                            return Step::Error;
                         }
                     }
                 }
                 if table.all_ended() {
-                    if let Err(e) = op.on_finish(&mut collector) {
+                    if let Err(e) = op.on_finish(collector) {
                         record_op_error(op.name(), e, &abort, &first_error);
                     }
-                    break;
+                    return Step::Finished;
                 }
             }
         }
-        if collector.failed {
+        Step::Continue
+    };
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let env = match rx.recv_timeout(idle_flush) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle: release any partial batches + pending watermark so
+                // low-rate streams keep low latency.
+                collector.flush();
+                if collector.failed {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut step = handle(env, &mut collector);
+        // Drain whatever else is already queued (bounded, so a coalesced
+        // watermark is never deferred for long under sustained load), then
+        // flush once for the whole round.
+        let mut drained = 1usize;
+        while matches!(step, Step::Continue) && drained < DRAIN_LIMIT {
+            match rx.try_recv() {
+                Ok(env) => {
+                    drained += 1;
+                    step = handle(env, &mut collector);
+                }
+                Err(_) => break,
+            }
+        }
+        collector.flush();
+        if !matches!(step, Step::Continue) || collector.failed {
             break;
         }
     }
@@ -857,6 +1092,9 @@ fn run_operator(
     istats
         .records_out
         .fetch_add(collector.out_count, Ordering::Relaxed);
+    istats
+        .batches_out
+        .fetch_add(collector.messages_sent(), Ordering::Relaxed);
     istats.set_state(op.state_bytes());
 }
 
@@ -869,9 +1107,30 @@ fn run_sink(
     epoch: Instant,
 ) {
     let mut table = WatermarkTable::new(&layout);
-    #[cfg(feature = "invariant-checks")]
     let mut sink_wm = Timestamp::MIN;
     let mut n: u64 = 0;
+    let sink_one = |t: Tuple, n: &mut u64, sink_wm: Timestamp| {
+        *n += 1;
+        // Sink-side event-time monotonicity: a tuple behind the
+        // merged watermark means some upstream task emitted late
+        // data the watermark protocol had already sealed off.
+        #[cfg(feature = "invariant-checks")]
+        assert!(
+            t.ts >= sink_wm,
+            "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
+            t.ts
+        );
+        #[cfg(not(feature = "invariant-checks"))]
+        let _ = sink_wm;
+        shared.count.fetch_add(1, Ordering::Relaxed);
+        if t.wall > 0 && *n % shared.stride as u64 == 0 {
+            let now = epoch.elapsed().as_nanos() as u64;
+            shared.latencies_ns.lock().push(now.saturating_sub(t.wall));
+        }
+        if shared.mode == SinkMode::Collect {
+            shared.tuples.lock().push(t);
+        }
+    };
     loop {
         if abort.load(Ordering::Relaxed) {
             break;
@@ -882,27 +1141,12 @@ fn run_sink(
             Err(RecvTimeoutError::Disconnected) => break,
         };
         match env.msg {
-            Message::Tuple(t) => {
-                n += 1;
-                // Sink-side event-time monotonicity: a tuple behind the
-                // merged watermark means some upstream task emitted late
-                // data the watermark protocol had already sealed off.
-                #[cfg(feature = "invariant-checks")]
-                assert!(
-                    t.ts >= sink_wm,
-                    "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
-                    t.ts
-                );
-                shared.count.fetch_add(1, Ordering::Relaxed);
-                if t.wall > 0 && n % shared.stride as u64 == 0 {
-                    let now = epoch.elapsed().as_nanos() as u64;
-                    shared.latencies_ns.lock().push(now.saturating_sub(t.wall));
-                }
-                if shared.mode == SinkMode::Collect {
-                    shared.tuples.lock().push(t);
+            Message::Tuple(t) => sink_one(t, &mut n, sink_wm),
+            Message::Batch(ts) => {
+                for t in ts {
+                    sink_one(t, &mut n, sink_wm);
                 }
             }
-            #[cfg(feature = "invariant-checks")]
             Message::Watermark(ts) => {
                 table.update(env.port as usize, env.chan as usize, ts);
                 let m = table.min();
@@ -910,8 +1154,6 @@ fn run_sink(
                     sink_wm = m;
                 }
             }
-            #[cfg(not(feature = "invariant-checks"))]
-            Message::Watermark(_) => {}
             Message::End => {
                 table.end(env.port as usize, env.chan as usize);
                 if table.all_ended() {

@@ -6,9 +6,14 @@
 //! thread, so a malformed graph is refused with a full list of problems
 //! rather than aborting the process.
 //!
-//! Each defect class has a stable code (`G001`–`G014`); see [`Code`] for the
-//! catalogue. Codes `G001`–`G012` are errors (the graph cannot run);
-//! `G013`–`G014` are warnings about suspicious but runnable constructions.
+//! Each defect class has a stable code (`G001`–`G015`); see [`Code`] for the
+//! catalogue. Codes `G001`–`G012` and `G015` are errors (the graph cannot
+//! run); `G013`–`G014` are warnings about suspicious but runnable
+//! constructions. `G015` is special in that it is raised by
+//! [`crate::runtime::Executor::run`] against the runtime configuration (an
+//! invalid [`crate::runtime::ExecutorConfig::batch_size`]) rather than by the
+//! graph checks here — it shares the diagnostic vocabulary so callers see one
+//! uniform refusal path.
 
 use std::fmt;
 
@@ -47,6 +52,9 @@ pub enum Code {
     BuilderMisuse,
     /// G014 (warning): a negative watermark lag was clamped to zero.
     ClampedWatermarkLag,
+    /// G015: [`crate::runtime::ExecutorConfig::batch_size`] is 0 — a batch
+    /// that size would never flush, so the executor refuses to run.
+    InvalidBatchSize,
 }
 
 impl Code {
@@ -67,6 +75,7 @@ impl Code {
             Code::EmptyGraph => "G012",
             Code::BuilderMisuse => "G013",
             Code::ClampedWatermarkLag => "G014",
+            Code::InvalidBatchSize => "G015",
         }
     }
 }
@@ -605,6 +614,13 @@ mod tests {
         assert_eq!(d.severity, Severity::Warning);
         // Warnings alone never fail validation.
         assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn g015_invalid_batch_size_code_is_stable() {
+        assert_eq!(Code::InvalidBatchSize.as_str(), "G015");
+        let d = Diagnostic::error(Code::InvalidBatchSize, None, "batch_size must be ≥ 1");
+        assert!(d.to_string().starts_with("G015 error:"), "{d}");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Emits `BENCH_hotpath.json`: absolute throughput of the hot-path
+//! pipelines swept over `batch_size ∈ {1, 16, 64, 256}`.
+//!
+//! Usage: `hotpath [--quick] [--out PATH]` (normally via
+//! `scripts/bench_hotpath.sh`). `--quick` shrinks the event counts and
+//! repetitions for CI smoke runs; the headline `speedup_filter_map_64_vs_1`
+//! ratio is still meaningful, just noisier.
+
+use std::io::Write as _;
+
+use bench::hotpath::{run_chain, run_fanout, run_window_join, stream, BATCH_SIZES};
+use serde::Serialize;
+
+/// One measured point of the sweep.
+#[derive(Serialize)]
+struct Point {
+    batch_size: usize,
+    /// Source-side sustainable throughput, events/second (median of reps).
+    throughput_eps: f64,
+    /// Mean tuples per channel message at the source (batching realized).
+    avg_batch_at_source: f64,
+    /// Tuples that reached the sink (sanity: batch-size independent).
+    sink_count: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    bench: &'static str,
+    mode: &'static str,
+    events: Events,
+    repetitions: usize,
+    filter_map_chain: Vec<Point>,
+    hash_fanout_x4: Vec<Point>,
+    window_join: Vec<Point>,
+    /// Headline number: filter→map chain throughput at batch_size=64 over
+    /// batch_size=1. The acceptance floor for the micro-batching work is 2×.
+    speedup_filter_map_64_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct Events {
+    chain: usize,
+    fanout: usize,
+    join_per_side: usize,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("throughput is finite"));
+    xs[xs.len() / 2]
+}
+
+/// Median throughput over `reps` runs of `f`, plus stats from the last run.
+fn measure(reps: usize, f: impl Fn() -> (f64, f64, u64)) -> Point {
+    let mut tputs = Vec::with_capacity(reps);
+    let mut last = (0.0, 0);
+    for _ in 0..reps {
+        let (t, avg, n) = f();
+        tputs.push(t);
+        last = (avg, n);
+    }
+    Point {
+        batch_size: 0, // filled by caller
+        throughput_eps: median(tputs),
+        avg_batch_at_source: last.0,
+        sink_count: last.1,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_hotpath.json")
+        .to_string();
+
+    let (chain_n, fanout_n, join_n, reps) = if quick {
+        (100_000, 50_000, 10_000, 3)
+    } else {
+        (500_000, 250_000, 40_000, 5)
+    };
+
+    let src_avg = |report: &asp::runtime::RunReport| {
+        report
+            .nodes
+            .iter()
+            .find(|n| n.name == "src" || n.name == "a")
+            .map(|n| n.avg_batch())
+            .unwrap_or(0.0)
+    };
+
+    let sweep = |label: &str, f: &dyn Fn(usize) -> (f64, f64, u64)| -> Vec<Point> {
+        BATCH_SIZES
+            .iter()
+            .map(|&bs| {
+                let mut p = measure(reps, || f(bs));
+                p.batch_size = bs;
+                eprintln!(
+                    "{label:>16} batch_size={bs:<4} {:>12.0} events/s  (avg batch {:.1})",
+                    p.throughput_eps, p.avg_batch_at_source
+                );
+                p
+            })
+            .collect()
+    };
+
+    let chain = sweep("filter_map", &|bs| {
+        let (r, s) = run_chain(stream(chain_n, 4, 1), bs);
+        (r.throughput(), src_avg(&r), r.sink_count(s))
+    });
+    let fanout = sweep("hash_fanout_x4", &|bs| {
+        let (r, s) = run_fanout(stream(fanout_n, 16, 2), bs, 4);
+        (r.throughput(), src_avg(&r), r.sink_count(s))
+    });
+    let join = sweep("window_join", &|bs| {
+        let (r, s) = run_window_join(stream(join_n, 4, 3), stream(join_n, 4, 4), bs);
+        (r.throughput(), src_avg(&r), r.sink_count(s))
+    });
+
+    let at = |pts: &[Point], bs: usize| -> f64 {
+        pts.iter()
+            .find(|p| p.batch_size == bs)
+            .map(|p| p.throughput_eps)
+            .expect("swept batch size present")
+    };
+    let speedup = at(&chain, 64) / at(&chain, 1);
+    eprintln!("filter_map speedup (batch 64 vs 1): {speedup:.2}x");
+
+    let out = Output {
+        bench: "hotpath",
+        mode: if quick { "quick" } else { "full" },
+        events: Events {
+            chain: chain_n,
+            fanout: fanout_n,
+            join_per_side: join_n,
+        },
+        repetitions: reps,
+        filter_map_chain: chain,
+        hash_fanout_x4: fanout,
+        window_join: join,
+        speedup_filter_map_64_vs_1: speedup,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serializable");
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    f.write_all(b"\n").expect("write trailing newline");
+    eprintln!("wrote {out_path}");
+}

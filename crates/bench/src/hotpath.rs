@@ -1,0 +1,181 @@
+//! Hot-path micro-pipelines for the micro-batching baseline.
+//!
+//! Three pipelines isolate the runtime's per-message costs, each run
+//! end-to-end through the [`Executor`] with **operator chaining disabled**
+//! so every edge is a real channel and the cost being measured is channel
+//! synchronization, not operator logic:
+//!
+//! * **filter→map chain** — a saturating source through a cheap filter and
+//!   identity map into a counting sink. With per-tuple sends the channel
+//!   handoff dominates; micro-batching amortizes it `batch_size`-fold.
+//! * **hash fan-out** — one source hash-partitioned across 4 slots. Routes
+//!   with multiple senders cannot pre-resolve their destination, so this
+//!   exercises the per-destination output buffers.
+//! * **window-join fire** — two sources into a sliding window join, the
+//!   heaviest Section-5 operator, showing batching's effect when compute
+//!   shares the profile with communication.
+//!
+//! Shared by the `hotpath` criterion bench (relative numbers, regression
+//! tracking) and the `hotpath` binary (absolute numbers, emitted to
+//! `BENCH_hotpath.json` by `scripts/bench_hotpath.sh`).
+
+use std::sync::Arc;
+
+use asp::event::{Event, EventType};
+use asp::graph::{Exchange, GraphBuilder, SinkId};
+use asp::operator::{cross_join, FilterOp, MapOp, WindowJoinOp};
+use asp::runtime::{Executor, ExecutorConfig, RunReport};
+use asp::time::{Duration, Timestamp};
+use asp::tuple::{TsRule, Tuple};
+use asp::window::SlidingWindows;
+
+/// The batch sizes the baseline sweeps, smallest (per-tuple sends) first.
+pub const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
+
+/// Deterministic pseudo-stream: one event per sensor per minute, LCG
+/// values in `[0, 100)`, types alternating Q/V.
+pub fn stream(n: usize, sensors: u32, seed: u64) -> Vec<Event> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = seed | 1;
+    for i in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let minute = (i as u32 / sensors) as i64;
+        out.push(Event::new(
+            EventType((i % 2) as u16),
+            (i as u32) % sensors,
+            Timestamp::from_minutes(minute),
+            (x >> 33) as f64 / (1u64 << 31) as f64 * 100.0,
+        ));
+    }
+    out
+}
+
+/// Executor settings for the sweep: chaining off (every edge is a
+/// channel), everything else at defaults except the swept `batch_size`.
+fn cfg(batch_size: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        batch_size,
+        operator_chaining: false,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn run(g: GraphBuilder, batch_size: usize) -> RunReport {
+    Executor::new(cfg(batch_size))
+        .run(g)
+        .expect("hotpath pipeline runs to completion")
+}
+
+/// Saturating source → filter (passes ~half) → identity map → counting
+/// sink, one slot per stage.
+pub fn run_chain(events: Vec<Event>, batch_size: usize) -> (RunReport, SinkId) {
+    let mut g = GraphBuilder::new();
+    let src = g.source("src", events, 1);
+    let f = g.unary(
+        src,
+        Exchange::Forward,
+        1,
+        Box::new(|_| {
+            Box::new(FilterOp::new(
+                "σ",
+                Arc::new(|t: &Tuple| t.events[0].value >= 50.0),
+            ))
+        }),
+    );
+    let m = g.unary(
+        f,
+        Exchange::Forward,
+        1,
+        Box::new(|_| Box::new(MapOp::new("id", Arc::new(|t| t)))),
+    );
+    let sink = g.counting_sink(m, Exchange::Forward);
+    (run(g, batch_size), sink)
+}
+
+/// Source hash-partitioned across `fanout` identity-map slots.
+pub fn run_fanout(events: Vec<Event>, batch_size: usize, fanout: usize) -> (RunReport, SinkId) {
+    let mut g = GraphBuilder::new();
+    let src = g.source("src", events, 1);
+    let m = g.unary(
+        src,
+        Exchange::Hash,
+        fanout,
+        Box::new(|_| Box::new(MapOp::new("id", Arc::new(|t| t)))),
+    );
+    let sink = g.counting_sink(m, Exchange::Hash);
+    (run(g, batch_size), sink)
+}
+
+/// Two sources into a keyed sliding window join (5 min window, 1 min
+/// slide), parallelism 2.
+pub fn run_window_join(
+    left: Vec<Event>,
+    right: Vec<Event>,
+    batch_size: usize,
+) -> (RunReport, SinkId) {
+    let mut g = GraphBuilder::new();
+    let a = g.source("a", left, 1);
+    let b = g.source("b", right, 1);
+    let j = g.binary(
+        a,
+        b,
+        Exchange::Hash,
+        2,
+        Box::new(|_| {
+            Box::new(WindowJoinOp::new(
+                "⋈",
+                SlidingWindows::new(Duration::from_minutes(5), Duration::from_minutes(1)),
+                cross_join(),
+                TsRule::Max,
+            ))
+        }),
+    );
+    let sink = g.counting_sink(j, Exchange::Hash);
+    (run(g, batch_size), sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_counts_are_batch_size_independent() {
+        let (r1, s1) = run_chain(stream(4_000, 4, 1), 1);
+        let (r64, s64) = run_chain(stream(4_000, 4, 1), 64);
+        assert_eq!(r1.sink_count(s1), r64.sink_count(s64));
+        assert_eq!(r1.source_events, 4_000);
+    }
+
+    #[test]
+    fn fanout_and_join_produce_output() {
+        let (r, s) = run_fanout(stream(2_000, 8, 2), 16, 4);
+        assert_eq!(r.sink_count(s), 2_000);
+        let (rj, sj) = run_window_join(stream(1_000, 4, 3), stream(1_000, 4, 4), 64);
+        assert!(rj.sink_count(sj) > 0, "join fired");
+    }
+
+    #[test]
+    fn larger_batches_mean_fewer_messages() {
+        let (r1, _) = run_chain(stream(8_000, 4, 5), 1);
+        let (r64, _) = run_chain(stream(8_000, 4, 5), 64);
+        let msgs = |r: &RunReport| -> u64 { r.nodes.iter().map(|n| n.batches_out).sum() };
+        assert!(
+            msgs(&r64) * 8 < msgs(&r1),
+            "batch_size=64 should send far fewer channel messages: {} vs {}",
+            msgs(&r64),
+            msgs(&r1)
+        );
+        let src = r64
+            .nodes
+            .iter()
+            .find(|n| n.name == "src")
+            .expect("src node");
+        assert!(
+            src.avg_batch() > 8.0,
+            "mean batch too small: {}",
+            src.avg_batch()
+        );
+    }
+}

@@ -45,6 +45,8 @@ fn exec_config(cfg: &MeasureConfig) -> ExecutorConfig {
         latency_stride: 64,
         operator_chaining: true,
         drop_late: true,
+        // Default micro-batch knobs (64-tuple batches, 5 ms idle flush).
+        ..ExecutorConfig::default()
     }
 }
 

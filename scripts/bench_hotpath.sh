@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_hotpath.json: absolute throughput of the runtime hot
+# path swept over batch_size ∈ {1, 16, 64, 256}.
+#
+# Usage: scripts/bench_hotpath.sh [--quick] [--out PATH]
+#   --quick    smaller event counts / fewer repetitions (CI smoke mode)
+#   --out PATH output file (default: BENCH_hotpath.json at the repo root)
+#
+# The headline number is speedup_filter_map_64_vs_1; the micro-batching
+# work's acceptance floor is 2x. Relative, statistically sampled numbers
+# live in the criterion suite: cargo bench -p bench --bench hotpath
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -p bench --bin hotpath
+exec ./target/release/hotpath "$@"

@@ -14,6 +14,15 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
 /// Error returned by [`Sender::send_timeout`]; carries the unsent message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendTimeoutError<T> {
@@ -171,6 +180,21 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Pop a queued message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
     /// Receive, blocking until a message arrives or all senders are gone.
     pub fn recv(&self) -> Result<T, RecvError> {
         loop {
@@ -237,6 +261,16 @@ mod tests {
             tx.send_timeout(7, Duration::from_millis(5)),
             Err(SendTimeoutError::Disconnected(7))
         );
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send_timeout(9, Duration::from_millis(5)).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serialize `value` to a pretty-printed JSON string (2-space indent,
+/// like upstream `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
 /// Serialize `value` as JSON into an [`io::Write`] (no trailing newline).
 pub fn to_writer<W: io::Write, T: Serialize>(mut writer: W, value: &T) -> io::Result<()> {
     let mut out = String::new();
@@ -95,6 +103,46 @@ fn write_value(out: &mut String, v: &Value) {
             }
             out.push('}');
         }
+    }
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, depth: usize) {
+    fn indent(out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_value_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, val, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        // Empty containers and scalars render as in compact mode.
+        _ => write_value(out, v),
     }
 }
 
@@ -329,6 +377,30 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pretty_printing_round_trips_and_indents() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::UInt(2), Value::UInt(3)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        let mut pretty = String::new();
+        write_value_pretty(&mut pretty, &v, 0);
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ],\n  \"empty\": []\n}"
+        );
+        let mut p = Parser {
+            bytes: pretty.as_bytes(),
+            pos: 0,
+        };
+        let back = p.parse_value().unwrap();
+        assert_eq!(back, v);
+    }
 
     #[test]
     fn value_round_trips() {
