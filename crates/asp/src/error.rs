@@ -52,6 +52,11 @@ pub enum PipelineError {
     Operator(OpError),
     /// A worker thread panicked.
     WorkerPanic(String),
+    /// A runtime bookkeeping invariant failed during teardown (e.g. a sink
+    /// result was still shared after every worker joined). Indicates a
+    /// runtime bug, not a user error — but reported as an error rather
+    /// than a panic so embedding applications can recover.
+    Internal(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -70,6 +75,7 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Operator(e) => write!(f, "pipeline aborted: {e}"),
             PipelineError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            PipelineError::Internal(m) => write!(f, "internal runtime error: {m}"),
         }
     }
 }

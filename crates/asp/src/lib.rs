@@ -58,6 +58,7 @@
 pub mod error;
 pub mod event;
 pub mod graph;
+pub mod obs;
 pub mod operator;
 pub mod runtime;
 pub mod time;

@@ -23,18 +23,21 @@ mod chain;
 mod metrics;
 
 pub use crate::graph::SinkMode;
+pub use crate::obs::{EventLog, Level, LogEvent};
 pub use chain::{chain_factories, ChainedOperator};
 pub use metrics::{LatencyStats, NodeStats, ResourceSample};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use serde::{Serialize, Value};
 
 use crate::error::{OpError, PipelineError};
 use crate::graph::{Exchange, GraphBuilder, NodeId, NodeKind, SinkId, SourceConfig};
+use crate::obs::LatencyHistogram;
 use crate::operator::{Collector, Operator};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
@@ -70,6 +73,20 @@ pub struct ExecutorConfig {
     /// cadence, and rate-limited sources flush at least this often, so
     /// low-rate streams keep low latency regardless of `batch_size`.
     pub idle_flush: StdDuration,
+    /// Record the wall time of every `proc_latency_every`-th
+    /// `Operator::process` call into the node's lock-free latency
+    /// histogram ([`NodeStats::proc_latency`]). `0` disables processing-
+    /// latency sampling entirely (no clock reads on the tuple path).
+    pub proc_latency_every: usize,
+    /// If set, a background reporter thread emits an aggregate progress
+    /// event (records in/out, state bytes, inbox depth) into the run's
+    /// [`EventLog`] at this interval. `None` (the default) disables the
+    /// reporter.
+    pub progress_interval: Option<StdDuration>,
+    /// Ring capacity of the structured [`EventLog`] exported in
+    /// [`RunReport::events`]. When full, the oldest events are displaced;
+    /// `0` disables event retention.
+    pub event_log_capacity: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -82,6 +99,9 @@ impl Default for ExecutorConfig {
             drop_late: true,
             batch_size: 64,
             idle_flush: StdDuration::from_millis(5),
+            proc_latency_every: 32,
+            progress_interval: None,
+            event_log_capacity: 256,
         }
     }
 }
@@ -161,29 +181,51 @@ impl Route {
         }
     }
 
-    fn send(&self, idx: usize, msg: Message, abort: &AtomicBool) -> Result<(), ()> {
+    fn send(
+        &self,
+        idx: usize,
+        msg: Message,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
         let mut env = Envelope {
             port: self.port,
             chan: self.chan,
             msg,
         };
-        loop {
+        // Fast path: an uncontended send pays no clock read. Only a full
+        // inbox (genuine backpressure) falls through to the timed loop.
+        match self.senders[idx].send_timeout(env, StdDuration::ZERO) {
+            Ok(()) => return Ok(()),
+            Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return Err(()),
+            Err(crossbeam::channel::SendTimeoutError::Timeout(e)) => env = e,
+        }
+        let blocked_since = Instant::now();
+        let result = loop {
             match self.senders[idx].send_timeout(env, StdDuration::from_millis(20)) {
-                Ok(()) => return Ok(()),
+                Ok(()) => break Ok(()),
                 Err(crossbeam::channel::SendTimeoutError::Timeout(e)) => {
                     if abort.load(Ordering::Relaxed) {
-                        return Err(());
+                        break Err(());
                     }
                     env = e;
                 }
-                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return Err(()),
+                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => break Err(()),
             }
-        }
+        };
+        blocked_ns.fetch_add(blocked_since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
     }
 
     /// Append `t` to the destination's pending batch, flushing it when it
     /// reaches `batch_size`.
-    fn buffer_tuple(&mut self, t: Tuple, batch_size: usize, abort: &AtomicBool) -> Result<(), ()> {
+    fn buffer_tuple(
+        &mut self,
+        t: Tuple,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
         let idx = match self.fixed {
             Some(i) => i,
             None => match self.exchange {
@@ -202,14 +244,20 @@ impl Route {
         }
         buf.push(t);
         if buf.len() >= batch_size {
-            self.flush_buf(idx, batch_size, abort)
+            self.flush_buf(idx, batch_size, abort, blocked_ns)
         } else {
             Ok(())
         }
     }
 
     /// Send the destination's pending batch, if any, as one message.
-    fn flush_buf(&mut self, idx: usize, batch_size: usize, abort: &AtomicBool) -> Result<(), ()> {
+    fn flush_buf(
+        &mut self,
+        idx: usize,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
         let buf = &mut self.bufs[idx];
         let msg = match buf.len() {
             0 => return Ok(()),
@@ -217,22 +265,32 @@ impl Route {
             _ => Message::Batch(std::mem::replace(buf, Vec::with_capacity(batch_size))),
         };
         self.batches += 1;
-        self.send(idx, msg, abort)
+        self.send(idx, msg, abort, blocked_ns)
     }
 
-    fn flush_all(&mut self, batch_size: usize, abort: &AtomicBool) -> Result<(), ()> {
+    fn flush_all(
+        &mut self,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
         let mut ok = Ok(());
         for idx in 0..self.bufs.len() {
-            if self.flush_buf(idx, batch_size, abort).is_err() {
+            if self.flush_buf(idx, batch_size, abort, blocked_ns).is_err() {
                 ok = Err(());
             }
         }
         ok
     }
 
-    fn broadcast(&self, msg_of: impl Fn() -> Message, abort: &AtomicBool) -> Result<(), ()> {
+    fn broadcast(
+        &self,
+        msg_of: impl Fn() -> Message,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
         for idx in 0..self.senders.len() {
-            self.send(idx, msg_of(), abort)?;
+            self.send(idx, msg_of(), abort, blocked_ns)?;
         }
         Ok(())
     }
@@ -244,6 +302,10 @@ struct ChannelCollector {
     routes: Vec<Route>,
     batch_size: usize,
     abort: Arc<AtomicBool>,
+    /// The owning instance's shared counters; the collector charges
+    /// blocked-on-send time (backpressure) to
+    /// [`InstanceStats::backpressure_ns`].
+    istats: Arc<InstanceStats>,
     out_count: u64,
     failed: bool,
     /// Highest watermark accepted for broadcast but not yet sent. Deferring
@@ -286,19 +348,23 @@ impl ChannelCollector {
             routes,
             batch_size,
             abort,
+            istats,
             failed,
             pending_wm,
             ..
         } = self;
         let abort: &AtomicBool = abort;
+        let blocked_ns = &istats.backpressure_ns;
         for r in routes.iter_mut() {
-            if r.flush_all(*batch_size, abort).is_err() {
+            if r.flush_all(*batch_size, abort, blocked_ns).is_err() {
                 *failed = true;
             }
         }
         if let Some(wm) = pending_wm.take() {
             for r in routes.iter() {
-                if r.broadcast(|| Message::Watermark(wm), abort).is_err() {
+                if r.broadcast(|| Message::Watermark(wm), abort, blocked_ns)
+                    .is_err()
+                {
                     *failed = true;
                 }
             }
@@ -309,7 +375,9 @@ impl ChannelCollector {
     fn broadcast_end(&mut self) {
         self.flush();
         for r in &self.routes {
-            if r.broadcast(|| Message::End, &self.abort).is_err() {
+            if r.broadcast(|| Message::End, &self.abort, &self.istats.backpressure_ns)
+                .is_err()
+            {
                 self.failed = true;
             }
         }
@@ -339,22 +407,26 @@ impl Collector for ChannelCollector {
             routes,
             batch_size,
             abort,
+            istats,
             failed,
             ..
         } = self;
         let abort: &AtomicBool = abort;
+        let blocked_ns = &istats.backpressure_ns;
         let n = routes.len();
         if n == 0 {
             return;
         }
         // Clone for all but the last route; move into the last.
         for r in routes.iter_mut().take(n - 1) {
-            if r.buffer_tuple(tuple.clone(), *batch_size, abort).is_err() {
+            if r.buffer_tuple(tuple.clone(), *batch_size, abort, blocked_ns)
+                .is_err()
+            {
                 *failed = true;
             }
         }
         if routes[n - 1]
-            .buffer_tuple(tuple, *batch_size, abort)
+            .buffer_tuple(tuple, *batch_size, abort, blocked_ns)
             .is_err()
         {
             *failed = true;
@@ -362,7 +434,11 @@ impl Collector for ChannelCollector {
     }
 }
 
-/// Per-instance shared counters the report aggregates.
+/// Per-instance shared counters and gauges the report (and the sampler /
+/// progress threads) aggregate. All fields use relaxed atomics: counters
+/// are independent and the final report is assembled only after the worker
+/// threads are joined, which is the synchronization edge; mid-run samples
+/// tolerate approximation.
 struct InstanceStats {
     records_in: AtomicU64,
     records_out: AtomicU64,
@@ -370,6 +446,16 @@ struct InstanceStats {
     late_dropped: AtomicU64,
     state_bytes: AtomicUsize,
     peak_state: AtomicUsize,
+    /// Nanoseconds spent blocked sending into full downstream inboxes.
+    backpressure_ns: AtomicU64,
+    /// Last sampled inbox depth (queued channel messages), and its peak.
+    queue_depth: AtomicUsize,
+    queue_depth_peak: AtomicUsize,
+    /// Gauge: newest event ts seen minus merged watermark, ms, and peak.
+    watermark_lag_ms: AtomicI64,
+    watermark_lag_peak_ms: AtomicI64,
+    /// Strided `Operator::process` wall-time observations.
+    proc_hist: LatencyHistogram,
 }
 
 impl InstanceStats {
@@ -381,12 +467,35 @@ impl InstanceStats {
             late_dropped: AtomicU64::new(0),
             state_bytes: AtomicUsize::new(0),
             peak_state: AtomicUsize::new(0),
+            backpressure_ns: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_depth_peak: AtomicUsize::new(0),
+            watermark_lag_ms: AtomicI64::new(0),
+            watermark_lag_peak_ms: AtomicI64::new(0),
+            proc_hist: LatencyHistogram::default(),
         })
     }
 
     fn set_state(&self, bytes: usize) {
         self.state_bytes.store(bytes, Ordering::Relaxed);
         self.peak_state.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Record the inbox depth gauge (and its peak).
+    fn note_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record how far the merged event-time clock trails the newest event
+    /// timestamp this instance has seen. Skipped until both ends of the
+    /// interval are meaningful (at least one tuple, a finite watermark).
+    fn note_watermark_lag(&self, max_ts_seen: Timestamp, wm: Timestamp) {
+        if max_ts_seen > Timestamp::MIN && wm < Timestamp::MAX {
+            let lag = max_ts_seen.millis().saturating_sub(wm.millis()).max(0);
+            self.watermark_lag_ms.store(lag, Ordering::Relaxed);
+            self.watermark_lag_peak_ms.fetch_max(lag, Ordering::Relaxed);
+        }
     }
 }
 
@@ -409,6 +518,10 @@ pub struct RunReport {
     pub nodes: Vec<NodeStats>,
     /// Resource samples (if sampling was enabled).
     pub samples: Vec<ResourceSample>,
+    /// Structured events retained by the run's [`EventLog`], oldest first.
+    pub events: Vec<LogEvent>,
+    /// Events displaced from the ring (emitted but not retained).
+    pub events_displaced: u64,
     sinks: Vec<SinkResult>,
 }
 
@@ -458,6 +571,75 @@ impl RunReport {
         let from_nodes: usize = self.nodes.iter().map(|n| n.peak_state_bytes).sum();
         from_samples.max(from_nodes)
     }
+
+    /// Export the full telemetry of the run as a pretty-printed JSON
+    /// document: per-node counters and latency histograms, watermark-lag /
+    /// queue-depth / backpressure gauges, the resource-sample series, sink
+    /// latency summaries, and the structured event log.
+    ///
+    /// Per-node derived quantities (`avg_batch`, histogram quantile bucket
+    /// bounds) are materialized alongside the raw fields so consumers need
+    /// no histogram arithmetic.
+    pub fn to_json(&self) -> String {
+        let nodes: Vec<Value> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut v = n.to_value();
+                if let Value::Object(pairs) = &mut v {
+                    pairs.push(("avg_batch".into(), Value::Float(n.avg_batch())));
+                    pairs.push((
+                        "proc_latency_mean_us".into(),
+                        Value::Float(n.proc_latency.mean_us()),
+                    ));
+                    for (name, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                        pairs.push((
+                            format!("proc_latency_{name}_le_ns"),
+                            Value::UInt(n.proc_latency.quantile_le_ns(q)),
+                        ));
+                    }
+                }
+                v
+            })
+            .collect();
+        let sinks: Vec<Value> = self
+            .sinks
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("count".into(), Value::UInt(s.count)),
+                    (
+                        "latency".into(),
+                        LatencyStats::from_ns(&s.latencies_ns).to_value(),
+                    ),
+                ])
+            })
+            .collect();
+        let root = Value::Object(vec![
+            ("schema_version".into(), Value::UInt(1)),
+            (
+                "duration_ms".into(),
+                Value::Float(self.duration.as_secs_f64() * 1e3),
+            ),
+            ("source_events".into(), Value::UInt(self.source_events)),
+            ("throughput_eps".into(), Value::Float(self.throughput())),
+            (
+                "peak_state_bytes".into(),
+                Value::UInt(self.peak_state_bytes() as u64),
+            ),
+            ("nodes".into(), Value::Array(nodes)),
+            ("samples".into(), self.samples.to_value()),
+            ("sinks".into(), Value::Array(sinks)),
+            ("events".into(), self.events.to_value()),
+            (
+                "events_displaced".into(),
+                Value::UInt(self.events_displaced),
+            ),
+        ]);
+        // The vendored writer is infallible for trees built from finite
+        // numbers; fall back to an empty document rather than unwrap.
+        serde_json::to_string_pretty(&root).unwrap_or_else(|_| String::from("{}"))
+    }
 }
 
 /// Executes a [`GraphBuilder`] graph to completion.
@@ -493,9 +675,19 @@ impl Executor {
             graph
         };
         let n_nodes = graph.nodes.len();
+        let n_instances: usize = graph.nodes.iter().map(|n| n.parallelism).sum();
         let abort = Arc::new(AtomicBool::new(false));
         let first_error: Arc<Mutex<Option<PipelineError>>> = Arc::new(Mutex::new(None));
         let epoch = Instant::now();
+        let log = Arc::new(EventLog::new(self.cfg.event_log_capacity));
+        log.emit(
+            Level::Info,
+            "executor",
+            format!(
+                "run started: {n_nodes} nodes, {n_instances} instances, batch_size={}, chaining={}",
+                self.cfg.batch_size, self.cfg.operator_chaining
+            ),
+        );
 
         // Inboxes: one bounded channel per instance.
         let mut inbox_tx: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(n_nodes);
@@ -553,6 +745,17 @@ impl Executor {
             std::thread::spawn(move || metrics::sample_loop(interval, flat_stats, done))
         });
 
+        // Progress reporter thread (emits into the event log).
+        let progress_handle = self.cfg.progress_interval.map(|interval| {
+            let flat_stats: Vec<Arc<InstanceStats>> = stats.iter().flatten().cloned().collect();
+            let done = done.clone();
+            let log = log.clone();
+            let sources = source_events.clone();
+            std::thread::spawn(move || {
+                metrics::progress_loop(interval, flat_stats, sources, log, done)
+            })
+        });
+
         let mut handles = Vec::new();
         let mut graph = graph;
         for (nid, node) in graph.nodes.iter_mut().enumerate() {
@@ -571,10 +774,12 @@ impl Executor {
                         )
                     })
                     .collect();
+                let istats = stats[nid][instance].clone();
                 let collector = ChannelCollector {
                     routes,
                     batch_size: self.cfg.batch_size,
                     abort: abort.clone(),
+                    istats: istats.clone(),
                     out_count: 0,
                     failed: false,
                     pending_wm: None,
@@ -583,9 +788,10 @@ impl Executor {
                     #[cfg(feature = "invariant-checks")]
                     enforce_emit_floor: !matches!(node.kind, NodeKind::Source { .. }),
                 };
-                let istats = stats[nid][instance].clone();
                 let abort = abort.clone();
                 let first_error = first_error.clone();
+                let log = log.clone();
+                let proc_every = self.cfg.proc_latency_every as u64;
                 let name = node.name.clone();
 
                 let handle = match &mut node.kind {
@@ -616,6 +822,8 @@ impl Executor {
                                     first_error,
                                     epoch,
                                     idle_flush,
+                                    proc_every,
+                                    log,
                                 )
                             })
                             .expect("spawn source")
@@ -639,6 +847,8 @@ impl Executor {
                                     first_error,
                                     drop_late,
                                     idle_flush,
+                                    proc_every,
+                                    log,
                                 )
                             })
                             .expect("spawn operator")
@@ -676,14 +886,28 @@ impl Executor {
         let samples = sampler_handle
             .map(|h| h.join().unwrap_or_default())
             .unwrap_or_default();
+        if let Some(h) = progress_handle {
+            let _ = h.join();
+        }
         let duration = epoch.elapsed();
 
         if let Some(err) = first_error.lock().take() {
+            log.emit(Level::Error, "executor", format!("run aborted: {err}"));
             return Err(err);
         }
         if let Some(msg) = panic_msg {
+            log.emit(Level::Error, "executor", format!("worker panicked: {msg}"));
             return Err(PipelineError::WorkerPanic(msg));
         }
+        log.emit(
+            Level::Info,
+            "executor",
+            format!(
+                "run finished: {} source events in {:.1} ms",
+                source_events.load(Ordering::Relaxed),
+                duration.as_secs_f64() * 1e3
+            ),
+        );
 
         // Aggregate per-node stats.
         let nodes = graph
@@ -713,27 +937,66 @@ impl Executor {
                     .iter()
                     .map(|s| s.peak_state.load(Ordering::Relaxed))
                     .sum(),
+                proc_latency: stats[nid].iter().fold(
+                    crate::obs::HistogramSummary::default(),
+                    |mut acc, s| {
+                        acc.merge(&s.proc_hist.summary());
+                        acc
+                    },
+                ),
+                watermark_lag_ms: stats[nid]
+                    .iter()
+                    .map(|s| s.watermark_lag_ms.load(Ordering::Relaxed))
+                    .max()
+                    .unwrap_or(0),
+                watermark_lag_peak_ms: stats[nid]
+                    .iter()
+                    .map(|s| s.watermark_lag_peak_ms.load(Ordering::Relaxed))
+                    .max()
+                    .unwrap_or(0),
+                queue_depth: stats[nid]
+                    .iter()
+                    .map(|s| s.queue_depth.load(Ordering::Relaxed))
+                    .sum(),
+                queue_depth_peak: stats[nid]
+                    .iter()
+                    .map(|s| s.queue_depth_peak.load(Ordering::Relaxed))
+                    .max()
+                    .unwrap_or(0),
+                backpressure_ns: stats[nid]
+                    .iter()
+                    .map(|s| s.backpressure_ns.load(Ordering::Relaxed))
+                    .sum(),
             })
             .collect();
 
-        let sinks = sink_shared
-            .into_iter()
-            .map(|s| {
-                let count = s.count.load(Ordering::Relaxed);
-                let s = Arc::try_unwrap(s).unwrap_or_else(|_| panic!("sink still shared"));
-                SinkResult {
+        // All workers are joined, so each sink's Arc should be uniquely
+        // held here. If one is not, the run's bookkeeping is broken —
+        // report it as an error instead of panicking out of the embedder.
+        let mut sinks = Vec::with_capacity(sink_shared.len());
+        for (i, s) in sink_shared.into_iter().enumerate() {
+            let count = s.count.load(Ordering::Relaxed);
+            match Arc::try_unwrap(s) {
+                Ok(s) => sinks.push(SinkResult {
                     tuples: s.tuples.into_inner(),
                     count,
                     latencies_ns: s.latencies_ns.into_inner(),
+                }),
+                Err(_) => {
+                    let msg = format!("sink {i} result still shared after all workers joined");
+                    log.emit(Level::Error, "executor", &msg);
+                    return Err(PipelineError::Internal(msg));
                 }
-            })
-            .collect();
+            }
+        }
 
         Ok(RunReport {
             duration,
             source_events: source_events.load(Ordering::Relaxed),
             nodes,
             samples,
+            events: log.snapshot(),
+            events_displaced: log.displaced(),
             sinks,
         })
     }
@@ -752,6 +1015,8 @@ fn run_source(
     first_error: Arc<Mutex<Option<PipelineError>>>,
     epoch: Instant,
     idle_flush: StdDuration,
+    proc_every: u64,
+    log: Arc<EventLog>,
 ) {
     let mut last_ts = Timestamp::MIN;
     let mut forwarded_wm = Timestamp::MIN;
@@ -783,11 +1048,16 @@ fn run_source(
         let t = Tuple::from_event_wall(*ev, wall);
         last_ts = last_ts.max(t.ts);
         match &mut chained {
-            // Chained operators run inline on the source task.
+            // Chained operators run inline on the source task; their
+            // processing latency is attributed to the source node.
             Some(op) => {
+                let t0 = (proc_every != 0 && emitted % proc_every == 0).then(Instant::now);
                 if let Err(e) = op.process(0, t, &mut collector) {
-                    record_op_error(op.name(), e, &abort, &first_error);
+                    record_op_error(op.name(), e, &abort, &first_error, &log);
                     break 'ingest;
+                }
+                if let Some(t0) = t0 {
+                    istats.proc_hist.record(t0.elapsed().as_nanos() as u64);
                 }
             }
             None => collector.emit(t),
@@ -805,7 +1075,7 @@ fn run_source(
                         }
                     }
                     Err(e) => {
-                        record_op_error(op.name(), e, &abort, &first_error);
+                        record_op_error(op.name(), e, &abort, &first_error, &log);
                         break 'ingest;
                     }
                 },
@@ -840,7 +1110,7 @@ fn run_source(
                 }
             }
             if let Err(e) = op.on_finish(&mut collector) {
-                record_op_error(op.name(), e, &abort, &first_error);
+                record_op_error(op.name(), e, &abort, &first_error, &log);
             }
             istats.set_state(op.state_bytes());
         }
@@ -856,6 +1126,11 @@ fn run_source(
     istats
         .batches_out
         .fetch_add(collector.messages_sent(), Ordering::Relaxed);
+    log.emit(
+        Level::Debug,
+        std::thread::current().name().unwrap_or("source"),
+        format!("end of stream: {emitted} events ingested"),
+    );
 }
 
 /// Per-(port, channel) watermark table used to merge watermarks.
@@ -928,8 +1203,9 @@ fn record_op_error(
     e: OpError,
     abort: &AtomicBool,
     first_error: &Mutex<Option<PipelineError>>,
+    log: &EventLog,
 ) {
-    let _ = name;
+    log.emit(Level::Error, name, format!("operator error: {e}"));
     abort.store(true, Ordering::Relaxed);
     first_error.lock().get_or_insert(PipelineError::Operator(e));
 }
@@ -955,12 +1231,17 @@ fn run_operator(
     first_error: Arc<Mutex<Option<PipelineError>>>,
     drop_late: bool,
     idle_flush: StdDuration,
+    proc_every: u64,
+    log: Arc<EventLog>,
 ) {
     let mut table = WatermarkTable::new(&layout);
     let mut current_wm = Timestamp::MIN;
     let mut forwarded = Timestamp::MIN;
     let mut records_in: u64 = 0;
     let mut late: u64 = 0;
+    // Newest event timestamp this instance has seen; the distance to the
+    // merged watermark is the watermark-lag gauge.
+    let mut max_ts = Timestamp::MIN;
     // Handle one envelope; tuple batches are processed back-to-back
     // without touching the channel again.
     let mut handle = |env: Envelope, collector: &mut ChannelCollector| -> Step {
@@ -970,16 +1251,26 @@ fn run_operator(
                          op: &mut dyn Operator,
                          collector: &mut ChannelCollector,
                          records_in: &mut u64,
-                         late: &mut u64|
+                         late: &mut u64,
+                         max_ts: &mut Timestamp|
          -> Step {
             *records_in += 1;
+            if t.ts > *max_ts {
+                *max_ts = t.ts;
+            }
             if drop_late && t.ts < wm_now {
                 *late += 1;
                 return Step::Continue;
             }
+            // Strided processing-latency sampling: every `proc_every`-th
+            // tuple pays two clock reads; the rest pay nothing.
+            let t0 = (proc_every != 0 && *records_in % proc_every == 0).then(Instant::now);
             if let Err(e) = op.process(port, t, collector) {
-                record_op_error(op.name(), e, &abort, &first_error);
+                record_op_error(op.name(), e, &abort, &first_error, &log);
                 return Step::Error;
+            }
+            if let Some(t0) = t0 {
+                istats.proc_hist.record(t0.elapsed().as_nanos() as u64);
             }
             if *records_in % 64 == 0 {
                 istats.set_state(op.state_bytes());
@@ -988,13 +1279,25 @@ fn run_operator(
         };
         match env.msg {
             Message::Tuple(t) => {
-                return one_tuple(t, &mut *op, collector, &mut records_in, &mut late);
+                return one_tuple(
+                    t,
+                    &mut *op,
+                    collector,
+                    &mut records_in,
+                    &mut late,
+                    &mut max_ts,
+                );
             }
             Message::Batch(ts) => {
                 for t in ts {
-                    if let Step::Error =
-                        one_tuple(t, &mut *op, collector, &mut records_in, &mut late)
-                    {
+                    if let Step::Error = one_tuple(
+                        t,
+                        &mut *op,
+                        collector,
+                        &mut records_in,
+                        &mut late,
+                        &mut max_ts,
+                    ) {
                         return Step::Error;
                     }
                 }
@@ -1004,6 +1307,7 @@ fn run_operator(
                 let m = table.min();
                 if m > current_wm {
                     current_wm = m;
+                    istats.note_watermark_lag(max_ts, m);
                     match op.on_watermark(m, collector) {
                         Ok(f) => {
                             let f = f.min(m);
@@ -1013,7 +1317,7 @@ fn run_operator(
                             }
                         }
                         Err(e) => {
-                            record_op_error(op.name(), e, &abort, &first_error);
+                            record_op_error(op.name(), e, &abort, &first_error, &log);
                             return Step::Error;
                         }
                     }
@@ -1026,6 +1330,7 @@ fn run_operator(
                 let m = table.min();
                 if !table.all_ended() && m > current_wm && m < Timestamp::MAX {
                     current_wm = m;
+                    istats.note_watermark_lag(max_ts, m);
                     match op.on_watermark(m, collector) {
                         Ok(f) => {
                             let f = f.min(m);
@@ -1035,14 +1340,14 @@ fn run_operator(
                             }
                         }
                         Err(e) => {
-                            record_op_error(op.name(), e, &abort, &first_error);
+                            record_op_error(op.name(), e, &abort, &first_error, &log);
                             return Step::Error;
                         }
                     }
                 }
                 if table.all_ended() {
                     if let Err(e) = op.on_finish(collector) {
-                        record_op_error(op.name(), e, &abort, &first_error);
+                        record_op_error(op.name(), e, &abort, &first_error, &log);
                     }
                     return Step::Finished;
                 }
@@ -1082,11 +1387,16 @@ fn run_operator(
             }
         }
         collector.flush();
+        // One inbox-depth observation per scheduling round (up to
+        // DRAIN_LIMIT envelopes), so the gauge costs one channel-lock
+        // acquisition per round, not per message.
+        istats.note_queue_depth(rx.len());
         if !matches!(step, Step::Continue) || collector.failed {
             break;
         }
     }
     collector.broadcast_end();
+    istats.note_queue_depth(rx.len());
     istats.records_in.fetch_add(records_in, Ordering::Relaxed);
     istats.late_dropped.fetch_add(late, Ordering::Relaxed);
     istats
@@ -1096,6 +1406,14 @@ fn run_operator(
         .batches_out
         .fetch_add(collector.messages_sent(), Ordering::Relaxed);
     istats.set_state(op.state_bytes());
+    log.emit(
+        Level::Debug,
+        std::thread::current().name().unwrap_or("operator"),
+        format!(
+            "finished: {records_in} in, {} out, {late} late-dropped",
+            collector.out_count
+        ),
+    );
 }
 
 fn run_sink(
@@ -1131,6 +1449,7 @@ fn run_sink(
             shared.tuples.lock().push(t);
         }
     };
+    let mut rounds: u64 = 0;
     loop {
         if abort.load(Ordering::Relaxed) {
             break;
@@ -1140,6 +1459,12 @@ fn run_sink(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
+        // Strided inbox-depth observation: one channel-lock acquisition
+        // per 64 envelopes keeps the gauge off the per-message path.
+        rounds += 1;
+        if rounds % 64 == 0 {
+            istats.note_queue_depth(rx.len());
+        }
         match env.msg {
             Message::Tuple(t) => sink_one(t, &mut n, sink_wm),
             Message::Batch(ts) => {
@@ -1162,5 +1487,6 @@ fn run_sink(
             }
         }
     }
+    istats.note_queue_depth(rx.len());
     istats.records_in.fetch_add(n, Ordering::Relaxed);
 }

@@ -1,0 +1,239 @@
+//! Integration tests for the runtime observability layer: watermark-lag
+//! gauges, late-drop accounting, processing-latency histograms, resource
+//! sampling at short runs, the structured event log, and the JSON export
+//! round-trip through the vendored parser.
+
+#![allow(clippy::unwrap_used)] // test code
+
+use std::sync::Arc;
+
+use asp::event::{Event, EventType};
+use asp::graph::{Exchange, GraphBuilder, SourceConfig};
+use asp::operator::FilterOp;
+use asp::runtime::{Executor, ExecutorConfig, NodeStats, RunReport};
+use asp::time::{Duration, Timestamp};
+use asp::tuple::Tuple;
+use serde::{de_field, Value};
+
+fn in_order_events(minutes: std::ops::Range<i64>) -> Vec<Event> {
+    minutes
+        .map(|m| Event::new(EventType(0), 1, Timestamp::from_minutes(m), m as f64))
+        .collect()
+}
+
+fn pass_all() -> Box<dyn Fn(usize) -> Box<dyn asp::operator::Operator> + Send + Sync> {
+    Box::new(|_| Box::new(FilterOp::new("σ", Arc::new(|_: &Tuple| true))))
+}
+
+fn node<'a>(report: &'a RunReport, name: &str) -> &'a NodeStats {
+    report
+        .nodes
+        .iter()
+        .find(|n| n.name.contains(name))
+        .unwrap_or_else(|| panic!("no node named {name}"))
+}
+
+/// On an in-order pipeline the operator's watermark-lag gauge is bounded
+/// by the configured source watermark lag, and the source's final
+/// watermark (at the last event timestamp) drives the gauge back to 0.
+#[test]
+fn watermark_lag_gauge_bounded_by_source_lag() {
+    const LAG_MS: i64 = 120_000; // 2 minutes
+    let mut g = GraphBuilder::new();
+    let cfg = SourceConfig::new(in_order_events(0..500))
+        .with_watermark_every(1)
+        .with_watermark_lag(Duration::from_millis(LAG_MS));
+    let src = g.source_with("s", cfg, 1);
+    let f = g.unary(src, Exchange::Forward, 1, pass_all());
+    g.name_last("filter");
+    let _sink = g.sink(f, Exchange::Forward);
+    let report = Executor::new(ExecutorConfig {
+        operator_chaining: false, // keep the filter a real (unfused) node
+        ..ExecutorConfig::default()
+    })
+    .run(g)
+    .unwrap();
+
+    let filt = node(&report, "filter");
+    assert!(
+        filt.watermark_lag_peak_ms > 0,
+        "per-event punctuation with a 2 min lag must register a nonzero gauge"
+    );
+    assert!(
+        filt.watermark_lag_peak_ms <= LAG_MS,
+        "gauge peak {} exceeds the configured source lag {LAG_MS}",
+        filt.watermark_lag_peak_ms
+    );
+    assert_eq!(
+        filt.watermark_lag_ms, 0,
+        "the source's final watermark (at the last event ts) should close the lag"
+    );
+    // Strided processing-latency sampling saw some of the 500 tuples.
+    assert!(filt.proc_latency.count > 0);
+    assert!(filt.proc_latency.max_ns >= 1);
+    // In-order input with a correct lag never drops anything.
+    assert_eq!(filt.late_dropped, 0);
+}
+
+/// With zero watermark lag and out-of-order input, `drop_late` fires; the
+/// drops are counted in `NodeStats::late_dropped` and visible in the JSON
+/// export.
+#[test]
+fn late_dropped_is_counted_and_exported() {
+    let mut events = in_order_events(0..50);
+    // Three stragglers far behind the frontier, then the stream resumes.
+    for m in [2, 3, 4] {
+        events.push(Event::new(
+            EventType(0),
+            1,
+            Timestamp::from_minutes(m),
+            m as f64,
+        ));
+    }
+    events.extend(in_order_events(50..60));
+
+    let mut g = GraphBuilder::new();
+    let cfg = SourceConfig::new(events).with_watermark_every(1); // lag 0
+    let src = g.source_with("s", cfg, 1);
+    let f = g.unary(src, Exchange::Forward, 1, pass_all());
+    g.name_last("filter");
+    let sink = g.sink(f, Exchange::Forward);
+    let report = Executor::new(ExecutorConfig {
+        operator_chaining: false,
+        batch_size: 1, // per-tuple messages: watermarks overtake nothing
+        drop_late: true,
+        ..ExecutorConfig::default()
+    })
+    .run(g)
+    .unwrap();
+
+    let filt = node(&report, "filter");
+    assert_eq!(filt.late_dropped, 3, "exactly the three stragglers drop");
+    assert_eq!(report.sink_count(sink), 60);
+
+    let json = report.to_json();
+    let v: Value = serde_json::from_str(&json).unwrap();
+    let nodes = match de_field(&v, "nodes") {
+        Value::Array(items) => items,
+        other => panic!("nodes should be an array, got {other:?}"),
+    };
+    let exported = nodes
+        .iter()
+        .find(|n| matches!(de_field(n, "name"), Value::Str(s) if s.contains("filter")))
+        .expect("filter node in JSON export");
+    assert_eq!(de_field(exported, "late_dropped"), &Value::UInt(3));
+}
+
+/// `RunReport::to_json` produces a document the vendored parser accepts,
+/// and the parse → re-serialize round trip is the identity. The export
+/// carries every telemetry surface: per-node histograms and gauges, the
+/// resource-sample series, sink latency, and the structured event log.
+#[test]
+fn run_report_json_round_trips_and_is_complete() {
+    let mut g = GraphBuilder::new();
+    let cfg = SourceConfig::new(in_order_events(0..2000))
+        .with_watermark_every(16)
+        .with_watermark_lag(Duration::from_millis(60_000));
+    let src = g.source_with("s", cfg, 1);
+    let f = g.unary(src, Exchange::Forward, 1, pass_all());
+    let _sink = g.sink(f, Exchange::Forward);
+    let report = Executor::new(ExecutorConfig {
+        operator_chaining: false,
+        sample_interval: Some(std::time::Duration::from_millis(1)),
+        progress_interval: Some(std::time::Duration::from_millis(1)),
+        ..ExecutorConfig::default()
+    })
+    .run(g)
+    .unwrap();
+
+    let json = report.to_json();
+    let v: Value = serde_json::from_str(&json).unwrap();
+    let reprinted = serde_json::to_string_pretty(&v).unwrap();
+    assert_eq!(json, reprinted, "parse → print must be the identity");
+
+    // Top-level telemetry surfaces.
+    assert_eq!(de_field(&v, "schema_version"), &Value::UInt(1));
+    assert!(matches!(de_field(&v, "throughput_eps"), Value::Float(t) if *t > 0.0));
+    let nodes = match de_field(&v, "nodes") {
+        Value::Array(items) => items,
+        other => panic!("nodes should be an array, got {other:?}"),
+    };
+    assert_eq!(nodes.len(), report.nodes.len());
+    for n in nodes {
+        for key in [
+            "proc_latency",
+            "watermark_lag_ms",
+            "watermark_lag_peak_ms",
+            "queue_depth",
+            "queue_depth_peak",
+            "backpressure_ns",
+            "avg_batch",
+            "proc_latency_p99_le_ns",
+        ] {
+            assert!(
+                !matches!(de_field(n, key), Value::Null),
+                "node object missing `{key}`"
+            );
+        }
+    }
+    // The t≈0 + shutdown samples guarantee a non-empty series even for a
+    // run much shorter than any realistic interval.
+    assert!(matches!(de_field(&v, "samples"), Value::Array(s) if !s.is_empty()));
+    // Event log: lifecycle events from the executor plus progress lines.
+    let events = match de_field(&v, "events") {
+        Value::Array(items) => items,
+        other => panic!("events should be an array, got {other:?}"),
+    };
+    let has = |task: &str, needle: &str| {
+        events.iter().any(|e| {
+            matches!(de_field(e, "task"), Value::Str(t) if t == task)
+                && matches!(de_field(e, "message"), Value::Str(m) if m.contains(needle))
+        })
+    };
+    assert!(has("executor", "run started"), "missing run-started event");
+    assert!(
+        has("executor", "run finished"),
+        "missing run-finished event"
+    );
+}
+
+/// A run far shorter than the sampling interval still yields a series:
+/// one sample at t ≈ 0 and one at shutdown.
+#[test]
+fn short_run_still_yields_resource_samples() {
+    let mut g = GraphBuilder::new();
+    let src = g.source("s", in_order_events(0..10), 1);
+    let _sink = g.sink(src, Exchange::Forward);
+    let report = Executor::new(ExecutorConfig {
+        sample_interval: Some(std::time::Duration::from_millis(500)),
+        ..ExecutorConfig::default()
+    })
+    .run(g)
+    .unwrap();
+    assert!(
+        report.samples.len() >= 2,
+        "expected a t≈0 sample and a shutdown sample, got {}",
+        report.samples.len()
+    );
+    assert!(
+        report.samples[0].elapsed_ms < 500,
+        "first sample must be taken before the first full interval"
+    );
+}
+
+/// `event_log_capacity: 0` disables retention but keeps counting, so the
+/// report records how much was discarded.
+#[test]
+fn zero_event_log_capacity_retains_nothing() {
+    let mut g = GraphBuilder::new();
+    let src = g.source("s", in_order_events(0..10), 1);
+    let _sink = g.sink(src, Exchange::Forward);
+    let report = Executor::new(ExecutorConfig {
+        event_log_capacity: 0,
+        ..ExecutorConfig::default()
+    })
+    .run(g)
+    .unwrap();
+    assert!(report.events.is_empty());
+    assert!(report.events_displaced > 0);
+}

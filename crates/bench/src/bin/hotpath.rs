@@ -1,14 +1,23 @@
 //! Emits `BENCH_hotpath.json`: absolute throughput of the hot-path
 //! pipelines swept over `batch_size ∈ {1, 16, 64, 256}`.
 //!
-//! Usage: `hotpath [--quick] [--out PATH]` (normally via
-//! `scripts/bench_hotpath.sh`). `--quick` shrinks the event counts and
+//! Usage: `hotpath [--quick] [--out PATH] [--telemetry PATH]` (normally
+//! via `scripts/bench_hotpath.sh`). `--quick` shrinks the event counts and
 //! repetitions for CI smoke runs; the headline `speedup_filter_map_64_vs_1`
 //! ratio is still meaningful, just noisier.
+//!
+//! After the sweep, one *instrumented* run of the filter→map chain at the
+//! default batch size exports the runtime's full telemetry (per-operator
+//! latency histograms, watermark-lag / queue-depth / backpressure gauges,
+//! resource samples, and the structured event log) to the `--telemetry`
+//! path (default `BENCH_hotpath_telemetry.json`), with a summary block
+//! printed next to the throughput numbers.
 
 use std::io::Write as _;
 
-use bench::hotpath::{run_chain, run_fanout, run_window_join, stream, BATCH_SIZES};
+use bench::hotpath::{
+    run_chain, run_chain_instrumented, run_fanout, run_window_join, stream, BATCH_SIZES,
+};
 use serde::Serialize;
 
 /// One measured point of the sweep.
@@ -75,6 +84,13 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("BENCH_hotpath.json")
+        .to_string();
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_hotpath_telemetry.json")
         .to_string();
 
     let (chain_n, fanout_n, join_n, reps) = if quick {
@@ -148,4 +164,32 @@ fn main() {
     f.write_all(json.as_bytes()).expect("write output file");
     f.write_all(b"\n").expect("write trailing newline");
     eprintln!("wrote {out_path}");
+
+    // One instrumented run at the default batch size for the telemetry
+    // artifact — sampling and progress reporting on, never measured.
+    let (report, _) = run_chain_instrumented(stream(chain_n, 4, 1), 64);
+    eprintln!("telemetry (filter_map chain @ batch_size=64, instrumented run):");
+    for n in &report.nodes {
+        eprintln!(
+            "  {:>8}: proc p99 ≤ {} ns (n={}), wm lag peak {} ms, \
+             inbox peak {}, backpressure {:.2} ms",
+            n.name,
+            n.proc_latency.quantile_le_ns(0.99),
+            n.proc_latency.count,
+            n.watermark_lag_peak_ms,
+            n.queue_depth_peak,
+            n.backpressure_ns as f64 / 1e6,
+        );
+    }
+    eprintln!(
+        "  {} resource samples, {} log events ({} displaced)",
+        report.samples.len(),
+        report.events.len(),
+        report.events_displaced
+    );
+    let mut f = std::fs::File::create(&telemetry_path).expect("create telemetry file");
+    f.write_all(report.to_json().as_bytes())
+        .expect("write telemetry file");
+    f.write_all(b"\n").expect("write trailing newline");
+    eprintln!("wrote {telemetry_path}");
 }

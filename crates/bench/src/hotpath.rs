@@ -68,9 +68,9 @@ fn run(g: GraphBuilder, batch_size: usize) -> RunReport {
         .expect("hotpath pipeline runs to completion")
 }
 
-/// Saturating source → filter (passes ~half) → identity map → counting
-/// sink, one slot per stage.
-pub fn run_chain(events: Vec<Event>, batch_size: usize) -> (RunReport, SinkId) {
+/// Build the filter→map chain graph shared by the measured and the
+/// instrumented runs.
+fn chain_graph(events: Vec<Event>) -> (GraphBuilder, SinkId) {
     let mut g = GraphBuilder::new();
     let src = g.source("src", events, 1);
     let f = g.unary(
@@ -84,14 +84,41 @@ pub fn run_chain(events: Vec<Event>, batch_size: usize) -> (RunReport, SinkId) {
             ))
         }),
     );
+    g.name_last("filter");
     let m = g.unary(
         f,
         Exchange::Forward,
         1,
         Box::new(|_| Box::new(MapOp::new("id", Arc::new(|t| t)))),
     );
+    g.name_last("map");
     let sink = g.counting_sink(m, Exchange::Forward);
+    (g, sink)
+}
+
+/// Saturating source → filter (passes ~half) → identity map → counting
+/// sink, one slot per stage.
+pub fn run_chain(events: Vec<Event>, batch_size: usize) -> (RunReport, SinkId) {
+    let (g, sink) = chain_graph(events);
     (run(g, batch_size), sink)
+}
+
+/// One fully instrumented run of the filter→map chain: resource sampling
+/// and the progress reporter are enabled on top of the sweep
+/// configuration, so the resulting [`RunReport::to_json`] carries every
+/// telemetry surface (histograms, gauges, samples, event log). Used for
+/// the `BENCH_hotpath_telemetry.json` artifact, never for the measured
+/// throughput points.
+pub fn run_chain_instrumented(events: Vec<Event>, batch_size: usize) -> (RunReport, SinkId) {
+    let (g, sink) = chain_graph(events);
+    let report = Executor::new(ExecutorConfig {
+        sample_interval: Some(std::time::Duration::from_millis(20)),
+        progress_interval: Some(std::time::Duration::from_millis(100)),
+        ..cfg(batch_size)
+    })
+    .run(g)
+    .expect("instrumented hotpath pipeline runs to completion");
+    (report, sink)
 }
 
 /// Source hash-partitioned across `fanout` identity-map slots.

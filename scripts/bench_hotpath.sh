@@ -2,9 +2,14 @@
 # Regenerate BENCH_hotpath.json: absolute throughput of the runtime hot
 # path swept over batch_size ∈ {1, 16, 64, 256}.
 #
-# Usage: scripts/bench_hotpath.sh [--quick] [--out PATH]
-#   --quick    smaller event counts / fewer repetitions (CI smoke mode)
-#   --out PATH output file (default: BENCH_hotpath.json at the repo root)
+# Usage: scripts/bench_hotpath.sh [--quick] [--out PATH] [--telemetry PATH]
+#   --quick          smaller event counts / fewer repetitions (CI smoke mode)
+#   --out PATH       output file (default: BENCH_hotpath.json at the repo root)
+#   --telemetry PATH runtime-telemetry export from one instrumented run
+#                    (default: BENCH_hotpath_telemetry.json) — per-operator
+#                    latency histograms, watermark-lag / queue-depth /
+#                    backpressure gauges, resource samples, and the event
+#                    log, printed as a summary block after the sweep
 #
 # The headline number is speedup_filter_map_64_vs_1; the micro-batching
 # work's acceptance floor is 2x. Relative, statistically sampled numbers

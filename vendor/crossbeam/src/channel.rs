@@ -195,6 +195,24 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Number of messages currently queued (like upstream
+    /// `crossbeam_channel::Receiver::len`). A snapshot: the value may be
+    /// stale by the time the caller acts on it; intended for telemetry
+    /// gauges, not for synchronization.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// True when no message is queued (snapshot, see [`Receiver::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Receive, blocking until a message arrives or all senders are gone.
     pub fn recv(&self) -> Result<T, RecvError> {
         loop {

@@ -84,6 +84,22 @@ pub fn de_index(v: &Value, idx: usize) -> Result<&Value, DeError> {
     }
 }
 
+impl Serialize for Value {
+    /// Identity: a `Value` serializes as itself, so dynamically-shaped
+    /// JSON (telemetry blocks, re-parsed documents) can be embedded in
+    /// derived structs.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    /// Identity: any JSON document deserializes losslessly into `Value`.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! int_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
