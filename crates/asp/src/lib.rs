@@ -68,6 +68,7 @@ pub mod window;
 
 pub use error::{OpError, PipelineError};
 pub use event::{Attr, Event, EventType, TypeRegistry};
+pub use obs::{BoundViolation, StaticBounds};
 pub use time::{Duration, Timestamp, MINUTE_MS};
 pub use tuple::{Key, MatchKey, TsRule, Tuple};
 pub use validate::{Diagnostic, Severity};

@@ -300,9 +300,55 @@ impl HistogramSummary {
     }
 }
 
+/// Statically derived hard limits for one pipeline run, produced by a
+/// plan-level cost model (e.g. `cep2asp::analyze::runtime_bounds`) and
+/// checked against the observed telemetry by
+/// [`RunReport::check_bounds`](crate::runtime::RunReport::check_bounds).
+///
+/// `None` means "no claim" for that quantity. The check makes the cost
+/// model *falsifiable*: a bound the run exceeds is a bug in the model (or
+/// a leak in the runtime), not an overload condition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticBounds {
+    /// Upper bound on the total tuples delivered to all sinks.
+    pub max_sink_tuples: Option<u64>,
+    /// Upper bound on the summed per-operator peak state, bytes.
+    pub max_total_state_bytes: Option<u64>,
+    /// Where the bounds came from (module path or experiment name),
+    /// echoed in violation reports.
+    pub origin: String,
+}
+
+/// One observed quantity that exceeded its [`StaticBounds`] limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundViolation {
+    /// Which quantity overflowed (`"sink_tuples"`, `"state_bytes"`).
+    pub quantity: &'static str,
+    /// The value the run actually reached.
+    pub actual: u64,
+    /// The static limit it was expected to stay under.
+    pub bound: u64,
+    /// The `origin` of the violated [`StaticBounds`].
+    pub origin: String,
+}
+
+impl std::fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bound violation: {} = {} exceeds static bound {} (from {})",
+            self.quantity, self.actual, self.bound, self.origin
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Heavier loops are wasteful under Miri's interpreter; keep the
+    /// interleaving coverage, shrink the constants.
+    const CONCURRENCY_ITERS: u64 = if cfg!(miri) { 50 } else { 5_000 };
 
     #[test]
     fn bucket_bounds_are_powers_of_two() {
@@ -381,11 +427,12 @@ mod tests {
     fn histogram_is_shareable_across_threads() {
         use std::sync::Arc;
         let h = Arc::new(LatencyHistogram::default());
+        let per_thread = CONCURRENCY_ITERS / 5;
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let h = h.clone();
                 std::thread::spawn(move || {
-                    for k in 0..1000u64 {
+                    for k in 0..per_thread {
                         h.record(i * 1000 + k);
                     }
                 })
@@ -394,10 +441,98 @@ mod tests {
         for t in handles {
             t.join().expect("recorder thread");
         }
-        assert_eq!(h.count(), 4000);
+        assert_eq!(h.count(), 4 * per_thread);
         assert_eq!(
             h.summary().buckets.iter().map(|b| b.count).sum::<u64>(),
-            4000
+            4 * per_thread
         );
+    }
+
+    #[test]
+    fn histogram_summary_is_coherent_under_concurrent_writes() {
+        // Readers snapshot while writers keep recording: every snapshot
+        // must be internally coherent (bucket sum never exceeds count
+        // recorded *after* the snapshot completes; totals settle exactly).
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::default());
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for k in 0..CONCURRENCY_ITERS {
+                        h.record(k % 4096);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..20 {
+                    let s = h.summary();
+                    let bucketed: u64 = s.buckets.iter().map(|b| b.count).sum();
+                    // A snapshot may tear between buckets and counters,
+                    // but can never exceed the total writes issued.
+                    assert!(bucketed <= 2 * CONCURRENCY_ITERS);
+                    assert!(s.count <= 2 * CONCURRENCY_ITERS);
+                    assert!(s.count >= last, "count went backwards");
+                    last = s.count;
+                }
+            })
+        };
+        for t in writers {
+            t.join().expect("writer thread");
+        }
+        reader.join().expect("reader thread");
+        let s = h.summary();
+        assert_eq!(s.count, 2 * CONCURRENCY_ITERS);
+        assert_eq!(
+            s.buckets.iter().map(|b| b.count).sum::<u64>(),
+            2 * CONCURRENCY_ITERS
+        );
+    }
+
+    #[test]
+    fn event_log_is_coherent_under_concurrent_emitters() {
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new(64));
+        let per_thread = (CONCURRENCY_ITERS / 10).max(10);
+        let emitters: Vec<_> = (0..3)
+            .map(|i| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per_thread {
+                        log.emit(Level::Info, "worker", format!("t{i} msg {k}"));
+                    }
+                })
+            })
+            .collect();
+        for t in emitters {
+            t.join().expect("emitter thread");
+        }
+        let total = 3 * per_thread;
+        assert_eq!(log.emitted(), total);
+        assert_eq!(log.displaced(), total.saturating_sub(64));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 64usize.min(total as usize));
+        // Sequence numbers are strictly increasing across the ring.
+        for w in snap.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn bound_violation_renders_origin() {
+        let v = BoundViolation {
+            quantity: "sink_tuples",
+            actual: 12,
+            bound: 10,
+            origin: "test-model".to_string(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("sink_tuples"), "{s}");
+        assert!(s.contains("test-model"), "{s}");
+        assert_eq!(StaticBounds::default().max_sink_tuples, None);
     }
 }

@@ -23,7 +23,7 @@ mod chain;
 mod metrics;
 
 pub use crate::graph::SinkMode;
-pub use crate::obs::{EventLog, Level, LogEvent};
+pub use crate::obs::{BoundViolation, EventLog, Level, LogEvent, StaticBounds};
 pub use chain::{chain_factories, ChainedOperator};
 pub use metrics::{LatencyStats, NodeStats, ResourceSample};
 
@@ -570,6 +570,41 @@ impl RunReport {
             .unwrap_or(0);
         let from_nodes: usize = self.nodes.iter().map(|n| n.peak_state_bytes).sum();
         from_samples.max(from_nodes)
+    }
+
+    /// Check the run's observed telemetry against statically derived
+    /// [`StaticBounds`] and return every violated limit.
+    ///
+    /// Sink tuples are the summed delivered counts across all sinks; state
+    /// is the summed per-node peak (each node's peak is individually below
+    /// its static bound, so the sums compare soundly without mapping plan
+    /// nodes to physical operators). An empty result means the cost model
+    /// survived contact with this run.
+    pub fn check_bounds(&self, bounds: &StaticBounds) -> Vec<BoundViolation> {
+        let mut violations = Vec::new();
+        if let Some(limit) = bounds.max_sink_tuples {
+            let actual: u64 = self.sinks.iter().map(|s| s.count).sum();
+            if actual > limit {
+                violations.push(BoundViolation {
+                    quantity: "sink_tuples",
+                    actual,
+                    bound: limit,
+                    origin: bounds.origin.clone(),
+                });
+            }
+        }
+        if let Some(limit) = bounds.max_total_state_bytes {
+            let actual: u64 = self.nodes.iter().map(|n| n.peak_state_bytes as u64).sum();
+            if actual > limit {
+                violations.push(BoundViolation {
+                    quantity: "state_bytes",
+                    actual,
+                    bound: limit,
+                    origin: bounds.origin.clone(),
+                });
+            }
+        }
+        violations
     }
 
     /// Export the full telemetry of the run as a pretty-printed JSON

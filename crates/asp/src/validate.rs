@@ -58,6 +58,26 @@ pub enum Code {
 }
 
 impl Code {
+    /// Every code, in `Gxxx` order — the doc-sync test checks DESIGN.md's
+    /// code table against this list, so keep it exhaustive.
+    pub const ALL: &'static [Code] = &[
+        Code::DanglingEdge,
+        Code::UnreachableNode,
+        Code::NoSinkOnPath,
+        Code::PortGapOrDuplicate,
+        Code::ForwardParallelismMismatch,
+        Code::CycleAfterSplice,
+        Code::ZeroParallelism,
+        Code::SinkWithDownstream,
+        Code::NoSink,
+        Code::SourceWithInputs,
+        Code::NoInputs,
+        Code::EmptyGraph,
+        Code::BuilderMisuse,
+        Code::ClampedWatermarkLag,
+        Code::InvalidBatchSize,
+    ];
+
     /// The stable `Gxxx` string for this code.
     pub fn as_str(&self) -> &'static str {
         match self {

@@ -1,7 +1,8 @@
 //! Emits `BENCH_hotpath.json`: absolute throughput of the hot-path
 //! pipelines swept over `batch_size ∈ {1, 16, 64, 256}`.
 //!
-//! Usage: `hotpath [--quick] [--out PATH] [--telemetry PATH]` (normally
+//! Usage: `hotpath [--quick] [--out PATH] [--telemetry PATH] [--explain]`
+//! (normally
 //! via `scripts/bench_hotpath.sh`). `--quick` shrinks the event counts and
 //! repetitions for CI smoke runs; the headline `speedup_filter_map_64_vs_1`
 //! ratio is still meaningful, just noisier.
@@ -77,6 +78,17 @@ fn measure(reps: usize, f: impl Fn() -> (f64, f64, u64)) -> Point {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--explain") {
+        // Static plan analysis of the standard suite instead of the sweep.
+        print!(
+            "{}",
+            bench::explain::suite_report(
+                &bench::explain::ExplainConfig::default(),
+                cep2asp::OrderingStrategy::CostBased,
+            )
+        );
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
         .iter()

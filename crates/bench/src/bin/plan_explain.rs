@@ -1,0 +1,127 @@
+//! `plan-explain` — static EXPLAIN report for the standard workload suite.
+//!
+//! ```text
+//! Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N]
+//!                     [--out FILE] [--ab]
+//!
+//! Options:
+//!   --order MODE   join ordering strategy: cost (default) or heuristic
+//!   --window MIN   pattern window in minutes (default: 15)
+//!   --sensors N    sensors per dataset (default: 4; raises key fanout)
+//!   --out FILE     also write the report to FILE
+//!   --ab           run the cost-vs-heuristic join-order A/B measurement
+//!                  (executes the pipelines; use --release)
+//! ```
+//!
+//! Without `--ab` no pipeline runs: the report is purely static, derived
+//! from generated stream statistics and the analyzer's cost model. Each
+//! pattern gets an estimate tree plus `A`-code diagnostics (see
+//! DESIGN.md, "Static cost model").
+
+use bench::explain::{ab_join_order, suite_report, ExplainConfig};
+use cep2asp::OrderingStrategy;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExplainConfig::default();
+    let mut strategy = OrderingStrategy::CostBased;
+    let mut out_file: Option<String> = None;
+    let mut run_ab = false;
+
+    let i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--order" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--order requires `cost` or `heuristic`");
+                    std::process::exit(2);
+                }
+                let mode = args.remove(i + 1);
+                args.remove(i);
+                strategy = match mode.as_str() {
+                    "cost" => OrderingStrategy::CostBased,
+                    "heuristic" => OrderingStrategy::RateHeuristic,
+                    other => {
+                        eprintln!("unknown --order mode `{other}` (want cost|heuristic)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--window" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--window requires a minute count");
+                    std::process::exit(2);
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                cfg.w_minutes = match v.parse::<i64>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--window wants a positive integer, got `{v}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--sensors" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--sensors requires a count");
+                    std::process::exit(2);
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                cfg.sensors = match v.parse::<u32>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--sensors wants a positive integer, got `{v}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out requires a file path");
+                    std::process::exit(2);
+                }
+                out_file = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            "--ab" => {
+                run_ab = true;
+                args.remove(i);
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` — see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = suite_report(&cfg, strategy);
+    if run_ab {
+        #[cfg(debug_assertions)]
+        eprintln!("WARNING: debug build — A/B wall times will be meaningless; use --release");
+        report.push('\n');
+        report.push_str(&ab_join_order(&cfg));
+    }
+    print!("{report}");
+    if let Some(path) = out_file {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N] [--out FILE] [--ab]\n\
+         Renders the static analyzer's EXPLAIN report (per-node rate/state\n\
+         estimates and A-code diagnostics) for the standard workload suite.\n\
+         --ab additionally executes the join-order A/B measurement."
+    );
+}

@@ -45,6 +45,17 @@ fn main() {
                 out_dir = args.remove(i + 1);
                 args.remove(i);
             }
+            "--explain" => {
+                // Static EXPLAIN of the standard suite; no pipeline runs.
+                print!(
+                    "{}",
+                    bench::explain::suite_report(
+                        &bench::explain::ExplainConfig::default(),
+                        cep2asp::OrderingStrategy::CostBased,
+                    )
+                );
+                return;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -145,10 +156,12 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "Usage: repro [--full] [--out DIR] <experiment>...\n\
+        "Usage: repro [--full] [--out DIR] [--explain] <experiment>...\n\
          Experiments: table1 table2 fig3a fig3b fig3c fig3d fig3e fig3f\n\
          \x20            fig4 fig4fail fig5 fig6 ablations all\n\
          Options: --full (paper-scale ~10M tuples; keyed figs need multi-GB RAM),\n\
-         \x20        --out DIR (default: results)"
+         \x20        --out DIR (default: results),\n\
+         \x20        --explain (print the static plan analysis for the standard\n\
+         \x20                   suite and exit; see also the plan-explain bin)"
     );
 }

@@ -18,6 +18,7 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod explain;
 pub mod hotpath;
 pub mod patterns;
 pub mod preflight;

@@ -117,9 +117,38 @@ pub fn iter4(pass_rate: f64, w_minutes: i64) -> Pattern {
     builders::iter(V, "V", 4, WindowSpec::minutes(w_minutes), preds)
 }
 
+/// The standard workload suite: one named pattern per evaluation family,
+/// used by `plan-explain` (and the CI EXPLAIN artifact) so plan changes
+/// across every pattern shape are diffable between PRs.
+pub fn standard_suite(w_minutes: i64) -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("SEQ1(2)", seq1(0.3, w_minutes)),
+        ("SEQ(3)", seq_n(3, 0.3, w_minutes)),
+        ("SEQ(4)", seq_n(4, 0.3, w_minutes)),
+        ("ITER3_1(1)", iter_threshold(3, 0.3, w_minutes)),
+        ("ITER4_2", iter_pairwise(4, w_minutes)),
+        ("NSEQ1(3)", nseq1(0.3, 0.2, w_minutes)),
+        ("SEQ7(3)", seq7(0.3, w_minutes)),
+        ("ITER4_4(1)", iter4(0.3, w_minutes)),
+        (
+            "KLEENE2+",
+            builders::kleene_plus(V, "V", 2, WindowSpec::minutes(w_minutes)),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn standard_suite_covers_every_family() {
+        let suite = standard_suite(15);
+        assert!(suite.len() >= 8);
+        let names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"SEQ7(3)"), "{names:?}");
+        assert!(names.contains(&"KLEENE2+"), "{names:?}");
+    }
 
     #[test]
     fn pass_rate_calibration_is_monotone() {

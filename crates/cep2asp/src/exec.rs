@@ -129,6 +129,25 @@ pub fn run_pattern(
     };
     let (graph, sink) = build_pipeline(&plan, sources, phys)?;
     let report = Executor::new(exec.clone()).run(graph)?;
+    // Debug builds cross-check the observed telemetry against the static
+    // cost model's hard bounds — the falsifiability loop of the analyzer.
+    // A violation here is a cost-model bug or a runtime state leak, never
+    // an input problem, so it should fail loudly in tests.
+    #[cfg(debug_assertions)]
+    {
+        let bounds = crate::analyze::runtime_bounds(&plan, pattern, sources, phys);
+        let violations = report.check_bounds(&bounds);
+        debug_assert!(
+            violations.is_empty(),
+            "static bounds falsified for pattern {}: {}",
+            pattern.name,
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
     Ok(MappedRun { plan, report, sink })
 }
 

@@ -1,0 +1,132 @@
+//! `EXPLAIN`-style rendering of [`crate::analyze::Analysis`] trees.
+//!
+//! Produces the human-readable plan report printed by the `plan-explain`
+//! driver and attached as a CI artifact: one line per node with the
+//! analyzer's output-rate / per-window / state estimates, followed by a
+//! diagnostics footer listing every `A`-code finding (or `none`).
+
+use std::fmt::Write as _;
+
+use sea::annotations::Annotations;
+use sea::pattern::Pattern;
+
+use crate::analyze::{analyze, human_bytes, Analysis, AnalyzeConfig, AnalyzedNode};
+use crate::plan::LogicalPlan;
+
+/// Render an analysis as an indented `EXPLAIN` tree plus diagnostics.
+pub fn render_analysis(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    render_node(&analysis.root, 0, &mut out);
+    let _ = writeln!(
+        out,
+        "-- total worst-case state ≤ {}",
+        human_bytes(analysis.total_state_bytes)
+    );
+    if analysis.diagnostics.is_empty() {
+        out.push_str("-- diagnostics: none\n");
+    } else {
+        let _ = writeln!(out, "-- diagnostics ({}):", analysis.diagnostics.len());
+        for d in &analysis.diagnostics {
+            let _ = writeln!(out, "   {d}");
+        }
+    }
+    out
+}
+
+fn render_node(node: &AnalyzedNode, depth: usize, out: &mut String) {
+    let e = &node.estimate;
+    let _ = writeln!(
+        out,
+        "{:indent$}{label}  rate≈{rate}/min  win≈{win} (≤{bound})  state≤{state}",
+        "",
+        indent = depth * 2,
+        label = node.label,
+        rate = fmt_num(e.out_rate),
+        win = fmt_num(e.per_window),
+        bound = fmt_num(e.window_bound),
+        state = human_bytes(e.state_bytes),
+    );
+    for c in &node.children {
+        render_node(c, depth + 1, out);
+    }
+}
+
+/// Format an estimate compactly: integers below 1000 stay exact, larger
+/// or fractional values get a short decimal form.
+fn fmt_num(x: f64) -> String {
+    if x >= 1_000_000.0 {
+        format!("{:.2}M", x / 1_000_000.0)
+    } else if x >= 10_000.0 {
+        format!("{:.1}k", x / 1_000.0)
+    } else if x.fract() == 0.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Analyze `plan` under `ann` and render the result in one step.
+///
+/// The `pattern` argument is reserved for headers (name and window) so the
+/// report is self-describing.
+pub fn explain_analyzed(
+    plan: &LogicalPlan,
+    pattern: &Pattern,
+    ann: &Annotations,
+    cfg: &AnalyzeConfig,
+) -> String {
+    let analysis = analyze(plan, ann, cfg);
+    let mut out = format!(
+        "-- pattern {} | window W={} s={} | joins={}\n",
+        pattern.name,
+        pattern.window.size,
+        pattern.window.slide,
+        plan.root.join_count(),
+    );
+    out.push_str(&render_analysis(&analysis));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{translate, MapperOptions};
+    use asp::event::EventType;
+    use sea::pattern::{builders, WindowSpec};
+
+    #[test]
+    fn renders_tree_and_diagnostics_footer() {
+        let p = builders::seq(
+            &[
+                (EventType(0), "Q"),
+                (EventType(1), "V"),
+                (EventType(2), "PM"),
+            ],
+            WindowSpec::minutes(5),
+            vec![],
+        );
+        let plan = translate(&p, &MapperOptions::o1()).expect("plan");
+        let ann = Annotations::for_pattern(&p);
+        let text = explain_analyzed(&plan, &p, &ann, &AnalyzeConfig::default());
+        assert!(text.contains("Scan Q"), "{text}");
+        assert!(text.contains("rate≈"), "{text}");
+        assert!(text.contains("-- diagnostics"), "{text}");
+        // Three-leaf SEQ stacks window-dependent joins → A001 present.
+        assert!(text.contains("A001"), "{text}");
+    }
+
+    #[test]
+    fn healthy_plan_reports_no_diagnostics() {
+        let p = builders::seq(
+            &[(EventType(0), "Q"), (EventType(1), "V")],
+            WindowSpec::minutes(4),
+            vec![],
+        );
+        let plan = translate(&p, &MapperOptions::o1()).expect("plan");
+        let ann = Annotations::for_pattern(&p);
+        let text = explain_analyzed(&plan, &p, &ann, &AnalyzeConfig::default());
+        assert!(text.contains("-- diagnostics: none"), "{text}");
+    }
+}

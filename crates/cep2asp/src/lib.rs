@@ -38,7 +38,9 @@
 // Unit tests may unwrap freely; production code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod analyze;
 pub mod exec;
+pub mod explain;
 pub mod kleene_udf;
 pub mod lint;
 pub mod multi;
@@ -48,12 +50,20 @@ pub mod plan;
 pub mod sql;
 pub mod translate;
 
+pub use analyze::{
+    analyze, runtime_bounds, Analysis, AnalyzeCode, AnalyzeConfig, AnalyzeDiagnostic, AnalyzedNode,
+    NodeEstimate,
+};
 pub use exec::{
     dedup_sorted, run_pattern, run_pattern_simple, split_by_type, ExecError, MappedRun,
 };
+pub use explain::{explain_analyzed, render_analysis};
 pub use lint::{lint_plan, LintCode, LintDiagnostic};
 pub use multi::{run_patterns, MultiRun, PatternJob};
-pub use optimizer::{auto_options, explain_with_stats, StreamStats};
+pub use optimizer::{
+    annotations_from_stats, auto_options, auto_options_with, explain_with_stats, OrderingStrategy,
+    StreamStats,
+};
 pub use physical::{build_pipeline, BuildError, PhysicalConfig};
 pub use plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
 pub use sql::to_query_text;

@@ -14,16 +14,28 @@
 //! |------|-----------|
 //! | P001 | sliding windows: `0 < slide ≤ size` |
 //! | P002 | interval joins: `lower < upper` |
-//! | P003 | interval bounds within the pattern window `[-W, W]` |
+//! | P003 | exclusive interval bounds within `(-W, W)`, i.e. `-W ≤ lower` and `upper ≤ W` |
 //! | P004 | every predicate variable bound by the node's layout |
 //! | P005 | no duplicate scan variable within a union branch |
 //! | P006 | `ByKey` ⇔ a key pair drawn from the join's two sides |
 //! | P007 | order-pair variables bound by the join's layout |
 //! | P008 | `ats_check` variable bound by the join's right side |
-//! | P009 | window/hold durations positive and within the pattern window |
+//! | P009 | sliding-join/aggregate window sizes equal the pattern window; hold durations positive and within it |
 //! | P010 | unions have at least two inputs |
 //! | P011 | aggregates count to at least one |
 //! | P012 | join span guard equals the pattern window |
+//!
+//! ## Window boundary convention
+//!
+//! The whole stack is **half-open**: `sea::oracle::evaluate_per_window`
+//! enumerates windows `[k·s, k·s + W)`, so two co-windowed events differ
+//! by *strictly less than* `W`. The runtime agrees — interval-join bounds
+//! are EXCLUSIVE (`lower < r.ts − l.ts < upper`, so `upper = W` admits a
+//! maximum difference of `W − 1` ms, exactly the half-open maximum) and
+//! the physical span guard rejects `span ≥ W`. P003 and P009 pin this
+//! convention: interval bounds beyond `±W`, or a sliding-join/aggregate
+//! window sized differently from the pattern window, admit (or lose)
+//! pairs that no half-open pattern window co-hosts.
 
 use std::fmt;
 
@@ -57,8 +69,11 @@ pub enum LintCode {
     /// P008: an `ats` check references a variable the right side does not
     /// bind.
     UnboundAtsCheck,
-    /// P009: a window or hold duration is non-positive or exceeds the
-    /// pattern window.
+    /// P009: a window duration disagrees with the pattern window — a
+    /// sliding-join or aggregate window sized differently from `W`
+    /// (admitting or losing pairs the half-open pattern windows
+    /// `[k·s, k·s + W)` never co-host), or a non-positive / over-long
+    /// hold duration.
     WindowOutOfRange,
     /// P010: a union with fewer than two inputs.
     EmptyUnion,
@@ -69,6 +84,23 @@ pub enum LintCode {
 }
 
 impl LintCode {
+    /// Every code, in `Pxxx` order — the doc-sync test checks DESIGN.md's
+    /// code table against this list, so keep it exhaustive.
+    pub const ALL: &'static [LintCode] = &[
+        LintCode::SlidingSlideExceedsSize,
+        LintCode::IntervalBoundsInverted,
+        LintCode::IntervalExceedsWindow,
+        LintCode::UnboundPredicateVar,
+        LintCode::DuplicateScanVar,
+        LintCode::PartitioningKeyMismatch,
+        LintCode::UnboundOrderPair,
+        LintCode::UnboundAtsCheck,
+        LintCode::WindowOutOfRange,
+        LintCode::EmptyUnion,
+        LintCode::AggregateCountZero,
+        LintCode::SpanMismatch,
+    ];
+
     /// The stable `Pxxx` string for this code.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -210,6 +242,19 @@ fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagno
                     ),
                 ));
             }
+            if size.millis() != w_ms {
+                out.push(LintDiagnostic::new(
+                    LintCode::WindowOutOfRange,
+                    "Join",
+                    format!(
+                        "sliding join size {}ms must equal the pattern window {}ms: a larger \
+                         size admits pairs no half-open window [k·s, k·s + W) co-hosts, a \
+                         smaller one silently drops matches",
+                        size.millis(),
+                        w_ms
+                    ),
+                ));
+            }
         }
         JoinWindowing::Interval { lower, upper } => {
             if lower.millis() >= upper.millis() {
@@ -228,7 +273,9 @@ fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagno
                     LintCode::IntervalExceedsWindow,
                     "Join",
                     format!(
-                        "interval bounds [{}ms, {}ms] exceed the pattern window ±{}ms",
+                        "exclusive interval bounds ({}ms, {}ms) exceed ±{}ms; upper = W is \
+                         the half-open maximum (ts diff ≤ W − 1ms), anything wider admits \
+                         pairs no window [k·s, k·s + W) co-hosts",
                         lower.millis(),
                         upper.millis(),
                         w_ms
@@ -378,6 +425,18 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
                         "aggregation window requires 0 < slide ≤ size, got slide {}ms, size {}ms",
                         window.slide.millis(),
                         window.size.millis()
+                    ),
+                ));
+            }
+            if window.size.millis() != w_ms {
+                out.push(LintDiagnostic::new(
+                    LintCode::WindowOutOfRange,
+                    "Aggregate",
+                    format!(
+                        "aggregation window size {}ms must equal the pattern window {}ms \
+                         (the count is defined over the half-open pattern windows)",
+                        window.size.millis(),
+                        w_ms
                     ),
                 ));
             }
@@ -596,6 +655,69 @@ mod tests {
         let mut p = plan(join(scan(0, 0), scan(1, 1)));
         p.window.size = Duration::ZERO;
         assert!(codes(&p).contains(&LintCode::WindowOutOfRange));
+    }
+
+    #[test]
+    fn p009_sliding_join_size_must_equal_pattern_window() {
+        // Regression (boundary convention): a sliding join sized 2W admits
+        // pairs up to 2W − 1ms apart, which no half-open pattern window
+        // [k·s, k·s + W) ever co-hosts; size W/2 loses matches. Both are
+        // P009, independent of the P001 slide rule.
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Sliding {
+                    size: Duration::from_minutes(8), // pattern window is 4
+                    slide: Duration::from_minutes(1),
+                };
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::WindowOutOfRange));
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Sliding {
+                    size: Duration::from_minutes(2),
+                    slide: Duration::from_minutes(1),
+                };
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::WindowOutOfRange));
+    }
+
+    #[test]
+    fn p009_aggregate_window_must_equal_pattern_window() {
+        let a = PlanNode::Aggregate {
+            input: Box::new(scan(0, 0)),
+            m: 2,
+            window: WindowSpec::minutes(8), // pattern window is 4
+            partitioning: Partitioning::Global,
+        };
+        assert!(codes(&plan(a)).contains(&LintCode::WindowOutOfRange));
+    }
+
+    #[test]
+    fn interval_upper_equal_to_window_is_half_open_clean() {
+        // Regression (boundary convention): the interval bounds are
+        // EXCLUSIVE, so upper = W caps the ts difference at W − 1ms —
+        // exactly the half-open maximum. This must lint clean; one
+        // millisecond more must not.
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Interval {
+                    lower: Duration::ZERO,
+                    upper: Duration::from_minutes(4), // == pattern window
+                };
+            }
+        });
+        assert!(lint_plan(&p).is_empty(), "{:?}", lint_plan(&p));
+        let p = with_join(|j| {
+            if let PlanNode::Join { windowing, .. } = j {
+                *windowing = JoinWindowing::Interval {
+                    lower: Duration::ZERO,
+                    upper: Duration::from_millis(4 * asp::time::MINUTE_MS + 1),
+                };
+            }
+        });
+        assert!(codes(&p).contains(&LintCode::IntervalExceedsWindow));
     }
 
     #[test]

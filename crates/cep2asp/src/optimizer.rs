@@ -14,15 +14,25 @@
 //! * **O1** per Section 4.3.1's frequency rule: interval joins win unless
 //!   the window-defining (left) stream is much more frequent than the
 //!   right stream;
-//! * **join order**: left-deep over the top-level operands sorted by
-//!   ascending effective rate (rare streams first), the manual reordering
-//!   of Section 4.2.2 made automatic.
+//! * **join order**: cost-driven left-deep enumeration
+//!   ([`OrderingStrategy::CostBased`], the default): every left-deep
+//!   permutation of the top-level operands is priced by the analyzer's
+//!   candidate-volume formula `Σ_k |acc_k| · r_k · W`, applying a cross
+//!   predicate's selectivity (`1/key_fanout` for equi-keys, `0.5`
+//!   otherwise) at the first join where both its variables are bound.
+//!   This subsumes the ascending-rate heuristic of Section 4.2.2 — which
+//!   remains reachable via [`OrderingStrategy::RateHeuristic`] for A/B
+//!   comparison — and beats it whenever a selective cross predicate can
+//!   be bound early (the core insight of Kolchinsky & Schuster's join-
+//!   order work for CEP).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use asp::event::{Event, EventType};
 
+use sea::annotations::Annotations;
 use sea::pattern::{Pattern, PatternExpr};
+use sea::predicate::VarId;
 
 use crate::translate::{JoinOrder, MapperOptions};
 
@@ -40,6 +50,8 @@ struct TypeStats {
     count: u64,
     /// Events per minute over the observed span.
     rate_per_min: f64,
+    /// Distinct `id` values in the stream (partition-key fanout).
+    distinct_ids: u64,
     /// Evenly spaced sample for pass-rate estimation.
     sample: Vec<Event>,
 }
@@ -55,6 +67,7 @@ impl StreamStats {
                     TypeStats {
                         count: 0,
                         rate_per_min: 0.0,
+                        distinct_ids: 0,
                         sample: Vec::new(),
                     },
                 );
@@ -64,11 +77,13 @@ impl StreamStats {
             let rate = evs.len() as f64 / (span_ms / 60_000.0).max(1.0 / 60.0);
             let stride = (evs.len() / SAMPLE_SIZE).max(1);
             let sample: Vec<Event> = evs.iter().step_by(stride).copied().collect();
+            let distinct_ids = evs.iter().map(|e| e.id).collect::<HashSet<_>>().len() as u64;
             per_type.insert(
                 *t,
                 TypeStats {
                     count: evs.len() as u64,
                     rate_per_min: rate,
+                    distinct_ids,
                     sample,
                 },
             );
@@ -84,6 +99,12 @@ impl StreamStats {
     /// Total observed events of a type.
     pub fn count(&self, t: EventType) -> u64 {
         self.per_type.get(&t).map_or(0, |s| s.count)
+    }
+
+    /// Distinct `id` values observed in a type's stream — the fanout an
+    /// equi-key join partitions over (0 for unknown types).
+    pub fn distinct_ids(&self, t: EventType) -> u64 {
+        self.per_type.get(&t).map_or(0, |s| s.distinct_ids)
     }
 
     /// Sampled pass rate of a pattern leaf: its type's events surviving
@@ -136,18 +157,39 @@ impl StreamStats {
 /// than the rest combined.
 const INTERVAL_JOIN_FREQ_THRESHOLD: f64 = 8.0;
 
-/// Derive the optimization set for a pattern from measured statistics.
+/// How the automatic optimizer orders a multi-way join chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingStrategy {
+    /// Price every left-deep permutation with the analyzer's candidate-
+    /// volume cost model (predicate-aware selectivities). The default.
+    #[default]
+    CostBased,
+    /// The prior heuristic: ascending effective rate, rarest stream
+    /// first. Kept reachable for A/B comparison (`plan-explain --order`).
+    RateHeuristic,
+}
+
+/// Derive the optimization set for a pattern from measured statistics,
+/// using the default [`OrderingStrategy::CostBased`] join ordering.
 pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
+    auto_options_with(pattern, stats, OrderingStrategy::CostBased)
+}
+
+/// [`auto_options`] with an explicit join-ordering strategy.
+pub fn auto_options_with(
+    pattern: &Pattern,
+    stats: &StreamStats,
+    strategy: OrderingStrategy,
+) -> MapperOptions {
     // O3: equi-keys always help (anything beats one global partition).
     let partition_by_key = !pattern.equi_keys().is_empty();
 
     // O2: required for Kleene+; exact ITER keeps the composing join chain.
     let aggregate_iteration = matches!(pattern.expr, PatternExpr::Iter { at_least: true, .. });
 
-    // Join order: rare streams first (top-level SEQ/AND operands only).
+    // Join order over the top-level SEQ/AND operands only.
     let join_order = match &pattern.expr {
         PatternExpr::Seq(parts) | PatternExpr::And(parts) if parts.len() > 2 => {
-            let mut idx: Vec<usize> = (0..parts.len()).collect();
             let mut rates: Vec<f64> = parts
                 .iter()
                 .map(|p| stats.effective_rate(pattern, p))
@@ -156,7 +198,14 @@ pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
             if rates.iter().all(|r| *r == 0.0) {
                 rates = vec![1.0; parts.len()];
             }
-            idx.sort_by(|a, b| rates[*a].total_cmp(&rates[*b]));
+            let idx = match strategy {
+                OrderingStrategy::CostBased => cost_based_order(pattern, parts, &rates, stats),
+                OrderingStrategy::RateHeuristic => {
+                    let mut idx: Vec<usize> = (0..parts.len()).collect();
+                    idx.sort_by(|a, b| rates[*a].total_cmp(&rates[*b]));
+                    idx
+                }
+            };
             if idx.windows(2).all(|w| w[0] < w[1]) {
                 JoinOrder::Textual // already sorted
             } else {
@@ -190,6 +239,185 @@ pub fn auto_options(pattern: &Pattern, stats: &StreamStats) -> MapperOptions {
         partition_by_key,
         join_order,
     }
+}
+
+/// Exhaustive enumeration cap: up to 7 operands we price all `n!`
+/// left-deep orders (≤ 5040 cheap evaluations); beyond that a greedy
+/// cheapest-next construction keeps planning O(n²).
+const EXHAUSTIVE_ORDER_LIMIT: usize = 7;
+
+/// Price every left-deep order of `parts` and return the cheapest.
+///
+/// Cost of an order is the total candidate volume its join chain
+/// examines: `Σ_k |acc_{k−1}| · r_k · W`, where the accumulated rate
+/// shrinks by a cross predicate's selectivity at the first join that
+/// binds all its variables — `1/key_fanout` for equi-key predicates,
+/// [`sea::annotations::DEFAULT_TERM_SELECTIVITY`] otherwise. Ties break
+/// toward ascending input rates and then the lexicographically smallest
+/// permutation, so planning is deterministic.
+fn cost_based_order(
+    pattern: &Pattern,
+    parts: &[PatternExpr],
+    rates: &[f64],
+    stats: &StreamStats,
+) -> Vec<usize> {
+    let n = parts.len();
+    let w_min = pattern.window.size_minutes().max(1.0 / 60.0);
+    // Variables bound by each operand.
+    let part_vars: Vec<Vec<VarId>> = parts
+        .iter()
+        .map(|p| {
+            p.leaves()
+                .iter()
+                .filter(|l| l.var != usize::MAX)
+                .map(|l| l.var)
+                .collect()
+        })
+        .collect();
+    let preds = pattern.cross_predicates();
+    let key_fanout = pattern
+        .expr
+        .input_types()
+        .into_iter()
+        .map(|t| stats.distinct_ids(t))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let pred_sel: Vec<f64> = preds
+        .iter()
+        .map(|p| {
+            if p.is_equi_key() {
+                1.0 / key_fanout
+            } else {
+                sea::annotations::DEFAULT_TERM_SELECTIVITY
+            }
+        })
+        .collect();
+
+    let cost_of = |order: &[usize]| -> f64 {
+        let mut bound: HashSet<VarId> = part_vars[order[0]].iter().copied().collect();
+        let mut applied = vec![false; preds.len()];
+        // Predicates confined to the first operand are already folded
+        // into its effective rate's pass sampling; just mark them.
+        for (i, p) in preds.iter().enumerate() {
+            if p.vars().iter().all(|v| bound.contains(v)) {
+                applied[i] = true;
+            }
+        }
+        let mut acc = rates[order[0]].max(1e-9);
+        let mut cost = 0.0;
+        for &k in &order[1..] {
+            let cand = acc * rates[k].max(1e-9) * w_min;
+            cost += cand;
+            bound.extend(part_vars[k].iter().copied());
+            let mut sel = 1.0;
+            for (i, p) in preds.iter().enumerate() {
+                if !applied[i] && p.vars().iter().all(|v| bound.contains(v)) {
+                    applied[i] = true;
+                    sel *= pred_sel[i];
+                }
+            }
+            acc = cand * sel;
+        }
+        cost
+    };
+
+    let better = |best: &(f64, Vec<usize>), cost: f64, order: &[usize]| -> bool {
+        match cost.total_cmp(&best.0) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                // Tie-break 1: ascending input-rate sequence (matches the
+                // rate heuristic on predicate-free patterns).
+                let a: Vec<f64> = order.iter().map(|i| rates[*i]).collect();
+                let b: Vec<f64> = best.1.iter().map(|i| rates[*i]).collect();
+                for (x, y) in a.iter().zip(&b) {
+                    match x.total_cmp(y) {
+                        std::cmp::Ordering::Less => return true,
+                        std::cmp::Ordering::Greater => return false,
+                        std::cmp::Ordering::Equal => {}
+                    }
+                }
+                // Tie-break 2: lexicographically smallest permutation.
+                order < best.1.as_slice()
+            }
+        }
+    };
+
+    if n <= EXHAUSTIVE_ORDER_LIMIT {
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut order: Vec<usize> = (0..n).collect();
+        permute(&mut order, 0, &mut |cand| {
+            let cost = cost_of(cand);
+            match &best {
+                Some(b) if !better(b, cost, cand) => {}
+                _ => best = Some((cost, cand.to_vec())),
+            }
+        });
+        best.map(|(_, o)| o).unwrap_or_else(|| (0..n).collect())
+    } else {
+        // Greedy: start from the rarest operand, then repeatedly append
+        // the operand whose join is cheapest given what is bound so far.
+        let mut remaining: Vec<usize> = (0..n).collect();
+        remaining.sort_by(|a, b| rates[*a].total_cmp(&rates[*b]));
+        let mut order = vec![remaining.remove(0)];
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let mut oa = order.clone();
+                    oa.push(**a);
+                    let mut ob = order.clone();
+                    ob.push(**b);
+                    cost_of(&oa).total_cmp(&cost_of(&ob))
+                })
+                .map(|(i, v)| (i, *v))
+                .unwrap_or((0, remaining[0]));
+            order.push(remaining.remove(pos));
+        }
+        order
+    }
+}
+
+/// Heap's algorithm, calling `visit` with every permutation of `items`.
+fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    let n = items.len();
+    if k == n.saturating_sub(1) || n == 0 {
+        visit(items);
+        return;
+    }
+    for i in k..n {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Turn measured stream statistics into analyzer [`Annotations`]: rates
+/// and per-position pass rates from the samples, key fanout from the
+/// distinct-id counts. Per-window peaks fall back to the `2 × rate × W`
+/// burst allowance (the stats keep no full timeline); use
+/// [`Annotations::measured`] when the complete streams are at hand.
+pub fn annotations_from_stats(pattern: &Pattern, stats: &StreamStats) -> Annotations {
+    let mut ann = Annotations::for_pattern(pattern);
+    for t in pattern.expr.input_types() {
+        ann = ann.with_rate(t, stats.rate(t));
+    }
+    for leaf in pattern.expr.leaves() {
+        if leaf.var != usize::MAX {
+            ann = ann.with_selectivity(leaf.var, stats.pass_rate(pattern, leaf));
+        }
+    }
+    ann.key_fanout = pattern
+        .expr
+        .input_types()
+        .into_iter()
+        .map(|t| stats.distinct_ids(t))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    ann
 }
 
 #[cfg(test)]
@@ -325,6 +553,61 @@ mod tests {
             vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 9.0)],
         );
         assert_eq!(auto_options(&p, &s).join_order, JoinOrder::Textual);
+    }
+
+    #[test]
+    fn selective_predicate_pulls_joined_streams_together() {
+        // Q and PM are frequent (8/min) but share a highly selective
+        // equi-key (64 distinct sensors); V is rare (1/min). The rate
+        // heuristic joins rare V first and pays 8/min × 8/min joins later;
+        // the cost model binds the 1/64 key early by joining Q ⋈ PM first.
+        let mk = |t: EventType, n: i64, step_ms: i64| -> Vec<Event> {
+            (0..n)
+                .map(|i| Event::new(t, (i % 64) as u32, Timestamp(i * step_ms), (i % 100) as f64))
+                .collect()
+        };
+        let src = HashMap::from([
+            (Q, mk(Q, 4800, 7_500)),
+            (V, mk(V, 600, 60_000)),
+            (PM, mk(PM, 4800, 7_500)),
+        ]);
+        let s = StreamStats::from_sources(&src);
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V"), (PM, "PM")],
+            WindowSpec::minutes(5),
+            vec![Predicate::same_id(0, 2)],
+        );
+        match auto_options_with(&p, &s, OrderingStrategy::RateHeuristic).join_order {
+            JoinOrder::Permutation(order) => assert_eq!(order[0], 1, "heuristic puts rare V first"),
+            JoinOrder::Textual => panic!("heuristic should reorder"),
+        }
+        match auto_options(&p, &s).join_order {
+            JoinOrder::Permutation(order) => {
+                assert_eq!(order[2], 1, "cost model defers V: {order:?}");
+                let mut first_two = [order[0], order[1]];
+                first_two.sort_unstable();
+                assert_eq!(first_two, [0, 2], "keyed streams join first: {order:?}");
+            }
+            JoinOrder::Textual => panic!("cost model should reorder"),
+        }
+    }
+
+    #[test]
+    fn annotations_from_stats_carry_rates_and_fanout() {
+        let mut src = sources(&[(Q, 600, 1), (V, 2400, 4)]);
+        for (i, e) in src.get_mut(&Q).expect("q").iter_mut().enumerate() {
+            e.id = (i % 16) as u32;
+        }
+        let s = StreamStats::from_sources(&src);
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            WindowSpec::minutes(5),
+            vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 24.0)],
+        );
+        let ann = annotations_from_stats(&p, &s);
+        assert!((ann.rate(V) - 4.0).abs() < 0.2, "rate {}", ann.rate(V));
+        assert!((ann.selectivity(0) - 0.25).abs() < 0.05);
+        assert_eq!(ann.key_fanout, 16.0);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! The falsifiability loop, exercised explicitly: for a determinism-style
+//! grid of patterns × executor configurations, compute the analyzer's
+//! concrete-stream [`runtime_bounds`] up front and assert the executed
+//! run's telemetry never violates them ([`RunReport::check_bounds`]).
+//!
+//! `exec::run_pattern` already performs this cross-check as a
+//! `debug_assert!`, but silently — this suite makes the contract a
+//! first-class test (and keeps it in release builds of the test profile),
+//! and pins the half-open window boundary end-to-end: a pair `W − 1` ms
+//! apart matches, a pair exactly `W` apart does not.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+
+use asp::event::{Attr, Event, EventType};
+use asp::runtime::ExecutorConfig;
+use asp::time::Timestamp;
+use cep2asp::exec::{run_pattern, split_by_type};
+use cep2asp::{runtime_bounds, translate, MapperOptions, PhysicalConfig};
+use sea::pattern::{builders, Leaf, Pattern, WindowSpec};
+use sea::predicate::{CmpOp, Predicate};
+
+const Q: EventType = EventType(0);
+const V: EventType = EventType(1);
+const P: EventType = EventType(2);
+
+/// A deterministic mixed-rate stream set: Q every minute, V every 2
+/// minutes, P every 5 minutes, ids cycling over 4 sensors.
+fn sources(minutes: i64) -> HashMap<EventType, Vec<Event>> {
+    let mut events = Vec::new();
+    for m in 0..minutes {
+        let id = (m % 4) as u32;
+        events.push(Event::new(
+            Q,
+            id,
+            Timestamp::from_minutes(m),
+            (m % 97) as f64,
+        ));
+        if m % 2 == 0 {
+            events.push(Event::new(
+                V,
+                id,
+                Timestamp::from_minutes(m),
+                (m % 89) as f64,
+            ));
+        }
+        if m % 5 == 0 {
+            events.push(Event::new(
+                P,
+                id,
+                Timestamp::from_minutes(m),
+                (m % 83) as f64,
+            ));
+        }
+    }
+    split_by_type(&events)
+}
+
+fn grid_patterns(w: i64) -> Vec<(&'static str, Pattern, MapperOptions)> {
+    let seq2 = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(w), vec![]);
+    let seq3 = builders::seq(
+        &[(Q, "Q"), (V, "V"), (P, "P")],
+        WindowSpec::minutes(w),
+        vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 60.0)],
+    );
+    let keyed = builders::seq(
+        &[(Q, "Q"), (V, "V")],
+        WindowSpec::minutes(w),
+        vec![Predicate::same_id(0, 1)],
+    );
+    let iter2 = builders::iter(V, "V", 2, WindowSpec::minutes(w), vec![]);
+    let nseq = builders::nseq(
+        (Q, "Q"),
+        Leaf::new(P, "P", "n").with_filter(Attr::Value, CmpOp::Le, 20.0),
+        (V, "V"),
+        WindowSpec::minutes(w),
+        vec![],
+    );
+    vec![
+        ("seq2-plain", seq2.clone(), MapperOptions::plain()),
+        ("seq2-o1", seq2, MapperOptions::o1()),
+        ("seq3-o1", seq3.clone(), MapperOptions::o1()),
+        ("seq3-plain", seq3, MapperOptions::plain()),
+        ("keyed-o1o3", keyed, MapperOptions::o1().and_o3()),
+        ("iter2-plain", iter2, MapperOptions::plain()),
+        ("nseq-o1", nseq, MapperOptions::o1()),
+    ]
+}
+
+#[test]
+fn telemetry_never_violates_static_bounds_across_the_grid() {
+    let sources = sources(40);
+    let phys = PhysicalConfig::default();
+    for (name, pattern, opts) in grid_patterns(6) {
+        let plan = translate(&pattern, &opts).unwrap();
+        let bounds = runtime_bounds(&plan, &pattern, &sources, &phys);
+        for batch_size in [1usize, 64] {
+            for chaining in [false, true] {
+                let exec = ExecutorConfig {
+                    batch_size,
+                    operator_chaining: chaining,
+                    ..ExecutorConfig::default()
+                };
+                let run = run_pattern(&pattern, &opts, &sources, &phys, &exec).unwrap();
+                let violations = run.report.check_bounds(&bounds);
+                assert!(
+                    violations.is_empty(),
+                    "{name} (batch={batch_size}, chaining={chaining}): {}",
+                    violations
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounds_are_not_vacuous() {
+    // Guard against check_bounds silently passing because the bounds were
+    // never populated: the computed bounds must be finite and an absurdly
+    // small hand-made bound must be reported as violated.
+    let sources = sources(40);
+    let phys = PhysicalConfig::default();
+    let pattern = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(6), vec![]);
+    let opts = MapperOptions::plain();
+    let plan = translate(&pattern, &opts).unwrap();
+    let bounds = runtime_bounds(&plan, &pattern, &sources, &phys);
+    assert!(bounds.max_sink_tuples.is_some() && bounds.max_total_state_bytes.is_some());
+
+    let run = run_pattern(&pattern, &opts, &sources, &phys, &ExecutorConfig::default()).unwrap();
+    assert!(run.raw_count() > 0, "grid workload must produce matches");
+    let absurd = asp::StaticBounds {
+        max_sink_tuples: Some(0),
+        max_total_state_bytes: Some(1),
+        origin: "test".into(),
+    };
+    let violations = run.report.check_bounds(&absurd);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+}
+
+/// End-to-end pin of the half-open window boundary: with `W = 4` minutes,
+/// a (Q, V) pair `W − 1` ms apart is co-hosted by some window `[k·s,
+/// k·s + W)` and must match; a pair exactly `W` apart can never share a
+/// window and must not. Oracle and mapped plans must agree on both.
+#[test]
+fn window_boundary_is_half_open_end_to_end() {
+    let w_ms = 4 * 60_000;
+    for (gap_ms, expect_match) in [(w_ms - 1, true), (w_ms, false)] {
+        let events = vec![
+            Event::new(Q, 1, Timestamp(0), 10.0),
+            Event::new(V, 1, Timestamp(gap_ms), 20.0),
+        ];
+        let pattern = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let oracle = sea::oracle::evaluate(&pattern, &events);
+        assert_eq!(
+            !oracle.is_empty(),
+            expect_match,
+            "oracle at gap {gap_ms} ms"
+        );
+        for opts in [MapperOptions::plain(), MapperOptions::o1()] {
+            let run = run_pattern(
+                &pattern,
+                &opts,
+                &split_by_type(&events),
+                &PhysicalConfig::default(),
+                &ExecutorConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                !run.dedup_matches().is_empty(),
+                expect_match,
+                "mapped plan at gap {gap_ms} ms"
+            );
+        }
+    }
+}

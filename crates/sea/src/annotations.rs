@@ -1,0 +1,407 @@
+//! Source-rate / selectivity annotations for static plan analysis.
+//!
+//! [`Annotations`] carries the per-type arrival rates, per-position
+//! predicate selectivities, and worst-case per-window event counts that
+//! `cep2asp::analyze` propagates bottom-up through a logical plan. Two
+//! construction modes:
+//!
+//! * [`Annotations::for_pattern`] — defaults derived from the pattern
+//!   alone: minute-granularity sensors (1 event/min per input type, the
+//!   paper's QnV/AQ arrival model), selectivity `0.5` per predicate term
+//!   (arity-derived), and per-window peaks of `rate × W`;
+//! * [`Annotations::measured`] — rates, per-leaf pass rates, and *actual*
+//!   per-aligned-window maxima measured from concrete streams. Bounds
+//!   computed from measured annotations are hard upper bounds for that
+//!   run, which is what makes the cost model falsifiable against the
+//!   runtime telemetry (see `RunReport::check_bounds` in `asp`).
+//!
+//! Window math shared with the analyzer lives on [`WindowSpec`]
+//! ([`WindowSpec::duplication_factor`], [`WindowSpec::windows_per_minute`],
+//! [`WindowSpec::size_minutes`]); the window convention throughout is the
+//! oracle's half-open `[k·s, k·s + W)`.
+
+use std::collections::HashMap;
+
+use asp::event::{Event, EventType};
+
+use crate::pattern::{Pattern, PatternExpr, WindowSpec};
+use crate::predicate::VarId;
+
+/// Default arrival rate assumed for un-annotated types (events/minute) —
+/// the minute-granularity sensor model of the paper's datasets.
+pub const DEFAULT_RATE_PER_MIN: f64 = 1.0;
+
+/// Default pass rate assumed per predicate term (leaf filter, pushed-down
+/// single-variable predicate, or cross predicate) when nothing was
+/// measured.
+pub const DEFAULT_TERM_SELECTIVITY: f64 = 0.5;
+
+impl WindowSpec {
+    /// Window size in minutes (fractional).
+    pub fn size_minutes(&self) -> f64 {
+        self.size.millis() as f64 / 60_000.0
+    }
+
+    /// Slide in minutes (fractional).
+    pub fn slide_minutes(&self) -> f64 {
+        self.slide.millis() as f64 / 60_000.0
+    }
+
+    /// How many half-open windows `[k·s, k·s + W)` contain one event:
+    /// `⌈W / s⌉` — the duplicate-emission factor of the sliding-window
+    /// mapping (paper Section 3.1.4).
+    pub fn duplication_factor(&self) -> f64 {
+        let s = self.slide.millis().max(1);
+        ((self.size.millis() + s - 1) / s).max(1) as f64
+    }
+
+    /// How many window instances fire per minute (`1 / slide`).
+    pub fn windows_per_minute(&self) -> f64 {
+        60_000.0 / self.slide.millis().max(1) as f64
+    }
+}
+
+/// Per-plan source-rate and selectivity annotations (see module docs).
+#[derive(Debug, Clone)]
+pub struct Annotations {
+    /// The pattern window the annotations were derived against.
+    pub window: WindowSpec,
+    /// Assumed selectivity of one cross (multi-variable) predicate.
+    pub cross_selectivity: f64,
+    /// Number of distinct partition keys (sensor ids) an equi-key join
+    /// fans out over; `1.0` when unknown.
+    pub key_fanout: f64,
+    rates: HashMap<EventType, f64>,
+    selectivities: HashMap<VarId, f64>,
+    max_per_window: HashMap<EventType, f64>,
+}
+
+impl Annotations {
+    /// Defaults derived from the pattern alone: every input type arrives
+    /// at [`DEFAULT_RATE_PER_MIN`], each predicate term on a position
+    /// contributes [`DEFAULT_TERM_SELECTIVITY`], and per-window peaks are
+    /// `2 × rate × W` (double the expectation, a mild burst allowance).
+    pub fn for_pattern(pattern: &Pattern) -> Self {
+        let mut rates = HashMap::new();
+        let mut max_per_window = HashMap::new();
+        let w_min = pattern.window.size_minutes();
+        for t in pattern.expr.input_types() {
+            rates.insert(t, DEFAULT_RATE_PER_MIN);
+            max_per_window.insert(t, (2.0 * DEFAULT_RATE_PER_MIN * w_min).max(1.0));
+        }
+        let mut selectivities = HashMap::new();
+        for leaf in pattern.expr.leaves() {
+            if leaf.var == usize::MAX {
+                continue;
+            }
+            let terms = leaf.filters.len() + pattern.single_var_predicates(leaf.var).len();
+            selectivities.insert(leaf.var, DEFAULT_TERM_SELECTIVITY.powi(terms as i32));
+        }
+        Annotations {
+            window: pattern.window,
+            cross_selectivity: DEFAULT_TERM_SELECTIVITY,
+            key_fanout: 1.0,
+            rates,
+            selectivities,
+            max_per_window,
+        }
+    }
+
+    /// Measure rates, per-leaf pass rates, per-window maxima, and key
+    /// fanout from concrete per-type streams. Streams need not be sorted;
+    /// a sorted copy is taken per type.
+    pub fn measured(pattern: &Pattern, sources: &HashMap<EventType, Vec<Event>>) -> Self {
+        let mut ann = Annotations::for_pattern(pattern);
+        let w = pattern.window.size.millis().max(1);
+        let s = pattern.window.slide.millis().max(1);
+        let mut ids: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (t, evs) in sources {
+            if evs.is_empty() {
+                ann.rates.insert(*t, 0.0);
+                ann.max_per_window.insert(*t, 0.0);
+                continue;
+            }
+            let mut ts: Vec<i64> = evs.iter().map(|e| e.ts.millis()).collect();
+            ts.sort_unstable();
+            let span_ms = (ts[ts.len() - 1] - ts[0]).max(1) as f64;
+            ann.rates
+                .insert(*t, evs.len() as f64 / (span_ms / 60_000.0).max(1.0 / 60.0));
+            ann.max_per_window
+                .insert(*t, max_aligned_window_count(&ts, w, s) as f64);
+            ids.extend(evs.iter().map(|e| u64::from(e.id)));
+        }
+        ann.key_fanout = (ids.len() as f64).max(1.0);
+        // Measured pass rates per bound leaf (type filter + leaf filters +
+        // pushed-down single-variable predicates).
+        for leaf in pattern.expr.leaves() {
+            if leaf.var == usize::MAX {
+                continue;
+            }
+            let Some(evs) = sources.get(&leaf.etype) else {
+                continue;
+            };
+            if evs.is_empty() {
+                continue;
+            }
+            let single = pattern.single_var_predicates(leaf.var);
+            let mut binding: Vec<Option<Event>> = vec![None; pattern.positions().max(1)];
+            let pass = evs
+                .iter()
+                .filter(|e| {
+                    if !leaf.accepts(e) {
+                        return false;
+                    }
+                    binding.iter_mut().for_each(|b| *b = None);
+                    binding[leaf.var] = Some(**e);
+                    single.iter().all(|p| p.eval_sparse(&binding))
+                })
+                .count();
+            ann.selectivities
+                .insert(leaf.var, pass as f64 / evs.len() as f64);
+        }
+        ann
+    }
+
+    /// Override the arrival rate of a type (events/minute).
+    pub fn with_rate(mut self, t: EventType, rate_per_min: f64) -> Self {
+        let w_min = self.window.size_minutes();
+        self.rates.insert(t, rate_per_min);
+        self.max_per_window
+            .insert(t, (2.0 * rate_per_min * w_min).max(1.0));
+        self
+    }
+
+    /// Override the selectivity of a bound position.
+    pub fn with_selectivity(mut self, var: VarId, s: f64) -> Self {
+        self.selectivities.insert(var, s);
+        self
+    }
+
+    /// Arrival rate of a type, events/minute.
+    pub fn rate(&self, t: EventType) -> f64 {
+        self.rates.get(&t).copied().unwrap_or(DEFAULT_RATE_PER_MIN)
+    }
+
+    /// Post-filter selectivity of a bound position (`1.0` if unknown).
+    pub fn selectivity(&self, var: VarId) -> f64 {
+        self.selectivities.get(&var).copied().unwrap_or(1.0)
+    }
+
+    /// Worst-case events of a type in one half-open window
+    /// `[k·s, k·s + W)`.
+    pub fn max_per_window(&self, t: EventType) -> f64 {
+        self.max_per_window
+            .get(&t)
+            .copied()
+            .unwrap_or_else(|| (2.0 * self.rate(t) * self.window.size_minutes()).max(1.0))
+    }
+}
+
+/// Maximum number of timestamps (sorted, ms) falling in any aligned
+/// half-open window `[k·s, k·s + W)` — the oracle's window enumeration.
+pub fn max_aligned_window_count(sorted_ts: &[i64], w_ms: i64, s_ms: i64) -> usize {
+    if sorted_ts.is_empty() {
+        return 0;
+    }
+    let s = s_ms.max(1);
+    let w = w_ms.max(1);
+    let min_ts = sorted_ts[0];
+    let max_ts = sorted_ts[sorted_ts.len() - 1];
+    let mut start = (min_ts - w + 1).div_euclid(s) * s;
+    let mut best = 0usize;
+    while start <= max_ts {
+        let lo = sorted_ts.partition_point(|t| *t < start);
+        let hi = sorted_ts.partition_point(|t| *t < start + w);
+        best = best.max(hi - lo);
+        start += s;
+    }
+    best
+}
+
+/// Maximum number of timestamps (sorted, ms) in any *unaligned* half-open
+/// interval of the given length — bounds what an interval join or the NFA
+/// can hold live at once (constituents of a partial match span `< W`
+/// regardless of window alignment).
+pub fn max_interval_count(sorted_ts: &[i64], len_ms: i64) -> usize {
+    let mut best = 0usize;
+    let mut lo = 0usize;
+    for hi in 0..sorted_ts.len() {
+        while sorted_ts[hi] - sorted_ts[lo] >= len_ms.max(1) {
+            lo += 1;
+        }
+        best = best.max(hi - lo + 1);
+    }
+    best
+}
+
+/// Pattern-level worst-case match count for one window whose per-type
+/// event counts are given by `counts` — the per-window soundness bound the
+/// analyzer's plan-level estimates must never undercut (proptested against
+/// the oracle in `tests/analyzer_soundness.rs`).
+///
+/// Predicates and ordering constraints only ever *reduce* matches, so they
+/// are ignored: `SEQ`/`AND` multiply, `OR` sums, `ITER_m` counts
+/// `C(n, m)` skip-till-any combinations (`Σ_{k≥m} C(n, k)` for Kleene+),
+/// and `NSEQ` pairs first × last.
+pub fn pattern_window_bound(expr: &PatternExpr, counts: &dyn Fn(EventType) -> f64) -> f64 {
+    match expr {
+        PatternExpr::Leaf(l) => counts(l.etype),
+        PatternExpr::Seq(parts) | PatternExpr::And(parts) => parts
+            .iter()
+            .map(|p| pattern_window_bound(p, counts))
+            .product(),
+        PatternExpr::Or(parts) => parts.iter().map(|p| pattern_window_bound(p, counts)).sum(),
+        PatternExpr::Iter { leaf, m, at_least } => {
+            let n = counts(leaf.etype);
+            if *at_least {
+                // Σ_{k ≥ m} C(n, k) ≤ 2^n (capped to stay finite).
+                2f64.powf(n.min(1024.0))
+            } else {
+                choose(n, *m)
+            }
+        }
+        PatternExpr::NegSeq { first, last, .. } => counts(first.etype) * counts(last.etype),
+    }
+}
+
+/// Worst-case live NFA partial matches (runs) for per-type counts taken
+/// over any sliding window-length interval: `1 + Σ_k Π_{i≤k} n(tᵢ)` over
+/// the bound stage prefixes (skip-till-any keeps every prefix combination
+/// alive until the window expires it).
+///
+/// Stages mirror the NFA's compilation, not the expression's leaves: an
+/// `ITER_m` contributes `m` stages of its type (each repetition binds its
+/// own event, so length-`k` prefixes multiply `k` times), and a negation
+/// leaf contributes none (the absent type gates transitions but never
+/// binds a run of its own).
+pub fn nfa_prefix_bound(pattern: &Pattern, counts: &dyn Fn(EventType) -> f64) -> f64 {
+    fn stages(expr: &PatternExpr, out: &mut Vec<EventType>) {
+        match expr {
+            PatternExpr::Leaf(l) => out.push(l.etype),
+            PatternExpr::Seq(parts) | PatternExpr::And(parts) | PatternExpr::Or(parts) => {
+                for p in parts {
+                    stages(p, out);
+                }
+            }
+            PatternExpr::Iter { leaf, m, .. } => out.extend((0..*m).map(|_| leaf.etype)),
+            PatternExpr::NegSeq { first, last, .. } => {
+                out.push(first.etype);
+                out.push(last.etype);
+            }
+        }
+    }
+    let mut sts = Vec::new();
+    stages(&pattern.expr, &mut sts);
+    let mut total = 1.0;
+    let mut prefix = 1.0;
+    for t in sts {
+        prefix *= counts(t);
+        total += prefix;
+    }
+    total
+}
+
+/// Real-valued falling-factorial binomial `C(n, m)` (0 when `n < m`).
+fn choose(n: f64, m: usize) -> f64 {
+    if n < m as f64 {
+        return 0.0;
+    }
+    let mut acc = 1.0;
+    for i in 0..m {
+        acc = acc * (n - i as f64) / (i as f64 + 1.0);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::builders;
+    use crate::predicate::{CmpOp, Predicate};
+    use asp::event::Attr;
+    use asp::time::Timestamp;
+
+    const Q: EventType = EventType(0);
+    const V: EventType = EventType(1);
+
+    fn minute_stream(t: EventType, n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(t, 1, Timestamp(i as i64 * 60_000), (i % 100) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn defaults_derive_from_predicate_arity() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            crate::pattern::WindowSpec::minutes(4),
+            vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, 50.0)],
+        );
+        let ann = Annotations::for_pattern(&p);
+        assert!((ann.selectivity(0) - 0.5).abs() < 1e-9, "one term → 0.5");
+        assert!((ann.selectivity(1) - 1.0).abs() < 1e-9, "no terms → 1.0");
+        assert!((ann.rate(Q) - 1.0).abs() < 1e-9);
+        // Peak default: 2 × rate × W.
+        assert!((ann.max_per_window(Q) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_rates_and_window_maxima() {
+        let p = builders::seq(
+            &[(Q, "Q"), (V, "V")],
+            crate::pattern::WindowSpec::minutes(4),
+            vec![],
+        );
+        let sources = HashMap::from([(Q, minute_stream(Q, 60)), (V, minute_stream(V, 60))]);
+        let ann = Annotations::measured(&p, &sources);
+        assert!((ann.rate(Q) - 1.0).abs() < 0.1, "rate {}", ann.rate(Q));
+        // One event per minute, 4-minute window → exactly 4 per window.
+        assert!((ann.max_per_window(Q) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aligned_window_count_is_half_open() {
+        // W = 4, s = 2: window [0, 4) holds ts 0..3 but not ts 4.
+        assert_eq!(max_aligned_window_count(&[0, 3], 4, 2), 2);
+        // ts 0 and 4 never share a window: the end is exclusive.
+        assert_eq!(max_aligned_window_count(&[0, 4], 4, 2), 1);
+    }
+
+    #[test]
+    fn interval_count_is_strict() {
+        // Span < len: both in one interval; span == len: never together.
+        assert_eq!(max_interval_count(&[0, 3], 4), 2);
+        assert_eq!(max_interval_count(&[0, 4], 4), 1);
+    }
+
+    #[test]
+    fn window_bound_formulas() {
+        let w = crate::pattern::WindowSpec::minutes(4);
+        let seq = builders::seq(&[(Q, "Q"), (V, "V")], w, vec![]);
+        let counts = |t: EventType| if t == Q { 3.0 } else { 5.0 };
+        assert!((pattern_window_bound(&seq.expr, &counts) - 15.0).abs() < 1e-9);
+        let it = builders::iter(V, "V", 2, w, vec![]);
+        // C(5, 2) = 10.
+        assert!((pattern_window_bound(&it.expr, &counts) - 10.0).abs() < 1e-9);
+        let kp = builders::kleene_plus(V, "V", 2, w);
+        assert!(pattern_window_bound(&kp.expr, &counts) >= 10.0);
+    }
+
+    #[test]
+    fn nfa_bound_sums_prefix_products() {
+        let w = crate::pattern::WindowSpec::minutes(4);
+        let seq = builders::seq(&[(Q, "Q"), (V, "V")], w, vec![]);
+        let counts = |t: EventType| if t == Q { 3.0 } else { 5.0 };
+        // 1 + 3 + 3·5 = 19.
+        assert!((nfa_prefix_bound(&seq, &counts) - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplication_factor_is_ceiling() {
+        let w = crate::pattern::WindowSpec::minutes(4);
+        assert!((w.duplication_factor() - 4.0).abs() < 1e-9);
+        let w = crate::pattern::WindowSpec::minutes(5)
+            .with_slide(asp::time::Duration::from_millis(120_000));
+        assert!((w.duplication_factor() - 3.0).abs() < 1e-9, "⌈5/2⌉ = 3");
+    }
+}

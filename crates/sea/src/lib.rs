@@ -15,11 +15,16 @@
 //!   (`PATTERN … WHERE … WITHIN … RETURN *`) the paper sketches as future
 //!   work.
 
+pub mod annotations;
 pub mod oracle;
 pub mod parser;
 pub mod pattern;
 pub mod predicate;
 
+pub use annotations::{
+    max_aligned_window_count, max_interval_count, nfa_prefix_bound, pattern_window_bound,
+    Annotations,
+};
 pub use parser::{parse, ParseError};
 pub use pattern::{builders, Leaf, LocalFilter, Pattern, PatternError, PatternExpr, WindowSpec};
 pub use predicate::{CmpOp, Expr, Predicate, VarId};

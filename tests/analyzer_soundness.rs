@@ -1,0 +1,200 @@
+//! Analyzer soundness, property-tested: the static worst-case bounds of
+//! `sea::annotations` (which `cep2asp::analyze` builds its per-node
+//! estimates from) must never undercut what the executable semantics
+//! actually produce.
+//!
+//! Two oracles falsify the cost model:
+//!
+//! 1. the formal oracle's per-window match count is bounded by
+//!    [`pattern_window_bound`] evaluated at that window's true per-type
+//!    content counts (predicates only ever reduce matches, so the
+//!    predicate-blind bound must dominate);
+//! 2. the NFA baseline's live-run peak is bounded by
+//!    [`nfa_prefix_bound`] evaluated at the per-type peaks over any
+//!    window-length interval ([`max_interval_count`] — partial matches
+//!    span `< W` regardless of window alignment).
+//!
+//! A failure here means `analyze`'s EXPLAIN numbers (and the debug-build
+//! runtime cross-check derived from the same formulas) can lie.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+
+use asp::event::{Attr, Event, EventType};
+use asp::time::Timestamp;
+use cep::{Nfa, NfaEngine, SelectionPolicy};
+use proptest::prelude::*;
+use sea::pattern::{builders, Leaf, Pattern, WindowSpec};
+use sea::predicate::{CmpOp, Predicate};
+use sea::{max_interval_count, nfa_prefix_bound, pattern_window_bound};
+
+const TYPES: [(EventType, &str); 3] = [
+    (EventType(0), "A"),
+    (EventType(1), "B"),
+    (EventType(2), "C"),
+];
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u16..3, 0u32..3, 0i64..40, 0u32..100).prop_map(|(t, id, minute, v)| {
+        Event::new(EventType(t), id, Timestamp::from_minutes(minute), v as f64)
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(arb_event(), 5..60)
+}
+
+/// Pattern shapes under test; a subset is NFA-compilable.
+#[derive(Debug, Clone)]
+enum Shape {
+    Seq(Vec<usize>),
+    And(Vec<usize>),
+    IterExact {
+        t: usize,
+        m: usize,
+    },
+    Nseq {
+        first: usize,
+        absent: usize,
+        last: usize,
+    },
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        proptest::collection::vec(0usize..3, 2..4).prop_map(Shape::Seq),
+        proptest::collection::vec(0usize..3, 2..3).prop_map(Shape::And),
+        (0usize..3, 2usize..4).prop_map(|(t, m)| Shape::IterExact { t, m }),
+        (0usize..3, 0usize..3, 0usize..3)
+            .prop_filter("absent must differ from first", |(f, a, _)| f != a)
+            .prop_map(|(first, absent, last)| Shape::Nseq {
+                first,
+                absent,
+                last
+            }),
+    ]
+}
+
+fn make_pattern(shape: &Shape, w_minutes: i64, threshold: f64) -> Pattern {
+    let w = WindowSpec::minutes(w_minutes);
+    match shape {
+        Shape::Seq(ts) => {
+            let types: Vec<_> = ts.iter().map(|&i| TYPES[i]).collect();
+            let preds = vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, threshold)];
+            builders::seq(&types, w, preds)
+        }
+        Shape::And(ts) => {
+            let types: Vec<_> = ts.iter().map(|&i| TYPES[i]).collect();
+            builders::and(&types, w, vec![])
+        }
+        Shape::IterExact { t, m } => {
+            let (etype, name) = TYPES[*t];
+            let preds = vec![Predicate::threshold(0, Attr::Value, CmpOp::Le, threshold)];
+            builders::iter(etype, name, *m, w, preds)
+        }
+        Shape::Nseq {
+            first,
+            absent,
+            last,
+        } => builders::nseq(
+            TYPES[*first],
+            Leaf::new(TYPES[*absent].0, TYPES[*absent].1, "n").with_filter(
+                Attr::Value,
+                CmpOp::Gt,
+                threshold,
+            ),
+            TYPES[*last],
+            w,
+            vec![],
+        ),
+    }
+}
+
+/// Per-type event counts of one window's content, as an `f64` lookup.
+fn content_counts(content: &[Event]) -> HashMap<EventType, f64> {
+    let mut m: HashMap<EventType, f64> = HashMap::new();
+    for e in content {
+        *m.entry(e.etype).or_default() += 1.0;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 200,
+    })]
+
+    /// Oracle per-window match counts never exceed the static per-window
+    /// bound at the window's true content counts.
+    #[test]
+    fn oracle_window_counts_respect_static_bound(
+        events in arb_stream(),
+        shape in arb_shape(),
+        w in 2i64..8,
+        threshold in 10.0f64..90.0,
+    ) {
+        let pattern = make_pattern(&shape, w, threshold);
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.ts);
+        for (wid, matches) in sea::oracle::evaluate_per_window(&pattern, &events) {
+            let lo = sorted.partition_point(|e| e.ts < wid.start);
+            let hi = sorted.partition_point(|e| e.ts < wid.end);
+            let counts = content_counts(&sorted[lo..hi]);
+            let bound = pattern_window_bound(&pattern.expr, &|t| {
+                counts.get(&t).copied().unwrap_or(0.0)
+            });
+            prop_assert!(
+                (matches.len() as f64) <= bound + 1e-9,
+                "window {:?}: {} oracle matches > static bound {} for {:?}",
+                wid, matches.len(), bound, shape
+            );
+        }
+    }
+
+    /// The NFA's live partial-match peak never exceeds the static prefix
+    /// bound at the per-type interval peaks (NFA-supported shapes only:
+    /// SEQ, exact ITER, ternary NSEQ — AND has no NFA form).
+    #[test]
+    fn nfa_run_peak_respects_static_bound(
+        events in arb_stream(),
+        shape in arb_shape(),
+        w in 2i64..8,
+        threshold in 10.0f64..90.0,
+    ) {
+        let pattern = make_pattern(&shape, w, threshold);
+        let Ok(nfa) = Nfa::compile(&pattern) else {
+            return Ok(()); // AND — unsupported by the baseline (Table 2).
+        };
+        let w_ms = pattern.window.size.millis();
+        let mut per_type_ts: HashMap<EventType, Vec<i64>> = HashMap::new();
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.ts);
+        for e in &sorted {
+            per_type_ts.entry(e.etype).or_default().push(e.ts.millis());
+        }
+        let bound = nfa_prefix_bound(&pattern, &|t| {
+            per_type_ts
+                .get(&t)
+                .map(|ts| max_interval_count(ts, w_ms) as f64)
+                .unwrap_or(0.0)
+        });
+
+        let mut engine = NfaEngine::new(nfa, SelectionPolicy::SkipTillAnyMatch);
+        let mut out = Vec::new();
+        let mut peak = 0usize;
+        for e in &sorted {
+            // Watermark = current ts: everything older than a full window
+            // is dead, mirroring the runtime's pruning discipline.
+            engine.prune(e.ts);
+            engine.process(e, &mut out);
+            peak = peak.max(engine.run_count());
+        }
+        prop_assert!(
+            (peak as f64) <= bound + 1e-9,
+            "NFA live-run peak {} > static prefix bound {} for {:?}",
+            peak, bound, shape
+        );
+    }
+}

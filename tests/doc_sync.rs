@@ -1,0 +1,124 @@
+//! Doc-sync: DESIGN.md's diagnostic-code tables must match the enums.
+//!
+//! Each stable code family (`Gxxx` graph validation, `Pxxx` plan lints,
+//! `Axxx` analyzer diagnostics) is documented as a markdown table in
+//! DESIGN.md ("Static analysis & invariants" / "Static cost model").
+//! Renaming, adding, or removing a variant without updating the docs —
+//! or documenting a code that no longer exists — fails here.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::BTreeSet;
+
+/// Collect the code column of every `| X0nn | ... |` table row in
+/// DESIGN.md for the given prefix letter.
+fn documented_codes(design: &str, prefix: char) -> BTreeSet<String> {
+    design
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let cell = line.strip_prefix('|')?.split('|').next()?.trim();
+            let mut chars = cell.chars();
+            if chars.next()? != prefix {
+                return None;
+            }
+            let digits: String = chars.collect();
+            if digits.len() == 3 && digits.chars().all(|c| c.is_ascii_digit()) {
+                Some(cell.to_string())
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn design_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md");
+    std::fs::read_to_string(path).expect("DESIGN.md readable at workspace root")
+}
+
+fn assert_in_sync(family: &str, documented: &BTreeSet<String>, code: &BTreeSet<String>) {
+    let missing: Vec<&String> = code.difference(documented).collect();
+    let stale: Vec<&String> = documented.difference(code).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "{family} code table out of sync with DESIGN.md — \
+         undocumented in DESIGN.md: {missing:?}; documented but gone from the enum: {stale:?}"
+    );
+}
+
+#[test]
+fn graph_validator_codes_match_design_md() {
+    let code: BTreeSet<String> = asp::validate::Code::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(
+        code.len(),
+        asp::validate::Code::ALL.len(),
+        "duplicate G code"
+    );
+    assert_in_sync("Gxxx", &documented_codes(&design_md(), 'G'), &code);
+}
+
+#[test]
+fn plan_lint_codes_match_design_md() {
+    let code: BTreeSet<String> = cep2asp::LintCode::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(code.len(), cep2asp::LintCode::ALL.len(), "duplicate P code");
+    assert_in_sync("Pxxx", &documented_codes(&design_md(), 'P'), &code);
+}
+
+#[test]
+fn analyzer_codes_match_design_md() {
+    let code: BTreeSet<String> = cep2asp::AnalyzeCode::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(
+        code.len(),
+        cep2asp::AnalyzeCode::ALL.len(),
+        "duplicate A code"
+    );
+    assert_in_sync("Axxx", &documented_codes(&design_md(), 'A'), &code);
+}
+
+#[test]
+fn code_tables_are_dense_and_ordered() {
+    // Codes are stable identifiers: each family must be X001..X00n with
+    // no gaps, in declaration order, so a new code can only be appended.
+    let families: [(&str, Vec<String>); 3] = [
+        (
+            "G",
+            asp::validate::Code::ALL
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect(),
+        ),
+        (
+            "P",
+            cep2asp::LintCode::ALL
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect(),
+        ),
+        (
+            "A",
+            cep2asp::AnalyzeCode::ALL
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect(),
+        ),
+    ];
+    for (prefix, codes) in families {
+        for (i, code) in codes.iter().enumerate() {
+            assert_eq!(
+                code,
+                &format!("{prefix}{:03}", i + 1),
+                "{prefix} codes must be dense and in declaration order"
+            );
+        }
+    }
+}
