@@ -314,6 +314,10 @@ pub struct StaticBounds {
     pub max_sink_tuples: Option<u64>,
     /// Upper bound on the summed per-operator peak state, bytes.
     pub max_total_state_bytes: Option<u64>,
+    /// Upper bound on the longest per-key run any keyed join side may
+    /// buffer (tuples sharing one partition key on one side of one join
+    /// instance).
+    pub max_keyed_run: Option<u64>,
     /// Where the bounds came from (module path or experiment name),
     /// echoed in violation reports.
     pub origin: String,
@@ -322,7 +326,8 @@ pub struct StaticBounds {
 /// One observed quantity that exceeded its [`StaticBounds`] limit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BoundViolation {
-    /// Which quantity overflowed (`"sink_tuples"`, `"state_bytes"`).
+    /// Which quantity overflowed (`"sink_tuples"`, `"state_bytes"`,
+    /// `"keyed_run_len"`).
     pub quantity: &'static str,
     /// The value the run actually reached.
     pub actual: u64,

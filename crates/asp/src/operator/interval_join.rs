@@ -10,12 +10,11 @@
 //! duplicate-free, needs no slide-size parameter, and creates windows only
 //! where `T1` events actually occur.
 
-use std::collections::{BTreeMap, HashMap};
-
 use crate::error::OpError;
-use crate::operator::{Collector, JoinPredicate, Operator};
+use crate::operator::keyed_side::KeyedSide;
+use crate::operator::{Collector, JoinPredicate, KeyedStateStats, Operator};
 use crate::time::{Duration, Timestamp};
-use crate::tuple::{Key, TsRule, Tuple};
+use crate::tuple::{TsRule, Tuple};
 
 /// The relative time window a left event opens over the right stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,61 +57,21 @@ impl IntervalBounds {
     }
 }
 
-/// Buffered side: per key, tuples ordered by `(ts, arrival)` so range scans
-/// are logarithmic + output-linear.
-struct Side {
-    by_key: HashMap<Key, BTreeMap<(Timestamp, u64), Tuple>>,
-    bytes: usize,
-    /// Cutoff of the last completed eviction sweep: everything below it is
-    /// already gone, so a watermark that doesn't advance the cutoff skips
-    /// the per-key scan entirely (watermarks arrive far more often than
-    /// they advance past buffered data).
-    low_water: Timestamp,
-}
-
-impl Default for Side {
-    fn default() -> Self {
-        Side {
-            by_key: HashMap::new(),
-            bytes: 0,
-            low_water: Timestamp::MIN,
-        }
-    }
-}
-
-impl Side {
-    fn insert(&mut self, seq: u64, t: Tuple) {
-        self.bytes += t.mem_bytes();
-        self.by_key.entry(t.key).or_default().insert((t.ts, seq), t);
-    }
-
-    /// Evict everything with `ts < cutoff`.
-    fn evict_before(&mut self, cutoff: Timestamp) {
-        if cutoff <= self.low_water {
-            return;
-        }
-        self.low_water = cutoff;
-        for buf in self.by_key.values_mut() {
-            while let Some((&(ts, seq), _)) = buf.first_key_value() {
-                if ts >= cutoff {
-                    break;
-                }
-                let removed = buf.remove(&(ts, seq)).expect("entry exists");
-                self.bytes = self.bytes.saturating_sub(removed.mem_bytes());
-            }
-        }
-        self.by_key.retain(|_, buf| !buf.is_empty());
-    }
-}
-
 /// The two-input interval join operator.
+///
+/// Each side buffers in a key-partitioned [`KeyedSide`]: an arriving tuple
+/// probes only its own key's ts-ordered run on the opposite side, and the
+/// side's global arrival index makes watermark eviction a range split —
+/// near O(evicted) — instead of a per-tuple `remove` walk over every key.
+/// A sweep whose cutoff precedes the earliest buffered tuple is O(1)
+/// (watermarks arrive far more often than they advance past data).
 pub struct IntervalJoinOp {
     name: String,
     bounds: IntervalBounds,
     theta: JoinPredicate,
     ts_rule: TsRule,
-    left: Side,
-    right: Side,
+    left: KeyedSide,
+    right: KeyedSide,
     seq: u64,
     memory_limit: Option<usize>,
     emitted: u64,
@@ -132,8 +91,8 @@ impl IntervalJoinOp {
             bounds,
             theta,
             ts_rule,
-            left: Side::default(),
-            right: Side::default(),
+            left: KeyedSide::default(),
+            right: KeyedSide::default(),
             seq: 0,
             memory_limit: None,
             emitted: 0,
@@ -153,7 +112,7 @@ impl IntervalJoinOp {
 
     fn check_limit(&self) -> Result<(), OpError> {
         if let Some(limit) = self.memory_limit {
-            let used = self.left.bytes + self.right.bytes;
+            let used = self.left.bytes() + self.right.bytes();
             if used > limit {
                 return Err(OpError::MemoryExhausted {
                     operator: self.name.clone(),
@@ -176,7 +135,7 @@ impl Operator for IntervalJoinOp {
         self.seq += 1;
         if input == 0 {
             // New left e1: probe buffered rights with ts ∈ (e1.ts+lb, e1.ts+ub).
-            if let Some(buf) = self.right.by_key.get(&tuple.key) {
+            if let Some(buf) = self.right.run(tuple.key) {
                 let lo = (tuple.ts + self.bounds.lower, u64::MAX);
                 for ((rts, _), r) in buf.range(lo..) {
                     if *rts >= tuple.ts + self.bounds.upper {
@@ -192,7 +151,7 @@ impl Operator for IntervalJoinOp {
         } else {
             // New right e2: probe buffered lefts with e2.ts ∈ (l.ts+lb, l.ts+ub),
             // i.e. l.ts ∈ (e2.ts - ub, e2.ts - lb).
-            if let Some(buf) = self.left.by_key.get(&tuple.key) {
+            if let Some(buf) = self.left.run(tuple.key) {
                 let lo = (tuple.ts - self.bounds.upper, u64::MAX);
                 for ((lts, _), l) in buf.range(lo..) {
                     if *lts >= tuple.ts - self.bounds.lower {
@@ -243,7 +202,15 @@ impl Operator for IntervalJoinOp {
     }
 
     fn state_bytes(&self) -> usize {
-        self.left.bytes + self.right.bytes
+        self.left.bytes() + self.right.bytes()
+    }
+
+    fn keyed_state(&self) -> Option<KeyedStateStats> {
+        Some(KeyedStateStats {
+            left_keys: self.left.peak_keys(),
+            right_keys: self.right.peak_keys(),
+            max_run_len: self.left.peak_run().max(self.right.peak_run()),
+        })
     }
 
     fn name(&self) -> &str {
@@ -379,6 +346,30 @@ mod tests {
         // Expected pairs: (l@i, r@j) with i < j < i+3 → j ∈ {i+1, i+2}.
         let expected: usize = (0..20).map(|i| ((i + 1)..20.min(i + 3)).count()).sum();
         assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn keyed_state_tracks_runs_per_side() {
+        let mut op = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::seq(Duration::from_minutes(15)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let mut col = VecCollector::default();
+        for (i, key) in [1u32, 2, 2, 2].iter().enumerate() {
+            op.process(0, tup(0, *key, i as i64, 1.0), &mut col)
+                .unwrap();
+        }
+        op.process(1, tup(1, 9, 1, 2.0), &mut col).unwrap();
+        let ks = op.keyed_state().expect("joins report keyed state");
+        assert_eq!(ks.left_keys, 2);
+        assert_eq!(ks.right_keys, 1);
+        assert_eq!(ks.max_run_len, 3, "key 2 holds three lefts");
+        // Peaks are high-water marks: they survive full eviction.
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(op.state_bytes(), 0);
+        assert_eq!(op.keyed_state().expect("keyed").max_run_len, 3);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Shared key-partitioned buffer layout for the binary temporal joins.
+//!
+//! Both [`WindowJoinOp`](crate::operator::WindowJoinOp) and
+//! [`IntervalJoinOp`](crate::operator::IntervalJoinOp) buffer each side as
+//! a [`KeyedSide`]: a hash map from partition key to a ts-ordered *run*
+//! (`BTreeMap<(ts, seq), Tuple>`), so a probing tuple touches only its own
+//! key's run — per-pane work is O(band × matches-per-key) instead of
+//! O(band × pane). A second, global `(ts, seq) → key` **arrival index**
+//! preserves everything the old single-map layout provided for free:
+//!
+//! * deterministic cross-key iteration in `(ts, seq)` order (the window
+//!   join's band scans emit in exactly the pre-partitioning order),
+//! * O(1) earliest-ts lookup for empty-window skipping, and
+//! * range eviction: one `split_off` on the index yields the evicted
+//!   entries, and only the *touched* keys' runs are then split — near
+//!   O(evicted), never a per-tuple `remove` walk over every key.
+//!
+//! Byte accounting charges [`Tuple::mem_bytes`] per buffered tuple, same
+//! as the old layout; the ~24-byte index entry rides inside the static
+//! cost model's per-tuple map-entry allowance (see
+//! `cep2asp::analyze::tuple_state_bytes`). The side also tracks two
+//! high-water marks — peak resident keys and longest run — surfaced
+//! through [`Operator::keyed_state`](crate::operator::Operator::keyed_state)
+//! and bounded by the analyzer's `max_keyed_run`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::time::Timestamp;
+use crate::tuple::{Key, Tuple};
+
+/// One key's ts-ordered run. The `u64` is the operator-local arrival
+/// sequence number, which makes entries unique and keeps iteration
+/// deterministic for equal timestamps.
+pub(crate) type Run = BTreeMap<(Timestamp, u64), Tuple>;
+
+/// One join side, key-partitioned (see module docs).
+#[derive(Default)]
+pub(crate) struct KeyedSide {
+    by_key: HashMap<Key, Run>,
+    /// Global `(ts, seq) → key` arrival index over every buffered tuple.
+    order: BTreeMap<(Timestamp, u64), Key>,
+    bytes: usize,
+    peak_keys: usize,
+    peak_run: usize,
+}
+
+impl KeyedSide {
+    /// Buffer a tuple under its partition key.
+    pub fn insert(&mut self, seq: u64, t: Tuple) {
+        self.bytes += t.mem_bytes();
+        let key = t.key;
+        self.order.insert((t.ts, seq), key);
+        let run = self.by_key.entry(key).or_default();
+        run.insert((t.ts, seq), t);
+        self.peak_run = self.peak_run.max(run.len());
+        self.peak_keys = self.peak_keys.max(self.by_key.len());
+    }
+
+    /// Timestamp of the earliest buffered tuple, across all keys.
+    pub fn earliest(&self) -> Option<Timestamp> {
+        self.order.first_key_value().map(|((ts, _), _)| *ts)
+    }
+
+    /// Buffered footprint in bytes ([`Tuple::mem_bytes`] per tuple).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// High-water mark of distinct resident keys.
+    pub fn peak_keys(&self) -> usize {
+        self.peak_keys
+    }
+
+    /// High-water mark of any single key's run length.
+    pub fn peak_run(&self) -> usize {
+        self.peak_run
+    }
+
+    /// The ts-ordered run buffered for `key`, if any.
+    pub fn run(&self, key: Key) -> Option<&Run> {
+        self.by_key.get(&key)
+    }
+
+    /// All tuples with `lo ≤ ts < hi`, in global `(ts, seq)` arrival order
+    /// regardless of key — the window join's deterministic band scan.
+    pub fn band(&self, lo: Timestamp, hi: Timestamp) -> impl Iterator<Item = &Tuple> + '_ {
+        self.order
+            .range((lo, 0)..(hi, 0))
+            .filter_map(move |(entry, key)| self.by_key.get(key).and_then(|run| run.get(entry)))
+    }
+
+    /// Evict every tuple with `ts < cutoff`.
+    ///
+    /// One `split_off` on the arrival index identifies the evicted range;
+    /// only the keys that actually lost tuples have their runs split. The
+    /// cost is O(evicted + touched-keys × log) — amortized near
+    /// O(evicted) — instead of one `BTreeMap::remove` per tuple.
+    pub fn evict_before(&mut self, cutoff: Timestamp) {
+        match self.order.first_key_value() {
+            Some((&(ts, _), _)) if ts < cutoff => {}
+            _ => return,
+        }
+        let keep = self.order.split_off(&(cutoff, 0));
+        let dead = std::mem::replace(&mut self.order, keep);
+        let mut keys: Vec<Key> = dead.into_values().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let Some(run) = self.by_key.get_mut(&key) else {
+                debug_assert!(false, "index entry without a run");
+                continue;
+            };
+            // After split_off, `run` holds the dead prefix (< cutoff) and
+            // `kept` the survivors.
+            let kept = run.split_off(&(cutoff, 0));
+            for t in run.values() {
+                self.bytes = self.bytes.saturating_sub(t.mem_bytes());
+            }
+            if kept.is_empty() {
+                self.by_key.remove(&key);
+            } else {
+                *run = kept;
+            }
+        }
+        // Full eviction must return the byte gauge to exactly 0 — any
+        // residue is an accounting leak.
+        debug_assert!(
+            !self.order.is_empty() || (self.bytes == 0 && self.by_key.is_empty()),
+            "eviction leaked accounting: bytes={}, keys={}",
+            self.bytes,
+            self.by_key.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventType};
+
+    fn tup(key: u64, m: i64) -> Tuple {
+        let mut t = Tuple::from_event(Event::new(
+            EventType(0),
+            key as u32,
+            Timestamp::from_minutes(m),
+            1.0,
+        ));
+        t.key = key;
+        t
+    }
+
+    #[test]
+    fn band_preserves_global_arrival_order_across_keys() {
+        let mut side = KeyedSide::default();
+        for (seq, (key, m)) in [(7u64, 3i64), (1, 1), (7, 2), (2, 1)].iter().enumerate() {
+            side.insert(seq as u64, tup(*key, *m));
+        }
+        let got: Vec<(u64, i64)> = side
+            .band(Timestamp::MIN, Timestamp::MAX)
+            .map(|t| (t.key, t.ts.millis() / 60_000))
+            .collect();
+        // (ts, seq) order, interleaving keys exactly as they arrived.
+        assert_eq!(got, vec![(1, 1), (2, 1), (7, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn eviction_drops_runs_and_returns_bytes_to_zero() {
+        let mut side = KeyedSide::default();
+        for m in 0i64..10 {
+            side.insert(m as u64, tup((m % 3) as u64, m));
+        }
+        assert!(side.bytes() > 0);
+        assert_eq!(side.peak_keys(), 3);
+        side.evict_before(Timestamp::from_minutes(5));
+        assert_eq!(side.earliest(), Some(Timestamp::from_minutes(5)));
+        let live: usize = (0..3).map(|k| side.run(k).map_or(0, Run::len)).sum();
+        assert_eq!(live, 5);
+        side.evict_before(Timestamp::MAX);
+        assert_eq!(side.bytes(), 0, "full eviction zeroes the byte gauge");
+        assert_eq!(side.earliest(), None);
+        assert_eq!(side.peak_run(), 4, "peaks survive eviction");
+    }
+
+    #[test]
+    fn eviction_is_idempotent_and_skips_clean_sides() {
+        let mut side = KeyedSide::default();
+        side.insert(0, tup(1, 10));
+        side.evict_before(Timestamp::from_minutes(5)); // nothing below
+        assert_eq!(side.bytes(), tup(1, 10).mem_bytes());
+        side.evict_before(Timestamp::from_minutes(11));
+        side.evict_before(Timestamp::from_minutes(11));
+        assert_eq!(side.bytes(), 0);
+    }
+}

@@ -15,6 +15,7 @@ mod aggregate;
 mod dedup;
 mod filter;
 mod interval_join;
+mod keyed_side;
 mod map;
 mod next_occurrence;
 mod union;
@@ -100,8 +101,30 @@ pub trait Operator: Send {
         0
     }
 
+    /// High-water marks of key-partitioned state, for operators that shard
+    /// their buffers by partition key (the binary temporal joins). `None`
+    /// for operators without keyed state. The runtime samples this
+    /// alongside [`Operator::state_bytes`] and exports it as per-node
+    /// gauges; `cep2asp`'s cost model bounds the reported run length.
+    fn keyed_state(&self) -> Option<KeyedStateStats> {
+        None
+    }
+
     /// Human-readable operator name for plans, metrics, and errors.
     fn name(&self) -> &str;
+}
+
+/// High-water marks of a key-partitioned operator's state layout (peaks
+/// over the operator's lifetime, not instantaneous gauges — peaks make the
+/// numbers deterministic under any sampling cadence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyedStateStats {
+    /// Peak distinct partition keys resident on the left side.
+    pub left_keys: usize,
+    /// Peak distinct partition keys resident on the right side.
+    pub right_keys: usize,
+    /// Longest per-key ts-ordered run observed on either side.
+    pub max_run_len: usize,
 }
 
 /// Shared, clonable predicate over a single tuple (σ in the paper).

@@ -8,59 +8,36 @@
 //! windows produce duplicate matches by design — the semantic equivalence
 //! of Section 4 is modulo duplicates.
 //!
-//! Each tuple is buffered **once** per side in a ts-ordered map; window
-//! evaluation is *incremental* across overlapping panes. When the watermark
-//! completes pane `[s, s+W)`, only the slide-delta band `[s+W−slide, s+W)`
-//! of each buffer — the tuples no earlier pane has probed — is joined
-//! against the other side's pane range; a qualifying pair is found exactly
-//! once, in the first pane containing both elements, and is emitted with
-//! the multiplicity of all `(min_ts − s)/slide + 1` panes that contain it.
-//! The output multiset is identical to rescanning every pane in full, but
-//! each tuple is probed O(1) times instead of `W/slide` times (90 for the
-//! paper's ITER⁴ workload). Insertion stays O(log n) — the per-pane
-//! copying of a naive implementation would cost `W/s` inserts per tuple.
+//! Each tuple is buffered **once** per side in a key-partitioned
+//! [`KeyedSide`]; window evaluation is *incremental* across overlapping
+//! panes. When the watermark completes pane `[s, s+W)`, only the
+//! slide-delta band `[s+W−slide, s+W)` of each buffer — the tuples no
+//! earlier pane has probed — is joined against the other side's pane
+//! range; a qualifying pair is found exactly once, in the first pane
+//! containing both elements, and is emitted with the multiplicity of all
+//! `(min_ts − s)/slide + 1` panes that contain it. The output multiset is
+//! identical to rescanning every pane in full, but each tuple is probed
+//! O(1) times instead of `W/slide` times (90 for the paper's ITER⁴
+//! workload).
 //!
 //! Pairing is per *key* within the window: with the O3 equi-join
 //! optimization the key is the matching attribute (sensor id) and the
 //! join parallelizes; without it, a preceding uniform-key map degenerates
-//! the operator to one global partition (Section 4.3.3). The θ predicate
-//! (e.g. the sequence's `e1.ts < e2.ts`) is evaluated on top.
-
-use std::collections::BTreeMap;
+//! the operator to one global partition (Section 4.3.3). The key equality
+//! is *structural*: a band tuple probes only its own key's ts-ordered run
+//! on the opposite side, so per-pane work is O(band × matches-per-key)
+//! instead of O(band × pane) — with K distinct keys the old global range
+//! scan wasted ~K× of its probe work filtering `l.key == r.key` pair by
+//! pair. Band scans iterate the sides' global `(ts, seq)` arrival index,
+//! so the emission order is identical to the pre-partitioned layout. The
+//! θ predicate (e.g. the sequence's `e1.ts < e2.ts`) is evaluated on top.
 
 use crate::error::OpError;
-use crate::operator::{Collector, JoinPredicate, Operator};
+use crate::operator::keyed_side::KeyedSide;
+use crate::operator::{Collector, JoinPredicate, KeyedStateStats, Operator};
 use crate::time::{Duration, Timestamp};
 use crate::tuple::{TsRule, Tuple};
 use crate::window::SlidingWindows;
-
-/// One ts-ordered side buffer.
-#[derive(Default)]
-struct Side {
-    buf: BTreeMap<(Timestamp, u64), Tuple>,
-    bytes: usize,
-}
-
-impl Side {
-    fn insert(&mut self, seq: u64, t: Tuple) {
-        self.bytes += t.mem_bytes();
-        self.buf.insert((t.ts, seq), t);
-    }
-
-    fn earliest(&self) -> Option<Timestamp> {
-        self.buf.first_key_value().map(|((ts, _), _)| *ts)
-    }
-
-    fn evict_before(&mut self, cutoff: Timestamp) {
-        while let Some((&(ts, seq), _)) = self.buf.first_key_value() {
-            if ts >= cutoff {
-                break;
-            }
-            let t = self.buf.remove(&(ts, seq)).expect("entry exists");
-            self.bytes = self.bytes.saturating_sub(t.mem_bytes());
-        }
-    }
-}
 
 /// The two-input sliding-window join operator.
 pub struct WindowJoinOp {
@@ -68,8 +45,8 @@ pub struct WindowJoinOp {
     windows: SlidingWindows,
     theta: JoinPredicate,
     ts_rule: TsRule,
-    left: Side,
-    right: Side,
+    left: KeyedSide,
+    right: KeyedSide,
     seq: u64,
     /// Start of the next window to evaluate (aligned to the slide).
     next_fire: Timestamp,
@@ -96,8 +73,8 @@ impl WindowJoinOp {
             windows,
             theta,
             ts_rule,
-            left: Side::default(),
-            right: Side::default(),
+            left: KeyedSide::default(),
+            right: KeyedSide::default(),
             seq: 0,
             next_fire: Timestamp(0),
             probed_hi: Timestamp(0),
@@ -158,11 +135,16 @@ impl WindowJoinOp {
                 // it lives in `(min_ts − start)/slide + 1` panes total; all
                 // copies are emitted here and later panes skip the pair.
                 let mut pair = |l: &Tuple, r: &Tuple, emitted: &mut u64| {
-                    // Keys partition the join (equi semantics / O3).
-                    if l.key == r.key && theta(l, r) {
+                    // Key equality is structural: both tuples come from the
+                    // same key's runs.
+                    debug_assert_eq!(l.key, r.key);
+                    if theta(l, r) {
                         let mn = l.ts.min(r.ts);
                         let copies =
                             ((mn.millis() - start.millis()).div_euclid(slide_ms) + 1) as u64;
+                        // One `join` allocates the composite's constituent
+                        // list; `Tuple::events` is an `Arc`, so each extra
+                        // pane copy is a refcount bump, not a heap copy.
                         let j = l.join(r, ts_rule);
                         for _ in 1..copies {
                             out.emit(j.clone());
@@ -171,14 +153,18 @@ impl WindowJoinOp {
                         *emitted += copies;
                     }
                 };
-                for ((_, _), l) in self.left.buf.range((band_lo, 0)..(end, 0)) {
-                    for ((_, _), r) in self.right.buf.range((start, 0)..=(l.ts, u64::MAX)) {
-                        pair(l, r, &mut emitted);
+                for l in self.left.band(band_lo, end) {
+                    if let Some(rights) = self.right.run(l.key) {
+                        for (_, r) in rights.range((start, 0)..=(l.ts, u64::MAX)) {
+                            pair(l, r, &mut emitted);
+                        }
                     }
                 }
-                for ((_, _), r) in self.right.buf.range((band_lo, 0)..(end, 0)) {
-                    for ((_, _), l) in self.left.buf.range((start, 0)..(r.ts, 0)) {
-                        pair(l, r, &mut emitted);
+                for r in self.right.band(band_lo, end) {
+                    if let Some(lefts) = self.left.run(r.key) {
+                        for (_, l) in lefts.range((start, 0)..(r.ts, 0)) {
+                            pair(l, r, &mut emitted);
+                        }
                     }
                 }
                 self.emitted += emitted;
@@ -192,7 +178,7 @@ impl WindowJoinOp {
     }
 
     fn check_limit(&mut self) -> Result<(), OpError> {
-        let used = self.left.bytes + self.right.bytes;
+        let used = self.left.bytes() + self.right.bytes();
         if let Some(limit) = self.memory_limit {
             if used > limit {
                 return Err(OpError::MemoryExhausted {
@@ -239,7 +225,15 @@ impl Operator for WindowJoinOp {
     }
 
     fn state_bytes(&self) -> usize {
-        self.left.bytes + self.right.bytes
+        self.left.bytes() + self.right.bytes()
+    }
+
+    fn keyed_state(&self) -> Option<KeyedStateStats> {
+        Some(KeyedStateStats {
+            left_keys: self.left.peak_keys(),
+            right_keys: self.right.peak_keys(),
+            max_run_len: self.left.peak_run().max(self.right.peak_run()),
+        })
     }
 
     fn name(&self) -> &str {
@@ -333,6 +327,27 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_emissions_share_the_events_allocation() {
+        // The pane-multiplicity path must not deep-copy the composite:
+        // every copy's constituent list is the same Arc allocation.
+        let mut op = WindowJoinOp::new(
+            "⋈",
+            SlidingWindows::new(Duration::from_minutes(6), Duration::from_minutes(2)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let out = run(
+            &mut op,
+            vec![(0, tup(0, 0, 4, 1.0)), (1, tup(1, 0, 5, 2.0))],
+        );
+        assert_eq!(out.len(), 3, "pair lives in 3 overlapping panes");
+        assert!(
+            out.iter().all(|t| Arc::ptr_eq(&t.events, &out[0].events)),
+            "pane copies must share one events allocation (refcount bumps)"
+        );
+    }
+
+    #[test]
     fn equi_join_pairs_only_matching_keys() {
         let mut op = WindowJoinOp::new(
             "⋈=",
@@ -368,6 +383,31 @@ mod tests {
             .unwrap();
         assert_eq!(op.state_bytes(), 0, "fired windows are evicted");
         assert_eq!(col.out.len(), 1);
+    }
+
+    #[test]
+    fn keyed_state_reports_high_water_marks() {
+        let mut op = WindowJoinOp::new(
+            "⋈",
+            SlidingWindows::tumbling(Duration::from_minutes(5)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let mut col = VecCollector::default();
+        for (i, key) in [1u32, 2, 1, 3].iter().enumerate() {
+            op.process(0, tup(0, *key, i as i64, 1.0), &mut col)
+                .unwrap();
+        }
+        op.process(1, tup(1, 1, 1, 2.0), &mut col).unwrap();
+        let ks = op.keyed_state().expect("joins report keyed state");
+        assert_eq!(ks.left_keys, 3);
+        assert_eq!(ks.right_keys, 1);
+        assert_eq!(ks.max_run_len, 2, "key 1 holds two lefts");
+        // Peaks survive eviction.
+        op.on_watermark(Timestamp::from_minutes(10), &mut col)
+            .unwrap();
+        assert_eq!(op.state_bytes(), 0);
+        assert_eq!(op.keyed_state().expect("keyed").left_keys, 3);
     }
 
     #[test]
@@ -450,6 +490,42 @@ mod tests {
             let l = feed.iter().filter(|(p, t)| *p == 0 && in_win(t)).count();
             let r = feed.iter().filter(|(p, t)| *p == 1 && in_win(t)).count();
             want += l * r;
+        }
+        assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn multi_key_interleaving_matches_reference() {
+        // Several keys interleaved on both sides: the key-partitioned
+        // layout must reproduce the per-key brute force (key equality +
+        // window co-residency), including pane multiplicities.
+        let windows = SlidingWindows::new(Duration::from_minutes(6), Duration::from_minutes(2));
+        let mut op = WindowJoinOp::new("⋈", windows, cross_join(), TsRule::Max);
+        let feed: Vec<(usize, Tuple)> = (0..24)
+            .map(|i| {
+                let port = (i % 2) as usize;
+                let key = (i % 5) as u32;
+                // Monotone ts (the operator contract: nothing arrives
+                // behind the watermark), keys cycling out of phase with
+                // the ports so every key appears on both sides.
+                (port, tup(port as u16, key, (i / 2) as i64, i as f64))
+            })
+            .collect();
+        let got = run(&mut op, feed.clone());
+        let mut want = 0usize;
+        for start in (0..36).step_by(2) {
+            let in_win = |t: &Tuple| {
+                t.ts >= Timestamp::from_minutes(start) && t.ts < Timestamp::from_minutes(start + 6)
+            };
+            for (lp, l) in &feed {
+                if *lp != 0 || !in_win(l) {
+                    continue;
+                }
+                want += feed
+                    .iter()
+                    .filter(|(rp, r)| *rp == 1 && in_win(r) && r.key == l.key)
+                    .count();
+            }
         }
         assert_eq!(got.len(), want);
     }

@@ -17,7 +17,7 @@
 
 use crate::error::OpError;
 use crate::graph::{Edge, Exchange, GraphBuilder, NodeId, NodeKind, OperatorFactory};
-use crate::operator::{Collector, Operator, VecCollector};
+use crate::operator::{Collector, KeyedStateStats, Operator, VecCollector};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
 
@@ -129,6 +129,19 @@ impl Operator for ChainedOperator {
 
     fn state_bytes(&self) -> usize {
         self.ops.iter().map(|o| o.state_bytes()).sum()
+    }
+
+    fn keyed_state(&self) -> Option<KeyedStateStats> {
+        // Merge over the fused members: key counts add (distinct operators
+        // hold distinct buffers), run lengths take the chain-wide max.
+        let mut acc: Option<KeyedStateStats> = None;
+        for ks in self.ops.iter().filter_map(|o| o.keyed_state()) {
+            let a = acc.get_or_insert_with(KeyedStateStats::default);
+            a.left_keys += ks.left_keys;
+            a.right_keys += ks.right_keys;
+            a.max_run_len = a.max_run_len.max(ks.max_run_len);
+        }
+        acc
     }
 
     fn name(&self) -> &str {

@@ -29,6 +29,16 @@ pub struct NodeStats {
     pub late_dropped: u64,
     /// Sum of per-instance peak state footprints.
     pub peak_state_bytes: usize,
+    /// Peak resident left-side keys in this node's keyed join state,
+    /// summed over instances (key ranges are disjoint across instances
+    /// under hash partitioning). 0 for nodes without keyed join state.
+    pub keyed_left_keys: usize,
+    /// Peak resident right-side keys, summed over instances.
+    pub keyed_right_keys: usize,
+    /// Longest single-key run (tuples buffered under one key on one side)
+    /// observed by any instance over the run — the quantity bounded by the
+    /// analyzer's `max_keyed_run`.
+    pub keyed_max_run: usize,
     /// Per-instance processing-latency observations (strided sampling of
     /// `Operator::process` wall time), merged across instances. Empty when
     /// [`super::ExecutorConfig::proc_latency_every`] is 0 or the node does

@@ -446,6 +446,12 @@ struct InstanceStats {
     late_dropped: AtomicU64,
     state_bytes: AtomicUsize,
     peak_state: AtomicUsize,
+    /// Keyed-state high-water marks reported by the instance's operator
+    /// ([`Operator::keyed_state`]): peak resident keys per side and the
+    /// longest per-key run. 0 for operators without keyed state.
+    keyed_left_keys: AtomicUsize,
+    keyed_right_keys: AtomicUsize,
+    keyed_max_run: AtomicUsize,
     /// Nanoseconds spent blocked sending into full downstream inboxes.
     backpressure_ns: AtomicU64,
     /// Last sampled inbox depth (queued channel messages), and its peak.
@@ -467,6 +473,9 @@ impl InstanceStats {
             late_dropped: AtomicU64::new(0),
             state_bytes: AtomicUsize::new(0),
             peak_state: AtomicUsize::new(0),
+            keyed_left_keys: AtomicUsize::new(0),
+            keyed_right_keys: AtomicUsize::new(0),
+            keyed_max_run: AtomicUsize::new(0),
             backpressure_ns: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_depth_peak: AtomicUsize::new(0),
@@ -479,6 +488,20 @@ impl InstanceStats {
     fn set_state(&self, bytes: usize) {
         self.state_bytes.store(bytes, Ordering::Relaxed);
         self.peak_state.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Record an operator's keyed-state high-water marks. The values are
+    /// lifetime peaks, so a single observation at teardown is exact;
+    /// `fetch_max` keeps earlier observations monotone regardless.
+    fn set_keyed(&self, keyed: Option<crate::operator::KeyedStateStats>) {
+        if let Some(ks) = keyed {
+            self.keyed_left_keys
+                .fetch_max(ks.left_keys, Ordering::Relaxed);
+            self.keyed_right_keys
+                .fetch_max(ks.right_keys, Ordering::Relaxed);
+            self.keyed_max_run
+                .fetch_max(ks.max_run_len, Ordering::Relaxed);
+        }
     }
 
     /// Record the inbox depth gauge (and its peak).
@@ -598,6 +621,24 @@ impl RunReport {
             if actual > limit {
                 violations.push(BoundViolation {
                     quantity: "state_bytes",
+                    actual,
+                    bound: limit,
+                    origin: bounds.origin.clone(),
+                });
+            }
+        }
+        if let Some(limit) = bounds.max_keyed_run {
+            // Runs are per key per instance, so the max over nodes is the
+            // right observable (never summed).
+            let actual: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.keyed_max_run as u64)
+                .max()
+                .unwrap_or(0);
+            if actual > limit {
+                violations.push(BoundViolation {
+                    quantity: "keyed_run_len",
                     actual,
                     bound: limit,
                     origin: bounds.origin.clone(),
@@ -972,6 +1013,19 @@ impl Executor {
                     .iter()
                     .map(|s| s.peak_state.load(Ordering::Relaxed))
                     .sum(),
+                keyed_left_keys: stats[nid]
+                    .iter()
+                    .map(|s| s.keyed_left_keys.load(Ordering::Relaxed))
+                    .sum(),
+                keyed_right_keys: stats[nid]
+                    .iter()
+                    .map(|s| s.keyed_right_keys.load(Ordering::Relaxed))
+                    .sum(),
+                keyed_max_run: stats[nid]
+                    .iter()
+                    .map(|s| s.keyed_max_run.load(Ordering::Relaxed))
+                    .max()
+                    .unwrap_or(0),
                 proc_latency: stats[nid].iter().fold(
                     crate::obs::HistogramSummary::default(),
                     |mut acc, s| {
@@ -1148,6 +1202,7 @@ fn run_source(
                 record_op_error(op.name(), e, &abort, &first_error, &log);
             }
             istats.set_state(op.state_bytes());
+            istats.set_keyed(op.keyed_state());
         }
         None => {
             if last_ts > Timestamp::MIN {
@@ -1441,6 +1496,7 @@ fn run_operator(
         .batches_out
         .fetch_add(collector.messages_sent(), Ordering::Relaxed);
     istats.set_state(op.state_bytes());
+    istats.set_keyed(op.keyed_state());
     log.emit(
         Level::Debug,
         std::thread::current().name().unwrap_or("operator"),

@@ -1,0 +1,195 @@
+//! Property-based equivalence of the key-partitioned joins against naive
+//! reference oracles.
+//!
+//! Both binary temporal joins buffer their sides in hash-partitioned,
+//! ts-ordered per-key runs and evaluate windows incrementally (band
+//! probing). These are pure layout/scheduling optimizations: the output
+//! *multiset* must be identical to the textbook evaluation. The oracles
+//! here do it the slow, obviously-correct way — enumerate every
+//! left × right pair, re-derive window membership (with pane multiplicity)
+//! or interval containment from scratch — and the property compares full
+//! sorted multisets of match keys, so lost duplicates, extra duplicates,
+//! cross-key leaks, and premature eviction all fail.
+//!
+//! Random dimensions: key cardinality (including the uniform-key K = 1
+//! degenerate case of Section 4.3.3), timestamp distribution, window
+//! size × slide, interval bound shape (sequence / conjunction), θ, and
+//! watermark cadence (`wm_every` — the per-batch punctuation analog, which
+//! varies how aggressively state is evicted mid-stream).
+
+#![allow(clippy::unwrap_used)]
+
+use asp::event::{Event, EventType};
+use asp::operator::{
+    cross_join, Collector, IntervalBounds, IntervalJoinOp, JoinPredicate, Operator, WindowJoinOp,
+};
+use asp::time::{Duration, Timestamp};
+use asp::tuple::{MatchKey, TsRule, Tuple};
+use asp::window::SlidingWindows;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// (port, key, minute, value) — one join input.
+type Item = (usize, u32, i64, u32);
+
+#[derive(Default)]
+struct Sink {
+    out: Vec<Tuple>,
+}
+
+impl Collector for Sink {
+    fn emit(&mut self, t: Tuple) {
+        self.out.push(t);
+    }
+}
+
+fn tuple_of(key: u32, minute: i64, value: u32, port: usize) -> Tuple {
+    let mut t = Tuple::from_event(Event::new(
+        EventType(port as u16),
+        key,
+        Timestamp::from_minutes(minute),
+        value as f64,
+    ));
+    t.key = key as u64;
+    t
+}
+
+/// Drive an operator the way the runtime does: tuples in timestamp order
+/// (the runtime drops late tuples before they reach an operator), with a
+/// punctuated watermark every `wm_every` tuples and a final flush.
+fn run_op(op: &mut dyn Operator, items: &[Item], wm_every: usize) -> Vec<MatchKey> {
+    let mut sorted = items.to_vec();
+    sorted.sort_by_key(|&(_, _, m, _)| m);
+    let mut sink = Sink::default();
+    for (i, &(port, key, minute, value)) in sorted.iter().enumerate() {
+        op.process(port, tuple_of(key, minute, value, port), &mut sink)
+            .unwrap();
+        if (i + 1) % wm_every == 0 {
+            op.on_watermark(Timestamp::from_minutes(minute), &mut sink)
+                .unwrap();
+        }
+    }
+    op.on_finish(&mut sink).unwrap();
+    let mut keys: Vec<MatchKey> = sink.out.iter().map(Tuple::match_key).collect();
+    keys.sort();
+    keys
+}
+
+fn theta_of(use_seq: bool) -> JoinPredicate {
+    if use_seq {
+        Arc::new(|l: &Tuple, r: &Tuple| l.ts_end() < r.ts_begin())
+    } else {
+        cross_join()
+    }
+}
+
+/// Naive sliding-window reference: every left × right pair, same key, θ —
+/// emitted once per aligned pane `[k·s, k·s + W)` containing both.
+fn window_reference(items: &[Item], windows: SlidingWindows, use_seq: bool) -> Vec<MatchKey> {
+    let theta = theta_of(use_seq);
+    let lefts: Vec<Tuple> = items
+        .iter()
+        .filter(|i| i.0 == 0)
+        .map(|&(p, k, m, v)| tuple_of(k, m, v, p))
+        .collect();
+    let rights: Vec<Tuple> = items
+        .iter()
+        .filter(|i| i.0 == 1)
+        .map(|&(p, k, m, v)| tuple_of(k, m, v, p))
+        .collect();
+    let mut keys = Vec::new();
+    for l in &lefts {
+        for r in &rights {
+            if l.key != r.key || !theta(l, r) {
+                continue;
+            }
+            let (mn, mx) = (l.ts.min(r.ts), l.ts.max(r.ts));
+            // Panes containing both = panes assigned to the earlier element
+            // whose end also covers the later one.
+            let panes = windows.assign(mn).filter(|wid| mx < wid.end).count();
+            let key = l.join(r, TsRule::Max).match_key();
+            keys.extend(std::iter::repeat(key).take(panes));
+        }
+    }
+    keys.sort();
+    keys
+}
+
+/// Naive interval reference: every left × right pair, same key, θ, with
+/// `r.ts − l.ts` strictly inside the bounds — exactly once (the interval
+/// join is duplicate-free by construction).
+fn interval_reference(items: &[Item], bounds: IntervalBounds, use_seq: bool) -> Vec<MatchKey> {
+    let theta = theta_of(use_seq);
+    let mut keys = Vec::new();
+    for &(lp, lk, lm, lv) in items.iter().filter(|i| i.0 == 0) {
+        for &(rp, rk, rm, rv) in items.iter().filter(|i| i.0 == 1) {
+            let (l, r) = (tuple_of(lk, lm, lv, lp), tuple_of(rk, rm, rv, rp));
+            if l.key != r.key || !theta(&l, &r) {
+                continue;
+            }
+            if r.ts > l.ts.saturating_add(bounds.lower) && r.ts < l.ts.saturating_add(bounds.upper)
+            {
+                keys.push(l.join(&r, TsRule::Max).match_key());
+            }
+        }
+    }
+    keys.sort();
+    keys
+}
+
+/// Key cardinality 1..=5: K = 1 forces every tuple into one run (the
+/// uniform-key degenerate case); larger K exercises cross-key isolation.
+fn arb_items(max_key: u32) -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec((0usize..2, 0..max_key, 0i64..40, 0u32..50), 4..70)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn window_join_matches_rescanning_reference(
+        max_key in 1u32..=5,
+        items in arb_items(5),
+        w_min in 1i64..=6,
+        slide_div in 1i64..=4,
+        use_seq in any::<bool>(),
+        wm_every in 1usize..=8,
+    ) {
+        let items: Vec<Item> =
+            items.into_iter().map(|(p, k, m, v)| (p, k % max_key, m, v)).collect();
+        let slide = Duration::from_minutes((w_min / slide_div).max(1));
+        let windows = SlidingWindows::new(Duration::from_minutes(w_min), slide);
+        let mut op = WindowJoinOp::new("⋈", windows, theta_of(use_seq), TsRule::Max);
+        let got = run_op(&mut op, &items, wm_every);
+        let want = window_reference(&items, windows, use_seq);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(op.state_bytes(), 0, "full eviction after finish");
+    }
+
+    #[test]
+    fn interval_join_matches_pairwise_reference(
+        max_key in 1u32..=5,
+        items in arb_items(5),
+        w_min in 1i64..=6,
+        conjunction in any::<bool>(),
+        use_seq in any::<bool>(),
+        wm_every in 1usize..=8,
+    ) {
+        let items: Vec<Item> =
+            items.into_iter().map(|(p, k, m, v)| (p, k % max_key, m, v)).collect();
+        let w = Duration::from_minutes(w_min);
+        let bounds = if conjunction {
+            IntervalBounds::conjunction(w)
+        } else {
+            IntervalBounds::seq(w)
+        };
+        let mut op = IntervalJoinOp::new("i⋈", bounds, theta_of(use_seq), TsRule::Max);
+        let got = run_op(&mut op, &items, wm_every);
+        let want = interval_reference(&items, bounds, use_seq);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(op.state_bytes(), 0, "full eviction after finish");
+    }
+}

@@ -6,7 +6,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use bench::hotpath::{run_chain, run_fanout, run_window_join, stream, BATCH_SIZES};
+use bench::hotpath::{
+    dense_stream, run_chain, run_fanout, run_window_join, run_window_join_global_scan,
+    run_window_join_keyed, stream, BATCH_SIZES,
+};
 
 const CHAIN_N: usize = 50_000;
 const FANOUT_N: usize = 50_000;
@@ -55,9 +58,34 @@ fn bench_window_join(c: &mut Criterion) {
     g.finish();
 }
 
+/// Keyed vs frozen global-scan window join on the same dense K=64 input:
+/// the criterion-tracked form of the headline state-layout ratio.
+fn bench_window_join_keyed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_window_join_keyed");
+    g.throughput(Throughput::Elements(2 * JOIN_N as u64));
+    g.bench_function("keyed_k64", |b| {
+        b.iter(|| {
+            let (report, sink) =
+                run_window_join_keyed(dense_stream(JOIN_N, 64, 3), dense_stream(JOIN_N, 64, 4), 64);
+            black_box(report.sink_count(sink))
+        })
+    });
+    g.bench_function("global_scan_k64", |b| {
+        b.iter(|| {
+            let (report, sink) = run_window_join_global_scan(
+                dense_stream(JOIN_N, 64, 3),
+                dense_stream(JOIN_N, 64, 4),
+                64,
+            );
+            black_box(report.sink_count(sink))
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_chain, bench_fanout, bench_window_join
+    targets = bench_chain, bench_fanout, bench_window_join, bench_window_join_keyed
 }
 criterion_main!(benches);

@@ -14,6 +14,12 @@
 //! * **window-join fire** — two sources into a sliding window join, the
 //!   heaviest Section-5 operator, showing batching's effect when compute
 //!   shares the profile with communication.
+//! * **keyed-join sweep** — the same window-join graph swept over key
+//!   cardinality K, once with the key-partitioned [`WindowJoinOp`] and
+//!   once with the frozen pre-rework
+//!   [`GlobalScanWindowJoinOp`](crate::baseline::GlobalScanWindowJoinOp),
+//!   plus an interval-join variant. The keyed/global-scan ratio at K = 64
+//!   is the headline number the CI smoke gate asserts on.
 //!
 //! Shared by the `hotpath` criterion bench (relative numbers, regression
 //! tracking) and the `hotpath` binary (absolute numbers, emitted to
@@ -22,8 +28,8 @@
 use std::sync::Arc;
 
 use asp::event::{Event, EventType};
-use asp::graph::{Exchange, GraphBuilder, SinkId};
-use asp::operator::{cross_join, FilterOp, MapOp, WindowJoinOp};
+use asp::graph::{Exchange, GraphBuilder, OperatorFactory, SinkId};
+use asp::operator::{cross_join, FilterOp, IntervalBounds, IntervalJoinOp, MapOp, WindowJoinOp};
 use asp::runtime::{Executor, ExecutorConfig, RunReport};
 use asp::time::{Duration, Timestamp};
 use asp::tuple::{TsRule, Tuple};
@@ -31,6 +37,12 @@ use asp::window::SlidingWindows;
 
 /// The batch sizes the baseline sweeps, smallest (per-tuple sends) first.
 pub const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
+
+/// Key cardinalities for the keyed-join sweep. K = 1 is the degenerate
+/// uniform-key case (the keyed layout collapses to a single run and should
+/// roughly tie the global scan); at K = 1024 runs approach one tuple each
+/// and the per-key probe advantage is largest.
+pub const KEY_CARDINALITIES: [u32; 4] = [1, 4, 64, 1024];
 
 /// Deterministic pseudo-stream: one event per sensor per minute, LCG
 /// values in `[0, 100)`, types alternating Q/V.
@@ -50,6 +62,41 @@ pub fn stream(n: usize, sensors: u32, seed: u64) -> Vec<Event> {
         ));
     }
     out
+}
+
+/// Events per minute in [`dense_stream`], chosen so a 5-minute join pane
+/// holds `5 × DENSE_RATE` tuples per side regardless of key cardinality.
+pub const DENSE_RATE: u32 = 512;
+
+/// Dense pseudo-stream for the keyed-join sweep: `DENSE_RATE` events per
+/// minute with ids round-robin over `sensors`. Unlike [`stream`] (one
+/// event per sensor per minute), the pane *size* here is fixed by the
+/// rate and key cardinality only divides it into runs — so sweeping K
+/// isolates the state layout (global scan vs per-key runs) instead of
+/// also changing how much data is in flight.
+pub fn dense_stream(n: usize, sensors: u32, seed: u64) -> Vec<Event> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = seed | 1;
+    for i in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push(Event::new(
+            EventType((i % 2) as u16),
+            (i as u32) % sensors,
+            Timestamp::from_minutes((i as u32 / DENSE_RATE) as i64),
+            (x >> 33) as f64 / (1u64 << 31) as f64 * 100.0,
+        ));
+    }
+    out
+}
+
+/// θ for the keyed-join sweep: a ~1% value-band predicate. With a dense
+/// stream a cross join's output would grow quadratically in the per-key
+/// pane population and emission cost would drown the probe cost being
+/// measured; a selective θ keeps the measured work candidate *scanning*.
+fn band_theta() -> asp::operator::JoinPredicate {
+    Arc::new(|l: &Tuple, r: &Tuple| (l.events[0].value - r.events[0].value).abs() < 0.5)
 }
 
 /// Executor settings for the sweep: chaining off (every edge is a
@@ -135,31 +182,117 @@ pub fn run_fanout(events: Vec<Event>, batch_size: usize, fanout: usize) -> (RunR
     (run(g, batch_size), sink)
 }
 
-/// Two sources into a keyed sliding window join (5 min window, 1 min
-/// slide), parallelism 2.
+/// The window shape every join scenario uses: 5 min panes sliding by
+/// 1 min (band = 5 panes per pair on average).
+fn join_windows() -> SlidingWindows {
+    SlidingWindows::new(Duration::from_minutes(5), Duration::from_minutes(1))
+}
+
+/// Shared two-source binary-join graph. Keyed and global-scan runs differ
+/// *only* in the operator `factory` — sources, exchanges, parallelism, and
+/// sink are identical, so throughput ratios isolate the state layout.
+fn join_graph(
+    left: Vec<Event>,
+    right: Vec<Event>,
+    factory: OperatorFactory,
+) -> (GraphBuilder, SinkId) {
+    let mut g = GraphBuilder::new();
+    let a = g.source("a", left, 1);
+    let b = g.source("b", right, 1);
+    let j = g.binary(a, b, Exchange::Hash, 2, factory);
+    let sink = g.counting_sink(j, Exchange::Hash);
+    (g, sink)
+}
+
+/// Two sources into the key-partitioned sliding window join (5 min
+/// window, 1 min slide), parallelism 2. Key cardinality is whatever the
+/// `sensors` argument of [`stream`] produced.
 pub fn run_window_join(
     left: Vec<Event>,
     right: Vec<Event>,
     batch_size: usize,
 ) -> (RunReport, SinkId) {
-    let mut g = GraphBuilder::new();
-    let a = g.source("a", left, 1);
-    let b = g.source("b", right, 1);
-    let j = g.binary(
-        a,
-        b,
-        Exchange::Hash,
-        2,
+    let (g, sink) = join_graph(
+        left,
+        right,
         Box::new(|_| {
             Box::new(WindowJoinOp::new(
                 "⋈",
-                SlidingWindows::new(Duration::from_minutes(5), Duration::from_minutes(1)),
+                join_windows(),
                 cross_join(),
                 TsRule::Max,
             ))
         }),
     );
-    let sink = g.counting_sink(j, Exchange::Hash);
+    (run(g, batch_size), sink)
+}
+
+/// The keyed-sweep scenario: key-partitioned window join with the
+/// selective [`band_theta`] θ, meant to be fed [`dense_stream`] sides so
+/// the probe cost — not the source or the sink — dominates.
+pub fn run_window_join_keyed(
+    left: Vec<Event>,
+    right: Vec<Event>,
+    batch_size: usize,
+) -> (RunReport, SinkId) {
+    let (g, sink) = join_graph(
+        left,
+        right,
+        Box::new(|_| {
+            Box::new(WindowJoinOp::new(
+                "⋈",
+                join_windows(),
+                band_theta(),
+                TsRule::Max,
+            ))
+        }),
+    );
+    (run(g, batch_size), sink)
+}
+
+/// Same graph and θ as [`run_window_join_keyed`] but with the frozen
+/// pre-rework global-scan operator — the honest denominator for the keyed
+/// speedup.
+pub fn run_window_join_global_scan(
+    left: Vec<Event>,
+    right: Vec<Event>,
+    batch_size: usize,
+) -> (RunReport, SinkId) {
+    let (g, sink) = join_graph(
+        left,
+        right,
+        Box::new(|_| {
+            Box::new(crate::baseline::GlobalScanWindowJoinOp::new(
+                "⋈g",
+                join_windows(),
+                band_theta(),
+                TsRule::Max,
+            ))
+        }),
+    );
+    (run(g, batch_size), sink)
+}
+
+/// Two sources into the key-partitioned interval join (sequence bounds,
+/// 5 min span), parallelism 2 — the other operator whose state the rework
+/// partitioned. Same θ as the keyed window-join sweep.
+pub fn run_interval_join(
+    left: Vec<Event>,
+    right: Vec<Event>,
+    batch_size: usize,
+) -> (RunReport, SinkId) {
+    let (g, sink) = join_graph(
+        left,
+        right,
+        Box::new(|_| {
+            Box::new(IntervalJoinOp::new(
+                "i⋈",
+                IntervalBounds::seq(Duration::from_minutes(5)),
+                band_theta(),
+                TsRule::Max,
+            ))
+        }),
+    );
     (run(g, batch_size), sink)
 }
 
@@ -181,6 +314,22 @@ mod tests {
         assert_eq!(r.sink_count(s), 2_000);
         let (rj, sj) = run_window_join(stream(1_000, 4, 3), stream(1_000, 4, 4), 64);
         assert!(rj.sink_count(sj) > 0, "join fired");
+    }
+
+    #[test]
+    fn keyed_and_global_scan_joins_emit_the_same_count() {
+        let left = dense_stream(2_000, 64, 6);
+        let right = dense_stream(2_000, 64, 7);
+        let (rk, sk) = run_window_join_keyed(left.clone(), right.clone(), 64);
+        let (rg, sg) = run_window_join_global_scan(left.clone(), right.clone(), 64);
+        assert!(rk.sink_count(sk) > 0, "keyed join fired");
+        assert_eq!(
+            rk.sink_count(sk),
+            rg.sink_count(sg),
+            "layouts must be observationally equivalent"
+        );
+        let (ri, si) = run_interval_join(left, right, 64);
+        assert!(ri.sink_count(si) > 0, "interval join fired");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! the harness reports the same series so the *shape* — who wins, by what
 //! factor, where crossovers fall — can be compared. See EXPERIMENTS.md.
 
+pub mod baseline;
 pub mod chart;
 pub mod experiments;
 pub mod explain;

@@ -555,15 +555,24 @@ pub fn runtime_bounds(
     phys: &PhysicalConfig,
 ) -> StaticBounds {
     let mut ts_by_type: HashMap<EventType, Vec<i64>> = HashMap::new();
+    let mut ts_by_id: HashMap<EventType, HashMap<u32, Vec<i64>>> = HashMap::new();
     for (t, evs) in sources {
         let mut ts: Vec<i64> = evs.iter().map(|e| e.ts.millis()).collect();
         ts.sort_unstable();
         ts_by_type.insert(*t, ts);
+        let per_id = ts_by_id.entry(*t).or_default();
+        for e in evs {
+            per_id.entry(e.id).or_default().push(e.ts.millis());
+        }
+        for ts in per_id.values_mut() {
+            ts.sort_unstable();
+        }
     }
     let w_ms = plan.window.size.millis().max(1);
     let s_ms = plan.window.slide.millis().max(1);
     let ctx = BoundCtx {
         ts: &ts_by_type,
+        ts_by_id: &ts_by_id,
         w_ms,
         s_ms,
     };
@@ -582,6 +591,7 @@ pub fn runtime_bounds(
     StaticBounds {
         max_sink_tuples: Some(ceil_u64(sink)),
         max_total_state_bytes: Some(ceil_u64(state)),
+        max_keyed_run: Some(ceil_u64(keyed_run_bound(&plan.root, &ctx))),
         origin: "cep2asp::analyze::runtime_bounds".to_string(),
     }
 }
@@ -596,6 +606,9 @@ fn ceil_u64(x: f64) -> u64 {
 
 struct BoundCtx<'a> {
     ts: &'a HashMap<EventType, Vec<i64>>,
+    /// Timestamps split by producer id within each type — the granularity
+    /// of O3 key partitioning ([`keyed_run_bound`]).
+    ts_by_id: &'a HashMap<EventType, HashMap<u32, Vec<i64>>>,
     w_ms: i64,
     s_ms: i64,
 }
@@ -628,6 +641,17 @@ impl BoundCtx<'_> {
         }
         merged.sort_unstable();
         max_interval_count(&merged, 2 * self.w_ms + self.s_ms) as f64
+    }
+
+    /// Total events of type `t` carrying the most frequent producer id —
+    /// the hard ceiling on one key's run under O3 partitioning.
+    fn max_count_per_id(&self, t: EventType) -> f64 {
+        self.ts_by_id.get(&t).map_or(0.0, |per_id| {
+            per_id
+                .values()
+                .map(|ts| ts.len() as f64)
+                .fold(0.0, f64::max)
+        })
     }
 }
 
@@ -743,6 +767,54 @@ fn retained_bound(node: &PlanNode, ctx: &BoundCtx<'_>) -> f64 {
         PlanNode::Scan { etype, .. } => ctx.peak_two_windows(&[*etype]),
         PlanNode::Union { inputs } => inputs.iter().map(|i| retained_bound(i, ctx)).sum(),
         _ => total_bound(node, ctx),
+    }
+}
+
+/// Upper bound on the longest per-key run (`asp`'s `KeyedSide`: the tuples
+/// buffered under one partition key on one side of one join instance) any
+/// join in the subtree can build.
+///
+/// A [`Partitioning::ByKey`] join over a raw scan is re-keyed on the event
+/// id (O3), so one run holds only one producer's events and is ceiled by
+/// the busiest id's total count; a [`Partitioning::Global`] join runs
+/// under a single uniform key, so the run *is* the whole side. Deeper
+/// inputs (sub-joins, unions) carry keys this model doesn't track and are
+/// ceiled by their total emissions.
+///
+/// Unlike the byte model, no windowed ("~two panes' worth") tightening is
+/// applied: eviction only runs on watermarks, and the merged watermark of
+/// a binary join is the *minimum* over its input channels — with
+/// cross-source startup skew one side can buffer its entire stream before
+/// the other channel's first punctuation arrives, so any timing-based run
+/// bound is falsified by small inputs. Only the count ceilings are hard.
+fn keyed_run_bound(node: &PlanNode, ctx: &BoundCtx<'_>) -> f64 {
+    match node {
+        PlanNode::Scan { .. } => 0.0,
+        PlanNode::Union { inputs } => inputs
+            .iter()
+            .map(|i| keyed_run_bound(i, ctx))
+            .fold(0.0, f64::max),
+        PlanNode::Aggregate { input, .. } => keyed_run_bound(input, ctx),
+        PlanNode::NextOccurrence { trigger, .. } => keyed_run_bound(trigger, ctx),
+        PlanNode::Join {
+            left,
+            right,
+            partitioning,
+            ..
+        } => {
+            let mut worst = 0.0f64;
+            for side in [left.as_ref(), right.as_ref()] {
+                let run = match (partitioning, side) {
+                    (Partitioning::ByKey, PlanNode::Scan { etype, .. }) => {
+                        ctx.max_count_per_id(*etype)
+                    }
+                    (Partitioning::Global, PlanNode::Scan { etype, .. }) => ctx.count(*etype),
+                    _ => total_bound(side, ctx),
+                };
+                worst = worst.max(run).max(keyed_run_bound(side, ctx));
+            }
+            worst
+        }
     }
 }
 

@@ -130,16 +130,22 @@ fn bounds_are_not_vacuous() {
     let plan = translate(&pattern, &opts).unwrap();
     let bounds = runtime_bounds(&plan, &pattern, &sources, &phys);
     assert!(bounds.max_sink_tuples.is_some() && bounds.max_total_state_bytes.is_some());
+    assert!(
+        bounds.max_keyed_run.unwrap() > 0,
+        "a join plan must claim a positive keyed-run bound"
+    );
 
     let run = run_pattern(&pattern, &opts, &sources, &phys, &ExecutorConfig::default()).unwrap();
     assert!(run.raw_count() > 0, "grid workload must produce matches");
+    // Some(0) for the keyed run: any join that buffered a tuple peaks ≥ 1.
     let absurd = asp::StaticBounds {
         max_sink_tuples: Some(0),
         max_total_state_bytes: Some(1),
+        max_keyed_run: Some(0),
         origin: "test".into(),
     };
     let violations = run.report.check_bounds(&absurd);
-    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert_eq!(violations.len(), 3, "{violations:?}");
 }
 
 /// End-to-end pin of the half-open window boundary: with `W = 4` minutes,

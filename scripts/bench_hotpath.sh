@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_hotpath.json: absolute throughput of the runtime hot
-# path swept over batch_size ∈ {1, 16, 64, 256}.
+# path swept over batch_size ∈ {1, 16, 64, 256}, plus the keyed-join sweep
+# over key cardinality K ∈ {1, 4, 64, 1024} against the frozen global-scan
+# baseline.
 #
 # Usage: scripts/bench_hotpath.sh [--quick] [--out PATH] [--telemetry PATH]
+#                                 [--assert-keyed-floor]
 #   --quick          smaller event counts / fewer repetitions (CI smoke mode)
 #   --out PATH       output file (default: BENCH_hotpath.json at the repo root)
 #   --telemetry PATH runtime-telemetry export from one instrumented run
@@ -10,10 +13,14 @@
 #                    latency histograms, watermark-lag / queue-depth /
 #                    backpressure gauges, resource samples, and the event
 #                    log, printed as a summary block after the sweep
+#   --assert-keyed-floor  exit nonzero if the key-partitioned window join at
+#                    K=64, batch 64 falls below the global-scan baseline
+#                    (the CI regression gate for the join state layout)
 #
-# The headline number is speedup_filter_map_64_vs_1; the micro-batching
-# work's acceptance floor is 2x. Relative, statistically sampled numbers
-# live in the criterion suite: cargo bench -p bench --bench hotpath
+# Headline numbers: speedup_filter_map_64_vs_1 (micro-batching acceptance
+# floor 2x) and speedup_window_join_keyed_k64_vs_global_scan
+# (key-partitioned state target 3x). Relative, statistically sampled
+# numbers live in the criterion suite: cargo bench -p bench --bench hotpath
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
