@@ -59,7 +59,7 @@ impl IntervalBounds {
 
 /// The two-input interval join operator.
 ///
-/// Each side buffers in a key-partitioned [`KeyedSide`]: an arriving tuple
+/// Each side buffers in a key-partitioned `KeyedSide`: an arriving tuple
 /// probes only its own key's ts-ordered run on the opposite side, and the
 /// side's global arrival index makes watermark eviction a range split —
 /// near O(evicted) — instead of a per-tuple `remove` walk over every key.

@@ -9,7 +9,7 @@
 //! of Section 4 is modulo duplicates.
 //!
 //! Each tuple is buffered **once** per side in a key-partitioned
-//! [`KeyedSide`]; window evaluation is *incremental* across overlapping
+//! `KeyedSide`; window evaluation is *incremental* across overlapping
 //! panes. When the watermark completes pane `[s, s+W)`, only the
 //! slide-delta band `[s+W−slide, s+W)` of each buffer — the tuples no
 //! earlier pane has probed — is joined against the other side's pane

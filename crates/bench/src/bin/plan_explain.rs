@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N]
-//!                     [--out FILE] [--ab]
+//!                     [--out FILE] [--ab] [--schema] [--schema-json FILE]
 //!
 //! Options:
-//!   --order MODE   join ordering strategy: cost (default) or heuristic
-//!   --window MIN   pattern window in minutes (default: 15)
-//!   --sensors N    sensors per dataset (default: 4; raises key fanout)
-//!   --out FILE     also write the report to FILE
-//!   --ab           run the cost-vs-heuristic join-order A/B measurement
-//!                  (executes the pipelines; use --release)
+//!   --order MODE        join ordering strategy: cost (default) or heuristic
+//!   --window MIN        pattern window in minutes (default: 15)
+//!   --sensors N         sensors per dataset (default: 4; raises key fanout)
+//!   --out FILE          also write the report to FILE
+//!   --ab                run the cost-vs-heuristic join-order A/B measurement
+//!                       (executes the pipelines; use --release)
+//!   --schema            append the schema & partition-safety report (the
+//!                       typechecker's inferred schemas, key provenance, and
+//!                       shardability verdict per node)
+//!   --schema-json FILE  write the machine-readable typecheck artifact
 //! ```
 //!
 //! Without `--ab` no pipeline runs: the report is purely static, derived
@@ -18,7 +22,7 @@
 //! pattern gets an estimate tree plus `A`-code diagnostics (see
 //! DESIGN.md, "Static cost model").
 
-use bench::explain::{ab_join_order, suite_report, ExplainConfig};
+use bench::explain::{ab_join_order, schema_json, schema_report, suite_report, ExplainConfig};
 use cep2asp::OrderingStrategy;
 
 fn main() {
@@ -27,6 +31,8 @@ fn main() {
     let mut strategy = OrderingStrategy::CostBased;
     let mut out_file: Option<String> = None;
     let mut run_ab = false;
+    let mut show_schema = false;
+    let mut schema_json_file: Option<String> = None;
 
     let i = 0;
     while i < args.len() {
@@ -89,6 +95,18 @@ fn main() {
                 run_ab = true;
                 args.remove(i);
             }
+            "--schema" => {
+                show_schema = true;
+                args.remove(i);
+            }
+            "--schema-json" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--schema-json requires a file path");
+                    std::process::exit(2);
+                }
+                schema_json_file = Some(args.remove(i + 1));
+                args.remove(i);
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -101,6 +119,10 @@ fn main() {
     }
 
     let mut report = suite_report(&cfg, strategy);
+    if show_schema {
+        report.push('\n');
+        report.push_str(&schema_report(&cfg, strategy));
+    }
     if run_ab {
         #[cfg(debug_assertions)]
         eprintln!("WARNING: debug build — A/B wall times will be meaningless; use --release");
@@ -115,13 +137,24 @@ fn main() {
         }
         eprintln!("wrote {path}");
     }
+    if let Some(path) = schema_json_file {
+        let json = schema_json(&cfg, strategy);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }
 
 fn print_usage() {
     eprintln!(
-        "Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N] [--out FILE] [--ab]\n\
+        "Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N] [--out FILE]\n\
+                             [--ab] [--schema] [--schema-json FILE]\n\
          Renders the static analyzer's EXPLAIN report (per-node rate/state\n\
          estimates and A-code diagnostics) for the standard workload suite.\n\
+         --schema appends the typechecker's schema & partition-safety report;\n\
+         --schema-json writes its machine-readable artifact to FILE.\n\
          --ab additionally executes the join-order A/B measurement."
     );
 }

@@ -96,6 +96,59 @@ pub fn suite_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
     out
 }
 
+/// Render the schema & partition-safety report for every pattern in the
+/// standard suite: the typechecker's per-node inferred row schema, key
+/// provenance, and shardability verdict (see DESIGN.md, "Schema &
+/// partition-safety"). Printed by `plan-explain --schema`.
+pub fn schema_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
+    let sources = suite_sources(cfg);
+    let stats = StreamStats::from_sources(&sources);
+    let mut out = format!(
+        "PLAN SCHEMA — standard suite (W = {} min, order = {:?})\n\n",
+        cfg.w_minutes, strategy
+    );
+    for (name, pattern) in standard_suite(cfg.w_minutes) {
+        let opts = auto_options_with(&pattern, &stats, strategy);
+        match translate(&pattern, &opts) {
+            Ok(plan) => {
+                let tc = cep2asp::typecheck(&plan);
+                let _ = writeln!(out, "== {name} [{}]", plan.mapping);
+                out.push_str(&tc.render());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "== {name}\n-- translate failed: {e}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The machine-readable companion of [`schema_report`]: one JSON document
+/// with each suite pattern's full typecheck artifact (schemas, key
+/// provenance, safety verdicts, S-code diagnostics). Written by
+/// `plan-explain --schema-json FILE` and uploaded as a CI artifact.
+pub fn schema_json(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
+    let sources = suite_sources(cfg);
+    let stats = StreamStats::from_sources(&sources);
+    let mut entries = Vec::new();
+    for (name, pattern) in standard_suite(cfg.w_minutes) {
+        let opts = auto_options_with(&pattern, &stats, strategy);
+        let body = match translate(&pattern, &opts) {
+            // `to_json` already emits a complete JSON object; embed raw.
+            Ok(plan) => cep2asp::typecheck(&plan).to_json(),
+            Err(e) => format!("{{\"error\":\"{e}\"}}"),
+        };
+        entries.push(format!("{{\"pattern\":\"{name}\",\"typecheck\":{body}}}"));
+    }
+    format!(
+        "{{\"window_minutes\":{},\"order\":\"{:?}\",\"patterns\":[{}]}}\n",
+        cfg.w_minutes,
+        strategy,
+        entries.join(",")
+    )
+}
+
 /// One side of an A/B join-order measurement.
 #[derive(Debug, Clone)]
 pub struct AbSide {
@@ -223,5 +276,54 @@ mod tests {
         // join amplification must both be diagnosed somewhere.
         assert!(report.contains("A001"), "{report}");
         assert!(report.contains("A002"), "{report}");
+    }
+
+    #[test]
+    fn schema_report_gives_every_pattern_a_verdict() {
+        let cfg = ExplainConfig {
+            minutes: 40,
+            ..Default::default()
+        };
+        let report = schema_report(&cfg, OrderingStrategy::CostBased);
+        for (name, _) in standard_suite(cfg.w_minutes) {
+            assert!(report.contains(&format!("== {name}")), "missing {name}");
+        }
+        assert!(!report.contains("translate failed"), "{report}");
+        // Every plan the mapper emits must typecheck clean; the report
+        // shows schemas, key provenance, and safety verdicts.
+        assert!(!report.contains("!!"), "unexpected S diagnostics\n{report}");
+        assert!(
+            report.contains("key=") || report.contains("id(e1)"),
+            "{report}"
+        );
+        assert!(report.contains("[shardable-by-key]"), "{report}");
+        assert!(report.contains("[global-only]"), "{report}");
+    }
+
+    #[test]
+    fn schema_json_is_valid_json() {
+        let cfg = ExplainConfig {
+            minutes: 40,
+            ..Default::default()
+        };
+        let json = schema_json(&cfg, OrderingStrategy::CostBased);
+        let v: serde::Value = serde_json::from_str(json.trim()).expect("valid JSON");
+        let pats = match serde::de_field(&v, "patterns") {
+            serde::Value::Array(items) => items,
+            other => panic!("expected patterns array, got {other:?}"),
+        };
+        assert_eq!(pats.len(), standard_suite(cfg.w_minutes).len());
+        for p in pats {
+            let tc = serde::de_field(p, "typecheck");
+            assert_eq!(
+                serde::de_field(tc, "clean"),
+                &serde::Value::Bool(true),
+                "{p:?}"
+            );
+            assert!(
+                matches!(serde::de_field(tc, "root"), serde::Value::Object(_)),
+                "{p:?}"
+            );
+        }
     }
 }

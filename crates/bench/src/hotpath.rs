@@ -228,7 +228,7 @@ pub fn run_window_join(
 }
 
 /// The keyed-sweep scenario: key-partitioned window join with the
-/// selective [`band_theta`] θ, meant to be fed [`dense_stream`] sides so
+/// selective `band_theta` θ, meant to be fed [`dense_stream`] sides so
 /// the probe cost — not the source or the sink — dominates.
 pub fn run_window_join_keyed(
     left: Vec<Event>,

@@ -156,6 +156,9 @@ pub fn measure_fasp(
         watermark_lag: asp::time::Duration::ZERO,
         collect_output: false,
         dedup_output: false,
+        // Benchmarks measure the mapping, not the checker; keep whatever
+        // the build's feature set selects (off unless schema-conformance).
+        ..PhysicalConfig::default()
     };
     let dataset = dataset_events(pattern, sources);
     match cep2asp::run_pattern(pattern, opts, sources, &phys, &exec_config(cfg)) {

@@ -38,6 +38,7 @@ use asp::validate::Severity;
 use sea::annotations::{max_interval_count, Annotations};
 use sea::pattern::{Pattern, WindowSpec};
 
+use crate::diag::{Diag, DiagCode};
 use crate::physical::PhysicalConfig;
 use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
 
@@ -124,28 +125,16 @@ impl fmt::Display for AnalyzeCode {
     }
 }
 
-/// One detected pathology, anchored at a plan node.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnalyzeDiagnostic {
-    /// Stable pathology identifier.
-    pub code: AnalyzeCode,
-    /// All analyzer findings are warnings: the plan runs, expensively.
-    pub severity: Severity,
-    /// Label of the node the finding is anchored at.
-    pub node: String,
-    /// Human-readable explanation with the numbers that tripped it.
-    pub message: String,
-}
-
-impl fmt::Display for AnalyzeDiagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} at {}: {}",
-            self.code, self.severity, self.node, self.message
-        )
+impl DiagCode for AnalyzeCode {
+    fn as_str(&self) -> &'static str {
+        AnalyzeCode::as_str(self)
     }
 }
+
+/// One detected pathology, anchored at a plan node. All analyzer findings
+/// are warnings (the plan runs, expensively); the shared [`Diag`] carrier
+/// keeps rendering uniform with the G/P/S families.
+pub type AnalyzeDiagnostic = Diag<AnalyzeCode>;
 
 /// Per-node estimates propagated bottom-up by [`analyze`].
 #[derive(Debug, Clone)]
@@ -514,6 +503,20 @@ fn analyze_node(
                 children: vec![c],
             }
         }
+        PlanNode::Project { input, layout } => {
+            // A pure stateless reorder: every estimate passes through.
+            let c = analyze_node(input, w, ann, cfg, diags);
+            let cols: Vec<String> = layout.iter().map(|v| format!("e{}", v + 1)).collect();
+            AnalyzedNode {
+                label: format!("Project [{}]", cols.join(", ")),
+                estimate: NodeEstimate {
+                    state_tuples: 0.0,
+                    state_bytes: 0.0,
+                    ..c.estimate.clone()
+                },
+                children: vec![c],
+            }
+        }
     }
 }
 
@@ -683,6 +686,7 @@ fn dup_product(node: &PlanNode) -> f64 {
         PlanNode::Union { inputs } => inputs.iter().map(dup_product).fold(1.0, f64::max),
         PlanNode::Aggregate { input, .. } => dup_product(input),
         PlanNode::NextOccurrence { trigger, .. } => dup_product(trigger),
+        PlanNode::Project { input, .. } => dup_product(input),
     }
 }
 
@@ -693,6 +697,7 @@ fn anchorable(node: &PlanNode) -> bool {
         PlanNode::Scan { .. } => true,
         PlanNode::Join { left, right, .. } => anchorable(left) && anchorable(right),
         PlanNode::NextOccurrence { trigger, .. } => anchorable(trigger),
+        PlanNode::Project { input, .. } => anchorable(input),
         PlanNode::Union { .. } | PlanNode::Aggregate { .. } => false,
     }
 }
@@ -708,6 +713,7 @@ fn total_bound(node: &PlanNode, ctx: &BoundCtx<'_>) -> f64 {
             total_bound(input, ctx) * window.duplication_factor()
         }
         PlanNode::NextOccurrence { trigger, .. } => total_bound(trigger, ctx),
+        PlanNode::Project { input, .. } => total_bound(input, ctx),
         PlanNode::Join { left, right, .. } => {
             if anchorable(node) {
                 anchor_bound(node, ctx) * dup_product(node)
@@ -766,6 +772,7 @@ fn retained_bound(node: &PlanNode, ctx: &BoundCtx<'_>) -> f64 {
     match node {
         PlanNode::Scan { etype, .. } => ctx.peak_two_windows(&[*etype]),
         PlanNode::Union { inputs } => inputs.iter().map(|i| retained_bound(i, ctx)).sum(),
+        PlanNode::Project { input, .. } => retained_bound(input, ctx),
         _ => total_bound(node, ctx),
     }
 }
@@ -796,6 +803,7 @@ fn keyed_run_bound(node: &PlanNode, ctx: &BoundCtx<'_>) -> f64 {
             .fold(0.0, f64::max),
         PlanNode::Aggregate { input, .. } => keyed_run_bound(input, ctx),
         PlanNode::NextOccurrence { trigger, .. } => keyed_run_bound(trigger, ctx),
+        PlanNode::Project { input, .. } => keyed_run_bound(input, ctx),
         PlanNode::Join {
             left,
             right,
@@ -823,6 +831,7 @@ fn keyed_run_bound(node: &PlanNode, ctx: &BoundCtx<'_>) -> f64 {
 fn state_bound(node: &PlanNode, ctx: &BoundCtx<'_>, acc: &mut f64) {
     match node {
         PlanNode::Scan { .. } => {}
+        PlanNode::Project { input, .. } => state_bound(input, ctx, acc),
         PlanNode::Union { inputs } => inputs.iter().for_each(|i| state_bound(i, ctx, acc)),
         PlanNode::Join { left, right, .. } => {
             for side in [left.as_ref(), right.as_ref()] {

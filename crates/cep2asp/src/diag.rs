@@ -1,0 +1,113 @@
+//! One diagnostic-reporting path for every static-analysis family.
+//!
+//! The workspace carries four families of coded diagnostics — `G` (graph
+//! validation, `asp::validate`), `P` (plan lints, [`crate::lint`]), `A`
+//! (cost pathologies, [`mod@crate::analyze`]), and `S` (schema/partition
+//! safety, [`mod@crate::typecheck`]). They used to render through per-family
+//! ad-hoc `Display` impls; [`Diag`] is the single carrier — code,
+//! severity, anchoring node, message — with one `Display` impl, so every
+//! family prints identically:
+//!
+//! ```text
+//! P012 error at Join: span guard differs
+//! ```
+//!
+//! (`asp::validate::Diagnostic` lives below this crate and keeps its own
+//! struct, but its format string is the same and its `Code` implements
+//! [`DiagCode`] here so callers can render mixed findings uniformly.)
+
+use std::fmt;
+
+use asp::validate::Severity;
+
+/// A stable diagnostic code: renders as a short family-prefixed
+/// identifier (`G005`, `P004`, `A001`, `S003`, …).
+pub trait DiagCode {
+    /// The stable code string.
+    fn as_str(&self) -> &'static str;
+}
+
+impl DiagCode for asp::validate::Code {
+    fn as_str(&self) -> &'static str {
+        asp::validate::Code::as_str(self)
+    }
+}
+
+/// One coded finding, anchored at a node, across all analysis families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag<C> {
+    /// Stable identifier of the violated rule.
+    pub code: C,
+    /// Error (the plan/graph is wrong) or warning (it runs, expensively).
+    pub severity: Severity,
+    /// The node kind or label the finding is anchored at.
+    pub node: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl<C> Diag<C> {
+    /// A new diagnostic with explicit severity.
+    pub fn new(
+        code: C,
+        severity: Severity,
+        node: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diag {
+            code,
+            severity,
+            node: node.into(),
+            message: message.into(),
+        }
+    }
+
+    /// An error-severity diagnostic.
+    pub fn error(code: C, node: impl Into<String>, message: impl Into<String>) -> Self {
+        Diag::new(code, Severity::Error, node, message)
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: C, node: impl Into<String>, message: impl Into<String>) -> Self {
+        Diag::new(code, Severity::Warning, node, message)
+    }
+}
+
+impl<C: DiagCode> fmt::Display for Diag<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}: {}",
+            self.code.as_str(),
+            self.severity,
+            self.node,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::AnalyzeCode;
+    use crate::lint::LintCode;
+    use crate::typecheck::TypeCode;
+
+    #[test]
+    fn all_families_render_through_one_format() {
+        let p = Diag::error(LintCode::SpanMismatch, "Join", "span guard differs");
+        assert_eq!(p.to_string(), "P012 error at Join: span guard differs");
+        let a = Diag::warning(AnalyzeCode::StateSuperLinear, "Join", "state grows as W^2");
+        assert_eq!(a.to_string(), "A001 warning at Join: state grows as W^2");
+        let s = Diag::error(TypeCode::JoinKeyNotCoPartitioned, "Join", "keys unrelated");
+        assert_eq!(s.to_string(), "S005 error at Join: keys unrelated");
+    }
+
+    #[test]
+    fn graph_codes_implement_diag_code() {
+        // G diagnostics stay in `asp`, but their codes join the shared
+        // vocabulary so mixed reports can render them identically.
+        let code = *asp::validate::Code::ALL.first().expect("non-empty");
+        assert!(DiagCode::as_str(&code).starts_with('G'));
+    }
+}

@@ -17,12 +17,16 @@ use sea::pattern::Pattern;
 use crate::physical::{build_pipeline, BuildError, PhysicalConfig};
 use crate::plan::LogicalPlan;
 use crate::translate::{translate, MapperOptions, TranslateError};
+use crate::typecheck::{typecheck, TypeDiagnostic};
 
 /// Everything that can go wrong between a pattern and its results.
 #[derive(Debug)]
 pub enum ExecError {
     /// The pattern could not be mapped to a logical plan.
     Translate(TranslateError),
+    /// The logical plan failed the static schema/partition-safety check
+    /// (`S`-code diagnostics) before lowering.
+    Typecheck(Vec<TypeDiagnostic>),
     /// The logical plan could not be lowered to a dataflow graph.
     Build(BuildError),
     /// The dataflow run itself failed (validation or execution).
@@ -33,6 +37,10 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::Translate(e) => write!(f, "{e}"),
+            ExecError::Typecheck(ds) => {
+                let msgs: Vec<String> = ds.iter().map(ToString::to_string).collect();
+                write!(f, "plan failed schema typecheck: {}", msgs.join("; "))
+            }
             ExecError::Build(e) => write!(f, "{e}"),
             ExecError::Pipeline(e) => write!(f, "{e}"),
         }
@@ -108,6 +116,13 @@ pub fn run_pattern(
     exec: &ExecutorConfig,
 ) -> Result<MappedRun, ExecError> {
     let plan = translate(pattern, opts)?;
+    // Pre-run schema/key check: a plan with inconsistent layouts or a
+    // mis-keyed join would run and silently produce wrong answers; fail
+    // it here with coded diagnostics instead.
+    let tc = typecheck(&plan);
+    if !tc.is_clean() {
+        return Err(ExecError::Typecheck(tc.diagnostics));
+    }
     // Default missing input types to empty streams without copying the
     // (potentially multi-GB) event vectors when nothing is missing.
     let missing: Vec<EventType> = pattern

@@ -12,11 +12,21 @@ use sea::pattern::Pattern;
 
 use crate::analyze::{analyze, human_bytes, Analysis, AnalyzeConfig, AnalyzedNode};
 use crate::plan::LogicalPlan;
+use crate::typecheck::TypedNode;
 
 /// Render an analysis as an indented `EXPLAIN` tree plus diagnostics.
 pub fn render_analysis(analysis: &Analysis) -> String {
+    render_analysis_typed(analysis, None)
+}
+
+/// Like [`render_analysis`], but when the plan's typed tree (from
+/// [`crate::typecheck::typecheck`]) is supplied, each node line also shows
+/// how its output edge is keyed and the node's partition-safety verdict —
+/// the analyzer and typechecker build their trees in the same plan order,
+/// so the two are walked in lockstep.
+pub fn render_analysis_typed(analysis: &Analysis, typed: Option<&TypedNode>) -> String {
     let mut out = String::new();
-    render_node(&analysis.root, 0, &mut out);
+    render_node(&analysis.root, typed, 0, &mut out);
     let _ = writeln!(
         out,
         "-- total worst-case state ≤ {}",
@@ -33,9 +43,9 @@ pub fn render_analysis(analysis: &Analysis) -> String {
     out
 }
 
-fn render_node(node: &AnalyzedNode, depth: usize, out: &mut String) {
+fn render_node(node: &AnalyzedNode, typed: Option<&TypedNode>, depth: usize, out: &mut String) {
     let e = &node.estimate;
-    let _ = writeln!(
+    let _ = write!(
         out,
         "{:indent$}{label}  rate≈{rate}/min  win≈{win} (≤{bound})  state≤{state}",
         "",
@@ -46,8 +56,12 @@ fn render_node(node: &AnalyzedNode, depth: usize, out: &mut String) {
         bound = fmt_num(e.window_bound),
         state = human_bytes(e.state_bytes),
     );
-    for c in &node.children {
-        render_node(c, depth + 1, out);
+    if let Some(t) = typed {
+        let _ = write!(out, "  key={}  [{}]", t.schema.key, t.safety);
+    }
+    out.push('\n');
+    for (i, c) in node.children.iter().enumerate() {
+        render_node(c, typed.and_then(|t| t.children.get(i)), depth + 1, out);
     }
 }
 
@@ -78,6 +92,7 @@ pub fn explain_analyzed(
     cfg: &AnalyzeConfig,
 ) -> String {
     let analysis = analyze(plan, ann, cfg);
+    let typed = crate::typecheck::typecheck(plan);
     let mut out = format!(
         "-- pattern {} | window W={} s={} | joins={}\n",
         pattern.name,
@@ -85,7 +100,13 @@ pub fn explain_analyzed(
         pattern.window.slide,
         plan.root.join_count(),
     );
-    out.push_str(&render_analysis(&analysis));
+    out.push_str(&render_analysis_typed(&analysis, Some(&typed.root)));
+    if !typed.is_clean() {
+        let _ = writeln!(out, "-- schema diagnostics ({}):", typed.diagnostics.len());
+        for d in &typed.diagnostics {
+            let _ = writeln!(out, "   {d}");
+        }
+    }
     out
 }
 
@@ -115,6 +136,12 @@ mod tests {
         assert!(text.contains("-- diagnostics"), "{text}");
         // Three-leaf SEQ stacks window-dependent joins → A001 present.
         assert!(text.contains("A001"), "{text}");
+        // The key/safety column from the typechecker rides along: scans
+        // are id-keyed and stateless, the keyless joins run globally.
+        assert!(text.contains("key=id(e1)"), "{text}");
+        assert!(text.contains("[stateless]"), "{text}");
+        assert!(text.contains("key=uniform"), "{text}");
+        assert!(text.contains("[global-only]"), "{text}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod analyze;
+pub mod diag;
 pub mod exec;
 pub mod explain;
 pub mod kleene_udf;
@@ -49,15 +50,17 @@ pub mod physical;
 pub mod plan;
 pub mod sql;
 pub mod translate;
+pub mod typecheck;
 
 pub use analyze::{
     analyze, runtime_bounds, Analysis, AnalyzeCode, AnalyzeConfig, AnalyzeDiagnostic, AnalyzedNode,
     NodeEstimate,
 };
+pub use diag::{Diag, DiagCode};
 pub use exec::{
     dedup_sorted, run_pattern, run_pattern_simple, split_by_type, ExecError, MappedRun,
 };
-pub use explain::{explain_analyzed, render_analysis};
+pub use explain::{explain_analyzed, render_analysis, render_analysis_typed};
 pub use lint::{lint_plan, LintCode, LintDiagnostic};
 pub use multi::{run_patterns, MultiRun, PatternJob};
 pub use optimizer::{
@@ -68,3 +71,7 @@ pub use physical::{build_pipeline, BuildError, PhysicalConfig};
 pub use plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
 pub use sql::to_query_text;
 pub use translate::{translate, JoinOrder, MapperOptions, TranslateError};
+pub use typecheck::{
+    typecheck, typecheck_with, Column, EdgeSchema, KeyProvenance, RowSchema, ShardSafety, TypeCode,
+    TypeDiagnostic, TypecheckResult, TypedNode,
+};

@@ -39,10 +39,9 @@
 
 use std::fmt;
 
-use asp::validate::Severity;
-
 use sea::predicate::VarId;
 
+use crate::diag::{Diag, DiagCode};
 use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
 
 /// Stable identifier of a plan invariant checked by [`lint_plan`].
@@ -126,54 +125,29 @@ impl fmt::Display for LintCode {
     }
 }
 
-/// One violated plan invariant.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LintDiagnostic {
-    /// Stable invariant identifier.
-    pub code: LintCode,
-    /// All lint findings are errors today; the field keeps parity with
-    /// `asp::validate::Diagnostic` for uniform rendering.
-    pub severity: Severity,
-    /// The plan node kind the finding is anchored at (`Join`, `Scan`, …).
-    pub node: String,
-    /// Human-readable explanation.
-    pub message: String,
-}
-
-impl LintDiagnostic {
-    fn new(code: LintCode, node: &str, message: impl Into<String>) -> Self {
-        LintDiagnostic {
-            code,
-            severity: Severity::Error,
-            node: node.to_string(),
-            message: message.into(),
-        }
+impl DiagCode for LintCode {
+    fn as_str(&self) -> &'static str {
+        LintCode::as_str(self)
     }
 }
 
-impl fmt::Display for LintDiagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} at {}: {}",
-            self.code, self.severity, self.node, self.message
-        )
-    }
-}
+/// One violated plan invariant. All lint findings are errors; the shared
+/// [`Diag`] carrier keeps rendering uniform with the G/A/S families.
+pub type LintDiagnostic = Diag<LintCode>;
 
 /// Lint a logical plan; an empty result means every invariant holds.
 pub fn lint_plan(plan: &LogicalPlan) -> Vec<LintDiagnostic> {
     let mut out = Vec::new();
     let w = plan.window.size.millis();
     if w <= 0 {
-        out.push(LintDiagnostic::new(
+        out.push(LintDiagnostic::error(
             LintCode::WindowOutOfRange,
             "Plan",
             format!("pattern window size must be positive, got {w}ms"),
         ));
     }
     if plan.window.slide.millis() <= 0 || plan.window.slide.millis() > w.max(1) {
-        out.push(LintDiagnostic::new(
+        out.push(LintDiagnostic::error(
             LintCode::SlidingSlideExceedsSize,
             "Plan",
             format!(
@@ -196,7 +170,7 @@ fn check_dup(vars: &[VarId], out: &mut Vec<LintDiagnostic>) {
     let mut sorted = vars.to_vec();
     sorted.sort_unstable();
     if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
-        out.push(LintDiagnostic::new(
+        out.push(LintDiagnostic::error(
             LintCode::DuplicateScanVar,
             "Scan",
             format!(
@@ -225,6 +199,7 @@ fn scope_vars(node: &PlanNode, vars: &mut Vec<VarId>, out: &mut Vec<LintDiagnost
         }
         PlanNode::Aggregate { input, .. } => scope_vars(input, vars, out),
         PlanNode::NextOccurrence { trigger, .. } => scope_vars(trigger, vars, out),
+        PlanNode::Project { input, .. } => scope_vars(input, vars, out),
     }
 }
 
@@ -232,7 +207,7 @@ fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagno
     match windowing {
         JoinWindowing::Sliding { size, slide } => {
             if slide.millis() <= 0 || slide.millis() > size.millis() {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::SlidingSlideExceedsSize,
                     "Join",
                     format!(
@@ -243,7 +218,7 @@ fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagno
                 ));
             }
             if size.millis() != w_ms {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::WindowOutOfRange,
                     "Join",
                     format!(
@@ -258,7 +233,7 @@ fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagno
         }
         JoinWindowing::Interval { lower, upper } => {
             if lower.millis() >= upper.millis() {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::IntervalBoundsInverted,
                     "Join",
                     format!(
@@ -269,7 +244,7 @@ fn lint_windowing(windowing: &JoinWindowing, w_ms: i64, out: &mut Vec<LintDiagno
                 ));
             }
             if lower.millis() < -w_ms || upper.millis() > w_ms {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::IntervalExceedsWindow,
                     "Join",
                     format!(
@@ -294,7 +269,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
         } => {
             for p in predicates {
                 if !p.vars().iter().all(|v| v == var) {
-                    out.push(LintDiagnostic::new(
+                    out.push(LintDiagnostic::error(
                         LintCode::UnboundPredicateVar,
                         "Scan",
                         format!(
@@ -326,7 +301,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
             for p in predicates {
                 for v in p.vars() {
                     if !merged.contains(&v) {
-                        out.push(LintDiagnostic::new(
+                        out.push(LintDiagnostic::error(
                             LintCode::UnboundPredicateVar,
                             "Join",
                             format!(
@@ -339,7 +314,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
             }
             for (a, b) in order_pairs {
                 if !merged.contains(a) || !merged.contains(b) {
-                    out.push(LintDiagnostic::new(
+                    out.push(LintDiagnostic::error(
                         LintCode::UnboundOrderPair,
                         "Join",
                         format!(
@@ -352,7 +327,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
             }
             if let Some(v) = ats_check {
                 if !rl.contains(v) {
-                    out.push(LintDiagnostic::new(
+                    out.push(LintDiagnostic::error(
                         LintCode::UnboundAtsCheck,
                         "Join",
                         format!("ats ≥ e{}.ts but the right side binds {rl:?}", v + 1),
@@ -360,19 +335,19 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
                 }
             }
             match (partitioning, key_pair) {
-                (Partitioning::ByKey, None) => out.push(LintDiagnostic::new(
+                (Partitioning::ByKey, None) => out.push(LintDiagnostic::error(
                     LintCode::PartitioningKeyMismatch,
                     "Join",
                     "ByKey partitioning without a key pair",
                 )),
-                (Partitioning::Global, Some(_)) => out.push(LintDiagnostic::new(
+                (Partitioning::Global, Some(_)) => out.push(LintDiagnostic::error(
                     LintCode::PartitioningKeyMismatch,
                     "Join",
                     "Global partitioning with a key pair (the key would never be used)",
                 )),
                 (Partitioning::ByKey, Some((kl, kr))) => {
                     if !ll.contains(kl) || !rl.contains(kr) {
-                        out.push(LintDiagnostic::new(
+                        out.push(LintDiagnostic::error(
                             LintCode::PartitioningKeyMismatch,
                             "Join",
                             format!(
@@ -386,7 +361,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
                 (Partitioning::Global, None) => {}
             }
             if *span_ms != w_ms {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::SpanMismatch,
                     "Join",
                     format!("span guard {span_ms}ms differs from the pattern window {w_ms}ms"),
@@ -397,7 +372,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
         }
         PlanNode::Union { inputs } => {
             if inputs.len() < 2 {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::EmptyUnion,
                     "Union",
                     format!("union has {} input(s); it needs at least two", inputs.len()),
@@ -411,14 +386,14 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
             input, m, window, ..
         } => {
             if *m == 0 {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::AggregateCountZero,
                     "Aggregate",
                     "count ≥ 0 holds vacuously; m must be at least 1",
                 ));
             }
             if window.slide.millis() <= 0 || window.slide.millis() > window.size.millis() {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::SlidingSlideExceedsSize,
                     "Aggregate",
                     format!(
@@ -429,7 +404,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
                 ));
             }
             if window.size.millis() != w_ms {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::WindowOutOfRange,
                     "Aggregate",
                     format!(
@@ -444,7 +419,7 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
         }
         PlanNode::NextOccurrence { trigger, w, .. } => {
             if w.millis() <= 0 || w.millis() > w_ms {
-                out.push(LintDiagnostic::new(
+                out.push(LintDiagnostic::error(
                     LintCode::WindowOutOfRange,
                     "NextOccurrence",
                     format!("hold duration {}ms outside (0, {}ms]", w.millis(), w_ms),
@@ -452,6 +427,9 @@ fn walk(node: &PlanNode, plan: &LogicalPlan, out: &mut Vec<LintDiagnostic>) {
             }
             walk(trigger, plan, out);
         }
+        // Layout permutation validity is the typechecker's job (S004);
+        // the lint invariants all hold trivially for a pure reorder.
+        PlanNode::Project { input, .. } => walk(input, plan, out),
     }
 }
 
@@ -752,7 +730,7 @@ mod tests {
 
     #[test]
     fn diagnostics_render_with_code_and_node() {
-        let d = LintDiagnostic::new(LintCode::SpanMismatch, "Join", "span guard differs");
+        let d = LintDiagnostic::error(LintCode::SpanMismatch, "Join", "span guard differs");
         assert_eq!(d.to_string(), "P012 error at Join: span guard differs");
     }
 }

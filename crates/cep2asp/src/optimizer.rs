@@ -761,6 +761,14 @@ fn annotate(
             out.insert_str(header_at, &header);
             t
         }
+        PlanNode::Project { input, layout } => {
+            let header_at = out.len();
+            let inner = annotate(input, pattern, stats, depth + 1, out);
+            let cols: Vec<String> = layout.iter().map(|v| format!("e{}", v + 1)).collect();
+            let header = format!("{pad}Project [{}]  ~{inner:.3} ev/min\n", cols.join(", "));
+            out.insert_str(header_at, &header);
+            inner
+        }
     }
 }
 

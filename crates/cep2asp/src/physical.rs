@@ -26,6 +26,7 @@ use sea::pattern::Leaf;
 use sea::predicate::{Predicate, VarId};
 
 use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
+use crate::typecheck::{self, KeyProvenance, TypedNode};
 
 /// Physical execution knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +51,13 @@ pub struct PhysicalConfig {
     /// idempotent actions but must otherwise be handled — this handles
     /// them). Interval-join plans are duplicate-free already.
     pub dedup_output: bool,
+    /// Runtime schema-conformance mode: typecheck the plan before
+    /// building (rejecting defective plans) and splice a stateless
+    /// assertion operator after every plan node that panics if a tuple
+    /// crossing the edge violates the inferred schema or key — the
+    /// falsifiability hook for `cep2asp::typecheck`. Defaults to on when
+    /// the crate is built with the `schema-conformance` feature.
+    pub schema_conformance: bool,
 }
 
 impl Default for PhysicalConfig {
@@ -62,6 +70,7 @@ impl Default for PhysicalConfig {
             watermark_lag: asp::time::Duration::ZERO,
             collect_output: true,
             dedup_output: false,
+            schema_conformance: cfg!(feature = "schema-conformance"),
         }
     }
 }
@@ -71,12 +80,18 @@ impl Default for PhysicalConfig {
 pub enum BuildError {
     /// The plan scans a type with no registered source stream.
     MissingSource(EventType),
+    /// Schema-conformance mode rejected the plan before building
+    /// (rendered `S`-code diagnostics from `cep2asp::typecheck`).
+    SchemaRejected(String),
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::MissingSource(t) => write!(f, "no source stream registered for {t}"),
+            BuildError::SchemaRejected(msg) => {
+                write!(f, "plan rejected by schema typecheck: {msg}")
+            }
         }
     }
 }
@@ -91,6 +106,16 @@ pub fn build_pipeline(
     sources: &HashMap<EventType, Vec<Event>>,
     cfg: &PhysicalConfig,
 ) -> Result<(GraphBuilder, SinkId), BuildError> {
+    let typed = if cfg.schema_conformance {
+        let res = typecheck::typecheck(plan);
+        if !res.is_clean() {
+            let msgs: Vec<String> = res.diagnostics.iter().map(|d| d.to_string()).collect();
+            return Err(BuildError::SchemaRejected(msgs.join("; ")));
+        }
+        Some(res.root)
+    } else {
+        None
+    };
     let mut b = Builder {
         g: GraphBuilder::new(),
         sources,
@@ -98,7 +123,7 @@ pub fn build_pipeline(
         positions: plan.positions,
         source_cfgs: HashMap::new(),
     };
-    let root = b.node(&plan.root)?;
+    let root = b.node(&plan.root, typed.as_ref())?;
     let mut root = match &plan.root {
         // Union children were already projected; everything else gets the
         // final position-order projection here.
@@ -163,7 +188,18 @@ impl<'a> Builder<'a> {
         Ok(self.g.source_with(format!("src:{etype}"), cfg, 1))
     }
 
-    fn node(&mut self, n: &PlanNode) -> Result<Built, BuildError> {
+    /// Lower `n`; in conformance mode (`typed` present) splice the edge
+    /// assertion operator onto its output.
+    fn node(&mut self, n: &PlanNode, typed: Option<&TypedNode>) -> Result<Built, BuildError> {
+        let built = self.node_inner(n, typed)?;
+        Ok(match typed {
+            Some(t) => self.conformance(built, t),
+            None => built,
+        })
+    }
+
+    fn node_inner(&mut self, n: &PlanNode, typed: Option<&TypedNode>) -> Result<Built, BuildError> {
+        let child = |i: usize| typed.and_then(|t| t.children.get(i));
         match n {
             PlanNode::Scan {
                 etype,
@@ -197,9 +233,9 @@ impl<'a> Builder<'a> {
             } => {
                 let ll = left.layout();
                 let rl = right.layout();
-                let l = self.node(left)?;
+                let l = self.node(left, child(0))?;
                 let l = self.maybe_dedup(l, left);
-                let r = self.node(right)?;
+                let r = self.node(right, child(1))?;
                 let r = self.maybe_dedup(r, right);
                 let (l, r, par) = match partitioning {
                     Partitioning::ByKey => {
@@ -268,8 +304,8 @@ impl<'a> Builder<'a> {
 
             PlanNode::Union { inputs } => {
                 let mut built = Vec::with_capacity(inputs.len());
-                for i in inputs {
-                    let b = self.node(i)?;
+                for (ix, i) in inputs.iter().enumerate() {
+                    let b = self.node(i, child(ix))?;
                     // Project each branch before the union so matches are in
                     // canonical position order regardless of branch shape.
                     let b = match i {
@@ -295,7 +331,7 @@ impl<'a> Builder<'a> {
                 window,
                 partitioning,
             } => {
-                let inp = self.node(input)?;
+                let inp = self.node(input, child(0))?;
                 let (inp, par) = match partitioning {
                     Partitioning::ByKey => (inp, self.cfg.parallelism),
                     Partitioning::Global => (self.uniform_key(inp), 1),
@@ -321,7 +357,7 @@ impl<'a> Builder<'a> {
             }
 
             PlanNode::NextOccurrence { trigger, marker, w } => {
-                let t = self.node(trigger)?;
+                let t = self.node(trigger, child(0))?;
                 // Physical marker scan: source + the absent leaf's filters.
                 let src = self.source(marker.etype)?;
                 let mpred = leaf_predicate(marker);
@@ -353,6 +389,85 @@ impl<'a> Builder<'a> {
                 );
                 Ok(Built { id, parallelism: 1 })
             }
+
+            PlanNode::Project { input, layout } => {
+                let inp = self.node(input, child(0))?;
+                let in_layout = input.layout();
+                // Output position i takes the input position holding
+                // layout[i]; the typechecker guarantees a permutation
+                // (S004), the length guard below keeps a defective plan
+                // from panicking in release builds.
+                let perm: Vec<usize> = layout
+                    .iter()
+                    .filter_map(|v| in_layout.iter().position(|x| x == v))
+                    .collect();
+                let arity = in_layout.len();
+                let par = inp.parallelism;
+                let id = self.g.unary(
+                    inp.id,
+                    Exchange::Forward,
+                    par,
+                    Box::new(move |_| {
+                        let perm = perm.clone();
+                        Box::new(MapOp::new(
+                            "Π:layout",
+                            Arc::new(move |mut t: Tuple| {
+                                if perm.len() == arity && t.events.len() == arity {
+                                    t.set_events(perm.iter().map(|&i| t.events[i]).collect());
+                                }
+                                t
+                            }),
+                        ))
+                    }),
+                );
+                Ok(Built {
+                    id,
+                    parallelism: par,
+                })
+            }
+        }
+    }
+
+    /// Schema-conformance assertion: a stateless pass-through operator on
+    /// the node's output edge that panics (surfacing as a worker panic in
+    /// the run report) if a tuple does not match any inferred variant, or
+    /// carries an annotation or partition key the schema forbids.
+    fn conformance(&mut self, input: Built, typed: &TypedNode) -> Built {
+        let specs: Vec<(Vec<EventType>, bool, bool, Option<usize>)> = typed
+            .schema
+            .variants
+            .iter()
+            .map(|v| {
+                let etypes: Vec<EventType> = v.columns.iter().map(|c| c.etype).collect();
+                let key_idx = match typed.schema.key {
+                    KeyProvenance::SensorId(kv) => v.columns.iter().position(|c| c.var == kv),
+                    _ => None,
+                };
+                (etypes, v.ats, v.agg, key_idx)
+            })
+            .collect();
+        let key = typed.schema.key;
+        let label = typed.label.clone();
+        let par = input.parallelism;
+        let id = self.g.unary(
+            input.id,
+            Exchange::Forward,
+            par,
+            Box::new(move |_| {
+                let specs = specs.clone();
+                let label = label.clone();
+                Box::new(MapOp::new(
+                    format!("✓schema:{label}"),
+                    Arc::new(move |t: Tuple| {
+                        check_conformance(&t, &specs, key, &label);
+                        t
+                    }),
+                ))
+            }),
+        );
+        Built {
+            id,
+            parallelism: par,
         }
     }
 
@@ -449,6 +564,53 @@ impl<'a> Builder<'a> {
     }
 }
 
+/// Assert one tuple against the inferred edge schema; panics with the
+/// node label on violation (schema-conformance mode only).
+fn check_conformance(
+    t: &Tuple,
+    specs: &[(Vec<EventType>, bool, bool, Option<usize>)],
+    key: KeyProvenance,
+    label: &str,
+) {
+    let matched = specs.iter().find(|(etypes, ats, agg, _)| {
+        etypes.len() == t.events.len()
+            && etypes
+                .iter()
+                .zip(t.events.iter())
+                .all(|(e, ev)| *e == ev.etype)
+            && *ats == t.ats.is_some()
+            && *agg == t.agg.is_some()
+    });
+    let Some((_, _, _, key_idx)) = matched else {
+        panic!(
+            "schema conformance violated at `{label}`: tuple with {} event(s) \
+             (ats={}, agg={}) matches no inferred variant",
+            t.events.len(),
+            t.ats.is_some(),
+            t.agg.is_some()
+        );
+    };
+    match key {
+        KeyProvenance::SensorId(kv) => {
+            if let Some(idx) = key_idx {
+                let want = t.events[*idx].id as asp::tuple::Key;
+                assert!(
+                    t.key == want,
+                    "key conformance violated at `{label}`: key {} ≠ id(e{}) = {want}",
+                    t.key,
+                    kv + 1
+                );
+            }
+        }
+        KeyProvenance::Uniform => assert!(
+            t.key == 0,
+            "key conformance violated at `{label}`: uniform edge carries key {}",
+            t.key
+        ),
+        KeyProvenance::Mixed => {}
+    }
+}
+
 /// The largest window span in the plan (bounds how long a duplicate can
 /// recur).
 fn plan_window_ms(plan: &PlanNode) -> i64 {
@@ -467,6 +629,7 @@ fn plan_window_ms(plan: &PlanNode) -> i64 {
             window.size.millis().max(plan_window_ms(input))
         }
         PlanNode::NextOccurrence { trigger, w, .. } => w.millis().max(plan_window_ms(trigger)),
+        PlanNode::Project { input, .. } => plan_window_ms(input),
     }
 }
 
@@ -477,6 +640,17 @@ fn trigger_type_of(plan: &PlanNode) -> EventType {
         PlanNode::Union { inputs } => trigger_type_of(&inputs[0]),
         PlanNode::Aggregate { input, .. } => trigger_type_of(input),
         PlanNode::NextOccurrence { trigger, .. } => trigger_type_of(trigger),
+        // A projection reorders constituents: the first *output* position
+        // is layout[0], so resolve that variable's scan type.
+        PlanNode::Project { input, layout } => layout
+            .first()
+            .and_then(|first| {
+                input.scans().iter().find_map(|s| match s {
+                    PlanNode::Scan { etype, var, .. } if var == first => Some(*etype),
+                    _ => None,
+                })
+            })
+            .unwrap_or_else(|| trigger_type_of(input)),
     }
 }
 

@@ -135,6 +135,17 @@ pub enum PlanNode {
         /// How far ahead to look for the marker.
         w: Duration,
     },
+    /// Explicit layout permutation `π_layout` — reorder the input's
+    /// constituent events into the declared position order. The physical
+    /// planner lowers it to a stateless map; the typechecker rejects a
+    /// layout that is not a permutation of the input's columns (S004).
+    Project {
+        /// The projected input.
+        input: Box<PlanNode>,
+        /// Output position order; must be a permutation of
+        /// `input.layout()`.
+        layout: Vec<VarId>,
+    },
 }
 
 impl PlanNode {
@@ -151,6 +162,7 @@ impl PlanNode {
             PlanNode::Union { .. } => Vec::new(),
             PlanNode::Aggregate { .. } => Vec::new(),
             PlanNode::NextOccurrence { trigger, .. } => trigger.layout(),
+            PlanNode::Project { layout, .. } => layout.clone(),
         }
     }
 
@@ -163,6 +175,7 @@ impl PlanNode {
             PlanNode::Union { inputs } => inputs.iter().map(PlanNode::join_count).sum(),
             PlanNode::Aggregate { input, .. } => input.join_count(),
             PlanNode::NextOccurrence { trigger, .. } => trigger.join_count(),
+            PlanNode::Project { input, .. } => input.join_count(),
         }
     }
 
@@ -183,6 +196,7 @@ impl PlanNode {
             PlanNode::Union { inputs } => inputs.iter().for_each(|i| i.collect_scans(out)),
             PlanNode::Aggregate { input, .. } => input.collect_scans(out),
             PlanNode::NextOccurrence { trigger, .. } => trigger.collect_scans(out),
+            PlanNode::Project { input, .. } => input.collect_scans(out),
         }
     }
 
@@ -274,6 +288,11 @@ impl PlanNode {
                     marker.type_name
                 );
                 trigger.explain_into(out, depth + 1);
+            }
+            PlanNode::Project { input, layout } => {
+                let cols: Vec<String> = layout.iter().map(|v| format!("e{}", v + 1)).collect();
+                let _ = writeln!(out, "{pad}Project [{}]", cols.join(", "));
+                input.explain_into(out, depth + 1);
             }
         }
     }

@@ -156,12 +156,20 @@ pub fn translate(pattern: &Pattern, opts: &MapperOptions) -> Result<LogicalPlan,
 
     let mut roots = Vec::with_capacity(variants.len());
     for variant in &variants {
+        // The equi-key closure must be computed per disjunction variant:
+        // a chain `id(a)=id(b) ∧ id(b)=id(d)` connects a and d in the
+        // full pattern, but in a variant that does not bind b both
+        // predicates evaluate vacuously (sparse bindings), so nothing
+        // constrains id(a) = id(d) — keying an (a, d) join on that chain
+        // would hash legitimate cross-sensor matches to different
+        // partitions and silently lose them.
+        let bound = positions_of(variant);
         let mut ctx = Ctx {
             pattern,
             opts,
             pairs: &pairs,
             pending: pattern.cross_predicates(),
-            key_class: equi_key_classes(pattern),
+            key_class: equi_key_classes(pattern, &bound),
         };
         let root = build(variant, &mut ctx)?;
         // Every cross predicate must have found a join (or reference
@@ -196,6 +204,18 @@ pub fn translate(pattern: &Pattern, opts: &MapperOptions) -> Result<LogicalPlan,
         crate::lint::lint_plan(&plan).is_empty(),
         "translate produced a plan that fails its own lint:\n{}",
         crate::lint::lint_plan(&plan)
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Same contract for the schema/key pass: every emitted plan must carry
+    // consistent per-edge schemas and co-partitioned keys.
+    debug_assert!(
+        crate::typecheck::typecheck(&plan).is_clean(),
+        "translate produced a plan that fails its own typecheck:\n{}",
+        crate::typecheck::typecheck(&plan)
+            .diagnostics
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
@@ -349,8 +369,12 @@ fn windowing(ctx: &Ctx<'_>, order: &[(VarId, VarId)], ll: &[VarId], rl: &[VarId]
     JoinWindowing::Interval { lower, upper }
 }
 
-/// Union-find closure of the pattern's `a.id = b.id` predicates.
-fn equi_key_classes(pattern: &Pattern) -> Vec<VarId> {
+/// Union-find closure of the pattern's `a.id = b.id` predicates,
+/// restricted to the positions `bound` by the current disjunction
+/// variant: a predicate referencing an unbound position is vacuous in
+/// this variant (sparse evaluation) and must not contribute to the
+/// closure.
+fn equi_key_classes(pattern: &Pattern, bound: &[VarId]) -> Vec<VarId> {
     let n = pattern.positions();
     let mut parent: Vec<VarId> = (0..n).collect();
     fn find(parent: &mut Vec<VarId>, v: VarId) -> VarId {
@@ -362,7 +386,12 @@ fn equi_key_classes(pattern: &Pattern) -> Vec<VarId> {
     }
     for p in pattern.equi_keys() {
         let vs = p.vars();
-        if vs.len() == 2 && vs[0] < n && vs[1] < n {
+        if vs.len() == 2
+            && vs[0] < n
+            && vs[1] < n
+            && bound.contains(&vs[0])
+            && bound.contains(&vs[1])
+        {
             let (a, b) = (find(&mut parent, vs[0]), find(&mut parent, vs[1]));
             parent[a.max(b)] = a.min(b);
         }
@@ -521,20 +550,26 @@ fn build(expr: &PatternExpr, ctx: &mut Ctx<'_>) -> Result<PlanNode, TranslateErr
                 // events are dropped (approximate, Section 4.3.2) — remove
                 // them from pending so they don't trip the attachment check.
                 let iter_vars: Vec<VarId> = (leaf.var..leaf.var + m).collect();
+                // Equi-keys *between iteration positions* are what the
+                // per-key aggregation makes implicit, so only those may
+                // select ByKey; an equi-key elsewhere in the pattern
+                // (e.g. between two non-iterated positions) must neither
+                // trigger per-key counting — that would change the count
+                // semantics — nor be dropped from `pending`, or its
+                // constraint would be silently lost at the outer joins.
+                let intra_iter_key = ctx
+                    .pattern
+                    .equi_keys()
+                    .iter()
+                    .any(|p| p.vars().iter().all(|v| iter_vars.contains(v)));
                 ctx.pending
                     .retain(|p| !p.vars().iter().all(|v| iter_vars.contains(v)));
                 let scan = make_scan(ctx, leaf, leaf.var);
-                let partitioning =
-                    if ctx.opts.partition_by_key && !ctx.pattern.equi_keys().is_empty() {
-                        Partitioning::ByKey
-                    } else {
-                        Partitioning::Global
-                    };
-                // Equi-keys between iteration positions are implicit in the
-                // per-key aggregation.
-                if partitioning == Partitioning::ByKey {
-                    ctx.pending.retain(|p| !p.is_equi_key());
-                }
+                let partitioning = if ctx.opts.partition_by_key && intra_iter_key {
+                    Partitioning::ByKey
+                } else {
+                    Partitioning::Global
+                };
                 return Ok(PlanNode::Aggregate {
                     input: Box::new(scan),
                     m: *m as u64,
@@ -775,6 +810,137 @@ mod tests {
             }
             other => panic!("expected union of variants, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn equi_key_closure_is_computed_per_variant() {
+        use sea::pattern::Pattern;
+        const W: EventType = EventType(3);
+        // SEQ(Q, OR(V, PM), W) with id(e1)=id(e2) ∧ id(e2)=id(e4): the
+        // chain connects positions 0 and 3 only through position 1, which
+        // the PM variant does not bind — there both predicates evaluate
+        // vacuously, so its joins must stay global.
+        let expr = PatternExpr::Seq(vec![
+            PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+            PatternExpr::Or(vec![
+                PatternExpr::Leaf(Leaf::new(V, "V", "b")),
+                PatternExpr::Leaf(Leaf::new(PM, "PM", "c")),
+            ]),
+            PatternExpr::Leaf(Leaf::new(W, "W", "d")),
+        ]);
+        let p = Pattern::new(
+            "chain",
+            expr,
+            WindowSpec::minutes(15),
+            vec![Predicate::same_id(0, 1), Predicate::same_id(1, 3)],
+        )
+        .unwrap();
+        let plan = translate(&p, &MapperOptions::o3()).unwrap();
+        fn partitionings(n: &PlanNode, out: &mut Vec<Partitioning>) {
+            if let PlanNode::Join {
+                left,
+                right,
+                partitioning,
+                ..
+            } = n
+            {
+                partitionings(left, out);
+                partitionings(right, out);
+                out.push(*partitioning);
+            }
+        }
+        match &plan.root {
+            PlanNode::Union { inputs } => {
+                assert_eq!(inputs.len(), 2);
+                // Variant binding V (positions 0, 1, 3): the chain is
+                // fully bound, both joins are keyed.
+                let mut v = Vec::new();
+                partitionings(&inputs[0], &mut v);
+                assert_eq!(v, vec![Partitioning::ByKey; 2], "{}", plan.explain());
+                // Variant binding PM (positions 0, 2, 3): nothing keyed.
+                let mut g = Vec::new();
+                partitionings(&inputs[1], &mut g);
+                assert_eq!(g, vec![Partitioning::Global; 2], "{}", plan.explain());
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn o2_keeps_equi_keys_outside_the_iteration() {
+        use crate::exec::{run_pattern_simple, split_by_type};
+        use asp::event::Event;
+        use asp::time::Timestamp;
+        use sea::pattern::Pattern;
+        // SEQ(Q, ITER(V, 2), PM) with id(e1) = id(e4): the equi-key does
+        // not touch the iteration, so O2 must not switch the count to
+        // per-key, and the constraint must survive to the outer join.
+        let expr = PatternExpr::Seq(vec![
+            PatternExpr::Leaf(Leaf::new(Q, "Q", "a")),
+            PatternExpr::Iter {
+                leaf: Leaf::new(V, "V", "b"),
+                m: 2,
+                at_least: false,
+            },
+            PatternExpr::Leaf(Leaf::new(PM, "PM", "c")),
+        ]);
+        let p = Pattern::new(
+            "outer-key",
+            expr,
+            WindowSpec::minutes(15),
+            vec![Predicate::same_id(0, 3)],
+        )
+        .unwrap();
+        fn agg_partitioning(n: &PlanNode) -> Option<Partitioning> {
+            match n {
+                PlanNode::Aggregate { partitioning, .. } => Some(*partitioning),
+                PlanNode::Join { left, right, .. } => {
+                    agg_partitioning(left).or_else(|| agg_partitioning(right))
+                }
+                _ => None,
+            }
+        }
+        for opts in [MapperOptions::o2(), MapperOptions::o2().and_o3()] {
+            let plan = translate(&p, &opts).unwrap();
+            assert_eq!(
+                agg_partitioning(&plan.root),
+                Some(Partitioning::Global),
+                "no intra-iteration equi-key → global count\n{}",
+                plan.explain()
+            );
+            match &plan.root {
+                PlanNode::Join {
+                    predicates,
+                    partitioning,
+                    ..
+                } => {
+                    // Under O3 the constraint is enforced by the keyed
+                    // exchange; otherwise it must remain a join predicate.
+                    if *partitioning == Partitioning::Global {
+                        assert!(
+                            predicates.iter().any(|pr| pr.is_equi_key()),
+                            "id(e1)=id(e4) dropped from the outer join\n{}",
+                            plan.explain()
+                        );
+                    }
+                }
+                other => panic!("expected outer join, got {other:?}"),
+            }
+        }
+        // Semantics: PM with a different sensor id than Q must not match.
+        let events = vec![
+            Event::new(Q, 7, Timestamp::from_minutes(0), 1.0),
+            Event::new(V, 1, Timestamp::from_minutes(1), 2.0),
+            Event::new(V, 2, Timestamp::from_minutes(2), 3.0),
+            Event::new(PM, 7, Timestamp::from_minutes(3), 4.0),
+            Event::new(PM, 9, Timestamp::from_minutes(4), 5.0),
+        ];
+        let run = run_pattern_simple(&p, &MapperOptions::o2(), &split_by_type(&events)).unwrap();
+        assert_eq!(
+            run.dedup_matches().len(),
+            1,
+            "only the id-7 PM may complete the match"
+        );
     }
 
     #[test]

@@ -1,0 +1,1068 @@
+//! Static schema inference & partition-safety analysis (`S`-codes).
+//!
+//! The third static-analysis layer, alongside the graph validator
+//! (`G`-codes, `asp::validate`), the plan linter (`P`-codes,
+//! [`crate::lint`]), and the cost analyzer (`A`-codes,
+//! [`mod@crate::analyze`]):
+//!
+//! 1. **Per-edge schema inference** — propagate typed tuple schemas
+//!    (constituent event types + `VarId` layout, plus the `ats`/`agg`
+//!    annotation channels) from the source declarations through every
+//!    [`PlanNode`], rejecting layout/arity mismatches and predicates over
+//!    undeclared attributes at translate time.
+//! 2. **Key-provenance analysis** — a small dataflow lattice
+//!    ([`KeyProvenance`]) tracking which attribute is the partition key on
+//!    each edge, whether each operator preserves, destroys, or rewrites
+//!    it, and whether every `ByKey` join is actually co-partitioned on its
+//!    `key_pair` (the equi-key closure check, S005).
+//! 3. **Partition-safety verdicts** — classify each operator as
+//!    shardable-by-key / global-only / stateless ([`ShardSafety`]),
+//!    exported in EXPLAIN output and a machine-readable JSON artifact for
+//!    the future sharded executor.
+//!
+//! The pass is wired in three places: a `translate()` debug-mode
+//! post-condition (like `lint_plan`), a pre-run check in
+//! [`crate::exec::run_pattern`], and — with the `schema-conformance`
+//! feature (or [`crate::physical::PhysicalConfig::schema_conformance`]) —
+//! a runtime conformance mode that asserts every tuple crossing an edge
+//! matches the inferred schema and key, so the analysis is validated
+//! against reality instead of merely asserted.
+//!
+//! | code | rejected plan defect |
+//! |------|----------------------|
+//! | S001 | predicate reads an attribute the bound source never declares |
+//! | S002 | scan node and its leaf disagree on the event type |
+//! | S003 | join sides bind overlapping pattern variables |
+//! | S004 | projection layout is not a permutation of its input columns |
+//! | S005 | `ByKey` join whose key pair is not in one equi-key class |
+//! | S006 | `ByKey` aggregate over an input that is not sensor-id keyed |
+//! | S007 | `ats` check with no `ats`-carrying input (statically dead) |
+//! | S008 | aggregate over a composite (multi-event) input |
+
+use std::collections::HashMap;
+use std::fmt;
+
+use asp::event::{Attr, EventType};
+
+use sea::predicate::{Expr, Predicate, VarId};
+use sea::schema::SchemaCatalog;
+
+use crate::diag::{Diag, DiagCode};
+use crate::plan::{LogicalPlan, Partitioning, PlanNode};
+
+/// Stable identifier of a schema/partition-safety defect found by
+/// [`typecheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeCode {
+    /// S001: a predicate reads an attribute the bound source's declared
+    /// schema does not provide.
+    UnknownAttribute,
+    /// S002: a scan's `etype` and its leaf's `etype` disagree — the same
+    /// variable would bind conflicting types.
+    InconsistentVarType,
+    /// S003: a join's sides bind the same pattern variable, so the output
+    /// layout would carry a duplicate column.
+    DuplicateColumn,
+    /// S004: a projection's layout is not a permutation of its input's
+    /// columns (or the input is a mixed union with no single layout).
+    ProjectionLayoutMismatch,
+    /// S005: a `ByKey` join whose `key_pair` sides are not provably equal
+    /// under the plan's equi-key predicate closure — the hash partitioner
+    /// would separate matching pairs and silently lose matches.
+    JoinKeyNotCoPartitioned,
+    /// S006: a `ByKey` aggregate over an input whose partition key is not
+    /// a sensor id — the per-key counts would be grouped arbitrarily.
+    AggregateKeyProvenance,
+    /// S007: a join checks the `ats` annotation but no input can carry
+    /// one — the join statically emits nothing.
+    AtsWithoutProvider,
+    /// S008: an aggregate over a composite (multi-event) input; the count
+    /// mapping is defined over single scanned events.
+    AggregateOverComposite,
+}
+
+impl TypeCode {
+    /// Every code, in `Sxxx` order — the doc-sync test checks DESIGN.md's
+    /// code table against this list, so keep it exhaustive.
+    pub const ALL: &'static [TypeCode] = &[
+        TypeCode::UnknownAttribute,
+        TypeCode::InconsistentVarType,
+        TypeCode::DuplicateColumn,
+        TypeCode::ProjectionLayoutMismatch,
+        TypeCode::JoinKeyNotCoPartitioned,
+        TypeCode::AggregateKeyProvenance,
+        TypeCode::AtsWithoutProvider,
+        TypeCode::AggregateOverComposite,
+    ];
+
+    /// The stable `Sxxx` string for this code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TypeCode::UnknownAttribute => "S001",
+            TypeCode::InconsistentVarType => "S002",
+            TypeCode::DuplicateColumn => "S003",
+            TypeCode::ProjectionLayoutMismatch => "S004",
+            TypeCode::JoinKeyNotCoPartitioned => "S005",
+            TypeCode::AggregateKeyProvenance => "S006",
+            TypeCode::AtsWithoutProvider => "S007",
+            TypeCode::AggregateOverComposite => "S008",
+        }
+    }
+}
+
+impl fmt::Display for TypeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl DiagCode for TypeCode {
+    fn as_str(&self) -> &'static str {
+        TypeCode::as_str(self)
+    }
+}
+
+/// One schema/partition-safety defect. All typecheck findings are errors;
+/// the shared [`Diag`] carrier keeps rendering uniform with G/P/A.
+pub type TypeDiagnostic = Diag<TypeCode>;
+
+/// One column of a tuple schema: the pattern position it binds and the
+/// event type of the constituent stored there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Pattern variable bound at this tuple position.
+    pub var: VarId,
+    /// Event type of the constituent.
+    pub etype: EventType,
+    /// Human-readable type name (diagnostics, EXPLAIN).
+    pub type_name: String,
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}:{}", self.var + 1, self.type_name)
+    }
+}
+
+/// The schema of one tuple shape an edge can carry: its columns in tuple
+/// order plus whether the `ats`/`agg` annotation channels are populated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSchema {
+    /// Constituent columns, in physical tuple order.
+    pub columns: Vec<Column>,
+    /// Tuples of this shape carry the NSEQ `ats` annotation.
+    pub ats: bool,
+    /// Tuples of this shape carry the aggregation result (`agg`).
+    pub agg: bool,
+}
+
+impl RowSchema {
+    /// The `VarId` layout of this row, in tuple order.
+    pub fn layout(&self) -> Vec<VarId> {
+        self.columns.iter().map(|c| c.var).collect()
+    }
+}
+
+impl fmt::Display for RowSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.columns.iter().map(Column::to_string).collect();
+        write!(f, "({})", cols.join(", "))?;
+        if self.ats {
+            write!(f, "+ats")?;
+        }
+        if self.agg {
+            write!(f, "+agg")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where an edge's partition key comes from — the key-provenance lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyProvenance {
+    /// Every tuple's key equals the sensor id of the constituent bound at
+    /// this pattern position (scans, `ByKey` joins/aggregates).
+    SensorId(VarId),
+    /// Every tuple carries the single uniform key `0` (global operators).
+    Uniform,
+    /// No single provenance holds (e.g. a union of differently-keyed
+    /// branches); downstream keyed operators must re-key.
+    Mixed,
+}
+
+impl fmt::Display for KeyProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyProvenance::SensorId(v) => write!(f, "id(e{})", v + 1),
+            KeyProvenance::Uniform => write!(f, "uniform"),
+            KeyProvenance::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// The partition-safety verdict for one operator — whether a sharded
+/// runtime may split its state by key, must run it globally, or can place
+/// it anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSafety {
+    /// State is partitioned by the sensor-id key; instances are
+    /// independent and the operator parallelizes (O3).
+    ShardableByKey,
+    /// State spans keys (uniform-key joins, global aggregates, the NSEQ
+    /// UDF); exactly one instance must see every tuple.
+    GlobalOnly,
+    /// No state at all; the operator can run anywhere at any parallelism.
+    Stateless,
+}
+
+impl fmt::Display for ShardSafety {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardSafety::ShardableByKey => write!(f, "shardable-by-key"),
+            ShardSafety::GlobalOnly => write!(f, "global-only"),
+            ShardSafety::Stateless => write!(f, "stateless"),
+        }
+    }
+}
+
+/// The inferred schema of one dataflow edge: the tuple shapes it can carry
+/// (one per union variant) and the partition-key provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSchema {
+    /// Possible tuple shapes; a single-variant edge is the common case,
+    /// union outputs carry one entry per branch shape.
+    pub variants: Vec<RowSchema>,
+    /// Where the partition key on this edge comes from.
+    pub key: KeyProvenance,
+}
+
+impl fmt::Display for EdgeSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vs: Vec<String> = self.variants.iter().map(RowSchema::to_string).collect();
+        write!(f, "{}  key={}", vs.join(" | "), self.key)
+    }
+}
+
+/// One plan node annotated with its inferred output-edge schema and its
+/// partition-safety verdict. The tree mirrors the plan (and
+/// [`crate::analyze::AnalyzedNode`]) child order exactly, so the EXPLAIN
+/// renderer can walk both in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedNode {
+    /// Node label, matching the cost analyzer's labels.
+    pub label: String,
+    /// Inferred schema of the node's output edge.
+    pub schema: EdgeSchema,
+    /// The node's partition-safety verdict.
+    pub safety: ShardSafety,
+    /// Typed children, in plan order.
+    pub children: Vec<TypedNode>,
+}
+
+/// The result of [`typecheck`]: the typed plan tree plus every defect
+/// found. An empty diagnostic list means the plan is schema- and
+/// key-sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypecheckResult {
+    /// Typed plan tree (inference proceeds even past defects, so the tree
+    /// is always complete).
+    pub root: TypedNode,
+    /// Every defect found, in walk order. All are errors.
+    pub diagnostics: Vec<TypeDiagnostic>,
+}
+
+impl TypecheckResult {
+    /// Did the plan pass with zero defects?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render the typed tree plus diagnostics as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, &mut out);
+        for d in &self.diagnostics {
+            out.push_str(&format!("!! {d}\n"));
+        }
+        out
+    }
+
+    /// Serialize the verdicts as a machine-readable JSON document (for
+    /// the CI artifact and the future sharded placer). Hand-rolled — this
+    /// crate deliberately carries no serialization dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"clean\":");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"severity\":{},\"node\":{},\"message\":{}}}",
+                json_str(d.code.as_str()),
+                json_str(&d.severity.to_string()),
+                json_str(&d.node),
+                json_str(&d.message)
+            ));
+        }
+        out.push_str("],\"root\":");
+        json_node(&self.root, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+fn render_node(n: &TypedNode, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}{}  :: {}  [{}]", n.label, n.schema, n.safety);
+    for c in &n.children {
+        render_node(c, depth + 1, out);
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_node(n: &TypedNode, out: &mut String) {
+    out.push_str(&format!("{{\"label\":{},\"key\":", json_str(&n.label)));
+    match n.schema.key {
+        KeyProvenance::SensorId(v) => {
+            out.push_str(&format!("{{\"kind\":\"sensor-id\",\"var\":{v}}}"));
+        }
+        KeyProvenance::Uniform => out.push_str("{\"kind\":\"uniform\"}"),
+        KeyProvenance::Mixed => out.push_str("{\"kind\":\"mixed\"}"),
+    }
+    out.push_str(&format!(",\"safety\":{},\"variants\":[", {
+        json_str(&n.safety.to_string())
+    }));
+    for (i, v) in n.schema.variants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"columns\":[");
+        for (j, c) in v.columns.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"var\":{},\"etype\":{},\"type\":{}}}",
+                c.var,
+                c.etype.0,
+                json_str(&c.type_name)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"ats\":{},\"agg\":{}}}",
+            if v.ats { "true" } else { "false" },
+            if v.agg { "true" } else { "false" }
+        ));
+    }
+    out.push_str("],\"children\":[");
+    for (i, c) in n.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_node(c, out);
+    }
+    out.push_str("]}");
+}
+
+/// Typecheck a plan against a fully permissive schema catalog (every
+/// source exposes every attribute): structural/layout/key checks only.
+pub fn typecheck(plan: &LogicalPlan) -> TypecheckResult {
+    typecheck_with(plan, &SchemaCatalog::new())
+}
+
+/// Typecheck a plan against declared source schemas: everything
+/// [`typecheck`] checks, plus S001 for predicates reading attributes the
+/// bound source never declares.
+pub fn typecheck_with(plan: &LogicalPlan, catalog: &SchemaCatalog) -> TypecheckResult {
+    let mut diagnostics = Vec::new();
+    let mut classes = UnionFind::default();
+    collect_equi_classes(&plan.root, &mut classes);
+    let mut cx = Ctx {
+        catalog,
+        classes,
+        diags: &mut diagnostics,
+    };
+    let root = infer(&plan.root, &mut cx);
+    TypecheckResult { root, diagnostics }
+}
+
+/// Union-find over pattern variables, built from the plan's equi-key
+/// predicates (`eA.id = eB.id`); two variables in one class are provably
+/// co-keyed wherever both are bound.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: HashMap<VarId, VarId>,
+}
+
+impl UnionFind {
+    fn find(&mut self, v: VarId) -> VarId {
+        let p = *self.parent.entry(v).or_insert(v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    fn union(&mut self, a: VarId, b: VarId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn same(&mut self, a: VarId, b: VarId) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+fn collect_equi_classes(node: &PlanNode, uf: &mut UnionFind) {
+    if let PlanNode::Join { predicates, .. } = node {
+        for p in predicates {
+            if p.is_equi_key() {
+                if let (Expr::Var(a, _), Expr::Var(b, _)) = (p.lhs, p.rhs) {
+                    uf.union(a, b);
+                }
+            }
+        }
+    }
+    match node {
+        PlanNode::Scan { .. } => {}
+        PlanNode::Join { left, right, .. } => {
+            collect_equi_classes(left, uf);
+            collect_equi_classes(right, uf);
+        }
+        PlanNode::Union { inputs } => inputs.iter().for_each(|i| collect_equi_classes(i, uf)),
+        PlanNode::Aggregate { input, .. } => collect_equi_classes(input, uf),
+        PlanNode::NextOccurrence { trigger, .. } => collect_equi_classes(trigger, uf),
+        PlanNode::Project { input, .. } => collect_equi_classes(input, uf),
+    }
+}
+
+struct Ctx<'a> {
+    catalog: &'a SchemaCatalog,
+    classes: UnionFind,
+    diags: &'a mut Vec<TypeDiagnostic>,
+}
+
+impl Ctx<'_> {
+    fn err(&mut self, code: TypeCode, node: impl Into<String>, msg: impl Into<String>) {
+        self.diags.push(TypeDiagnostic::error(code, node, msg));
+    }
+}
+
+/// The attribute references `(var, attr)` a predicate reads.
+fn pred_refs(p: &Predicate) -> Vec<(VarId, Attr)> {
+    [p.lhs, p.rhs]
+        .into_iter()
+        .filter_map(|e| match e {
+            Expr::Var(v, a) => Some((v, a)),
+            Expr::Const(_) => None,
+        })
+        .collect()
+}
+
+/// Check every attribute a predicate reads against the declared schema of
+/// the column its variable is bound to (S001). Unbound variables are the
+/// linter's concern (P004), not repeated here.
+fn check_pred_attrs(cx: &mut Ctx<'_>, node_label: &str, p: &Predicate, variants: &[RowSchema]) {
+    for (v, attr) in pred_refs(p) {
+        for variant in variants {
+            if let Some(col) = variant.columns.iter().find(|c| c.var == v) {
+                if !cx.catalog.declares(col.etype, attr) {
+                    cx.err(
+                        TypeCode::UnknownAttribute,
+                        node_label,
+                        format!(
+                            "predicate `{p}` reads e{}.{attr}, but source {} \
+                             does not declare attribute `{attr}`",
+                            v + 1,
+                            col.type_name
+                        ),
+                    );
+                    break; // one finding per reference is enough
+                }
+            }
+        }
+    }
+}
+
+fn infer(node: &PlanNode, cx: &mut Ctx<'_>) -> TypedNode {
+    match node {
+        PlanNode::Scan {
+            etype,
+            type_name,
+            leaf,
+            var,
+            predicates,
+        } => {
+            let label = format!("Scan {type_name} [e{}]", var + 1);
+            if leaf.etype != *etype {
+                cx.err(
+                    TypeCode::InconsistentVarType,
+                    label.clone(),
+                    format!(
+                        "scan type {etype} disagrees with its leaf's type {} — e{} \
+                         would bind conflicting event types",
+                        leaf.etype,
+                        var + 1
+                    ),
+                );
+            }
+            let row = RowSchema {
+                columns: vec![Column {
+                    var: *var,
+                    etype: *etype,
+                    type_name: type_name.clone(),
+                }],
+                ats: false,
+                agg: false,
+            };
+            for f in &leaf.filters {
+                if !cx.catalog.declares(*etype, f.attr) {
+                    cx.err(
+                        TypeCode::UnknownAttribute,
+                        label.clone(),
+                        format!(
+                            "filter `{f}` reads attribute `{}`, undeclared by source \
+                             {type_name}",
+                            f.attr
+                        ),
+                    );
+                }
+            }
+            for p in predicates {
+                check_pred_attrs(cx, &label, p, std::slice::from_ref(&row));
+            }
+            TypedNode {
+                label,
+                schema: EdgeSchema {
+                    variants: vec![row],
+                    // `Tuple::from_event` sets key = event id.
+                    key: KeyProvenance::SensorId(*var),
+                },
+                safety: ShardSafety::Stateless,
+                children: Vec::new(),
+            }
+        }
+
+        PlanNode::Join {
+            left,
+            right,
+            windowing,
+            partitioning,
+            predicates,
+            ats_check,
+            key_pair,
+            ..
+        } => {
+            let l = infer(left, cx);
+            let r = infer(right, cx);
+            let label = format!("Join {windowing} [{partitioning}]");
+
+            // Variant product: each left shape can meet each right shape.
+            let mut variants = Vec::new();
+            for lv in &l.schema.variants {
+                for rv in &r.schema.variants {
+                    if let Some(dup) = lv
+                        .columns
+                        .iter()
+                        .find(|c| rv.columns.iter().any(|d| d.var == c.var))
+                    {
+                        cx.err(
+                            TypeCode::DuplicateColumn,
+                            label.clone(),
+                            format!(
+                                "both sides bind e{} — the output layout would carry \
+                                 a duplicate column",
+                                dup.var + 1
+                            ),
+                        );
+                    }
+                    let mut columns = lv.columns.clone();
+                    columns.extend(rv.columns.iter().cloned());
+                    variants.push(RowSchema {
+                        columns,
+                        // `Tuple::join` propagates ats = l.ats.or(r.ats) …
+                        ats: lv.ats || rv.ats,
+                        // … and always clears agg.
+                        agg: false,
+                    });
+                }
+            }
+
+            for p in predicates {
+                check_pred_attrs(cx, &label, p, &variants);
+            }
+
+            if ats_check.is_some()
+                && !l.schema.variants.iter().any(|v| v.ats)
+                && !r.schema.variants.iter().any(|v| v.ats)
+            {
+                cx.err(
+                    TypeCode::AtsWithoutProvider,
+                    label.clone(),
+                    "join checks the ats annotation but no input can carry one — \
+                     every candidate match is statically rejected",
+                );
+            }
+
+            let (key, safety) = match partitioning {
+                Partitioning::ByKey => {
+                    let key = match key_pair {
+                        Some((kl, kr)) => {
+                            if !cx.classes.same(*kl, *kr) {
+                                cx.err(
+                                    TypeCode::JoinKeyNotCoPartitioned,
+                                    label.clone(),
+                                    format!(
+                                        "key pair (e{}, e{}) is not connected by the \
+                                         plan's equi-key predicates — hashing each \
+                                         side by its own id would separate matching \
+                                         pairs and silently lose matches",
+                                        kl + 1,
+                                        kr + 1
+                                    ),
+                                );
+                            }
+                            // Physical planner re-keys the left side on kl;
+                            // the join output keeps the left key.
+                            KeyProvenance::SensorId(*kl)
+                        }
+                        // ByKey without a pair is P006; provenance unknown.
+                        None => KeyProvenance::Mixed,
+                    };
+                    (key, ShardSafety::ShardableByKey)
+                }
+                Partitioning::Global => (KeyProvenance::Uniform, ShardSafety::GlobalOnly),
+            };
+
+            TypedNode {
+                label,
+                schema: EdgeSchema { variants, key },
+                safety,
+                children: vec![l, r],
+            }
+        }
+
+        PlanNode::Union { inputs } => {
+            let children: Vec<TypedNode> = inputs.iter().map(|i| infer(i, cx)).collect();
+            // The physical planner projects every non-aggregate branch into
+            // canonical (ascending-VarId) order before the union, so the
+            // edge carries canonicalized variants.
+            let mut variants = Vec::new();
+            for (child, input) in children.iter().zip(inputs) {
+                for v in &child.schema.variants {
+                    let mut canon = v.clone();
+                    if !matches!(input, PlanNode::Aggregate { .. }) {
+                        canon.columns.sort_by_key(|c| c.var);
+                    }
+                    variants.push(canon);
+                }
+            }
+            let key = children
+                .iter()
+                .map(|c| c.schema.key)
+                .reduce(|a, b| if a == b { a } else { KeyProvenance::Mixed })
+                .unwrap_or(KeyProvenance::Mixed);
+            TypedNode {
+                label: "Union".to_string(),
+                schema: EdgeSchema { variants, key },
+                safety: ShardSafety::Stateless,
+                children,
+            }
+        }
+
+        PlanNode::Aggregate {
+            input,
+            m,
+            partitioning,
+            ..
+        } => {
+            let c = infer(input, cx);
+            let label = format!("Aggregate count ≥ {m} [{partitioning}]");
+            if c.schema.variants.iter().any(|v| v.columns.len() != 1) {
+                cx.err(
+                    TypeCode::AggregateOverComposite,
+                    label.clone(),
+                    "count aggregation is defined over single scanned events, but \
+                     the input carries composite tuples",
+                );
+            }
+            // The aggregate emits a representative (last-contributing)
+            // tuple with the pane key and agg populated.
+            let variants: Vec<RowSchema> = c
+                .schema
+                .variants
+                .iter()
+                .map(|v| RowSchema {
+                    agg: true,
+                    ..v.clone()
+                })
+                .collect();
+            let (key, safety) = match partitioning {
+                Partitioning::ByKey => {
+                    if !matches!(c.schema.key, KeyProvenance::SensorId(_)) {
+                        cx.err(
+                            TypeCode::AggregateKeyProvenance,
+                            label.clone(),
+                            format!(
+                                "ByKey aggregation requires a sensor-id-keyed input, \
+                                 but the input key is {} — per-key counts would be \
+                                 grouped arbitrarily",
+                                c.schema.key
+                            ),
+                        );
+                    }
+                    (c.schema.key, ShardSafety::ShardableByKey)
+                }
+                Partitioning::Global => (KeyProvenance::Uniform, ShardSafety::GlobalOnly),
+            };
+            TypedNode {
+                label,
+                schema: EdgeSchema { variants, key },
+                safety,
+                children: vec![c],
+            }
+        }
+
+        PlanNode::NextOccurrence {
+            trigger, marker, ..
+        } => {
+            let c = infer(trigger, cx);
+            let label = format!("NextOccurrence(¬{})", marker.type_name);
+            // The UDF re-emits each trigger annotated with ats (always
+            // populated: next marker ts, or ts + W when none arrives).
+            let variants: Vec<RowSchema> = c
+                .schema
+                .variants
+                .iter()
+                .map(|v| RowSchema {
+                    ats: true,
+                    ..v.clone()
+                })
+                .collect();
+            let key = c.schema.key;
+            TypedNode {
+                label,
+                schema: EdgeSchema { variants, key },
+                // Holds cross-key trigger/marker state in one instance.
+                safety: ShardSafety::GlobalOnly,
+                children: vec![c],
+            }
+        }
+
+        PlanNode::Project { input, layout } => {
+            let c = infer(input, cx);
+            let cols: Vec<String> = layout.iter().map(|v| format!("e{}", v + 1)).collect();
+            let label = format!("Project [{}]", cols.join(", "));
+            let variants = if let [only] = c.schema.variants.as_slice() {
+                let mut in_vars = only.layout();
+                let mut out_vars = layout.clone();
+                in_vars.sort_unstable();
+                out_vars.sort_unstable();
+                if in_vars == out_vars {
+                    let columns = layout
+                        .iter()
+                        .filter_map(|v| only.columns.iter().find(|c| c.var == *v).cloned())
+                        .collect();
+                    vec![RowSchema {
+                        columns,
+                        ats: only.ats,
+                        agg: only.agg,
+                    }]
+                } else {
+                    cx.err(
+                        TypeCode::ProjectionLayoutMismatch,
+                        label.clone(),
+                        format!(
+                            "projection layout {:?} is not a permutation of the \
+                             input columns {:?}",
+                            layout,
+                            only.layout()
+                        ),
+                    );
+                    c.schema.variants.clone()
+                }
+            } else {
+                cx.err(
+                    TypeCode::ProjectionLayoutMismatch,
+                    label.clone(),
+                    format!(
+                        "projection over a {}-variant input has no single layout \
+                         to permute",
+                        c.schema.variants.len()
+                    ),
+                );
+                c.schema.variants.clone()
+            };
+            let key = c.schema.key;
+            TypedNode {
+                label,
+                schema: EdgeSchema { variants, key },
+                safety: ShardSafety::Stateless,
+                children: vec![c],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp::event::EventType;
+    use asp::time::Duration;
+    use sea::pattern::{Leaf, WindowSpec};
+    use sea::predicate::{CmpOp, Predicate};
+
+    use crate::plan::JoinWindowing;
+
+    fn scan(t: u16, var: VarId) -> PlanNode {
+        PlanNode::Scan {
+            etype: EventType(t),
+            type_name: format!("T{t}"),
+            leaf: Leaf::new(EventType(t), format!("T{t}"), format!("e{}", var + 1)),
+            var,
+            predicates: vec![],
+        }
+    }
+
+    fn join(left: PlanNode, right: PlanNode) -> PlanNode {
+        PlanNode::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            windowing: JoinWindowing::Sliding {
+                size: Duration::from_minutes(4),
+                slide: Duration::from_minutes(1),
+            },
+            partitioning: Partitioning::Global,
+            order_pairs: vec![],
+            predicates: vec![],
+            span_ms: 4 * asp::time::MINUTE_MS,
+            ats_check: None,
+            key_pair: None,
+        }
+    }
+
+    fn plan(root: PlanNode) -> LogicalPlan {
+        LogicalPlan {
+            root,
+            positions: 2,
+            mapping: "test".into(),
+            window: WindowSpec::minutes(4),
+        }
+    }
+
+    fn codes(p: &LogicalPlan) -> Vec<TypeCode> {
+        typecheck(p)
+            .diagnostics
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_join_infers_schema_and_key() {
+        let res = typecheck(&plan(join(scan(0, 0), scan(1, 1))));
+        assert!(res.is_clean(), "{}", res.render());
+        assert_eq!(res.root.schema.variants.len(), 1);
+        assert_eq!(res.root.schema.variants[0].layout(), vec![0, 1]);
+        assert_eq!(res.root.schema.key, KeyProvenance::Uniform);
+        assert_eq!(res.root.safety, ShardSafety::GlobalOnly);
+        assert_eq!(res.root.children.len(), 2);
+        assert_eq!(res.root.children[0].schema.key, KeyProvenance::SensorId(0));
+        assert_eq!(res.root.children[0].safety, ShardSafety::Stateless);
+    }
+
+    #[test]
+    fn s001_undeclared_attribute() {
+        let mut root = join(scan(0, 0), scan(1, 1));
+        if let PlanNode::Join { predicates, .. } = &mut root {
+            predicates.push(Predicate::cross(0, Attr::Lat, CmpOp::Lt, 1, Attr::Lat));
+        }
+        let p = plan(root);
+        let mut cat = SchemaCatalog::new();
+        cat.declare(EventType(0), "T0", &[Attr::Value]);
+        let res = typecheck_with(&p, &cat);
+        let codes: Vec<TypeCode> = res.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![TypeCode::UnknownAttribute]);
+        // Permissive catalog accepts the same plan.
+        assert!(typecheck(&p).is_clean());
+    }
+
+    #[test]
+    fn s002_scan_leaf_type_clash() {
+        let mut s = scan(0, 0);
+        if let PlanNode::Scan { etype, .. } = &mut s {
+            *etype = EventType(9);
+        }
+        assert_eq!(codes(&plan(s)), vec![TypeCode::InconsistentVarType]);
+    }
+
+    #[test]
+    fn s003_duplicate_column() {
+        let p = plan(join(scan(0, 0), scan(1, 0)));
+        assert!(codes(&p).contains(&TypeCode::DuplicateColumn));
+    }
+
+    #[test]
+    fn s004_layout_permutation_rejected() {
+        // e3 is not a column of the input {e1, e2}.
+        let root = PlanNode::Project {
+            input: Box::new(join(scan(0, 0), scan(1, 1))),
+            layout: vec![0, 2],
+        };
+        assert_eq!(codes(&plan(root)), vec![TypeCode::ProjectionLayoutMismatch]);
+        // A true permutation is accepted and reorders the columns.
+        let ok = PlanNode::Project {
+            input: Box::new(join(scan(0, 0), scan(1, 1))),
+            layout: vec![1, 0],
+        };
+        let res = typecheck(&plan(ok));
+        assert!(res.is_clean(), "{}", res.render());
+        assert_eq!(res.root.schema.variants[0].layout(), vec![1, 0]);
+        assert_eq!(res.root.safety, ShardSafety::Stateless);
+    }
+
+    #[test]
+    fn s005_miskeyed_join_rejected() {
+        // ByKey with key pair (e1, e2) but the only equi-key predicate
+        // relates e1 to itself — nothing proves id(e1) = id(e2).
+        let mut root = join(scan(0, 0), scan(1, 1));
+        if let PlanNode::Join {
+            partitioning,
+            key_pair,
+            ..
+        } = &mut root
+        {
+            *partitioning = Partitioning::ByKey;
+            *key_pair = Some((0, 1));
+        }
+        assert_eq!(codes(&plan(root)), vec![TypeCode::JoinKeyNotCoPartitioned]);
+        // With the equi-key predicate attached, the same plan is sound.
+        let mut ok = join(scan(0, 0), scan(1, 1));
+        if let PlanNode::Join {
+            partitioning,
+            key_pair,
+            predicates,
+            ..
+        } = &mut ok
+        {
+            *partitioning = Partitioning::ByKey;
+            *key_pair = Some((0, 1));
+            predicates.push(Predicate::same_id(0, 1));
+        }
+        let res = typecheck(&plan(ok));
+        assert!(res.is_clean(), "{}", res.render());
+        assert_eq!(res.root.schema.key, KeyProvenance::SensorId(0));
+        assert_eq!(res.root.safety, ShardSafety::ShardableByKey);
+    }
+
+    #[test]
+    fn s006_global_input_to_bykey_aggregate() {
+        let root = PlanNode::Aggregate {
+            input: Box::new(join(scan(0, 0), scan(1, 1))),
+            m: 2,
+            window: WindowSpec::minutes(4),
+            partitioning: Partitioning::ByKey,
+        };
+        let found = codes(&plan(root));
+        assert!(
+            found.contains(&TypeCode::AggregateKeyProvenance),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn s007_ats_check_without_provider() {
+        let mut root = join(scan(0, 0), scan(1, 1));
+        if let PlanNode::Join { ats_check, .. } = &mut root {
+            *ats_check = Some(1);
+        }
+        assert_eq!(codes(&plan(root)), vec![TypeCode::AtsWithoutProvider]);
+    }
+
+    #[test]
+    fn s008_aggregate_over_composite() {
+        let root = PlanNode::Aggregate {
+            input: Box::new(join(scan(0, 0), scan(1, 1))),
+            m: 2,
+            window: WindowSpec::minutes(4),
+            partitioning: Partitioning::Global,
+        };
+        assert_eq!(codes(&plan(root)), vec![TypeCode::AggregateOverComposite]);
+    }
+
+    #[test]
+    fn next_occurrence_provides_ats_downstream() {
+        // NSEQ shape: NextOccurrence feeds the left side of an ats-checked
+        // join — no S007.
+        let mut root = join(
+            PlanNode::NextOccurrence {
+                trigger: Box::new(scan(0, 0)),
+                marker: Leaf::new(EventType(7), "N", "n"),
+                w: Duration::from_minutes(4),
+            },
+            scan(1, 1),
+        );
+        if let PlanNode::Join { ats_check, .. } = &mut root {
+            *ats_check = Some(1);
+        }
+        let res = typecheck(&plan(root));
+        assert!(res.is_clean(), "{}", res.render());
+        let no = &res.root.children[0];
+        assert!(no.schema.variants[0].ats);
+        assert_eq!(no.safety, ShardSafety::GlobalOnly);
+        // The join output inherits the ats channel.
+        assert!(res.root.schema.variants[0].ats);
+    }
+
+    #[test]
+    fn union_of_mixed_keys_is_mixed() {
+        let p = plan(PlanNode::Union {
+            inputs: vec![scan(0, 0), scan(1, 1)],
+        });
+        let res = typecheck(&p);
+        assert!(res.is_clean());
+        assert_eq!(res.root.schema.key, KeyProvenance::Mixed);
+        assert_eq!(res.root.schema.variants.len(), 2);
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed_enough() {
+        let res = typecheck(&plan(join(scan(0, 0), scan(1, 1))));
+        let j = res.to_json();
+        assert!(j.starts_with("{\"clean\":true"), "{j}");
+        assert!(j.contains("\"kind\":\"uniform\""), "{j}");
+        assert!(j.contains("\"safety\":\"global-only\""), "{j}");
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+    }
+}

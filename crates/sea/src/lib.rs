@@ -20,6 +20,7 @@ pub mod oracle;
 pub mod parser;
 pub mod pattern;
 pub mod predicate;
+pub mod schema;
 
 pub use annotations::{
     max_aligned_window_count, max_interval_count, nfa_prefix_bound, pattern_window_bound,
@@ -28,3 +29,4 @@ pub use annotations::{
 pub use parser::{parse, ParseError};
 pub use pattern::{builders, Leaf, LocalFilter, Pattern, PatternError, PatternExpr, WindowSpec};
 pub use predicate::{CmpOp, Expr, Predicate, VarId};
+pub use schema::{SchemaCatalog, SourceSchema};

@@ -1,0 +1,133 @@
+//! Declared source schemas for typed plan checking.
+//!
+//! Every [`asp::event::Event`] physically carries the full fixed attribute
+//! set ([`Attr`]): `value`, `ts`, `id`, `lat`, `lon`. Logically, however, a
+//! source stream usually *populates* only a subset — a velocity sensor has
+//! no meaningful `lat`/`lon`, an air-quality site no `value` semantics
+//! beyond its measurement. A [`SchemaCatalog`] records, per event type,
+//! which attributes the source actually declares, so the static
+//! typechecker (`cep2asp::typecheck`) can reject a predicate that reads an
+//! attribute the bound source never provides — at translate time instead
+//! of as a silently-wrong runtime comparison against a default value.
+//!
+//! The catalog is *permissive by default*: an event type with no
+//! declaration exposes every attribute (backwards compatible with
+//! patterns written before schemas existed). Declaring a type narrows it.
+
+use std::collections::HashMap;
+
+use asp::event::{Attr, EventType};
+
+/// The declared logical schema of one source stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSchema {
+    /// The stream's event type.
+    pub etype: EventType,
+    /// Human-readable stream name (diagnostics).
+    pub name: String,
+    /// Attributes the source populates. `ts` and `id` are structural
+    /// (every event carries them) and are always implicitly declared.
+    pub attrs: Vec<Attr>,
+}
+
+impl SourceSchema {
+    /// Does this schema declare `attr`? `ts` and `id` always hold.
+    pub fn declares(&self, attr: Attr) -> bool {
+        matches!(attr, Attr::Ts | Attr::Id) || self.attrs.contains(&attr)
+    }
+}
+
+/// Per-type source schema declarations consulted by the typechecker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemaCatalog {
+    declared: HashMap<EventType, SourceSchema>,
+}
+
+impl SchemaCatalog {
+    /// An empty (fully permissive) catalog: every type exposes every
+    /// attribute until declared otherwise.
+    pub fn new() -> Self {
+        SchemaCatalog::default()
+    }
+
+    /// Declare (or replace) the schema of `etype`. Returns `self` for
+    /// chaining.
+    pub fn declare(
+        &mut self,
+        etype: EventType,
+        name: impl Into<String>,
+        attrs: &[Attr],
+    ) -> &mut Self {
+        self.declared.insert(
+            etype,
+            SourceSchema {
+                etype,
+                name: name.into(),
+                attrs: attrs.to_vec(),
+            },
+        );
+        self
+    }
+
+    /// The declared schema of `etype`, if any.
+    pub fn get(&self, etype: EventType) -> Option<&SourceSchema> {
+        self.declared.get(&etype)
+    }
+
+    /// Does `etype` declare `attr`? Undeclared types are permissive
+    /// (`true` for every attribute); declared types narrow to their list
+    /// plus the structural `ts`/`id`.
+    pub fn declares(&self, etype: EventType, attr: Attr) -> bool {
+        match self.declared.get(&etype) {
+            Some(s) => s.declares(attr),
+            None => true,
+        }
+    }
+
+    /// Number of declared types.
+    pub fn len(&self) -> usize {
+        self.declared.len()
+    }
+
+    /// Is the catalog empty (fully permissive)?
+    pub fn is_empty(&self) -> bool {
+        self.declared.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undeclared_types_are_permissive() {
+        let cat = SchemaCatalog::new();
+        assert!(cat.is_empty());
+        for attr in [Attr::Value, Attr::Ts, Attr::Id, Attr::Lat, Attr::Lon] {
+            assert!(cat.declares(EventType(7), attr));
+        }
+    }
+
+    #[test]
+    fn declared_types_narrow_to_their_attrs() {
+        let mut cat = SchemaCatalog::new();
+        cat.declare(EventType(0), "V", &[Attr::Value]);
+        assert!(cat.declares(EventType(0), Attr::Value));
+        assert!(!cat.declares(EventType(0), Attr::Lat));
+        assert!(
+            cat.declares(EventType(0), Attr::Ts) && cat.declares(EventType(0), Attr::Id),
+            "ts and id are structural"
+        );
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get(EventType(0)).map(|s| s.name.as_str()), Some("V"));
+    }
+
+    #[test]
+    fn redeclaring_replaces() {
+        let mut cat = SchemaCatalog::new();
+        cat.declare(EventType(0), "V", &[Attr::Value])
+            .declare(EventType(0), "V2", &[Attr::Lat]);
+        assert!(!cat.declares(EventType(0), Attr::Value));
+        assert!(cat.declares(EventType(0), Attr::Lat));
+    }
+}

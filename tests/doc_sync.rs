@@ -1,8 +1,9 @@
 //! Doc-sync: DESIGN.md's diagnostic-code tables must match the enums.
 //!
 //! Each stable code family (`Gxxx` graph validation, `Pxxx` plan lints,
-//! `Axxx` analyzer diagnostics) is documented as a markdown table in
-//! DESIGN.md ("Static analysis & invariants" / "Static cost model").
+//! `Axxx` analyzer diagnostics, `Sxxx` schema/partition-safety) is
+//! documented as a markdown table in DESIGN.md ("Static analysis &
+//! invariants" / "Static cost model" / "Schema & partition-safety").
 //! Renaming, adding, or removing a variant without updating the docs —
 //! or documenting a code that no longer exists — fails here.
 
@@ -86,10 +87,20 @@ fn analyzer_codes_match_design_md() {
 }
 
 #[test]
+fn typecheck_codes_match_design_md() {
+    let code: BTreeSet<String> = cep2asp::TypeCode::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(code.len(), cep2asp::TypeCode::ALL.len(), "duplicate S code");
+    assert_in_sync("Sxxx", &documented_codes(&design_md(), 'S'), &code);
+}
+
+#[test]
 fn code_tables_are_dense_and_ordered() {
     // Codes are stable identifiers: each family must be X001..X00n with
     // no gaps, in declaration order, so a new code can only be appended.
-    let families: [(&str, Vec<String>); 3] = [
+    let families: [(&str, Vec<String>); 4] = [
         (
             "G",
             asp::validate::Code::ALL
@@ -107,6 +118,13 @@ fn code_tables_are_dense_and_ordered() {
         (
             "A",
             cep2asp::AnalyzeCode::ALL
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect(),
+        ),
+        (
+            "S",
+            cep2asp::TypeCode::ALL
                 .iter()
                 .map(|c| c.as_str().to_string())
                 .collect(),

@@ -1,0 +1,337 @@
+//! Soundness of the static schema & partition-safety analyzer
+//! (`cep2asp::typecheck`), from both directions:
+//!
+//! * **Acceptance is sound** — every plan the mapper emits typechecks
+//!   clean, and running it with the feature-independent runtime
+//!   conformance checker enabled (`PhysicalConfig::schema_conformance`)
+//!   observes zero violations: each tuple crossing each edge matches the
+//!   statically inferred row schema and key provenance.
+//! * **Rejection is sound** — minimally broken plans (a mis-keyed `ByKey`
+//!   join, a non-permutation projection layout) are rejected *statically*
+//!   with the right `S`-code before anything runs.
+
+#![allow(clippy::unwrap_used)]
+
+use asp::event::{Event, EventType};
+use asp::runtime::{Executor, ExecutorConfig};
+use asp::time::{Duration, Timestamp};
+use cep2asp::exec::{run_pattern, split_by_type};
+use cep2asp::{
+    build_pipeline, typecheck, BuildError, JoinWindowing, LogicalPlan, MapperOptions, Partitioning,
+    PhysicalConfig, PlanNode, TypeCode, TypedNode,
+};
+use proptest::prelude::*;
+use sea::pattern::{builders, Leaf, Pattern, WindowSpec};
+use sea::predicate::Predicate;
+
+const TYPES: [(EventType, &str); 3] = [
+    (EventType(0), "A"),
+    (EventType(1), "B"),
+    (EventType(2), "C"),
+];
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u16..3, 0u32..3, 0i64..40, 0u32..100).prop_map(|(t, id, minute, v)| {
+        Event::new(EventType(t), id, Timestamp::from_minutes(minute), v as f64)
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(arb_event(), 5..60)
+}
+
+#[derive(Debug, Clone)]
+enum PatternShape {
+    Seq(Vec<usize>),
+    And(Vec<usize>),
+    Iter {
+        t: usize,
+        m: usize,
+    },
+    Nseq {
+        first: usize,
+        absent: usize,
+        last: usize,
+    },
+}
+
+fn arb_shape() -> impl Strategy<Value = PatternShape> {
+    prop_oneof![
+        proptest::collection::vec(0usize..3, 2..4).prop_map(PatternShape::Seq),
+        proptest::collection::vec(0usize..3, 2..3).prop_map(PatternShape::And),
+        (0usize..3, 2usize..4).prop_map(|(t, m)| PatternShape::Iter { t, m }),
+        (0usize..3, 0usize..3, 0usize..3)
+            .prop_filter("absent must differ from first", |(f, a, _)| f != a)
+            .prop_map(|(first, absent, last)| PatternShape::Nseq {
+                first,
+                absent,
+                last
+            }),
+    ]
+}
+
+fn make_pattern(shape: &PatternShape, w_minutes: i64, add_key: bool) -> Pattern {
+    let w = WindowSpec::minutes(w_minutes);
+    let pattern = match shape {
+        PatternShape::Seq(ts) => {
+            let types: Vec<_> = ts.iter().map(|&i| TYPES[i]).collect();
+            builders::seq(&types, w, vec![])
+        }
+        PatternShape::And(ts) => {
+            let types: Vec<_> = ts.iter().map(|&i| TYPES[i]).collect();
+            builders::and(&types, w, vec![])
+        }
+        PatternShape::Iter { t, m } => {
+            let (etype, name) = TYPES[*t];
+            builders::iter(etype, name, *m, w, vec![])
+        }
+        PatternShape::Nseq {
+            first,
+            absent,
+            last,
+        } => builders::nseq(
+            TYPES[*first],
+            Leaf::new(TYPES[*absent].0, TYPES[*absent].1, "n"),
+            TYPES[*last],
+            w,
+            vec![],
+        ),
+    };
+    if add_key && pattern.positions() >= 2 {
+        let mut preds = pattern.predicates.clone();
+        preds.push(Predicate::same_id(
+            pattern.positions() - 2,
+            pattern.positions() - 1,
+        ));
+        return Pattern::new(
+            pattern.name.clone(),
+            pattern.expr.clone(),
+            pattern.window,
+            preds,
+        )
+        .expect("valid");
+    }
+    pattern
+}
+
+/// Every node of the typed tree must carry a complete verdict: at least
+/// one row-schema variant and non-empty columns in each.
+fn assert_fully_typed(node: &TypedNode) {
+    assert!(
+        !node.schema.variants.is_empty(),
+        "node {} has no inferred schema",
+        node.label
+    );
+    for v in &node.schema.variants {
+        assert!(!v.columns.is_empty(), "empty row schema at {}", node.label);
+    }
+    for c in &node.children {
+        assert_fully_typed(c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+    })]
+
+    /// Every plan the mapper emits — across plain, O1, O2, O3, O1+O3 —
+    /// typechecks clean, and every node gets a schema and a safety
+    /// verdict.
+    #[test]
+    fn translated_plans_typecheck_clean(
+        shape in arb_shape(),
+        w in 2i64..8,
+        add_key in any::<bool>(),
+    ) {
+        let pattern = make_pattern(&shape, w, add_key);
+        for (label, opts) in [
+            ("plain", MapperOptions::plain()),
+            ("O1", MapperOptions::o1()),
+            ("O2", MapperOptions::o2()),
+            ("O3", MapperOptions::o3()),
+            ("O1+O3", MapperOptions::o1().and_o3()),
+        ] {
+            let plan = cep2asp::translate(&pattern, &opts).expect("translates");
+            let res = typecheck(&plan);
+            prop_assert!(
+                res.is_clean(),
+                "{} plan fails typecheck:\n{}",
+                label,
+                res.render(),
+            );
+            assert_fully_typed(&res.root);
+        }
+    }
+
+    /// Accepted plans run clean under the runtime conformance checker:
+    /// with `schema_conformance` on, every edge asserts each tuple
+    /// against the inferred schema and key — a violation panics the
+    /// worker and fails the run, so success means zero violations.
+    #[test]
+    fn accepted_plans_have_zero_runtime_violations(
+        events in arb_stream(),
+        shape in arb_shape(),
+        w in 2i64..8,
+        add_key in any::<bool>(),
+    ) {
+        let pattern = make_pattern(&shape, w, add_key);
+        let sources = split_by_type(&events);
+        let phys = PhysicalConfig {
+            schema_conformance: true,
+            ..Default::default()
+        };
+        for (label, opts) in [
+            ("plain", MapperOptions::plain()),
+            ("O2", MapperOptions::o2()),
+            ("O1+O3", MapperOptions::o1().and_o3()),
+        ] {
+            let run = run_pattern(&pattern, &opts, &sources, &phys, &ExecutorConfig::default());
+            prop_assert!(
+                run.is_ok(),
+                "{} run violated the inferred schema: {}",
+                label,
+                run.err().map(|e| e.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden rejections: minimally broken plans carry exactly one defect each
+// and are refused statically, before a single tuple flows.
+// ---------------------------------------------------------------------------
+
+fn scan(t: u16, var: usize) -> PlanNode {
+    PlanNode::Scan {
+        etype: EventType(t),
+        type_name: format!("T{t}"),
+        leaf: Leaf::new(EventType(t), format!("T{t}"), format!("e{}", var + 1)),
+        var,
+        predicates: vec![],
+    }
+}
+
+fn global_join(left: PlanNode, right: PlanNode) -> PlanNode {
+    PlanNode::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        windowing: JoinWindowing::Sliding {
+            size: Duration::from_minutes(4),
+            slide: Duration::from_minutes(1),
+        },
+        partitioning: Partitioning::Global,
+        order_pairs: vec![],
+        predicates: vec![],
+        span_ms: 4 * asp::time::MINUTE_MS,
+        ats_check: None,
+        key_pair: None,
+    }
+}
+
+fn plan_of(root: PlanNode) -> LogicalPlan {
+    LogicalPlan {
+        root,
+        positions: 2,
+        mapping: "golden".into(),
+        window: WindowSpec::minutes(4),
+    }
+}
+
+/// A `ByKey` join whose key pair is not backed by any equi-key predicate:
+/// partitioning by it would silently drop cross-sensor matches. Rejected
+/// statically with S005 — and refused by the physical builder before any
+/// tuple flows.
+#[test]
+fn miskeyed_join_is_rejected_statically() {
+    let mut root = global_join(scan(0, 0), scan(1, 1));
+    if let PlanNode::Join {
+        partitioning,
+        key_pair,
+        ..
+    } = &mut root
+    {
+        *partitioning = Partitioning::ByKey;
+        *key_pair = Some((0, 1));
+    }
+    let plan = plan_of(root);
+    let res = typecheck(&plan);
+    let codes: Vec<TypeCode> = res.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![TypeCode::JoinKeyNotCoPartitioned]);
+
+    // The same plan keyed by an actual equi-key predicate is accepted.
+    let mut ok = global_join(scan(0, 0), scan(1, 1));
+    if let PlanNode::Join {
+        partitioning,
+        key_pair,
+        predicates,
+        ..
+    } = &mut ok
+    {
+        *partitioning = Partitioning::ByKey;
+        *key_pair = Some((0, 1));
+        predicates.push(Predicate::same_id(0, 1));
+    }
+    assert!(typecheck(&plan_of(ok)).is_clean());
+
+    // Pre-run gate: the builder refuses to lower the rejected plan.
+    let phys = PhysicalConfig {
+        schema_conformance: true,
+        ..Default::default()
+    };
+    let sources = split_by_type(&[]);
+    match build_pipeline(&plan, &sources, &phys) {
+        Err(BuildError::SchemaRejected(msg)) => {
+            assert!(msg.contains("S005"), "{msg}");
+        }
+        Err(other) => panic!("expected SchemaRejected, got {other}"),
+        Ok(_) => panic!("mis-keyed plan must not lower"),
+    }
+}
+
+/// A projection whose layout is not a permutation of its input: applying
+/// it would scramble constituent positions. Rejected statically with S004.
+#[test]
+fn bad_projection_layout_is_rejected_statically() {
+    let root = PlanNode::Project {
+        input: Box::new(global_join(scan(0, 0), scan(1, 1))),
+        layout: vec![0, 2],
+    };
+    let plan = plan_of(root);
+    let res = typecheck(&plan);
+    let codes: Vec<TypeCode> = res.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![TypeCode::ProjectionLayoutMismatch]);
+
+    // A true permutation is accepted, lowers, and runs: the physical
+    // layer reorders the constituents and the conformance checker agrees
+    // with the inferred (reordered) schema.
+    let ok_plan = plan_of(PlanNode::Project {
+        input: Box::new(global_join(scan(0, 0), scan(1, 1))),
+        layout: vec![1, 0],
+    });
+    let res = typecheck(&ok_plan);
+    assert!(res.is_clean(), "{}", res.render());
+    assert_eq!(res.root.schema.variants[0].layout(), vec![1, 0]);
+    let events = vec![
+        Event::new(EventType(0), 1, Timestamp::from_minutes(0), 10.0),
+        Event::new(EventType(1), 2, Timestamp::from_minutes(1), 20.0),
+    ];
+    let phys = PhysicalConfig {
+        schema_conformance: true,
+        ..Default::default()
+    };
+    let (graph, sink) = build_pipeline(&ok_plan, &split_by_type(&events), &phys).expect("lowers");
+    // With conformance on, the checker spliced onto the Project's output
+    // edge asserts the *reordered* schema (B before A); the run succeeding
+    // proves the physical permutation matches the inferred layout. The
+    // sink itself re-canonicalizes to position order, so only presence is
+    // asserted there.
+    let report = Executor::new(ExecutorConfig::default())
+        .run(graph)
+        .expect("runs");
+    assert!(
+        !report.sink(sink).is_empty(),
+        "projection dropped the match"
+    );
+}

@@ -226,7 +226,7 @@ pub mod arbitrary {
 
     arb_ints!(u16, u32, i32, i64);
 
-    /// Strategy over a whole type's domain; see [`any`](crate::prelude::any).
+    /// Strategy over a whole type's domain; see [`any`].
     #[derive(Debug, Clone, Copy, Default)]
     pub struct Any<A>(std::marker::PhantomData<A>);
 

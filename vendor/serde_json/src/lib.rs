@@ -1,7 +1,7 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
 //! The build environment has no access to crates.io; this vendored crate
-//! renders the vendored `serde` [`Value`](serde::Value) tree as JSON text
+//! renders the vendored `serde` [`Value`] tree as JSON text
 //! and parses it back with a small recursive-descent parser. It covers the
 //! JSON subset the workspace produces: objects, arrays, strings with
 //! escapes, integers, floats, booleans, and null.
