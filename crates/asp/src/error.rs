@@ -24,6 +24,18 @@ pub enum OpError {
         /// Operator-supplied description of what went wrong.
         reason: String,
     },
+    /// The operator declared columnar batch support
+    /// ([`crate::operator::BatchSupport::Columnar`]) but rejected the
+    /// payload it was handed at runtime. The executor surfaces this as the
+    /// `G016` diagnostic rather than a plain operator failure, since it
+    /// indicates a contract violation between the operator's declaration
+    /// and its implementation.
+    ColumnarUnsupported {
+        /// Name of the operator that rejected the columnar payload.
+        operator: String,
+        /// What the operator could not handle about the payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for OpError {
@@ -36,6 +48,10 @@ impl fmt::Display for OpError {
             OpError::Failed { operator, reason } => {
                 write!(f, "operator `{operator}` failed: {reason}")
             }
+            OpError::ColumnarUnsupported { operator, detail } => write!(
+                f,
+                "operator `{operator}` declared columnar support but rejected its payload: {detail}"
+            ),
         }
     }
 }

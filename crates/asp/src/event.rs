@@ -93,7 +93,10 @@ impl TypeRegistry {
 /// `(id, lat, lon, ts, value)` plus its event type.
 ///
 /// The struct is `Copy` and 32 bytes so join buffers stay allocation-free
-/// per element and state-size accounting is exact.
+/// per element and state-size accounting is exact. On the columnar plane
+/// each field becomes its own dense array ([`crate::columnar::
+/// ColumnarBatch`]), so a primitive event flows source→sink without ever
+/// being boxed.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Event {
     /// Event type `T_i ∈ ε`.
@@ -166,6 +169,11 @@ pub enum Attr {
 }
 
 impl Attr {
+    /// Every attribute, in declaration order — the column set of the
+    /// head-event block in [`crate::columnar::ColumnarBatch`] (plus the
+    /// type column). Lets tests and generators enumerate the schema.
+    pub const ALL: [Attr; 5] = [Attr::Value, Attr::Ts, Attr::Id, Attr::Lat, Attr::Lon];
+
     /// Parse an attribute name as written in the pattern language.
     pub fn parse(s: &str) -> Option<Attr> {
         match s {

@@ -381,13 +381,26 @@ impl GraphBuilder {
         self.nodes[node.0].parallelism = parallelism;
     }
 
-    /// Per-port upstream parallelism of a node, in port order.
-    pub(crate) fn input_channels(&self, node: NodeId) -> Vec<(usize, usize)> {
-        let mut ports: Vec<(usize, usize)> = self
+    /// Per-port upstream parallelism of a node, in port order, plus
+    /// whether the upstream task is a source. Source tasks (with any
+    /// operators fused into them) are exempt from the emission-floor
+    /// contract — an under-estimated `watermark_lag` makes them emit
+    /// tuples behind their own watermark, and `drop_late` at the next
+    /// *operator* task is the documented degradation path — so consumers
+    /// fed straight by a source channel must tolerate late tuples.
+    pub(crate) fn input_channels(&self, node: NodeId) -> Vec<(usize, usize, bool)> {
+        let mut ports: Vec<(usize, usize, bool)> = self
             .edges
             .iter()
             .filter(|e| e.dst == node)
-            .map(|e| (e.port, self.nodes[e.src.0].parallelism))
+            .map(|e| {
+                let src = &self.nodes[e.src.0];
+                (
+                    e.port,
+                    src.parallelism,
+                    matches!(src.kind, NodeKind::Source { .. }),
+                )
+            })
             .collect();
         ports.sort_unstable();
         ports
@@ -421,7 +434,7 @@ mod tests {
         );
         let _s = g.sink(j, Exchange::Forward);
         assert_eq!(g.node_count(), 4);
-        assert_eq!(g.input_channels(j), vec![(0, 1), (1, 2)]);
+        assert_eq!(g.input_channels(j), vec![(0, 1, true), (1, 2, true)]);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   (∪), sliding-window join (⋈ — cross, theta, equi), interval join (O1),
 //!   window aggregation (O2), UDF window functions, and the NSEQ
 //!   next-occurrence rewrite.
+//! * **A columnar data plane** ([`columnar::ColumnarBatch`]): the stateless
+//!   tier (σ, Π, ∪) runs as vectorized per-column loops over
+//!   struct-of-arrays micro-batches with selection vectors; stateful
+//!   operators keep per-tuple logic behind a row-conversion shim.
 //! * **Keyed data parallelism**: hash exchanges split stateful operators
 //!   into independently-progressing instances across "task slots"
 //!   (threads), and bounded channels deliver genuine backpressure so
@@ -55,6 +59,7 @@
 // Unit tests may unwrap freely; production code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod columnar;
 pub mod error;
 pub mod event;
 pub mod graph;
@@ -66,6 +71,7 @@ pub mod tuple;
 pub mod validate;
 pub mod window;
 
+pub use columnar::ColumnarBatch;
 pub use error::{OpError, PipelineError};
 pub use event::{Attr, Event, EventType, TypeRegistry};
 pub use obs::{BoundViolation, StaticBounds};

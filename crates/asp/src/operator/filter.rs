@@ -1,24 +1,134 @@
 //! Selection σ_θ (paper Section 2, operator 1): forward a tuple iff the
 //! user-defined predicate set holds; stateless.
+//!
+//! Two construction modes:
+//!
+//! * [`FilterOp::new`] with an arbitrary closure — runs on the row path
+//!   (the runtime materializes tuples at its input boundary);
+//! * [`FilterOp::with_spec`] with a declarative [`FilterSpec`] — the same
+//!   semantics expressed as data, which lets the operator run vectorized
+//!   on the columnar plane: each conjunct is applied as a tight loop over
+//!   one column, narrowing the batch's selection vector.
 
+use crate::columnar::ColumnarBatch;
 use crate::error::OpError;
-use crate::operator::{Collector, Operator, UnaryPredicate};
+use crate::event::{Attr, Event, EventType};
+use crate::operator::{BatchSupport, Collector, Operator, UnaryPredicate};
 use crate::tuple::Tuple;
+
+/// Comparison operators of vectorizable filter clauses. (The pattern
+/// language's `CmpOp` lowers onto this 1:1; `asp` keeps its own copy so the
+/// substrate has no dependency on the pattern layer.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl Cmp {
+    /// Apply the comparison.
+    #[inline]
+    pub fn apply(self, l: f64, r: f64) -> bool {
+        match self {
+            Cmp::Lt => l < r,
+            Cmp::Le => l <= r,
+            Cmp::Gt => l > r,
+            Cmp::Ge => l >= r,
+            Cmp::Eq => l == r,
+            Cmp::Ne => l != r,
+        }
+    }
+}
+
+/// A declarative single-event predicate: an optional event-type gate plus a
+/// conjunction of `attr cmp constant` clauses, all evaluated against the
+/// tuple's head constituent (`events[0]`) — exactly the shape of the
+/// pattern-scan filters the physical lowering produces.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSpec {
+    /// Accept only this event type, if set.
+    pub etype: Option<EventType>,
+    /// Threshold conjuncts over head-constituent attributes.
+    pub clauses: Vec<(Attr, Cmp, f64)>,
+}
+
+impl FilterSpec {
+    /// Accept a single event type with no attribute clauses.
+    pub fn for_etype(etype: EventType) -> Self {
+        FilterSpec {
+            etype: Some(etype),
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Add a threshold conjunct (builder style).
+    #[must_use]
+    pub fn clause(mut self, attr: Attr, cmp: Cmp, c: f64) -> Self {
+        self.clauses.push((attr, cmp, c));
+        self
+    }
+
+    /// Row-path evaluation against a head constituent. The columnar kernel
+    /// evaluates the same clauses over the head-event columns, so the two
+    /// paths share semantics by construction.
+    #[inline]
+    pub fn matches(&self, e: &Event) -> bool {
+        if let Some(t) = self.etype {
+            if e.etype != t {
+                return false;
+            }
+        }
+        self.clauses
+            .iter()
+            .all(|&(a, op, c)| op.apply(e.attr(a), c))
+    }
+}
 
 /// The ASP `filter` operator.
 pub struct FilterOp {
     name: String,
     predicate: UnaryPredicate,
+    spec: Option<FilterSpec>,
     passed: u64,
     dropped: u64,
 }
 
 impl FilterOp {
-    /// Pass through only tuples satisfying `predicate` (σ).
+    /// Pass through only tuples satisfying `predicate` (σ). Runs on the
+    /// row path; prefer [`FilterOp::with_spec`] when the predicate fits
+    /// the declarative shape so it can vectorize.
     pub fn new(name: impl Into<String>, predicate: UnaryPredicate) -> Self {
         FilterOp {
             name: name.into(),
             predicate,
+            spec: None,
+            passed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Pass through only tuples whose head constituent satisfies `spec`.
+    /// Declares columnar support: on the columnar plane each clause runs
+    /// as a per-column loop narrowing the selection vector.
+    pub fn with_spec(name: impl Into<String>, spec: FilterSpec) -> Self {
+        let row = spec.clone();
+        FilterOp {
+            name: name.into(),
+            predicate: std::sync::Arc::new(move |t: &Tuple| match t.head() {
+                Some(e) => row.matches(e),
+                None => false,
+            }),
+            spec: Some(spec),
             passed: 0,
             dropped: 0,
         }
@@ -43,6 +153,40 @@ impl Operator for FilterOp {
         } else {
             self.dropped += 1;
         }
+        Ok(())
+    }
+
+    fn batch_support(&self) -> BatchSupport {
+        if self.spec.is_some() {
+            BatchSupport::Columnar
+        } else {
+            BatchSupport::Row
+        }
+    }
+
+    fn process_columnar(
+        &mut self,
+        _input: usize,
+        batch: &mut ColumnarBatch,
+    ) -> Result<(), OpError> {
+        let Some(spec) = &self.spec else {
+            return Err(OpError::ColumnarUnsupported {
+                operator: self.name.clone(),
+                detail: "closure predicate has no columnar form".to_string(),
+            });
+        };
+        // One narrowing pass per conjunct: each reads a single column.
+        let mut dropped = 0u64;
+        if let Some(t) = spec.etype {
+            let (_, d) = batch.narrow(|b, i| b.etype[i] == t);
+            dropped += d;
+        }
+        for &(attr, op, c) in &spec.clauses {
+            let (_, d) = batch.narrow(|b, i| op.apply(b.attr_at(i, attr), c));
+            dropped += d;
+        }
+        self.passed += batch.selected_len() as u64;
+        self.dropped += dropped;
         Ok(())
     }
 
@@ -80,5 +224,37 @@ mod tests {
     fn is_stateless() {
         let op = FilterOp::new("σ", crate::operator::always_true());
         assert_eq!(op.state_bytes(), 0);
+    }
+
+    #[test]
+    fn closure_filters_stay_on_the_row_path() {
+        let op = FilterOp::new("σ", crate::operator::always_true());
+        assert_eq!(op.batch_support(), BatchSupport::Row);
+        let spec_op = FilterOp::with_spec("σ", FilterSpec::default());
+        assert_eq!(spec_op.batch_support(), BatchSupport::Columnar);
+    }
+
+    #[test]
+    fn spec_row_and_columnar_paths_agree() {
+        let spec = FilterSpec::for_etype(EventType(0))
+            .clause(Attr::Value, Cmp::Ge, 10.0)
+            .clause(Attr::Id, Cmp::Ne, 3.0);
+        let inputs = vec![
+            tup(0, 1, 0, 5.0),  // value too small
+            tup(0, 2, 1, 15.0), // passes
+            tup(1, 2, 2, 20.0), // wrong type
+            tup(0, 3, 3, 20.0), // excluded id
+            tup(0, 4, 4, 10.0), // boundary: passes (Ge)
+        ];
+        let mut row_op = FilterOp::with_spec("σ", spec.clone());
+        let row_out = drive(
+            &mut row_op,
+            inputs.iter().cloned().map(|t| (0, t)).collect(),
+        );
+        let mut col_op = FilterOp::with_spec("σ", spec);
+        let mut batch = ColumnarBatch::from_tuples(inputs);
+        col_op.process_columnar(0, &mut batch).unwrap();
+        assert_eq!(batch.to_tuples(), row_out);
+        assert_eq!(col_op.counts(), row_op.counts());
     }
 }

@@ -6,26 +6,66 @@
 //! workaround and for O3 equi-join partitioning (Section 4.2.1), and
 //! timestamp redefinition after each window join of a nested pattern
 //! (Section 4.2.2).
+//!
+//! Those recurring roles are first-class [`MapKind`]s: unlike an opaque
+//! closure, a named kind has a columnar form — key assignment rewrites the
+//! `key` column, timestamp redefinition the `ts` column — so the operator
+//! runs vectorized on the columnar plane. [`MapOp::new`] with an arbitrary
+//! closure remains available and runs on the row path.
 
-use std::sync::Arc;
-
+use crate::columnar::ColumnarBatch;
 use crate::error::OpError;
-use crate::operator::{Collector, MapFn, Operator};
+use crate::operator::{BatchSupport, Collector, MapFn, Operator};
 use crate::tuple::{Key, Tuple};
+
+/// The transformation a [`MapOp`] applies. Every kind except
+/// [`MapKind::Custom`] has a vectorized per-column implementation.
+#[derive(Clone)]
+pub enum MapKind {
+    /// An arbitrary user closure; row path only.
+    Custom(MapFn),
+    /// Pass tuples through unchanged (useful as a chain/bench placeholder).
+    Identity,
+    /// Assign the same partition key to every tuple (the Cartesian-product
+    /// workaround, Section 4.3.3).
+    UniformKey(Key),
+    /// Key each tuple by constituent `idx`'s sensor id (O3 equi-join
+    /// partitioning); tuples without that constituent pass unchanged.
+    KeyByEventId(usize),
+    /// Redefine the working timestamp to the max constituent timestamp
+    /// (complete-match rule, Section 4.2.2).
+    TsToMax,
+    /// Redefine the working timestamp to the min constituent timestamp
+    /// (partial-match rule, Section 4.2.2).
+    TsToMin,
+}
 
 /// The ASP `map` operator.
 pub struct MapOp {
     name: String,
-    f: MapFn,
+    kind: MapKind,
 }
 
 impl MapOp {
-    /// Apply `f` to every tuple (Π).
+    /// Apply `f` to every tuple (Π). Row path; prefer a named constructor
+    /// ([`MapOp::identity`], [`MapOp::uniform_key`], [`MapOp::key_by_id`],
+    /// [`MapOp::ts_to_max`], [`MapOp::ts_to_min`], [`MapOp::of_kind`])
+    /// when the transformation fits one, so it can vectorize.
     pub fn new(name: impl Into<String>, f: MapFn) -> Self {
+        MapOp::of_kind(name, MapKind::Custom(f))
+    }
+
+    /// Construct from an explicit [`MapKind`].
+    pub fn of_kind(name: impl Into<String>, kind: MapKind) -> Self {
         MapOp {
             name: name.into(),
-            f,
+            kind,
         }
+    }
+
+    /// The identity map — passes every tuple through unchanged.
+    pub fn identity(name: impl Into<String>) -> Self {
+        MapOp::of_kind(name, MapKind::Identity)
     }
 
     /// A map that assigns the same key to every tuple — the paper's
@@ -33,49 +73,59 @@ impl MapOp {
     /// forces all tuples into one partition (no parallelization potential,
     /// Section 4.3.3).
     pub fn uniform_key(name: impl Into<String>, key: Key) -> Self {
-        MapOp::new(
-            name,
-            Arc::new(move |mut t: Tuple| {
-                t.key = key;
-                t
-            }),
-        )
+        MapOp::of_kind(name, MapKind::UniformKey(key))
     }
 
     /// A map that keys each tuple by its first constituent's sensor id —
     /// the O3 equi-join partitioning.
     pub fn key_by_id(name: impl Into<String>) -> Self {
-        MapOp::new(
-            name,
-            Arc::new(|mut t: Tuple| {
-                t.key = t.events[0].id as Key;
-                t
-            }),
-        )
+        MapOp::of_kind(name, MapKind::KeyByEventId(0))
+    }
+
+    /// A map that keys each tuple by constituent `idx`'s sensor id (the
+    /// rekey step the physical lowering emits per pattern variable).
+    pub fn key_by_event_id(name: impl Into<String>, idx: usize) -> Self {
+        MapOp::of_kind(name, MapKind::KeyByEventId(idx))
     }
 
     /// A map that redefines the working timestamp to the max constituent
     /// timestamp (complete-match rule of Section 4.2.2).
     pub fn ts_to_max(name: impl Into<String>) -> Self {
-        MapOp::new(
-            name,
-            Arc::new(|mut t: Tuple| {
-                t.ts = t.ts_end();
-                t
-            }),
-        )
+        MapOp::of_kind(name, MapKind::TsToMax)
     }
 
     /// A map that redefines the working timestamp to the min constituent
     /// timestamp (partial-match rule of Section 4.2.2).
     pub fn ts_to_min(name: impl Into<String>) -> Self {
-        MapOp::new(
-            name,
-            Arc::new(|mut t: Tuple| {
+        MapOp::of_kind(name, MapKind::TsToMin)
+    }
+
+    /// Row-path application of the transformation (shared semantics: the
+    /// columnar kernels implement exactly these rewrites column-wise).
+    #[inline]
+    fn apply_row(&self, mut t: Tuple) -> Tuple {
+        match &self.kind {
+            MapKind::Custom(f) => f(t),
+            MapKind::Identity => t,
+            MapKind::UniformKey(k) => {
+                t.key = *k;
+                t
+            }
+            MapKind::KeyByEventId(idx) => {
+                if let Some(e) = t.events.get(*idx) {
+                    t.key = e.id as Key;
+                }
+                t
+            }
+            MapKind::TsToMax => {
+                t.ts = t.ts_end();
+                t
+            }
+            MapKind::TsToMin => {
                 t.ts = t.ts_begin();
                 t
-            }),
-        )
+            }
+        }
     }
 }
 
@@ -86,7 +136,86 @@ impl Operator for MapOp {
         tuple: Tuple,
         out: &mut dyn Collector,
     ) -> Result<(), OpError> {
-        out.emit((self.f)(tuple));
+        out.emit(self.apply_row(tuple));
+        Ok(())
+    }
+
+    fn batch_support(&self) -> BatchSupport {
+        match self.kind {
+            MapKind::Custom(_) => BatchSupport::Row,
+            _ => BatchSupport::Columnar,
+        }
+    }
+
+    fn process_columnar(
+        &mut self,
+        _input: usize,
+        batch: &mut ColumnarBatch,
+    ) -> Result<(), OpError> {
+        // Helper applying `f(row)` to every selected physical row index.
+        macro_rules! for_selected {
+            ($batch:expr, $i:ident, $body:expr) => {
+                match &$batch.sel {
+                    None => {
+                        for $i in 0..$batch.key.len() {
+                            $body
+                        }
+                    }
+                    Some(sel) => {
+                        for &raw in sel {
+                            let $i = raw as usize;
+                            $body
+                        }
+                    }
+                }
+            };
+        }
+        match &self.kind {
+            MapKind::Custom(_) => {
+                return Err(OpError::ColumnarUnsupported {
+                    operator: self.name.clone(),
+                    detail: "custom map closure has no columnar form".to_string(),
+                })
+            }
+            MapKind::Identity => {}
+            MapKind::UniformKey(k) => {
+                let k = *k;
+                for_selected!(batch, i, batch.key[i] = k);
+            }
+            MapKind::KeyByEventId(idx) => {
+                let idx = *idx;
+                for_selected!(batch, i, {
+                    let new_key = match batch.comp_at(i) {
+                        // Composite rows: look up constituent `idx`.
+                        Some(events) => events.get(idx).map(|e| e.id as Key),
+                        // Primitive rows have exactly one constituent.
+                        None if idx == 0 => Some(batch.id[i] as Key),
+                        None => None,
+                    };
+                    if let Some(k) = new_key {
+                        batch.key[i] = k;
+                    }
+                });
+            }
+            MapKind::TsToMax => {
+                for_selected!(batch, i, {
+                    let ts = match batch.comp_at(i) {
+                        Some(events) => events.iter().map(|e| e.ts).max().unwrap_or(batch.ts[i]),
+                        None => batch.ets[i],
+                    };
+                    batch.ts[i] = ts;
+                });
+            }
+            MapKind::TsToMin => {
+                for_selected!(batch, i, {
+                    let ts = match batch.comp_at(i) {
+                        Some(events) => events.iter().map(|e| e.ts).min().unwrap_or(batch.ts[i]),
+                        None => batch.ets[i],
+                    };
+                    batch.ts[i] = ts;
+                });
+            }
+        }
         Ok(())
     }
 
@@ -101,6 +230,7 @@ mod tests {
     use crate::operator::testutil::{drive, tup};
     use crate::time::Timestamp;
     use crate::tuple::TsRule;
+    use std::sync::Arc;
 
     #[test]
     fn uniform_key_overrides_partitioning() {
@@ -130,5 +260,39 @@ mod tests {
         assert_eq!(out[0].ts, Timestamp::from_minutes(8));
         let out = drive(&mut MapOp::ts_to_min("min"), vec![(0, joined)]);
         assert_eq!(out[0].ts, Timestamp::from_minutes(2));
+    }
+
+    #[test]
+    fn custom_maps_stay_on_the_row_path() {
+        let op = MapOp::new("id", Arc::new(|t| t));
+        assert_eq!(op.batch_support(), BatchSupport::Row);
+        assert_eq!(
+            MapOp::identity("id").batch_support(),
+            BatchSupport::Columnar
+        );
+    }
+
+    #[test]
+    fn columnar_kernels_match_row_semantics() {
+        let a = tup(0, 7, 2, 1.0);
+        let b = tup(1, 9, 8, 2.0);
+        let joined = a.join(&b, TsRule::Left);
+        let inputs = vec![a.clone(), joined.clone(), b.clone()];
+        for mk_op in [
+            || MapOp::identity("Π"),
+            || MapOp::uniform_key("Π", 5),
+            || MapOp::key_by_id("Π"),
+            || MapOp::key_by_event_id("Π", 1),
+            || MapOp::ts_to_max("Π"),
+            || MapOp::ts_to_min("Π"),
+        ] {
+            let row_out = drive(
+                &mut mk_op(),
+                inputs.iter().cloned().map(|t| (0, t)).collect(),
+            );
+            let mut batch = ColumnarBatch::from_tuples(inputs.clone());
+            mk_op().process_columnar(0, &mut batch).unwrap();
+            assert_eq!(batch.to_tuples(), row_out, "op {}", mk_op().name());
+        }
     }
 }

@@ -24,9 +24,9 @@ mod window_udf;
 
 pub use aggregate::{AggFn, WindowAggregateOp};
 pub use dedup::DedupOp;
-pub use filter::FilterOp;
+pub use filter::{Cmp, FilterOp, FilterSpec};
 pub use interval_join::{IntervalBounds, IntervalJoinOp};
-pub use map::MapOp;
+pub use map::{MapKind, MapOp};
 pub use next_occurrence::NextOccurrenceOp;
 pub use union::UnionOp;
 pub use window_join::WindowJoinOp;
@@ -34,9 +34,25 @@ pub use window_udf::WindowUdfOp;
 
 use std::sync::Arc;
 
+use crate::columnar::ColumnarBatch;
 use crate::error::OpError;
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
+
+/// How an operator participates in the columnar batch path.
+///
+/// `Row` operators receive materialized [`Tuple`]s one at a time through
+/// [`Operator::process`] — the runtime converts columnar batches at their
+/// input boundary (the "row shim"). `Columnar` operators additionally
+/// implement [`Operator::process_columnar`] and are driven batch-at-a-time
+/// on the columnar data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSupport {
+    /// Per-tuple processing only; the harness materializes rows.
+    Row,
+    /// Vectorized batch-in/batch-out processing over [`ColumnarBatch`]es.
+    Columnar,
+}
 
 /// Receives an operator's output tuples; the runtime implementation routes
 /// them to downstream channels.
@@ -72,6 +88,28 @@ pub trait Operator: Send {
         tuple: Tuple,
         out: &mut dyn Collector,
     ) -> Result<(), OpError>;
+
+    /// Whether this operator runs on the columnar data plane. Defaults to
+    /// [`BatchSupport::Row`]: the harness materializes tuples at the input
+    /// boundary and per-tuple [`Operator::process`] semantics apply.
+    fn batch_support(&self) -> BatchSupport {
+        BatchSupport::Row
+    }
+
+    /// Vectorized batch-in/batch-out processing: mutate `batch` in place —
+    /// narrow its selection vector (filters), rewrite selected rows (maps),
+    /// or count them (union) — and the harness forwards the surviving
+    /// selection downstream. Only invoked when [`Operator::batch_support`]
+    /// returns [`BatchSupport::Columnar`]; the default rejects the payload,
+    /// which the runtime reports as the `G016` diagnostic
+    /// ([`crate::validate::Code::ColumnarPayloadMismatch`]).
+    fn process_columnar(&mut self, input: usize, batch: &mut ColumnarBatch) -> Result<(), OpError> {
+        let _ = (input, batch);
+        Err(OpError::ColumnarUnsupported {
+            operator: self.name().to_string(),
+            detail: "process_columnar not implemented".to_string(),
+        })
+    }
 
     /// Event time advanced to `wm`: fire windows, evict state, emit results.
     /// All tuples with `ts < wm` on every port have been delivered.

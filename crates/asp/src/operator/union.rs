@@ -8,8 +8,9 @@
 //! pass-through — which is exactly why `OR` is the cheapest SEA operator
 //! under the mapping.
 
+use crate::columnar::ColumnarBatch;
 use crate::error::OpError;
-use crate::operator::{Collector, Operator};
+use crate::operator::{BatchSupport, Collector, Operator};
 use crate::tuple::Tuple;
 
 /// N-ary stream union.
@@ -44,6 +45,18 @@ impl Operator for UnionOp {
             *c += 1;
         }
         out.emit(tuple);
+        Ok(())
+    }
+
+    fn batch_support(&self) -> BatchSupport {
+        BatchSupport::Columnar
+    }
+
+    fn process_columnar(&mut self, input: usize, batch: &mut ColumnarBatch) -> Result<(), OpError> {
+        // Pure pass-through: only the per-port arrival counters change.
+        if let Some(c) = self.per_port.get_mut(input) {
+            *c += batch.selected_len() as u64;
+        }
         Ok(())
     }
 

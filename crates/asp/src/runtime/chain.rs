@@ -15,9 +15,10 @@
 //! have no other fan-in/fan-out and the downstream node must be an
 //! operator (sinks keep their own thread for metrics isolation).
 
+use crate::columnar::ColumnarBatch;
 use crate::error::OpError;
 use crate::graph::{Edge, Exchange, GraphBuilder, NodeId, NodeKind, OperatorFactory};
-use crate::operator::{Collector, KeyedStateStats, Operator, VecCollector};
+use crate::operator::{BatchSupport, Collector, KeyedStateStats, Operator, VecCollector};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
 
@@ -123,6 +124,35 @@ impl Operator for ChainedOperator {
         }
         for t in carry {
             out.emit(t);
+        }
+        Ok(())
+    }
+
+    fn batch_support(&self) -> BatchSupport {
+        // The chain is columnar iff every member is: one row-only stage
+        // forces the whole task onto the row shim (the harness cannot
+        // switch representations mid-chain without a channel boundary).
+        if self
+            .ops
+            .iter()
+            .all(|o| o.batch_support() == BatchSupport::Columnar)
+        {
+            BatchSupport::Columnar
+        } else {
+            BatchSupport::Row
+        }
+    }
+
+    fn process_columnar(&mut self, input: usize, batch: &mut ColumnarBatch) -> Result<(), OpError> {
+        // Stateless columnar stages are 1-in/1-out over the same batch, so
+        // fusion is literally sequential kernel application.
+        let mut stage_port = input;
+        for op in &mut self.ops {
+            if batch.selected_len() == 0 {
+                return Ok(());
+            }
+            op.process_columnar(stage_port, batch)?;
+            stage_port = 0;
         }
         Ok(())
     }

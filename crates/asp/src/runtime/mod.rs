@@ -18,6 +18,29 @@
 //! Operator emissions triggered by a watermark are sent *before* the
 //! watermark itself is forwarded, preserving the "no late data" invariant
 //! down the pipeline.
+//!
+//! Watermarks are released by a *soft flush*: destinations whose batch
+//! buffer is empty receive the watermark immediately, while a destination
+//! with a partially filled buffer has the watermark recorded as *owed* and
+//! delivered right after that buffer's next batch send. Deferring a
+//! watermark is always safe (it is a lower-bound promise), and the deferral
+//! keeps punctuation from truncating per-destination micro-batches — under
+//! hash fan-out, batches stay near `batch_size` instead of being sliced at
+//! every punctuation. A *hard flush* (idle timeout, end of stream, or the
+//! `idle_flush` deadline under sustained load) sends every partial buffer
+//! and settles all owed watermarks, bounding how long either can sit.
+//!
+//! ## Data planes
+//!
+//! With [`ExecutorConfig::columnar`] (the default), tuple data travels as
+//! struct-of-arrays [`ColumnarBatch`]es: sources push events straight into
+//! typed columns (no per-event heap allocation), operators declaring
+//! [`BatchSupport::Columnar`] are driven batch-at-a-time through
+//! [`Operator::process_columnar`], and row-format [`Tuple`]s are
+//! materialized only at the input boundary of row-only (stateful)
+//! operators and collecting sinks. Batches on the wire are always dense —
+//! selection vectors produced by vectorized filters are compacted at route
+//! flush.
 
 mod chain;
 mod metrics;
@@ -35,10 +58,12 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
 
+use crate::columnar::ColumnarBatch;
 use crate::error::{OpError, PipelineError};
+use crate::event::Event;
 use crate::graph::{Exchange, GraphBuilder, NodeId, NodeKind, SinkId, SourceConfig};
 use crate::obs::LatencyHistogram;
-use crate::operator::{Collector, Operator};
+use crate::operator::{BatchSupport, Collector, Operator};
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
 
@@ -87,6 +112,14 @@ pub struct ExecutorConfig {
     /// [`RunReport::events`]. When full, the oldest events are displaced;
     /// `0` disables event retention.
     pub event_log_capacity: usize,
+    /// Run tuple data on the columnar (struct-of-arrays) plane: sources
+    /// build [`ColumnarBatch`]es without materializing row tuples,
+    /// operators declaring [`BatchSupport::Columnar`] run vectorized, and
+    /// rows are materialized only at stateful-operator and collecting-sink
+    /// boundaries. Defaults to `true`; setting the `ASP_DATA_PLANE=row`
+    /// environment variable flips the default to the row plane (the CI
+    /// matrix exercises both).
+    pub columnar: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -102,6 +135,7 @@ impl Default for ExecutorConfig {
             proc_latency_every: 32,
             progress_interval: None,
             event_log_capacity: 256,
+            columnar: std::env::var("ASP_DATA_PLANE").map_or(true, |v| v != "row"),
         }
     }
 }
@@ -111,6 +145,9 @@ enum Message {
     /// A micro-batch: consecutive tuples for one destination, sent as one
     /// channel message. Order within the batch is emission order.
     Batch(Vec<Tuple>),
+    /// A columnar micro-batch (always dense on the wire; receivers never
+    /// see a selection vector). Used exclusively on the columnar plane.
+    Columnar(ColumnarBatch),
     Watermark(Timestamp),
     End,
 }
@@ -149,8 +186,16 @@ struct Route {
     /// (`Forward`, or any exchange with a single destination instance) —
     /// the dispatch match is decided once at wiring time, not per tuple.
     fixed: Option<usize>,
-    /// Pending tuples per destination instance, flushed at `batch_size`.
+    /// Pending tuples per destination instance, flushed at `batch_size`
+    /// (row plane; unused on the columnar plane).
     bufs: Vec<Vec<Tuple>>,
+    /// Pending columnar rows per destination instance (columnar plane;
+    /// unused on the row plane). Built by column pushes, so always dense.
+    cbufs: Vec<ColumnarBatch>,
+    /// Watermark promised to a destination but deferred because its batch
+    /// buffer was non-empty at soft-flush time; settled immediately after
+    /// that destination's next batch send (see [`Route::flush_buf`]).
+    wm_owed: Vec<Option<Timestamp>>,
     /// Channel messages sent (batches count once), for [`NodeStats`].
     batches: u64,
 }
@@ -169,6 +214,8 @@ impl Route {
             Exchange::Hash | Exchange::Rebalance => None,
         };
         let bufs = senders.iter().map(|_| Vec::new()).collect();
+        let cbufs = senders.iter().map(|_| ColumnarBatch::default()).collect();
+        let wm_owed = senders.iter().map(|_| None).collect();
         Route {
             exchange,
             port,
@@ -177,7 +224,26 @@ impl Route {
             rr: instance,
             fixed,
             bufs,
+            cbufs,
+            wm_owed,
             batches: 0,
+        }
+    }
+
+    /// Resolve the destination instance for a record with partition `key`.
+    #[inline]
+    fn pick_dest(&mut self, key: u64) -> usize {
+        match self.fixed {
+            Some(i) => i,
+            None => match self.exchange {
+                Exchange::Hash => key_partition(key, self.senders.len()),
+                Exchange::Rebalance => {
+                    self.rr = (self.rr + 1) % self.senders.len();
+                    self.rr
+                }
+                // Forward always resolves to `fixed`.
+                Exchange::Forward => unreachable!("forward routes are pre-resolved"),
+            },
         }
     }
 
@@ -217,8 +283,8 @@ impl Route {
         result
     }
 
-    /// Append `t` to the destination's pending batch, flushing it when it
-    /// reaches `batch_size`.
+    /// Append `t` to the destination's pending row batch, flushing it when
+    /// it reaches `batch_size`.
     fn buffer_tuple(
         &mut self,
         t: Tuple,
@@ -226,18 +292,7 @@ impl Route {
         abort: &AtomicBool,
         blocked_ns: &AtomicU64,
     ) -> Result<(), ()> {
-        let idx = match self.fixed {
-            Some(i) => i,
-            None => match self.exchange {
-                Exchange::Hash => key_partition(t.key, self.senders.len()),
-                Exchange::Rebalance => {
-                    self.rr = (self.rr + 1) % self.senders.len();
-                    self.rr
-                }
-                // Forward always resolves to `fixed`.
-                Exchange::Forward => unreachable!("forward routes are pre-resolved"),
-            },
-        };
+        let idx = self.pick_dest(t.key);
         let buf = &mut self.bufs[idx];
         if buf.capacity() == 0 {
             buf.reserve_exact(batch_size);
@@ -250,7 +305,107 @@ impl Route {
         }
     }
 
-    /// Send the destination's pending batch, if any, as one message.
+    /// Decompose `t` into the destination's pending columnar batch,
+    /// flushing it when it reaches `batch_size` (columnar plane).
+    fn buffer_tuple_columnar(
+        &mut self,
+        t: Tuple,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        let idx = self.pick_dest(t.key);
+        self.cbufs[idx].push_tuple(t);
+        if self.cbufs[idx].len() >= batch_size {
+            self.flush_buf(idx, batch_size, abort, blocked_ns)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Append a primitive event straight into the destination's pending
+    /// columnar batch — the zero-allocation source fast path.
+    fn buffer_event(
+        &mut self,
+        e: Event,
+        wall: u64,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        // Primitive events partition by sensor id (`Tuple::from_event`
+        // assigns `key = id`), so routing agrees with the row plane.
+        let idx = self.pick_dest(e.id as u64);
+        self.cbufs[idx].push_event(e, wall);
+        if self.cbufs[idx].len() >= batch_size {
+            self.flush_buf(idx, batch_size, abort, blocked_ns)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gather-append every selected row of `src` into the destinations'
+    /// pending columnar batches (reads `src` by reference: multi-route
+    /// fan-out needs no clone; composites transfer by refcount bump).
+    fn append_batch(
+        &mut self,
+        src: &ColumnarBatch,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        let one = |this: &mut Self, i: usize| -> Result<(), ()> {
+            let idx = this.pick_dest(src.key[i]);
+            this.cbufs[idx].push_row_from(src, i);
+            if this.cbufs[idx].len() >= batch_size {
+                this.flush_buf(idx, batch_size, abort, blocked_ns)
+            } else {
+                Ok(())
+            }
+        };
+        match &src.sel {
+            None => {
+                for i in 0..src.len() {
+                    one(self, i)?;
+                }
+            }
+            Some(sel) => {
+                for &i in sel {
+                    one(self, i as usize)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Soft-deliver a watermark: destinations with an empty batch buffer
+    /// get it immediately; the rest record it as owed so it rides out
+    /// right behind their next (full) batch instead of truncating it.
+    fn soft_watermark(
+        &mut self,
+        wm: Timestamp,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        let mut ok = Ok(());
+        for idx in 0..self.senders.len() {
+            if self.bufs[idx].is_empty() && self.cbufs[idx].is_empty() {
+                if self
+                    .send(idx, Message::Watermark(wm), abort, blocked_ns)
+                    .is_err()
+                {
+                    ok = Err(());
+                }
+            } else {
+                let owed = self.wm_owed[idx].get_or_insert(wm);
+                *owed = (*owed).max(wm);
+            }
+        }
+        ok
+    }
+
+    /// Send the destination's pending batch (row or columnar), if any, as
+    /// one message, then settle any owed watermark behind it.
     fn flush_buf(
         &mut self,
         idx: usize,
@@ -260,12 +415,32 @@ impl Route {
     ) -> Result<(), ()> {
         let buf = &mut self.bufs[idx];
         let msg = match buf.len() {
-            0 => return Ok(()),
-            1 => Message::Tuple(buf.pop().expect("len checked")),
-            _ => Message::Batch(std::mem::replace(buf, Vec::with_capacity(batch_size))),
+            0 => {
+                let cbuf = &mut self.cbufs[idx];
+                if cbuf.is_empty() {
+                    None
+                } else {
+                    debug_assert!(cbuf.is_dense(), "route buffers are built dense");
+                    Some(Message::Columnar(std::mem::replace(
+                        cbuf,
+                        ColumnarBatch::with_capacity(batch_size),
+                    )))
+                }
+            }
+            1 => Some(Message::Tuple(buf.pop().expect("len checked"))),
+            _ => Some(Message::Batch(std::mem::replace(
+                buf,
+                Vec::with_capacity(batch_size),
+            ))),
         };
-        self.batches += 1;
-        self.send(idx, msg, abort, blocked_ns)
+        if let Some(msg) = msg {
+            self.batches += 1;
+            self.send(idx, msg, abort, blocked_ns)?;
+        }
+        if let Some(wm) = self.wm_owed[idx].take() {
+            self.send(idx, Message::Watermark(wm), abort, blocked_ns)?;
+        }
+        Ok(())
     }
 
     fn flush_all(
@@ -301,6 +476,10 @@ impl Route {
 struct ChannelCollector {
     routes: Vec<Route>,
     batch_size: usize,
+    /// Which data plane this task's emissions travel on. On the columnar
+    /// plane every tuple-carrying message is [`Message::Columnar`]; on the
+    /// row plane, [`Message::Tuple`]/[`Message::Batch`]. Never mixed.
+    columnar: bool,
     abort: Arc<AtomicBool>,
     /// The owning instance's shared counters; the collector charges
     /// blocked-on-send time (backpressure) to
@@ -342,8 +521,36 @@ impl ChannelCollector {
         self.pending_wm = Some(self.pending_wm.map_or(wm, |p| p.max(wm)));
     }
 
-    /// Send every pending batch, then the coalesced pending watermark.
+    /// Soft flush: release the coalesced pending watermark without
+    /// truncating partially filled batch buffers. Destinations with an
+    /// empty buffer get the watermark immediately; for the rest it is
+    /// recorded as *owed* and sent right behind that destination's next
+    /// batch, so micro-batches keep forming across punctuation (the
+    /// hash-fan-out batch-efficiency fix). Owed watermarks are bounded by
+    /// the callers' periodic [`flush_hard`](Self::flush_hard).
     fn flush(&mut self) {
+        let Self {
+            routes,
+            abort,
+            istats,
+            failed,
+            pending_wm,
+            ..
+        } = self;
+        let abort: &AtomicBool = abort;
+        let blocked_ns = &istats.backpressure_ns;
+        if let Some(wm) = pending_wm.take() {
+            for r in routes.iter_mut() {
+                if r.soft_watermark(wm, abort, blocked_ns).is_err() {
+                    *failed = true;
+                }
+            }
+        }
+    }
+
+    /// Hard flush: send every pending batch (settling owed watermarks
+    /// behind each), then broadcast the coalesced pending watermark.
+    fn flush_hard(&mut self) {
         let Self {
             routes,
             batch_size,
@@ -371,15 +578,120 @@ impl ChannelCollector {
         }
     }
 
-    /// Flush, then tell every downstream channel the stream is over.
+    /// Flush everything, then tell every downstream channel the stream is
+    /// over.
     fn broadcast_end(&mut self) {
-        self.flush();
+        self.flush_hard();
         for r in &self.routes {
             if r.broadcast(|| Message::End, &self.abort, &self.istats.backpressure_ns)
                 .is_err()
             {
                 self.failed = true;
             }
+        }
+    }
+
+    /// Source fast path: append a primitive event to every route's pending
+    /// columnar batch without materializing a row tuple (no heap traffic).
+    /// Falls back to [`Collector::emit`] on the row plane.
+    fn emit_event(&mut self, e: Event, wall: u64) {
+        if !self.columnar {
+            self.emit(Tuple::from_event_wall(e, wall));
+            return;
+        }
+        self.out_count += 1;
+        let Self {
+            routes,
+            batch_size,
+            abort,
+            istats,
+            failed,
+            ..
+        } = self;
+        let abort: &AtomicBool = abort;
+        let blocked_ns = &istats.backpressure_ns;
+        for r in routes.iter_mut() {
+            if r.buffer_event(e, wall, *batch_size, abort, blocked_ns)
+                .is_err()
+            {
+                *failed = true;
+            }
+        }
+    }
+
+    /// Route a processed columnar batch downstream (columnar plane). A
+    /// dense, full batch bound for a single pre-resolved destination with
+    /// an empty pending buffer moves onto the wire without copying a row;
+    /// everything else gather-appends the selected rows into the
+    /// destinations' pending batches.
+    fn forward_batch(&mut self, mut batch: ColumnarBatch) {
+        #[cfg(feature = "invariant-checks")]
+        if self.enforce_emit_floor {
+            if let Some(min) = batch.min_ts() {
+                assert!(
+                    min >= self.wm_floor,
+                    "invariant violation: task emitted batch with min ts {min:?} behind its own broadcast watermark {:?}",
+                    self.wm_floor
+                );
+            }
+        }
+        let selected = batch.selected_len();
+        if selected == 0 {
+            return;
+        }
+        self.out_count += selected as u64;
+        let Self {
+            routes,
+            batch_size,
+            abort,
+            istats,
+            failed,
+            ..
+        } = self;
+        let abort: &AtomicBool = abort;
+        let blocked_ns = &istats.backpressure_ns;
+        let n = routes.len();
+        if n == 0 {
+            return;
+        }
+        for r in routes.iter_mut().take(n - 1) {
+            if r.append_batch(&batch, *batch_size, abort, blocked_ns)
+                .is_err()
+            {
+                *failed = true;
+            }
+        }
+        let last = &mut routes[n - 1];
+        if let Some(idx) = last.fixed {
+            if last.cbufs[idx].is_empty() {
+                batch.compact();
+                if batch.len() >= *batch_size {
+                    last.batches += 1;
+                    if last
+                        .send(idx, Message::Columnar(batch), abort, blocked_ns)
+                        .is_err()
+                    {
+                        *failed = true;
+                    } else if let Some(wm) = last.wm_owed[idx].take() {
+                        if last
+                            .send(idx, Message::Watermark(wm), abort, blocked_ns)
+                            .is_err()
+                        {
+                            *failed = true;
+                        }
+                    }
+                } else {
+                    // Short batch: it *becomes* the pending buffer.
+                    last.cbufs[idx] = batch;
+                }
+                return;
+            }
+        }
+        if last
+            .append_batch(&batch, *batch_size, abort, blocked_ns)
+            .is_err()
+        {
+            *failed = true;
         }
     }
 
@@ -406,6 +718,7 @@ impl Collector for ChannelCollector {
         let Self {
             routes,
             batch_size,
+            columnar,
             abort,
             istats,
             failed,
@@ -417,7 +730,25 @@ impl Collector for ChannelCollector {
         if n == 0 {
             return;
         }
-        // Clone for all but the last route; move into the last.
+        // Clone for all but the last route; move into the last. On the
+        // columnar plane the tuple is decomposed into the routes' pending
+        // column batches instead of buffered as a row.
+        if *columnar {
+            for r in routes.iter_mut().take(n - 1) {
+                if r.buffer_tuple_columnar(tuple.clone(), *batch_size, abort, blocked_ns)
+                    .is_err()
+                {
+                    *failed = true;
+                }
+            }
+            if routes[n - 1]
+                .buffer_tuple_columnar(tuple, *batch_size, abort, blocked_ns)
+                .is_err()
+            {
+                *failed = true;
+            }
+            return;
+        }
         for r in routes.iter_mut().take(n - 1) {
             if r.buffer_tuple(tuple.clone(), *batch_size, abort, blocked_ns)
                 .is_err()
@@ -760,8 +1091,10 @@ impl Executor {
             Level::Info,
             "executor",
             format!(
-                "run started: {n_nodes} nodes, {n_instances} instances, batch_size={}, chaining={}",
-                self.cfg.batch_size, self.cfg.operator_chaining
+                "run started: {n_nodes} nodes, {n_instances} instances, batch_size={}, chaining={}, plane={}",
+                self.cfg.batch_size,
+                self.cfg.operator_chaining,
+                if self.cfg.columnar { "columnar" } else { "row" }
             ),
         );
 
@@ -788,7 +1121,7 @@ impl Executor {
         }
 
         // Input channel layout per node: (port, upstream parallelism).
-        let input_layout: Vec<Vec<(usize, usize)>> = (0..n_nodes)
+        let input_layout: Vec<Vec<(usize, usize, bool)>> = (0..n_nodes)
             .map(|i| graph.input_channels(NodeId(i)))
             .collect();
 
@@ -854,6 +1187,7 @@ impl Executor {
                 let collector = ChannelCollector {
                     routes,
                     batch_size: self.cfg.batch_size,
+                    columnar: self.cfg.columnar,
                     abort: abort.clone(),
                     istats: istats.clone(),
                     out_count: 0,
@@ -1119,6 +1453,22 @@ fn run_source(
     // partial batch never outlives `idle_flush`; saturating sources fill
     // batches in microseconds and flush at every punctuation instead.
     let mut last_flush = start;
+    // Columnar plane: events stream straight into column batches. With a
+    // columnar-capable chained operator they are staged per `batch_size`
+    // and driven through `process_columnar`; without a chain they go
+    // directly into the routes' pending batches (`emit_event`). A row-only
+    // chain keeps the per-tuple path (its emissions are still re-batched
+    // columnar by the collector).
+    let columnar = collector.columnar;
+    let columnar_chain = chained
+        .as_ref()
+        .is_some_and(|op| op.batch_support() == BatchSupport::Columnar);
+    let bs = collector.batch_size;
+    let mut staging = if columnar && columnar_chain {
+        ColumnarBatch::with_capacity(bs)
+    } else {
+        ColumnarBatch::default()
+    };
     'ingest: for (i, ev) in cfg.events.iter().enumerate() {
         if parallelism > 1 && i % parallelism != instance {
             continue;
@@ -1134,12 +1484,31 @@ fn run_source(
             }
         }
         let wall = epoch.elapsed().as_nanos() as u64;
-        let t = Tuple::from_event_wall(*ev, wall);
-        last_ts = last_ts.max(t.ts);
+        last_ts = last_ts.max(ev.ts);
         match &mut chained {
+            Some(op) if columnar && columnar_chain => {
+                staging.push_event(*ev, wall);
+                if staging.len() >= bs {
+                    // One strided observation per batch call: the cost of
+                    // two clock reads amortizes over `bs` events.
+                    let t0 = (proc_every != 0).then(Instant::now);
+                    if let Err(e) = op.process_columnar(0, &mut staging) {
+                        record_op_error(op.name(), e, &abort, &first_error, &log);
+                        break 'ingest;
+                    }
+                    if let Some(t0) = t0 {
+                        istats.proc_hist.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    collector.forward_batch(std::mem::replace(
+                        &mut staging,
+                        ColumnarBatch::with_capacity(bs),
+                    ));
+                }
+            }
             // Chained operators run inline on the source task; their
             // processing latency is attributed to the source node.
             Some(op) => {
+                let t = Tuple::from_event_wall(*ev, wall);
                 let t0 = (proc_every != 0 && emitted % proc_every == 0).then(Instant::now);
                 if let Err(e) = op.process(0, t, &mut collector) {
                     record_op_error(op.name(), e, &abort, &first_error, &log);
@@ -1149,10 +1518,25 @@ fn run_source(
                     istats.proc_hist.record(t0.elapsed().as_nanos() as u64);
                 }
             }
-            None => collector.emit(t),
+            None if columnar => collector.emit_event(*ev, wall),
+            None => collector.emit(Tuple::from_event_wall(*ev, wall)),
         }
         emitted += 1;
         if emitted as usize % cfg.watermark_every == 0 {
+            // Stage boundary: rows covered by the upcoming watermark must
+            // reach the routes' buffers before the watermark is recorded.
+            if !staging.is_empty() {
+                if let Some(op) = &mut chained {
+                    if let Err(e) = op.process_columnar(0, &mut staging) {
+                        record_op_error(op.name(), e, &abort, &first_error, &log);
+                        break 'ingest;
+                    }
+                }
+                collector.forward_batch(std::mem::replace(
+                    &mut staging,
+                    ColumnarBatch::with_capacity(bs),
+                ));
+            }
             let wm = last_ts.saturating_sub(lag);
             match &mut chained {
                 Some(op) => match op.on_watermark(wm, &mut collector) {
@@ -1175,17 +1559,30 @@ fn run_source(
                     }
                 }
             }
-            // Punctuation cadence bounds watermark deferral: the batches
-            // covered by this watermark leave before it does.
+            // Punctuation releases the watermark softly (it rides behind
+            // full batches); the idle_flush deadline bounds how long an
+            // owed watermark or partial batch can sit under sustained load.
             collector.flush();
-            last_flush = Instant::now();
+            if last_flush.elapsed() >= idle_flush {
+                collector.flush_hard();
+                last_flush = Instant::now();
+            }
             istats.set_state(chained.as_ref().map_or(0, |op| op.state_bytes()));
         } else if pace.is_some() && last_flush.elapsed() >= idle_flush {
-            collector.flush();
+            collector.flush_hard();
             last_flush = Instant::now();
         }
         if collector.failed {
             break;
+        }
+    }
+    // Drain staged rows through the chain before the final watermark.
+    if !staging.is_empty() && !abort.load(Ordering::Relaxed) {
+        if let Some(op) = &mut chained {
+            match op.process_columnar(0, &mut staging) {
+                Ok(()) => collector.forward_batch(staging),
+                Err(e) => record_op_error(op.name(), e, &abort, &first_error, &log),
+            }
         }
     }
     match &mut chained {
@@ -1232,11 +1629,11 @@ struct WatermarkTable {
 }
 
 impl WatermarkTable {
-    fn new(layout: &[(usize, usize)]) -> Self {
+    fn new(layout: &[(usize, usize, bool)]) -> Self {
         let mut wm = Vec::new();
         let mut ended = Vec::new();
         let mut live = 0;
-        for (_port, chans) in layout {
+        for (_port, chans, _exempt) in layout {
             wm.push(vec![Timestamp::MIN; *chans]);
             ended.push(vec![false; *chans]);
             live += *chans;
@@ -1297,7 +1694,20 @@ fn record_op_error(
 ) {
     log.emit(Level::Error, name, format!("operator error: {e}"));
     abort.store(true, Ordering::Relaxed);
-    first_error.lock().get_or_insert(PipelineError::Operator(e));
+    // An operator that declared columnar support but rejected its payload
+    // is a contract violation, not a data error: surface it as diagnostic
+    // G016 so it reads like the other plan/config defects.
+    let err = match e {
+        OpError::ColumnarUnsupported { .. } => {
+            PipelineError::Validation(vec![crate::validate::Diagnostic::error(
+                crate::validate::Code::ColumnarPayloadMismatch,
+                None,
+                format!("{e}"),
+            )])
+        }
+        e => PipelineError::Operator(e),
+    };
+    first_error.lock().get_or_insert(err);
 }
 
 /// Outcome of handling one envelope in an instance harness.
@@ -1314,7 +1724,7 @@ enum Step {
 fn run_operator(
     mut op: Box<dyn Operator>,
     rx: Receiver<Envelope>,
-    layout: Vec<(usize, usize)>,
+    layout: Vec<(usize, usize, bool)>,
     mut collector: ChannelCollector,
     istats: Arc<InstanceStats>,
     abort: Arc<AtomicBool>,
@@ -1392,6 +1802,51 @@ fn run_operator(
                     }
                 }
             }
+            Message::Columnar(mut b) => {
+                debug_assert!(b.is_dense(), "wire batches are dense");
+                if op.batch_support() == BatchSupport::Columnar {
+                    // Vectorized path: account, late-drop, and process the
+                    // whole batch without materializing a row.
+                    records_in += b.len() as u64;
+                    if let Some(m) = b.max_ts() {
+                        if m > max_ts {
+                            max_ts = m;
+                        }
+                    }
+                    if drop_late {
+                        late += b.drop_late(wm_now);
+                    }
+                    if b.selected_len() > 0 {
+                        // One strided observation per batch call; the two
+                        // clock reads amortize over the batch.
+                        let t0 = (proc_every != 0).then(Instant::now);
+                        if let Err(e) = op.process_columnar(port, &mut b) {
+                            record_op_error(op.name(), e, &abort, &first_error, &log);
+                            return Step::Error;
+                        }
+                        if let Some(t0) = t0 {
+                            istats.proc_hist.record(t0.elapsed().as_nanos() as u64);
+                        }
+                        collector.forward_batch(b);
+                    }
+                    istats.set_state(op.state_bytes());
+                } else {
+                    // Row shim: materialize each row at the input boundary
+                    // of a row-only (stateful) operator.
+                    for i in 0..b.len() {
+                        if let Step::Error = one_tuple(
+                            b.tuple_at(i),
+                            &mut *op,
+                            collector,
+                            &mut records_in,
+                            &mut late,
+                            &mut max_ts,
+                        ) {
+                            return Step::Error;
+                        }
+                    }
+                }
+            }
             Message::Watermark(ts) => {
                 table.update(env.port as usize, env.chan as usize, ts);
                 let m = table.min();
@@ -1445,6 +1900,7 @@ fn run_operator(
         }
         Step::Continue
     };
+    let mut last_hard = Instant::now();
     loop {
         if abort.load(Ordering::Relaxed) {
             break;
@@ -1452,9 +1908,10 @@ fn run_operator(
         let env = match rx.recv_timeout(idle_flush) {
             Ok(env) => env,
             Err(RecvTimeoutError::Timeout) => {
-                // Idle: release any partial batches + pending watermark so
-                // low-rate streams keep low latency.
-                collector.flush();
+                // Idle: release any partial batches + pending/owed
+                // watermarks so low-rate streams keep low latency.
+                collector.flush_hard();
+                last_hard = Instant::now();
                 if collector.failed {
                     break;
                 }
@@ -1476,7 +1933,14 @@ fn run_operator(
                 Err(_) => break,
             }
         }
+        // Soft flush per round keeps watermarks moving on empty channels;
+        // the idle_flush deadline bounds owed watermarks and partial
+        // batches when the task is busy but its output trickles.
         collector.flush();
+        if last_hard.elapsed() >= idle_flush {
+            collector.flush_hard();
+            last_hard = Instant::now();
+        }
         // One inbox-depth observation per scheduling round (up to
         // DRAIN_LIMIT envelopes), so the gauge costs one channel-lock
         // acquisition per round, not per message.
@@ -1510,7 +1974,7 @@ fn run_operator(
 fn run_sink(
     shared: Arc<SinkShared>,
     rx: Receiver<Envelope>,
-    layout: Vec<(usize, usize)>,
+    layout: Vec<(usize, usize, bool)>,
     istats: Arc<InstanceStats>,
     abort: Arc<AtomicBool>,
     epoch: Instant,
@@ -1518,19 +1982,25 @@ fn run_sink(
     let mut table = WatermarkTable::new(&layout);
     let mut sink_wm = Timestamp::MIN;
     let mut n: u64 = 0;
-    let sink_one = |t: Tuple, n: &mut u64, sink_wm: Timestamp| {
+    let sink_one = |t: Tuple, n: &mut u64, sink_wm: Timestamp, enforce_floor: bool| {
         *n += 1;
-        // Sink-side event-time monotonicity: a tuple behind the
-        // merged watermark means some upstream task emitted late
-        // data the watermark protocol had already sealed off.
+        // Sink-side event-time monotonicity: a tuple behind the merged
+        // watermark means some upstream task emitted late data the
+        // watermark protocol had already sealed off. Ports fed straight
+        // by a source task are exempt (`enforce_floor == false`): sources
+        // — including chains fused into them — legitimately emit behind
+        // their own watermark when `watermark_lag` under-estimates
+        // disorder, and only the next *operator* task applies
+        // `drop_late`; a sink wired directly after one has no such
+        // shield by design.
         #[cfg(feature = "invariant-checks")]
         assert!(
-            t.ts >= sink_wm,
+            !enforce_floor || t.ts >= sink_wm,
             "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
             t.ts
         );
         #[cfg(not(feature = "invariant-checks"))]
-        let _ = sink_wm;
+        let _ = (sink_wm, enforce_floor);
         shared.count.fetch_add(1, Ordering::Relaxed);
         if t.wall > 0 && *n % shared.stride as u64 == 0 {
             let now = epoch.elapsed().as_nanos() as u64;
@@ -1556,11 +2026,39 @@ fn run_sink(
         if rounds % 64 == 0 {
             istats.note_queue_depth(rx.len());
         }
+        // The emission-floor contract only binds operator tasks; a port
+        // whose upstream is a source task may carry late tuples (see
+        // `sink_one`).
+        let enforce_floor = !layout[env.port as usize].2;
         match env.msg {
-            Message::Tuple(t) => sink_one(t, &mut n, sink_wm),
+            Message::Tuple(t) => sink_one(t, &mut n, sink_wm, enforce_floor),
             Message::Batch(ts) => {
                 for t in ts {
-                    sink_one(t, &mut n, sink_wm);
+                    sink_one(t, &mut n, sink_wm, enforce_floor);
+                }
+            }
+            Message::Columnar(b) => {
+                // Column-path delivery: one atomic add per batch; rows are
+                // materialized only in Collect mode.
+                shared.count.fetch_add(b.len() as u64, Ordering::Relaxed);
+                for i in 0..b.len() {
+                    n += 1;
+                    #[cfg(feature = "invariant-checks")]
+                    assert!(
+                        !enforce_floor || b.ts[i] >= sink_wm,
+                        "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
+                        b.ts[i]
+                    );
+                    if b.wall[i] > 0 && n % shared.stride as u64 == 0 {
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        shared
+                            .latencies_ns
+                            .lock()
+                            .push(now.saturating_sub(b.wall[i]));
+                    }
+                    if shared.mode == SinkMode::Collect {
+                        shared.tuples.lock().push(b.tuple_at(i));
+                    }
                 }
             }
             Message::Watermark(ts) => {

@@ -6,6 +6,14 @@
 //! lists; the planner re-defines the tuple's working timestamp after each
 //! join (minimum of the pair for a partial match, maximum for a complete
 //! match — Section 4.2.2).
+//!
+//! `Tuple` is the *row format*: self-contained, heap-backed, the unit the
+//! stateful operator tier processes. On the columnar plane the same record
+//! travels decomposed into per-field arrays ([`crate::columnar::
+//! ColumnarBatch`]); the runtime materializes a `Tuple` from a batch row
+//! only at stateful-operator and collecting-sink boundaries. The two
+//! representations round-trip losslessly (`ColumnarBatch::from_tuples` /
+//! `to_tuples`).
 
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -61,6 +69,23 @@ impl Tuple {
         let mut t = Tuple::from_event(e);
         t.wall = wall;
         t
+    }
+
+    /// The head constituent (`e1`), if any. Vectorizable predicates
+    /// ([`crate::operator::FilterSpec`]) are defined over exactly this
+    /// event, whose fields the columnar plane keeps as dense per-row
+    /// columns for every tuple, composite or primitive.
+    #[inline]
+    pub fn head(&self) -> Option<&Event> {
+        self.events.first()
+    }
+
+    /// Whether this tuple carries more than one constituent (a partial or
+    /// complete match rather than a wrapped primitive event). Composite
+    /// rows are the only ones that hit the columnar plane's side table.
+    #[inline]
+    pub fn is_composite(&self) -> bool {
+        self.events.len() > 1
     }
 
     /// Timestamp of the earliest constituent (`ce.ts_b`).

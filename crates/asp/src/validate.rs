@@ -6,14 +6,16 @@
 //! thread, so a malformed graph is refused with a full list of problems
 //! rather than aborting the process.
 //!
-//! Each defect class has a stable code (`G001`–`G015`); see [`Code`] for the
-//! catalogue. Codes `G001`–`G012` and `G015` are errors (the graph cannot
-//! run); `G013`–`G014` are warnings about suspicious but runnable
-//! constructions. `G015` is special in that it is raised by
+//! Each defect class has a stable code (`G001`–`G016`); see [`Code`] for the
+//! catalogue. Codes `G001`–`G012` and `G015`–`G016` are errors (the graph
+//! cannot run); `G013`–`G014` are warnings about suspicious but runnable
+//! constructions. `G015` and `G016` are special in that they are raised by
+//! the runtime rather than by the graph checks here — `G015` by
 //! [`crate::runtime::Executor::run`] against the runtime configuration (an
-//! invalid [`crate::runtime::ExecutorConfig::batch_size`]) rather than by the
-//! graph checks here — it shares the diagnostic vocabulary so callers see one
-//! uniform refusal path.
+//! invalid [`crate::runtime::ExecutorConfig::batch_size`]), and `G016` by the
+//! operator harness when an operator that declared columnar batch support
+//! rejects the payload it is handed mid-run. They share the diagnostic
+//! vocabulary so callers see one uniform refusal path.
 
 use std::fmt;
 
@@ -55,6 +57,14 @@ pub enum Code {
     /// G015: [`crate::runtime::ExecutorConfig::batch_size`] is 0 — a batch
     /// that size would never flush, so the executor refuses to run.
     InvalidBatchSize,
+    /// G016: an operator declared columnar batch support
+    /// ([`crate::operator::BatchSupport::Columnar`]) but rejected the
+    /// payload the harness handed it at runtime
+    /// ([`crate::error::OpError::ColumnarUnsupported`]). Like `G015`, this
+    /// is raised by the runtime (the operator harness), not the static
+    /// graph checks — the declaration/implementation mismatch is only
+    /// observable once a payload arrives.
+    ColumnarPayloadMismatch,
 }
 
 impl Code {
@@ -76,6 +86,7 @@ impl Code {
         Code::BuilderMisuse,
         Code::ClampedWatermarkLag,
         Code::InvalidBatchSize,
+        Code::ColumnarPayloadMismatch,
     ];
 
     /// The stable `Gxxx` string for this code.
@@ -96,6 +107,7 @@ impl Code {
             Code::BuilderMisuse => "G013",
             Code::ClampedWatermarkLag => "G014",
             Code::InvalidBatchSize => "G015",
+            Code::ColumnarPayloadMismatch => "G016",
         }
     }
 }

@@ -64,16 +64,62 @@ fn emission_behind_watermark_aborts_the_run() {
     use asp::graph::SourceConfig;
     let cfg = SourceConfig::new(events(2000)).with_watermark_every(8);
     let src = g.source_with("s", cfg, 1);
-    // Rebalance prevents chaining, so the rogue operator runs in its own
-    // task with its own collector floor.
+    // Parallelism 2 prevents chaining (a 1→2 edge is not fusible), so the
+    // rogue operator runs in its own task with its own collector floor —
+    // fused into the source it would inherit the source exemption instead.
     let bad = g.unary(
         src,
         Exchange::Rebalance,
-        1,
+        2,
         Box::new(|_| Box::new(TimeTraveler)),
     );
     let _sink = g.counting_sink(bad, Exchange::Rebalance);
     let err = Executor::new(ExecutorConfig::default()).run(g).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("invariant violation"), "got: {msg}");
+}
+
+/// Sources are exempt from the emission-floor contract: with an
+/// under-estimated `watermark_lag` they legitimately emit tuples behind
+/// their own watermark, and `drop_late` at the next *operator* task is the
+/// degradation path. When operator chaining fuses the whole pipeline into
+/// the source task, no such task exists before the sink — so the sink must
+/// accept the late tuples rather than flag a (false) contract violation.
+/// Regression test: found by the cross-plane oracle, reproduced on both
+/// data planes.
+#[test]
+fn late_tuples_from_a_fused_source_chain_reach_the_sink() {
+    use asp::graph::SourceConfig;
+    // Punctuation every 2 events with zero lag: after ts=39min the source
+    // watermark is 39min, making the ts=27min event behind it late.
+    let disordered: Vec<Event> = [10i64, 39, 27, 40]
+        .iter()
+        .map(|&m| Event::new(EventType(0), 0, Timestamp::from_minutes(m), 1.0))
+        .collect();
+    for columnar in [false, true] {
+        let mut g = GraphBuilder::new();
+        let src = g.source_with(
+            "s",
+            SourceConfig::new(disordered.clone()).with_watermark_every(2),
+            1,
+        );
+        // Forward + equal parallelism: the map fuses into the source task,
+        // so nothing between the source and the sink applies `drop_late`.
+        let op = g.unary(
+            src,
+            Exchange::Forward,
+            1,
+            Box::new(|_| Box::new(MapOp::identity("id"))),
+        );
+        let sink = g.sink(op, Exchange::Forward);
+        let report = Executor::new(ExecutorConfig {
+            columnar,
+            batch_size: 1,
+            operator_chaining: true,
+            ..ExecutorConfig::default()
+        })
+        .run(g)
+        .expect("late tuples on a source-fed sink port are not a violation");
+        assert_eq!(report.sink_count(sink), 4, "columnar={columnar}");
+    }
 }

@@ -4,13 +4,20 @@
 //! global-scan operator as the speedup denominator.
 //!
 //! Usage: `hotpath [--quick] [--out PATH] [--telemetry PATH] [--explain]
-//! [--assert-keyed-floor]` (normally
+//! [--assert-keyed-floor] [--assert-columnar-floor]` (normally
 //! via `scripts/bench_hotpath.sh`). `--quick` shrinks the event counts and
 //! repetitions for CI smoke runs; the headline `speedup_filter_map_64_vs_1`
 //! and `speedup_window_join_keyed_k64_vs_global_scan` ratios are still
 //! meaningful, just noisier. `--assert-keyed-floor` exits nonzero if the
 //! key-partitioned window join at K = 64, batch 64 falls below the
 //! global-scan baseline — the CI regression gate for the state layout.
+//! `--assert-columnar-floor` exits nonzero if the columnar filter→map
+//! chain at batch 256 falls below the row plane on the same graph — the
+//! gate for the columnar data plane.
+//!
+//! The filter→map chain is swept twice: on the columnar plane (the
+//! default) and pinned to the row plane (`filter_map_chain_row`), giving
+//! the `speedup_filter_map_columnar_vs_row_256` headline.
 //!
 //! After the sweep, one *instrumented* run of the filter→map chain at the
 //! default batch size exports the runtime's full telemetry (per-operator
@@ -22,7 +29,7 @@
 use std::io::Write as _;
 
 use bench::hotpath::{
-    dense_stream, run_chain, run_chain_instrumented, run_fanout, run_interval_join,
+    dense_stream, run_chain, run_chain_instrumented, run_chain_row, run_fanout, run_interval_join,
     run_window_join, run_window_join_global_scan, run_window_join_keyed, stream, BATCH_SIZES,
     KEY_CARDINALITIES,
 };
@@ -36,14 +43,13 @@ struct Point {
     /// Source-side sustainable throughput, events/second (median of reps).
     throughput_eps: f64,
     /// Mean tuples per channel message the source actually *realized*.
-    /// Legitimately below `batch_size` whenever punctuation flushes
-    /// partial buffers: sources emit a watermark every `watermark_every`
-    /// (default 256) events and a watermark force-flushes every
-    /// per-destination output buffer, so with `d` downstream instances the
-    /// realized batch caps near `watermark_every / d` no matter how large
-    /// the configured size. The window-join sweep at batch_size=256 over
-    /// 2 hash destinations therefore reports ≈ 127, not 256 — expected,
-    /// not a measurement bug.
+    /// Under the soft-flush watermark protocol punctuation no longer
+    /// truncates per-destination output buffers — a watermark reaching a
+    /// destination with a partial buffer is *deferred* and rides out right
+    /// after that buffer fills — so buffers flush only when full, on idle
+    /// (hard flush), or at end of stream. Realized batch therefore tracks
+    /// the configured size even across hash fan-out; the residual gap
+    /// comes from end-of-stream partials and idle hard flushes.
     avg_batch_at_source: f64,
     /// `avg_batch_at_source / batch_size`: the fraction of the configured
     /// batch the pipeline could actually use (1.0 = fully realized).
@@ -68,6 +74,9 @@ struct Output {
     events: Events,
     repetitions: usize,
     filter_map_chain: Vec<Point>,
+    /// The same chain pinned to the row data plane (`columnar: false`) —
+    /// the denominator for the columnar speedup.
+    filter_map_chain_row: Vec<Point>,
     hash_fanout_x4: Vec<Point>,
     window_join: Vec<Point>,
     /// Key-partitioned window join swept over K × batch_size.
@@ -85,6 +94,10 @@ struct Output {
     /// join over the global-scan baseline at K=64, batch 64. Target ≥ 3×;
     /// `--assert-keyed-floor` fails the run if it drops below 1×.
     speedup_window_join_keyed_k64_vs_global_scan: f64,
+    /// Headline number for the columnar data plane: filter→map chain on
+    /// the columnar plane over the row plane at batch 256. Target ≥ 1.5×;
+    /// `--assert-columnar-floor` fails the run if it drops below 1×.
+    speedup_filter_map_columnar_vs_row_256: f64,
 }
 
 #[derive(Serialize)]
@@ -181,6 +194,18 @@ fn main() {
         let (r, s) = run_chain(stream(chain_n, 4, 1), bs);
         (r.throughput(), src_avg(&r), r.sink_count(s))
     });
+    let chain_row = sweep("filter_map_row", &|bs| {
+        let (r, s) = run_chain_row(stream(chain_n, 4, 1), bs);
+        (r.throughput(), src_avg(&r), r.sink_count(s))
+    });
+    // Same graph, same input: the planes must agree on the output.
+    for (c, r) in chain.iter().zip(&chain_row) {
+        assert_eq!(
+            c.sink_count, r.sink_count,
+            "columnar and row planes disagree at batch_size={}",
+            c.batch_size
+        );
+    }
     let fanout = sweep("hash_fanout_x4", &|bs| {
         let (r, s) = run_fanout(stream(fanout_n, 16, 2), bs, 4);
         (r.throughput(), src_avg(&r), r.sink_count(s))
@@ -256,6 +281,8 @@ fn main() {
     eprintln!("filter_map speedup (batch 64 vs 1): {speedup:.2}x");
     let keyed_speedup = keyed_at(&keyed, 64, 64) / keyed_at(&global_scan, 64, 64);
     eprintln!("window_join keyed speedup at K=64, batch 64 (vs global scan): {keyed_speedup:.2}x");
+    let columnar_speedup = at(&chain, 256) / at(&chain_row, 256);
+    eprintln!("filter_map columnar speedup at batch 256 (vs row plane): {columnar_speedup:.2}x");
 
     let out = Output {
         bench: "hotpath",
@@ -267,6 +294,7 @@ fn main() {
         },
         repetitions: reps,
         filter_map_chain: chain,
+        filter_map_chain_row: chain_row,
         hash_fanout_x4: fanout,
         window_join: join,
         window_join_keyed: keyed,
@@ -274,6 +302,7 @@ fn main() {
         interval_join: interval,
         speedup_filter_map_64_vs_1: speedup,
         speedup_window_join_keyed_k64_vs_global_scan: keyed_speedup,
+        speedup_filter_map_columnar_vs_row_256: columnar_speedup,
     };
     let json = serde_json::to_string_pretty(&out).expect("serializable");
     let mut f = std::fs::File::create(&out_path).expect("create output file");
@@ -285,6 +314,13 @@ fn main() {
         eprintln!(
             "FAIL: keyed window join at K=64, batch 64 regressed below the \
              global-scan baseline ({keyed_speedup:.2}x < 1.00x)"
+        );
+        std::process::exit(1);
+    }
+    if args.iter().any(|a| a == "--assert-columnar-floor") && columnar_speedup < 1.0 {
+        eprintln!(
+            "FAIL: columnar filter→map chain at batch 256 regressed below \
+             the row plane ({columnar_speedup:.2}x < 1.00x)"
         );
         std::process::exit(1);
     }

@@ -15,15 +15,15 @@ use std::sync::Arc;
 use asp::event::{Event, EventType};
 use asp::graph::{Exchange, GraphBuilder, NodeId, SinkId, SinkMode, SourceConfig};
 use asp::operator::{
-    DedupOp, FilterOp, IntervalBounds, IntervalJoinOp, JoinPredicate, MapOp, NextOccurrenceOp,
-    Operator, UnaryPredicate, UnionOp, WindowAggregateOp, WindowJoinOp,
+    Cmp, DedupOp, FilterOp, FilterSpec, IntervalBounds, IntervalJoinOp, JoinPredicate, MapOp,
+    NextOccurrenceOp, Operator, UnaryPredicate, UnionOp, WindowAggregateOp, WindowJoinOp,
 };
 use asp::time::Timestamp;
 use asp::tuple::{TsRule, Tuple};
 use asp::window::SlidingWindows;
 
 use sea::pattern::Leaf;
-use sea::predicate::{Predicate, VarId};
+use sea::predicate::{CmpOp, Expr, Predicate, VarId};
 
 use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
 use crate::typecheck::{self, KeyProvenance, TypedNode};
@@ -209,14 +209,28 @@ impl<'a> Builder<'a> {
                 predicates,
             } => {
                 let src = self.source(*etype)?;
-                let pred = scan_predicate(leaf, *var, predicates, self.positions);
                 let name = format!("σ:{type_name}[e{}]", var + 1);
-                let id = self.g.unary(
-                    src,
-                    Exchange::Forward,
-                    1,
-                    Box::new(move |_| Box::new(FilterOp::new(name.clone(), pred.clone()))),
-                );
+                // Prefer the declarative (vectorizable) form; fall back to
+                // the closure when a residual predicate doesn't fit it.
+                let id = match scan_spec(leaf, *var, predicates) {
+                    Some(spec) => self.g.unary(
+                        src,
+                        Exchange::Forward,
+                        1,
+                        Box::new(move |_| {
+                            Box::new(FilterOp::with_spec(name.clone(), spec.clone()))
+                        }),
+                    ),
+                    None => {
+                        let pred = scan_predicate(leaf, *var, predicates, self.positions);
+                        self.g.unary(
+                            src,
+                            Exchange::Forward,
+                            1,
+                            Box::new(move |_| Box::new(FilterOp::new(name.clone(), pred.clone()))),
+                        )
+                    }
+                };
                 Ok(Built { id, parallelism: 1 })
             }
 
@@ -360,13 +374,13 @@ impl<'a> Builder<'a> {
                 let t = self.node(trigger, child(0))?;
                 // Physical marker scan: source + the absent leaf's filters.
                 let src = self.source(marker.etype)?;
-                let mpred = leaf_predicate(marker);
+                let mspec = leaf_spec(marker);
                 let mname = format!("σ:¬{}", marker.type_name);
                 let mfil = self.g.unary(
                     src,
                     Exchange::Forward,
                     1,
-                    Box::new(move |_| Box::new(FilterOp::new(mname.clone(), mpred.clone()))),
+                    Box::new(move |_| Box::new(FilterOp::with_spec(mname.clone(), mspec.clone()))),
                 );
                 let trigger_type = trigger_type_of(trigger);
                 let marker_type = marker.etype;
@@ -508,14 +522,9 @@ impl<'a> Builder<'a> {
             Exchange::Forward,
             input.parallelism,
             Box::new(move |_| {
-                Box::new(MapOp::new(
+                Box::new(MapOp::key_by_event_id(
                     format!("Π:key←e{}.id", var + 1),
-                    Arc::new(move |mut t: Tuple| {
-                        if let Some(e) = t.events.get(idx) {
-                            t.key = e.id as asp::tuple::Key;
-                        }
-                        t
-                    }),
+                    idx,
                 ))
             }),
         );
@@ -678,10 +687,67 @@ fn scan_predicate(
     })
 }
 
-/// A filter from a bare leaf (used for the NSEQ marker scan).
-fn leaf_predicate(leaf: &Leaf) -> UnaryPredicate {
-    let leaf = leaf.clone();
-    Arc::new(move |t: &Tuple| leaf.accepts(&t.events[0]))
+/// `sea::predicate::CmpOp` → `asp::operator::Cmp` (1:1 by construction).
+fn cmp_of(op: CmpOp) -> Cmp {
+    match op {
+        CmpOp::Lt => Cmp::Lt,
+        CmpOp::Le => Cmp::Le,
+        CmpOp::Gt => Cmp::Gt,
+        CmpOp::Ge => Cmp::Ge,
+        CmpOp::Eq => Cmp::Eq,
+        CmpOp::Ne => Cmp::Ne,
+    }
+}
+
+/// A declarative filter from a bare leaf (used for the NSEQ marker scan):
+/// the leaf's type gate plus its local thresholds, which are exactly
+/// [`FilterSpec`] clauses.
+fn leaf_spec(leaf: &Leaf) -> FilterSpec {
+    let mut spec = FilterSpec::for_etype(leaf.etype);
+    for f in &leaf.filters {
+        spec = spec.clause(f.attr, cmp_of(f.op), f.value);
+    }
+    spec
+}
+
+/// Try to express a scan's leaf filters + residual predicates as a
+/// declarative [`FilterSpec`] so the σ runs vectorized on the columnar
+/// plane. Returns `None` when any predicate needs the closure path.
+///
+/// With only `var` bound at the scan, `eval_sparse` makes a predicate
+/// vacuously true unless every variable it references is `var`; the
+/// remaining shapes are `var.attr ⋈ const` (kept, flipped if the constant
+/// is on the left) and same-event attribute comparisons or constant-only
+/// predicates, which don't fit the spec and force the fallback.
+fn scan_spec(leaf: &Leaf, var: VarId, predicates: &[Predicate]) -> Option<FilterSpec> {
+    let mut spec = leaf_spec(leaf);
+    for p in predicates {
+        match (&p.lhs, &p.rhs) {
+            (Expr::Var(v, a), Expr::Const(c)) if *v == var => {
+                spec = spec.clause(*a, cmp_of(p.op), *c);
+            }
+            // `c ⋈ e.a` ⇔ `e.a ⋈⁻¹ c` (mirror the comparison).
+            (Expr::Const(c), Expr::Var(v, a)) if *v == var => {
+                let flipped = match p.op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Eq => CmpOp::Eq,
+                    CmpOp::Ne => CmpOp::Ne,
+                };
+                spec = spec.clause(*a, cmp_of(flipped), *c);
+            }
+            // References an unbound variable: vacuous at the scan.
+            (Expr::Var(v, _), Expr::Const(_)) | (Expr::Const(_), Expr::Var(v, _)) if *v != var => {
+                continue;
+            }
+            (Expr::Var(l, _), Expr::Var(r, _)) if *l != var || *r != var => continue,
+            // Same-event attr-vs-attr or const-vs-const: closure path.
+            _ => return None,
+        }
+    }
+    Some(spec)
 }
 
 struct JoinThetaSpec {

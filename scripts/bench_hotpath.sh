@@ -5,7 +5,7 @@
 # baseline.
 #
 # Usage: scripts/bench_hotpath.sh [--quick] [--out PATH] [--telemetry PATH]
-#                                 [--assert-keyed-floor]
+#                                 [--assert-keyed-floor] [--assert-columnar-floor]
 #   --quick          smaller event counts / fewer repetitions (CI smoke mode)
 #   --out PATH       output file (default: BENCH_hotpath.json at the repo root)
 #   --telemetry PATH runtime-telemetry export from one instrumented run
@@ -16,11 +16,15 @@
 #   --assert-keyed-floor  exit nonzero if the key-partitioned window join at
 #                    K=64, batch 64 falls below the global-scan baseline
 #                    (the CI regression gate for the join state layout)
+#   --assert-columnar-floor  exit nonzero if the columnar filter→map chain
+#                    at batch 256 falls below the row plane on the same
+#                    graph (the CI regression gate for the columnar plane)
 #
 # Headline numbers: speedup_filter_map_64_vs_1 (micro-batching acceptance
-# floor 2x) and speedup_window_join_keyed_k64_vs_global_scan
-# (key-partitioned state target 3x). Relative, statistically sampled
-# numbers live in the criterion suite: cargo bench -p bench --bench hotpath
+# floor 2x), speedup_window_join_keyed_k64_vs_global_scan (key-partitioned
+# state target 3x), and speedup_filter_map_columnar_vs_row_256 (columnar
+# data plane target 1.5x). Relative, statistically sampled numbers live in
+# the criterion suite: cargo bench -p bench --bench hotpath
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
