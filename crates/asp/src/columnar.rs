@@ -49,6 +49,7 @@
 
 use std::sync::Arc;
 
+use crate::error::OpError;
 use crate::event::{Attr, Event, EventType};
 use crate::time::Timestamp;
 use crate::tuple::{Key, Tuple};
@@ -56,6 +57,25 @@ use crate::tuple::{Key, Tuple};
 /// Sentinel in the composite index column: the row is a primitive event
 /// fully described by the head-event columns.
 pub(crate) const PRIMITIVE: u32 = u32::MAX;
+
+/// Checked narrowing for composite side-table indices: `len` is the slot a
+/// new entry would occupy. Near `u32::MAX` a bare `as u32` cast would wrap
+/// — and at exactly [`PRIMITIVE`] it would *alias the sentinel*, silently
+/// re-labelling a composite row as primitive. Surfaced as the G016
+/// payload-mismatch error rather than a corrupted batch.
+#[inline]
+pub(crate) fn comp_slot(len: usize) -> Result<u32, OpError> {
+    if len >= PRIMITIVE as usize {
+        return Err(OpError::ColumnarUnsupported {
+            operator: "columnar-batch".to_string(),
+            detail: format!(
+                "composite side table overflow: {len} entries exhaust the u32 \
+                 index space (the next index would alias the PRIMITIVE sentinel)"
+            ),
+        });
+    }
+    Ok(len as u32)
+}
 
 /// Lazily-allocated optional per-row attributes (`ats`, `agg`).
 #[derive(Debug, Clone, Default)]
@@ -170,8 +190,9 @@ impl ColumnarBatch {
     }
 
     /// Append a row-format tuple, decomposing primitives into columns and
-    /// side-tabling composite constituent lists.
-    pub fn push_tuple(&mut self, t: Tuple) {
+    /// side-tabling composite constituent lists. Fails (G016 class) only if
+    /// the composite side table would exhaust its u32 index space.
+    pub fn push_tuple(&mut self, t: Tuple) -> Result<(), OpError> {
         let head = t
             .head()
             .copied()
@@ -191,12 +212,12 @@ impl ColumnarBatch {
         } else {
             None
         };
-        self.push_comp(comp);
+        self.push_comp(comp)
     }
 
     /// Append row `i` of `src` (physical index) by copying columns; the
     /// composite side table transfers by refcount bump.
-    pub(crate) fn push_row_from(&mut self, src: &ColumnarBatch, i: usize) {
+    pub(crate) fn push_row_from(&mut self, src: &ColumnarBatch, i: usize) -> Result<(), OpError> {
         self.key.push(src.key[i]);
         self.ts.push(src.ts[i]);
         self.wall.push(src.wall[i]);
@@ -207,7 +228,7 @@ impl ColumnarBatch {
         self.lat.push(src.lat[i]);
         self.lon.push(src.lon[i]);
         self.push_opt(src.ats_at(i), src.agg_at(i));
-        self.push_comp(src.comp_at(i).cloned());
+        self.push_comp(src.comp_at(i).cloned())
     }
 
     /// Push the optional attributes of the row just added to the dense
@@ -226,11 +247,12 @@ impl ColumnarBatch {
 
     /// Push the composite payload of the row just added (None = primitive).
     #[inline]
-    fn push_comp(&mut self, events: Option<Arc<Vec<Event>>>) {
+    fn push_comp(&mut self, events: Option<Arc<Vec<Event>>>) -> Result<(), OpError> {
         match events {
             Some(ev) => {
                 let c = self.ensure_comp();
-                c.idx.push(c.table.len() as u32);
+                let slot = comp_slot(c.table.len())?;
+                c.idx.push(slot);
                 c.table.push(ev);
             }
             None => {
@@ -239,6 +261,7 @@ impl ColumnarBatch {
                 }
             }
         }
+        Ok(())
     }
 
     /// Allocate the optional-attribute columns, back-filling `None` for the
@@ -397,11 +420,16 @@ impl ColumnarBatch {
 
     /// Gather selected rows into a dense batch (in place, order-preserving)
     /// and drop the selection vector. Unreferenced side-table entries are
-    /// released. No-op when already dense.
-    pub fn compact(&mut self) {
-        let Some(sel) = self.sel.take() else { return };
+    /// released. No-op when already dense. Fails (G016 class) only if the
+    /// rebuilt composite side table would exhaust its u32 index space —
+    /// impossible when the batch was built through the checked push paths,
+    /// but kept checked so compaction can never mint a sentinel alias.
+    pub fn compact(&mut self) -> Result<(), OpError> {
+        let Some(sel) = self.sel.take() else {
+            return Ok(());
+        };
         if sel.len() == self.len() {
-            return; // every row selected: already dense in order
+            return Ok(()); // every row selected: already dense in order
         }
         fn gather<T: Copy>(v: &mut Vec<T>, sel: &[u32]) {
             for (dst, &src) in sel.iter().enumerate() {
@@ -432,8 +460,9 @@ impl ColumnarBatch {
                 c.idx[dst] = match c.idx[src as usize] {
                     PRIMITIVE => PRIMITIVE,
                     k => {
+                        let slot = comp_slot(table.len())?;
                         table.push(Arc::clone(&c.table[k as usize]));
-                        (table.len() - 1) as u32
+                        slot
                     }
                 };
             }
@@ -444,6 +473,7 @@ impl ColumnarBatch {
                 c.table = table;
             }
         }
+        Ok(())
     }
 
     /// Materialize every selected row as a [`Tuple`], in selection order.
@@ -465,12 +495,142 @@ impl ColumnarBatch {
     }
 
     /// Build a dense batch from row-format tuples (test/shim convenience).
+    /// Infallible in practice: the side table cannot overflow below
+    /// `u32::MAX` rows.
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
         let mut b = ColumnarBatch::with_capacity(tuples.len());
         for t in tuples {
-            b.push_tuple(t);
+            b.push_tuple(t)
+                .expect("side-table overflow requires > u32::MAX composite rows");
         }
         b
+    }
+
+    /// Split off the first `n` physical rows as their own dense batch,
+    /// leaving the remainder in place. Requires a dense batch (the runtime
+    /// only splits route buffers, which are built dense) — this is how a
+    /// positionally-owed watermark is emitted *between* the rows that
+    /// preceded it and the rows that followed it, independent of when a
+    /// wall-clock flush happens to run.
+    pub(crate) fn take_prefix(&mut self, n: usize) -> ColumnarBatch {
+        debug_assert!(self.is_dense(), "take_prefix on a narrowed batch");
+        let n = n.min(self.len());
+        fn split<T>(v: &mut Vec<T>, n: usize) -> Vec<T> {
+            let tail = v.split_off(n);
+            std::mem::replace(v, tail)
+        }
+        let mut out = ColumnarBatch {
+            key: split(&mut self.key, n),
+            ts: split(&mut self.ts, n),
+            wall: split(&mut self.wall, n),
+            etype: split(&mut self.etype, n),
+            id: split(&mut self.id, n),
+            ets: split(&mut self.ets, n),
+            value: split(&mut self.value, n),
+            lat: split(&mut self.lat, n),
+            lon: split(&mut self.lon, n),
+            ..ColumnarBatch::default()
+        };
+        if let Some(o) = &mut self.opt {
+            out.opt = Some(Box::new(OptCols {
+                ats: split(&mut o.ats, n),
+                agg: split(&mut o.agg, n),
+            }));
+        }
+        if let Some(c) = &mut self.comp {
+            // Side-table entries are appended in row order, so the prefix
+            // references exactly the first `k` entries and the tail's
+            // indices rebase by `k`.
+            let idx_pre = split(&mut c.idx, n);
+            let k = idx_pre.iter().filter(|&&x| x != PRIMITIVE).count();
+            let table_pre = split(&mut c.table, k);
+            for x in c.idx.iter_mut() {
+                if *x != PRIMITIVE {
+                    *x -= k as u32;
+                }
+            }
+            out.comp = Some(Box::new(CompCols {
+                idx: idx_pre,
+                table: table_pre,
+            }));
+            if c.table.is_empty() {
+                self.comp = None;
+            }
+        }
+        out
+    }
+
+    /// Append the physical rows listed in `sel` (in order) from `src` —
+    /// a column-wise gather, so splitting one inbound batch across many
+    /// shard destinations walks each column contiguously instead of
+    /// materializing row objects.
+    pub(crate) fn extend_gather(
+        &mut self,
+        src: &ColumnarBatch,
+        sel: &[u32],
+    ) -> Result<(), OpError> {
+        let before = self.len();
+        macro_rules! gather {
+            ($f:ident) => {
+                self.$f.reserve(sel.len());
+                for &i in sel {
+                    self.$f.push(src.$f[i as usize]);
+                }
+            };
+        }
+        gather!(key);
+        gather!(ts);
+        gather!(wall);
+        gather!(etype);
+        gather!(id);
+        gather!(ets);
+        gather!(value);
+        gather!(lat);
+        gather!(lon);
+        if self.opt.is_some() || src.opt.is_some() {
+            let o = self.opt.get_or_insert_with(|| {
+                Box::new(OptCols {
+                    ats: vec![None; before],
+                    agg: vec![None; before],
+                })
+            });
+            match &src.opt {
+                Some(so) => {
+                    for &i in sel {
+                        o.ats.push(so.ats[i as usize]);
+                        o.agg.push(so.agg[i as usize]);
+                    }
+                }
+                None => {
+                    o.ats.resize(before + sel.len(), None);
+                    o.agg.resize(before + sel.len(), None);
+                }
+            }
+        }
+        if self.comp.is_some() || src.comp.is_some() {
+            let c = self.comp.get_or_insert_with(|| {
+                Box::new(CompCols {
+                    idx: vec![PRIMITIVE; before],
+                    table: Vec::new(),
+                })
+            });
+            match &src.comp {
+                Some(sc) => {
+                    for &i in sel {
+                        match sc.idx[i as usize] {
+                            PRIMITIVE => c.idx.push(PRIMITIVE),
+                            k => {
+                                let slot = comp_slot(c.table.len())?;
+                                c.idx.push(slot);
+                                c.table.push(Arc::clone(&sc.table[k as usize]));
+                            }
+                        }
+                    }
+                }
+                None => c.idx.resize(before + sel.len(), PRIMITIVE),
+            }
+        }
+        Ok(())
     }
 
     /// Approximate heap footprint of the dense columns, for accounting.
@@ -516,8 +676,8 @@ mod tests {
         joined.ats = Some(Timestamp::from_minutes(9));
         joined.agg = Some(3.0);
         let mut b = ColumnarBatch::default();
-        b.push_tuple(a.clone());
-        b.push_tuple(joined.clone());
+        b.push_tuple(a.clone()).unwrap();
+        b.push_tuple(joined.clone()).unwrap();
         assert_eq!(b.tuple_at(0), a);
         assert_eq!(b.tuple_at(1), joined);
         // Head-event columns describe events[0] even for composites.
@@ -536,7 +696,7 @@ mod tests {
         // Second narrowing composes over the first.
         b.narrow(|b, i| b.value[i] < 5.0);
         assert_eq!(b.selected_len(), 3);
-        b.compact();
+        b.compact().unwrap();
         assert!(b.is_dense());
         let vals: Vec<f64> = b.to_tuples().iter().map(|t| t.events[0].value).collect();
         assert_eq!(vals, vec![2.0, 3.0, 4.0]);
@@ -548,11 +708,11 @@ mod tests {
         let c1 = a.join(&Tuple::from_event(ev(1, 1, 2, 2.0)), TsRule::Max);
         let c2 = a.join(&Tuple::from_event(ev(1, 1, 3, 3.0)), TsRule::Max);
         let mut b = ColumnarBatch::default();
-        b.push_tuple(c1);
-        b.push_tuple(a.clone());
-        b.push_tuple(c2.clone());
+        b.push_tuple(c1).unwrap();
+        b.push_tuple(a.clone()).unwrap();
+        b.push_tuple(c2.clone()).unwrap();
         b.narrow(|b, i| b.ts[i] >= Timestamp::from_minutes(3));
-        b.compact();
+        b.compact().unwrap();
         assert_eq!(b.len(), 1);
         assert_eq!(b.tuple_at(0), c2);
     }
@@ -568,6 +728,54 @@ mod tests {
         assert_eq!(b.drop_late(Timestamp::from_minutes(4)), 2);
         assert_eq!(b.selected_len(), 2);
         assert_eq!(b.max_ts(), Some(Timestamp::from_minutes(8)));
+    }
+
+    #[test]
+    fn comp_slot_rejects_sentinel_alias_at_the_boundary() {
+        // Largest legal slot: one below the PRIMITIVE sentinel.
+        assert_eq!(
+            comp_slot(PRIMITIVE as usize - 1).expect("last non-sentinel slot"),
+            PRIMITIVE - 1
+        );
+        // A table of PRIMITIVE entries would hand out the sentinel itself —
+        // the silent `as u32` alias the checked path exists to refuse.
+        assert!(matches!(
+            comp_slot(PRIMITIVE as usize),
+            Err(OpError::ColumnarUnsupported { .. })
+        ));
+        // And anything past it would wrap under a bare cast.
+        assert!(comp_slot(u32::MAX as usize + 1).is_err());
+    }
+
+    #[test]
+    fn take_prefix_splits_rows_options_and_side_table() {
+        let a = Tuple::from_event(ev(0, 1, 1, 1.0));
+        let c1 = a.join(&Tuple::from_event(ev(1, 1, 2, 2.0)), TsRule::Max);
+        let mut withats = Tuple::from_event(ev(2, 3, 4, 5.0));
+        withats.ats = Some(Timestamp::from_minutes(6));
+        let c2 = a.join(&Tuple::from_event(ev(1, 1, 3, 3.0)), TsRule::Max);
+        let rows = vec![c1, a, withats, c2];
+        let mut b = ColumnarBatch::from_tuples(rows.clone());
+        let pre = b.take_prefix(2);
+        assert_eq!(pre.to_tuples(), rows[..2]);
+        assert_eq!(b.to_tuples(), rows[2..]);
+        // Taking everything leaves an empty batch behind.
+        let rest = b.take_prefix(10);
+        assert_eq!(rest.to_tuples(), rows[2..]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn extend_gather_matches_row_at_a_time_pushes() {
+        let a = Tuple::from_event(ev(0, 1, 1, 1.0));
+        let comp = a.join(&Tuple::from_event(ev(1, 2, 2, 2.0)), TsRule::Max);
+        let mut withagg = Tuple::from_event(ev(2, 3, 4, 5.0));
+        withagg.agg = Some(7.5);
+        let src = ColumnarBatch::from_tuples(vec![a.clone(), comp.clone(), withagg.clone()]);
+        let mut out = ColumnarBatch::default();
+        out.push_tuple(comp.clone()).expect("push");
+        out.extend_gather(&src, &[2, 0]).expect("gather");
+        assert_eq!(out.to_tuples(), vec![comp, withagg, a]);
     }
 
     #[test]

@@ -132,6 +132,11 @@ pub(crate) struct Node {
     pub name: String,
     pub parallelism: usize,
     pub kind: NodeKind,
+    /// Marked by [`GraphBuilder::shard_node`]: this node's instances form a
+    /// shared-nothing keyed shard group routed through a
+    /// [`crate::runtime::shard::ShardPlan`] slot table instead of plain
+    /// hash-mod routing, making its keys eligible for adaptive migration.
+    pub sharded: bool,
 }
 
 pub(crate) struct Edge {
@@ -194,6 +199,7 @@ impl GraphBuilder {
                 cfg,
                 chain: Vec::new(),
             },
+            sharded: false,
         })
     }
 
@@ -236,6 +242,7 @@ impl GraphBuilder {
             name,
             parallelism,
             kind: NodeKind::Operator(factory),
+            sharded: false,
         });
         for (port, (src, exchange)) in inputs.iter().enumerate() {
             self.edges.push(Edge {
@@ -268,6 +275,7 @@ impl GraphBuilder {
             name: format!("sink{}", sid.0),
             parallelism: 1,
             kind: NodeKind::Sink(sid),
+            sharded: false,
         });
         self.edges.push(Edge {
             src: input,
@@ -292,6 +300,28 @@ impl GraphBuilder {
                 crate::validate::Code::BuilderMisuse,
                 None,
                 format!("name_last(\"{name}\") called on an empty builder; the name is dropped"),
+            ));
+        }
+    }
+
+    /// Mark `node` as a shared-nothing keyed shard group: its instances are
+    /// routed through a mutable slot table ([`crate::runtime::shard`])
+    /// instead of static hash-mod partitioning, which lets the adaptive
+    /// rebalancer migrate hot key slots between instances at runtime.
+    ///
+    /// Every input edge of a sharded node must be [`Exchange::Hash`]
+    /// (checked as `G018` by [`crate::validate::check`]): shard routing owns
+    /// key placement, and any other exchange would scatter a key's tuples
+    /// across shards. Marking a node that does not exist is recorded as a
+    /// `G013` builder-misuse warning.
+    pub fn shard_node(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(node.0) {
+            n.sharded = true;
+        } else {
+            self.warnings.push(crate::validate::Diagnostic::warning(
+                crate::validate::Code::BuilderMisuse,
+                None,
+                format!("shard_node({}) references a node outside the graph", node.0),
             ));
         }
     }

@@ -89,6 +89,39 @@ impl KeyedSide {
             .filter_map(move |(entry, key)| self.by_key.get(key).and_then(|run| run.get(entry)))
     }
 
+    /// Remove and return every buffered tuple whose key satisfies `part`,
+    /// in global `(ts, seq)` arrival order — the shard-migration extract
+    /// half. Byte and index accounting shrink accordingly; lifetime peaks
+    /// are left untouched (they are high-water marks).
+    pub fn extract_keys(&mut self, part: &dyn Fn(Key) -> bool) -> Vec<Tuple> {
+        let keys: Vec<Key> = self.by_key.keys().copied().filter(|&k| part(k)).collect();
+        let mut entries: Vec<((Timestamp, u64), Tuple)> = Vec::new();
+        for key in keys {
+            let Some(run) = self.by_key.remove(&key) else {
+                continue;
+            };
+            for (entry, t) in run {
+                self.bytes = self.bytes.saturating_sub(t.mem_bytes());
+                self.order.remove(&entry);
+                entries.push((entry, t));
+            }
+        }
+        entries.sort_by_key(|(entry, _)| *entry);
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Re-insert tuples extracted from a sibling instance, assigning fresh
+    /// local sequence numbers from `seq` (sequence numbers only tie-break
+    /// equal timestamps, so renumbering in the given arrival order
+    /// preserves deterministic iteration). The absorb half of a shard
+    /// migration.
+    pub fn absorb(&mut self, tuples: Vec<Tuple>, seq: &mut u64) {
+        for t in tuples {
+            *seq += 1;
+            self.insert(*seq, t);
+        }
+    }
+
     /// Evict every tuple with `ts < cutoff`.
     ///
     /// One `split_off` on the arrival index identifies the evicted range;

@@ -148,6 +148,44 @@ pub trait Operator: Send {
         None
     }
 
+    /// Whether this operator can hand keyed state off between shard
+    /// instances while the pipeline runs
+    /// ([`Operator::extract_shard`]/[`Operator::absorb_shard`]). Defaults
+    /// to `false`: a sharded node whose operator cannot hand off still runs
+    /// sharded, but its key placement is fixed for the whole run (the
+    /// rebalancer never migrates its slots).
+    fn shard_handoff_supported(&self) -> bool {
+        false
+    }
+
+    /// Remove and return all keyed state whose partition key satisfies
+    /// `part`, as an opaque payload for the target shard's
+    /// [`Operator::absorb_shard`]. Called by the runtime on the *source*
+    /// shard of a slot migration once the slot's inputs are drained (so
+    /// the extracted state can no longer grow). Returns `None` when the
+    /// operator does not support handoff — the runtime never asks unless
+    /// [`Operator::shard_handoff_supported`] said yes.
+    fn extract_shard(
+        &mut self,
+        part: &dyn Fn(u64) -> bool,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        let _ = part;
+        None
+    }
+
+    /// Merge a payload produced by a sibling instance's
+    /// [`Operator::extract_shard`] into this instance's state. Both sides
+    /// observe the same merged event-time clock at handoff (the runtime's
+    /// marker alignment guarantees it), so implementations must compose
+    /// window/firing cursors without losing or duplicating results.
+    fn absorb_shard(&mut self, state: Box<dyn std::any::Any + Send>) -> Result<(), OpError> {
+        let _ = state;
+        Err(OpError::Failed {
+            operator: self.name().to_string(),
+            reason: "operator does not support shard state handoff".to_string(),
+        })
+    }
+
     /// Human-readable operator name for plans, metrics, and errors.
     fn name(&self) -> &str;
 }

@@ -236,9 +236,63 @@ impl Operator for WindowJoinOp {
         })
     }
 
+    fn shard_handoff_supported(&self) -> bool {
+        true
+    }
+
+    fn extract_shard(
+        &mut self,
+        part: &dyn Fn(u64) -> bool,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        Some(Box::new(WindowJoinHandoff {
+            left: self.left.extract_keys(part),
+            right: self.right.extract_keys(part),
+            next_fire: self.next_fire,
+            probed_hi: self.probed_hi,
+        }))
+    }
+
+    /// Merge a sibling's extracted slot state. Both instances have fired
+    /// every window ending at or below the same merged watermark `W` when
+    /// the runtime aligns the handoff, so the cursors compose:
+    ///
+    /// * `next_fire` takes the **min** — the source may have advanced
+    ///   further only past windows *it* had no data for, and re-walking a
+    ///   window is free of duplicates because its band floor (`probed_hi`)
+    ///   already covers every pair emitted there;
+    /// * `probed_hi` takes the **max** — a row the source holds below the
+    ///   target's probe floor cannot exist: every window ending ≤ `W` that
+    ///   contains it fired on the source too, which would have pushed the
+    ///   source's own floor past the row (and symmetrically for the
+    ///   target's rows against the source's floor). So raising the floor
+    ///   to the max never skips an unemitted pair.
+    fn absorb_shard(&mut self, state: Box<dyn std::any::Any + Send>) -> Result<(), OpError> {
+        let h = state
+            .downcast::<WindowJoinHandoff>()
+            .map_err(|_| OpError::Failed {
+                operator: self.name.clone(),
+                reason: "shard handoff payload is not WindowJoinHandoff state".to_string(),
+            })?;
+        self.next_fire = self.next_fire.min(h.next_fire);
+        self.probed_hi = self.probed_hi.max(h.probed_hi);
+        self.left.absorb(h.left, &mut self.seq);
+        self.right.absorb(h.right, &mut self.seq);
+        self.check_limit()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// A slot's extracted [`WindowJoinOp`] state in flight between shard
+/// instances: both sides' tuples for the migrated keys in arrival order,
+/// plus the source's firing cursors.
+struct WindowJoinHandoff {
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    next_fire: Timestamp,
+    probed_hi: Timestamp,
 }
 
 #[cfg(test)]
@@ -528,5 +582,122 @@ mod tests {
             }
         }
         assert_eq!(got.len(), want);
+    }
+
+    /// Canonical row: key, working ts, constituent (etype, id, ts) list.
+    type CanonRow = (u64, i64, Vec<(u16, u32, i64)>);
+
+    /// Canonical form for order-insensitive output comparison.
+    fn multiset(out: &[Tuple]) -> Vec<CanonRow> {
+        let mut v: Vec<_> = out
+            .iter()
+            .map(|t| {
+                (
+                    t.key,
+                    t.ts.millis(),
+                    t.events
+                        .iter()
+                        .map(|e| (e.etype.0, e.id, e.ts.millis()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn mid_stream_migration_matches_single_instance_run() {
+        // Emulate the runtime's migration protocol at operator level: two
+        // instances share a keyed stream; at an aligned watermark one
+        // key's state is extracted from A and absorbed into B, and the
+        // key's remaining tuples are delivered to B. The union of both
+        // instances' outputs must equal a single-instance run exactly —
+        // the state handoff may neither lose nor duplicate pairs.
+        let windows = SlidingWindows::new(Duration::from_minutes(10), Duration::from_minutes(5));
+        let fresh = || WindowJoinOp::new("⋈", windows, cross_join(), TsRule::Max);
+        // Two keys, both sides, spanning several overlapping panes; the
+        // cut at minute 12 lands mid-pane so open windows cross it.
+        let feed: Vec<(usize, Tuple)> = vec![
+            (0, tup(0, 1, 1, 1.0)),
+            (1, tup(1, 2, 2, 2.0)),
+            (1, tup(1, 1, 4, 3.0)),
+            (0, tup(0, 2, 6, 4.0)),
+            (0, tup(0, 1, 8, 5.0)),
+            (1, tup(1, 2, 9, 6.0)),
+            (1, tup(1, 1, 11, 7.0)),
+            // ---- migration of key 2 happens at wm = minute 12 ----
+            (0, tup(0, 2, 13, 8.0)),
+            (1, tup(1, 1, 14, 9.0)),
+            (1, tup(1, 2, 16, 10.0)),
+            (0, tup(0, 1, 18, 11.0)),
+            (0, tup(0, 2, 21, 12.0)),
+        ];
+        let cut = Timestamp::from_minutes(12);
+
+        let mut reference = fresh();
+        let mut ref_col = VecCollector::default();
+        for (port, t) in &feed {
+            let wm = t.ts;
+            reference.process(*port, t.clone(), &mut ref_col).unwrap();
+            reference.on_watermark(wm, &mut ref_col).unwrap();
+        }
+        reference.on_finish(&mut ref_col).unwrap();
+
+        let mut a = fresh();
+        let mut b = fresh();
+        let mut a_col = VecCollector::default();
+        let mut b_col = VecCollector::default();
+        let mut migrated = false;
+        for (port, t) in &feed {
+            let wm = t.ts;
+            if !migrated && wm >= cut {
+                // Both instances sit at the same merged clock (the
+                // runtime's marker alignment): hand key 2 across.
+                a.on_watermark(cut, &mut a_col).unwrap();
+                b.on_watermark(cut, &mut b_col).unwrap();
+                let h = a.extract_shard(&|k| k == 2).expect("supported");
+                b.absorb_shard(h).unwrap();
+                migrated = true;
+            }
+            let dst = if migrated && t.key == 2 {
+                (&mut b, &mut b_col)
+            } else {
+                (&mut a, &mut a_col)
+            };
+            dst.0.process(*port, t.clone(), dst.1).unwrap();
+            a.on_watermark(wm, &mut a_col).unwrap();
+            b.on_watermark(wm, &mut b_col).unwrap();
+        }
+        a.on_finish(&mut a_col).unwrap();
+        b.on_finish(&mut b_col).unwrap();
+
+        let mut combined = a_col.out;
+        combined.extend(b_col.out);
+        assert_eq!(
+            multiset(&combined),
+            multiset(&ref_col.out),
+            "migrated run must emit exactly the single-instance pairs"
+        );
+        assert!(!combined.is_empty(), "scenario must actually produce pairs");
+    }
+
+    #[test]
+    fn extract_unsupported_key_set_is_empty_not_lossy() {
+        // Extracting a predicate that matches nothing hands off empty
+        // sides and leaves the source's state intact.
+        let windows = SlidingWindows::tumbling(Duration::from_minutes(10));
+        let mut op = WindowJoinOp::new("⋈", windows, cross_join(), TsRule::Max);
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 1, 1, 1.0), &mut col).unwrap();
+        op.process(1, tup(1, 1, 2, 2.0), &mut col).unwrap();
+        let before = op.state_bytes();
+        let h = op.extract_shard(&|_| false).expect("supported");
+        assert_eq!(op.state_bytes(), before, "no keys matched: state intact");
+        let mut other = WindowJoinOp::new("⋈", windows, cross_join(), TsRule::Max);
+        other.absorb_shard(h).unwrap();
+        assert_eq!(other.state_bytes(), 0);
+        op.on_finish(&mut col).unwrap();
+        assert_eq!(col.out.len(), 1, "pair still fires on the source");
     }
 }

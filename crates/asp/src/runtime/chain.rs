@@ -207,6 +207,12 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
         if !fusible_exchange {
             continue;
         }
+        // Sharded nodes keep their own task: shard routing and state
+        // handoff operate on whole node instances, which fusing into a
+        // neighbour's thread would silently undo.
+        if graph.nodes[s].sharded || graph.nodes[d].sharded {
+            continue;
+        }
         if !matches!(graph.nodes[d].kind, NodeKind::Operator(_)) {
             continue; // sinks are not fused
         }
@@ -243,6 +249,7 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
         let head_node = old_nodes[head].take().expect("node unused");
         let name = head_node.name.clone();
         let parallelism = head_node.parallelism;
+        let sharded = head_node.sharded;
         let new_id = match head_node.kind {
             NodeKind::Source { cfg, mut chain } => {
                 for &m in &members[1..] {
@@ -255,6 +262,7 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
                     name,
                     parallelism,
                     kind: NodeKind::Source { cfg, chain },
+                    sharded,
                 });
                 NodeId(out.nodes.len() - 1)
             }
@@ -279,6 +287,7 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
                     name,
                     parallelism,
                     kind,
+                    sharded,
                 });
                 NodeId(out.nodes.len() - 1)
             }
@@ -287,6 +296,7 @@ pub(crate) fn fuse_chains(graph: GraphBuilder) -> GraphBuilder {
                     name,
                     parallelism,
                     kind: NodeKind::Sink(sid),
+                    sharded,
                 });
                 NodeId(out.nodes.len() - 1)
             }

@@ -39,6 +39,9 @@ pub struct NodeStats {
     /// observed by any instance over the run — the quantity bounded by the
     /// analyzer's `max_keyed_run`.
     pub keyed_max_run: usize,
+    /// Completed hot-key slot migrations on this node's shard plan (0 for
+    /// unsharded nodes and statically-placed sharded nodes).
+    pub shard_migrations: u64,
     /// Per-instance processing-latency observations (strided sampling of
     /// `Operator::process` wall time), merged across instances. Empty when
     /// [`super::ExecutorConfig::proc_latency_every`] is 0 or the node does

@@ -21,14 +21,20 @@
 //!
 //! Watermarks are released by a *soft flush*: destinations whose batch
 //! buffer is empty receive the watermark immediately, while a destination
-//! with a partially filled buffer has the watermark recorded as *owed* and
-//! delivered right after that buffer's next batch send. Deferring a
+//! with a partially filled buffer has the watermark recorded as *owed at
+//! the current buffered position*; the buffer is later flushed in segments
+//! split at every owed position, so each deferred watermark is delivered
+//! exactly between the rows emitted before and after it. Deferring a
 //! watermark is always safe (it is a lower-bound promise), and the deferral
 //! keeps punctuation from truncating per-destination micro-batches — under
 //! hash fan-out, batches stay near `batch_size` instead of being sliced at
-//! every punctuation. A *hard flush* (idle timeout, end of stream, or the
-//! `idle_flush` deadline under sustained load) sends every partial buffer
-//! and settles all owed watermarks, bounding how long either can sit.
+//! every punctuation. Because owed watermarks are positional, a channel's
+//! tuple/watermark interleaving is a pure function of emission order:
+//! wall-clock flush timing changes message granularity, never relative
+//! order, so per-channel late-drop decisions are run-to-run deterministic.
+//! A *hard flush* (idle timeout, end of stream, or the `idle_flush`
+//! deadline under sustained load) sends every partial buffer and settles
+//! all owed watermarks, bounding how long either can sit.
 //!
 //! ## Data planes
 //!
@@ -44,12 +50,14 @@
 
 mod chain;
 mod metrics;
+mod shard;
 
 pub use crate::graph::SinkMode;
 pub use crate::obs::{BoundViolation, EventLog, Level, LogEvent, StaticBounds};
 pub use chain::{chain_factories, ChainedOperator};
 pub use metrics::{LatencyStats, NodeStats, ResourceSample};
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
@@ -81,11 +89,15 @@ pub struct ExecutorConfig {
     /// tasks (Flink-style operator chaining). On by default; disable to
     /// measure the unfused pipeline.
     pub operator_chaining: bool,
-    /// Drop tuples that arrive behind the merged watermark (late data).
-    /// With correctly configured source watermark lag nothing is ever
-    /// late; this is the Flink-style safety net that keeps event-time
-    /// operators from observing time regressions. Dropped tuples are
-    /// counted in [`NodeStats::late_dropped`].
+    /// Drop tuples that arrive behind their input channel's watermark
+    /// (late data). With correctly configured source watermark lag nothing
+    /// is ever late; this is the Flink-style safety net that keeps
+    /// event-time operators from observing time regressions. The decision
+    /// is per arriving channel rather than against the merged minimum, so
+    /// it is deterministic under union/join thread interleaving (a channel
+    /// watermark is always ≥ the merged one, so nothing the merged clock
+    /// would drop survives). Dropped tuples are counted in
+    /// [`NodeStats::late_dropped`].
     pub drop_late: bool,
     /// Maximum tuples accumulated per (edge, destination instance) before
     /// the pending micro-batch is sent as one channel message. `1` restores
@@ -118,12 +130,67 @@ pub struct ExecutorConfig {
     /// rows are materialized only at stateful-operator and collecting-sink
     /// boundaries. Defaults to `true`; setting the `ASP_DATA_PLANE=row`
     /// environment variable flips the default to the row plane (the CI
-    /// matrix exercises both).
+    /// matrix exercises both; any other value is refused as diagnostic
+    /// `G017`). With `batch_size == 1` the columnar plane degenerates to
+    /// per-tuple batch bookkeeping — a measured regression — so the
+    /// executor falls back to the row plane for that configuration.
     pub columnar: bool,
+    /// Shard count for keyed operators marked [`GraphBuilder::shard_node`]:
+    /// each such node fans out into this many shared-nothing workers, each
+    /// owning a hash range of keys. `None` (the default) keeps sharded
+    /// nodes single-instance. Settable via the `ASP_SHARDS` environment
+    /// variable (an integer ≥ 1; anything else is refused as `G017`).
+    pub shards: Option<usize>,
+    /// Adaptive shard rebalancing cadence: a background thread samples the
+    /// per-slot traffic gauges of every sharded node at this interval and
+    /// migrates the hottest slot off any shard carrying more than 1.5× the
+    /// mean load (drain → handoff → redirect, preserving per-key order and
+    /// watermark correctness — see the `shard` module docs). `None`
+    /// disables migration entirely: sharded nodes keep their initial
+    /// round-robin slot placement for the whole run (static sharding).
+    /// Operators without live-handoff support are never migrated
+    /// regardless.
+    pub rebalance_interval: Option<StdDuration>,
+    /// Parse failures from environment overrides (`ASP_DATA_PLANE`,
+    /// `ASP_SHARDS`) captured at [`Default::default`] time — `Default`
+    /// cannot return `Result`, so [`Executor::run`] refuses the run with
+    /// diagnostic `G017` if any are present rather than silently running
+    /// with a misread knob. Always empty for explicitly built configs.
+    pub env_errors: Vec<String>,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
+        // Environment overrides parse strictly: a typo like
+        // `ASP_DATA_PLANE=rows` used to silently select the columnar plane
+        // (`v != "row"`); now every unrecognized value is captured here and
+        // surfaced as diagnostic `G017` when the executor runs.
+        let mut env_errors = Vec::new();
+        let columnar = match std::env::var("ASP_DATA_PLANE") {
+            Err(_) => true,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "row" => false,
+                "columnar" => true,
+                _ => {
+                    env_errors.push(format!(
+                        "ASP_DATA_PLANE=`{v}` is not a data plane; expected `row` or `columnar`"
+                    ));
+                    true
+                }
+            },
+        };
+        let shards = match std::env::var("ASP_SHARDS") {
+            Err(_) => None,
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    env_errors.push(format!(
+                        "ASP_SHARDS=`{v}` is not a shard count; expected an integer ≥ 1"
+                    ));
+                    None
+                }
+            },
+        };
         ExecutorConfig {
             channel_capacity: 1024,
             sample_interval: None,
@@ -135,7 +202,10 @@ impl Default for ExecutorConfig {
             proc_latency_every: 32,
             progress_interval: None,
             event_log_capacity: 256,
-            columnar: std::env::var("ASP_DATA_PLANE").map_or(true, |v| v != "row"),
+            columnar,
+            shards,
+            rebalance_interval: Some(StdDuration::from_millis(50)),
+            env_errors,
         }
     }
 }
@@ -149,6 +219,17 @@ enum Message {
     /// see a selection vector). Used exclusively on the columnar plane.
     Columnar(ColumnarBatch),
     Watermark(Timestamp),
+    /// Shard-migration cut-over marker: everything before it on this
+    /// channel was routed under the previous slot table, everything after
+    /// under the new one. Broadcast by each sender to *every* destination
+    /// instance of the sharded node when it observes a new plan version.
+    ShardMarker {
+        /// The plan version the sender cut over to.
+        version: u64,
+    },
+    /// A migrated slot's extracted operator state, sent from the source
+    /// shard instance directly to the target instance's inbox.
+    ShardHandoff(Box<shard::HandoffPayload>),
     End,
 }
 
@@ -192,12 +273,47 @@ struct Route {
     /// Pending columnar rows per destination instance (columnar plane;
     /// unused on the row plane). Built by column pushes, so always dense.
     cbufs: Vec<ColumnarBatch>,
-    /// Watermark promised to a destination but deferred because its batch
-    /// buffer was non-empty at soft-flush time; settled immediately after
-    /// that destination's next batch send (see [`Route::flush_buf`]).
-    wm_owed: Vec<Option<Timestamp>>,
+    /// Watermarks promised to a destination but deferred because its batch
+    /// buffer was non-empty at soft-flush time, queued with the number of
+    /// buffered rows each must ride *behind*. Flushing emits the buffer in
+    /// segments split at every owed position — `rows[..p0], wm0,
+    /// rows[p0..p1], wm1, …`, remainder last (see [`Route::flush_buf`]) —
+    /// so the channel-relative order of tuples and watermarks is a pure
+    /// function of emission order, never of wall-clock flush timing.
+    /// Positions are strictly increasing within the queue; watermarks
+    /// landing at the same position coalesce to their maximum.
+    wm_owed: Vec<VecDeque<(usize, Timestamp)>>,
+    /// First operator-grade failure hit while building a pending columnar
+    /// batch (composite side-table overflow from a checked `u32` index
+    /// conversion). The harness harvests it via
+    /// [`ChannelCollector::take_op_error`] and reports it as `G016` instead
+    /// of silently truncating indices.
+    op_error: Option<OpError>,
+    /// Sharded destination: routing goes through the cached slot table
+    /// instead of [`key_partition`]. `None` for ordinary routes.
+    shard: Option<RouteShard>,
     /// Channel messages sent (batches count once), for [`NodeStats`].
     batches: u64,
+}
+
+/// Sender-side state of a route into a sharded node.
+struct RouteShard {
+    plan: Arc<shard::ShardPlan>,
+    /// Local copy of the slot → shard table, refreshed only when a new
+    /// plan version is observed — the steady-state tuple path reads a
+    /// plain array, never a shared atomic.
+    cached_slots: Vec<u32>,
+    /// Plan version `cached_slots` corresponds to.
+    seen_version: u64,
+    /// While a migration this sender has cut over to is still in flight,
+    /// watermark emission on this route is frozen (stashed here, released
+    /// on completion) so source and target shard observe identical
+    /// per-channel clocks when they align on the markers.
+    frozen_wm: Option<Timestamp>,
+    frozen: bool,
+    /// Tuples routed per slot since the last publish to the plan's shared
+    /// traffic gauges (published on hard flush).
+    traffic: Box<[u64; shard::SHARD_SLOTS]>,
 }
 
 impl Route {
@@ -207,15 +323,29 @@ impl Route {
         chan: u16,
         instance: usize,
         senders: Vec<Sender<Envelope>>,
+        plan: Option<Arc<shard::ShardPlan>>,
     ) -> Self {
         let fixed = match exchange {
             Exchange::Forward => Some(instance % senders.len()),
             Exchange::Hash | Exchange::Rebalance if senders.len() == 1 => Some(0),
             Exchange::Hash | Exchange::Rebalance => None,
         };
+        // A single-instance "sharded" node routes like any other
+        // single-destination edge; the plan only matters with ≥ 2 shards.
+        let shard = match plan {
+            Some(plan) if senders.len() > 1 => Some(RouteShard {
+                cached_slots: plan.snapshot_slots(),
+                seen_version: plan.version(),
+                plan,
+                frozen_wm: None,
+                frozen: false,
+                traffic: Box::new([0; shard::SHARD_SLOTS]),
+            }),
+            _ => None,
+        };
         let bufs = senders.iter().map(|_| Vec::new()).collect();
         let cbufs = senders.iter().map(|_| ColumnarBatch::default()).collect();
-        let wm_owed = senders.iter().map(|_| None).collect();
+        let wm_owed = senders.iter().map(|_| VecDeque::new()).collect();
         Route {
             exchange,
             port,
@@ -226,6 +356,8 @@ impl Route {
             bufs,
             cbufs,
             wm_owed,
+            op_error: None,
+            shard,
             batches: 0,
         }
     }
@@ -233,6 +365,11 @@ impl Route {
     /// Resolve the destination instance for a record with partition `key`.
     #[inline]
     fn pick_dest(&mut self, key: u64) -> usize {
+        if let Some(rs) = &mut self.shard {
+            let slot = shard::slot_of(key);
+            rs.traffic[slot] += 1;
+            return rs.cached_slots[slot] as usize;
+        }
         match self.fixed {
             Some(i) => i,
             None => match self.exchange {
@@ -244,6 +381,83 @@ impl Route {
                 // Forward always resolves to `fixed`.
                 Exchange::Forward => unreachable!("forward routes are pre-resolved"),
             },
+        }
+    }
+
+    /// Sharded-route version check, called on every buffering/flush entry
+    /// point. On observing a new plan version: flush everything routed
+    /// under the old table, broadcast the cut-over marker to every
+    /// destination, refresh the cached table, and freeze watermark
+    /// emission until the migration completes (channel FIFO then gives
+    /// every receiver the identical pre-marker watermark prefix). Also
+    /// thaws: once the plan reports the observed version completed, the
+    /// stashed watermark is released through the normal soft path.
+    #[inline]
+    fn observe_shard(
+        &mut self,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        let Some(rs) = &self.shard else {
+            return Ok(());
+        };
+        let (frozen, seen, version) = (rs.frozen, rs.seen_version, rs.plan.version());
+        if !frozen && version == seen {
+            return Ok(());
+        }
+        self.observe_shard_cold(batch_size, abort, blocked_ns)
+    }
+
+    #[cold]
+    fn observe_shard_cold(
+        &mut self,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        // Thaw first: a completed migration releases the stashed watermark
+        // before any new version is cut over to.
+        let thawed = {
+            let rs = self.shard.as_mut().expect("cold path requires shard");
+            if rs.frozen && rs.plan.completed() >= rs.seen_version {
+                rs.frozen = false;
+                rs.frozen_wm.take()
+            } else {
+                None
+            }
+        };
+        if let Some(wm) = thawed {
+            self.soft_watermark_raw(wm, abort, blocked_ns)?;
+        }
+        let rs = self.shard.as_ref().expect("cold path requires shard");
+        let version = rs.plan.version();
+        if version == rs.seen_version || rs.frozen {
+            // Nothing new, or still frozen on the in-flight version (a new
+            // version cannot be published until the current completes).
+            return Ok(());
+        }
+        // Everything buffered so far was routed under the old table: it
+        // must precede the marker on every channel.
+        self.flush_all(batch_size, abort, blocked_ns)?;
+        for idx in 0..self.senders.len() {
+            self.send(idx, Message::ShardMarker { version }, abort, blocked_ns)?;
+        }
+        let rs = self.shard.as_mut().expect("cold path requires shard");
+        rs.cached_slots = rs.plan.snapshot_slots();
+        rs.seen_version = version;
+        rs.frozen = true;
+        Ok(())
+    }
+
+    /// Publish locally accumulated per-slot traffic to the shared plan
+    /// gauges (piggybacks on the hard-flush cadence).
+    fn publish_traffic(&mut self) {
+        if let Some(rs) = &mut self.shard {
+            if rs.traffic.iter().any(|&n| n > 0) {
+                rs.plan.add_traffic(&rs.traffic);
+                *rs.traffic = [0; shard::SHARD_SLOTS];
+            }
         }
     }
 
@@ -292,6 +506,7 @@ impl Route {
         abort: &AtomicBool,
         blocked_ns: &AtomicU64,
     ) -> Result<(), ()> {
+        self.observe_shard(batch_size, abort, blocked_ns)?;
         let idx = self.pick_dest(t.key);
         let buf = &mut self.bufs[idx];
         if buf.capacity() == 0 {
@@ -314,8 +529,12 @@ impl Route {
         abort: &AtomicBool,
         blocked_ns: &AtomicU64,
     ) -> Result<(), ()> {
+        self.observe_shard(batch_size, abort, blocked_ns)?;
         let idx = self.pick_dest(t.key);
-        self.cbufs[idx].push_tuple(t);
+        if let Err(e) = self.cbufs[idx].push_tuple(t) {
+            self.op_error.get_or_insert(e);
+            return Err(());
+        }
         if self.cbufs[idx].len() >= batch_size {
             self.flush_buf(idx, batch_size, abort, blocked_ns)
         } else {
@@ -333,6 +552,7 @@ impl Route {
         abort: &AtomicBool,
         blocked_ns: &AtomicU64,
     ) -> Result<(), ()> {
+        self.observe_shard(batch_size, abort, blocked_ns)?;
         // Primitive events partition by sensor id (`Tuple::from_event`
         // assigns `key = id`), so routing agrees with the row plane.
         let idx = self.pick_dest(e.id as u64);
@@ -354,9 +574,16 @@ impl Route {
         abort: &AtomicBool,
         blocked_ns: &AtomicU64,
     ) -> Result<(), ()> {
+        self.observe_shard(batch_size, abort, blocked_ns)?;
+        if self.shard.is_some() {
+            return self.append_batch_sharded(src, batch_size, abort, blocked_ns);
+        }
         let one = |this: &mut Self, i: usize| -> Result<(), ()> {
             let idx = this.pick_dest(src.key[i]);
-            this.cbufs[idx].push_row_from(src, i);
+            if let Err(e) = this.cbufs[idx].push_row_from(src, i) {
+                this.op_error.get_or_insert(e);
+                return Err(());
+            }
             if this.cbufs[idx].len() >= batch_size {
                 this.flush_buf(idx, batch_size, abort, blocked_ns)
             } else {
@@ -378,10 +605,89 @@ impl Route {
         Ok(())
     }
 
+    /// Columnar fan-out into a sharded node: split the batch into one
+    /// selection vector per destination shard (slot-table routing) and
+    /// gather-append each column-wise — the batch is never re-materialized
+    /// row by row.
+    fn append_batch_sharded(
+        &mut self,
+        src: &ColumnarBatch,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        let mut sels: Vec<Vec<u32>> = vec![Vec::new(); self.senders.len()];
+        {
+            let rs = self.shard.as_mut().expect("sharded append requires shard");
+            let mut route_one = |i: usize| {
+                let slot = shard::slot_of(src.key[i]);
+                rs.traffic[slot] += 1;
+                sels[rs.cached_slots[slot] as usize].push(i as u32);
+            };
+            match &src.sel {
+                None => {
+                    for i in 0..src.len() {
+                        route_one(i);
+                    }
+                }
+                Some(sel) => {
+                    for &i in sel {
+                        route_one(i as usize);
+                    }
+                }
+            }
+        }
+        for (idx, sel) in sels.iter().enumerate() {
+            if sel.is_empty() {
+                continue;
+            }
+            if let Err(e) = self.cbufs[idx].extend_gather(src, sel) {
+                self.op_error.get_or_insert(e);
+                return Err(());
+            }
+            if self.cbufs[idx].len() >= batch_size {
+                self.flush_buf(idx, batch_size, abort, blocked_ns)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Soft-deliver a watermark: destinations with an empty batch buffer
-    /// get it immediately; the rest record it as owed so it rides out
-    /// right behind their next (full) batch instead of truncating it.
+    /// get it immediately; the rest record it as owed *at the current
+    /// buffered position* so it rides out exactly between the rows emitted
+    /// before and after it, instead of truncating the batch. Either way
+    /// the watermark lands at the same point of the channel's
+    /// tuple/watermark sequence — wall-clock flush timing can change
+    /// message granularity, never relative order.
     fn soft_watermark(
+        &mut self,
+        wm: Timestamp,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        self.observe_shard(batch_size, abort, blocked_ns)?;
+        if self.stash_if_frozen(wm) {
+            return Ok(());
+        }
+        self.soft_watermark_raw(wm, abort, blocked_ns)
+    }
+
+    /// While a shard migration this route has cut over to is in flight,
+    /// watermarks are stashed (coalescing to their max) instead of sent —
+    /// released by [`Route::observe_shard`] once the migration completes.
+    /// Returns whether the watermark was stashed.
+    fn stash_if_frozen(&mut self, wm: Timestamp) -> bool {
+        match &mut self.shard {
+            Some(rs) if rs.frozen => {
+                rs.frozen_wm = Some(rs.frozen_wm.map_or(wm, |p| p.max(wm)));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn soft_watermark_raw(
         &mut self,
         wm: Timestamp,
         abort: &AtomicBool,
@@ -389,7 +695,8 @@ impl Route {
     ) -> Result<(), ()> {
         let mut ok = Ok(());
         for idx in 0..self.senders.len() {
-            if self.bufs[idx].is_empty() && self.cbufs[idx].is_empty() {
+            let pos = self.bufs[idx].len() + self.cbufs[idx].len();
+            if pos == 0 {
                 if self
                     .send(idx, Message::Watermark(wm), abort, blocked_ns)
                     .is_err()
@@ -397,15 +704,21 @@ impl Route {
                     ok = Err(());
                 }
             } else {
-                let owed = self.wm_owed[idx].get_or_insert(wm);
-                *owed = (*owed).max(wm);
+                // Watermarks owed at the same position coalesce to their
+                // max (they are monotone per task, so this keeps the last).
+                match self.wm_owed[idx].back_mut() {
+                    Some((p, w)) if *p == pos => *w = (*w).max(wm),
+                    _ => self.wm_owed[idx].push_back((pos, wm)),
+                }
             }
         }
         ok
     }
 
-    /// Send the destination's pending batch (row or columnar), if any, as
-    /// one message, then settle any owed watermark behind it.
+    /// Send the destination's pending rows in segments split at every owed
+    /// watermark position — `rows[..p0], wm0, rows[p0..p1], wm1, …`,
+    /// remainder last — so a flush reproduces the emission-order
+    /// interleaving of tuples and watermarks exactly.
     fn flush_buf(
         &mut self,
         idx: usize,
@@ -413,32 +726,58 @@ impl Route {
         abort: &AtomicBool,
         blocked_ns: &AtomicU64,
     ) -> Result<(), ()> {
-        let buf = &mut self.bufs[idx];
-        let msg = match buf.len() {
-            0 => {
-                let cbuf = &mut self.cbufs[idx];
-                if cbuf.is_empty() {
-                    None
-                } else {
-                    debug_assert!(cbuf.is_dense(), "route buffers are built dense");
-                    Some(Message::Columnar(std::mem::replace(
-                        cbuf,
-                        ColumnarBatch::with_capacity(batch_size),
-                    )))
-                }
+        while let Some((pos, wm)) = self.wm_owed[idx].pop_front() {
+            self.send_rows(idx, pos, batch_size, abort, blocked_ns)?;
+            for later in self.wm_owed[idx].iter_mut() {
+                later.0 -= pos;
             }
-            1 => Some(Message::Tuple(buf.pop().expect("len checked"))),
-            _ => Some(Message::Batch(std::mem::replace(
-                buf,
-                Vec::with_capacity(batch_size),
-            ))),
+            self.send(idx, Message::Watermark(wm), abort, blocked_ns)?;
+        }
+        self.send_rows(idx, usize::MAX, batch_size, abort, blocked_ns)
+    }
+
+    /// Send up to `take` of the destination's pending rows (row or
+    /// columnar plane) as one message, keeping the rest buffered.
+    fn send_rows(
+        &mut self,
+        idx: usize,
+        take: usize,
+        batch_size: usize,
+        abort: &AtomicBool,
+        blocked_ns: &AtomicU64,
+    ) -> Result<(), ()> {
+        let msg = if !self.bufs[idx].is_empty() {
+            let buf = &mut self.bufs[idx];
+            let head = if take >= buf.len() {
+                std::mem::replace(buf, Vec::with_capacity(batch_size))
+            } else {
+                let tail = buf.split_off(take);
+                std::mem::replace(buf, tail)
+            };
+            match head.len() {
+                0 => None,
+                1 => Some(Message::Tuple(
+                    head.into_iter().next().expect("len checked"),
+                )),
+                _ => Some(Message::Batch(head)),
+            }
+        } else {
+            let cbuf = &mut self.cbufs[idx];
+            if cbuf.is_empty() || take == 0 {
+                None
+            } else {
+                debug_assert!(cbuf.is_dense(), "route buffers are built dense");
+                let head = if take >= cbuf.len() {
+                    std::mem::replace(cbuf, ColumnarBatch::with_capacity(batch_size))
+                } else {
+                    cbuf.take_prefix(take)
+                };
+                Some(Message::Columnar(head))
+            }
         };
         if let Some(msg) = msg {
             self.batches += 1;
             self.send(idx, msg, abort, blocked_ns)?;
-        }
-        if let Some(wm) = self.wm_owed[idx].take() {
-            self.send(idx, Message::Watermark(wm), abort, blocked_ns)?;
         }
         Ok(())
     }
@@ -531,6 +870,7 @@ impl ChannelCollector {
     fn flush(&mut self) {
         let Self {
             routes,
+            batch_size,
             abort,
             istats,
             failed,
@@ -541,7 +881,9 @@ impl ChannelCollector {
         let blocked_ns = &istats.backpressure_ns;
         if let Some(wm) = pending_wm.take() {
             for r in routes.iter_mut() {
-                if r.soft_watermark(wm, abort, blocked_ns).is_err() {
+                if r.soft_watermark(wm, *batch_size, abort, blocked_ns)
+                    .is_err()
+                {
                     *failed = true;
                 }
             }
@@ -563,12 +905,25 @@ impl ChannelCollector {
         let abort: &AtomicBool = abort;
         let blocked_ns = &istats.backpressure_ns;
         for r in routes.iter_mut() {
+            // The hard flush doubles as the idle-path shard observation
+            // point: even a task with nothing to send cuts over to a new
+            // slot table (and broadcasts its marker) within `idle_flush`.
+            if r.observe_shard(*batch_size, abort, blocked_ns).is_err() {
+                *failed = true;
+            }
             if r.flush_all(*batch_size, abort, blocked_ns).is_err() {
                 *failed = true;
             }
+            r.publish_traffic();
         }
         if let Some(wm) = pending_wm.take() {
-            for r in routes.iter() {
+            for r in routes.iter_mut() {
+                // Watermarks stay frozen on routes with an in-flight
+                // migration (released at completion); everywhere else the
+                // hard flush broadcasts them directly.
+                if r.stash_if_frozen(wm) {
+                    continue;
+                }
                 if r.broadcast(|| Message::Watermark(wm), abort, blocked_ns)
                     .is_err()
                 {
@@ -663,8 +1018,15 @@ impl ChannelCollector {
         }
         let last = &mut routes[n - 1];
         if let Some(idx) = last.fixed {
-            if last.cbufs[idx].is_empty() {
-                batch.compact();
+            // The zero-copy path requires an empty owed-watermark queue:
+            // owed watermarks are positional, and rows sent around them
+            // must go through the segment-splitting `flush_buf`.
+            if last.cbufs[idx].is_empty() && last.wm_owed[idx].is_empty() {
+                if let Err(e) = batch.compact() {
+                    last.op_error.get_or_insert(e);
+                    *failed = true;
+                    return;
+                }
                 if batch.len() >= *batch_size {
                     last.batches += 1;
                     if last
@@ -672,13 +1034,6 @@ impl ChannelCollector {
                         .is_err()
                     {
                         *failed = true;
-                    } else if let Some(wm) = last.wm_owed[idx].take() {
-                        if last
-                            .send(idx, Message::Watermark(wm), abort, blocked_ns)
-                            .is_err()
-                        {
-                            *failed = true;
-                        }
                     }
                 } else {
                     // Short batch: it *becomes* the pending buffer.
@@ -698,6 +1053,12 @@ impl ChannelCollector {
     /// Channel messages carrying tuples sent so far (a batch counts once).
     fn messages_sent(&self) -> u64 {
         self.routes.iter().map(|r| r.batches).sum()
+    }
+
+    /// First operator-grade failure recorded by any route (composite
+    /// side-table overflow); the harness reports it via `record_op_error`.
+    fn take_op_error(&mut self) -> Option<OpError> {
+        self.routes.iter_mut().find_map(|r| r.op_error.take())
     }
 }
 
@@ -1066,6 +1427,33 @@ impl Executor {
     /// malformed graph is refused with [`PipelineError::Validation`] listing
     /// every defect before any thread is spawned.
     pub fn run(&self, graph: GraphBuilder) -> Result<RunReport, PipelineError> {
+        if !self.cfg.env_errors.is_empty() {
+            return Err(PipelineError::Validation(
+                self.cfg
+                    .env_errors
+                    .iter()
+                    .map(|msg| {
+                        crate::validate::Diagnostic::error(
+                            crate::validate::Code::InvalidEnvConfig,
+                            None,
+                            msg.clone(),
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+        // Apply the shard-count override to sharded nodes *before* static
+        // validation, so a mismatch introduced by the override (e.g. a
+        // Forward edge into a re-parallelized node, G005) is refused with
+        // the same diagnostics as a hand-built graph.
+        let mut graph = graph;
+        if let Some(shards) = self.cfg.shards {
+            for node in graph.nodes.iter_mut() {
+                if node.sharded {
+                    node.parallelism = shards;
+                }
+            }
+        }
         crate::validate::validate(&graph).map_err(PipelineError::Validation)?;
         if self.cfg.batch_size == 0 {
             return Err(PipelineError::Validation(vec![
@@ -1083,6 +1471,10 @@ impl Executor {
         };
         let n_nodes = graph.nodes.len();
         let n_instances: usize = graph.nodes.iter().map(|n| n.parallelism).sum();
+        // With `batch_size == 1` every columnar message carries one row and
+        // pays full batch bookkeeping — a documented regression against the
+        // row plane — so single-tuple batching runs on the row plane.
+        let columnar = self.cfg.columnar && self.cfg.batch_size > 1;
         let abort = Arc::new(AtomicBool::new(false));
         let first_error: Arc<Mutex<Option<PipelineError>>> = Arc::new(Mutex::new(None));
         let epoch = Instant::now();
@@ -1094,7 +1486,7 @@ impl Executor {
                 "run started: {n_nodes} nodes, {n_instances} instances, batch_size={}, chaining={}, plane={}",
                 self.cfg.batch_size,
                 self.cfg.operator_chaining,
-                if self.cfg.columnar { "columnar" } else { "row" }
+                if columnar { "columnar" } else { "row" }
             ),
         );
 
@@ -1123,6 +1515,14 @@ impl Executor {
         // Input channel layout per node: (port, upstream parallelism).
         let input_layout: Vec<Vec<(usize, usize, bool)>> = (0..n_nodes)
             .map(|i| graph.input_channels(NodeId(i)))
+            .collect();
+
+        // One shard plan per sharded node with ≥ 2 instances: the shared
+        // slot table its upstream routes consult and the rebalancer flips.
+        let shard_plans: Vec<Option<Arc<shard::ShardPlan>>> = graph
+            .nodes
+            .iter()
+            .map(|n| (n.sharded && n.parallelism > 1).then(|| shard::ShardPlan::new(n.parallelism)))
             .collect();
 
         // Shared stats + sinks.
@@ -1165,6 +1565,22 @@ impl Executor {
             })
         });
 
+        // Adaptive rebalancer: one thread watching every shard plan's
+        // traffic histogram, publishing at most one migration per plan at
+        // a time. `rebalance_interval: None` keeps placement static.
+        let active_plans: Vec<Arc<shard::ShardPlan>> =
+            shard_plans.iter().flatten().cloned().collect();
+        let rebalancer_handle = match (self.cfg.rebalance_interval, active_plans.is_empty()) {
+            (Some(interval), false) => {
+                let done = done.clone();
+                let log = log.clone();
+                Some(std::thread::spawn(move || {
+                    shard::rebalance_loop(active_plans, interval, done, log)
+                }))
+            }
+            _ => None,
+        };
+
         let mut handles = Vec::new();
         let mut graph = graph;
         for (nid, node) in graph.nodes.iter_mut().enumerate() {
@@ -1180,6 +1596,7 @@ impl Executor {
                             instance as u16,
                             instance,
                             inbox_tx[dst.0].clone(),
+                            shard_plans[dst.0].clone(),
                         )
                     })
                     .collect();
@@ -1187,7 +1604,7 @@ impl Executor {
                 let collector = ChannelCollector {
                     routes,
                     batch_size: self.cfg.batch_size,
-                    columnar: self.cfg.columnar,
+                    columnar,
                     abort: abort.clone(),
                     istats: istats.clone(),
                     out_count: 0,
@@ -1244,6 +1661,19 @@ impl Executor {
                         let layout = input_layout[nid].clone();
                         let drop_late = self.cfg.drop_late;
                         let idle_flush = self.cfg.idle_flush;
+                        let shard_ctx = shard_plans[nid].as_ref().map(|plan| {
+                            if instance == 0 {
+                                // Migrations move row-plane keyed state; an
+                                // operator on the vectorized path never sees
+                                // the per-tuple stash hook, so keep its
+                                // placement static.
+                                plan.set_migratable(
+                                    op.shard_handoff_supported()
+                                        && op.batch_support() == BatchSupport::Row,
+                                );
+                            }
+                            ShardCtx::new(plan.clone(), instance, inbox_tx[nid].clone())
+                        });
                         std::thread::Builder::new()
                             .name(format!("{name}#{instance}"))
                             .spawn(move || {
@@ -1258,6 +1688,7 @@ impl Executor {
                                     drop_late,
                                     idle_flush,
                                     proc_every,
+                                    shard_ctx,
                                     log,
                                 )
                             })
@@ -1293,6 +1724,9 @@ impl Executor {
             }
         }
         done.store(true, Ordering::Relaxed);
+        if let Some(h) = rebalancer_handle {
+            let _ = h.join();
+        }
         let samples = sampler_handle
             .map(|h| h.join().unwrap_or_default())
             .unwrap_or_default();
@@ -1360,6 +1794,7 @@ impl Executor {
                     .map(|s| s.keyed_max_run.load(Ordering::Relaxed))
                     .max()
                     .unwrap_or(0),
+                shard_migrations: shard_plans[nid].as_ref().map_or(0, |p| p.migrations_done()),
                 proc_latency: stats[nid].iter().fold(
                     crate::obs::HistogramSummary::default(),
                     |mut acc, s| {
@@ -1607,6 +2042,10 @@ fn run_source(
             }
         }
     }
+    if let Some(e) = collector.take_op_error() {
+        let name = chained.as_ref().map_or("source", |op| op.name());
+        record_op_error(name, e, &abort, &first_error, &log);
+    }
     collector.broadcast_end();
     counter.fetch_add(emitted, Ordering::Relaxed);
     istats.records_out.fetch_add(emitted, Ordering::Relaxed);
@@ -1675,6 +2114,12 @@ impl WatermarkTable {
         self.live == 0
     }
 
+    /// Last watermark seen on one specific input channel (used for the
+    /// deterministic per-channel late-drop decision).
+    fn channel_wm(&self, port: usize, chan: usize) -> Timestamp {
+        self.wm[port][chan]
+    }
+
     fn min(&self) -> Timestamp {
         self.wm
             .iter()
@@ -1683,6 +2128,236 @@ impl WatermarkTable {
             .min()
             .unwrap_or(Timestamp::MAX)
     }
+}
+
+/// Receiver-side shard-migration state of one sharded-node instance.
+///
+/// Tracks the in-flight migration's cut-over markers across input
+/// channels, stashes post-marker tuples for a slot migrating *to* this
+/// instance, parks an early-arriving handoff, and defers End-driven clock
+/// promotions while a migration is tracked (see [`shard`] module docs for
+/// why the deferral keeps the extract/absorb clocks identical).
+struct ShardCtx {
+    plan: Arc<shard::ShardPlan>,
+    /// This instance's shard index.
+    me: usize,
+    /// Sibling instances' inboxes, for sending the handoff payload.
+    siblings: Vec<Sender<Envelope>>,
+    /// The migration being tracked, with the input channels whose marker
+    /// (or End) is still outstanding.
+    pending: Option<PendingMigration>,
+    /// Post-marker tuples for the inbound slot, in arrival order (their
+    /// late-drop verdicts were already decided at arrival).
+    stash: Vec<(usize, Tuple)>,
+    /// Handoff that arrived before this instance's markers completed.
+    parked: Option<Box<shard::HandoffPayload>>,
+    /// `End`s received while tracking; their watermark-table promotion is
+    /// applied when the migration resolves, so the merged clock at
+    /// extract/absorb is the same pure function of pre-marker watermarks
+    /// on every instance.
+    deferred_ends: Vec<(usize, usize)>,
+}
+
+struct PendingMigration {
+    mig: shard::Migration,
+    need: std::collections::HashSet<(usize, usize)>,
+}
+
+impl ShardCtx {
+    fn new(plan: Arc<shard::ShardPlan>, me: usize, siblings: Vec<Sender<Envelope>>) -> Self {
+        ShardCtx {
+            plan,
+            me,
+            siblings,
+            pending: None,
+            stash: Vec::new(),
+            parked: None,
+            deferred_ends: Vec::new(),
+        }
+    }
+
+    /// Start tracking migration `version` at its first evidence (marker or
+    /// handoff). The need-set is every input channel still live — each
+    /// must deliver the marker (or its `End`) before the migration can
+    /// act on this instance.
+    fn begin_tracking(&mut self, version: u64, table: &WatermarkTable) {
+        if self.pending.is_some() || version <= self.plan.completed() {
+            return;
+        }
+        let Some(mig) = self.plan.migration() else {
+            return;
+        };
+        if mig.version != version {
+            return;
+        }
+        let mut need = std::collections::HashSet::new();
+        for (port, chans) in table.ended.iter().enumerate() {
+            for (chan, ended) in chans.iter().enumerate() {
+                if !ended {
+                    need.insert((port, chan));
+                }
+            }
+        }
+        self.pending = Some(PendingMigration { mig, need });
+    }
+
+    /// A marker (version `Some`) or `End` (version `None`) arrived on
+    /// (port, chan): the channel can contribute nothing more to the
+    /// pre-cut-over prefix.
+    fn note_channel(&mut self, version: Option<u64>, port: usize, chan: usize) {
+        if let Some(p) = &mut self.pending {
+            if version.map_or(true, |v| v == p.mig.version) {
+                p.need.remove(&(port, chan));
+            }
+        }
+    }
+
+    fn markers_complete(&self) -> bool {
+        self.pending.as_ref().is_some_and(|p| p.need.is_empty())
+    }
+
+    /// Whether a post-cut-over tuple with this key belongs to a slot still
+    /// in flight *to* this instance (stash until the handoff is absorbed).
+    fn should_stash(&self, key: u64) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|p| p.mig.to == self.me && shard::slot_of(key) == p.mig.slot)
+    }
+}
+
+/// Blocking send of a shard handoff to a sibling instance's inbox, with
+/// the same abort-aware backpressure loop as [`Route::send`].
+fn send_handoff(tx: &Sender<Envelope>, mut env: Envelope, abort: &AtomicBool) -> Result<(), ()> {
+    loop {
+        match tx.send_timeout(env, StdDuration::from_millis(20)) {
+            Ok(()) => return Ok(()),
+            Err(crossbeam::channel::SendTimeoutError::Timeout(e)) => {
+                if abort.load(Ordering::Relaxed) {
+                    return Err(());
+                }
+                env = e;
+            }
+            Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return Err(()),
+        }
+    }
+}
+
+/// Drive the tracked migration forward after a marker/`End`/handoff event.
+///
+/// When this instance's markers are complete: the migration *source*
+/// extracts the slot's operator state and sends it to the target's inbox;
+/// the *target* absorbs a parked handoff (or keeps waiting for it),
+/// replays its stash in arrival order, and acknowledges completion;
+/// bystanders just stop tracking. On resolution the deferred `End`s are
+/// promoted and the operator fires at the recomputed merged clock.
+#[allow(clippy::too_many_arguments)]
+fn shard_progress(
+    ctx: &mut ShardCtx,
+    op: &mut dyn Operator,
+    table: &mut WatermarkTable,
+    collector: &mut ChannelCollector,
+    current_wm: &mut Timestamp,
+    forwarded: &mut Timestamp,
+    istats: &InstanceStats,
+    max_ts: Timestamp,
+    abort: &AtomicBool,
+    first_error: &Mutex<Option<PipelineError>>,
+    log: &EventLog,
+) -> Step {
+    if !ctx.markers_complete() {
+        return Step::Continue;
+    }
+    let Some(p) = ctx.pending.take() else {
+        return Step::Continue;
+    };
+    let mig = p.mig;
+    if mig.from == ctx.me {
+        let slot = mig.slot;
+        let Some(state) = op.extract_shard(&move |key| shard::slot_of(key) == slot) else {
+            // Unreachable when `set_migratable` gating is correct: the
+            // rebalancer only migrates operators that declared support.
+            let e = OpError::Failed {
+                operator: op.name().to_string(),
+                reason: "operator was migrated but does not implement extract_shard".to_string(),
+            };
+            record_op_error(op.name(), e, abort, first_error, log);
+            return Step::Error;
+        };
+        let payload = Box::new(shard::HandoffPayload {
+            version: mig.version,
+            slot,
+            state,
+        });
+        let env = Envelope {
+            port: 0,
+            chan: 0,
+            msg: Message::ShardHandoff(payload),
+        };
+        if send_handoff(&ctx.siblings[mig.to], env, abort).is_err() {
+            return Step::Error;
+        }
+        log.emit(
+            Level::Debug,
+            std::thread::current().name().unwrap_or("operator"),
+            format!("handed slot {} off to shard {}", mig.slot, mig.to),
+        );
+    } else if mig.to == ctx.me {
+        let Some(h) = ctx.parked.take() else {
+            // Markers are complete but the state is still in flight: keep
+            // draining (and keep deferring Ends) until it arrives.
+            ctx.pending = Some(p);
+            return Step::Continue;
+        };
+        debug_assert_eq!(h.version, mig.version, "handoff/migration version mismatch");
+        debug_assert_eq!(h.slot, mig.slot, "handoff/migration slot mismatch");
+        if let Err(e) = op.absorb_shard(h.state) {
+            record_op_error(op.name(), e, abort, first_error, log);
+            return Step::Error;
+        }
+        let stash = std::mem::take(&mut ctx.stash);
+        for (port, t) in stash {
+            if let Err(e) = op.process(port, t, collector) {
+                record_op_error(op.name(), e, abort, first_error, log);
+                return Step::Error;
+            }
+        }
+        ctx.plan.complete(mig.version);
+        log.emit(
+            Level::Debug,
+            std::thread::current().name().unwrap_or("operator"),
+            format!("absorbed slot {} from shard {}", mig.slot, mig.from),
+        );
+    }
+    // Resolution (all roles): promote the Ends deferred during tracking,
+    // then fire at whatever the merged clock becomes.
+    for (port, chan) in ctx.deferred_ends.drain(..) {
+        table.end(port, chan);
+    }
+    let m = table.min();
+    if !table.all_ended() && m > *current_wm && m < Timestamp::MAX {
+        *current_wm = m;
+        istats.note_watermark_lag(max_ts, m);
+        match op.on_watermark(m, collector) {
+            Ok(f) => {
+                let f = f.min(m);
+                if f > *forwarded {
+                    *forwarded = f;
+                    collector.broadcast_watermark(f);
+                }
+            }
+            Err(e) => {
+                record_op_error(op.name(), e, abort, first_error, log);
+                return Step::Error;
+            }
+        }
+    }
+    if table.all_ended() {
+        if let Err(e) = op.on_finish(collector) {
+            record_op_error(op.name(), e, abort, first_error, log);
+        }
+        return Step::Finished;
+    }
+    Step::Continue
 }
 
 fn record_op_error(
@@ -1732,8 +2407,10 @@ fn run_operator(
     drop_late: bool,
     idle_flush: StdDuration,
     proc_every: u64,
+    shard: Option<ShardCtx>,
     log: Arc<EventLog>,
 ) {
+    let mut shard = shard;
     let mut table = WatermarkTable::new(&layout);
     let mut current_wm = Timestamp::MIN;
     let mut forwarded = Timestamp::MIN;
@@ -1746,10 +2423,19 @@ fn run_operator(
     // without touching the channel again.
     let mut handle = |env: Envelope, collector: &mut ChannelCollector| -> Step {
         let port = env.port as usize;
-        let wm_now = current_wm;
+        // Late tuples are judged against the *arriving channel's* watermark,
+        // not the merged minimum: the merged clock's momentary value depends
+        // on cross-channel thread interleaving at unions/joins, while the
+        // per-channel clock is a pure function of that channel's contents —
+        // so which tuples drop is run-to-run deterministic. The channel
+        // watermark is ≥ the merged watermark, so everything the merged
+        // clock would have dropped still drops, and survivors still satisfy
+        // the emission-floor contract (they are ≥ channel wm ≥ merged wm).
+        let wm_now = table.channel_wm(port, env.chan as usize);
         let one_tuple = |t: Tuple,
                          op: &mut dyn Operator,
                          collector: &mut ChannelCollector,
+                         shard: &mut Option<ShardCtx>,
                          records_in: &mut u64,
                          late: &mut u64,
                          max_ts: &mut Timestamp|
@@ -1761,6 +2447,16 @@ fn run_operator(
             if drop_late && t.ts < wm_now {
                 *late += 1;
                 return Step::Continue;
+            }
+            // A post-cut-over tuple for a slot whose state is still in
+            // flight to this instance: hold it (in arrival order) until
+            // the handoff is absorbed. The late-drop verdict above was
+            // final — stashed tuples are replayed without re-judging.
+            if let Some(ctx) = shard.as_mut() {
+                if ctx.should_stash(t.key) {
+                    ctx.stash.push((port, t));
+                    return Step::Continue;
+                }
             }
             // Strided processing-latency sampling: every `proc_every`-th
             // tuple pays two clock reads; the rest pay nothing.
@@ -1783,6 +2479,7 @@ fn run_operator(
                     t,
                     &mut *op,
                     collector,
+                    &mut shard,
                     &mut records_in,
                     &mut late,
                     &mut max_ts,
@@ -1794,6 +2491,7 @@ fn run_operator(
                         t,
                         &mut *op,
                         collector,
+                        &mut shard,
                         &mut records_in,
                         &mut late,
                         &mut max_ts,
@@ -1838,6 +2536,7 @@ fn run_operator(
                             b.tuple_at(i),
                             &mut *op,
                             collector,
+                            &mut shard,
                             &mut records_in,
                             &mut late,
                             &mut max_ts,
@@ -1869,7 +2568,70 @@ fn run_operator(
                     istats.set_state(op.state_bytes());
                 }
             }
+            Message::ShardMarker { version } => {
+                if let Some(ctx) = shard.as_mut() {
+                    ctx.begin_tracking(version, &table);
+                    ctx.note_channel(Some(version), port, env.chan as usize);
+                    return shard_progress(
+                        ctx,
+                        &mut *op,
+                        &mut table,
+                        collector,
+                        &mut current_wm,
+                        &mut forwarded,
+                        &istats,
+                        max_ts,
+                        &abort,
+                        &first_error,
+                        &log,
+                    );
+                }
+                debug_assert!(false, "shard marker delivered to an unsharded node");
+            }
+            Message::ShardHandoff(payload) => {
+                if let Some(ctx) = shard.as_mut() {
+                    ctx.begin_tracking(payload.version, &table);
+                    ctx.parked = Some(payload);
+                    return shard_progress(
+                        ctx,
+                        &mut *op,
+                        &mut table,
+                        collector,
+                        &mut current_wm,
+                        &mut forwarded,
+                        &istats,
+                        max_ts,
+                        &abort,
+                        &first_error,
+                        &log,
+                    );
+                }
+                debug_assert!(false, "shard handoff delivered to an unsharded node");
+            }
             Message::End => {
+                if let Some(ctx) = shard.as_mut() {
+                    if ctx.pending.is_some() {
+                        // Defer the clock promotion while a migration is
+                        // tracked (it still satisfies an outstanding
+                        // marker); the table is promoted at resolution so
+                        // the extract/absorb clocks stay aligned.
+                        ctx.deferred_ends.push((port, env.chan as usize));
+                        ctx.note_channel(None, port, env.chan as usize);
+                        return shard_progress(
+                            ctx,
+                            &mut *op,
+                            &mut table,
+                            collector,
+                            &mut current_wm,
+                            &mut forwarded,
+                            &istats,
+                            max_ts,
+                            &abort,
+                            &first_error,
+                            &log,
+                        );
+                    }
+                }
                 table.end(env.port as usize, env.chan as usize);
                 // An ended channel no longer holds the clock back.
                 let m = table.min();
@@ -1948,6 +2710,9 @@ fn run_operator(
         if !matches!(step, Step::Continue) || collector.failed {
             break;
         }
+    }
+    if let Some(e) = collector.take_op_error() {
+        record_op_error(op.name(), e, &abort, &first_error, &log);
     }
     collector.broadcast_end();
     istats.note_queue_depth(rx.len());
@@ -2068,6 +2833,9 @@ fn run_sink(
                     sink_wm = m;
                 }
             }
+            // Shard protocol traffic never reaches sinks (sinks are not
+            // sharded); tolerate it rather than crash a teardown race.
+            Message::ShardMarker { .. } | Message::ShardHandoff(_) => {}
             Message::End => {
                 table.end(env.port as usize, env.chan as usize);
                 if table.all_ended() {

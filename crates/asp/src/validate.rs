@@ -65,6 +65,17 @@ pub enum Code {
     /// graph checks — the declaration/implementation mismatch is only
     /// observable once a payload arrives.
     ColumnarPayloadMismatch,
+    /// G017: an environment override (`ASP_DATA_PLANE`, `ASP_SHARDS`) held a
+    /// value the executor does not understand. Raised by
+    /// [`crate::runtime::Executor::run`] rather than the graph checks: the
+    /// defect lives in the process environment, not the graph, but silently
+    /// ignoring a typo'd override would run the wrong configuration.
+    InvalidEnvConfig,
+    /// G018: a node was marked for keyed sharding
+    /// ([`GraphBuilder::shard_node`]) but its input edges are not all
+    /// [`Exchange::Hash`] — shard routing owns key placement, so any other
+    /// exchange would scatter a key across shards.
+    InvalidShardedNode,
 }
 
 impl Code {
@@ -87,6 +98,8 @@ impl Code {
         Code::ClampedWatermarkLag,
         Code::InvalidBatchSize,
         Code::ColumnarPayloadMismatch,
+        Code::InvalidEnvConfig,
+        Code::InvalidShardedNode,
     ];
 
     /// The stable `Gxxx` string for this code.
@@ -108,6 +121,8 @@ impl Code {
             Code::ClampedWatermarkLag => "G014",
             Code::InvalidBatchSize => "G015",
             Code::ColumnarPayloadMismatch => "G016",
+            Code::InvalidEnvConfig => "G017",
+            Code::InvalidShardedNode => "G018",
         }
     }
 }
@@ -372,6 +387,36 @@ pub fn check(graph: &GraphBuilder) -> Vec<Diagnostic> {
                 Some(node.name.clone()),
                 "no directed path from this node reaches a sink; its output is dropped",
             ));
+        }
+    }
+
+    // G018: sharded nodes must be operators whose every input is a Hash
+    // exchange — shard routing owns key placement, so a Forward/Rebalance
+    // input would scatter one key's tuples across shard instances.
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !node.sharded {
+            continue;
+        }
+        if !matches!(node.kind, NodeKind::Operator(_)) {
+            out.push(Diagnostic::error(
+                Code::InvalidShardedNode,
+                Some(node.name.clone()),
+                "shard_node on a source or sink; only operators hold keyed shard state",
+            ));
+            continue;
+        }
+        for e in &valid_edges {
+            if e.dst.0 == i && e.exchange != Exchange::Hash {
+                out.push(Diagnostic::error(
+                    Code::InvalidShardedNode,
+                    Some(node.name.clone()),
+                    format!(
+                        "sharded node has a non-Hash input edge from `{}` ({:?})",
+                        name(e.src.0),
+                        e.exchange
+                    ),
+                ));
+            }
         }
     }
 

@@ -99,6 +99,47 @@ pub fn dense_stream(n: usize, sensors: u32, seed: u64) -> Vec<Event> {
     out
 }
 
+/// Key space of the zipf-skewed sharded scenario (~1M distinct keys).
+pub const ZIPF_KEYS: u32 = 1 << 20;
+
+/// Stride between consecutive zipf *ranks* in [`zipf_stream`]'s key
+/// space. 29 is chosen adversarially against the shard runtime's 64-slot
+/// multiply-shift placement hash: the top-36 zipf ranks all land on ONE
+/// initial shard (spread over its 8 round-robin slots), so static hashing
+/// funnels ~34% of a million-key zipf stream — 2.7× the fair share — into
+/// a single worker. Real workloads hit this whenever a key schema
+/// resonates with the placement hash (sequential order ids, strided
+/// sensor addresses); the point of the scenario is that *adaptive*
+/// placement recovers while static placement cannot.
+pub const ZIPF_STRIDE: u32 = 29;
+
+/// Zipf-skewed dense pseudo-stream over `keys` distinct ids: uniform LCG
+/// draws mapped through `exp(u·ln K)` (log-uniform) give continuous
+/// Zipf(s=1) ranks — `P(rank=z) ∝ 1/z`, the hottest rank soaking up ~7%
+/// of a million-key stream — and each rank maps to id `ZIPF_STRIDE · z`,
+/// which piles the hot head of the distribution onto one shard of the
+/// 64-slot placement table (see [`ZIPF_STRIDE`]). Timestamps advance at
+/// [`DENSE_RATE`] events per minute, like [`dense_stream`].
+pub fn zipf_stream(n: usize, keys: u32, seed: u64) -> Vec<Event> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = seed | 1;
+    let ln_k = (keys as f64).ln();
+    for i in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = ((u * ln_k).exp() as u32).min(keys) - 1;
+        out.push(Event::new(
+            EventType((i % 2) as u16),
+            rank * ZIPF_STRIDE,
+            Timestamp::from_minutes((i as u32 / DENSE_RATE) as i64),
+            (x >> 33) as f64 / (1u64 << 31) as f64 * 100.0,
+        ));
+    }
+    out
+}
+
 /// θ for the keyed-join sweep: a ~1% value-band predicate. With a dense
 /// stream a cross join's output would grow quadratically in the per-key
 /// pane population and emission cost would drown the probe cost being
@@ -296,6 +337,51 @@ pub fn run_window_join_global_scan(
     (run(g, batch_size), sink)
 }
 
+/// The sharded scenario: key-partitioned window join fanned out over
+/// `shards` shared-nothing instances (`GraphBuilder::shard_node`), fed
+/// zipf-skewed sides. `adaptive` enables the hot-key rebalancer; with it
+/// off the 64-slot table stays at its static round-robin placement, so
+/// the hottest hash slots pin one unlucky shard — the honest denominator
+/// for the adaptive speedup. `shards == 1` is the single-instance
+/// baseline. Env overrides are pinned off so the scenario measures the
+/// graph it built, not the ambient `ASP_SHARDS`.
+pub fn run_window_join_sharded(
+    left: Vec<Event>,
+    right: Vec<Event>,
+    batch_size: usize,
+    shards: usize,
+    adaptive: bool,
+) -> (RunReport, SinkId) {
+    let mut g = GraphBuilder::new();
+    let a = g.source("a", left, 1);
+    let b = g.source("b", right, 1);
+    let j = g.nary(
+        &[(a, Exchange::Hash), (b, Exchange::Hash)],
+        shards,
+        Box::new(|_| {
+            Box::new(WindowJoinOp::new(
+                "⋈",
+                join_windows(),
+                band_theta(),
+                TsRule::Max,
+            ))
+        }),
+    );
+    if shards > 1 {
+        g.shard_node(j);
+    }
+    let sink = g.counting_sink(j, Exchange::Hash);
+    let report = Executor::new(ExecutorConfig {
+        shards: None,
+        env_errors: Vec::new(),
+        rebalance_interval: adaptive.then(|| std::time::Duration::from_millis(10)),
+        ..cfg(batch_size)
+    })
+    .run(g)
+    .expect("sharded hotpath pipeline runs to completion");
+    (report, sink)
+}
+
 /// Two sources into the key-partitioned interval join (sequence bounds,
 /// 5 min span), parallelism 2 — the other operator whose state the rework
 /// partitioned. Same θ as the keyed window-join sweep.
@@ -361,6 +447,22 @@ mod tests {
         );
         let (ri, si) = run_interval_join(left, right, 64);
         assert!(ri.sink_count(si) > 0, "interval join fired");
+    }
+
+    #[test]
+    fn sharded_join_counts_match_single_instance() {
+        let left = zipf_stream(3_000, ZIPF_KEYS, 8);
+        let right = zipf_stream(3_000, ZIPF_KEYS, 9);
+        let (r1, s1) = run_window_join_sharded(left.clone(), right.clone(), 64, 1, false);
+        assert!(r1.sink_count(s1) > 0, "zipf join fired");
+        for adaptive in [false, true] {
+            let (r8, s8) = run_window_join_sharded(left.clone(), right.clone(), 64, 8, adaptive);
+            assert_eq!(
+                r8.sink_count(s8),
+                r1.sink_count(s1),
+                "sharded (adaptive={adaptive}) diverged from single instance"
+            );
+        }
     }
 
     #[test]

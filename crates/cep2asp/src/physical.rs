@@ -26,13 +26,22 @@ use sea::pattern::Leaf;
 use sea::predicate::{CmpOp, Expr, Predicate, VarId};
 
 use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
-use crate::typecheck::{self, KeyProvenance, TypedNode};
+use crate::typecheck::{self, KeyProvenance, ShardSafety, TypedNode};
 
 /// Physical execution knobs.
 #[derive(Debug, Clone)]
 pub struct PhysicalConfig {
     /// Task slots for keyed (O3) stateful operators.
     pub parallelism: usize,
+    /// Shard count for keyed stateful operators whose placement is safe to
+    /// shard (the typechecker's [`ShardSafety::ShardableByKey`] verdict).
+    /// `Some(n)` lowers those nodes as shared-nothing shard groups of `n`
+    /// instances behind a runtime slot table, making their hot keys
+    /// eligible for adaptive migration; `None` keeps plain hash-mod
+    /// placement at [`PhysicalConfig::parallelism`]. The runtime's
+    /// `ExecutorConfig::shards` (`ASP_SHARDS`) can still override the
+    /// count of every sharded node at execution time.
+    pub shards: Option<usize>,
     /// Per-stateful-operator state budget in bytes (None = unlimited).
     pub memory_limit: Option<usize>,
     /// Source pacing in events/second per source instance (None = as fast
@@ -64,6 +73,7 @@ impl Default for PhysicalConfig {
     fn default() -> Self {
         PhysicalConfig {
             parallelism: 1,
+            shards: None,
             memory_limit: None,
             source_rate: None,
             watermark_every: 256,
@@ -166,6 +176,21 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
+    /// Shard-group size for a keyed stateful node, when sharding is both
+    /// configured ([`PhysicalConfig::shards`]) and safe. With the
+    /// typechecker on, placement is gated on its
+    /// [`ShardSafety::ShardableByKey`] verdict — a node the analysis
+    /// cannot prove key-local keeps plain hash-mod placement. Without the
+    /// typechecker the plan's own `ByKey` partitioning claim is trusted,
+    /// exactly as hash-mod lowering already trusts it.
+    fn shard_par(&self, typed: Option<&TypedNode>) -> Option<usize> {
+        let n = self.cfg.shards?;
+        match typed {
+            Some(t) if t.safety != ShardSafety::ShardableByKey => None,
+            _ => Some(n),
+        }
+    }
+
     fn source(&mut self, etype: EventType) -> Result<NodeId, BuildError> {
         let cfg = match self.source_cfgs.get(&etype) {
             Some(cfg) => cfg.clone(),
@@ -251,6 +276,10 @@ impl<'a> Builder<'a> {
                 let l = self.maybe_dedup(l, left);
                 let r = self.node(right, child(1))?;
                 let r = self.maybe_dedup(r, right);
+                let shard_par = match partitioning {
+                    Partitioning::ByKey => self.shard_par(typed),
+                    Partitioning::Global => None,
+                };
                 let (l, r, par) = match partitioning {
                     Partitioning::ByKey => {
                         // Co-partitioning: re-key each side on its equi-
@@ -259,7 +288,7 @@ impl<'a> Builder<'a> {
                         let (kl, kr) = key_pair.expect("ByKey join has a key pair");
                         let l = self.rekey(l, &ll, kl);
                         let r = self.rekey(r, &rl, kr);
-                        (l, r, self.cfg.parallelism)
+                        (l, r, shard_par.unwrap_or(self.cfg.parallelism))
                     }
                     Partitioning::Global => {
                         // Uniform key → single partition (Section 4.2.1).
@@ -310,6 +339,9 @@ impl<'a> Builder<'a> {
                     par,
                     factory,
                 );
+                if shard_par.is_some() && par > 1 {
+                    self.g.shard_node(id);
+                }
                 Ok(Built {
                     id,
                     parallelism: par,
@@ -346,8 +378,12 @@ impl<'a> Builder<'a> {
                 partitioning,
             } => {
                 let inp = self.node(input, child(0))?;
+                let shard_par = match partitioning {
+                    Partitioning::ByKey => self.shard_par(typed),
+                    Partitioning::Global => None,
+                };
                 let (inp, par) = match partitioning {
-                    Partitioning::ByKey => (inp, self.cfg.parallelism),
+                    Partitioning::ByKey => (inp, shard_par.unwrap_or(self.cfg.parallelism)),
                     Partitioning::Global => (self.uniform_key(inp), 1),
                 };
                 let m = *m;
@@ -364,6 +400,9 @@ impl<'a> Builder<'a> {
                         ))
                     }),
                 );
+                if shard_par.is_some() && par > 1 {
+                    self.g.shard_node(id);
+                }
                 Ok(Built {
                     id,
                     parallelism: par,

@@ -6,6 +6,7 @@
 #
 # Usage: scripts/bench_hotpath.sh [--quick] [--out PATH] [--telemetry PATH]
 #                                 [--assert-keyed-floor] [--assert-columnar-floor]
+#                                 [--assert-shard-floor]
 #   --quick          smaller event counts / fewer repetitions (CI smoke mode)
 #   --out PATH       output file (default: BENCH_hotpath.json at the repo root)
 #   --telemetry PATH runtime-telemetry export from one instrumented run
@@ -18,13 +19,23 @@
 #                    (the CI regression gate for the join state layout)
 #   --assert-columnar-floor  exit nonzero if the columnar filter→map chain
 #                    at batch 256 falls below the row plane on the same
-#                    graph (the CI regression gate for the columnar plane)
+#                    graph (the CI regression gate for the columnar plane),
+#                    or if the batch-1 crossover drops below 0.9x the row
+#                    plane (the gate for the automatic row-plane fallback)
+#   --assert-shard-floor  exit nonzero if the adaptive 8-shard zipf join
+#                    falls below 1.3x static hashing or 3x single-instance.
+#                    Asserted only on hosts with >= 4 cores — skipped with
+#                    a loud notice otherwise, since 8 shard workers
+#                    time-slicing fewer cores measure contention, not
+#                    scaling (the JSON records the host's `cores`)
 #
 # Headline numbers: speedup_filter_map_64_vs_1 (micro-batching acceptance
 # floor 2x), speedup_window_join_keyed_k64_vs_global_scan (key-partitioned
-# state target 3x), and speedup_filter_map_columnar_vs_row_256 (columnar
-# data plane target 1.5x). Relative, statistically sampled numbers live in
-# the criterion suite: cargo bench -p bench --bench hotpath
+# state target 3x), speedup_filter_map_columnar_vs_row_256 (columnar data
+# plane target 1.5x), and speedup_shard_adaptive_vs_{static_8,single}
+# (adaptive sharding targets 1.3x / 3x on >= 4 cores). Relative,
+# statistically sampled numbers live in the criterion suite:
+# cargo bench -p bench --bench hotpath
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

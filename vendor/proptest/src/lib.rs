@@ -297,6 +297,79 @@ pub mod test_runner {
         /// A `prop_assert*!` failed.
         Fail(String),
     }
+
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Persisted regression seeds for one property test, stored under
+    /// `proptest-regressions/<test file>.txt` in the crate under test
+    /// (mirroring upstream proptest's failure persistence). Each case draws
+    /// its inputs from a dedicated RNG seeded with a single `u64`, so a
+    /// failing case is replayable from that one number: the runner appends
+    /// it here on failure, and every future run replays the file's seeds
+    /// before generating fresh cases.
+    ///
+    /// File format: `#` comment lines, then one `cc <seed> <test path>`
+    /// line per failure.
+    pub struct Persistence {
+        path: PathBuf,
+        name: String,
+    }
+
+    impl Persistence {
+        /// Locate the regression file for `module_path!()`/test pair.
+        pub fn for_test(module_path: &str, test: &str) -> Persistence {
+            let file = module_path.split("::").next().unwrap_or(module_path);
+            let dir = std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            Persistence {
+                path: dir.join("proptest-regressions").join(format!("{file}.txt")),
+                name: format!("{module_path}::{test}"),
+            }
+        }
+
+        /// Persisted seeds for this test, oldest first.
+        pub fn seeds(&self) -> Vec<u64> {
+            let Ok(text) = std::fs::read_to_string(&self.path) else {
+                return Vec::new();
+            };
+            text.lines()
+                .filter_map(|l| {
+                    let rest = l.trim().strip_prefix("cc ")?;
+                    let (seed, name) = rest.split_once(' ')?;
+                    if name.trim() == self.name {
+                        seed.parse().ok()
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        }
+
+        /// Append a failing seed (deduplicated against existing entries).
+        pub fn record(&self, seed: u64) {
+            if self.seeds().contains(&seed) {
+                return;
+            }
+            if let Some(dir) = self.path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let header = if self.path.exists() {
+                ""
+            } else {
+                "# Seeds for failing proptest cases, replayed before fresh generation\n\
+                 # on every run. Format: `cc <case seed> <test path>`.\n"
+            };
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+            {
+                let _ = writeln!(f, "{header}cc {seed} {}", self.name);
+            }
+        }
+    }
 }
 
 /// The common imports: `use proptest::prelude::*;`.
@@ -409,19 +482,41 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let persist = $crate::test_runner::Persistence::for_test(
+                    module_path!(),
+                    stringify!($name),
+                );
+                let persisted = persist.seeds();
                 let mut rng =
                     <$crate::rand::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
                         $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
                     );
+                let mut replay_idx: usize = 0;
                 let mut passed: u32 = 0;
                 let mut attempts: u32 = 0;
-                while passed < cfg.cases {
-                    attempts += 1;
-                    assert!(
-                        attempts <= cfg.cases.saturating_mul(50).saturating_add(1000),
-                        "proptest: too many rejected cases (prop_assume too strict?)"
-                    );
-                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                loop {
+                    // Checked-in regression seeds replay first (they do not
+                    // count toward `cases`); then fresh cases, each seeded
+                    // from its own u64 so a failure persists as one number.
+                    let (case_seed, replay) = if replay_idx < persisted.len() {
+                        replay_idx += 1;
+                        (persisted[replay_idx - 1], true)
+                    } else if passed < cfg.cases {
+                        attempts += 1;
+                        assert!(
+                            attempts <= cfg.cases.saturating_mul(50).saturating_add(1000),
+                            "proptest: too many rejected cases (prop_assume too strict?)"
+                        );
+                        ($crate::rand::RngCore::next_u64(&mut rng), false)
+                    } else {
+                        break;
+                    };
+                    let mut case_rng =
+                        <$crate::rand::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            case_seed,
+                        );
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&$strat, &mut case_rng);)+
                     let inputs = format!(
                         concat!($(stringify!($arg), " = {:?}; "),+),
                         $(&$arg),+
@@ -432,12 +527,21 @@ macro_rules! proptest {
                             ::std::result::Result::Ok(())
                         })();
                     match outcome {
-                        Ok(()) => passed += 1,
+                        Ok(()) => {
+                            if !replay {
+                                passed += 1;
+                            }
+                        }
                         Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
                         Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            persist.record(case_seed);
+                            let label = if replay {
+                                "persisted regression".to_string()
+                            } else {
+                                format!("case {}/{}", passed + 1, cfg.cases)
+                            };
                             panic!(
-                                "proptest case {}/{} failed: {}\n  inputs: {}",
-                                passed + 1, cfg.cases, msg, inputs
+                                "proptest {label} (seed {case_seed}) failed: {msg}\n  inputs: {inputs}"
                             );
                         }
                     }
