@@ -134,7 +134,7 @@ pub(crate) struct Node {
     pub kind: NodeKind,
     /// Marked by [`GraphBuilder::shard_node`]: this node's instances form a
     /// shared-nothing keyed shard group routed through a
-    /// [`crate::runtime::shard::ShardPlan`] slot table instead of plain
+    /// `runtime::shard::ShardPlan` slot table instead of plain
     /// hash-mod routing, making its keys eligible for adaptive migration.
     pub sharded: bool,
 }
@@ -305,7 +305,7 @@ impl GraphBuilder {
     }
 
     /// Mark `node` as a shared-nothing keyed shard group: its instances are
-    /// routed through a mutable slot table ([`crate::runtime::shard`])
+    /// routed through a mutable slot table (`runtime::shard`)
     /// instead of static hash-mod partitioning, which lets the adaptive
     /// rebalancer migrate hot key slots between instances at runtime.
     ///

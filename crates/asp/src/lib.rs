@@ -66,6 +66,7 @@ pub mod graph;
 pub mod obs;
 pub mod operator;
 pub mod runtime;
+pub mod sim;
 pub mod time;
 pub mod tuple;
 pub mod validate;

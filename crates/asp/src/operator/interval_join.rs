@@ -213,9 +213,52 @@ impl Operator for IntervalJoinOp {
         })
     }
 
+    fn shard_handoff_supported(&self) -> bool {
+        true
+    }
+
+    fn extract_shard(
+        &mut self,
+        part: &dyn Fn(u64) -> bool,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        Some(Box::new(IntervalJoinHandoff {
+            left: self.left.extract_keys(part),
+            right: self.right.extract_keys(part),
+        }))
+    }
+
+    /// Merge a sibling's extracted slot state. The interval join emits
+    /// each pair eagerly when its *later* side arrives and keeps no firing
+    /// cursor, so — with the runtime aligning the handoff at a common
+    /// merged watermark — the buffered runs *are* the whole state: every
+    /// pair completed before the marker was emitted by the source, and
+    /// every pair completing after it probes the absorbed runs on the
+    /// target. Eviction horizons depend only on the shared clock, so both
+    /// instances hold the same retention window and the runs compose
+    /// verbatim, without loss or duplication.
+    fn absorb_shard(&mut self, state: Box<dyn std::any::Any + Send>) -> Result<(), OpError> {
+        let h = state
+            .downcast::<IntervalJoinHandoff>()
+            .map_err(|_| OpError::Failed {
+                operator: self.name.clone(),
+                reason: "shard handoff payload is not IntervalJoinHandoff state".to_string(),
+            })?;
+        self.left.absorb(h.left, &mut self.seq);
+        self.right.absorb(h.right, &mut self.seq);
+        self.check_limit()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// A slot's extracted [`IntervalJoinOp`] state in flight between shard
+/// instances: both sides' tuples for the migrated keys in arrival order.
+/// No cursors travel — emission is eager, so the runs are the whole state.
+struct IntervalJoinHandoff {
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
 }
 
 #[cfg(test)]
@@ -370,6 +413,130 @@ mod tests {
         op.on_finish(&mut col).unwrap();
         assert_eq!(op.state_bytes(), 0);
         assert_eq!(op.keyed_state().expect("keyed").max_run_len, 3);
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn multiset(out: &[Tuple]) -> Vec<(u64, i64, Vec<(u16, u32, i64)>)> {
+        let mut v: Vec<_> = out
+            .iter()
+            .map(|t| {
+                (
+                    t.key,
+                    t.ts.millis(),
+                    t.events
+                        .iter()
+                        .map(|e| (e.etype.0, e.id, e.ts.millis()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn mid_stream_migration_matches_single_instance_run() {
+        // Emulate the runtime's migration protocol at operator level, the
+        // same drill as `window_join::mid_stream_migration_...`: two
+        // instances share a keyed stream; at an aligned watermark one
+        // key's state is extracted from A and absorbed into B, and the
+        // key's remaining tuples are delivered to B. The union of both
+        // instances' outputs must equal a single-instance run exactly.
+        let bounds = IntervalBounds::conjunction(Duration::from_minutes(4));
+        let fresh = || IntervalJoinOp::new("i⋈", bounds, cross_join(), TsRule::Max);
+        // Two keys, both sides; the cut at minute 12 lands while key 2
+        // still buffers a left (ts 11) whose partner (ts 13) arrives after
+        // the handoff — that pair can only come from the absorbed state.
+        let feed: Vec<(usize, Tuple)> = vec![
+            (0, tup(0, 1, 1, 1.0)),
+            (1, tup(1, 1, 3, 2.0)),
+            (1, tup(1, 2, 5, 3.0)),
+            (0, tup(0, 2, 7, 4.0)),
+            (0, tup(0, 1, 9, 5.0)),
+            (0, tup(0, 2, 11, 6.0)),
+            // ---- migration of key 2 happens at wm = minute 12 ----
+            (1, tup(1, 1, 12, 7.0)),
+            (1, tup(1, 2, 13, 8.0)),
+            (0, tup(0, 2, 15, 9.0)),
+            (1, tup(1, 1, 16, 10.0)),
+        ];
+        let cut = Timestamp::from_minutes(12);
+
+        let mut reference = fresh();
+        let mut ref_col = VecCollector::default();
+        for (port, t) in &feed {
+            let wm = t.ts;
+            reference.process(*port, t.clone(), &mut ref_col).unwrap();
+            reference.on_watermark(wm, &mut ref_col).unwrap();
+        }
+        reference.on_finish(&mut ref_col).unwrap();
+
+        let mut a = fresh();
+        let mut b = fresh();
+        let mut a_col = VecCollector::default();
+        let mut b_col = VecCollector::default();
+        let mut migrated = false;
+        for (port, t) in &feed {
+            let wm = t.ts;
+            if !migrated && wm >= cut {
+                // Both instances sit at the same merged clock (the
+                // runtime's marker alignment): hand key 2 across.
+                a.on_watermark(cut, &mut a_col).unwrap();
+                b.on_watermark(cut, &mut b_col).unwrap();
+                let h = a.extract_shard(&|k| k == 2).expect("supported");
+                b.absorb_shard(h).unwrap();
+                migrated = true;
+            }
+            let dst = if migrated && t.key == 2 {
+                (&mut b, &mut b_col)
+            } else {
+                (&mut a, &mut a_col)
+            };
+            dst.0.process(*port, t.clone(), dst.1).unwrap();
+            a.on_watermark(wm, &mut a_col).unwrap();
+            b.on_watermark(wm, &mut b_col).unwrap();
+        }
+        a.on_finish(&mut a_col).unwrap();
+        b.on_finish(&mut b_col).unwrap();
+
+        let mut combined = a_col.out;
+        combined.extend(b_col.out);
+        assert_eq!(
+            multiset(&combined),
+            multiset(&ref_col.out),
+            "migrated run must emit exactly the single-instance pairs"
+        );
+        assert!(
+            combined.len() >= 4,
+            "scenario must produce pairs before, across, and after the cut"
+        );
+    }
+
+    #[test]
+    fn extract_empty_key_set_is_not_lossy() {
+        // Extracting a predicate that matches nothing hands off empty
+        // runs and leaves the source's state intact.
+        let mut op = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::seq(Duration::from_minutes(10)),
+            cross_join(),
+            TsRule::Max,
+        );
+        let mut col = VecCollector::default();
+        op.process(0, tup(0, 1, 1, 1.0), &mut col).unwrap();
+        let before = op.state_bytes();
+        let h = op.extract_shard(&|_| false).expect("supported");
+        assert_eq!(op.state_bytes(), before, "no keys matched: state intact");
+        let mut other = IntervalJoinOp::new(
+            "i⋈",
+            IntervalBounds::seq(Duration::from_minutes(10)),
+            cross_join(),
+            TsRule::Max,
+        );
+        other.absorb_shard(h).unwrap();
+        assert_eq!(other.state_bytes(), 0);
+        op.process(1, tup(1, 1, 2, 2.0), &mut col).unwrap();
+        assert_eq!(col.out.len(), 1, "pair still fires on the source");
     }
 
     #[test]

@@ -50,7 +50,7 @@
 
 mod chain;
 mod metrics;
-mod shard;
+pub(crate) mod shard;
 
 pub use crate::graph::SinkMode;
 pub use crate::obs::{BoundViolation, EventLog, Level, LogEvent, StaticBounds};

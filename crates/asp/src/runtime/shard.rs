@@ -183,11 +183,26 @@ impl ShardPlan {
     /// Publish a migration: registry first, then the slot flip, then the
     /// version bump (release) — an observer of the new version is
     /// guaranteed to see both the registry entry and the new table.
-    pub fn begin_migration(&self, slot: usize, to: usize) {
+    ///
+    /// Returns `false` (publishing nothing) when a migration is still in
+    /// flight or `to` already owns the slot. Serialization is enforced
+    /// *here*, under the registry lock, not just by the rebalancer's
+    /// courtesy check: a superseding publish mid-drain would strand frozen
+    /// senders forever (`completed` could never catch up to the overwritten
+    /// version) and leak the target's stash for the first migration.
+    #[must_use]
+    pub fn begin_migration(&self, slot: usize, to: usize) -> bool {
+        let mut registry = self.registry.lock();
+        let version = self.version.load(Ordering::Acquire);
+        if registry.is_some() || self.completed.load(Ordering::Acquire) != version {
+            return false;
+        }
         let from = self.slots[slot].load(Ordering::Acquire) as usize;
-        debug_assert_ne!(from, to, "migration must change the slot's owner");
-        let version = self.version.load(Ordering::Acquire) + 1;
-        *self.registry.lock() = Some(Migration {
+        if from == to {
+            return false;
+        }
+        let version = version + 1;
+        *registry = Some(Migration {
             version,
             slot,
             from,
@@ -195,14 +210,24 @@ impl ShardPlan {
         });
         self.slots[slot].store(to as u32, Ordering::Release);
         self.version.store(version, Ordering::Release);
+        true
     }
 
     /// Target-side acknowledgement that version `v`'s handoff is absorbed;
     /// unfreezes sender watermarks and re-arms the rebalancer.
+    ///
+    /// Only the entry published under `v` may clear the registry, and
+    /// `completed` advances monotonically — a stale or duplicate
+    /// acknowledgement must neither destroy a newer in-flight migration's
+    /// registry entry nor regress the absorbed horizon.
     pub fn complete(&self, v: u64) {
-        *self.registry.lock() = None;
-        self.migrations_done.fetch_add(1, Ordering::Relaxed);
-        self.completed.store(v, Ordering::Release);
+        let mut registry = self.registry.lock();
+        if registry.is_some_and(|m| m.version == v) {
+            *registry = None;
+        }
+        if self.completed.fetch_max(v, Ordering::AcqRel) < v {
+            self.migrations_done.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// One rebalancer decision: if the hottest shard carries more than
@@ -247,7 +272,9 @@ impl ShardPlan {
         if counts[slot] == 0 || load[cold] + counts[slot] >= load[hot] {
             return None;
         }
-        self.begin_migration(slot, cold);
+        if !self.begin_migration(slot, cold) {
+            return None;
+        }
         self.migration()
     }
 }
@@ -307,7 +334,7 @@ mod tests {
         let slot = (0..SHARD_SLOTS)
             .find(|&s| plan.snapshot_slots()[s] == 0)
             .expect("shard 0 owns slots");
-        plan.begin_migration(slot, 1);
+        assert!(plan.begin_migration(slot, 1));
         assert_eq!(plan.version(), 1);
         let m = plan.migration().expect("registry populated");
         assert_eq!((m.slot, m.from, m.to, m.version), (slot, 0, 1, 1));
@@ -357,5 +384,50 @@ mod tests {
         let counts = [MIN_TICK_TRAFFIC; SHARD_SLOTS];
         plan.add_traffic(&counts);
         assert_eq!(plan.rebalance_tick(), None);
+    }
+
+    #[test]
+    fn superseding_publish_is_refused_mid_flight() {
+        let plan = ShardPlan::new(2);
+        let owned_by_0: Vec<usize> = (0..SHARD_SLOTS)
+            .filter(|&s| plan.snapshot_slots()[s] == 0)
+            .collect();
+        assert!(plan.begin_migration(owned_by_0[0], 1));
+        // A second publish while v1 is still draining must be refused — it
+        // would orphan v1's frozen senders and in-flight stash.
+        assert!(!plan.begin_migration(owned_by_0[1], 1));
+        assert_eq!(plan.version(), 1);
+        let m = plan.migration().expect("v1 registry entry intact");
+        assert_eq!((m.version, m.slot), (1, owned_by_0[0]));
+        // Migrating a slot onto its current owner is likewise a no-op.
+        plan.complete(1);
+        assert!(!plan.begin_migration(owned_by_0[0], 1));
+        assert_eq!(plan.version(), 1);
+        // Once v1 is absorbed, the next publish proceeds.
+        assert!(plan.begin_migration(owned_by_0[1], 1));
+        assert_eq!(plan.version(), 2);
+    }
+
+    #[test]
+    fn stale_complete_does_not_clear_newer_registry() {
+        let plan = ShardPlan::new(2);
+        let owned_by_0: Vec<usize> = (0..SHARD_SLOTS)
+            .filter(|&s| plan.snapshot_slots()[s] == 0)
+            .collect();
+        assert!(plan.begin_migration(owned_by_0[0], 1));
+        plan.complete(1);
+        assert!(plan.begin_migration(owned_by_0[1], 1));
+        // A duplicate acknowledgement of v1 arrives after v2 published: it
+        // must neither clear v2's registry entry nor regress `completed`,
+        // and must not double-count the migration.
+        plan.complete(1);
+        let m = plan.migration().expect("v2 registry entry intact");
+        assert_eq!(m.version, 2);
+        assert_eq!(plan.completed(), 1);
+        assert_eq!(plan.migrations_done(), 1);
+        plan.complete(2);
+        assert_eq!(plan.completed(), 2);
+        assert_eq!(plan.migrations_done(), 2);
+        assert_eq!(plan.migration(), None);
     }
 }

@@ -1,0 +1,243 @@
+//! Bounded-exhaustive schedule exploration: depth-first search over the
+//! enabled-transition tree with sleep-set (DPOR-lite) pruning and
+//! state-hash deduplication, under a wall-clock/state cap.
+//!
+//! The search is *replay-based*: operators are not cloneable, so instead of
+//! snapshotting worlds the explorer rebuilds each frontier node by
+//! replaying its schedule prefix from scratch. For the intended configs
+//! (≤ 8 events, 1–2 migrations) a replay is a few dozen cheap steps, and
+//! the cost is dwarfed by the pruning it buys.
+//!
+//! Soundness notes:
+//!
+//! * **Dedup** merges nodes whose [`World::state_hash`] agrees; operator
+//!   state is represented by per-instance op-log hashes (equal op logs ⇒
+//!   equal operator state ⇒ equal futures), so merging never hides a
+//!   distinct outcome.
+//! * **Sleep sets** use the textbook rule (a child inherits the parent's
+//!   sleep set plus its earlier siblings, minus transitions dependent with
+//!   the taken one) with a deliberately conservative independence relation
+//!   ([`World::independent`]). Because naive caching is unsound *combined*
+//!   with sleep sets, the visited key hashes the sleep set alongside the
+//!   state — slightly fewer merges, no missed schedules.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use super::model::{oracle_sink, SimConfig, Transition, World};
+use super::replay::Schedule;
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOpts {
+    /// Wall-clock cap; the search reports `capped` when it runs out.
+    pub time_cap: StdDuration,
+    /// Cap on distinct states visited.
+    pub max_states: u64,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            time_cap: StdDuration::from_secs(30),
+            max_states: 5_000_000,
+        }
+    }
+}
+
+/// A failing schedule with its diagnosis and full deterministic trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The exact interleaving that failed (serializable for replay).
+    pub schedule: Schedule,
+    /// What went wrong.
+    pub message: String,
+    /// The run's event log up to (and including) the failure.
+    pub trace: String,
+}
+
+/// Search statistics and outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Distinct states visited (post-dedup).
+    pub states: u64,
+    /// Tree edges expanded (scheduled child transitions).
+    pub transitions: u64,
+    /// Complete schedules that reached a final state.
+    pub schedules: u64,
+    /// Frontier nodes merged into an already-visited state.
+    pub dedup_pruned: u64,
+    /// Enabled transitions skipped by sleep sets.
+    pub sleep_pruned: u64,
+    /// Longest schedule prefix reached.
+    pub max_depth: usize,
+    /// Whether a cap cut the search short of exhaustiveness.
+    pub capped: bool,
+    /// First invariant violation found, if any (the search stops there).
+    pub violation: Option<Violation>,
+}
+
+impl ExploreReport {
+    /// True when the search covered the whole (pruned) schedule space
+    /// without finding a violation.
+    pub fn exhaustive_and_clean(&self) -> bool {
+        !self.capped && self.violation.is_none()
+    }
+}
+
+fn sleep_hash(sleep: &[Transition]) -> u64 {
+    let mut h = DefaultHasher::new();
+    sleep.hash(&mut h);
+    h.finish()
+}
+
+/// Replay `prefix` on a fresh world. Any step error is an invariant
+/// violation surfaced with the offending prefix as the failing schedule.
+fn replay(cfg: &Arc<SimConfig>, prefix: &[Transition]) -> Result<World, Violation> {
+    let mut w = World::new(Arc::clone(cfg), false);
+    for &t in prefix {
+        if let Err(message) = w.step(t) {
+            return Err(Violation {
+                schedule: Schedule(prefix.to_vec()),
+                message,
+                trace: w.trace().to_string(),
+            });
+        }
+    }
+    Ok(w)
+}
+
+/// Exhaustively explore `cfg`'s schedule space (up to the caps), checking
+/// every complete schedule against the protocol invariants and the
+/// single-shard oracle. Stops at the first violation.
+pub fn explore(cfg: &SimConfig, opts: &ExploreOpts) -> Result<ExploreReport, String> {
+    cfg.validate()?;
+    let cfg = Arc::new(cfg.clone());
+    let oracle = {
+        // The oracle ignores the seeded bug: it defines correct semantics.
+        let mut clean = (*cfg).clone();
+        clean.seed_bug = None;
+        oracle_sink(&Arc::new(clean))?
+    };
+
+    let started = Instant::now();
+    let mut report = ExploreReport::default();
+    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    // DFS work stack of (schedule prefix, sleep set). Entries own their
+    // prefixes; for the intended config sizes the stack stays small.
+    let mut stack: Vec<(Vec<Transition>, Vec<Transition>)> = vec![(Vec::new(), Vec::new())];
+
+    while let Some((prefix, sleep)) = stack.pop() {
+        if started.elapsed() > opts.time_cap || report.states >= opts.max_states {
+            report.capped = true;
+            break;
+        }
+        let w = match replay(&cfg, &prefix) {
+            Ok(w) => w,
+            Err(v) => {
+                report.violation = Some(v);
+                break;
+            }
+        };
+        if !visited.insert((w.state_hash(), sleep_hash(&sleep))) {
+            report.dedup_pruned += 1;
+            continue;
+        }
+        report.states += 1;
+        report.max_depth = report.max_depth.max(prefix.len());
+
+        if w.done() {
+            report.schedules += 1;
+            if let Err(message) = w.final_check(&oracle) {
+                report.violation = Some(Violation {
+                    schedule: Schedule(prefix),
+                    message,
+                    trace: w.trace().to_string(),
+                });
+                break;
+            }
+            continue;
+        }
+        let enabled = w.enabled();
+        if enabled.is_empty() {
+            report.violation = Some(Violation {
+                schedule: Schedule(prefix),
+                message: "deadlock: run incomplete but no transition enabled".to_string(),
+                trace: w.trace().to_string(),
+            });
+            break;
+        }
+        let explorable: Vec<Transition> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !sleep.contains(t))
+            .collect();
+        report.sleep_pruned += (enabled.len() - explorable.len()) as u64;
+        // Push children in reverse so the first transition is explored
+        // first (pure DFS order, deterministic).
+        for k in (0..explorable.len()).rev() {
+            let taken = explorable[k];
+            let mut child_sleep: Vec<Transition> = sleep
+                .iter()
+                .copied()
+                .chain(explorable[..k].iter().copied())
+                .filter(|&s| w.independent(s, taken))
+                .collect();
+            child_sleep.sort_unstable();
+            child_sleep.dedup();
+            let mut child = prefix.clone();
+            child.push(taken);
+            report.transitions += 1;
+            stack.push((child, child_sleep));
+        }
+    }
+    Ok(report)
+}
+
+/// Re-run one exact schedule (e.g. parsed from a regression file) and
+/// report the outcome: `Ok(trace)` when every invariant holds, or the
+/// violation when it reproduces.
+pub fn run_schedule(cfg: &SimConfig, schedule: &Schedule) -> Result<String, Violation> {
+    let cfg = Arc::new(cfg.clone());
+    let oracle = {
+        let mut clean = (*cfg).clone();
+        clean.seed_bug = None;
+        oracle_sink(&Arc::new(clean)).map_err(|message| Violation {
+            schedule: schedule.clone(),
+            message,
+            trace: String::new(),
+        })?
+    };
+    let mut w = replay(&cfg, &schedule.0)?;
+    // Deterministically finish a partial schedule (replay files store the
+    // prefix up to the failure; the violation fires during it).
+    loop {
+        let enabled = w.enabled();
+        let Some(&t) = enabled.first() else { break };
+        if let Err(message) = w.step(t) {
+            return Err(Violation {
+                schedule: schedule.clone(),
+                message,
+                trace: w.trace().to_string(),
+            });
+        }
+    }
+    if !w.done() {
+        return Err(Violation {
+            schedule: schedule.clone(),
+            message: "deadlock: run incomplete but no transition enabled".to_string(),
+            trace: w.trace().to_string(),
+        });
+    }
+    if let Err(message) = w.final_check(&oracle) {
+        return Err(Violation {
+            schedule: schedule.clone(),
+            message,
+            trace: w.trace().to_string(),
+        });
+    }
+    Ok(w.trace().to_string())
+}

@@ -1,0 +1,137 @@
+//! Schedule serialization for regression replay, à la proptest's
+//! `proptest-regressions/`: a failing interleaving is written to a small
+//! text file whose last line re-runs the exact schedule.
+//!
+//! Format: `#`-prefixed header comments, then one line of
+//! whitespace-separated steps — `S<sender>`, `D<instance>.<lane>`, `P`:
+//!
+//! ```text
+//! # sim-regression for config: small-window-join
+//! # violation: stash not drained: 1 tuple(s) left on i1
+//! S0 P S0 D1.0 D1.0 ...
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use super::model::Transition;
+
+/// An ordered interleaving of transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule(pub Vec<Transition>);
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, t) in self.0.iter().enumerate() {
+            if k > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut steps = Vec::new();
+        for tok in s.split_whitespace() {
+            steps.push(parse_step(tok)?);
+        }
+        Ok(Schedule(steps))
+    }
+}
+
+fn parse_step(tok: &str) -> Result<Transition, String> {
+    if tok == "P" {
+        return Ok(Transition::Publish);
+    }
+    if let Some(rest) = tok.strip_prefix('S') {
+        let s = rest
+            .parse::<usize>()
+            .map_err(|_| format!("bad sender step {tok:?}"))?;
+        return Ok(Transition::Sender(s));
+    }
+    if let Some(rest) = tok.strip_prefix('D') {
+        let (i, lane) = rest
+            .split_once('.')
+            .ok_or_else(|| format!("bad deliver step {tok:?}"))?;
+        let instance = i
+            .parse::<usize>()
+            .map_err(|_| format!("bad deliver step {tok:?}"))?;
+        let lane = lane
+            .parse::<usize>()
+            .map_err(|_| format!("bad deliver step {tok:?}"))?;
+        return Ok(Transition::Deliver { instance, lane });
+    }
+    Err(format!("unknown schedule step {tok:?}"))
+}
+
+impl Schedule {
+    /// Render a regression file: header comments + the schedule line.
+    pub fn render_regression(&self, config_name: &str, message: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# sim-regression for config: {config_name}\n"));
+        for line in message.lines() {
+            out.push_str(&format!("# violation: {line}\n"));
+        }
+        out.push_str(
+            "# re-run: asp::sim::run_schedule, or `sim-explore --config <name> --replay <file>`\n",
+        );
+        out.push_str(&self.to_string());
+        out.push('\n');
+        out
+    }
+
+    /// Parse a regression file: `#` lines are comments; the remaining
+    /// non-empty lines are concatenated into one schedule.
+    pub fn parse_regression(text: &str) -> Result<Schedule, String> {
+        let body: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if body.is_empty() {
+            return Err("regression file has no schedule line".to_string());
+        }
+        body.join(" ").parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips_through_text() {
+        let s = Schedule(vec![
+            Transition::Sender(0),
+            Transition::Publish,
+            Transition::Deliver {
+                instance: 1,
+                lane: 2,
+            },
+            Transition::Sender(1),
+        ]);
+        let text = s.to_string();
+        assert_eq!(text, "S0 P D1.2 S1");
+        assert_eq!(text.parse::<Schedule>().expect("parses"), s);
+    }
+
+    #[test]
+    fn regression_file_round_trips() {
+        let s = Schedule(vec![Transition::Publish, Transition::Sender(1)]);
+        let file = s.render_regression("cfg", "sink diverges\nsecond line");
+        assert_eq!(Schedule::parse_regression(&file).expect("parses"), s);
+        assert!(file.starts_with("# sim-regression for config: cfg\n"));
+    }
+
+    #[test]
+    fn malformed_steps_are_rejected() {
+        assert!("S0 X1".parse::<Schedule>().is_err());
+        assert!("D1".parse::<Schedule>().is_err());
+        assert!(Schedule::parse_regression("# only comments\n").is_err());
+    }
+}

@@ -13,8 +13,11 @@
 //!                       (executes the pipelines; use --release)
 //!   --schema            append the schema & partition-safety report (the
 //!                       typechecker's inferred schemas, key provenance, and
-//!                       shardability verdict per node)
-//!   --schema-json FILE  write the machine-readable typecheck artifact
+//!                       shardability verdict per node) plus the M-code
+//!                       migration-safety findings under a hypothetical
+//!                       8-shard adaptive deployment
+//!   --schema-json FILE  write the machine-readable typecheck + migration
+//!                       artifact
 //! ```
 //!
 //! Without `--ab` no pipeline runs: the report is purely static, derived
@@ -153,8 +156,9 @@ fn print_usage() {
                              [--ab] [--schema] [--schema-json FILE]\n\
          Renders the static analyzer's EXPLAIN report (per-node rate/state\n\
          estimates and A-code diagnostics) for the standard workload suite.\n\
-         --schema appends the typechecker's schema & partition-safety report;\n\
-         --schema-json writes its machine-readable artifact to FILE.\n\
+         --schema appends the typechecker's schema & partition-safety report\n\
+         and the M-code migration-safety findings (8-shard adaptive check);\n\
+         --schema-json writes their machine-readable artifact to FILE.\n\
          --ab additionally executes the join-order A/B measurement."
     );
 }

@@ -1,0 +1,191 @@
+//! CLI front-end for the bounded model checker (`asp::sim`): exhaustively
+//! explores the shard-migration protocol's schedule space for the named
+//! small configs and reports states/pruning counters per config.
+//!
+//! ```text
+//! sim-explore [--all | --config <name>] [--time-cap-ms N] [--max-states N]
+//!             [--seed-bug skip-stash-replay|eager-end-promotion]
+//!             [--regressions <dir>] [--replay <file>] [--list]
+//! ```
+//!
+//! Exit status is non-zero when any explored config yields a violation (the
+//! failing schedule is printed, and written under `--regressions` if set)
+//! or when a time/state cap prevented exhaustive coverage.
+
+use std::process::ExitCode;
+use std::time::Duration as StdDuration;
+
+use asp::sim::{
+    all_configs, config_by_name, explore, run_schedule, ExploreOpts, Schedule, SeedBug, SimConfig,
+};
+
+struct Args {
+    configs: Vec<SimConfig>,
+    opts: ExploreOpts,
+    regressions: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut seed_bug: Option<SeedBug> = None;
+    let mut opts = ExploreOpts::default();
+    let mut regressions = None;
+    let mut replay = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--list" => {
+                for c in all_configs() {
+                    println!("{}", c.name);
+                }
+                std::process::exit(0);
+            }
+            "--all" => all = true,
+            "--config" => names.push(val("--config")?),
+            "--time-cap-ms" => {
+                opts.time_cap = StdDuration::from_millis(
+                    val("--time-cap-ms")?
+                        .parse()
+                        .map_err(|_| "bad --time-cap-ms".to_string())?,
+                );
+            }
+            "--max-states" => {
+                opts.max_states = val("--max-states")?
+                    .parse()
+                    .map_err(|_| "bad --max-states".to_string())?;
+            }
+            "--seed-bug" => {
+                seed_bug = Some(match val("--seed-bug")?.as_str() {
+                    "skip-stash-replay" => SeedBug::SkipStashReplay,
+                    "eager-end-promotion" => SeedBug::EagerEndPromotion,
+                    other => return Err(format!("unknown seed bug {other:?}")),
+                });
+            }
+            "--regressions" => regressions = Some(val("--regressions")?),
+            "--replay" => replay = Some(val("--replay")?),
+            other => return Err(format!("unknown argument {other:?} (see --list)")),
+        }
+    }
+    let configs = if all || names.is_empty() {
+        all_configs()
+            .into_iter()
+            .map(|mut c| {
+                c.seed_bug = seed_bug;
+                c
+            })
+            .collect()
+    } else {
+        let mut out = Vec::new();
+        for n in &names {
+            out.push(config_by_name(n, seed_bug).ok_or_else(|| format!("unknown config {n:?}"))?);
+        }
+        out
+    };
+    Ok(Args {
+        configs,
+        opts,
+        regressions,
+        replay,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sim-explore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Replay mode: re-run one stored schedule against one config.
+    if let Some(path) = &args.replay {
+        let [cfg] = &args.configs[..] else {
+            eprintln!("sim-explore: --replay needs exactly one --config");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim-explore: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let schedule = match Schedule::parse_regression(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sim-explore: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_schedule(cfg, &schedule) {
+            Ok(trace) => {
+                println!("{}: schedule holds ({} steps)", cfg.name, schedule.0.len());
+                println!("{trace}");
+                ExitCode::SUCCESS
+            }
+            Err(v) => {
+                eprintln!("{}: violation reproduced: {}", cfg.name, v.message);
+                eprintln!("{}", v.trace);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut failed = false;
+    for cfg in &args.configs {
+        let t0 = std::time::Instant::now();
+        let report = match explore(cfg, &args.opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: config invalid: {e}", cfg.name);
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "{}: states={} transitions={} schedules={} dedup-pruned={} sleep-pruned={} \
+             max-depth={} capped={} ({} ms)",
+            cfg.name,
+            report.states,
+            report.transitions,
+            report.schedules,
+            report.dedup_pruned,
+            report.sleep_pruned,
+            report.max_depth,
+            report.capped,
+            t0.elapsed().as_millis()
+        );
+        if report.capped {
+            eprintln!(
+                "{}: NOT exhaustive (cap hit) — raise --time-cap-ms",
+                cfg.name
+            );
+            failed = true;
+        }
+        if let Some(v) = &report.violation {
+            failed = true;
+            eprintln!("{}: VIOLATION: {}", cfg.name, v.message);
+            eprintln!("{}: failing schedule: {}", cfg.name, v.schedule);
+            if let Some(dir) = &args.regressions {
+                let file = format!("{dir}/{}.txt", cfg.name);
+                let body = v.schedule.render_regression(&cfg.name, &v.message);
+                if let Err(e) =
+                    std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&file, body))
+                {
+                    eprintln!("{}: cannot write regression {file}: {e}", cfg.name);
+                } else {
+                    eprintln!("{}: regression written to {file}", cfg.name);
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

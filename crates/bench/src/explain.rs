@@ -96,16 +96,28 @@ pub fn suite_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
     out
 }
 
+/// The hypothetical deployment `plan-explain --schema` checks migration
+/// safety against: 8 shards with the adaptive rebalancer on — the shape
+/// the hotpath scenario exercises.
+fn hypothetical_deployment() -> cep2asp::MigrateConfig {
+    cep2asp::MigrateConfig::sharded(8)
+}
+
 /// Render the schema & partition-safety report for every pattern in the
 /// standard suite: the typechecker's per-node inferred row schema, key
 /// provenance, and shardability verdict (see DESIGN.md, "Schema &
-/// partition-safety"). Printed by `plan-explain --schema`.
+/// partition-safety"), followed by the `M`-code migration-safety findings
+/// under a hypothetical 8-shard adaptive deployment. Printed by
+/// `plan-explain --schema`.
 pub fn schema_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
     let sources = suite_sources(cfg);
     let stats = StreamStats::from_sources(&sources);
+    let mcfg = hypothetical_deployment();
     let mut out = format!(
-        "PLAN SCHEMA — standard suite (W = {} min, order = {:?})\n\n",
-        cfg.w_minutes, strategy
+        "PLAN SCHEMA — standard suite (W = {} min, order = {:?}, migration check: {} shards, adaptive)\n\n",
+        cfg.w_minutes,
+        strategy,
+        mcfg.shards.unwrap_or(1)
     );
     for (name, pattern) in standard_suite(cfg.w_minutes) {
         let opts = auto_options_with(&pattern, &stats, strategy);
@@ -114,6 +126,15 @@ pub fn schema_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String 
                 let tc = cep2asp::typecheck(&plan);
                 let _ = writeln!(out, "== {name} [{}]", plan.mapping);
                 out.push_str(&tc.render());
+                let mig = cep2asp::migration_safety(&plan, &tc, &mcfg);
+                if mig.is_empty() {
+                    out.push_str("-- migration safety: clean\n");
+                } else {
+                    let _ = writeln!(out, "-- migration safety ({}):", mig.len());
+                    for d in &mig {
+                        let _ = writeln!(out, "   {d}");
+                    }
+                }
             }
             Err(e) => {
                 let _ = writeln!(out, "== {name}\n-- translate failed: {e}");
@@ -131,15 +152,26 @@ pub fn schema_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String 
 pub fn schema_json(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
     let sources = suite_sources(cfg);
     let stats = StreamStats::from_sources(&sources);
+    let mcfg = hypothetical_deployment();
     let mut entries = Vec::new();
     for (name, pattern) in standard_suite(cfg.w_minutes) {
         let opts = auto_options_with(&pattern, &stats, strategy);
-        let body = match translate(&pattern, &opts) {
+        let entry = match translate(&pattern, &opts) {
             // `to_json` already emits a complete JSON object; embed raw.
-            Ok(plan) => cep2asp::typecheck(&plan).to_json(),
-            Err(e) => format!("{{\"error\":\"{e}\"}}"),
+            Ok(plan) => {
+                let tc = cep2asp::typecheck(&plan);
+                let mig = cep2asp::migration_safety(&plan, &tc, &mcfg);
+                format!(
+                    "{{\"pattern\":\"{name}\",\"typecheck\":{},\"migration\":{}}}",
+                    tc.to_json(),
+                    cep2asp::migration_json(&mig)
+                )
+            }
+            Err(e) => {
+                format!("{{\"pattern\":\"{name}\",\"typecheck\":{{\"error\":\"{e}\"}},\"migration\":[]}}")
+            }
         };
-        entries.push(format!("{{\"pattern\":\"{name}\",\"typecheck\":{body}}}"));
+        entries.push(entry);
     }
     format!(
         "{{\"window_minutes\":{},\"order\":\"{:?}\",\"patterns\":[{}]}}\n",
@@ -298,6 +330,20 @@ mod tests {
         );
         assert!(report.contains("[shardable-by-key]"), "{report}");
         assert!(report.contains("[global-only]"), "{report}");
+        // The migration-safety footer rides along for every pattern: the
+        // suite's ByKey joins have live handoff (M003 obligations only),
+        // while global-only nodes under the 8-shard check surface M004.
+        assert!(report.contains("-- migration safety"), "{report}");
+        assert!(report.contains("M003"), "{report}");
+        assert!(report.contains("M004"), "{report}");
+        // Both join operators implement handoff, so no M001 anchors at a
+        // Join node (it may still fire for non-join shardables).
+        assert!(
+            !report
+                .lines()
+                .any(|l| l.contains("M001") && l.contains("Join")),
+            "{report}"
+        );
     }
 
     #[test]
@@ -313,6 +359,7 @@ mod tests {
             other => panic!("expected patterns array, got {other:?}"),
         };
         assert_eq!(pats.len(), standard_suite(cfg.w_minutes).len());
+        let mut migration_findings = 0usize;
         for p in pats {
             let tc = serde::de_field(p, "typecheck");
             assert_eq!(
@@ -324,6 +371,13 @@ mod tests {
                 matches!(serde::de_field(tc, "root"), serde::Value::Object(_)),
                 "{p:?}"
             );
+            match serde::de_field(p, "migration") {
+                serde::Value::Array(items) => migration_findings += items.len(),
+                other => panic!("expected migration array, got {other:?}"),
+            }
         }
+        // The 8-shard adaptive check always finds something across the
+        // suite (obligations notes at minimum).
+        assert!(migration_findings > 0);
     }
 }

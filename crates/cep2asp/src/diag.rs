@@ -1,9 +1,10 @@
 //! One diagnostic-reporting path for every static-analysis family.
 //!
-//! The workspace carries four families of coded diagnostics — `G` (graph
+//! The workspace carries five families of coded diagnostics — `G` (graph
 //! validation, `asp::validate`), `P` (plan lints, [`crate::lint`]), `A`
-//! (cost pathologies, [`mod@crate::analyze`]), and `S` (schema/partition
-//! safety, [`mod@crate::typecheck`]). They used to render through per-family
+//! (cost pathologies, [`mod@crate::analyze`]), `S` (schema/partition
+//! safety, [`mod@crate::typecheck`]), and `M` (migration safety,
+//! [`mod@crate::migrate`]). They used to render through per-family
 //! ad-hoc `Display` impls; [`Diag`] is the single carrier — code,
 //! severity, anchoring node, message — with one `Display` impl, so every
 //! family prints identically:

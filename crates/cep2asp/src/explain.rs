@@ -107,6 +107,17 @@ pub fn explain_analyzed(
             let _ = writeln!(out, "   {d}");
         }
     }
+    // Migration safety under the default (single-shard) deployment: only
+    // the config-independent capability findings (M001) can fire here;
+    // `plan-explain --schema` re-runs the pass under a sharded config.
+    let mig =
+        crate::migrate::migration_safety(plan, &typed, &crate::migrate::MigrateConfig::default());
+    if !mig.is_empty() {
+        let _ = writeln!(out, "-- migration safety ({}):", mig.len());
+        for d in &mig {
+            let _ = writeln!(out, "   {d}");
+        }
+    }
     out
 }
 

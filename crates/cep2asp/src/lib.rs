@@ -44,6 +44,7 @@ pub mod exec;
 pub mod explain;
 pub mod kleene_udf;
 pub mod lint;
+pub mod migrate;
 pub mod multi;
 pub mod optimizer;
 pub mod physical;
@@ -62,6 +63,9 @@ pub use exec::{
 };
 pub use explain::{explain_analyzed, render_analysis, render_analysis_typed};
 pub use lint::{lint_plan, LintCode, LintDiagnostic};
+pub use migrate::{
+    migration_json, migration_safety, MigrateCode, MigrateConfig, MigrateDiagnostic,
+};
 pub use multi::{run_patterns, MultiRun, PatternJob};
 pub use optimizer::{
     annotations_from_stats, auto_options, auto_options_with, explain_with_stats, OrderingStrategy,

@@ -1,9 +1,10 @@
 //! Doc-sync: DESIGN.md's diagnostic-code tables must match the enums.
 //!
 //! Each stable code family (`Gxxx` graph validation, `Pxxx` plan lints,
-//! `Axxx` analyzer diagnostics, `Sxxx` schema/partition-safety) is
-//! documented as a markdown table in DESIGN.md ("Static analysis &
-//! invariants" / "Static cost model" / "Schema & partition-safety").
+//! `Axxx` analyzer diagnostics, `Sxxx` schema/partition-safety, `Mxxx`
+//! migration safety) is documented as a markdown table in DESIGN.md
+//! ("Static analysis & invariants" / "Static cost model" / "Schema &
+//! partition-safety" / "Migration safety").
 //! Renaming, adding, or removing a variant without updating the docs —
 //! or documenting a code that no longer exists — fails here.
 
@@ -97,10 +98,24 @@ fn typecheck_codes_match_design_md() {
 }
 
 #[test]
+fn migrate_codes_match_design_md() {
+    let code: BTreeSet<String> = cep2asp::MigrateCode::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(
+        code.len(),
+        cep2asp::MigrateCode::ALL.len(),
+        "duplicate M code"
+    );
+    assert_in_sync("Mxxx", &documented_codes(&design_md(), 'M'), &code);
+}
+
+#[test]
 fn code_tables_are_dense_and_ordered() {
     // Codes are stable identifiers: each family must be X001..X00n with
     // no gaps, in declaration order, so a new code can only be appended.
-    let families: [(&str, Vec<String>); 4] = [
+    let families: [(&str, Vec<String>); 5] = [
         (
             "G",
             asp::validate::Code::ALL
@@ -125,6 +140,13 @@ fn code_tables_are_dense_and_ordered() {
         (
             "S",
             cep2asp::TypeCode::ALL
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect(),
+        ),
+        (
+            "M",
+            cep2asp::MigrateCode::ALL
                 .iter()
                 .map(|c| c.as_str().to_string())
                 .collect(),

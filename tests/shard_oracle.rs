@@ -306,3 +306,108 @@ fn adaptive_rebalancing_migrates_and_preserves_output() {
         migrations
     );
 }
+
+/// End-race companion: a stream short enough that migrations publish while
+/// the sources are running out, so the drain races the channels' `End`s
+/// and the deferred-`End` promotion path (see `asp::sim::config_end_race`,
+/// which enumerates this race exhaustively) is exercised against the real
+/// threaded runtime. Every attempt must match the single-instance
+/// reference; across attempts, at least one must actually migrate.
+#[test]
+fn migration_racing_stream_end_preserves_output() {
+    let shards = 4u64;
+    let hot_a = 1u32;
+    let sa = slot_of(hot_a as u64);
+    let hot_b = (2u32..10_000)
+        .find(|&k| {
+            let s = slot_of(k as u64);
+            s != sa && s % shards == sa % shards
+        })
+        .expect("a colliding key exists");
+
+    // Short skewed stream: ~6k events at 100k ev/s per source lasts a few
+    // rebalance ticks at most, so a migration that starts at all starts
+    // near the end of the stream.
+    let n = 6_000usize;
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..n {
+        // Each left/right pair shares one hot key, alternating pair-wise,
+        // so both sides feed both hot slots and every window matches.
+        let id = if (i / 2) % 2 == 0 { hot_a } else { hot_b };
+        let ev = Event::new(
+            EventType(u16::from(i % 2 == 0)),
+            id,
+            Timestamp((i as i64 / 2) * 500),
+            (i / 2 % 40) as f64,
+        );
+        if i % 2 == 0 {
+            left.push(ev);
+        } else {
+            right.push(ev);
+        }
+    }
+    let theta: JoinPredicate =
+        Arc::new(|l: &Tuple, r: &Tuple| l.head().map(|e| e.value) == r.head().map(|e| e.value));
+
+    let run = |shards: usize, rebalance: Option<StdDuration>| {
+        let mut g = GraphBuilder::new();
+        let src = |events: Vec<Event>| {
+            SourceConfig::new(events)
+                .with_watermark_every(32)
+                .with_rate(100_000.0)
+        };
+        let l = g.source_with("l", src(left.clone()), 1);
+        let r = g.source_with("r", src(right.clone()), 1);
+        let theta = theta.clone();
+        let join = g.nary(
+            &[(l, Exchange::Hash), (r, Exchange::Hash)],
+            shards,
+            Box::new(move |_| {
+                Box::new(WindowJoinOp::new(
+                    "⋈",
+                    SlidingWindows::tumbling(Duration::from_minutes(1)),
+                    theta.clone(),
+                    TsRule::Max,
+                ))
+            }),
+        );
+        if shards > 1 {
+            g.shard_node(join);
+        }
+        let sink = g.sink(join, Exchange::Rebalance);
+        let report = Executor::new(ExecutorConfig {
+            shards: None,
+            env_errors: Vec::new(),
+            rebalance_interval: rebalance,
+            idle_flush: StdDuration::from_millis(1),
+            ..ExecutorConfig::default()
+        })
+        .run(g)
+        .expect("end-race pipeline runs to completion");
+        (report, sink)
+    };
+
+    let (r1, s1) = run(1, None);
+    let want = canon(&r1, s1);
+    assert!(r1.sink_count(s1) > 0, "scenario must produce matches");
+
+    let mut migrated = false;
+    for attempt in 0..10 {
+        let (r4, s4) = run(4, Some(StdDuration::from_millis(5)));
+        assert_eq!(
+            canon(&r4, s4),
+            want,
+            "end-race run diverged (attempt {attempt})"
+        );
+        assert_eq!(late_dropped(&r4), late_dropped(&r1));
+        if r4.nodes.iter().map(|n| n.shard_migrations).sum::<u64>() >= 1 {
+            migrated = true;
+            break;
+        }
+    }
+    assert!(
+        migrated,
+        "no attempt migrated — the race window was never exercised"
+    );
+}
