@@ -90,6 +90,19 @@ impl SourceConfig {
         }
     }
 
+    /// A source replaying an already-`Arc`ed event array — the multi-
+    /// pattern path, where many scans over the same stream must not copy
+    /// it once per scan. Same defaults as [`SourceConfig::new`].
+    pub fn from_shared(events: Arc<Vec<Event>>) -> Self {
+        SourceConfig {
+            events,
+            watermark_every: 256,
+            rate: None,
+            watermark_lag: crate::time::Duration::ZERO,
+            lag_clamped: false,
+        }
+    }
+
     /// Pace the replay at `events_per_sec` (wall-clock throttling).
     pub fn with_rate(mut self, events_per_sec: f64) -> Self {
         self.rate = Some(events_per_sec);

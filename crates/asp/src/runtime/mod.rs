@@ -218,6 +218,13 @@ enum Message {
     /// A columnar micro-batch (always dense on the wire; receivers never
     /// see a selection vector). Used exclusively on the columnar plane.
     Columnar(ColumnarBatch),
+    /// A dense columnar micro-batch broadcast to several destinations at
+    /// once without per-route payload copies — the fan-out path under
+    /// shared subplans, where one operator's output feeds many consumer
+    /// pipelines. Operators take ownership on receipt (`Arc::try_unwrap`,
+    /// cloning only while the batch is still referenced elsewhere); sinks
+    /// read it in place.
+    Shared(Arc<ColumnarBatch>),
     Watermark(Timestamp),
     /// Shard-migration cut-over marker: everything before it on this
     /// channel was routed under the previous slot table, everything after
@@ -1007,6 +1014,40 @@ impl ChannelCollector {
         let blocked_ns = &istats.backpressure_ns;
         let n = routes.len();
         if n == 0 {
+            return;
+        }
+        // Shared fan-out: a full batch bound for ≥ 2 pre-resolved,
+        // unsharded destinations goes out once as an `Arc` instead of
+        // being gather-copied into every route's pending buffer — the
+        // multi-consumer analogue of the single-route zero-copy path
+        // below. Each route first settles its pending rows and owed
+        // watermarks via `flush_buf`, so the channel-relative order of
+        // tuples and watermarks stays a pure function of emission order.
+        if n >= 2
+            && selected >= *batch_size
+            && routes
+                .iter()
+                .all(|r| r.fixed.is_some() && r.shard.is_none())
+        {
+            if let Err(e) = batch.compact() {
+                routes[0].op_error.get_or_insert(e);
+                *failed = true;
+                return;
+            }
+            let shared = Arc::new(batch);
+            for r in routes.iter_mut() {
+                let idx = r.fixed.expect("eligibility checked above");
+                if r.flush_buf(idx, *batch_size, abort, blocked_ns).is_err() {
+                    *failed = true;
+                    continue;
+                }
+                r.batches += 1;
+                if r.send(idx, Message::Shared(shared.clone()), abort, blocked_ns)
+                    .is_err()
+                {
+                    *failed = true;
+                }
+            }
             return;
         }
         for r in routes.iter_mut().take(n - 1) {
@@ -2422,6 +2463,21 @@ fn run_operator(
     // Handle one envelope; tuple batches are processed back-to-back
     // without touching the channel again.
     let mut handle = |env: Envelope, collector: &mut ChannelCollector| -> Step {
+        // A shared fan-out batch becomes an owned columnar batch at the
+        // operator boundary: free when this consumer holds the last
+        // reference, one clone while sibling consumers still read it.
+        let env = match env {
+            Envelope {
+                port,
+                chan,
+                msg: Message::Shared(b),
+            } => Envelope {
+                port,
+                chan,
+                msg: Message::Columnar(Arc::try_unwrap(b).unwrap_or_else(|b| (*b).clone())),
+            },
+            env => env,
+        };
         let port = env.port as usize;
         // Late tuples are judged against the *arriving channel's* watermark,
         // not the merged minimum: the merged clock's momentary value depends
@@ -2546,6 +2602,8 @@ fn run_operator(
                     }
                 }
             }
+            // Rewritten to `Columnar` at the top of `handle`.
+            Message::Shared(_) => unreachable!("shared batches are unwrapped on entry"),
             Message::Watermark(ts) => {
                 table.update(env.port as usize, env.chan as usize, ts);
                 let m = table.min();
@@ -2775,6 +2833,33 @@ fn run_sink(
             shared.tuples.lock().push(t);
         }
     };
+    // Column-path delivery: one atomic add per batch; rows are
+    // materialized only in Collect mode. Reads the batch by reference so
+    // shared fan-out batches are consumed without a clone.
+    let sink_batch = |b: &ColumnarBatch, n: &mut u64, sink_wm: Timestamp, enforce_floor: bool| {
+        #[cfg(not(feature = "invariant-checks"))]
+        let _ = (sink_wm, enforce_floor);
+        shared.count.fetch_add(b.len() as u64, Ordering::Relaxed);
+        for i in 0..b.len() {
+            *n += 1;
+            #[cfg(feature = "invariant-checks")]
+            assert!(
+                !enforce_floor || b.ts[i] >= sink_wm,
+                "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
+                b.ts[i]
+            );
+            if b.wall[i] > 0 && *n % shared.stride as u64 == 0 {
+                let now = epoch.elapsed().as_nanos() as u64;
+                shared
+                    .latencies_ns
+                    .lock()
+                    .push(now.saturating_sub(b.wall[i]));
+            }
+            if shared.mode == SinkMode::Collect {
+                shared.tuples.lock().push(b.tuple_at(i));
+            }
+        }
+    };
     let mut rounds: u64 = 0;
     loop {
         if abort.load(Ordering::Relaxed) {
@@ -2802,30 +2887,8 @@ fn run_sink(
                     sink_one(t, &mut n, sink_wm, enforce_floor);
                 }
             }
-            Message::Columnar(b) => {
-                // Column-path delivery: one atomic add per batch; rows are
-                // materialized only in Collect mode.
-                shared.count.fetch_add(b.len() as u64, Ordering::Relaxed);
-                for i in 0..b.len() {
-                    n += 1;
-                    #[cfg(feature = "invariant-checks")]
-                    assert!(
-                        !enforce_floor || b.ts[i] >= sink_wm,
-                        "invariant violation: sink received tuple at {:?} behind merged watermark {sink_wm:?}",
-                        b.ts[i]
-                    );
-                    if b.wall[i] > 0 && n % shared.stride as u64 == 0 {
-                        let now = epoch.elapsed().as_nanos() as u64;
-                        shared
-                            .latencies_ns
-                            .lock()
-                            .push(now.saturating_sub(b.wall[i]));
-                    }
-                    if shared.mode == SinkMode::Collect {
-                        shared.tuples.lock().push(b.tuple_at(i));
-                    }
-                }
-            }
+            Message::Columnar(b) => sink_batch(&b, &mut n, sink_wm, enforce_floor),
+            Message::Shared(b) => sink_batch(&b, &mut n, sink_wm, enforce_floor),
             Message::Watermark(ts) => {
                 table.update(env.port as usize, env.chan as usize, ts);
                 let m = table.min();

@@ -4,7 +4,8 @@
 //! global-scan operator as the speedup denominator.
 //!
 //! Usage: `hotpath [--quick] [--out PATH] [--telemetry PATH] [--explain]
-//! [--assert-keyed-floor] [--assert-columnar-floor] [--assert-shard-floor]`
+//! [--assert-keyed-floor] [--assert-columnar-floor] [--assert-shard-floor]
+//! [--assert-multi-floor]`
 //! (normally via `scripts/bench_hotpath.sh`). `--quick` shrinks the event
 //! counts and repetitions for CI smoke runs; the headline
 //! `speedup_filter_map_64_vs_1` and
@@ -24,6 +25,13 @@
 //! time-sliced shard workers measure contention, not scaling; the
 //! recorded `cores` field says which regime a JSON artifact
 //! came from).
+//!
+//! `--assert-multi-floor` exits nonzero if the shared-subplan DAG over
+//! 1000 overlapping pattern variants (`multi_patterns`) falls below 3×
+//! the isolated per-pattern pipelines on the same workload — the CI gate
+//! for the multi-query optimizer. Both arms run single-threaded source
+//! replay of identical streams and must agree on every sink count before
+//! the ratio is recorded.
 //!
 //! The filter→map chain is swept twice: on the columnar plane (the
 //! default) and pinned to the row plane (`filter_map_chain_row`), giving
@@ -135,6 +143,42 @@ struct Output {
     /// Adaptive multi-shard over the single-instance run. Target ≥ 3× on
     /// ≥ 4 cores; `--assert-shard-floor` gates on it (same core gate).
     speedup_shard_adaptive_vs_single: f64,
+    /// The multi-pattern scenario: ~1k overlapping pattern variants over
+    /// shared streams, once as one shared-subplan DAG and once as
+    /// isolated per-pattern pipelines.
+    multi_patterns: Vec<MultiPoint>,
+    /// Headline for the shared-subplan optimizer: logical throughput of
+    /// the shared DAG over the isolated pipelines (a pure wall-time
+    /// ratio — both arms process the same logical volume). Target ≥ 3×;
+    /// `--assert-multi-floor` fails the run below that.
+    speedup_multi_shared_vs_isolated: f64,
+}
+
+/// One arm of the multi-pattern scenario.
+#[derive(Serialize)]
+struct MultiPoint {
+    /// Pattern variants in the batch.
+    variants: usize,
+    /// Whether the shared-subplan pass was on.
+    shared: bool,
+    /// End-to-end wall time (translate + build + run), seconds.
+    wall_secs: f64,
+    /// Logical events per second: `variants × 2 × stream_len / wall` —
+    /// the same numerator for both arms, so the ratio is wall time.
+    throughput_eps: f64,
+    /// Events the sources actually replayed (shared arm: once per merged
+    /// scan; isolated arm: once per pattern per scan).
+    source_events: u64,
+    /// Total matches across all per-pattern sinks (cross-arm oracle).
+    sink_total: u64,
+    /// Plan nodes before sharing.
+    nodes_total: usize,
+    /// Plan nodes actually lowered.
+    nodes_lowered: usize,
+    /// Scans before sharing.
+    scans_total: usize,
+    /// Scans actually lowered.
+    scans_lowered: usize,
 }
 
 /// One sharded-scenario configuration with its measured point.
@@ -375,6 +419,72 @@ fn main() {
         );
     }
 
+    // Multi-pattern scenario: ~1k overlapping variants, shared DAG vs
+    // isolated pipelines. Arms are interleaved across 3 reps and each
+    // arm keeps its best wall — each run stands up thousands of threads,
+    // and allocator/scheduler drift across runs in one process otherwise
+    // leaks into the ratio.
+    let multi_cfg = if quick {
+        bench::multi::MultiBenchConfig::quick()
+    } else {
+        bench::multi::MultiBenchConfig::full()
+    };
+    let (multi_jobs, multi_sources) = bench::multi::build_workload(&multi_cfg);
+    let mut multi_points: Vec<MultiPoint> = Vec::new();
+    let mut multi_sinks: Vec<u64> = Vec::new();
+    let mut best: [Option<MultiPoint>; 2] = [None, None];
+    for _ in 0..3 {
+        for (slot, shared) in [true, false].into_iter().enumerate() {
+            let (run, wall) = bench::multi::run_multi(&multi_jobs, &multi_sources, shared);
+            let sink_total = bench::multi::sink_total(&run);
+            multi_sinks.push(sink_total);
+            let point = MultiPoint {
+                variants: multi_cfg.variants,
+                shared,
+                wall_secs: wall.as_secs_f64(),
+                throughput_eps: multi_cfg.logical_events() as f64 / wall.as_secs_f64().max(1e-9),
+                source_events: run.report.source_events,
+                sink_total,
+                nodes_total: run.share.nodes_total,
+                nodes_lowered: run.share.nodes_lowered,
+                scans_total: run.share.scans_total,
+                scans_lowered: run.share.scans_lowered,
+            };
+            match &best[slot] {
+                Some(b) if point.wall_secs >= b.wall_secs => {}
+                _ => best[slot] = Some(point),
+            }
+        }
+    }
+    for point in best {
+        let point = point.expect("three reps ran");
+        eprintln!(
+            "{:>20} variants={} {:>12.0} events/s  (wall {:.2}s, scans {} → {})",
+            if point.shared {
+                "multi_shared"
+            } else {
+                "multi_isolated"
+            },
+            multi_cfg.variants,
+            point.throughput_eps,
+            point.wall_secs,
+            point.scans_total,
+            point.scans_lowered,
+        );
+        multi_points.push(point);
+    }
+    // Same workload, same streams: every rep of both arms must agree
+    // exactly on the total output or the speedup is meaningless.
+    assert!(
+        multi_sinks.windows(2).all(|w| w[0] == w[1]),
+        "multi-pattern arms disagree on sink totals: {multi_sinks:?}"
+    );
+    let multi_speedup = multi_points[1].wall_secs / multi_points[0].wall_secs.max(1e-9);
+    eprintln!(
+        "multi_patterns shared speedup ({} variants, vs isolated pipelines): {multi_speedup:.2}x",
+        multi_cfg.variants
+    );
+
     let at = |pts: &[Point], bs: usize| -> f64 {
         pts.iter()
             .find(|p| p.batch_size == bs)
@@ -436,6 +546,8 @@ fn main() {
         speedup_filter_map_columnar_vs_row_1: crossover_bs1,
         speedup_shard_adaptive_vs_static: shard_vs_static,
         speedup_shard_adaptive_vs_single: shard_vs_single,
+        multi_patterns: multi_points,
+        speedup_multi_shared_vs_isolated: multi_speedup,
     };
     let json = serde_json::to_string_pretty(&out).expect("serializable");
     let mut f = std::fs::File::create(&out_path).expect("create output file");
@@ -469,6 +581,14 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    if args.iter().any(|a| a == "--assert-multi-floor") && multi_speedup < 3.0 {
+        eprintln!(
+            "FAIL: shared-subplan DAG over {} overlapping pattern variants fell \
+             below 3x the isolated pipelines ({multi_speedup:.2}x)",
+            out.multi_patterns[0].variants
+        );
+        std::process::exit(1);
     }
     if args.iter().any(|a| a == "--assert-shard-floor") {
         if cores < 4 {

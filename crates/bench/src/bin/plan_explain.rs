@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N]
-//!                     [--out FILE] [--ab] [--schema] [--schema-json FILE]
+//!                     [--out FILE] [--ab] [--multi] [--schema]
+//!                     [--schema-json FILE]
 //!
 //! Options:
 //!   --order MODE        join ordering strategy: cost (default) or heuristic
@@ -11,6 +12,11 @@
 //!   --out FILE          also write the report to FILE
 //!   --ab                run the cost-vs-heuristic join-order A/B measurement
 //!                       (executes the pipelines; use --release)
+//!   --multi             render the shared-subplan report instead: the suite
+//!                       lowered as one multi-pattern batch, each plan node
+//!                       annotated with its consumer count (×N), duplicate
+//!                       pipelines collapsed, plus the sharing summary
+//!                       (nodes/scans before vs. after interning)
 //!   --schema            append the schema & partition-safety report (the
 //!                       typechecker's inferred schemas, key provenance, and
 //!                       shardability verdict per node) plus the M-code
@@ -25,7 +31,9 @@
 //! pattern gets an estimate tree plus `A`-code diagnostics (see
 //! DESIGN.md, "Static cost model").
 
-use bench::explain::{ab_join_order, schema_json, schema_report, suite_report, ExplainConfig};
+use bench::explain::{
+    ab_join_order, multi_report, schema_json, schema_report, suite_report, ExplainConfig,
+};
 use cep2asp::OrderingStrategy;
 
 fn main() {
@@ -34,6 +42,7 @@ fn main() {
     let mut strategy = OrderingStrategy::CostBased;
     let mut out_file: Option<String> = None;
     let mut run_ab = false;
+    let mut show_multi = false;
     let mut show_schema = false;
     let mut schema_json_file: Option<String> = None;
 
@@ -98,6 +107,10 @@ fn main() {
                 run_ab = true;
                 args.remove(i);
             }
+            "--multi" => {
+                show_multi = true;
+                args.remove(i);
+            }
             "--schema" => {
                 show_schema = true;
                 args.remove(i);
@@ -121,7 +134,11 @@ fn main() {
         }
     }
 
-    let mut report = suite_report(&cfg, strategy);
+    let mut report = if show_multi {
+        multi_report(&cfg, strategy)
+    } else {
+        suite_report(&cfg, strategy)
+    };
     if show_schema {
         report.push('\n');
         report.push_str(&schema_report(&cfg, strategy));
@@ -153,9 +170,12 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "Usage: plan-explain [--order cost|heuristic] [--window MIN] [--sensors N] [--out FILE]\n\
-                             [--ab] [--schema] [--schema-json FILE]\n\
+                             [--ab] [--multi] [--schema] [--schema-json FILE]\n\
          Renders the static analyzer's EXPLAIN report (per-node rate/state\n\
          estimates and A-code diagnostics) for the standard workload suite.\n\
+         --multi renders the shared-subplan report instead: the suite as one\n\
+         multi-pattern batch with per-node consumer counts and the sharing\n\
+         summary (nodes/scans saved).\n\
          --schema appends the typechecker's schema & partition-safety report\n\
          and the M-code migration-safety findings (8-shard adaptive check);\n\
          --schema-json writes their machine-readable artifact to FILE.\n\

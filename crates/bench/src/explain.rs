@@ -96,6 +96,37 @@ pub fn suite_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
     out
 }
 
+/// Render the shared-subplan report for the standard suite run as one
+/// multi-pattern batch: every pattern's plan tree annotated with how many
+/// consumers each interned subtree serves (`×N`), patterns whose whole
+/// pipeline duplicates an earlier one collapsed to a reference, and the
+/// sharing summary (nodes and scans before vs. after interning). Printed
+/// by `plan-explain --multi` and uploaded as the CI `PLAN_MULTI`
+/// artifact, so sharing regressions — a canonical-key change that stops
+/// two suite patterns from merging — show up as a text diff.
+pub fn multi_report(cfg: &ExplainConfig, strategy: OrderingStrategy) -> String {
+    let sources = suite_sources(cfg);
+    let stats = StreamStats::from_sources(&sources);
+    let mut plans = Vec::new();
+    let mut failed = String::new();
+    for (name, pattern) in standard_suite(cfg.w_minutes) {
+        let opts = auto_options_with(&pattern, &stats, strategy);
+        match translate(&pattern, &opts) {
+            Ok(plan) => plans.push((name, plan)),
+            Err(e) => {
+                let _ = writeln!(failed, "== {name}\n-- translate failed: {e}");
+            }
+        }
+    }
+    format!(
+        "PLAN MULTI — standard suite as one shared batch (W = {} min, order = {:?})\n\n{}{}",
+        cfg.w_minutes,
+        strategy,
+        cep2asp::render_multi(plans.iter().map(|(n, p)| (*n, p))),
+        failed
+    )
+}
+
 /// The hypothetical deployment `plan-explain --schema` checks migration
 /// safety against: 8 shards with the adaptive rebalancer on — the shape
 /// the hotpath scenario exercises.
@@ -308,6 +339,23 @@ mod tests {
         // join amplification must both be diagnosed somewhere.
         assert!(report.contains("A001"), "{report}");
         assert!(report.contains("A002"), "{report}");
+    }
+
+    #[test]
+    fn multi_report_shows_sharing_across_the_suite() {
+        let cfg = ExplainConfig {
+            minutes: 40,
+            ..Default::default()
+        };
+        let report = multi_report(&cfg, OrderingStrategy::CostBased);
+        for (name, _) in standard_suite(cfg.w_minutes) {
+            assert!(report.contains(&format!("== {name}")), "missing {name}");
+        }
+        assert!(!report.contains("translate failed"), "{report}");
+        assert!(report.contains("-- sharing:"), "{report}");
+        // The suite's patterns read overlapping streams: at least one
+        // subtree must be interned for more than one consumer.
+        assert!(report.contains("×"), "no shared subtree\n{report}");
     }
 
     #[test]

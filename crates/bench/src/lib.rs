@@ -21,6 +21,7 @@ pub mod chart;
 pub mod experiments;
 pub mod explain;
 pub mod hotpath;
+pub mod multi;
 pub mod patterns;
 pub mod preflight;
 pub mod report;

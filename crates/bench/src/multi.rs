@@ -1,0 +1,304 @@
+//! The `multi_patterns` scenario: ~1k generated pattern variants over
+//! shared streams, run once as one shared-subplan DAG
+//! ([`cep2asp::run_patterns_with`] with sharing on) and once as isolated
+//! per-pattern pipelines (sharing off) — the workload multi-query
+//! optimization exists for, and the regime the paper's Section 6 notes
+//! serial CEP engines cannot enter at all.
+//!
+//! The catalog is built so structural overlap is high but not total:
+//! variants cycle through a base grid of shapes (SEQ/AND × adjacent type
+//! pairs × two window lengths × a small set of shared thresholds), and
+//! every eighth variant gets a threshold constant unique to it, so its
+//! scan and join intern to fresh DAG nodes while its partner-side scan
+//! still shares. At 1000 variants that yields ≳ 75% of patterns whose
+//! entire pipeline is lowered once for many consumers (≥ 50% is the
+//! floor the CI gate's workload promises).
+//!
+//! Both arms process the same logical volume — every pattern reads its
+//! two input streams end to end — so the reported throughput divides the
+//! *logical* event count (events × patterns reading them) by wall time,
+//! and the shared/isolated ratio is a pure wall-time ratio. Sinks count
+//! only ([`PhysicalConfig::collect_output`] off) and channels are small:
+//! the isolated arm stands up thousands of pipelines at once, and
+//! default-sized buffers would turn the comparison into an allocator
+//! benchmark.
+
+use std::collections::HashMap;
+use std::time::{Duration as StdDuration, Instant};
+
+use asp::event::{Attr, Event, EventType};
+use asp::runtime::ExecutorConfig;
+use asp::time::Timestamp;
+use cep2asp::{
+    run_patterns_with, shared_catalog, MapperOptions, MultiOptions, MultiRun, PatternJob,
+    PhysicalConfig, SourceCatalog,
+};
+use sea::pattern::{builders, WindowSpec};
+use sea::predicate::{CmpOp, Predicate};
+
+/// Input event types the variant catalog draws from.
+pub const MULTI_TYPES: u16 = 4;
+
+/// Every eighth variant gets a threshold constant no other variant uses,
+/// keeping structural overlap below 100% so the shared arm still lowers
+/// a long tail of unique subtrees.
+const UNIQUE_EVERY: usize = 8;
+
+/// Shared left-leaf threshold constants the non-unique variants cycle
+/// through. Deliberately selective (≤ 15% pass): matches must stay rare
+/// so the arms' walls measure the scan/join work sharing deduplicates,
+/// not the per-sink match deliveries both arms pay identically.
+const COMMON_THRESHOLDS: [f64; 3] = [5.0, 10.0, 15.0];
+
+/// Right-leaf threshold all variants share (≈ 8% pass) — see
+/// [`COMMON_THRESHOLDS`] on why the workload keeps matches rare.
+const RIGHT_THRESHOLD: f64 = 92.0;
+
+/// Window lengths (minutes) the base shape grid cycles through.
+const WINDOWS: [i64; 2] = [2, 4];
+
+/// Configuration of the multi-pattern scenario.
+#[derive(Debug, Clone)]
+pub struct MultiBenchConfig {
+    /// Pattern variants to generate.
+    pub variants: usize,
+    /// Events per minute per input stream.
+    pub sensors: u32,
+    /// Stream length in minutes.
+    pub minutes: i64,
+}
+
+impl MultiBenchConfig {
+    /// The full-mode scenario: 1000 variants over 1000-minute streams.
+    pub fn full() -> Self {
+        MultiBenchConfig {
+            variants: 1000,
+            sensors: 4,
+            minutes: 1000,
+        }
+    }
+
+    /// CI smoke mode: same variant count (the sharing ratio is the point),
+    /// shorter streams.
+    pub fn quick() -> Self {
+        MultiBenchConfig {
+            minutes: 800,
+            ..Self::full()
+        }
+    }
+
+    /// Total events across all generated streams.
+    pub fn total_events(&self) -> u64 {
+        MULTI_TYPES as u64 * self.sensors as u64 * self.minutes as u64
+    }
+
+    /// Logical event volume: every pattern reads two full streams, so both
+    /// arms process `variants × 2 × stream_len` events' worth of input
+    /// regardless of how many physical scans the optimizer lowered.
+    pub fn logical_events(&self) -> u64 {
+        self.variants as u64 * 2 * self.sensors as u64 * self.minutes as u64
+    }
+}
+
+/// Deterministic per-type streams: `sensors` events per minute per type,
+/// LCG values in `[0, 100)`, ids round-robin over the sensors.
+pub fn multi_sources(cfg: &MultiBenchConfig) -> HashMap<EventType, Vec<Event>> {
+    let mut out: HashMap<EventType, Vec<Event>> = HashMap::new();
+    let mut x = 0x5DEECE66Du64;
+    for t in 0..MULTI_TYPES {
+        let stream = out.entry(EventType(t)).or_default();
+        for m in 0..cfg.minutes {
+            for s in 0..cfg.sensors {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                stream.push(Event::new(
+                    EventType(t),
+                    s,
+                    Timestamp::from_minutes(m),
+                    (x >> 33) as f64 / (1u64 << 31) as f64 * 100.0,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Generate `n` pattern variants over the base shape grid. Variant `i`
+/// takes shape `i mod grid`, threshold `COMMON_THRESHOLDS[(i / grid) % 3]`
+/// — except every `UNIQUE_EVERY`-th variant, whose constant
+/// `5 + i/1000` is unique to it. All variants map with O1 (interval
+/// joins, duplicate-free), so solo and shared runs need no output dedup.
+pub fn variant_catalog(n: usize) -> Vec<PatternJob> {
+    let pairs: Vec<(u16, u16)> = (0..MULTI_TYPES)
+        .flat_map(|a| ((a + 1)..MULTI_TYPES).map(move |b| (a, b)))
+        .collect();
+    let grid = 2 * pairs.len() * WINDOWS.len();
+    (0..n)
+        .map(|i| {
+            let shape = i % grid;
+            let and = shape % 2 == 1;
+            let (a, b) = pairs[(shape / 2) % pairs.len()];
+            let w = WINDOWS[(shape / (2 * pairs.len())) % WINDOWS.len()];
+            let c = if i % UNIQUE_EVERY == UNIQUE_EVERY - 1 {
+                5.0 + i as f64 * 0.001
+            } else {
+                COMMON_THRESHOLDS[(i / grid) % COMMON_THRESHOLDS.len()]
+            };
+            let preds = vec![
+                Predicate::threshold(0, Attr::Value, CmpOp::Le, c),
+                Predicate::threshold(1, Attr::Value, CmpOp::Ge, RIGHT_THRESHOLD),
+                Predicate::same_id(0, 1),
+            ];
+            let leaves = [(EventType(a), "A"), (EventType(b), "B")];
+            let pattern = if and {
+                builders::and(&leaves, WindowSpec::minutes(w), preds)
+            } else {
+                builders::seq(&leaves, WindowSpec::minutes(w), preds)
+            };
+            PatternJob::new(format!("v{i}"), pattern, MapperOptions::o1())
+        })
+        .collect()
+}
+
+/// Physical settings of the scenario: count-only sinks, no sharding (the
+/// isolated arm would multiply its thousands of pipelines by the shard
+/// count), everything else at defaults.
+pub fn multi_phys() -> PhysicalConfig {
+    PhysicalConfig {
+        collect_output: false,
+        shards: None,
+        ..PhysicalConfig::default()
+    }
+}
+
+/// Executor settings of the scenario: small channels (the isolated arm
+/// stands up thousands of them), sharding env overrides pinned off so the
+/// scenario measures the graph it built, not the ambient `ASP_SHARDS`.
+pub fn multi_exec() -> ExecutorConfig {
+    ExecutorConfig {
+        channel_capacity: 64,
+        shards: None,
+        env_errors: Vec::new(),
+        ..ExecutorConfig::default()
+    }
+}
+
+/// One timed arm of the scenario. Returns the run (for sink totals and
+/// the sharing report) and the end-to-end wall time, including plan
+/// translation and graph construction — sharing that does not pay for
+/// its own analysis is not a win.
+pub fn run_multi(
+    jobs: &[PatternJob],
+    sources: &SourceCatalog,
+    share: bool,
+) -> (MultiRun, StdDuration) {
+    let start = Instant::now();
+    let run = run_patterns_with(
+        jobs,
+        sources,
+        &multi_phys(),
+        &multi_exec(),
+        &MultiOptions { share },
+    )
+    .expect("multi-pattern scenario runs to completion");
+    (run, start.elapsed())
+}
+
+/// Total matches across all sinks — the cross-arm correctness oracle
+/// (shared and isolated arms must agree exactly).
+pub fn sink_total(run: &MultiRun) -> u64 {
+    run.names().iter().map(|n| run.raw_count(n)).sum()
+}
+
+/// Convenience: catalog + sources + both arms, as the hotpath binary and
+/// tests use them.
+pub fn build_workload(cfg: &MultiBenchConfig) -> (Vec<PatternJob>, SourceCatalog) {
+    (
+        variant_catalog(cfg.variants),
+        shared_catalog(&multi_sources(cfg)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_overlaps_heavily_but_not_totally() {
+        let cfg = MultiBenchConfig {
+            variants: 200,
+            sensors: 1,
+            minutes: 30,
+        };
+        let (jobs, sources) = build_workload(&cfg);
+        assert_eq!(jobs.len(), 200);
+        let (shared, _) = run_multi(&jobs, &sources, true);
+        // ≥ 50% structural overlap: at least half the per-pattern root
+        // subtrees were lowered as duplicates of an earlier pattern's.
+        assert!(
+            shared.share.nodes_saved() * 2 >= shared.share.nodes_total,
+            "overlap too low: {:?}",
+            shared.share
+        );
+        // …but the unique-threshold tail keeps it below total sharing.
+        assert!(shared.share.nodes_lowered > shared.share.nodes_total / 200);
+        assert_eq!(
+            shared.report.source_events,
+            shared.share.expected_source_events
+        );
+    }
+
+    #[test]
+    fn shared_and_isolated_arms_agree_on_every_sink() {
+        let cfg = MultiBenchConfig {
+            variants: 48,
+            sensors: 1,
+            minutes: 40,
+        };
+        let (jobs, sources) = build_workload(&cfg);
+        let (shared, _) = run_multi(&jobs, &sources, true);
+        let (isolated, _) = run_multi(&jobs, &sources, false);
+        assert!(sink_total(&shared) > 0, "workload produced matches");
+        assert_eq!(sink_total(&shared), sink_total(&isolated));
+        for name in shared.names() {
+            assert_eq!(
+                shared.raw_count(name),
+                isolated.raw_count(name),
+                "pattern {name} diverged between arms"
+            );
+        }
+        assert!(shared.share.scans_saved() > 0);
+        assert_eq!(isolated.share.scans_saved(), 0);
+        assert_eq!(
+            isolated.report.source_events, isolated.share.expected_source_events,
+            "isolated accounting still predicts its per-pattern scans"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tune {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual tuning probe"]
+    fn sweep_scales() {
+        for (sensors, minutes) in [(4u32, 500i64), (4, 800), (4, 1000)] {
+            let cfg = MultiBenchConfig {
+                variants: 1000,
+                sensors,
+                minutes,
+            };
+            let (jobs, sources) = build_workload(&cfg);
+            let (s, ws) = run_multi(&jobs, &sources, true);
+            let (i, wi) = run_multi(&jobs, &sources, false);
+            assert_eq!(sink_total(&s), sink_total(&i));
+            eprintln!(
+                "sensors={sensors} minutes={minutes}: shared {:.2}s isolated {:.2}s speedup {:.2}x (scans {} -> {}, sinks {})",
+                ws.as_secs_f64(), wi.as_secs_f64(), wi.as_secs_f64() / ws.as_secs_f64(),
+                s.share.scans_total, s.share.scans_lowered, sink_total(&s)
+            );
+        }
+    }
+}

@@ -49,6 +49,7 @@ pub mod multi;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;
+pub mod share;
 pub mod sql;
 pub mod translate;
 pub mod typecheck;
@@ -66,13 +67,18 @@ pub use lint::{lint_plan, LintCode, LintDiagnostic};
 pub use migrate::{
     migration_json, migration_safety, MigrateCode, MigrateConfig, MigrateDiagnostic,
 };
-pub use multi::{run_patterns, MultiRun, PatternJob};
+pub use multi::{
+    run_patterns, run_patterns_with, shared_catalog, MultiOptions, MultiRun, PatternJob,
+};
 pub use optimizer::{
     annotations_from_stats, auto_options, auto_options_with, explain_with_stats, OrderingStrategy,
     StreamStats,
 };
-pub use physical::{build_pipeline, BuildError, PhysicalConfig};
+pub use physical::{
+    build_multi_pipeline, build_pipeline, BuildError, MultiBuild, PhysicalConfig, SourceCatalog,
+};
 pub use plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
+pub use share::{canonical_key, render_multi, share_summary, ShareReport, SharedNode};
 pub use sql::to_query_text;
 pub use translate::{translate, JoinOrder, MapperOptions, TranslateError};
 pub use typecheck::{

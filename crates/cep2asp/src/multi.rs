@@ -1,28 +1,33 @@
 //! Multi-pattern execution: several patterns in one dataflow job with
-//! shared sources.
+//! shared subplans.
 //!
 //! The paper's related-work section lists multi-query optimization among
 //! the capabilities serial CEP systems lack ("Other limitations are …
 //! multi-query optimization for serial processing models", Section 6) —
 //! and one advantage of mapping patterns onto an ASPS is that ordinary
-//! multi-query techniques apply. This module provides the first of them:
-//! *scan sharing*. All patterns of a batch run inside one executor job,
-//! each with its own plan and sink, reading the same source arrays
-//! (shared `Arc`s, one ingestion pass per scan); the runtime interleaves
-//! their pipelines on the shared slots.
+//! multi-query techniques apply. All patterns of a batch run inside one
+//! executor job, each with its own sink; by default the physical build
+//! interns structurally equal subtrees ([`crate::share`]) so overlapping
+//! patterns share scans, filters, and join state, with the runtime
+//! fanning the shared nodes' output out to every consumer (`Arc`ed
+//! batches, no payload copies). [`MultiOptions::share`] turns the pass
+//! off for the isolated-pipelines baseline the benchmarks compare
+//! against.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use asp::event::{Event, EventType};
-use asp::graph::{GraphBuilder, SinkId};
+use asp::graph::SinkId;
 use asp::runtime::{Executor, ExecutorConfig, RunReport};
 use asp::tuple::MatchKey;
 
 use sea::pattern::Pattern;
 
 use crate::exec::{dedup_sorted, ExecError};
-use crate::physical::{build_pipeline, PhysicalConfig};
+use crate::physical::{build_multi_pipeline, PhysicalConfig, SourceCatalog};
 use crate::plan::LogicalPlan;
+use crate::share::ShareReport;
 use crate::translate::{translate, MapperOptions};
 
 /// One pattern of a multi-pattern job.
@@ -46,11 +51,31 @@ impl PatternJob {
     }
 }
 
+/// Knobs of a multi-pattern run.
+#[derive(Debug, Clone)]
+pub struct MultiOptions {
+    /// Merge structurally equal subtrees across patterns before lowering
+    /// (on by default). Off = N fully independent pipelines in one job —
+    /// the isolated-splice baseline.
+    pub share: bool,
+}
+
+impl Default for MultiOptions {
+    fn default() -> Self {
+        MultiOptions { share: true }
+    }
+}
+
 /// The result of a multi-pattern run: the shared report plus per-pattern
 /// plans and sinks.
 pub struct MultiRun {
     /// The shared executor report covering every pattern's nodes.
     pub report: RunReport,
+    /// What the sharing pass merged (per-consumer attribution of shared
+    /// nodes, nodes/scans before vs. after, and the predicted source
+    /// volume). With [`MultiOptions::share`] off this reports zero
+    /// sharing.
+    pub share: ShareReport,
     per_pattern: Vec<(String, LogicalPlan, SinkId)>,
 }
 
@@ -89,39 +114,82 @@ impl MultiRun {
     }
 }
 
-/// Run several patterns over the same sources in one job.
+/// `Arc` a plain per-type stream map into a [`SourceCatalog`]: one copy
+/// per stream, once — after this, registering the catalog with any
+/// number of patterns/runs is O(types).
+pub fn shared_catalog(sources: &HashMap<EventType, Vec<Event>>) -> SourceCatalog {
+    sources
+        .iter()
+        .map(|(t, v)| (*t, Arc::new(v.clone())))
+        .collect()
+}
+
+/// Run several patterns over the same sources in one job, with shared
+/// subplans (the defaults of [`MultiOptions`]). Convenience wrapper over
+/// [`run_patterns_with`]; `Arc`s each stream once — callers holding a
+/// [`SourceCatalog`] already avoid even that.
 pub fn run_patterns(
     jobs: &[PatternJob],
     sources: &HashMap<EventType, Vec<Event>>,
     phys: &PhysicalConfig,
     exec: &ExecutorConfig,
 ) -> Result<MultiRun, ExecError> {
+    run_patterns_with(
+        jobs,
+        &shared_catalog(sources),
+        phys,
+        exec,
+        &MultiOptions::default(),
+    )
+}
+
+/// Run several patterns over a shared source catalog in one job.
+///
+/// Setup is O(patterns): event arrays are never copied (missing input
+/// types are registered as empty streams, mirroring solo runs), and the
+/// whole batch is lowered by one builder so structurally equal subtrees
+/// are shared when `opts.share` is on.
+pub fn run_patterns_with(
+    jobs: &[PatternJob],
+    sources: &SourceCatalog,
+    phys: &PhysicalConfig,
+    exec: &ExecutorConfig,
+    opts: &MultiOptions,
+) -> Result<MultiRun, ExecError> {
     assert!(!jobs.is_empty(), "at least one pattern required");
-    let mut sources = sources.clone();
+    let mut catalog = sources.clone();
     for j in jobs {
         for t in j.pattern.expr.input_types() {
-            sources.entry(t).or_default();
+            catalog.entry(t).or_default();
         }
     }
 
-    // Build each pattern's pipeline independently, then splice the
-    // self-contained sub-graphs into one job (a pure id renumbering —
-    // sources over the same stream share the underlying `Arc`ed arrays).
-    let mut combined = GraphBuilder::new();
-    let mut per_pattern = Vec::with_capacity(jobs.len());
+    let mut plans = Vec::with_capacity(jobs.len());
     for job in jobs {
-        let plan = translate(&job.pattern, &job.opts)?;
-        let (sub, sub_sink) = build_pipeline(&plan, &sources, phys)?;
-        let mapped = combined.splice(sub);
-        let sink = mapped[0];
-        debug_assert_eq!(mapped.len(), 1, "one sink per pattern pipeline");
-        let _ = sub_sink;
-        per_pattern.push((job.name.clone(), plan, sink));
+        plans.push(translate(&job.pattern, &job.opts)?);
     }
+    let named: Vec<(&str, &LogicalPlan)> = jobs
+        .iter()
+        .zip(&plans)
+        .map(|(j, p)| (j.name.as_str(), p))
+        .collect();
+    let built = build_multi_pipeline(&named, &catalog, phys, opts.share)?;
+    debug_assert_eq!(
+        built.sinks.len(),
+        jobs.len(),
+        "one sink per pattern pipeline"
+    );
 
-    let report = Executor::new(exec.clone()).run(combined)?;
+    let report = Executor::new(exec.clone()).run(built.graph)?;
+    let per_pattern = jobs
+        .iter()
+        .zip(plans)
+        .zip(built.sinks)
+        .map(|((j, plan), sink)| (j.name.clone(), plan, sink))
+        .collect();
     Ok(MultiRun {
         report,
+        share: built.share,
         per_pattern,
     })
 }
@@ -202,6 +270,13 @@ mod tests {
         assert_eq!(multi.names(), vec!["seq", "and"]);
         assert!(multi.plan("seq").is_some());
         assert!(multi.plan("nope").is_none());
+        // The two patterns differ in shape but read the same streams —
+        // the sharing pass merges at least one scan.
+        assert!(multi.share.scans_saved() >= 1, "{:?}", multi.share);
+        assert_eq!(
+            multi.report.source_events, multi.share.expected_source_events,
+            "source volume matches the DAG's prediction"
+        );
     }
 
     #[test]
@@ -220,8 +295,47 @@ mod tests {
             &ExecutorConfig::default(),
         )
         .unwrap();
-        // Both patterns scanned Q and V once each: 4 scans × 120 events.
-        assert_eq!(multi.report.source_events, 4 * 120);
+        // The two patterns are identical, so their scans merge: the Q and
+        // V streams are each ingested once — 2 scans × 120 events — where
+        // isolated pipelines would pay 4 × 120.
+        assert_eq!(multi.report.source_events, 2 * 120);
+        assert_eq!(multi.share.scans_total, 4);
+        assert_eq!(multi.share.scans_lowered, 2);
         assert_eq!(multi.raw_count("a"), multi.raw_count("b"));
+        assert!(!multi.dedup_matches("a").is_empty());
+        assert_eq!(multi.dedup_matches("a"), multi.dedup_matches("b"));
+    }
+
+    #[test]
+    fn isolated_mode_pays_per_pattern_scans_but_agrees() {
+        let evs = events();
+        let sources = crate::exec::split_by_type(&evs);
+        let p1 = builders::seq(&[(Q, "Q"), (V, "V")], WindowSpec::minutes(4), vec![]);
+        let jobs = vec![
+            PatternJob::new("a", p1.clone(), MapperOptions::o1()),
+            PatternJob::new("b", p1, MapperOptions::o1()),
+        ];
+        let catalog = shared_catalog(&sources);
+        let isolated = run_patterns_with(
+            &jobs,
+            &catalog,
+            &PhysicalConfig::default(),
+            &ExecutorConfig::default(),
+            &MultiOptions { share: false },
+        )
+        .unwrap();
+        assert_eq!(isolated.report.source_events, 4 * 120);
+        assert_eq!(isolated.share.scans_saved(), 0);
+        let shared = run_patterns_with(
+            &jobs,
+            &catalog,
+            &PhysicalConfig::default(),
+            &ExecutorConfig::default(),
+            &MultiOptions::default(),
+        )
+        .unwrap();
+        for name in ["a", "b"] {
+            assert_eq!(isolated.dedup_matches(name), shared.dedup_matches(name));
+        }
     }
 }

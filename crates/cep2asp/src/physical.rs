@@ -26,7 +26,13 @@ use sea::pattern::Leaf;
 use sea::predicate::{CmpOp, Expr, Predicate, VarId};
 
 use crate::plan::{JoinWindowing, LogicalPlan, Partitioning, PlanNode};
+use crate::share::{canonical_key, share_summary, ShareReport};
 use crate::typecheck::{self, KeyProvenance, ShardSafety, TypedNode};
+
+/// Pre-`Arc`ed per-type source streams shared across the patterns of a
+/// multi-pattern job: registering a stream with N scans costs N refcount
+/// bumps, never N copies.
+pub type SourceCatalog = HashMap<EventType, Arc<Vec<Event>>>;
 
 /// Physical execution knobs.
 #[derive(Debug, Clone)]
@@ -128,51 +134,141 @@ pub fn build_pipeline(
     };
     let mut b = Builder {
         g: GraphBuilder::new(),
-        sources,
+        sources: SourceLookup::Plain(sources),
         cfg,
         positions: plan.positions,
         source_cfgs: HashMap::new(),
+        expected_source_events: 0,
+        share: None,
     };
-    let root = b.node(&plan.root, typed.as_ref())?;
-    let mut root = match &plan.root {
-        // Union children were already projected; everything else gets the
-        // final position-order projection here.
-        PlanNode::Union { .. } | PlanNode::Aggregate { .. } => root,
-        _ => b.project(root, plan.root.layout()),
-    };
-    if cfg.dedup_output {
-        let horizon = asp::time::Duration(2 * plan_window_ms(&plan.root));
-        let id = b.g.unary(
-            root.id,
-            Exchange::Rebalance,
-            1,
-            Box::new(move |_| Box::new(DedupOp::new("δ:output", horizon))),
-        );
-        root = Built { id, parallelism: 1 };
-    }
-    let sink_mode = if cfg.collect_output {
-        SinkMode::Collect
-    } else {
-        SinkMode::CountOnly
-    };
-    let sink = b.g.sink_with_mode(root.id, Exchange::Rebalance, sink_mode);
+    let sink = b.lower_to_sink(plan, typed.as_ref())?;
     Ok((b.g, sink))
 }
 
+/// A multi-pattern physical build: one dataflow graph serving every
+/// plan's sink, with structurally equal subtrees lowered once (see
+/// [`crate::share`]).
+pub struct MultiBuild {
+    /// The combined graph — many sinks, shared interior nodes.
+    pub graph: GraphBuilder,
+    /// One sink per plan, in submission order.
+    pub sinks: Vec<SinkId>,
+    /// What was merged, plus the source-volume prediction
+    /// ([`ShareReport::expected_source_events`]) the share oracle checks
+    /// against the run report.
+    pub share: ShareReport,
+}
+
+/// Lower a batch of plans into one graph. With `share` on, structurally
+/// equal subtrees (by [`canonical_key`]) are interned and lowered once —
+/// the shared node's output fans out to every consumer's remainder
+/// pipeline; each pattern always keeps its own sink. With `share` off,
+/// the N pipelines are fully independent (the isolated-splice baseline).
+pub fn build_multi_pipeline(
+    plans: &[(&str, &LogicalPlan)],
+    sources: &SourceCatalog,
+    cfg: &PhysicalConfig,
+    share: bool,
+) -> Result<MultiBuild, BuildError> {
+    let mut b = Builder {
+        g: GraphBuilder::new(),
+        sources: SourceLookup::Shared(sources),
+        cfg,
+        positions: 0,
+        source_cfgs: HashMap::new(),
+        expected_source_events: 0,
+        share: share.then(ShareCache::default),
+    };
+    let mut sinks = Vec::with_capacity(plans.len());
+    for (_, plan) in plans {
+        let typed = if cfg.schema_conformance {
+            let res = typecheck::typecheck(plan);
+            if !res.is_clean() {
+                let msgs: Vec<String> = res.diagnostics.iter().map(|d| d.to_string()).collect();
+                return Err(BuildError::SchemaRejected(msgs.join("; ")));
+            }
+            Some(res.root)
+        } else {
+            None
+        };
+        b.positions = plan.positions;
+        // A new source config per pattern would be redundant but harmless;
+        // per-type memoization already spans patterns via `source_cfgs`.
+        sinks.push(b.lower_to_sink(plan, typed.as_ref())?);
+    }
+    // The report's structural half comes from the same canonical keys the
+    // builder's cache used, so the static summary *is* the cache census;
+    // only the source volume needs the physical build.
+    let mut report = if share {
+        share_summary(plans.iter().copied())
+    } else {
+        let mut r = share_summary(plans.iter().copied());
+        // Isolated baseline: nothing merged.
+        r.nodes_lowered = r.nodes_total;
+        r.scans_lowered = r.scans_total;
+        r.shared.clear();
+        r
+    };
+    report.expected_source_events = b.expected_source_events;
+    Ok(MultiBuild {
+        graph: b.g,
+        sinks,
+        share: report,
+    })
+}
+
+#[derive(Clone, Copy)]
 struct Built {
     id: NodeId,
     parallelism: usize,
 }
 
+/// Where the builder resolves scanned streams from.
+enum SourceLookup<'a> {
+    /// A borrowed plain map (single-pattern builds): each stream is
+    /// `Arc`ed on first use — one copy per event type, as before.
+    Plain(&'a HashMap<EventType, Vec<Event>>),
+    /// A pre-`Arc`ed catalog shared across patterns: no copying at all.
+    Shared(&'a SourceCatalog),
+}
+
+impl SourceLookup<'_> {
+    fn get(&self, etype: EventType) -> Option<Arc<Vec<Event>>> {
+        match self {
+            SourceLookup::Plain(m) => m.get(&etype).map(|v| Arc::new(v.clone())),
+            SourceLookup::Shared(m) => m.get(&etype).cloned(),
+        }
+    }
+}
+
+/// The sharing pass's lowering caches: canonical key → built node.
+#[derive(Default)]
+struct ShareCache {
+    /// Plan-node cache (checked/filled by [`Builder::node`]).
+    nodes: HashMap<String, Built>,
+    /// Wrapper operators that are not plan nodes themselves — inter-join
+    /// dedups and per-pattern projection/dedup tails — keyed by a
+    /// decorated canonical key so they can be shared without being
+    /// counted as plan nodes.
+    aux: HashMap<String, Built>,
+}
+
 struct Builder<'a> {
     g: GraphBuilder,
-    sources: &'a HashMap<EventType, Vec<Event>>,
+    sources: SourceLookup<'a>,
     cfg: &'a PhysicalConfig,
     positions: usize,
     /// Shared per-type event arrays; each scan gets its *own* source node
     /// over the shared array (like reading the same input as separate
     /// DataStreams), so the scan's filter chains into the source task.
     source_cfgs: HashMap<EventType, SourceConfig>,
+    /// Events the created source nodes will replay in total (Σ of stream
+    /// length over every source node) — the multi-pattern share oracle's
+    /// prediction for `RunReport::source_events`.
+    expected_source_events: u64,
+    /// `Some` while lowering a shared multi-pattern batch: structurally
+    /// equal subtrees resolve to the already-built node.
+    share: Option<ShareCache>,
 }
 
 impl<'a> Builder<'a> {
@@ -197,10 +293,9 @@ impl<'a> Builder<'a> {
             None => {
                 let events = self
                     .sources
-                    .get(&etype)
-                    .ok_or(BuildError::MissingSource(etype))?
-                    .clone();
-                let mut sc = SourceConfig::new(events)
+                    .get(etype)
+                    .ok_or(BuildError::MissingSource(etype))?;
+                let mut sc = SourceConfig::from_shared(events)
                     .with_watermark_every(self.cfg.watermark_every)
                     .with_watermark_lag(self.cfg.watermark_lag);
                 if let Some(rate) = self.cfg.source_rate {
@@ -210,17 +305,99 @@ impl<'a> Builder<'a> {
                 sc
             }
         };
+        self.expected_source_events += cfg.events.len() as u64;
         Ok(self.g.source_with(format!("src:{etype}"), cfg, 1))
     }
 
     /// Lower `n`; in conformance mode (`typed` present) splice the edge
     /// assertion operator onto its output.
+    ///
+    /// Under a shared multi-pattern build this is also the interning
+    /// point: a subtree whose [`canonical_key`] was lowered before (by
+    /// this or an earlier pattern) resolves to the existing node, and
+    /// its output edge fans out to the new consumer. The conformance
+    /// assertion is part of the cached chain — the specs it checks are
+    /// invariant under the variable renaming canonicalization quotients
+    /// out, so one asserted edge serves every consumer.
     fn node(&mut self, n: &PlanNode, typed: Option<&TypedNode>) -> Result<Built, BuildError> {
+        let key = self.share.as_ref().map(|_| canonical_key(n));
+        if let (Some(k), Some(share)) = (key.as_deref(), self.share.as_ref()) {
+            if let Some(b) = share.nodes.get(k) {
+                return Ok(*b);
+            }
+        }
         let built = self.node_inner(n, typed)?;
-        Ok(match typed {
+        let built = match typed {
             Some(t) => self.conformance(built, t),
             None => built,
-        })
+        };
+        if let (Some(k), Some(share)) = (key, self.share.as_mut()) {
+            share.nodes.insert(k, built);
+        }
+        Ok(built)
+    }
+
+    /// Look up / fill the wrapper-operator cache (shared builds only;
+    /// otherwise just runs `build`).
+    fn cached_aux(&mut self, key: Option<String>, build: impl FnOnce(&mut Self) -> Built) -> Built {
+        if let (Some(k), Some(share)) = (key.as_deref(), self.share.as_ref()) {
+            if let Some(b) = share.aux.get(k) {
+                return *b;
+            }
+        }
+        let built = build(self);
+        if let (Some(k), Some(share)) = (key, self.share.as_mut()) {
+            share.aux.insert(k, built);
+        }
+        built
+    }
+
+    /// The per-pattern tail shared by both build entry points: final
+    /// position-order projection (except union/aggregate roots, which
+    /// handle it internally), optional output dedup, and the sink. The
+    /// projection and dedup participate in sharing (two identical plans
+    /// differ only in their sinks); the sink never does.
+    fn lower_to_sink(
+        &mut self,
+        plan: &LogicalPlan,
+        typed: Option<&TypedNode>,
+    ) -> Result<SinkId, BuildError> {
+        let root = self.node(&plan.root, typed)?;
+        let root_key = self.share.as_ref().map(|_| canonical_key(&plan.root));
+        let mut root = match &plan.root {
+            // Union children were already projected; everything else gets
+            // the final position-order projection here.
+            PlanNode::Union { .. } | PlanNode::Aggregate { .. } => root,
+            _ => {
+                let layout = plan.root.layout();
+                self.cached_aux(root_key.as_ref().map(|k| format!("Π({k})")), |b| {
+                    b.project(root, layout)
+                })
+            }
+        };
+        if self.cfg.dedup_output {
+            let horizon = asp::time::Duration(2 * plan_window_ms(&plan.root));
+            root = self.cached_aux(
+                root_key.map(|k| format!("δout{}({k})", horizon.millis())),
+                |b| {
+                    let id = b.g.unary(
+                        root.id,
+                        Exchange::Rebalance,
+                        1,
+                        Box::new(move |_| Box::new(DedupOp::new("δ:output", horizon))),
+                    );
+                    Built { id, parallelism: 1 }
+                },
+            );
+        }
+        let sink_mode = if self.cfg.collect_output {
+            SinkMode::Collect
+        } else {
+            SinkMode::CountOnly
+        };
+        Ok(self
+            .g
+            .sink_with_mode(root.id, Exchange::Rebalance, sink_mode))
     }
 
     fn node_inner(&mut self, n: &PlanNode, typed: Option<&TypedNode>) -> Result<Built, BuildError> {
@@ -538,16 +715,26 @@ impl<'a> Builder<'a> {
         };
         let horizon = *size;
         let par = input.parallelism;
-        let id = self.g.unary(
-            input.id,
-            Exchange::Hash,
-            par,
-            Box::new(move |_| Box::new(DedupOp::new("δ:intermediate", horizon))),
-        );
-        Built {
-            id,
-            parallelism: par,
-        }
+        // The dedup is state-bearing and a pure function of its input, so
+        // under sharing it rides with the join it wraps: consumers of the
+        // same sliding sub-join share one dedup instead of re-buffering
+        // the horizon each.
+        let key = self
+            .share
+            .as_ref()
+            .map(|_| format!("δ({})", canonical_key(plan)));
+        self.cached_aux(key, |b| {
+            let id = b.g.unary(
+                input.id,
+                Exchange::Hash,
+                par,
+                Box::new(move |_| Box::new(DedupOp::new("δ:intermediate", horizon))),
+            );
+            Built {
+                id,
+                parallelism: par,
+            }
+        })
     }
 
     /// Set the partition key to the sensor id of the constituent bound at

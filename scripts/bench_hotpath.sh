@@ -6,7 +6,7 @@
 #
 # Usage: scripts/bench_hotpath.sh [--quick] [--out PATH] [--telemetry PATH]
 #                                 [--assert-keyed-floor] [--assert-columnar-floor]
-#                                 [--assert-shard-floor]
+#                                 [--assert-shard-floor] [--assert-multi-floor]
 #   --quick          smaller event counts / fewer repetitions (CI smoke mode)
 #   --out PATH       output file (default: BENCH_hotpath.json at the repo root)
 #   --telemetry PATH runtime-telemetry export from one instrumented run
@@ -31,12 +31,19 @@
 #                    otherwise, since shard workers time-slicing fewer
 #                    cores measure contention, not scaling (the JSON
 #                    records the host's `cores`)
+#   --assert-multi-floor  exit nonzero if the shared-subplan DAG over 1000
+#                    overlapping pattern variants (`multi_patterns`) falls
+#                    below 3x the isolated per-pattern pipelines on the
+#                    same workload (the CI gate for the multi-query
+#                    optimizer; best-of-3 interleaved walls per arm)
 #
 # Headline numbers: speedup_filter_map_64_vs_1 (micro-batching acceptance
 # floor 2x), speedup_window_join_keyed_k64_vs_global_scan (key-partitioned
 # state target 3x), speedup_filter_map_columnar_vs_row_256 (columnar data
 # plane target 1.5x), and speedup_shard_adaptive_vs_{static,single}
-# (adaptive sharding targets 1.3x / 3x on >= 4 cores). Relative,
+# (adaptive sharding targets 1.3x / 3x on >= 4 cores), and
+# speedup_multi_shared_vs_isolated (shared-subplan optimizer target 3x at
+# 1000 overlapping variants). Relative,
 # statistically sampled numbers live in the criterion suite:
 # cargo bench -p bench --bench hotpath
 set -euo pipefail
